@@ -1,0 +1,84 @@
+// Table I suite — runs all six paper benchmarks end to end and prints
+// one row per spec: commit time, local/remote retrieval latency and
+// local/remote read throughput (medians over the repetitions).
+//
+// This is the "whole evaluation at a glance" binary; Fig. 6 and Fig. 7
+// binaries report the per-figure distributions.
+#include <cstdio>
+
+#include "bench_common.h"
+
+namespace mdos::bench {
+namespace {
+
+int Run() {
+  PrintHarnessHeader("Table I benchmark suite (paper Table I specs)");
+
+  std::printf("Table I specs:\n");
+  std::printf("  %-7s %-14s %-12s\n", "bench", "num objects", "size (kB)");
+  for (const BenchSpec& spec : Table1Specs()) {
+    std::printf("  %-7d %-14d %-12llu\n", spec.index, spec.num_objects,
+                static_cast<unsigned long long>(spec.size_kb));
+  }
+  std::printf("\n");
+
+  auto bench = BenchCluster::Create();
+  if (bench == nullptr) return 1;
+
+  std::printf(
+      "%-6s %-11s %-12s %-13s %-13s %-12s %-12s\n", "bench", "objects",
+      "commit_ms", "local_get_ms", "remote_get_ms", "local_GiB/s",
+      "remote_GiB/s");
+
+  const int reps = Repetitions();
+  for (const BenchSpec& spec : Table1Specs()) {
+    std::vector<double> commit_ms, local_get_ms, remote_get_ms;
+    std::vector<double> local_gibps, remote_gibps;
+
+    for (int rep = 0; rep < reps; ++rep) {
+      auto ids = SpecIds(spec, rep);
+      commit_ms.push_back(
+          CommitObjects(bench->producer(), ids, spec.object_bytes()) *
+          1e3);
+
+      std::vector<plasma::ObjectBuffer> local_buffers;
+      local_get_ms.push_back(
+          RetrieveBuffers(bench->local_consumer(), ids, &local_buffers) *
+          1e3);
+      uint64_t bytes = 0;
+      double local_read_s = ReadBuffers(local_buffers, &bytes);
+      local_gibps.push_back(GiBps(bytes, local_read_s));
+
+      std::vector<plasma::ObjectBuffer> remote_buffers;
+      remote_get_ms.push_back(
+          RetrieveBuffers(bench->remote_consumer(), ids,
+                          &remote_buffers) *
+          1e3);
+      double remote_read_s = ReadBuffers(remote_buffers, &bytes);
+      remote_gibps.push_back(GiBps(bytes, remote_read_s));
+
+      ReleaseAll(bench->local_consumer(), ids);
+      ReleaseAll(bench->remote_consumer(), ids);
+      DeleteAll(bench->producer(), ids);
+    }
+
+    std::printf("%-6d %-11d %-12.3f %-13.3f %-13.3f %-12.2f %-12.2f\n",
+                spec.index, spec.num_objects, Summarize(commit_ms).p50,
+                Summarize(local_get_ms).p50,
+                Summarize(remote_get_ms).p50, Summarize(local_gibps).p50,
+                Summarize(remote_gibps).p50);
+    std::fflush(stdout);
+  }
+
+  double scale = CalibrationScale();
+  std::printf(
+      "\npaper-scale throughput = measured / %.2f; paper reference: local "
+      "~6.5 GiB/s, remote ~5.75 GiB/s (benches 4-6)\n",
+      scale);
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdos::bench
+
+int main() { return mdos::bench::Run(); }

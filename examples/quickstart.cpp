@@ -1,0 +1,65 @@
+// Quickstart — the framework in ~60 lines.
+//
+// Builds the paper's 2-node setup, publishes an object on node 0, and
+// consumes it from node 1 through the disaggregated fabric — no copy
+// over the LAN, the consumer reads the producer's memory directly.
+//
+//   ./quickstart
+#include <cstdio>
+#include <string>
+
+#include "cluster/cluster.h"
+
+using namespace mdos;
+
+int main() {
+  // 1. A two-node cluster: each node runs a Plasma store whose pool is
+  //    exported to the ThymesisFlow-style fabric; stores are meshed over
+  //    RPC (the paper's gRPC role).
+  cluster::NodeOptions node_options;
+  node_options.pool_size = 64 << 20;
+  auto cluster = cluster::Cluster::CreateTwoNode(node_options);
+  if (!cluster.ok()) {
+    std::fprintf(stderr, "cluster setup failed: %s\n",
+                 cluster.status().ToString().c_str());
+    return 1;
+  }
+
+  // 2. A producer client on node 0 commits and seals an object.
+  auto producer = (*cluster)->node(0)->CreateClient("producer");
+  if (!producer.ok()) return 1;
+  ObjectId id = ObjectId::FromName("quickstart-object");
+  std::string payload = "hello from node0's disaggregated memory";
+  if (Status s = (*producer)->CreateAndSeal(id, payload); !s.ok()) {
+    std::fprintf(stderr, "create failed: %s\n", s.ToString().c_str());
+    return 1;
+  }
+  std::printf("node0: sealed object %s (%zu bytes)\n", id.Hex().c_str(),
+              payload.size());
+
+  // 3. A consumer client on node 1 retrieves it. The local store on
+  //    node 1 looks the id up in node 0's store via RPC and hands back a
+  //    buffer that points directly into node 0's exported memory.
+  auto consumer = (*cluster)->node(1)->CreateClient("consumer");
+  if (!consumer.ok()) return 1;
+  auto buffer = (*consumer)->Get(id, /*timeout_ms=*/2000);
+  if (!buffer.ok()) {
+    std::fprintf(stderr, "get failed: %s\n",
+                 buffer.status().ToString().c_str());
+    return 1;
+  }
+  auto data = buffer->CopyData();
+  if (!data.ok()) return 1;
+  std::printf("node1: got %s object: \"%s\"\n",
+              buffer->is_remote() ? "REMOTE" : "local",
+              std::string(data->begin(), data->end()).c_str());
+  (void)(*consumer)->Release(id);
+
+  // 4. The fabric counters prove the bytes moved over disaggregated
+  //    memory, not the LAN.
+  auto stats = (*cluster)->fabric().stats();
+  std::printf("fabric: %llu remote read bytes, %llu remote reads\n",
+              static_cast<unsigned long long>(stats.remote.read_bytes),
+              static_cast<unsigned long long>(stats.remote.reads));
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Allocator interface for carving Plasma objects out of the node's
+// (disaggregated) memory slab.
+//
+// Upstream Plasma uses dlmalloc over mmap'd files. The paper replaces it
+// with "a simple allocation algorithm that ... allocates a chunk of memory
+// to the first available region that can accommodate it", using "an
+// ordered map data structure with logarithmic time look-up to keep track
+// of the sizes of available regions" (§IV-A1). That allocator is
+// `FirstFitAllocator`; `SegregatedFitAllocator` is a dlmalloc-style
+// baseline so the paper's allocator trade-off (§V-B future work) can be
+// measured (bench_alloc_ablation).
+//
+// Allocators manage *offsets* into an externally owned slab; they never
+// touch the slab memory itself, so the same code manages local DRAM and
+// fabric-attached disaggregated regions.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+
+namespace mdos::alloc {
+
+struct Allocation {
+  uint64_t offset = 0;
+  uint64_t size = 0;  // requested size (not including alignment padding)
+};
+
+struct AllocatorStats {
+  uint64_t capacity = 0;
+  uint64_t bytes_allocated = 0;   // live requested bytes
+  uint64_t bytes_reserved = 0;    // live bytes incl. padding
+  uint64_t allocations = 0;       // cumulative successful allocs
+  uint64_t frees = 0;
+  uint64_t failures = 0;          // OOM / fragmentation failures
+  uint64_t free_regions = 0;      // current free-list length
+  uint64_t largest_free_region = 0;
+
+  // External fragmentation in [0,1]: 1 - largest_free / total_free.
+  double ExternalFragmentation() const {
+    uint64_t total_free = capacity - bytes_reserved;
+    if (total_free == 0) return 0.0;
+    return 1.0 -
+           static_cast<double>(largest_free_region) /
+               static_cast<double>(total_free);
+  }
+};
+
+class Allocator {
+ public:
+  virtual ~Allocator() = default;
+
+  // Reserves `size` bytes aligned to `alignment` (power of two).
+  virtual Result<Allocation> Allocate(uint64_t size,
+                                      uint64_t alignment = 64) = 0;
+
+  // Releases an allocation previously returned by Allocate, identified by
+  // its offset. KeyError if the offset is not a live allocation.
+  virtual Status Free(uint64_t offset) = 0;
+
+  virtual AllocatorStats stats() const = 0;
+  virtual std::string name() const = 0;
+};
+
+}  // namespace mdos::alloc

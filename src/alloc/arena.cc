@@ -1,0 +1,18 @@
+#include "alloc/arena.h"
+
+namespace mdos::alloc {
+
+uint8_t* Arena::Allocate(uint64_t size, uint64_t alignment) {
+  if (alignment == 0 || (alignment & (alignment - 1)) != 0) {
+    return nullptr;
+  }
+  uint64_t aligned = (used_ + alignment - 1) & ~(alignment - 1);
+  if (aligned > capacity_ || capacity_ - aligned < size) {
+    return nullptr;
+  }
+  uint8_t* out = base_ + aligned;
+  used_ = aligned + size;
+  return out;
+}
+
+}  // namespace mdos::alloc

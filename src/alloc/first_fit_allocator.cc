@@ -1,0 +1,172 @@
+#include "alloc/first_fit_allocator.h"
+
+#include <string>
+
+namespace mdos::alloc {
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+FirstFitAllocator::FirstFitAllocator(uint64_t capacity)
+    : capacity_(capacity) {
+  stats_.capacity = capacity;
+  if (capacity > 0) {
+    InsertFreeRegion(0, capacity);
+  }
+}
+
+void FirstFitAllocator::InsertFreeRegion(uint64_t offset, uint64_t size) {
+  by_offset_.emplace(offset, size);
+  by_size_.emplace(size, offset);
+}
+
+void FirstFitAllocator::EraseFreeRegion(uint64_t offset, uint64_t size) {
+  by_offset_.erase(offset);
+  auto [begin, end] = by_size_.equal_range(size);
+  for (auto it = begin; it != end; ++it) {
+    if (it->second == offset) {
+      by_size_.erase(it);
+      return;
+    }
+  }
+}
+
+Result<Allocation> FirstFitAllocator::Allocate(uint64_t size,
+                                               uint64_t alignment) {
+  if (size == 0) return Status::Invalid("cannot allocate 0 bytes");
+  if (!IsPowerOfTwo(alignment)) {
+    return Status::Invalid("alignment must be a power of two");
+  }
+
+  // Logarithmic look-up: the first free region whose size can accommodate
+  // the request. Alignment padding may make a nominally large-enough
+  // region unusable, so we walk forward from lower_bound until one fits —
+  // with 64-byte alignment and the padded probe size this terminates on
+  // the first or second candidate in practice.
+  uint64_t probe = size;
+  for (auto it = by_size_.lower_bound(probe); it != by_size_.end(); ++it) {
+    uint64_t region_offset = it->second;
+    uint64_t region_size = it->first;
+    uint64_t user_offset = AlignUp(region_offset, alignment);
+    uint64_t padding = user_offset - region_offset;
+    if (region_size < padding || region_size - padding < size) continue;
+
+    EraseFreeRegion(region_offset, region_size);
+
+    // Leading splinter (below the aligned start) returns to the free set;
+    // the reserved block extent starts at the aligned offset.
+    if (padding > 0) {
+      InsertFreeRegion(region_offset, padding);
+    }
+    uint64_t block_size = size;
+    uint64_t tail_offset = user_offset + size;
+    uint64_t tail_size = region_size - padding - size;
+    if (tail_size > 0) {
+      InsertFreeRegion(tail_offset, tail_size);
+    }
+
+    live_.emplace(user_offset,
+                  LiveBlock{user_offset, block_size, size});
+    stats_.bytes_allocated += size;
+    stats_.bytes_reserved += block_size;
+    ++stats_.allocations;
+    return Allocation{user_offset, size};
+  }
+
+  ++stats_.failures;
+  return Status::OutOfMemory(
+      "first-fit: no region can accommodate " + std::to_string(size) +
+      " bytes (live=" + std::to_string(stats_.bytes_reserved) +
+      "/" + std::to_string(capacity_) + ")");
+}
+
+Status FirstFitAllocator::Free(uint64_t offset) {
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    return Status::KeyError("free of unknown offset " +
+                            std::to_string(offset));
+  }
+  LiveBlock block = it->second;
+  live_.erase(it);
+  stats_.bytes_allocated -= block.user_size;
+  stats_.bytes_reserved -= block.block_size;
+  ++stats_.frees;
+
+  uint64_t merged_offset = block.block_offset;
+  uint64_t merged_size = block.block_size;
+
+  // Coalesce with the free neighbour above, if adjacent.
+  auto above = by_offset_.lower_bound(merged_offset + merged_size);
+  if (above != by_offset_.end() &&
+      above->first == merged_offset + merged_size) {
+    uint64_t next_offset = above->first;
+    uint64_t next_size = above->second;
+    EraseFreeRegion(next_offset, next_size);
+    merged_size += next_size;
+  }
+  // Coalesce with the free neighbour below, if adjacent.
+  auto below = by_offset_.lower_bound(merged_offset);
+  if (below != by_offset_.begin()) {
+    --below;
+    if (below->first + below->second == merged_offset) {
+      uint64_t prev_offset = below->first;
+      uint64_t prev_size = below->second;
+      EraseFreeRegion(prev_offset, prev_size);
+      merged_offset = prev_offset;
+      merged_size += prev_size;
+    }
+  }
+  InsertFreeRegion(merged_offset, merged_size);
+  return Status::OK();
+}
+
+AllocatorStats FirstFitAllocator::stats() const {
+  AllocatorStats s = stats_;
+  s.free_regions = by_offset_.size();
+  s.largest_free_region =
+      by_size_.empty() ? 0 : by_size_.rbegin()->first;
+  return s;
+}
+
+Status FirstFitAllocator::CheckInvariants() const {
+  if (by_size_.size() != by_offset_.size()) {
+    return Status::Invalid("free maps out of sync");
+  }
+  // Free regions and live blocks must exactly tile [0, capacity) with no
+  // overlaps and no adjacent free regions (Free must coalesce).
+  std::map<uint64_t, std::pair<uint64_t, bool>> extents;  // offset->(size,free)
+  for (const auto& [offset, size] : by_offset_) {
+    extents.emplace(offset, std::make_pair(size, true));
+  }
+  for (const auto& [user_offset, block] : live_) {
+    (void)user_offset;
+    extents.emplace(block.block_offset,
+                    std::make_pair(block.block_size, false));
+  }
+  uint64_t cursor = 0;
+  bool prev_free = false;
+  for (const auto& [offset, info] : extents) {
+    if (offset != cursor) {
+      return Status::Invalid("gap or overlap at offset " +
+                             std::to_string(cursor));
+    }
+    if (prev_free && info.second) {
+      return Status::Invalid("uncoalesced adjacent free regions at " +
+                             std::to_string(offset));
+    }
+    cursor = offset + info.first;
+    prev_free = info.second;
+  }
+  if (cursor != capacity_) {
+    return Status::Invalid("extents do not cover capacity");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdos::alloc

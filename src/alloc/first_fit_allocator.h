@@ -1,0 +1,56 @@
+// FirstFitAllocator — the paper's replacement for dlmalloc (§IV-A1).
+//
+// Free regions are tracked in two ordered maps:
+//   by_size_:   multimap size → offset; Allocate takes lower_bound(size),
+//               i.e. the first (smallest) region that can accommodate the
+//               request, in logarithmic time as the paper describes.
+//   by_offset_: map offset → size; Free coalesces with both neighbours in
+//               logarithmic time.
+// Live allocations are recorded so Free can validate its argument and so
+// stats are exact. The allocator deliberately ignores locality and
+// higher-order anti-fragmentation strategies — the paper notes it
+// "surrenders some benefits to the original dlmalloc library" and we keep
+// that fidelity (the baseline allocator exists for comparison).
+#pragma once
+
+#include <map>
+#include <unordered_map>
+
+#include "alloc/allocator.h"
+
+namespace mdos::alloc {
+
+class FirstFitAllocator final : public Allocator {
+ public:
+  // Manages offsets [0, capacity).
+  explicit FirstFitAllocator(uint64_t capacity);
+
+  Result<Allocation> Allocate(uint64_t size, uint64_t alignment = 64)
+      override;
+  Status Free(uint64_t offset) override;
+  AllocatorStats stats() const override;
+  std::string name() const override { return "first_fit_ordered_map"; }
+
+  // Test hook: verifies internal invariants (maps consistent, no overlap,
+  // full coverage). Returns Invalid with a description on violation.
+  Status CheckInvariants() const;
+
+ private:
+  struct LiveBlock {
+    uint64_t block_offset;  // block start (≤ aligned user offset)
+    uint64_t block_size;    // full reserved extent
+    uint64_t user_size;     // requested size
+  };
+
+  void InsertFreeRegion(uint64_t offset, uint64_t size);
+  void EraseFreeRegion(uint64_t offset, uint64_t size);
+
+  const uint64_t capacity_;
+  std::multimap<uint64_t, uint64_t> by_size_;  // size -> offset
+  std::map<uint64_t, uint64_t> by_offset_;     // offset -> size
+  // Keyed by the *user-visible* (aligned) offset.
+  std::unordered_map<uint64_t, LiveBlock> live_;
+  AllocatorStats stats_;
+};
+
+}  // namespace mdos::alloc

@@ -1,0 +1,195 @@
+#include "alloc/segregated_fit_allocator.h"
+
+#include <bit>
+#include <string>
+
+namespace mdos::alloc {
+namespace {
+
+bool IsPowerOfTwo(uint64_t v) { return v != 0 && (v & (v - 1)) == 0; }
+
+uint64_t AlignUp(uint64_t v, uint64_t alignment) {
+  return (v + alignment - 1) & ~(alignment - 1);
+}
+
+}  // namespace
+
+int SegregatedFitAllocator::BinIndex(uint64_t size) {
+  // Bins 0..31: exact 16-byte-spaced classes up to kSmallThreshold.
+  if (size < kSmallThreshold) {
+    return static_cast<int>(size / kSmallGranularity);
+  }
+  // Bins 32..63: one bin per power of two ≥ 512.
+  int log2 = 63 - std::countl_zero(size);
+  int idx = 32 + (log2 - 9);
+  return idx >= kNumBins ? kNumBins - 1 : idx;
+}
+
+SegregatedFitAllocator::SegregatedFitAllocator(uint64_t capacity)
+    : capacity_(capacity) {
+  stats_.capacity = capacity;
+  if (capacity > 0) {
+    InsertFreeBlock(0, capacity);
+  }
+}
+
+void SegregatedFitAllocator::InsertFreeBlock(uint64_t offset,
+                                             uint64_t size) {
+  int bin = BinIndex(size);
+  bins_[bin].emplace(size, offset);
+  nonempty_bins_mask_ |= (uint64_t{1} << bin);
+  by_offset_.emplace(offset, size);
+}
+
+void SegregatedFitAllocator::EraseFreeBlock(uint64_t offset,
+                                            uint64_t size) {
+  int bin = BinIndex(size);
+  bins_[bin].erase({size, offset});
+  if (bins_[bin].empty()) {
+    nonempty_bins_mask_ &= ~(uint64_t{1} << bin);
+  }
+  by_offset_.erase(offset);
+}
+
+Result<Allocation> SegregatedFitAllocator::Allocate(uint64_t size,
+                                                    uint64_t alignment) {
+  if (size == 0) return Status::Invalid("cannot allocate 0 bytes");
+  if (!IsPowerOfTwo(alignment)) {
+    return Status::Invalid("alignment must be a power of two");
+  }
+
+  // Scan bins from the request's class upward; the bitmask makes finding
+  // the next non-empty bin O(1) (this is dlmalloc's binmap trick).
+  int start_bin = BinIndex(size);
+  uint64_t mask = nonempty_bins_mask_ & ~((uint64_t{1} << start_bin) - 1);
+  while (mask != 0) {
+    int bin = std::countr_zero(mask);
+    mask &= mask - 1;
+    // Within a bin, entries are ordered by size then offset: begin() from
+    // the first eligible entry is the best fit in this class.
+    auto& entries = bins_[bin];
+    for (auto it = entries.lower_bound({size, 0}); it != entries.end();
+         ++it) {
+      uint64_t region_size = it->first;
+      uint64_t region_offset = it->second;
+      uint64_t user_offset = AlignUp(region_offset, alignment);
+      uint64_t padding = user_offset - region_offset;
+      if (region_size < padding || region_size - padding < size) continue;
+
+      EraseFreeBlock(region_offset, region_size);
+      if (padding > 0) InsertFreeBlock(region_offset, padding);
+      uint64_t tail_size = region_size - padding - size;
+      if (tail_size > 0) InsertFreeBlock(user_offset + size, tail_size);
+
+      live_.emplace(user_offset, LiveBlock{user_offset, size, size});
+      stats_.bytes_allocated += size;
+      stats_.bytes_reserved += size;
+      ++stats_.allocations;
+      return Allocation{user_offset, size};
+    }
+  }
+
+  ++stats_.failures;
+  return Status::OutOfMemory(
+      "segregated-fit: no block for " + std::to_string(size) + " bytes");
+}
+
+Status SegregatedFitAllocator::Free(uint64_t offset) {
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    return Status::KeyError("free of unknown offset " +
+                            std::to_string(offset));
+  }
+  LiveBlock block = it->second;
+  live_.erase(it);
+  stats_.bytes_allocated -= block.user_size;
+  stats_.bytes_reserved -= block.block_size;
+  ++stats_.frees;
+
+  uint64_t merged_offset = block.block_offset;
+  uint64_t merged_size = block.block_size;
+
+  auto above = by_offset_.find(merged_offset + merged_size);
+  if (above != by_offset_.end()) {
+    uint64_t next_size = above->second;
+    EraseFreeBlock(above->first, next_size);
+    merged_size += next_size;
+  }
+  auto below = by_offset_.lower_bound(merged_offset);
+  if (below != by_offset_.begin()) {
+    --below;
+    if (below->first + below->second == merged_offset) {
+      uint64_t prev_offset = below->first;
+      uint64_t prev_size = below->second;
+      EraseFreeBlock(prev_offset, prev_size);
+      merged_offset = prev_offset;
+      merged_size += prev_size;
+    }
+  }
+  InsertFreeBlock(merged_offset, merged_size);
+  return Status::OK();
+}
+
+AllocatorStats SegregatedFitAllocator::stats() const {
+  AllocatorStats s = stats_;
+  s.free_regions = by_offset_.size();
+  uint64_t largest = 0;
+  for (const auto& [offset, size] : by_offset_) {
+    (void)offset;
+    if (size > largest) largest = size;
+  }
+  s.largest_free_region = largest;
+  return s;
+}
+
+Status SegregatedFitAllocator::CheckInvariants() const {
+  size_t bin_total = 0;
+  for (int i = 0; i < kNumBins; ++i) {
+    bin_total += bins_[i].size();
+    bool mask_bit = (nonempty_bins_mask_ >> i) & 1;
+    if (mask_bit != !bins_[i].empty()) {
+      return Status::Invalid("bin mask out of sync at bin " +
+                             std::to_string(i));
+    }
+    for (const auto& [size, offset] : bins_[i]) {
+      if (BinIndex(size) != i) {
+        return Status::Invalid("block in wrong bin");
+      }
+      auto it = by_offset_.find(offset);
+      if (it == by_offset_.end() || it->second != size) {
+        return Status::Invalid("bin entry missing from offset map");
+      }
+    }
+  }
+  if (bin_total != by_offset_.size()) {
+    return Status::Invalid("bin/offset map size mismatch");
+  }
+  std::map<uint64_t, std::pair<uint64_t, bool>> extents;
+  for (const auto& [offset, size] : by_offset_) {
+    extents.emplace(offset, std::make_pair(size, true));
+  }
+  for (const auto& [user_offset, block] : live_) {
+    (void)user_offset;
+    extents.emplace(block.block_offset,
+                    std::make_pair(block.block_size, false));
+  }
+  uint64_t cursor = 0;
+  bool prev_free = false;
+  for (const auto& [offset, info] : extents) {
+    if (offset != cursor) {
+      return Status::Invalid("gap or overlap at offset " +
+                             std::to_string(cursor));
+    }
+    if (prev_free && info.second) {
+      return Status::Invalid("uncoalesced adjacent free blocks");
+    }
+    cursor = offset + info.first;
+    prev_free = info.second;
+  }
+  if (cursor != capacity_) {
+    return Status::Invalid("extents do not cover capacity");
+  }
+  return Status::OK();
+}
+
+}  // namespace mdos::alloc

@@ -1,0 +1,107 @@
+#include "arrowlite/array.h"
+
+namespace mdos::arrowlite {
+
+void Int64Array::EncodeTo(wire::Writer& w) const {
+  w.PutVarint(values_.size());
+  w.PutRaw(values_.data(), values_.size() * sizeof(int64_t));
+}
+
+Result<std::shared_ptr<Int64Array>> Int64Array::DecodeFrom(
+    wire::Reader& r) {
+  MDOS_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<int64_t> values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDOS_ASSIGN_OR_RETURN(values[i], r.GetI64());
+  }
+  return std::make_shared<Int64Array>(std::move(values));
+}
+
+void Float64Array::EncodeTo(wire::Writer& w) const {
+  w.PutVarint(values_.size());
+  w.PutRaw(values_.data(), values_.size() * sizeof(double));
+}
+
+Result<std::shared_ptr<Float64Array>> Float64Array::DecodeFrom(
+    wire::Reader& r) {
+  MDOS_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  std::vector<double> values(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDOS_ASSIGN_OR_RETURN(values[i], r.GetDouble());
+  }
+  return std::make_shared<Float64Array>(std::move(values));
+}
+
+StringArray::StringArray(std::vector<uint32_t> offsets, std::string chars)
+    : offsets_(std::move(offsets)), chars_(std::move(chars)) {
+  if (offsets_.empty()) {
+    offsets_.push_back(0);
+  }
+}
+
+std::shared_ptr<StringArray> StringArray::From(
+    const std::vector<std::string>& values) {
+  std::vector<uint32_t> offsets;
+  offsets.reserve(values.size() + 1);
+  std::string chars;
+  offsets.push_back(0);
+  for (const std::string& value : values) {
+    chars += value;
+    offsets.push_back(static_cast<uint32_t>(chars.size()));
+  }
+  return std::make_shared<StringArray>(std::move(offsets),
+                                       std::move(chars));
+}
+
+std::string_view StringArray::Value(size_t i) const {
+  uint32_t begin = offsets_.at(i);
+  uint32_t end = offsets_.at(i + 1);
+  return std::string_view(chars_).substr(begin, end - begin);
+}
+
+void StringArray::EncodeTo(wire::Writer& w) const {
+  w.PutVarint(offsets_.size());
+  w.PutRaw(offsets_.data(), offsets_.size() * sizeof(uint32_t));
+  w.PutString(chars_);
+}
+
+Result<std::shared_ptr<StringArray>> StringArray::DecodeFrom(
+    wire::Reader& r) {
+  MDOS_ASSIGN_OR_RETURN(uint64_t count, r.GetVarint());
+  if (count == 0) {
+    return Status::ProtocolError("string array needs >= 1 offset");
+  }
+  std::vector<uint32_t> offsets(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    MDOS_ASSIGN_OR_RETURN(offsets[i], r.GetU32());
+  }
+  MDOS_ASSIGN_OR_RETURN(std::string chars, r.GetString());
+  // Validate monotone offsets within the char buffer.
+  for (uint64_t i = 1; i < count; ++i) {
+    if (offsets[i] < offsets[i - 1] || offsets[i] > chars.size()) {
+      return Status::ProtocolError("string array offsets corrupt");
+    }
+  }
+  return std::make_shared<StringArray>(std::move(offsets),
+                                       std::move(chars));
+}
+
+Result<ArrayPtr> DecodeArray(TypeId type, wire::Reader& r) {
+  switch (type) {
+    case TypeId::kInt64: {
+      MDOS_ASSIGN_OR_RETURN(auto array, Int64Array::DecodeFrom(r));
+      return ArrayPtr(array);
+    }
+    case TypeId::kFloat64: {
+      MDOS_ASSIGN_OR_RETURN(auto array, Float64Array::DecodeFrom(r));
+      return ArrayPtr(array);
+    }
+    case TypeId::kString: {
+      MDOS_ASSIGN_OR_RETURN(auto array, StringArray::DecodeFrom(r));
+      return ArrayPtr(array);
+    }
+  }
+  return Status::ProtocolError("unknown array type");
+}
+
+}  // namespace mdos::arrowlite

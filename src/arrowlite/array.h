@@ -1,0 +1,86 @@
+// arrowlite arrays — immutable typed columns.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "arrowlite/type.h"
+#include "common/status.h"
+#include "wire/wire.h"
+
+namespace mdos::arrowlite {
+
+class Array {
+ public:
+  virtual ~Array() = default;
+  virtual TypeId type() const = 0;
+  virtual size_t length() const = 0;
+  virtual void EncodeTo(wire::Writer& w) const = 0;
+};
+
+using ArrayPtr = std::shared_ptr<Array>;
+
+class Int64Array final : public Array {
+ public:
+  explicit Int64Array(std::vector<int64_t> values)
+      : values_(std::move(values)) {}
+
+  TypeId type() const override { return TypeId::kInt64; }
+  size_t length() const override { return values_.size(); }
+  int64_t Value(size_t i) const { return values_.at(i); }
+  const std::vector<int64_t>& values() const { return values_; }
+
+  void EncodeTo(wire::Writer& w) const override;
+  static Result<std::shared_ptr<Int64Array>> DecodeFrom(wire::Reader& r);
+
+ private:
+  std::vector<int64_t> values_;
+};
+
+class Float64Array final : public Array {
+ public:
+  explicit Float64Array(std::vector<double> values)
+      : values_(std::move(values)) {}
+
+  TypeId type() const override { return TypeId::kFloat64; }
+  size_t length() const override { return values_.size(); }
+  double Value(size_t i) const { return values_.at(i); }
+  const std::vector<double>& values() const { return values_; }
+
+  void EncodeTo(wire::Writer& w) const override;
+  static Result<std::shared_ptr<Float64Array>> DecodeFrom(wire::Reader& r);
+
+ private:
+  std::vector<double> values_;
+};
+
+// Variable-length UTF-8 column: offsets into a contiguous char buffer
+// (the Arrow binary layout).
+class StringArray final : public Array {
+ public:
+  StringArray(std::vector<uint32_t> offsets, std::string chars);
+  // Builds from discrete strings.
+  static std::shared_ptr<StringArray> From(
+      const std::vector<std::string>& values);
+
+  TypeId type() const override { return TypeId::kString; }
+  size_t length() const override {
+    return offsets_.empty() ? 0 : offsets_.size() - 1;
+  }
+  std::string_view Value(size_t i) const;
+
+  void EncodeTo(wire::Writer& w) const override;
+  static Result<std::shared_ptr<StringArray>> DecodeFrom(wire::Reader& r);
+
+ private:
+  std::vector<uint32_t> offsets_;  // length + 1 entries
+  std::string chars_;
+};
+
+// Decodes any array given its type tag.
+Result<ArrayPtr> DecodeArray(TypeId type, wire::Reader& r);
+
+}  // namespace mdos::arrowlite

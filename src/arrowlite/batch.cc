@@ -1,0 +1,46 @@
+#include "arrowlite/batch.h"
+
+namespace mdos::arrowlite {
+
+Result<std::shared_ptr<RecordBatch>> RecordBatch::Make(
+    Schema schema, std::vector<ArrayPtr> columns) {
+  if (schema.num_fields() != columns.size()) {
+    return Status::Invalid("schema/column count mismatch");
+  }
+  size_t num_rows = columns.empty() ? 0 : columns[0]->length();
+  for (size_t i = 0; i < columns.size(); ++i) {
+    if (columns[i] == nullptr) {
+      return Status::Invalid("null column");
+    }
+    if (columns[i]->type() != schema.field(i).type) {
+      return Status::Invalid("column " + std::to_string(i) +
+                             " type mismatch");
+    }
+    if (columns[i]->length() != num_rows) {
+      return Status::Invalid("column " + std::to_string(i) +
+                             " length mismatch");
+    }
+  }
+  return std::shared_ptr<RecordBatch>(
+      new RecordBatch(std::move(schema), std::move(columns), num_rows));
+}
+
+ArrayPtr RecordBatch::ColumnByName(std::string_view name) const {
+  int index = schema_.FieldIndex(name);
+  if (index < 0) return nullptr;
+  return columns_[static_cast<size_t>(index)];
+}
+
+std::shared_ptr<Int64Array> RecordBatch::Int64Column(size_t i) const {
+  return std::dynamic_pointer_cast<Int64Array>(columns_.at(i));
+}
+
+std::shared_ptr<Float64Array> RecordBatch::Float64Column(size_t i) const {
+  return std::dynamic_pointer_cast<Float64Array>(columns_.at(i));
+}
+
+std::shared_ptr<StringArray> RecordBatch::StringColumn(size_t i) const {
+  return std::dynamic_pointer_cast<StringArray>(columns_.at(i));
+}
+
+}  // namespace mdos::arrowlite

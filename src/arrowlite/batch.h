@@ -1,0 +1,44 @@
+// RecordBatch — an immutable table chunk: schema + equal-length columns.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "arrowlite/array.h"
+#include "arrowlite/type.h"
+#include "common/status.h"
+
+namespace mdos::arrowlite {
+
+class RecordBatch {
+ public:
+  static Result<std::shared_ptr<RecordBatch>> Make(
+      Schema schema, std::vector<ArrayPtr> columns);
+
+  const Schema& schema() const { return schema_; }
+  size_t num_rows() const { return num_rows_; }
+  size_t num_columns() const { return columns_.size(); }
+  const ArrayPtr& column(size_t i) const { return columns_.at(i); }
+  // Column by field name; nullptr when absent.
+  ArrayPtr ColumnByName(std::string_view name) const;
+
+  // Typed accessors (nullptr on type mismatch).
+  std::shared_ptr<Int64Array> Int64Column(size_t i) const;
+  std::shared_ptr<Float64Array> Float64Column(size_t i) const;
+  std::shared_ptr<StringArray> StringColumn(size_t i) const;
+
+ private:
+  RecordBatch(Schema schema, std::vector<ArrayPtr> columns,
+              size_t num_rows)
+      : schema_(std::move(schema)),
+        columns_(std::move(columns)),
+        num_rows_(num_rows) {}
+
+  Schema schema_;
+  std::vector<ArrayPtr> columns_;
+  size_t num_rows_;
+};
+
+using RecordBatchPtr = std::shared_ptr<RecordBatch>;
+
+}  // namespace mdos::arrowlite

@@ -1,0 +1,189 @@
+#include "arrowlite/compute.h"
+
+#include <algorithm>
+#include <string>
+
+namespace mdos::arrowlite {
+
+std::vector<uint32_t> SelectIndices(
+    const Int64Array& column,
+    const std::function<bool(int64_t)>& predicate) {
+  std::vector<uint32_t> indices;
+  for (size_t i = 0; i < column.length(); ++i) {
+    if (predicate(column.Value(i))) {
+      indices.push_back(static_cast<uint32_t>(i));
+    }
+  }
+  return indices;
+}
+
+namespace {
+
+Result<ArrayPtr> TakeArray(const ArrayPtr& array,
+                           const std::vector<uint32_t>& indices) {
+  for (uint32_t index : indices) {
+    if (index >= array->length()) {
+      return Status::Invalid("take index out of range");
+    }
+  }
+  switch (array->type()) {
+    case TypeId::kInt64: {
+      auto& typed = static_cast<const Int64Array&>(*array);
+      std::vector<int64_t> values;
+      values.reserve(indices.size());
+      for (uint32_t index : indices) values.push_back(typed.Value(index));
+      return ArrayPtr(std::make_shared<Int64Array>(std::move(values)));
+    }
+    case TypeId::kFloat64: {
+      auto& typed = static_cast<const Float64Array&>(*array);
+      std::vector<double> values;
+      values.reserve(indices.size());
+      for (uint32_t index : indices) values.push_back(typed.Value(index));
+      return ArrayPtr(std::make_shared<Float64Array>(std::move(values)));
+    }
+    case TypeId::kString: {
+      auto& typed = static_cast<const StringArray&>(*array);
+      std::vector<std::string> values;
+      values.reserve(indices.size());
+      for (uint32_t index : indices) {
+        values.emplace_back(typed.Value(index));
+      }
+      return ArrayPtr(StringArray::From(values));
+    }
+  }
+  return Status::Invalid("unknown array type");
+}
+
+}  // namespace
+
+Result<RecordBatchPtr> Take(const RecordBatch& batch,
+                            const std::vector<uint32_t>& indices) {
+  std::vector<ArrayPtr> columns;
+  columns.reserve(batch.num_columns());
+  for (size_t c = 0; c < batch.num_columns(); ++c) {
+    MDOS_ASSIGN_OR_RETURN(ArrayPtr taken,
+                          TakeArray(batch.column(c), indices));
+    columns.push_back(std::move(taken));
+  }
+  return RecordBatch::Make(batch.schema(), std::move(columns));
+}
+
+Result<RecordBatchPtr> FilterByInt64(
+    const RecordBatch& batch, std::string_view column,
+    const std::function<bool(int64_t)>& predicate) {
+  int index = batch.schema().FieldIndex(column);
+  if (index < 0) {
+    return Status::KeyError("no column named " + std::string(column));
+  }
+  auto typed = batch.Int64Column(static_cast<size_t>(index));
+  if (typed == nullptr) {
+    return Status::Invalid("column " + std::string(column) +
+                           " is not int64");
+  }
+  return Take(batch, SelectIndices(*typed, predicate));
+}
+
+Int64Stats SummarizeInt64(const Int64Array& column) {
+  Int64Stats stats;
+  for (size_t i = 0; i < column.length(); ++i) {
+    int64_t v = column.Value(i);
+    if (stats.count == 0) {
+      stats.min = stats.max = v;
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    stats.sum += v;
+    ++stats.count;
+  }
+  return stats;
+}
+
+Float64Stats SummarizeFloat64(const Float64Array& column) {
+  Float64Stats stats;
+  for (size_t i = 0; i < column.length(); ++i) {
+    double v = column.Value(i);
+    if (stats.count == 0) {
+      stats.min = stats.max = v;
+    } else {
+      stats.min = std::min(stats.min, v);
+      stats.max = std::max(stats.max, v);
+    }
+    stats.sum += v;
+    ++stats.count;
+  }
+  return stats;
+}
+
+Result<std::unordered_map<int64_t, int64_t>> GroupBySum(
+    const RecordBatch& batch, std::string_view key_column,
+    std::string_view value_column) {
+  int key_index = batch.schema().FieldIndex(key_column);
+  int value_index = batch.schema().FieldIndex(value_column);
+  if (key_index < 0 || value_index < 0) {
+    return Status::KeyError("group-by column missing");
+  }
+  auto keys = batch.Int64Column(static_cast<size_t>(key_index));
+  auto values = batch.Int64Column(static_cast<size_t>(value_index));
+  if (keys == nullptr || values == nullptr) {
+    return Status::Invalid("group-by columns must be int64");
+  }
+  std::unordered_map<int64_t, int64_t> sums;
+  for (size_t i = 0; i < keys->length(); ++i) {
+    sums[keys->Value(i)] += values->Value(i);
+  }
+  return sums;
+}
+
+Result<RecordBatchPtr> Concatenate(
+    const std::vector<RecordBatchPtr>& batches) {
+  if (batches.empty()) {
+    return Status::Invalid("nothing to concatenate");
+  }
+  const Schema& schema = batches[0]->schema();
+  for (const auto& batch : batches) {
+    if (batch == nullptr || !batch->schema().Equals(schema)) {
+      return Status::Invalid("schema mismatch in concatenate");
+    }
+  }
+  std::vector<ArrayPtr> columns;
+  for (size_t c = 0; c < schema.num_fields(); ++c) {
+    switch (schema.field(c).type) {
+      case TypeId::kInt64: {
+        std::vector<int64_t> values;
+        for (const auto& batch : batches) {
+          const auto& typed = *batch->Int64Column(c);
+          values.insert(values.end(), typed.values().begin(),
+                        typed.values().end());
+        }
+        columns.push_back(std::make_shared<Int64Array>(std::move(values)));
+        break;
+      }
+      case TypeId::kFloat64: {
+        std::vector<double> values;
+        for (const auto& batch : batches) {
+          const auto& typed = *batch->Float64Column(c);
+          values.insert(values.end(), typed.values().begin(),
+                        typed.values().end());
+        }
+        columns.push_back(
+            std::make_shared<Float64Array>(std::move(values)));
+        break;
+      }
+      case TypeId::kString: {
+        std::vector<std::string> values;
+        for (const auto& batch : batches) {
+          const auto& typed = *batch->StringColumn(c);
+          for (size_t i = 0; i < typed.length(); ++i) {
+            values.emplace_back(typed.Value(i));
+          }
+        }
+        columns.push_back(StringArray::From(values));
+        break;
+      }
+    }
+  }
+  return RecordBatch::Make(schema, std::move(columns));
+}
+
+}  // namespace mdos::arrowlite

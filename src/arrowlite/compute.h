@@ -1,0 +1,66 @@
+// arrowlite compute — minimal analytic kernels over record batches.
+//
+// Enough of an Arrow-compute equivalent for the examples to express the
+// paper's motivating workloads (filters, projections, aggregations,
+// group-bys over batches that may live in remote disaggregated memory).
+// All kernels are pure: they consume immutable arrays and produce new
+// ones, matching the store's sealed-object semantics.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "arrowlite/batch.h"
+#include "common/status.h"
+
+namespace mdos::arrowlite {
+
+// ---- selection -------------------------------------------------------------
+
+// Row indices where `predicate(values[i])` holds.
+std::vector<uint32_t> SelectIndices(
+    const Int64Array& column, const std::function<bool(int64_t)>& predicate);
+
+// New batch containing only the rows at `indices` (in order).
+Result<RecordBatchPtr> Take(const RecordBatch& batch,
+                            const std::vector<uint32_t>& indices);
+
+// Filter = SelectIndices on a named int64 column + Take.
+Result<RecordBatchPtr> FilterByInt64(
+    const RecordBatch& batch, std::string_view column,
+    const std::function<bool(int64_t)>& predicate);
+
+// ---- aggregation -----------------------------------------------------------
+
+struct Int64Stats {
+  int64_t count = 0;
+  int64_t sum = 0;
+  int64_t min = 0;
+  int64_t max = 0;
+};
+Int64Stats SummarizeInt64(const Int64Array& column);
+
+struct Float64Stats {
+  int64_t count = 0;
+  double sum = 0;
+  double min = 0;
+  double max = 0;
+  double mean() const { return count == 0 ? 0.0 : sum / count; }
+};
+Float64Stats SummarizeFloat64(const Float64Array& column);
+
+// SELECT key, SUM(value) GROUP BY key over two int64 columns.
+Result<std::unordered_map<int64_t, int64_t>> GroupBySum(
+    const RecordBatch& batch, std::string_view key_column,
+    std::string_view value_column);
+
+// ---- combination -----------------------------------------------------------
+
+// Vertically concatenates batches with identical schemas (the reduce
+// side of a wide dependency).
+Result<RecordBatchPtr> Concatenate(
+    const std::vector<RecordBatchPtr>& batches);
+
+}  // namespace mdos::arrowlite

@@ -1,0 +1,60 @@
+#include "arrowlite/ipc.h"
+
+namespace mdos::arrowlite {
+
+namespace {
+constexpr uint32_t kBatchMagic = 0x41424154;  // "ABAT"
+}  // namespace
+
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch) {
+  wire::Writer w;
+  w.PutU32(kBatchMagic);
+  batch.schema().EncodeTo(w);
+  w.PutVarint(batch.num_rows());
+  for (size_t i = 0; i < batch.num_columns(); ++i) {
+    batch.column(i)->EncodeTo(w);
+  }
+  return w.TakeBuffer();
+}
+
+Result<RecordBatchPtr> DeserializeBatch(const void* data, size_t size) {
+  wire::Reader r(data, size);
+  MDOS_ASSIGN_OR_RETURN(uint32_t magic, r.GetU32());
+  if (magic != kBatchMagic) {
+    return Status::ProtocolError("not a record batch");
+  }
+  MDOS_ASSIGN_OR_RETURN(Schema schema, Schema::DecodeFrom(r));
+  MDOS_ASSIGN_OR_RETURN(uint64_t num_rows, r.GetVarint());
+  std::vector<ArrayPtr> columns;
+  columns.reserve(schema.num_fields());
+  for (size_t i = 0; i < schema.num_fields(); ++i) {
+    MDOS_ASSIGN_OR_RETURN(ArrayPtr column,
+                          DecodeArray(schema.field(i).type, r));
+    if (column->length() != num_rows) {
+      return Status::ProtocolError("column length mismatch in batch");
+    }
+    columns.push_back(std::move(column));
+  }
+  return RecordBatch::Make(std::move(schema), std::move(columns));
+}
+
+Status PutBatch(plasma::PlasmaClient& client, const ObjectId& id,
+                const RecordBatch& batch) {
+  std::vector<uint8_t> bytes = SerializeBatch(batch);
+  return client.CreateAndSeal(
+      id, std::string_view(reinterpret_cast<const char*>(bytes.data()),
+                           bytes.size()));
+}
+
+Result<RecordBatchPtr> GetBatch(plasma::PlasmaClient& client,
+                                const ObjectId& id, uint64_t timeout_ms) {
+  MDOS_ASSIGN_OR_RETURN(plasma::ObjectBuffer buffer,
+                        client.Get(id, timeout_ms));
+  auto bytes = buffer.CopyData();
+  Status released = client.Release(id);
+  if (!bytes.ok()) return bytes.status();
+  MDOS_RETURN_IF_ERROR(released);
+  return DeserializeBatch(bytes->data(), bytes->size());
+}
+
+}  // namespace mdos::arrowlite

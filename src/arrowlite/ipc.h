@@ -1,0 +1,34 @@
+// arrowlite IPC — record batches as Plasma objects.
+//
+// Serializes a RecordBatch into a self-describing byte stream (schema,
+// then columns) and stores/loads it through a PlasmaClient. Producers on
+// one node PutBatch; consumers on any node GetBatch — remote batches are
+// streamed out of the home node's disaggregated memory by the fabric, the
+// paper's wide-dependency data-sharing pattern.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "arrowlite/batch.h"
+#include "common/object_id.h"
+#include "common/status.h"
+#include "plasma/client.h"
+
+namespace mdos::arrowlite {
+
+// Self-describing encoding of a batch.
+std::vector<uint8_t> SerializeBatch(const RecordBatch& batch);
+Result<RecordBatchPtr> DeserializeBatch(const void* data, size_t size);
+
+// Stores `batch` as the Plasma object `id` (Create + write + Seal).
+Status PutBatch(plasma::PlasmaClient& client, const ObjectId& id,
+                const RecordBatch& batch);
+
+// Retrieves and decodes the batch stored as `id` (blocking up to
+// `timeout_ms`); releases the Plasma reference before returning.
+Result<RecordBatchPtr> GetBatch(plasma::PlasmaClient& client,
+                                const ObjectId& id,
+                                uint64_t timeout_ms = 10000);
+
+}  // namespace mdos::arrowlite

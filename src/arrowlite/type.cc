@@ -1,0 +1,56 @@
+#include "arrowlite/type.h"
+
+namespace mdos::arrowlite {
+
+std::string_view TypeName(TypeId type) {
+  switch (type) {
+    case TypeId::kInt64: return "int64";
+    case TypeId::kFloat64: return "float64";
+    case TypeId::kString: return "string";
+  }
+  return "unknown";
+}
+
+int Schema::FieldIndex(std::string_view name) const {
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (fields_[i].name == name) return static_cast<int>(i);
+  }
+  return -1;
+}
+
+std::string Schema::ToString() const {
+  std::string out = "schema{";
+  for (size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) out += ", ";
+    out += fields_[i].name;
+    out += ": ";
+    out += TypeName(fields_[i].type);
+  }
+  out += "}";
+  return out;
+}
+
+void Schema::EncodeTo(wire::Writer& w) const {
+  w.PutRepeated(fields_, [](wire::Writer& w2, const Field& f) {
+    w2.PutString(f.name);
+    w2.PutU8(static_cast<uint8_t>(f.type));
+  });
+}
+
+Result<Schema> Schema::DecodeFrom(wire::Reader& r) {
+  MDOS_ASSIGN_OR_RETURN(
+      std::vector<Field> fields,
+      (r.GetRepeated<Field>([](wire::Reader& r2) -> Result<Field> {
+        Field f;
+        MDOS_ASSIGN_OR_RETURN(f.name, r2.GetString());
+        MDOS_ASSIGN_OR_RETURN(uint8_t type, r2.GetU8());
+        if (type > static_cast<uint8_t>(TypeId::kString)) {
+          return Status::ProtocolError("bad type id");
+        }
+        f.type = static_cast<TypeId>(type);
+        return f;
+      })));
+  return Schema(std::move(fields));
+}
+
+}  // namespace mdos::arrowlite

@@ -1,0 +1,59 @@
+// arrowlite — a minimal immutable columnar data layer.
+//
+// The paper positions the store inside the Apache Arrow ecosystem: Plasma
+// objects typically hold Arrow columnar data, shared between processes
+// "without serialization overhead". This module provides just enough of
+// that model for realistic example workloads: schemas over int64 /
+// float64 / utf8 columns, immutable arrays, record batches, and an IPC
+// format for storing batches as Plasma objects.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wire/wire.h"
+
+namespace mdos::arrowlite {
+
+enum class TypeId : uint8_t {
+  kInt64 = 0,
+  kFloat64 = 1,
+  kString = 2,
+};
+
+std::string_view TypeName(TypeId type);
+
+struct Field {
+  std::string name;
+  TypeId type = TypeId::kInt64;
+
+  bool operator==(const Field& other) const {
+    return name == other.name && type == other.type;
+  }
+};
+
+class Schema {
+ public:
+  Schema() = default;
+  explicit Schema(std::vector<Field> fields) : fields_(std::move(fields)) {}
+
+  const std::vector<Field>& fields() const { return fields_; }
+  size_t num_fields() const { return fields_.size(); }
+  const Field& field(size_t i) const { return fields_.at(i); }
+
+  // Index of the field named `name`, or -1.
+  int FieldIndex(std::string_view name) const;
+
+  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+  std::string ToString() const;
+
+  void EncodeTo(wire::Writer& w) const;
+  static Result<Schema> DecodeFrom(wire::Reader& r);
+
+ private:
+  std::vector<Field> fields_;
+};
+
+}  // namespace mdos::arrowlite

@@ -1,0 +1,59 @@
+#include "cluster/cluster.h"
+
+namespace mdos::cluster {
+
+Result<Node*> Cluster::AddNode(NodeOptions options) {
+  if (options.name == "node") {
+    options.name = "node" + std::to_string(nodes_.size());
+  }
+  MDOS_ASSIGN_OR_RETURN(auto node, Node::Create(&fabric_, options));
+  nodes_.push_back(std::move(node));
+  return nodes_.back().get();
+}
+
+Status Cluster::StartAll() {
+  if (started_) return Status::Invalid("cluster already started");
+  for (auto& node : nodes_) {
+    MDOS_RETURN_IF_ERROR(node->Start());
+  }
+  for (auto& node : nodes_) {
+    for (auto& peer : nodes_) {
+      if (node.get() == peer.get()) continue;
+      MDOS_RETURN_IF_ERROR(node->ConnectPeer(*peer));
+    }
+  }
+  started_ = true;
+  return Status::OK();
+}
+
+void Cluster::Stop() {
+  if (!started_) {
+    nodes_.clear();
+    return;
+  }
+  started_ = false;
+  // Two passes: all pins released while every RPC server is still up,
+  // then the actual teardown.
+  for (auto& node : nodes_) {
+    node->registry().ReleaseAllPins();
+  }
+  for (auto& node : nodes_) {
+    node->Stop();
+  }
+  nodes_.clear();
+}
+
+Result<std::unique_ptr<Cluster>> Cluster::CreateTwoNode(
+    NodeOptions base, tf::FabricConfig fabric_config) {
+  auto cluster = std::make_unique<Cluster>(fabric_config);
+  NodeOptions a = base;
+  a.name = "node0";
+  NodeOptions b = base;
+  b.name = "node1";
+  MDOS_RETURN_IF_ERROR(cluster->AddNode(a).status());
+  MDOS_RETURN_IF_ERROR(cluster->AddNode(b).status());
+  MDOS_RETURN_IF_ERROR(cluster->StartAll());
+  return cluster;
+}
+
+}  // namespace mdos::cluster

@@ -1,0 +1,51 @@
+// Cluster — a rack of simulated nodes on one ThymesisFlow fabric.
+//
+// The paper evaluates a 2-node system and notes that rack-scale operation
+// "needs to be modified to accommodate multiple nodes. The current system
+// design allows for this modification" (§V-B). Cluster implements that
+// extension: any number of nodes, stores interconnected in a full mesh,
+// all sharing one fabric (and thus one latency calibration).
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "cluster/node.h"
+#include "common/status.h"
+#include "tf/fabric.h"
+
+namespace mdos::cluster {
+
+class Cluster {
+ public:
+  explicit Cluster(tf::FabricConfig fabric_config = {})
+      : fabric_(fabric_config) {}
+  ~Cluster() { Stop(); }
+  Cluster(const Cluster&) = delete;
+  Cluster& operator=(const Cluster&) = delete;
+
+  // Adds (but does not start) a node.
+  Result<Node*> AddNode(NodeOptions options);
+
+  // Starts every node, then interconnects all stores in a full mesh.
+  Status StartAll();
+
+  // Stops every node (releasing remote pins first).
+  void Stop();
+
+  Node* node(size_t index) { return nodes_.at(index).get(); }
+  size_t size() const { return nodes_.size(); }
+  tf::Fabric& fabric() { return fabric_; }
+
+  // Convenience: a two-node cluster with default options, started and
+  // meshed — the paper's experimental setup.
+  static Result<std::unique_ptr<Cluster>> CreateTwoNode(
+      NodeOptions base = {}, tf::FabricConfig fabric_config = {});
+
+ private:
+  tf::Fabric fabric_;
+  std::vector<std::unique_ptr<Node>> nodes_;
+  bool started_ = false;
+};
+
+}  // namespace mdos::cluster

@@ -1,0 +1,96 @@
+#include "cluster/node.h"
+
+namespace mdos::cluster {
+
+Node::Node(tf::Fabric* fabric, NodeOptions options)
+    : fabric_(fabric), options_(std::move(options)) {}
+
+Result<std::unique_ptr<Node>> Node::Create(tf::Fabric* fabric,
+                                           const NodeOptions& options) {
+  auto node = std::unique_ptr<Node>(new Node(fabric, options));
+
+  // Register the node's DRAM with the fabric. The slab holds the object
+  // pool and, when the shared-index extension is on, the index table —
+  // both inside the exported (disaggregated) window.
+  uint64_t index_bytes =
+      options.enable_shared_index ? options.shared_index_bytes : 0;
+  MDOS_ASSIGN_OR_RETURN(
+      node->node_id_,
+      fabric->AddNode(options.name, options.pool_size + index_bytes));
+  MDOS_ASSIGN_OR_RETURN(
+      node->pool_region_,
+      fabric->ExportRegion(node->node_id_, 0, options.pool_size));
+
+  tf::RegionId index_region = UINT32_MAX;
+  if (options.enable_shared_index) {
+    MDOS_ASSIGN_OR_RETURN(
+        index_region, fabric->ExportRegion(node->node_id_,
+                                           options.pool_size, index_bytes));
+    MDOS_ASSIGN_OR_RETURN(tf::NodeMemory * memory,
+                          fabric->node(node->node_id_));
+    MDOS_ASSIGN_OR_RETURN(
+        auto writer,
+        plasma::SharedIndexWriter::Create(
+            memory->data() + options.pool_size, index_bytes));
+    node->index_writer_ =
+        std::make_unique<plasma::SharedIndexWriter>(writer);
+  }
+
+  plasma::StoreOptions store_options;
+  store_options.name = options.name;
+  store_options.allocator = options.allocator;
+  store_options.check_global_uniqueness = options.check_global_uniqueness;
+  store_options.pin_remote_objects = options.pin_remote_objects;
+  MDOS_ASSIGN_OR_RETURN(
+      node->store_,
+      plasma::Store::CreateOnFabric(store_options, fabric, node->node_id_,
+                                    node->pool_region_));
+
+  if (node->index_writer_ != nullptr) {
+    node->store_->SetSharedIndex(node->index_writer_.get(), index_region);
+  }
+
+  dist::RegistryOptions registry_options = options.registry;
+  registry_options.fabric = fabric;
+  node->registry_ = std::make_unique<dist::RemoteStoreRegistry>(
+      node->node_id_, registry_options);
+  node->store_->SetDistHooks(node->registry_.get());
+
+  node->service_ = std::make_unique<dist::StoreService>(
+      node->store_.get(), node->registry_->lookup_cache());
+  node->service_->RegisterWith(node->rpc_server_);
+  return node;
+}
+
+Node::~Node() { Stop(); }
+
+Status Node::Start() {
+  if (started_) return Status::Invalid("node already started");
+  MDOS_RETURN_IF_ERROR(store_->Start());
+  MDOS_RETURN_IF_ERROR(rpc_server_.Start());
+  started_ = true;
+  return Status::OK();
+}
+
+void Node::Stop() {
+  if (!started_) return;
+  started_ = false;
+  // Release pins first, while peer RPC servers are still reachable.
+  registry_->ReleaseAllPins();
+  store_->Stop();
+  rpc_server_.Stop();
+}
+
+Status Node::ConnectPeer(const Node& peer) {
+  return registry_->AddPeer("127.0.0.1", peer.rpc_port());
+}
+
+Result<std::unique_ptr<plasma::PlasmaClient>> Node::CreateClient(
+    const std::string& client_name) {
+  plasma::ClientOptions options;
+  options.client_name = client_name;
+  options.fabric = fabric_;
+  return plasma::PlasmaClient::Connect(store_->socket_path(), options);
+}
+
+}  // namespace mdos::cluster

@@ -1,0 +1,84 @@
+// Node — one simulated compute node of the disaggregated rack.
+//
+// Assembles the full per-node software stack of the paper's system:
+//   * a slab of DRAM registered with the ThymesisFlow fabric, whose
+//     disaggregated window is exported as the store's object pool,
+//   * the Plasma store serving local clients over a Unix socket,
+//   * the RPC server (gRPC stand-in) exposing the store to peer stores,
+//   * the peer registry (DistHooks) with optional lookup cache and the
+//     usage tracker for distributed pin bookkeeping.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "dist/remote_registry.h"
+#include "dist/service.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+#include "rpc/server.h"
+#include "tf/fabric.h"
+
+namespace mdos::cluster {
+
+struct NodeOptions {
+  std::string name = "node";
+  // Memory pool exported to the fabric and managed by the store.
+  uint64_t pool_size = 256ull << 20;
+  plasma::AllocatorKind allocator = plasma::AllocatorKind::kFirstFit;
+  bool check_global_uniqueness = true;
+  bool pin_remote_objects = true;
+  // Shared-index extension (paper §V-B): publish sealed objects into a
+  // table in disaggregated memory that peers read directly instead of
+  // calling Plasma.Lookup.
+  bool enable_shared_index = false;
+  uint64_t shared_index_bytes = 1 << 20;  // ~16k slots
+  dist::RegistryOptions registry;
+};
+
+class Node {
+ public:
+  static Result<std::unique_ptr<Node>> Create(tf::Fabric* fabric,
+                                              const NodeOptions& options);
+  ~Node();
+  Node(const Node&) = delete;
+  Node& operator=(const Node&) = delete;
+
+  // Starts the store event loop and the RPC server.
+  Status Start();
+  // Releases remote pins and stops both services. Idempotent.
+  void Stop();
+
+  // Connects this node's store to a peer's RPC endpoint.
+  Status ConnectPeer(const Node& peer);
+
+  // Opens a Plasma client on this node (fabric-routed buffer access).
+  Result<std::unique_ptr<plasma::PlasmaClient>> CreateClient(
+      const std::string& client_name = "client");
+
+  tf::NodeId id() const { return node_id_; }
+  const std::string& name() const { return options_.name; }
+  plasma::Store& store() { return *store_; }
+  dist::RemoteStoreRegistry& registry() { return *registry_; }
+  rpc::RpcServer& rpc_server() { return rpc_server_; }
+  uint16_t rpc_port() const { return rpc_server_.port(); }
+  tf::RegionId pool_region() const { return pool_region_; }
+
+ private:
+  Node(tf::Fabric* fabric, NodeOptions options);
+
+  tf::Fabric* fabric_;
+  NodeOptions options_;
+  tf::NodeId node_id_ = 0;
+  tf::RegionId pool_region_ = 0;
+  std::unique_ptr<plasma::SharedIndexWriter> index_writer_;
+  std::unique_ptr<plasma::Store> store_;
+  std::unique_ptr<dist::RemoteStoreRegistry> registry_;
+  std::unique_ptr<dist::StoreService> service_;
+  rpc::RpcServer rpc_server_;
+  bool started_ = false;
+};
+
+}  // namespace mdos::cluster

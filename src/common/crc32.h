@@ -1,0 +1,19 @@
+// CRC-32 (IEEE 802.3 polynomial), table-driven. Used to checksum RPC
+// frames crossing the simulated LAN and to validate payload integrity in
+// tests and benchmarks.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+namespace mdos {
+
+// One-shot CRC of a buffer.
+uint32_t Crc32(const void* data, size_t size);
+uint32_t Crc32(std::string_view data);
+
+// Incremental form: seed with 0, feed chunks, result equals one-shot CRC.
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+}  // namespace mdos

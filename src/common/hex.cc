@@ -1,0 +1,45 @@
+#include "common/hex.h"
+
+namespace mdos {
+namespace {
+
+constexpr char kHexDigits[] = "0123456789abcdef";
+
+int HexValue(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::string HexEncode(const uint8_t* data, size_t size) {
+  std::string out;
+  out.reserve(size * 2);
+  for (size_t i = 0; i < size; ++i) {
+    out.push_back(kHexDigits[data[i] >> 4]);
+    out.push_back(kHexDigits[data[i] & 0xF]);
+  }
+  return out;
+}
+
+std::string HexEncode(std::string_view data) {
+  return HexEncode(reinterpret_cast<const uint8_t*>(data.data()),
+                   data.size());
+}
+
+std::optional<std::vector<uint8_t>> HexDecode(std::string_view hex) {
+  if (hex.size() % 2 != 0) return std::nullopt;
+  std::vector<uint8_t> out;
+  out.reserve(hex.size() / 2);
+  for (size_t i = 0; i < hex.size(); i += 2) {
+    int hi = HexValue(hex[i]);
+    int lo = HexValue(hex[i + 1]);
+    if (hi < 0 || lo < 0) return std::nullopt;
+    out.push_back(static_cast<uint8_t>((hi << 4) | lo));
+  }
+  return out;
+}
+
+}  // namespace mdos

@@ -1,0 +1,19 @@
+// Hex encoding/decoding helpers, used for printable ObjectIds.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace mdos {
+
+// Lower-case hex encoding of `data`.
+std::string HexEncode(const uint8_t* data, size_t size);
+std::string HexEncode(std::string_view data);
+
+// Decodes a hex string; returns nullopt on odd length or non-hex chars.
+std::optional<std::vector<uint8_t>> HexDecode(std::string_view hex);
+
+}  // namespace mdos

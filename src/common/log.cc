@@ -1,0 +1,54 @@
+#include "common/log.h"
+
+#include <atomic>
+#include <chrono>
+#include <cstdio>
+#include <mutex>
+#include <thread>
+
+namespace mdos {
+namespace {
+
+std::atomic<int> g_level{static_cast<int>(LogLevel::kWarn)};
+std::mutex g_emit_mutex;
+
+char LevelChar(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug: return 'D';
+    case LogLevel::kInfo: return 'I';
+    case LogLevel::kWarn: return 'W';
+    case LogLevel::kError: return 'E';
+    default: return '?';
+  }
+}
+
+}  // namespace
+
+void SetLogLevel(LogLevel level) {
+  g_level.store(static_cast<int>(level), std::memory_order_relaxed);
+}
+
+LogLevel GetLogLevel() {
+  return static_cast<LogLevel>(g_level.load(std::memory_order_relaxed));
+}
+
+namespace internal {
+
+bool LogEnabled(LogLevel level) {
+  return static_cast<int>(level) >=
+         g_level.load(std::memory_order_relaxed);
+}
+
+void LogEmit(LogLevel level, const std::string& message) {
+  using namespace std::chrono;
+  auto us = duration_cast<microseconds>(
+                steady_clock::now().time_since_epoch())
+                .count();
+  std::lock_guard<std::mutex> lock(g_emit_mutex);
+  std::fprintf(stderr, "[%c %lld.%06lld] %s\n", LevelChar(level),
+               static_cast<long long>(us / 1000000),
+               static_cast<long long>(us % 1000000), message.c_str());
+}
+
+}  // namespace internal
+}  // namespace mdos

@@ -1,0 +1,51 @@
+// Minimal leveled logger. Thread-safe, writes to stderr. Level is a
+// process-wide atomic so benchmarks can silence the store's chatter.
+#pragma once
+
+#include <sstream>
+#include <string>
+
+namespace mdos {
+
+enum class LogLevel : int { kDebug = 0, kInfo = 1, kWarn = 2, kError = 3,
+                            kOff = 4 };
+
+// Process-wide minimum level; messages below it are discarded.
+void SetLogLevel(LogLevel level);
+LogLevel GetLogLevel();
+
+namespace internal {
+
+bool LogEnabled(LogLevel level);
+void LogEmit(LogLevel level, const std::string& message);
+
+// Collects one log statement's stream and emits it on destruction.
+class LogLine {
+ public:
+  explicit LogLine(LogLevel level) : level_(level) {}
+  ~LogLine() { LogEmit(level_, stream_.str()); }
+  LogLine(const LogLine&) = delete;
+  LogLine& operator=(const LogLine&) = delete;
+
+  template <typename T>
+  LogLine& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace internal
+}  // namespace mdos
+
+#define MDOS_LOG(level)                                        \
+  if (!::mdos::internal::LogEnabled(::mdos::LogLevel::level)) {} \
+  else ::mdos::internal::LogLine(::mdos::LogLevel::level)
+
+#define MDOS_LOG_DEBUG MDOS_LOG(kDebug)
+#define MDOS_LOG_INFO MDOS_LOG(kInfo)
+#define MDOS_LOG_WARN MDOS_LOG(kWarn)
+#define MDOS_LOG_ERROR MDOS_LOG(kError)

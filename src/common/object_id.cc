@@ -1,0 +1,75 @@
+#include "common/object_id.h"
+
+#include <ostream>
+#include <random>
+
+#include "common/hex.h"
+
+namespace mdos {
+
+ObjectId ObjectId::FromBinary(std::string_view binary) {
+  ObjectId id;
+  size_t n = binary.size() < kSize ? binary.size() : kSize;
+  std::memcpy(id.bytes_.data(), binary.data(), n);
+  return id;
+}
+
+std::optional<ObjectId> ObjectId::FromHex(std::string_view hex) {
+  auto bytes = HexDecode(hex);
+  if (!bytes || bytes->size() != kSize) return std::nullopt;
+  ObjectId id;
+  std::memcpy(id.bytes_.data(), bytes->data(), kSize);
+  return id;
+}
+
+ObjectId ObjectId::Random() {
+  thread_local std::mt19937_64 rng = [] {
+    std::random_device rd;
+    std::seed_seq seq{rd(), rd(), rd(), rd()};
+    return std::mt19937_64(seq);
+  }();
+  ObjectId id;
+  for (size_t i = 0; i < kSize; i += 4) {
+    uint32_t word = static_cast<uint32_t>(rng());
+    std::memcpy(id.bytes_.data() + i, &word, 4);
+  }
+  return id;
+}
+
+ObjectId ObjectId::FromName(std::string_view name) {
+  // FNV-1a over the name, re-mixed per 8-byte lane so all 20 bytes vary.
+  ObjectId id;
+  uint64_t h = 1469598103934665603ULL;
+  for (char c : name) {
+    h ^= static_cast<uint8_t>(c);
+    h *= 1099511628211ULL;
+  }
+  for (size_t lane = 0; lane * 8 < kSize; ++lane) {
+    uint64_t mixed = h + 0x9e3779b97f4a7c15ULL * (lane + 1);
+    mixed ^= mixed >> 30;
+    mixed *= 0xbf58476d1ce4e5b9ULL;
+    mixed ^= mixed >> 27;
+    mixed *= 0x94d049bb133111ebULL;
+    mixed ^= mixed >> 31;
+    size_t n = std::min<size_t>(8, kSize - lane * 8);
+    std::memcpy(id.bytes_.data() + lane * 8, &mixed, n);
+  }
+  return id;
+}
+
+std::string ObjectId::Hex() const {
+  return HexEncode(bytes_.data(), kSize);
+}
+
+bool ObjectId::IsNil() const {
+  for (uint8_t b : bytes_) {
+    if (b != 0) return false;
+  }
+  return true;
+}
+
+std::ostream& operator<<(std::ostream& os, const ObjectId& id) {
+  return os << id.Hex();
+}
+
+}  // namespace mdos

@@ -1,0 +1,76 @@
+// ObjectId — the 20-byte identifier of a Plasma object.
+//
+// Matches Apache Arrow Plasma's identifier width. In the distributed
+// framework (paper §IV-A2) identifiers must be unique across *all*
+// connected stores; `ObjectId::Random` draws from a per-thread RNG and the
+// store layer additionally validates uniqueness via RPC on creation.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <cstring>
+#include <functional>
+#include <optional>
+#include <string>
+#include <string_view>
+
+namespace mdos {
+
+class ObjectId {
+ public:
+  static constexpr size_t kSize = 20;
+
+  ObjectId() { bytes_.fill(0); }
+
+  // Builds an id from exactly kSize raw bytes.
+  static ObjectId FromBinary(std::string_view binary);
+  // Parses a 40-char hex string; nullopt if malformed.
+  static std::optional<ObjectId> FromHex(std::string_view hex);
+  // Uniformly random id (thread-local RNG seeded from std::random_device).
+  static ObjectId Random();
+  // Deterministic id derived from a name, for tests and examples that want
+  // stable, human-traceable identifiers (FNV-1a stretched over 20 bytes).
+  static ObjectId FromName(std::string_view name);
+  // All-zero id; used as a sentinel in a few protocol messages.
+  static ObjectId Nil() { return ObjectId(); }
+
+  const uint8_t* data() const { return bytes_.data(); }
+  uint8_t* mutable_data() { return bytes_.data(); }
+  constexpr size_t size() const { return kSize; }
+
+  std::string Binary() const {
+    return std::string(reinterpret_cast<const char*>(bytes_.data()), kSize);
+  }
+  std::string Hex() const;
+
+  bool IsNil() const;
+
+  bool operator==(const ObjectId& o) const { return bytes_ == o.bytes_; }
+  bool operator!=(const ObjectId& o) const { return bytes_ != o.bytes_; }
+  bool operator<(const ObjectId& o) const { return bytes_ < o.bytes_; }
+
+  struct Hash {
+    size_t operator()(const ObjectId& id) const {
+      // Ids are uniformly random; the first 8 bytes are a fine hash.
+      size_t h;
+      std::memcpy(&h, id.bytes_.data(), sizeof(h));
+      return h;
+    }
+  };
+
+ private:
+  std::array<uint8_t, kSize> bytes_;
+};
+
+std::ostream& operator<<(std::ostream& os, const ObjectId& id);
+
+}  // namespace mdos
+
+namespace std {
+template <>
+struct hash<mdos::ObjectId> {
+  size_t operator()(const mdos::ObjectId& id) const {
+    return mdos::ObjectId::Hash{}(id);
+  }
+};
+}  // namespace std

@@ -1,0 +1,51 @@
+// SplitMix64 — tiny deterministic RNG for workload generation.
+//
+// Benchmarks and property tests need reproducible pseudo-random payloads
+// and allocation patterns; std::mt19937 is fine but heavyweight to seed
+// per-object. SplitMix64 passes BigCrush for this usage and is trivially
+// seedable.
+#pragma once
+
+#include <cstdint>
+
+namespace mdos {
+
+class SplitMix64 {
+ public:
+  explicit SplitMix64(uint64_t seed = 0x9E3779B97F4A7C15ULL)
+      : state_(seed) {}
+
+  uint64_t Next() {
+    uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+  // Uniform in [0, bound). bound must be > 0.
+  uint64_t NextBelow(uint64_t bound) { return Next() % bound; }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(Next() >> 11) * 0x1.0p-53;
+  }
+
+  // Fills `size` bytes with pseudo-random data.
+  void Fill(void* out, size_t size) {
+    uint8_t* p = static_cast<uint8_t*>(out);
+    size_t i = 0;
+    for (; i + 8 <= size; i += 8) {
+      uint64_t v = Next();
+      __builtin_memcpy(p + i, &v, 8);
+    }
+    if (i < size) {
+      uint64_t v = Next();
+      __builtin_memcpy(p + i, &v, size - i);
+    }
+  }
+
+ private:
+  uint64_t state_;
+};
+
+}  // namespace mdos

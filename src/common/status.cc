@@ -1,0 +1,92 @@
+#include "common/status.h"
+
+#include <cerrno>
+#include <cstring>
+
+namespace mdos {
+
+std::string_view StatusCodeName(StatusCode code) {
+  switch (code) {
+    case StatusCode::kOk: return "OK";
+    case StatusCode::kInvalid: return "Invalid";
+    case StatusCode::kOutOfMemory: return "OutOfMemory";
+    case StatusCode::kKeyError: return "KeyError";
+    case StatusCode::kAlreadyExists: return "AlreadyExists";
+    case StatusCode::kIoError: return "IoError";
+    case StatusCode::kTimeout: return "Timeout";
+    case StatusCode::kNotConnected: return "NotConnected";
+    case StatusCode::kProtocolError: return "ProtocolError";
+    case StatusCode::kCapacityError: return "CapacityError";
+    case StatusCode::kSealed: return "Sealed";
+    case StatusCode::kNotSealed: return "NotSealed";
+    case StatusCode::kUnavailable: return "Unavailable";
+    case StatusCode::kCancelled: return "Cancelled";
+    case StatusCode::kUnknown: return "Unknown";
+  }
+  return "Unknown";
+}
+
+Status Status::Invalid(std::string msg) {
+  return Status(StatusCode::kInvalid, std::move(msg));
+}
+Status Status::OutOfMemory(std::string msg) {
+  return Status(StatusCode::kOutOfMemory, std::move(msg));
+}
+Status Status::KeyError(std::string msg) {
+  return Status(StatusCode::kKeyError, std::move(msg));
+}
+Status Status::AlreadyExists(std::string msg) {
+  return Status(StatusCode::kAlreadyExists, std::move(msg));
+}
+Status Status::IoError(std::string msg) {
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+Status Status::Timeout(std::string msg) {
+  return Status(StatusCode::kTimeout, std::move(msg));
+}
+Status Status::NotConnected(std::string msg) {
+  return Status(StatusCode::kNotConnected, std::move(msg));
+}
+Status Status::ProtocolError(std::string msg) {
+  return Status(StatusCode::kProtocolError, std::move(msg));
+}
+Status Status::CapacityError(std::string msg) {
+  return Status(StatusCode::kCapacityError, std::move(msg));
+}
+Status Status::Sealed(std::string msg) {
+  return Status(StatusCode::kSealed, std::move(msg));
+}
+Status Status::NotSealed(std::string msg) {
+  return Status(StatusCode::kNotSealed, std::move(msg));
+}
+Status Status::Unavailable(std::string msg) {
+  return Status(StatusCode::kUnavailable, std::move(msg));
+}
+Status Status::Cancelled(std::string msg) {
+  return Status(StatusCode::kCancelled, std::move(msg));
+}
+Status Status::Unknown(std::string msg) {
+  return Status(StatusCode::kUnknown, std::move(msg));
+}
+
+Status Status::FromErrno(std::string_view context) {
+  int err = errno;
+  std::string msg(context);
+  msg += ": ";
+  msg += std::strerror(err);
+  return Status(StatusCode::kIoError, std::move(msg));
+}
+
+std::string Status::ToString() const {
+  if (ok()) return "OK";
+  std::string out(StatusCodeName(code_));
+  out += ": ";
+  out += message_;
+  return out;
+}
+
+std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+}  // namespace mdos

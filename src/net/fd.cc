@@ -1,0 +1,14 @@
+#include "net/fd.h"
+
+#include <unistd.h>
+
+namespace mdos::net {
+
+void UniqueFd::Reset(int fd) {
+  if (fd_ >= 0) {
+    ::close(fd_);
+  }
+  fd_ = fd;
+}
+
+}  // namespace mdos::net

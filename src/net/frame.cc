@@ -1,0 +1,64 @@
+#include "net/frame.h"
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "net/socket.h"
+
+namespace mdos::net {
+namespace {
+
+struct FrameHeader {
+  uint32_t magic;
+  uint32_t type;
+  uint32_t length;
+  uint32_t crc;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
+}  // namespace
+
+Status SendFrame(int fd, uint32_t type, const void* payload, size_t size) {
+  if (size > kMaxFramePayload) {
+    return Status::Invalid("frame payload too large");
+  }
+  FrameHeader hdr{kFrameMagic, type, static_cast<uint32_t>(size),
+                  Crc32(payload, size)};
+  // Header and payload are sent in one buffer to avoid a partial-header
+  // window and a second syscall on the hot RPC path.
+  std::vector<uint8_t> buf(sizeof(hdr) + size);
+  std::memcpy(buf.data(), &hdr, sizeof(hdr));
+  if (size > 0) {
+    std::memcpy(buf.data() + sizeof(hdr), payload, size);
+  }
+  return WriteAll(fd, buf.data(), buf.size());
+}
+
+Status SendFrame(int fd, uint32_t type,
+                 const std::vector<uint8_t>& payload) {
+  return SendFrame(fd, type, payload.data(), payload.size());
+}
+
+Result<Frame> RecvFrame(int fd) {
+  FrameHeader hdr;
+  MDOS_RETURN_IF_ERROR(ReadAll(fd, &hdr, sizeof(hdr)));
+  if (hdr.magic != kFrameMagic) {
+    return Status::ProtocolError("bad frame magic");
+  }
+  if (hdr.length > kMaxFramePayload) {
+    return Status::ProtocolError("frame payload length too large");
+  }
+  Frame frame;
+  frame.type = hdr.type;
+  frame.payload.resize(hdr.length);
+  if (hdr.length > 0) {
+    MDOS_RETURN_IF_ERROR(
+        ReadAll(fd, frame.payload.data(), frame.payload.size()));
+  }
+  if (Crc32(frame.payload.data(), frame.payload.size()) != hdr.crc) {
+    return Status::ProtocolError("frame CRC mismatch");
+  }
+  return frame;
+}
+
+}  // namespace mdos::net

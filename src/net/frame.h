@@ -1,0 +1,38 @@
+// Length-prefixed message framing over a stream socket.
+//
+// Frame layout:
+//   u32 magic   — 'MDOS' (0x4D444F53), guards against stream desync
+//   u32 type    — message type tag, interpreted by the layer above
+//   u32 length  — payload byte count
+//   u32 crc32   — CRC of the payload (the "LAN" integrity check)
+//   u8  payload[length]
+//
+// Used by both the Plasma UDS protocol and the RPC framework.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+
+namespace mdos::net {
+
+inline constexpr uint32_t kFrameMagic = 0x4D444F53;  // "MDOS"
+// Upper bound on a single frame payload. Object data never travels in
+// frames (it moves through shared/disaggregated memory), so 64 MiB is
+// generous for metadata and guards against corrupt length fields.
+inline constexpr uint32_t kMaxFramePayload = 64u << 20;
+
+struct Frame {
+  uint32_t type = 0;
+  std::vector<uint8_t> payload;
+};
+
+// Sends one frame (blocking).
+Status SendFrame(int fd, uint32_t type, const void* payload, size_t size);
+Status SendFrame(int fd, uint32_t type, const std::vector<uint8_t>& payload);
+
+// Receives one frame (blocking). NotConnected on clean EOF between frames.
+Result<Frame> RecvFrame(int fd);
+
+}  // namespace mdos::net

@@ -1,0 +1,114 @@
+#include "net/memfd.h"
+
+#include <sys/mman.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace mdos::net {
+
+MemfdSegment::~MemfdSegment() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+}
+
+MemfdSegment::MemfdSegment(MemfdSegment&& other) noexcept
+    : fd_(std::move(other.fd_)),
+      base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)) {}
+
+MemfdSegment& MemfdSegment::operator=(MemfdSegment&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    fd_ = std::move(other.fd_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+  }
+  return *this;
+}
+
+Result<MemfdSegment> MemfdSegment::Create(const std::string& name,
+                                          size_t size) {
+  UniqueFd fd(::memfd_create(name.c_str(), MFD_CLOEXEC));
+  if (!fd) return Status::FromErrno("memfd_create");
+  if (::ftruncate(fd.get(), static_cast<off_t>(size)) != 0) {
+    return Status::FromErrno("ftruncate(memfd)");
+  }
+  return Map(std::move(fd), size);
+}
+
+Result<MemfdSegment> MemfdSegment::Map(UniqueFd fd, size_t size) {
+  void* base = ::mmap(nullptr, size, PROT_READ | PROT_WRITE, MAP_SHARED,
+                      fd.get(), 0);
+  if (base == MAP_FAILED) {
+    return Status::FromErrno("mmap(memfd)");
+  }
+  MemfdSegment seg;
+  seg.fd_ = std::move(fd);
+  seg.base_ = static_cast<uint8_t*>(base);
+  seg.size_ = size;
+  return seg;
+}
+
+Result<UniqueFd> MemfdSegment::DupFd() const {
+  int dup = ::dup(fd_.get());
+  if (dup < 0) return Status::FromErrno("dup(memfd)");
+  return UniqueFd(dup);
+}
+
+Status SendFd(int socket_fd, int fd_to_send) {
+  char byte = 'F';
+  iovec iov{&byte, 1};
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  std::memset(control, 0, sizeof(control));
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  cmsghdr* cmsg = CMSG_FIRSTHDR(&msg);
+  cmsg->cmsg_level = SOL_SOCKET;
+  cmsg->cmsg_type = SCM_RIGHTS;
+  cmsg->cmsg_len = CMSG_LEN(sizeof(int));
+  std::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
+  while (true) {
+    if (::sendmsg(socket_fd, &msg, 0) >= 0) return Status::OK();
+    if (errno == EINTR) continue;
+    return Status::FromErrno("sendmsg(SCM_RIGHTS)");
+  }
+}
+
+Result<UniqueFd> RecvFd(int socket_fd) {
+  char byte = 0;
+  iovec iov{&byte, 1};
+  alignas(cmsghdr) char control[CMSG_SPACE(sizeof(int))];
+  msghdr msg{};
+  msg.msg_iov = &iov;
+  msg.msg_iovlen = 1;
+  msg.msg_control = control;
+  msg.msg_controllen = sizeof(control);
+  while (true) {
+    ssize_t n = ::recvmsg(socket_fd, &msg, MSG_CMSG_CLOEXEC);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("recvmsg(SCM_RIGHTS)");
+    }
+    if (n == 0) return Status::NotConnected("peer closed during fd pass");
+    break;
+  }
+  for (cmsghdr* cmsg = CMSG_FIRSTHDR(&msg); cmsg != nullptr;
+       cmsg = CMSG_NXTHDR(&msg, cmsg)) {
+    if (cmsg->cmsg_level == SOL_SOCKET && cmsg->cmsg_type == SCM_RIGHTS) {
+      int fd;
+      std::memcpy(&fd, CMSG_DATA(cmsg), sizeof(int));
+      return UniqueFd(fd);
+    }
+  }
+  return Status::ProtocolError("no fd in control message");
+}
+
+}  // namespace mdos::net

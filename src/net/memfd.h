@@ -1,0 +1,55 @@
+// memfd-backed shared memory and SCM_RIGHTS fd passing.
+//
+// Upstream Plasma coordinates store↔client shared memory by creating a
+// memory-mapped file in the store and sending its file descriptor to
+// clients over the Unix socket; clients then mmap the same physical pages.
+// We reproduce that mechanism exactly: the store's memory pool (which in
+// the paper is the node's *disaggregated* region) is a memfd, and buffer
+// handles travel as (fd, offset, size) triples.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace mdos::net {
+
+// A shared memory segment created via memfd_create and mapped read-write.
+class MemfdSegment {
+ public:
+  MemfdSegment() = default;
+  ~MemfdSegment();
+  MemfdSegment(MemfdSegment&&) noexcept;
+  MemfdSegment& operator=(MemfdSegment&&) noexcept;
+  MemfdSegment(const MemfdSegment&) = delete;
+  MemfdSegment& operator=(const MemfdSegment&) = delete;
+
+  // Creates a new segment of `size` bytes named `name` (debug only).
+  static Result<MemfdSegment> Create(const std::string& name, size_t size);
+
+  // Maps an existing segment received as an fd (takes ownership of fd).
+  static Result<MemfdSegment> Map(UniqueFd fd, size_t size);
+
+  uint8_t* data() const { return base_; }
+  size_t size() const { return size_; }
+  int fd() const { return fd_.get(); }
+  bool valid() const { return base_ != nullptr; }
+
+  // Duplicates the fd for passing to another endpoint.
+  Result<UniqueFd> DupFd() const;
+
+ private:
+  UniqueFd fd_;
+  uint8_t* base_ = nullptr;
+  size_t size_ = 0;
+};
+
+// Sends one byte + one fd over a Unix socket using SCM_RIGHTS.
+Status SendFd(int socket_fd, int fd_to_send);
+
+// Receives an fd sent by SendFd.
+Result<UniqueFd> RecvFd(int socket_fd);
+
+}  // namespace mdos::net

@@ -1,0 +1,64 @@
+#include "net/poller.h"
+
+#include <fcntl.h>
+#include <poll.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cerrno>
+
+namespace mdos::net {
+
+Poller::Poller() {
+  int pipefd[2];
+  // Non-blocking on both ends: the drain loop below must not hang, and a
+  // full pipe must not block Wakeup callers.
+  if (::pipe2(pipefd, O_NONBLOCK | O_CLOEXEC) == 0) {
+    wake_read_.Reset(pipefd[0]);
+    wake_write_.Reset(pipefd[1]);
+  }
+}
+
+void Poller::Add(int fd) { fds_.push_back(fd); }
+
+void Poller::Remove(int fd) {
+  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+}
+
+Result<int> Poller::Wait(int timeout_ms,
+                         const std::function<void(int fd)>& on_readable) {
+  std::vector<pollfd> pfds;
+  pfds.reserve(fds_.size() + 1);
+  pfds.push_back({wake_read_.get(), POLLIN, 0});
+  for (int fd : fds_) {
+    pfds.push_back({fd, POLLIN, 0});
+  }
+  int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
+  if (n < 0) {
+    if (errno == EINTR) return 0;
+    return Status::FromErrno("poll");
+  }
+  if (n == 0) return 0;
+  // Drain wakeup bytes first so repeated Wakeup calls coalesce.
+  if (pfds[0].revents & POLLIN) {
+    char buf[64];
+    while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+    }
+  }
+  int ready = 0;
+  for (size_t i = 1; i < pfds.size(); ++i) {
+    if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      ++ready;
+      on_readable(pfds[i].fd);
+    }
+  }
+  return ready;
+}
+
+void Poller::Wakeup() {
+  char byte = 'W';
+  // Best-effort; a full pipe already guarantees a pending wakeup.
+  [[maybe_unused]] ssize_t n = ::write(wake_write_.get(), &byte, 1);
+}
+
+}  // namespace mdos::net

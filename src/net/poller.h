@@ -1,0 +1,39 @@
+// Poller — a thin poll(2) wrapper driving the Plasma store's event loop.
+//
+// The store services many client connections from a single thread (like
+// upstream Plasma); the poller multiplexes the listening socket and all
+// client sockets and supports a wakeup pipe so other threads (e.g. the RPC
+// server thread) can interrupt the loop for shutdown.
+#pragma once
+
+#include <functional>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace mdos::net {
+
+class Poller {
+ public:
+  Poller();
+
+  // Registers/unregisters a readable-interest fd.
+  void Add(int fd);
+  void Remove(int fd);
+
+  // Waits up to `timeout_ms` (-1 = forever) and invokes `on_readable(fd)`
+  // for every readable fd. Returns the number of ready fds, 0 on timeout.
+  Result<int> Wait(int timeout_ms,
+                   const std::function<void(int fd)>& on_readable);
+
+  // Thread-safe: makes a concurrent/following Wait return immediately.
+  void Wakeup();
+
+ private:
+  std::vector<int> fds_;
+  UniqueFd wake_read_;
+  UniqueFd wake_write_;
+};
+
+}  // namespace mdos::net

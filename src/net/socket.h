@@ -1,0 +1,53 @@
+// Socket helpers: Unix domain sockets (Plasma store↔client IPC, matching
+// upstream Plasma) and TCP loopback sockets (store↔store RPC, standing in
+// for the paper's gRPC-over-LAN). All blocking I/O with full read/write
+// loops; non-blocking accept is used by the store's poller.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace mdos::net {
+
+// --- Unix domain sockets -------------------------------------------------
+
+// Creates, binds and listens on `path` (unlinks a stale socket file first).
+Result<UniqueFd> UdsListen(const std::string& path, int backlog = 64);
+
+// Connects to a listening UDS. Retries briefly while the server socket is
+// being created, which removes start-up races in tests.
+Result<UniqueFd> UdsConnect(const std::string& path,
+                            int timeout_ms = 2000);
+
+// --- TCP (loopback) ------------------------------------------------------
+
+// Listens on 127.0.0.1:`port`; port 0 picks an ephemeral port. On success,
+// `*bound_port` receives the actual port.
+Result<UniqueFd> TcpListen(uint16_t port, uint16_t* bound_port,
+                           int backlog = 64);
+
+Result<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
+                            int timeout_ms = 2000);
+
+// --- Common --------------------------------------------------------------
+
+// Accepts one connection; blocks.
+Result<UniqueFd> Accept(int listen_fd);
+
+// Writes exactly `size` bytes (loops over partial writes / EINTR).
+Status WriteAll(int fd, const void* data, size_t size);
+
+// Reads exactly `size` bytes. Returns NotConnected on clean EOF at offset
+// zero and ProtocolError on EOF mid-message.
+Status ReadAll(int fd, void* data, size_t size);
+
+// Disables Nagle on a TCP socket (RPC latency matters in Fig. 6).
+Status SetNoDelay(int fd);
+
+// Generates a unique abstract-ish socket path under /tmp for tests.
+std::string UniqueSocketPath(std::string_view tag);
+
+}  // namespace mdos::net

@@ -1,0 +1,387 @@
+#include "plasma/client.h"
+
+#include <sys/socket.h>
+#include <sys/time.h>
+
+#include <cstring>
+
+#include "common/crc32.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mdos::plasma {
+
+// ---- ObjectBuffer ----------------------------------------------------------
+
+Status ObjectBuffer::CheckAccess(uint64_t section_size, uint64_t offset,
+                                 uint64_t size) const {
+  if (!valid_) return Status::Invalid("buffer is not valid");
+  if (offset + size < offset || offset + size > section_size) {
+    return Status::Invalid("buffer access out of bounds");
+  }
+  return Status::OK();
+}
+
+Status ObjectBuffer::RawRead(uint64_t offset, void* dst,
+                             uint64_t size) const {
+  if (region_ != nullptr) {
+    return region_->Read(base_ + offset, dst, size);
+  }
+  std::memcpy(dst, raw_ + base_ + offset, size);
+  return Status::OK();
+}
+
+Status ObjectBuffer::RawWrite(uint64_t offset, const void* src,
+                              uint64_t size) {
+  if (region_ != nullptr) {
+    return region_->Write(base_ + offset, src, size);
+  }
+  std::memcpy(raw_ + base_ + offset, src, size);
+  return Status::OK();
+}
+
+Status ObjectBuffer::ReadData(uint64_t offset, void* dst,
+                              uint64_t size) const {
+  MDOS_RETURN_IF_ERROR(CheckAccess(data_size_, offset, size));
+  return RawRead(offset, dst, size);
+}
+
+Status ObjectBuffer::WriteData(uint64_t offset, const void* src,
+                               uint64_t size) {
+  MDOS_RETURN_IF_ERROR(CheckAccess(data_size_, offset, size));
+  if (!writable_) {
+    return Status::Sealed("buffer is read-only (object is sealed)");
+  }
+  return RawWrite(offset, src, size);
+}
+
+Result<uint32_t> ObjectBuffer::ChecksumData(uint64_t chunk) const {
+  if (!valid_) return Status::Invalid("buffer is not valid");
+  if (region_ != nullptr) {
+    return region_->ChecksumRead(base_, data_size_, chunk);
+  }
+  return Crc32(raw_ + base_, data_size_);
+}
+
+Status ObjectBuffer::ReadMetadata(uint64_t offset, void* dst,
+                                  uint64_t size) const {
+  MDOS_RETURN_IF_ERROR(CheckAccess(metadata_size_, offset, size));
+  return RawRead(data_size_ + offset, dst, size);
+}
+
+Status ObjectBuffer::WriteMetadata(uint64_t offset, const void* src,
+                                   uint64_t size) {
+  MDOS_RETURN_IF_ERROR(CheckAccess(metadata_size_, offset, size));
+  if (!writable_) {
+    return Status::Sealed("buffer is read-only (object is sealed)");
+  }
+  return RawWrite(data_size_ + offset, src, size);
+}
+
+Result<std::vector<uint8_t>> ObjectBuffer::CopyData() const {
+  std::vector<uint8_t> out(data_size_);
+  MDOS_RETURN_IF_ERROR(ReadData(0, out.data(), out.size()));
+  return out;
+}
+
+Status ObjectBuffer::WriteDataFrom(std::string_view bytes) {
+  if (bytes.size() != data_size_) {
+    return Status::Invalid("WriteDataFrom size mismatch");
+  }
+  return WriteData(0, bytes.data(), bytes.size());
+}
+
+// ---- NotificationListener --------------------------------------------------
+
+Result<NotificationListener> NotificationListener::Connect(
+    const std::string& socket_path, const std::string& subscriber_name) {
+  NotificationListener listener;
+  MDOS_ASSIGN_OR_RETURN(listener.fd_, net::UdsConnect(socket_path));
+  SubscribeRequest request;
+  request.subscriber_name = subscriber_name;
+  MDOS_RETURN_IF_ERROR(SendMessage(
+      listener.fd_.get(), MessageType::kSubscribeRequest, request));
+  MDOS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> body,
+      RecvExpect(listener.fd_.get(), MessageType::kSubscribeReply));
+  MDOS_ASSIGN_OR_RETURN(SubscribeReply reply,
+                        DecodeMessage<SubscribeReply>(body));
+  MDOS_RETURN_IF_ERROR(reply.status);
+  return listener;
+}
+
+Result<Notification> NotificationListener::Next(uint64_t timeout_ms) {
+  if (!fd_.valid()) return Status::NotConnected("listener closed");
+  timeval tv{};
+  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  auto body = RecvExpect(fd_.get(), MessageType::kNotification);
+  if (!body.ok()) {
+    if (body.status().Is(StatusCode::kIoError) &&
+        body.status().message().find("Resource temporarily unavailable") !=
+            std::string::npos) {
+      return Status::Timeout("no notification within deadline");
+    }
+    return body.status();
+  }
+  return DecodeMessage<Notification>(*body);
+}
+
+// ---- PlasmaClient ----------------------------------------------------------
+
+Result<std::unique_ptr<PlasmaClient>> PlasmaClient::Connect(
+    const std::string& socket_path, ClientOptions options) {
+  auto client = std::unique_ptr<PlasmaClient>(new PlasmaClient());
+  client->options_ = options;
+  MDOS_ASSIGN_OR_RETURN(client->fd_, net::UdsConnect(socket_path));
+
+  ConnectRequest request;
+  request.client_name = options.client_name;
+  MDOS_RETURN_IF_ERROR(SendMessage(client->fd_.get(),
+                                   MessageType::kConnectRequest, request));
+  MDOS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> body,
+      RecvExpect(client->fd_.get(), MessageType::kConnectReply));
+  MDOS_ASSIGN_OR_RETURN(ConnectReply reply,
+                        DecodeMessage<ConnectReply>(body));
+  client->node_id_ = reply.node_id;
+  client->pool_region_ = reply.pool_region_id;
+  client->pool_size_ = reply.pool_size;
+  client->pool_slab_offset_ = reply.pool_slab_offset;
+  client->store_name_ = reply.store_name;
+
+  // The store follows the reply with the pool memfd.
+  MDOS_ASSIGN_OR_RETURN(net::UniqueFd pool_fd,
+                        net::RecvFd(client->fd_.get()));
+
+  if (options.fabric != nullptr &&
+      reply.pool_region_id != UINT32_MAX) {
+    // Fabric mode: attach the local pool region for modelled access. The
+    // client runs on the store's node, so this is a local attachment.
+    MDOS_ASSIGN_OR_RETURN(
+        tf::AttachedRegion local,
+        options.fabric->Attach(reply.node_id, reply.pool_region_id));
+    client->local_region_ =
+        std::make_shared<tf::AttachedRegion>(std::move(local));
+  } else {
+    // Raw mode: mmap the shared pool like upstream Plasma clients do.
+    MDOS_ASSIGN_OR_RETURN(
+        auto map, net::MemfdSegment::Map(
+                      std::move(pool_fd),
+                      reply.pool_slab_offset + reply.pool_size));
+    client->pool_map_.emplace(std::move(map));
+  }
+  return client;
+}
+
+PlasmaClient::~PlasmaClient() { (void)Disconnect(); }
+
+template <typename ReplyT, typename RequestT>
+Result<ReplyT> PlasmaClient::Roundtrip(MessageType request_type,
+                                       MessageType reply_type,
+                                       const RequestT& request) {
+  if (!fd_.valid()) return Status::NotConnected("client disconnected");
+  MDOS_RETURN_IF_ERROR(SendMessage(fd_.get(), request_type, request));
+  MDOS_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                        RecvExpect(fd_.get(), reply_type));
+  return DecodeMessage<ReplyT>(body);
+}
+
+Result<std::shared_ptr<tf::AttachedRegion>> PlasmaClient::ResolveRegion(
+    uint32_t node, uint32_t region) {
+  if (options_.fabric == nullptr) {
+    return Status::Unavailable(
+        "remote object requires a fabric-enabled client");
+  }
+  auto key = std::make_pair(node, region);
+  auto it = attachments_.find(key);
+  if (it != attachments_.end()) return it->second;
+  MDOS_ASSIGN_OR_RETURN(tf::AttachedRegion attached,
+                        options_.fabric->Attach(node_id_, region));
+  auto shared = std::make_shared<tf::AttachedRegion>(std::move(attached));
+  attachments_.emplace(key, shared);
+  return shared;
+}
+
+ObjectBuffer PlasmaClient::MakeBuffer(const GetReplyEntry& entry,
+                                      bool writable) {
+  ObjectBuffer buffer;
+  buffer.id_ = entry.id;
+  buffer.data_size_ = entry.data_size;
+  buffer.metadata_size_ = entry.metadata_size;
+  buffer.writable_ = writable;
+  if (!entry.found) return buffer;  // invalid
+
+  if (entry.location == ObjectLocation::kRemote) {
+    auto region = ResolveRegion(entry.home_node, entry.home_region);
+    if (!region.ok()) return buffer;  // invalid
+    buffer.region_ = std::move(region).value();
+    buffer.base_ = entry.offset;
+    buffer.remote_ = true;
+    buffer.valid_ = true;
+    return buffer;
+  }
+
+  if (local_region_ != nullptr) {
+    buffer.region_ = local_region_;
+    buffer.base_ = entry.offset;
+  } else if (pool_map_.has_value()) {
+    buffer.raw_ = pool_map_->data() + pool_slab_offset_;
+    buffer.base_ = entry.offset;
+  } else {
+    return buffer;  // invalid
+  }
+  buffer.valid_ = true;
+  return buffer;
+}
+
+Result<ObjectBuffer> PlasmaClient::Create(const ObjectId& id,
+                                          uint64_t data_size,
+                                          uint64_t metadata_size) {
+  CreateRequest request;
+  request.id = id;
+  request.data_size = data_size;
+  request.metadata_size = metadata_size;
+  MDOS_ASSIGN_OR_RETURN(
+      CreateReply reply,
+      (Roundtrip<CreateReply>(MessageType::kCreateRequest,
+                              MessageType::kCreateReply, request)));
+  MDOS_RETURN_IF_ERROR(reply.status);
+  GetReplyEntry entry;
+  entry.id = id;
+  entry.found = true;
+  entry.location = ObjectLocation::kLocal;
+  entry.offset = reply.offset;
+  entry.data_size = reply.data_size;
+  entry.metadata_size = reply.metadata_size;
+  ObjectBuffer buffer = MakeBuffer(entry, /*writable=*/true);
+  if (!buffer.valid()) {
+    return Status::Unknown("could not map created buffer");
+  }
+  return buffer;
+}
+
+Status PlasmaClient::CreateAndSeal(const ObjectId& id,
+                                   std::string_view data,
+                                   std::string_view metadata) {
+  MDOS_ASSIGN_OR_RETURN(ObjectBuffer buffer,
+                        Create(id, data.size(), metadata.size()));
+  if (!data.empty()) {
+    MDOS_RETURN_IF_ERROR(buffer.WriteData(0, data.data(), data.size()));
+  }
+  if (!metadata.empty()) {
+    MDOS_RETURN_IF_ERROR(
+        buffer.WriteMetadata(0, metadata.data(), metadata.size()));
+  }
+  return Seal(id);
+}
+
+Status PlasmaClient::Seal(const ObjectId& id) {
+  SealRequest request;
+  request.id = id;
+  MDOS_ASSIGN_OR_RETURN(
+      SealReply reply,
+      (Roundtrip<SealReply>(MessageType::kSealRequest,
+                            MessageType::kSealReply, request)));
+  return reply.status;
+}
+
+Status PlasmaClient::Abort(const ObjectId& id) {
+  AbortRequest request;
+  request.id = id;
+  MDOS_ASSIGN_OR_RETURN(
+      AbortReply reply,
+      (Roundtrip<AbortReply>(MessageType::kAbortRequest,
+                             MessageType::kAbortReply, request)));
+  return reply.status;
+}
+
+Result<std::vector<ObjectBuffer>> PlasmaClient::Get(
+    const std::vector<ObjectId>& ids, uint64_t timeout_ms) {
+  GetRequest request;
+  request.ids = ids;
+  request.timeout_ms = timeout_ms;
+  MDOS_ASSIGN_OR_RETURN(
+      GetReply reply,
+      (Roundtrip<GetReply>(MessageType::kGetRequest,
+                           MessageType::kGetReply, request)));
+  MDOS_RETURN_IF_ERROR(reply.status);
+  std::vector<ObjectBuffer> buffers;
+  buffers.reserve(reply.entries.size());
+  for (const GetReplyEntry& entry : reply.entries) {
+    buffers.push_back(MakeBuffer(entry, /*writable=*/false));
+  }
+  return buffers;
+}
+
+Result<ObjectBuffer> PlasmaClient::Get(const ObjectId& id,
+                                       uint64_t timeout_ms) {
+  MDOS_ASSIGN_OR_RETURN(std::vector<ObjectBuffer> buffers,
+                        Get(std::vector<ObjectId>{id}, timeout_ms));
+  if (buffers.empty()) {
+    return Status::Unknown("empty get reply");
+  }
+  if (!buffers[0].valid()) {
+    return Status::KeyError("object " + id.Hex() + " not found");
+  }
+  return std::move(buffers[0]);
+}
+
+Status PlasmaClient::Release(const ObjectId& id) {
+  ReleaseRequest request;
+  request.id = id;
+  MDOS_ASSIGN_OR_RETURN(
+      ReleaseReply reply,
+      (Roundtrip<ReleaseReply>(MessageType::kReleaseRequest,
+                               MessageType::kReleaseReply, request)));
+  return reply.status;
+}
+
+Result<bool> PlasmaClient::Contains(const ObjectId& id) {
+  ContainsRequest request;
+  request.id = id;
+  MDOS_ASSIGN_OR_RETURN(
+      ContainsReply reply,
+      (Roundtrip<ContainsReply>(MessageType::kContainsRequest,
+                                MessageType::kContainsReply, request)));
+  return reply.contains;
+}
+
+Status PlasmaClient::Delete(const ObjectId& id) {
+  DeleteRequest request;
+  request.id = id;
+  MDOS_ASSIGN_OR_RETURN(
+      DeleteReply reply,
+      (Roundtrip<DeleteReply>(MessageType::kDeleteRequest,
+                              MessageType::kDeleteReply, request)));
+  return reply.status;
+}
+
+Result<std::vector<ObjectInfo>> PlasmaClient::List() {
+  ListRequest request;
+  MDOS_ASSIGN_OR_RETURN(
+      ListReply reply,
+      (Roundtrip<ListReply>(MessageType::kListRequest,
+                            MessageType::kListReply, request)));
+  return reply.objects;
+}
+
+Result<StoreStats> PlasmaClient::Stats() {
+  StatsRequest request;
+  MDOS_ASSIGN_OR_RETURN(
+      StatsReply reply,
+      (Roundtrip<StatsReply>(MessageType::kStatsRequest,
+                             MessageType::kStatsReply, request)));
+  return reply.stats;
+}
+
+Status PlasmaClient::Disconnect() {
+  if (!fd_.valid()) return Status::OK();
+  ListRequest dummy;  // DisconnectRequest carries no payload
+  (void)SendMessage(fd_.get(), MessageType::kDisconnectRequest, dummy);
+  fd_.Reset();
+  return Status::OK();
+}
+
+}  // namespace mdos::plasma

@@ -1,0 +1,191 @@
+// PlasmaClient — application-facing handle to a node-local Plasma store.
+//
+// Mirrors the Apache Arrow Plasma client API: Create/Seal publish an
+// immutable object, Get retrieves read-only buffers (blocking with a
+// timeout until objects are sealed), Release unpins. In the
+// memory-disaggregated framework the distributed nature "largely remains
+// hidden to Plasma clients" (paper §IV-A2): Get transparently returns
+// buffers that may point into a *remote* node's disaggregated memory; the
+// client consumes them through fabric loads with no copy over the LAN.
+//
+// A client owns one Unix-socket connection and is NOT thread-safe; use
+// one client per thread (as the paper's single-threaded benchmarks do).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "net/fd.h"
+#include "net/memfd.h"
+#include "plasma/protocol.h"
+#include "tf/fabric.h"
+
+namespace mdos::plasma {
+
+struct ClientOptions {
+  std::string client_name = "client";
+  // With a fabric, buffer access is routed through AttachedRegion
+  // accessors (modelled local/remote latency + coherency); without one,
+  // the client mmaps the pool fd and accesses it raw (unit-test mode).
+  tf::Fabric* fabric = nullptr;
+};
+
+// A handle to an object's bytes. Writable between Create and Seal;
+// read-only after Get. Data section first, metadata section after it.
+class ObjectBuffer {
+ public:
+  ObjectBuffer() = default;
+
+  const ObjectId& id() const { return id_; }
+  uint64_t data_size() const { return data_size_; }
+  uint64_t metadata_size() const { return metadata_size_; }
+  bool writable() const { return writable_; }
+  bool is_remote() const { return remote_; }
+  bool valid() const { return valid_; }
+
+  // Data-section access.
+  Status ReadData(uint64_t offset, void* dst, uint64_t size) const;
+  Status WriteData(uint64_t offset, const void* src, uint64_t size);
+  // Streaming read of the whole data section; returns its CRC32. This is
+  // the paper's "sequentially retrieve the buffer data" consumption path.
+  Result<uint32_t> ChecksumData(uint64_t chunk = 1 << 20) const;
+
+  // Metadata-section access.
+  Status ReadMetadata(uint64_t offset, void* dst, uint64_t size) const;
+  Status WriteMetadata(uint64_t offset, const void* src, uint64_t size);
+
+  // Convenience for small objects/tests.
+  Result<std::vector<uint8_t>> CopyData() const;
+  Status WriteDataFrom(std::string_view bytes);
+
+ private:
+  friend class PlasmaClient;
+
+  Status CheckAccess(uint64_t section_size, uint64_t offset,
+                     uint64_t size) const;
+  Status RawRead(uint64_t offset, void* dst, uint64_t size) const;
+  Status RawWrite(uint64_t offset, const void* src, uint64_t size);
+
+  ObjectId id_;
+  bool valid_ = false;
+  bool writable_ = false;
+  bool remote_ = false;
+  uint64_t data_size_ = 0;
+  uint64_t metadata_size_ = 0;
+  uint64_t base_ = 0;  // offset of the data section within the region/map
+
+  // Fabric path (modelled access):
+  std::shared_ptr<tf::AttachedRegion> region_;
+  // Raw path (no fabric):
+  uint8_t* raw_ = nullptr;
+};
+
+// A notification-only connection to a store (upstream Plasma's
+// "notification socket"): receives a push for every seal and delete.
+class NotificationListener {
+ public:
+  NotificationListener() = default;
+  NotificationListener(NotificationListener&&) = default;
+  NotificationListener& operator=(NotificationListener&&) = default;
+
+  // Opens the dedicated connection and subscribes.
+  static Result<NotificationListener> Connect(
+      const std::string& socket_path,
+      const std::string& subscriber_name = "subscriber");
+
+  // Blocks for the next notification; `timeout_ms` 0 waits forever.
+  Result<Notification> Next(uint64_t timeout_ms = 0);
+
+  bool connected() const { return fd_.valid(); }
+
+ private:
+  net::UniqueFd fd_;
+};
+
+class PlasmaClient {
+ public:
+  static Result<std::unique_ptr<PlasmaClient>> Connect(
+      const std::string& socket_path, ClientOptions options = {});
+
+  ~PlasmaClient();
+  PlasmaClient(const PlasmaClient&) = delete;
+  PlasmaClient& operator=(const PlasmaClient&) = delete;
+
+  // Reserves an object of the given sizes and returns a writable buffer.
+  // Fails with AlreadyExists if the id is taken anywhere in the system.
+  Result<ObjectBuffer> Create(const ObjectId& id, uint64_t data_size,
+                              uint64_t metadata_size = 0);
+
+  // Convenience: Create + WriteData + Seal in one call.
+  Status CreateAndSeal(const ObjectId& id, std::string_view data,
+                       std::string_view metadata = {});
+
+  // Makes the object immutable and visible to all clients system-wide.
+  Status Seal(const ObjectId& id);
+
+  // Discards an unsealed object.
+  Status Abort(const ObjectId& id);
+
+  // Retrieves buffers for `ids`, blocking up to `timeout_ms` for objects
+  // that are not yet sealed anywhere. Entries for objects that never
+  // appeared are invalid (`!buffer.valid()`).
+  Result<std::vector<ObjectBuffer>> Get(const std::vector<ObjectId>& ids,
+                                        uint64_t timeout_ms = 0);
+  Result<ObjectBuffer> Get(const ObjectId& id, uint64_t timeout_ms = 0);
+
+  // Unpins one Get reference on the object.
+  Status Release(const ObjectId& id);
+
+  // True when the object is sealed in the local store.
+  Result<bool> Contains(const ObjectId& id);
+
+  // Removes a sealed, unreferenced local object.
+  Status Delete(const ObjectId& id);
+
+  Result<std::vector<ObjectInfo>> List();
+  Result<StoreStats> Stats();
+
+  // Graceful disconnect (also performed by the destructor).
+  Status Disconnect();
+
+  uint32_t node_id() const { return node_id_; }
+  const std::string& store_name() const { return store_name_; }
+
+ private:
+  PlasmaClient() = default;
+
+  template <typename ReplyT, typename RequestT>
+  Result<ReplyT> Roundtrip(MessageType request_type, MessageType reply_type,
+                           const RequestT& request);
+
+  // Resolves the AttachedRegion for (node, region), caching attachments.
+  Result<std::shared_ptr<tf::AttachedRegion>> ResolveRegion(
+      uint32_t node, uint32_t region);
+
+  ObjectBuffer MakeBuffer(const GetReplyEntry& entry, bool writable);
+
+  net::UniqueFd fd_;
+  ClientOptions options_;
+  uint32_t node_id_ = 0;
+  uint32_t pool_region_ = UINT32_MAX;
+  uint64_t pool_size_ = 0;
+  uint64_t pool_slab_offset_ = 0;
+  std::string store_name_;
+
+  // Raw-mode mapping of the pool fd (no fabric).
+  std::optional<net::MemfdSegment> pool_map_;
+  // Fabric-mode attachment of the local pool region.
+  std::shared_ptr<tf::AttachedRegion> local_region_;
+  // Cache of remote region attachments: (node, region) -> accessor.
+  std::map<std::pair<uint32_t, uint32_t>,
+           std::shared_ptr<tf::AttachedRegion>>
+      attachments_;
+};
+
+}  // namespace mdos::plasma

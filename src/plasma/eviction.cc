@@ -1,0 +1,35 @@
+#include "plasma/eviction.h"
+
+namespace mdos::plasma {
+
+void EvictionPolicy::Add(const ObjectId& id, uint64_t size) {
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  lru_.push_front(Node{id, size});
+  index_.emplace(id, lru_.begin());
+}
+
+void EvictionPolicy::Touch(const ObjectId& id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  Node node = *it->second;
+  lru_.erase(it->second);
+  lru_.push_front(node);
+  it->second = lru_.begin();
+}
+
+void EvictionPolicy::Remove(const ObjectId& id) {
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+bool EvictionPolicy::Contains(const ObjectId& id) const {
+  return index_.count(id) != 0;
+}
+
+}  // namespace mdos::plasma

@@ -1,0 +1,64 @@
+// EvictionPolicy — LRU ordering over sealed objects.
+//
+// Upstream Plasma evicts least-recently-used unpinned objects when a
+// create cannot be satisfied. The paper highlights the distributed twist:
+// "in-use objects will not be evicted, because clients might still be
+// reading from memory" — and with remote clients, usage must be shared
+// across stores (§IV-A2). This policy tracks recency only; the Store
+// combines it with local ref counts and the distributed usage tracker
+// (the future-work feature we implement) to decide true evictability.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <unordered_map>
+#include <vector>
+
+#include "common/object_id.h"
+
+namespace mdos::plasma {
+
+class EvictionPolicy {
+ public:
+  // Registers a newly sealed object (most-recently-used position).
+  void Add(const ObjectId& id, uint64_t size);
+
+  // Marks a use (Get); moves to MRU position.
+  void Touch(const ObjectId& id);
+
+  // Removes an object from consideration (deleted or evicted).
+  void Remove(const ObjectId& id);
+
+  bool Contains(const ObjectId& id) const;
+  size_t size() const { return index_.size(); }
+
+  // Returns candidate victims in LRU-first order whose cumulative size
+  // reaches `bytes_needed`, skipping ids rejected by `evictable`. Does not
+  // mutate the policy; the caller removes the ids it actually evicts.
+  template <typename Pred>
+  std::vector<ObjectId> ChooseVictims(uint64_t bytes_needed,
+                                      Pred&& evictable) const {
+    std::vector<ObjectId> victims;
+    uint64_t chosen = 0;
+    for (auto it = lru_.rbegin(); it != lru_.rend(); ++it) {
+      if (chosen >= bytes_needed) break;
+      if (!evictable(it->id)) continue;
+      victims.push_back(it->id);
+      chosen += it->size;
+    }
+    if (chosen < bytes_needed) {
+      victims.clear();  // cannot satisfy the request; do not thrash
+    }
+    return victims;
+  }
+
+ private:
+  struct Node {
+    ObjectId id;
+    uint64_t size;
+  };
+  std::list<Node> lru_;  // front = most recently used
+  std::unordered_map<ObjectId, std::list<Node>::iterator> index_;
+};
+
+}  // namespace mdos::plasma

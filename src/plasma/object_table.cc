@@ -1,0 +1,123 @@
+#include "plasma/object_table.h"
+
+#include "common/clock.h"
+
+namespace mdos::plasma {
+
+Status ObjectTable::AddCreated(const ObjectEntry& entry) {
+  if (entries_.count(entry.id) != 0) {
+    return Status::AlreadyExists("object " + entry.id.Hex() +
+                                 " already exists");
+  }
+  auto [it, inserted] = entries_.emplace(entry.id, entry);
+  (void)inserted;
+  it->second.state = ObjectState::kCreated;
+  it->second.created_ns = MonotonicNanos();
+  bytes_in_use_ += entry.total_size();
+  return Status::OK();
+}
+
+bool ObjectTable::Contains(const ObjectId& id) const {
+  return entries_.count(id) != 0;
+}
+
+bool ObjectTable::ContainsSealed(const ObjectId& id) const {
+  auto it = entries_.find(id);
+  return it != entries_.end() && it->second.state == ObjectState::kSealed;
+}
+
+Result<ObjectEntry> ObjectTable::Lookup(const ObjectId& id) const {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("object " + id.Hex() + " not found");
+  }
+  return it->second;
+}
+
+Status ObjectTable::Seal(const ObjectId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("seal: object " + id.Hex() + " not found");
+  }
+  if (it->second.state == ObjectState::kSealed) {
+    return Status::Sealed("object " + id.Hex() + " is already sealed");
+  }
+  it->second.state = ObjectState::kSealed;
+  it->second.sealed_ns = MonotonicNanos();
+  ++sealed_count_;
+  return Status::OK();
+}
+
+Status ObjectTable::AddRef(const ObjectId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("addref: object " + id.Hex() + " not found");
+  }
+  ++it->second.local_refs;
+  return Status::OK();
+}
+
+Result<uint32_t> ObjectTable::ReleaseRef(const ObjectId& id) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("release: object " + id.Hex() + " not found");
+  }
+  if (it->second.local_refs == 0) {
+    return Status::Invalid("release: object " + id.Hex() +
+                           " has no references");
+  }
+  return --it->second.local_refs;
+}
+
+Result<ObjectEntry> ObjectTable::Remove(const ObjectId& id, bool force) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("remove: object " + id.Hex() + " not found");
+  }
+  const ObjectEntry& entry = it->second;
+  if (!force) {
+    if (entry.state != ObjectState::kSealed) {
+      return Status::NotSealed("remove: object " + id.Hex() +
+                               " is not sealed");
+    }
+    if (entry.local_refs != 0) {
+      return Status::Invalid("remove: object " + id.Hex() +
+                             " is in use (refs=" +
+                             std::to_string(entry.local_refs) + ")");
+    }
+  }
+  ObjectEntry out = entry;
+  if (entry.state == ObjectState::kSealed) {
+    --sealed_count_;
+  }
+  bytes_in_use_ -= entry.total_size();
+  entries_.erase(it);
+  return out;
+}
+
+std::vector<ObjectInfo> ObjectTable::List() const {
+  std::vector<ObjectInfo> out;
+  out.reserve(entries_.size());
+  for (const auto& [id, entry] : entries_) {
+    ObjectInfo info;
+    info.id = id;
+    info.data_size = entry.data_size;
+    info.metadata_size = entry.metadata_size;
+    info.sealed = entry.state == ObjectState::kSealed;
+    info.ref_count = entry.local_refs;
+    out.push_back(info);
+  }
+  return out;
+}
+
+std::vector<ObjectId> ObjectTable::UnsealedCreatedBy(int fd) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state == ObjectState::kCreated && entry.creator_fd == fd) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
+}  // namespace mdos::plasma

@@ -1,0 +1,81 @@
+// ObjectTable — the store's bookkeeping of Plasma objects.
+//
+// "The Plasma store is essentially a memory bookkeeping service for
+// Plasma data objects" (paper §IV-A1). The table maps object ids to their
+// pool placement and lifecycle state:
+//
+//   created --Seal--> sealed --Delete/Evict--> gone
+//      \--Abort--> gone
+//
+// Sealed objects are immutable; clients pin them with Get and unpin with
+// Release, and only unpinned sealed objects are evictable. The table is
+// not internally synchronized: the owning Store guards it (together with
+// the allocator and eviction policy) with one mutex, which is exactly the
+// thread-safety mechanism the paper added when the RPC server thread
+// started sharing the object-identifier map with the store thread.
+#pragma once
+
+#include <cstdint>
+#include <unordered_map>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "plasma/protocol.h"
+
+namespace mdos::plasma {
+
+enum class ObjectState : uint8_t { kCreated = 0, kSealed = 1 };
+
+struct ObjectEntry {
+  ObjectId id;
+  ObjectState state = ObjectState::kCreated;
+  uint64_t offset = 0;  // pool-relative offset of the data section
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  uint32_t local_refs = 0;  // pins held by local clients
+  int creator_fd = -1;      // connection that created it (abort cleanup)
+  int64_t created_ns = 0;
+  int64_t sealed_ns = 0;
+
+  uint64_t total_size() const { return data_size + metadata_size; }
+};
+
+class ObjectTable {
+ public:
+  // Registers a freshly created (unsealed) object.
+  Status AddCreated(const ObjectEntry& entry);
+
+  bool Contains(const ObjectId& id) const;
+  bool ContainsSealed(const ObjectId& id) const;
+
+  // Copy-out lookup; KeyError when absent.
+  Result<ObjectEntry> Lookup(const ObjectId& id) const;
+
+  // created -> sealed. NotSealed-state errors map to the paper's
+  // race-free seal semantics.
+  Status Seal(const ObjectId& id);
+
+  Status AddRef(const ObjectId& id);
+  // Returns the new ref count.
+  Result<uint32_t> ReleaseRef(const ObjectId& id);
+
+  // Removes an object and returns its entry (for allocator free).
+  // `force` skips the sealed/ref checks (abort & disconnect cleanup).
+  Result<ObjectEntry> Remove(const ObjectId& id, bool force = false);
+
+  std::vector<ObjectInfo> List() const;
+  // Unsealed objects created by `fd` (client-crash cleanup).
+  std::vector<ObjectId> UnsealedCreatedBy(int fd) const;
+
+  size_t size() const { return entries_.size(); }
+  size_t sealed_count() const { return sealed_count_; }
+  uint64_t bytes_in_use() const { return bytes_in_use_; }
+
+ private:
+  std::unordered_map<ObjectId, ObjectEntry> entries_;
+  size_t sealed_count_ = 0;
+  uint64_t bytes_in_use_ = 0;
+};
+
+}  // namespace mdos::plasma

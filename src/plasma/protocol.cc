@@ -1,0 +1,333 @@
+#include "plasma/protocol.h"
+
+#include "net/frame.h"
+
+namespace mdos::plasma {
+
+void EncodeStatus(wire::Writer& w, const Status& s) {
+  w.PutU8(static_cast<uint8_t>(s.code()));
+  w.PutString(s.message());
+}
+
+Status DecodeStatus(wire::Reader& r, Status* out) {
+  MDOS_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
+  if (code > static_cast<uint8_t>(StatusCode::kUnknown)) {
+    return Status::ProtocolError("bad status code");
+  }
+  MDOS_ASSIGN_OR_RETURN(std::string message, r.GetString());
+  *out = Status(static_cast<StatusCode>(code), std::move(message));
+  return Status::OK();
+}
+
+// ---- connect -------------------------------------------------------------
+
+void ConnectRequest::EncodeTo(wire::Writer& w) const {
+  w.PutString(client_name);
+}
+Result<ConnectRequest> ConnectRequest::DecodeFrom(wire::Reader& r) {
+  ConnectRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.client_name, r.GetString());
+  return m;
+}
+
+void ConnectReply::EncodeTo(wire::Writer& w) const {
+  w.PutU32(node_id);
+  w.PutU32(pool_region_id);
+  w.PutU64(pool_size);
+  w.PutU64(pool_slab_offset);
+  w.PutString(store_name);
+}
+Result<ConnectReply> ConnectReply::DecodeFrom(wire::Reader& r) {
+  ConnectReply m;
+  MDOS_ASSIGN_OR_RETURN(m.node_id, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.pool_region_id, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.pool_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.pool_slab_offset, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.store_name, r.GetString());
+  return m;
+}
+
+// ---- create / seal / abort ----------------------------------------------
+
+void CreateRequest::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+  w.PutU64(data_size);
+  w.PutU64(metadata_size);
+}
+Result<CreateRequest> CreateRequest::DecodeFrom(wire::Reader& r) {
+  CreateRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  return m;
+}
+
+void CreateReply::EncodeTo(wire::Writer& w) const {
+  EncodeStatus(w, status);
+  w.PutU64(offset);
+  w.PutU64(data_size);
+  w.PutU64(metadata_size);
+}
+Result<CreateReply> CreateReply::DecodeFrom(wire::Reader& r) {
+  CreateReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  MDOS_ASSIGN_OR_RETURN(m.offset, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  return m;
+}
+
+void SealRequest::EncodeTo(wire::Writer& w) const { w.PutObjectId(id); }
+Result<SealRequest> SealRequest::DecodeFrom(wire::Reader& r) {
+  SealRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  return m;
+}
+
+void SealReply::EncodeTo(wire::Writer& w) const { EncodeStatus(w, status); }
+Result<SealReply> SealReply::DecodeFrom(wire::Reader& r) {
+  SealReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  return m;
+}
+
+void AbortRequest::EncodeTo(wire::Writer& w) const { w.PutObjectId(id); }
+Result<AbortRequest> AbortRequest::DecodeFrom(wire::Reader& r) {
+  AbortRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  return m;
+}
+
+void AbortReply::EncodeTo(wire::Writer& w) const { EncodeStatus(w, status); }
+Result<AbortReply> AbortReply::DecodeFrom(wire::Reader& r) {
+  AbortReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  return m;
+}
+
+// ---- get / release -------------------------------------------------------
+
+void GetRequest::EncodeTo(wire::Writer& w) const {
+  w.PutRepeated(ids, [](wire::Writer& w2, const ObjectId& id) {
+    w2.PutObjectId(id);
+  });
+  w.PutVarint(timeout_ms);
+}
+Result<GetRequest> GetRequest::DecodeFrom(wire::Reader& r) {
+  GetRequest m;
+  MDOS_ASSIGN_OR_RETURN(
+      m.ids, (r.GetRepeated<ObjectId>(
+                 [](wire::Reader& r2) { return r2.GetObjectId(); })));
+  MDOS_ASSIGN_OR_RETURN(m.timeout_ms, r.GetVarint());
+  return m;
+}
+
+void GetReplyEntry::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+  w.PutBool(found);
+  w.PutU8(static_cast<uint8_t>(location));
+  w.PutU64(offset);
+  w.PutU64(data_size);
+  w.PutU64(metadata_size);
+  w.PutU32(home_node);
+  w.PutU32(home_region);
+}
+Result<GetReplyEntry> GetReplyEntry::DecodeFrom(wire::Reader& r) {
+  GetReplyEntry m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  MDOS_ASSIGN_OR_RETURN(m.found, r.GetBool());
+  MDOS_ASSIGN_OR_RETURN(uint8_t loc, r.GetU8());
+  if (loc > 1) return Status::ProtocolError("bad object location");
+  m.location = static_cast<ObjectLocation>(loc);
+  MDOS_ASSIGN_OR_RETURN(m.offset, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.home_node, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.home_region, r.GetU32());
+  return m;
+}
+
+void GetReply::EncodeTo(wire::Writer& w) const {
+  EncodeStatus(w, status);
+  w.PutRepeated(entries, [](wire::Writer& w2, const GetReplyEntry& e) {
+    e.EncodeTo(w2);
+  });
+}
+Result<GetReply> GetReply::DecodeFrom(wire::Reader& r) {
+  GetReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  MDOS_ASSIGN_OR_RETURN(m.entries,
+                        (r.GetRepeated<GetReplyEntry>([](wire::Reader& r2) {
+                          return GetReplyEntry::DecodeFrom(r2);
+                        })));
+  return m;
+}
+
+void ReleaseRequest::EncodeTo(wire::Writer& w) const { w.PutObjectId(id); }
+Result<ReleaseRequest> ReleaseRequest::DecodeFrom(wire::Reader& r) {
+  ReleaseRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  return m;
+}
+
+void ReleaseReply::EncodeTo(wire::Writer& w) const {
+  EncodeStatus(w, status);
+}
+Result<ReleaseReply> ReleaseReply::DecodeFrom(wire::Reader& r) {
+  ReleaseReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  return m;
+}
+
+// ---- contains / delete / list / stats -------------------------------------
+
+void ContainsRequest::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+}
+Result<ContainsRequest> ContainsRequest::DecodeFrom(wire::Reader& r) {
+  ContainsRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  return m;
+}
+
+void ContainsReply::EncodeTo(wire::Writer& w) const {
+  w.PutBool(contains);
+}
+Result<ContainsReply> ContainsReply::DecodeFrom(wire::Reader& r) {
+  ContainsReply m;
+  MDOS_ASSIGN_OR_RETURN(m.contains, r.GetBool());
+  return m;
+}
+
+void DeleteRequest::EncodeTo(wire::Writer& w) const { w.PutObjectId(id); }
+Result<DeleteRequest> DeleteRequest::DecodeFrom(wire::Reader& r) {
+  DeleteRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  return m;
+}
+
+void DeleteReply::EncodeTo(wire::Writer& w) const {
+  EncodeStatus(w, status);
+}
+Result<DeleteReply> DeleteReply::DecodeFrom(wire::Reader& r) {
+  DeleteReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  return m;
+}
+
+void ObjectInfo::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+  w.PutU64(data_size);
+  w.PutU64(metadata_size);
+  w.PutBool(sealed);
+  w.PutU32(ref_count);
+}
+Result<ObjectInfo> ObjectInfo::DecodeFrom(wire::Reader& r) {
+  ObjectInfo m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.sealed, r.GetBool());
+  MDOS_ASSIGN_OR_RETURN(m.ref_count, r.GetU32());
+  return m;
+}
+
+void ListRequest::EncodeTo(wire::Writer&) const {}
+Result<ListRequest> ListRequest::DecodeFrom(wire::Reader&) {
+  return ListRequest{};
+}
+
+void ListReply::EncodeTo(wire::Writer& w) const {
+  w.PutRepeated(objects, [](wire::Writer& w2, const ObjectInfo& o) {
+    o.EncodeTo(w2);
+  });
+}
+Result<ListReply> ListReply::DecodeFrom(wire::Reader& r) {
+  ListReply m;
+  MDOS_ASSIGN_OR_RETURN(m.objects,
+                        (r.GetRepeated<ObjectInfo>([](wire::Reader& r2) {
+                          return ObjectInfo::DecodeFrom(r2);
+                        })));
+  return m;
+}
+
+void StatsRequest::EncodeTo(wire::Writer&) const {}
+Result<StatsRequest> StatsRequest::DecodeFrom(wire::Reader&) {
+  return StatsRequest{};
+}
+
+void StoreStats::EncodeTo(wire::Writer& w) const {
+  w.PutU64(capacity);
+  w.PutU64(bytes_in_use);
+  w.PutU64(objects_total);
+  w.PutU64(objects_sealed);
+  w.PutU64(evictions);
+  w.PutU64(remote_lookups);
+  w.PutU64(remote_lookup_hits);
+  w.PutU64(lookup_cache_hits);
+}
+Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
+  StoreStats m;
+  MDOS_ASSIGN_OR_RETURN(m.capacity, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.bytes_in_use, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.objects_total, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.objects_sealed, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.evictions, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.remote_lookups, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.remote_lookup_hits, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.lookup_cache_hits, r.GetU64());
+  return m;
+}
+
+void StatsReply::EncodeTo(wire::Writer& w) const { stats.EncodeTo(w); }
+Result<StatsReply> StatsReply::DecodeFrom(wire::Reader& r) {
+  StatsReply m;
+  MDOS_ASSIGN_OR_RETURN(m.stats, StoreStats::DecodeFrom(r));
+  return m;
+}
+
+void SubscribeRequest::EncodeTo(wire::Writer& w) const {
+  w.PutString(subscriber_name);
+}
+Result<SubscribeRequest> SubscribeRequest::DecodeFrom(wire::Reader& r) {
+  SubscribeRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.subscriber_name, r.GetString());
+  return m;
+}
+
+void SubscribeReply::EncodeTo(wire::Writer& w) const {
+  EncodeStatus(w, status);
+}
+Result<SubscribeReply> SubscribeReply::DecodeFrom(wire::Reader& r) {
+  SubscribeReply m;
+  MDOS_RETURN_IF_ERROR(DecodeStatus(r, &m.status));
+  return m;
+}
+
+void Notification::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+  w.PutU64(data_size);
+  w.PutU64(metadata_size);
+  w.PutBool(deleted);
+}
+Result<Notification> Notification::DecodeFrom(wire::Reader& r) {
+  Notification m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.deleted, r.GetBool());
+  return m;
+}
+
+Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected) {
+  MDOS_ASSIGN_OR_RETURN(net::Frame frame, net::RecvFrame(fd));
+  if (frame.type != static_cast<uint32_t>(expected)) {
+    return Status::ProtocolError(
+        "unexpected message type " + std::to_string(frame.type) +
+        " (expected " + std::to_string(static_cast<uint32_t>(expected)) +
+        ")");
+  }
+  return std::move(frame.payload);
+}
+
+}  // namespace mdos::plasma

@@ -1,0 +1,293 @@
+// Plasma store↔client IPC protocol.
+//
+// Clients talk to their node-local store over a Unix domain socket, as in
+// upstream Apache Arrow Plasma (paper §IV-A2: "Plasma conducts
+// Inter-Process Communication (IPC) between Plasma store and clients
+// through Unix domain sockets"). Each message is one net::Frame whose
+// frame type is the MessageType and whose payload is the wire-encoded
+// struct below. Object *data* never travels through the socket: buffers
+// live in the node's (disaggregated) memory pool; the pool fd crosses the
+// socket once at connect time via SCM_RIGHTS, and buffer handles are
+// (offset, size) pairs — or (node, region, offset, size) for remote
+// objects resolved through the fabric.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "wire/wire.h"
+
+namespace mdos::plasma {
+
+enum class MessageType : uint32_t {
+  kConnectRequest = 1,
+  kConnectReply,
+  kCreateRequest,
+  kCreateReply,
+  kSealRequest,
+  kSealReply,
+  kAbortRequest,
+  kAbortReply,
+  kGetRequest,
+  kGetReply,
+  kReleaseRequest,
+  kReleaseReply,
+  kContainsRequest,
+  kContainsReply,
+  kDeleteRequest,
+  kDeleteReply,
+  kListRequest,
+  kListReply,
+  kStatsRequest,
+  kStatsReply,
+  kDisconnectRequest,
+  kSubscribeRequest,
+  kSubscribeReply,
+  kNotification,  // store -> subscriber push, no reply
+};
+
+// Where an object's bytes live, from the requesting client's viewpoint.
+enum class ObjectLocation : uint8_t {
+  kLocal = 0,   // this node's pool; `offset` is pool-relative
+  kRemote = 1,  // a remote node's exported region, reachable via fabric
+};
+
+// ---- connect -------------------------------------------------------------
+
+struct ConnectRequest {
+  std::string client_name;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ConnectRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ConnectReply {
+  uint32_t node_id = 0;
+  uint32_t pool_region_id = UINT32_MAX;  // fabric region of the pool
+  uint64_t pool_size = 0;
+  // Offset of the pool within the shared fd's mapping; clients that mmap
+  // the fd directly add this to pool-relative offsets.
+  uint64_t pool_slab_offset = 0;
+  std::string store_name;
+  // After this frame the store sends the pool memfd via SCM_RIGHTS.
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ConnectReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- create / seal / abort ----------------------------------------------
+
+struct CreateRequest {
+  ObjectId id;
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<CreateRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct CreateReply {
+  Status status;  // travels as (code, message)
+  uint64_t offset = 0;  // pool-relative offset of the data section
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<CreateReply> DecodeFrom(wire::Reader& r);
+};
+
+struct SealRequest {
+  ObjectId id;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<SealRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct SealReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<SealReply> DecodeFrom(wire::Reader& r);
+};
+
+struct AbortRequest {
+  ObjectId id;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<AbortRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct AbortReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<AbortReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- get / release -------------------------------------------------------
+
+struct GetRequest {
+  std::vector<ObjectId> ids;
+  uint64_t timeout_ms = 0;  // 0: reply immediately with what exists
+  void EncodeTo(wire::Writer& w) const;
+  static Result<GetRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct GetReplyEntry {
+  ObjectId id;
+  bool found = false;
+  ObjectLocation location = ObjectLocation::kLocal;
+  uint64_t offset = 0;  // pool-relative (local) or region-relative (remote)
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  uint32_t home_node = 0;        // remote only
+  uint32_t home_region = 0;      // remote only: fabric RegionId
+  void EncodeTo(wire::Writer& w) const;
+  static Result<GetReplyEntry> DecodeFrom(wire::Reader& r);
+};
+
+struct GetReply {
+  Status status;
+  std::vector<GetReplyEntry> entries;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<GetReply> DecodeFrom(wire::Reader& r);
+};
+
+struct ReleaseRequest {
+  ObjectId id;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ReleaseRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ReleaseReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ReleaseReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- contains / delete / list / stats -------------------------------------
+
+struct ContainsRequest {
+  ObjectId id;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ContainsRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ContainsReply {
+  bool contains = false;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ContainsReply> DecodeFrom(wire::Reader& r);
+};
+
+struct DeleteRequest {
+  ObjectId id;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<DeleteRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct DeleteReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<DeleteReply> DecodeFrom(wire::Reader& r);
+};
+
+struct ObjectInfo {
+  ObjectId id;
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  bool sealed = false;
+  uint32_t ref_count = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ObjectInfo> DecodeFrom(wire::Reader& r);
+};
+
+struct ListRequest {
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ListRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ListReply {
+  std::vector<ObjectInfo> objects;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ListReply> DecodeFrom(wire::Reader& r);
+};
+
+struct StatsRequest {
+  void EncodeTo(wire::Writer& w) const;
+  static Result<StatsRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct StoreStats {
+  uint64_t capacity = 0;
+  uint64_t bytes_in_use = 0;
+  uint64_t objects_total = 0;
+  uint64_t objects_sealed = 0;
+  uint64_t evictions = 0;
+  uint64_t remote_lookups = 0;
+  uint64_t remote_lookup_hits = 0;
+  uint64_t lookup_cache_hits = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<StoreStats> DecodeFrom(wire::Reader& r);
+};
+
+struct StatsReply {
+  StoreStats stats;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<StatsReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- subscribe / notifications --------------------------------------------
+
+// Sent on a dedicated connection that will only receive notifications
+// from then on (matching upstream Plasma's notification socket).
+struct SubscribeRequest {
+  std::string subscriber_name;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<SubscribeRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct SubscribeReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<SubscribeReply> DecodeFrom(wire::Reader& r);
+};
+
+// Pushed by the store whenever an object is sealed or removed.
+struct Notification {
+  ObjectId id;
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  bool deleted = false;  // false: sealed; true: deleted or evicted
+  void EncodeTo(wire::Writer& w) const;
+  static Result<Notification> DecodeFrom(wire::Reader& r);
+};
+
+// ---- helpers ---------------------------------------------------------------
+
+// Encodes a Status as (u8 code, string message).
+void EncodeStatus(wire::Writer& w, const Status& s);
+// Decodes into *out; the returned Status reports decode failure only.
+Status DecodeStatus(wire::Reader& r, Status* out);
+
+// Receives one frame and checks its type.
+Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected);
+
+}  // namespace mdos::plasma
+
+#include "net/frame.h"
+
+namespace mdos::plasma {
+
+// Sends `msg` as one frame of the given type.
+template <typename Message>
+Status SendMessage(int fd, MessageType type, const Message& msg) {
+  wire::Writer w;
+  msg.EncodeTo(w);
+  return net::SendFrame(fd, static_cast<uint32_t>(type), w.data(),
+                        w.size());
+}
+
+// Decodes a payload previously produced by Message::EncodeTo.
+template <typename Message>
+Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
+  wire::Reader r(payload.data(), payload.size());
+  return Message::DecodeFrom(r);
+}
+
+}  // namespace mdos::plasma

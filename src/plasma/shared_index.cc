@@ -1,0 +1,275 @@
+#include "plasma/shared_index.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace mdos::plasma {
+namespace {
+
+// Slot word layout (8 x u64 = 64 bytes):
+//   0: seqlock sequence (odd = write in progress)
+//   1: state (0 empty, 1 full, 2 tombstone)
+//   2-4: object id (20 bytes + 4 pad)
+//   5: offset  6: data_size  7: metadata_size
+constexpr int kWordSeq = 0;
+constexpr int kWordState = 1;
+constexpr int kWordIdBase = 2;
+constexpr int kWordOffset = 5;
+constexpr int kWordDataSize = 6;
+constexpr int kWordMetaSize = 7;
+
+constexpr uint64_t kStateEmpty = 0;
+constexpr uint64_t kStateFull = 1;
+constexpr uint64_t kStateTombstone = 2;
+
+std::atomic_ref<uint64_t> WordRef(uint8_t* slots, uint64_t slot, int word) {
+  return std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(
+      slots + slot * SharedIndexLayout::kSlotBytes +
+      static_cast<uint64_t>(word) * 8));
+}
+
+std::atomic_ref<const uint64_t> WordRef(const uint8_t* slots,
+                                        uint64_t slot, int word) {
+  return std::atomic_ref<const uint64_t>(*reinterpret_cast<const uint64_t*>(
+      slots + slot * SharedIndexLayout::kSlotBytes +
+      static_cast<uint64_t>(word) * 8));
+}
+
+void PackId(const ObjectId& id, uint64_t* words) {
+  words[0] = words[1] = words[2] = 0;
+  std::memcpy(words, id.data(), ObjectId::kSize);
+}
+
+ObjectId UnpackId(const uint64_t* words) {
+  return ObjectId::FromBinary(std::string_view(
+      reinterpret_cast<const char*>(words), ObjectId::kSize));
+}
+
+}  // namespace
+
+uint64_t SharedIndexLayout::CapacityFor(uint64_t bytes) {
+  if (bytes <= kHeaderBytes + kSlotBytes) return 0;
+  uint64_t slots = (bytes - kHeaderBytes) / kSlotBytes;
+  // Round down to a power of two so probing can use a mask.
+  uint64_t capacity = 1;
+  while (capacity * 2 <= slots) capacity *= 2;
+  return capacity;
+}
+
+uint64_t SharedIndexHash(const ObjectId& id) {
+  // Ids are uniformly random; fold the first 16 bytes.
+  uint64_t a, b;
+  std::memcpy(&a, id.data(), 8);
+  std::memcpy(&b, id.data() + 8, 8);
+  uint64_t h = a ^ (b * 0x9E3779B97F4A7C15ULL);
+  h ^= h >> 32;
+  return h;
+}
+
+// ---- writer ---------------------------------------------------------------
+
+Result<SharedIndexWriter> SharedIndexWriter::Create(uint8_t* memory,
+                                                    uint64_t bytes) {
+  if (memory == nullptr ||
+      (reinterpret_cast<uintptr_t>(memory) % 8) != 0) {
+    return Status::Invalid("index memory must be 8-byte aligned");
+  }
+  uint64_t capacity = SharedIndexLayout::CapacityFor(bytes);
+  if (capacity == 0) {
+    return Status::Invalid("index window too small");
+  }
+  std::memset(memory, 0,
+              SharedIndexLayout::kHeaderBytes +
+                  capacity * SharedIndexLayout::kSlotBytes);
+  auto* header = reinterpret_cast<uint64_t*>(memory);
+  // Publish capacity before magic: a reader that sees the magic sees a
+  // fully formatted table.
+  std::atomic_ref<uint64_t>(header[1]).store(capacity,
+                                             std::memory_order_release);
+  std::atomic_ref<uint64_t>(header[0]).store(SharedIndexLayout::kMagic,
+                                             std::memory_order_release);
+  return SharedIndexWriter(memory + SharedIndexLayout::kHeaderBytes,
+                           capacity);
+}
+
+SharedIndexWriter::SharedIndexWriter(uint8_t* slots, uint64_t capacity)
+    : slots_(slots), capacity_(capacity) {}
+
+uint64_t SharedIndexWriter::FindSlot(const ObjectId& id,
+                                     bool for_insert) const {
+  uint64_t mask = capacity_ - 1;
+  uint64_t start = SharedIndexHash(id) & mask;
+  uint64_t first_reusable = UINT64_MAX;
+  for (uint64_t i = 0; i < capacity_; ++i) {
+    uint64_t slot = (start + i) & mask;
+    uint64_t state =
+        WordRef(slots_, slot, kWordState).load(std::memory_order_relaxed);
+    if (state == kStateEmpty) {
+      if (for_insert && first_reusable == UINT64_MAX) {
+        first_reusable = slot;
+      }
+      // An empty slot terminates every probe chain.
+      return for_insert ? first_reusable : UINT64_MAX;
+    }
+    if (state == kStateTombstone) {
+      if (for_insert && first_reusable == UINT64_MAX) {
+        first_reusable = slot;
+      }
+      continue;
+    }
+    uint64_t id_words[3];
+    for (int w = 0; w < 3; ++w) {
+      id_words[w] = WordRef(slots_, slot, kWordIdBase + w)
+                        .load(std::memory_order_relaxed);
+    }
+    if (UnpackId(id_words) == id) return slot;
+  }
+  return for_insert ? first_reusable : UINT64_MAX;
+}
+
+Status SharedIndexWriter::Insert(const ObjectId& id,
+                                 const IndexedObject& object) {
+  uint64_t slot = FindSlot(id, /*for_insert=*/true);
+  if (slot == UINT64_MAX) {
+    ++stats_.insert_failures;
+    return Status::OutOfMemory("shared index full");
+  }
+  bool was_live = WordRef(slots_, slot, kWordState)
+                      .load(std::memory_order_relaxed) == kStateFull;
+
+  auto seq = WordRef(slots_, slot, kWordSeq);
+  uint64_t s = seq.load(std::memory_order_relaxed);
+  seq.store(s + 1, std::memory_order_release);  // odd: write in progress
+  std::atomic_thread_fence(std::memory_order_release);
+
+  uint64_t id_words[3];
+  PackId(id, id_words);
+  for (int w = 0; w < 3; ++w) {
+    WordRef(slots_, slot, kWordIdBase + w)
+        .store(id_words[w], std::memory_order_relaxed);
+  }
+  WordRef(slots_, slot, kWordOffset)
+      .store(object.offset, std::memory_order_relaxed);
+  WordRef(slots_, slot, kWordDataSize)
+      .store(object.data_size, std::memory_order_relaxed);
+  WordRef(slots_, slot, kWordMetaSize)
+      .store(object.metadata_size, std::memory_order_relaxed);
+  WordRef(slots_, slot, kWordState)
+      .store(kStateFull, std::memory_order_relaxed);
+
+  seq.store(s + 2, std::memory_order_release);  // even: stable
+  ++stats_.inserts;
+  if (!was_live) ++stats_.live;
+  return Status::OK();
+}
+
+Status SharedIndexWriter::Remove(const ObjectId& id) {
+  uint64_t slot = FindSlot(id, /*for_insert=*/false);
+  if (slot == UINT64_MAX) {
+    return Status::KeyError("id not in shared index");
+  }
+  auto seq = WordRef(slots_, slot, kWordSeq);
+  uint64_t s = seq.load(std::memory_order_relaxed);
+  seq.store(s + 1, std::memory_order_release);
+  WordRef(slots_, slot, kWordState)
+      .store(kStateTombstone, std::memory_order_relaxed);
+  seq.store(s + 2, std::memory_order_release);
+  ++stats_.removes;
+  --stats_.live;
+  return Status::OK();
+}
+
+void SharedIndexWriter::Clear() {
+  for (uint64_t slot = 0; slot < capacity_; ++slot) {
+    auto seq = WordRef(slots_, slot, kWordSeq);
+    uint64_t s = seq.load(std::memory_order_relaxed);
+    seq.store(s + 1, std::memory_order_release);
+    WordRef(slots_, slot, kWordState)
+        .store(kStateEmpty, std::memory_order_relaxed);
+    seq.store(s + 2, std::memory_order_release);
+  }
+  stats_.live = 0;
+}
+
+// ---- reader ---------------------------------------------------------------
+
+Result<SharedIndexReader> SharedIndexReader::Open(
+    const uint8_t* memory, uint64_t bytes, tf::LatencyParams latency) {
+  if (memory == nullptr ||
+      (reinterpret_cast<uintptr_t>(memory) % 8) != 0) {
+    return Status::Invalid("index memory must be 8-byte aligned");
+  }
+  const auto* header = reinterpret_cast<const uint64_t*>(memory);
+  uint64_t magic = std::atomic_ref<const uint64_t>(header[0])
+                       .load(std::memory_order_acquire);
+  if (magic != SharedIndexLayout::kMagic) {
+    return Status::Invalid("shared index not formatted");
+  }
+  uint64_t capacity = std::atomic_ref<const uint64_t>(header[1])
+                          .load(std::memory_order_acquire);
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0 ||
+      SharedIndexLayout::BytesFor(capacity) > bytes) {
+    return Status::ProtocolError("shared index header corrupt");
+  }
+  return SharedIndexReader(memory + SharedIndexLayout::kHeaderBytes,
+                           capacity, latency);
+}
+
+SharedIndexReader::SharedIndexReader(const uint8_t* slots,
+                                     uint64_t capacity,
+                                     tf::LatencyParams latency)
+    : slots_(slots), capacity_(capacity), latency_(latency) {}
+
+std::optional<IndexedObject> SharedIndexReader::Lookup(
+    const ObjectId& id) const {
+  uint64_t mask = capacity_ - 1;
+  uint64_t start = SharedIndexHash(id) & mask;
+  for (uint64_t i = 0; i < capacity_; ++i) {
+    uint64_t slot = (start + i) & mask;
+    // One probe = one remote access of a slot (64 bytes).
+    const int64_t t0 = MonotonicNanos();
+    ++probes_;
+
+    uint64_t state, id_words[3], payload[3];
+    // Seqlock read with bounded retries.
+    for (int attempt = 0; attempt < 64; ++attempt) {
+      uint64_t seq_before =
+          WordRef(slots_, slot, kWordSeq).load(std::memory_order_acquire);
+      if (seq_before & 1) continue;  // writer mid-update
+      state = WordRef(slots_, slot, kWordState)
+                  .load(std::memory_order_relaxed);
+      for (int w = 0; w < 3; ++w) {
+        id_words[w] = WordRef(slots_, slot, kWordIdBase + w)
+                          .load(std::memory_order_relaxed);
+      }
+      payload[0] = WordRef(slots_, slot, kWordOffset)
+                       .load(std::memory_order_relaxed);
+      payload[1] = WordRef(slots_, slot, kWordDataSize)
+                       .load(std::memory_order_relaxed);
+      payload[2] = WordRef(slots_, slot, kWordMetaSize)
+                       .load(std::memory_order_relaxed);
+      std::atomic_thread_fence(std::memory_order_acquire);
+      uint64_t seq_after =
+          WordRef(slots_, slot, kWordSeq).load(std::memory_order_acquire);
+      if (seq_before == seq_after) goto consistent;
+    }
+    return std::nullopt;  // persistent contention: treat as miss
+
+  consistent:
+    tf::EnforceModel(latency_, SharedIndexLayout::kSlotBytes, t0);
+    if (state == kStateEmpty) return std::nullopt;
+    if (state == kStateFull && UnpackId(id_words) == id) {
+      IndexedObject object;
+      object.offset = payload[0];
+      object.data_size = payload[1];
+      object.metadata_size = payload[2];
+      return object;
+    }
+    // Tombstone or different id: keep probing.
+  }
+  return std::nullopt;
+}
+
+}  // namespace mdos::plasma

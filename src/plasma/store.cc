@@ -1,0 +1,859 @@
+#include "plasma/store.h"
+
+#include <algorithm>
+#include <unordered_set>
+
+#include "alloc/first_fit_allocator.h"
+#include "alloc/segregated_fit_allocator.h"
+#include "common/clock.h"
+#include "common/log.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mdos::plasma {
+
+namespace {
+
+std::unique_ptr<alloc::Allocator> MakeAllocator(AllocatorKind kind,
+                                                uint64_t capacity) {
+  switch (kind) {
+    case AllocatorKind::kSegregatedFit:
+      return std::make_unique<alloc::SegregatedFitAllocator>(capacity);
+    case AllocatorKind::kFirstFit:
+    default:
+      return std::make_unique<alloc::FirstFitAllocator>(capacity);
+  }
+}
+
+}  // namespace
+
+// One connected client (one Unix socket).
+struct Store::ClientConn {
+  net::UniqueFd fd;
+  std::string name;
+  bool handshaken = false;
+  bool subscriber = false;  // notification-only connection
+  // Pins of local objects held through this connection: id -> count.
+  std::unordered_map<ObjectId, uint32_t> local_pins;
+  // Remote objects handed out through this connection: id -> (loc, count).
+  std::unordered_map<ObjectId, std::pair<RemoteObjectLocation, uint32_t>>
+      remote_refs;
+};
+
+// A Get waiting for objects to be sealed (or for its deadline).
+struct Store::PendingGet {
+  int fd = -1;
+  std::vector<ObjectId> order;  // reply preserves request order
+  std::unordered_map<ObjectId, GetReplyEntry> ready;
+  std::unordered_set<ObjectId> waiting;
+  int64_t deadline_ns = 0;
+};
+
+Store::Store(StoreOptions options, uint32_t node_id, uint32_t pool_region)
+    : options_(std::move(options)),
+      node_id_(node_id),
+      pool_region_(pool_region) {
+  socket_path_ = options_.socket_path.empty()
+                     ? net::UniqueSocketPath(options_.name)
+                     : options_.socket_path;
+  allocator_ = MakeAllocator(options_.allocator, options_.capacity);
+}
+
+Result<std::unique_ptr<Store>> Store::Create(StoreOptions options) {
+  auto store = std::unique_ptr<Store>(
+      new Store(std::move(options), /*node_id=*/0,
+                /*pool_region=*/UINT32_MAX));
+  MDOS_ASSIGN_OR_RETURN(
+      auto pool, net::MemfdSegment::Create("mdos-pool-" + store->name(),
+                                           store->options_.capacity));
+  store->own_pool_.emplace(std::move(pool));
+  store->pool_base_ = store->own_pool_->data();
+  store->pool_fd_ = store->own_pool_->fd();
+  return store;
+}
+
+Result<std::unique_ptr<Store>> Store::CreateOnFabric(
+    StoreOptions options, tf::Fabric* fabric, tf::NodeId node,
+    tf::RegionId pool_region) {
+  MDOS_ASSIGN_OR_RETURN(tf::RegionInfo info,
+                        fabric->region_info(pool_region));
+  if (info.owner != node) {
+    return Status::Invalid("pool region is not owned by this node");
+  }
+  options.capacity = info.size;
+  auto store = std::unique_ptr<Store>(
+      new Store(std::move(options), node, pool_region));
+  MDOS_ASSIGN_OR_RETURN(store->fabric_node_, fabric->node(node));
+  store->fabric_ = fabric;
+  store->pool_slab_offset_ = info.offset;
+  store->pool_base_ = store->fabric_node_->data() + info.offset;
+  // The pool fd is the node slab's memfd; clients that mmap it directly
+  // apply pool_slab_offset from the connect reply.
+  store->pool_fd_ = -1;  // resolved per-connection via NodeMemory::ShareFd
+  // Allocator capacity must match the region, not the original option.
+  store->allocator_ =
+      MakeAllocator(store->options_.allocator, store->options_.capacity);
+  return store;
+}
+
+Store::~Store() { Stop(); }
+
+Status Store::Start() {
+  if (running_.load()) return Status::Invalid("store already running");
+  MDOS_ASSIGN_OR_RETURN(listen_fd_, net::UdsListen(socket_path_));
+  poller_.Add(listen_fd_.get());
+  running_.store(true);
+  thread_ = std::thread([this] { EventLoop(); });
+  MDOS_LOG_INFO << "store '" << options_.name << "' listening on "
+                << socket_path_;
+  return Status::OK();
+}
+
+void Store::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  poller_.Wakeup();
+  if (thread_.joinable()) thread_.join();
+  clients_.clear();
+  pending_gets_.clear();
+  listen_fd_.Reset();
+  ::unlink(socket_path_.c_str());
+}
+
+void Store::EventLoop() {
+  while (running_.load()) {
+    int timeout_ms = FlushExpiredPendingGets();
+    if (timeout_ms < 0 || timeout_ms > 200) timeout_ms = 200;
+    auto ready = poller_.Wait(timeout_ms, [this](int fd) {
+      if (fd == listen_fd_.get()) {
+        AcceptClient();
+      } else {
+        auto it = clients_.find(fd);
+        if (it != clients_.end()) {
+          HandleClientMessage(*it->second);
+        }
+      }
+    });
+    if (!ready.ok()) {
+      MDOS_LOG_ERROR << "store poll failed: " << ready.status();
+      break;
+    }
+  }
+}
+
+void Store::AcceptClient() {
+  auto conn_fd = net::Accept(listen_fd_.get());
+  if (!conn_fd.ok()) return;
+  int fd = conn_fd->get();
+  auto conn = std::make_unique<ClientConn>();
+  conn->fd = std::move(conn_fd).value();
+  poller_.Add(fd);
+  clients_.emplace(fd, std::move(conn));
+}
+
+void Store::HandleClientMessage(ClientConn& conn) {
+  int fd = conn.fd.get();
+  auto frame = net::RecvFrame(fd);
+  if (!frame.ok()) {
+    DropClient(fd);
+    return;
+  }
+  const auto type = static_cast<MessageType>(frame->type);
+  const std::vector<uint8_t>& body = frame->payload;
+  switch (type) {
+    case MessageType::kConnectRequest: HandleConnect(conn, body); break;
+    case MessageType::kCreateRequest: HandleCreate(conn, body); break;
+    case MessageType::kSealRequest: HandleSeal(conn, body); break;
+    case MessageType::kAbortRequest: HandleAbort(conn, body); break;
+    case MessageType::kGetRequest: HandleGet(conn, body); break;
+    case MessageType::kReleaseRequest: HandleRelease(conn, body); break;
+    case MessageType::kContainsRequest: HandleContains(conn, body); break;
+    case MessageType::kDeleteRequest: HandleDelete(conn, body); break;
+    case MessageType::kListRequest: HandleList(conn); break;
+    case MessageType::kStatsRequest: HandleStats(conn); break;
+    case MessageType::kSubscribeRequest:
+      HandleSubscribe(conn, body);
+      break;
+    case MessageType::kDisconnectRequest: DropClient(fd); break;
+    default:
+      MDOS_LOG_WARN << "store: unknown message type " << frame->type;
+      DropClient(fd);
+      break;
+  }
+}
+
+void Store::DropClient(int fd) {
+  auto it = clients_.find(fd);
+  if (it == clients_.end()) return;
+  std::unique_ptr<ClientConn> conn = std::move(it->second);
+  clients_.erase(it);
+  poller_.Remove(fd);
+
+  // Drop pending gets issued by this connection.
+  pending_gets_.remove_if(
+      [fd](const PendingGet& p) { return p.fd == fd; });
+
+  std::vector<std::pair<ObjectId, RemoteObjectLocation>> remote_unpins;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    // Release all local pins held through this connection.
+    for (const auto& [id, count] : conn->local_pins) {
+      for (uint32_t i = 0; i < count; ++i) {
+        (void)table_.ReleaseRef(id);
+      }
+    }
+    // Abort unsealed objects this client created but never sealed.
+    for (const ObjectId& id : table_.UnsealedCreatedBy(fd)) {
+      auto removed = table_.Remove(id, /*force=*/true);
+      if (removed.ok()) {
+        (void)allocator_->Free(removed->offset);
+      }
+    }
+    for (const auto& [id, ref] : conn->remote_refs) {
+      for (uint32_t i = 0; i < ref.second; ++i) {
+        remote_unpins.emplace_back(id, ref.first);
+      }
+    }
+  }
+  // RPC outside the state mutex (see HandleCreate for the rationale).
+  if (dist_hooks_ != nullptr && options_.pin_remote_objects) {
+    for (const auto& [id, loc] : remote_unpins) {
+      dist_hooks_->UnpinRemote(id, loc);
+    }
+  }
+}
+
+void Store::HandleConnect(ClientConn& conn,
+                          const std::vector<uint8_t>& body) {
+  auto request = DecodeMessage<ConnectRequest>(body);
+  if (!request.ok()) {
+    DropClient(conn.fd.get());
+    return;
+  }
+  conn.name = request->client_name;
+  conn.handshaken = true;
+
+  ConnectReply reply;
+  reply.node_id = node_id_;
+  reply.pool_region_id = pool_region_;
+  reply.pool_size = options_.capacity;
+  reply.pool_slab_offset = pool_slab_offset_;
+  reply.store_name = options_.name;
+  int fd = conn.fd.get();
+  if (!SendMessage(fd, MessageType::kConnectReply, reply).ok()) {
+    DropClient(fd);
+    return;
+  }
+  // Ship the pool fd so the client can mmap the shared memory, exactly
+  // like upstream Plasma's file-descriptor coordination.
+  net::UniqueFd pool_fd;
+  if (own_pool_.has_value()) {
+    auto dup = own_pool_->DupFd();
+    if (dup.ok()) pool_fd = std::move(dup).value();
+  } else if (fabric_node_ != nullptr) {
+    auto dup = fabric_node_->ShareFd();
+    if (dup.ok()) pool_fd = std::move(dup).value();
+  }
+  if (!pool_fd.valid() ||
+      !net::SendFd(fd, pool_fd.get()).ok()) {
+    DropClient(fd);
+  }
+}
+
+Result<alloc::Allocation> Store::AllocateWithEviction(uint64_t size) {
+  if (size > options_.capacity) {
+    return Status::CapacityError(
+        "object of " + std::to_string(size) +
+        " bytes exceeds store capacity " +
+        std::to_string(options_.capacity));
+  }
+  while (true) {
+    auto allocation = allocator_->Allocate(size);
+    if (allocation.ok()) return allocation;
+
+    auto victims = eviction_.ChooseVictims(
+        size, [this](const ObjectId& id) { return IsEvictable(id); });
+    if (victims.empty()) {
+      return Status::OutOfMemory(
+          "store full and no evictable objects for " +
+          std::to_string(size) + " bytes");
+    }
+    for (const ObjectId& victim : victims) {
+      auto removed = table_.Remove(victim);
+      if (!removed.ok()) continue;  // raced with a new pin; skip
+      (void)allocator_->Free(removed->offset);
+      eviction_.Remove(victim);
+      remote_pins_.erase(victim);
+      if (shared_index_ != nullptr) {
+        (void)shared_index_->Remove(victim);
+      }
+      ++eviction_count_;
+    }
+  }
+}
+
+bool Store::IsEvictable(const ObjectId& id) const {
+  auto entry = table_.Lookup(id);
+  if (!entry.ok()) return false;
+  if (entry->state != ObjectState::kSealed) return false;
+  if (entry->local_refs != 0) return false;
+  auto pins = remote_pins_.find(id);
+  if (pins != remote_pins_.end() && !pins->second.empty()) return false;
+  if (external_pin_check_ && external_pin_check_(id)) return false;
+  return true;
+}
+
+void Store::HandleCreate(ClientConn& conn,
+                         const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<CreateRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+
+  CreateReply reply;
+  reply.data_size = request->data_size;
+  reply.metadata_size = request->metadata_size;
+
+  // Local existence check.
+  bool exists_locally;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    exists_locally = table_.Contains(request->id);
+  }
+  // Identifier-uniqueness probe across the distributed system (§IV-A2).
+  // Deliberately outside the state mutex: the peer answering our probe
+  // may simultaneously probe us, and its answer needs our mutex.
+  bool exists_remotely = false;
+  if (!exists_locally && options_.check_global_uniqueness &&
+      dist_hooks_ != nullptr) {
+    exists_remotely = dist_hooks_->IdKnownRemotely(request->id);
+  }
+  if (exists_locally || exists_remotely) {
+    reply.status = Status::AlreadyExists(
+        "object id " + request->id.Hex() +
+        (exists_remotely ? " exists in a remote store" : " exists"));
+    (void)SendMessage(fd, MessageType::kCreateReply, reply);
+    return;
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    // Re-check: another client may have created the id while the probe
+    // was in flight.
+    if (table_.Contains(request->id)) {
+      reply.status =
+          Status::AlreadyExists("object id " + request->id.Hex());
+    } else {
+      uint64_t total = request->data_size + request->metadata_size;
+      if (total == 0) {
+        reply.status = Status::Invalid("object must not be empty");
+      } else {
+        auto allocation = AllocateWithEviction(total);
+        if (!allocation.ok()) {
+          reply.status = allocation.status();
+        } else {
+          ObjectEntry entry;
+          entry.id = request->id;
+          entry.offset = allocation->offset;
+          entry.data_size = request->data_size;
+          entry.metadata_size = request->metadata_size;
+          entry.creator_fd = fd;
+          Status added = table_.AddCreated(entry);
+          if (added.ok()) {
+            reply.offset = allocation->offset;
+          } else {
+            (void)allocator_->Free(allocation->offset);
+            reply.status = added;
+          }
+        }
+      }
+    }
+  }
+  (void)SendMessage(fd, MessageType::kCreateReply, reply);
+}
+
+void Store::HandleSeal(ClientConn& conn, const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<SealRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+  SealReply reply;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    reply.status = table_.Seal(request->id);
+    if (reply.status.ok()) {
+      auto entry = table_.Lookup(request->id);
+      if (entry.ok()) {
+        eviction_.Add(request->id, entry->total_size());
+        if (shared_index_ != nullptr) {
+          // Publish into disaggregated memory so peers can find the
+          // object without an RPC. Index-full is non-fatal: peers fall
+          // back to the RPC lookup path.
+          (void)shared_index_->Insert(
+              request->id, IndexedObject{entry->offset, entry->data_size,
+                                         entry->metadata_size});
+        }
+      }
+    }
+  }
+  (void)SendMessage(fd, MessageType::kSealReply, reply);
+  if (reply.status.ok()) {
+    // Sealing makes the object available: wake matching pending gets and
+    // notify subscribers.
+    ServePendingGetsFor(request->id);
+    Notification notice;
+    notice.id = request->id;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto entry = table_.Lookup(request->id);
+      if (entry.ok()) {
+        notice.data_size = entry->data_size;
+        notice.metadata_size = entry->metadata_size;
+      }
+    }
+    BroadcastNotification(notice);
+  }
+}
+
+void Store::HandleSubscribe(ClientConn& conn,
+                            const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<SubscribeRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+  conn.subscriber = true;
+  conn.name = request->subscriber_name;
+  SubscribeReply reply;
+  (void)SendMessage(fd, MessageType::kSubscribeReply, reply);
+}
+
+void Store::BroadcastNotification(const Notification& notice) {
+  std::vector<int> dead;
+  for (auto& [fd, conn] : clients_) {
+    if (!conn->subscriber) continue;
+    if (!SendMessage(fd, MessageType::kNotification, notice).ok()) {
+      dead.push_back(fd);
+    }
+  }
+  for (int fd : dead) DropClient(fd);
+}
+
+void Store::HandleAbort(ClientConn& conn,
+                        const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<AbortRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+  AbortReply reply;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto entry = table_.Lookup(request->id);
+    if (!entry.ok()) {
+      reply.status = entry.status();
+    } else if (entry->state == ObjectState::kSealed) {
+      reply.status =
+          Status::Sealed("cannot abort sealed object " + request->id.Hex());
+    } else {
+      auto removed = table_.Remove(request->id, /*force=*/true);
+      if (removed.ok()) {
+        (void)allocator_->Free(removed->offset);
+      }
+      reply.status = removed.status();
+    }
+  }
+  (void)SendMessage(fd, MessageType::kAbortReply, reply);
+}
+
+std::optional<GetReplyEntry> Store::TryLocalGet(const ObjectId& id) {
+  auto entry = table_.Lookup(id);
+  if (!entry.ok() || entry->state != ObjectState::kSealed) {
+    return std::nullopt;
+  }
+  GetReplyEntry out;
+  out.id = id;
+  out.found = true;
+  out.location = ObjectLocation::kLocal;
+  out.offset = entry->offset;
+  out.data_size = entry->data_size;
+  out.metadata_size = entry->metadata_size;
+  return out;
+}
+
+void Store::HandleGet(ClientConn& conn, const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<GetRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+
+  PendingGet pending;
+  pending.fd = fd;
+  pending.order = request->ids;
+
+  std::vector<ObjectId> missing;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    for (const ObjectId& id : request->ids) {
+      if (pending.ready.count(id) != 0 || pending.waiting.count(id) != 0) {
+        continue;  // duplicate id in request: one entry suffices
+      }
+      auto local = TryLocalGet(id);
+      if (local.has_value()) {
+        (void)table_.AddRef(id);
+        ++conn.local_pins[id];
+        eviction_.Touch(id);
+        pending.ready.emplace(id, *local);
+      } else {
+        missing.push_back(id);
+      }
+    }
+  }
+
+  // Unknown ids: consult the remote stores (RPC outside the mutex; the
+  // paper's local store performs this look-up synchronously on the
+  // client's behalf).
+  if (!missing.empty() && dist_hooks_ != nullptr) {
+    auto locations = dist_hooks_->LookupRemote(missing);
+    {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      remote_lookups_ += missing.size();
+    }
+    for (size_t i = 0; i < missing.size(); ++i) {
+      if (!locations[i].has_value()) continue;
+      const RemoteObjectLocation& loc = *locations[i];
+      GetReplyEntry entry;
+      entry.id = missing[i];
+      entry.found = true;
+      entry.location = ObjectLocation::kRemote;
+      entry.offset = loc.offset;
+      entry.data_size = loc.data_size;
+      entry.metadata_size = loc.metadata_size;
+      entry.home_node = loc.home_node;
+      entry.home_region = loc.home_region;
+      pending.ready.emplace(missing[i], entry);
+      {
+        std::lock_guard<std::mutex> lock(state_mutex_);
+        ++remote_lookup_hits_;
+      }
+      if (options_.pin_remote_objects) {
+        dist_hooks_->PinRemote(missing[i], loc);
+        auto& ref = conn.remote_refs[missing[i]];
+        ref.first = loc;
+        ++ref.second;
+      }
+    }
+  }
+  for (const ObjectId& id : missing) {
+    if (pending.ready.count(id) == 0) {
+      pending.waiting.insert(id);
+    }
+  }
+
+  if (pending.waiting.empty() || request->timeout_ms == 0) {
+    ReplyPendingGet(pending);
+    return;
+  }
+  pending.deadline_ns =
+      MonotonicNanos() + static_cast<int64_t>(request->timeout_ms) * 1000000;
+  pending_gets_.push_back(std::move(pending));
+}
+
+void Store::ReplyPendingGet(PendingGet& pending) {
+  auto it = clients_.find(pending.fd);
+  if (it == clients_.end()) return;
+  GetReply reply;
+  for (const ObjectId& id : pending.order) {
+    auto ready = pending.ready.find(id);
+    if (ready != pending.ready.end()) {
+      reply.entries.push_back(ready->second);
+    } else {
+      GetReplyEntry missing;
+      missing.id = id;
+      missing.found = false;
+      reply.entries.push_back(missing);
+    }
+  }
+  if (!SendMessage(pending.fd, MessageType::kGetReply, reply).ok()) {
+    DropClient(pending.fd);
+  }
+}
+
+void Store::ServePendingGetsFor(const ObjectId& id) {
+  for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
+    PendingGet& pending = *it;
+    if (pending.waiting.erase(id) > 0) {
+      std::lock_guard<std::mutex> lock(state_mutex_);
+      auto local = TryLocalGet(id);
+      if (local.has_value()) {
+        auto conn_it = clients_.find(pending.fd);
+        if (conn_it != clients_.end()) {
+          (void)table_.AddRef(id);
+          ++conn_it->second->local_pins[id];
+          eviction_.Touch(id);
+          pending.ready.emplace(id, *local);
+        }
+      }
+    }
+    if (pending.waiting.empty()) {
+      ReplyPendingGet(pending);
+      it = pending_gets_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+int Store::FlushExpiredPendingGets() {
+  if (pending_gets_.empty()) return -1;
+  int64_t now = MonotonicNanos();
+  int64_t next_deadline = INT64_MAX;
+  for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
+    if (it->deadline_ns > now) {
+      next_deadline = std::min(next_deadline, it->deadline_ns);
+      ++it;
+      continue;
+    }
+    // Deadline reached: one final remote look-up for the stragglers (they
+    // may have been sealed on a peer while we waited), then reply.
+    PendingGet pending = std::move(*it);
+    it = pending_gets_.erase(it);
+    if (!pending.waiting.empty() && dist_hooks_ != nullptr) {
+      std::vector<ObjectId> stragglers(pending.waiting.begin(),
+                                       pending.waiting.end());
+      auto locations = dist_hooks_->LookupRemote(stragglers);
+      auto conn_it = clients_.find(pending.fd);
+      for (size_t i = 0; i < stragglers.size(); ++i) {
+        if (!locations[i].has_value()) continue;
+        const RemoteObjectLocation& loc = *locations[i];
+        GetReplyEntry entry;
+        entry.id = stragglers[i];
+        entry.found = true;
+        entry.location = ObjectLocation::kRemote;
+        entry.offset = loc.offset;
+        entry.data_size = loc.data_size;
+        entry.metadata_size = loc.metadata_size;
+        entry.home_node = loc.home_node;
+        entry.home_region = loc.home_region;
+        pending.ready.emplace(stragglers[i], entry);
+        pending.waiting.erase(stragglers[i]);
+        if (options_.pin_remote_objects && conn_it != clients_.end()) {
+          dist_hooks_->PinRemote(stragglers[i], loc);
+          auto& ref = conn_it->second->remote_refs[stragglers[i]];
+          ref.first = loc;
+          ++ref.second;
+        }
+      }
+    }
+    ReplyPendingGet(pending);
+  }
+  if (next_deadline == INT64_MAX) return -1;
+  int64_t ms = (next_deadline - now + 999999) / 1000000;
+  return static_cast<int>(std::max<int64_t>(ms, 1));
+}
+
+void Store::HandleRelease(ClientConn& conn,
+                          const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<ReleaseRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+  ReleaseReply reply;
+  std::optional<RemoteObjectLocation> remote_unpin;
+
+  auto local_it = conn.local_pins.find(request->id);
+  if (local_it != conn.local_pins.end()) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto refs = table_.ReleaseRef(request->id);
+    reply.status = refs.status();
+    if (--local_it->second == 0) {
+      conn.local_pins.erase(local_it);
+    }
+  } else {
+    auto remote_it = conn.remote_refs.find(request->id);
+    if (remote_it != conn.remote_refs.end()) {
+      remote_unpin = remote_it->second.first;
+      if (--remote_it->second.second == 0) {
+        conn.remote_refs.erase(remote_it);
+      }
+    } else {
+      reply.status = Status::KeyError("release: object " +
+                                      request->id.Hex() + " not held");
+    }
+  }
+  if (remote_unpin.has_value() && dist_hooks_ != nullptr &&
+      options_.pin_remote_objects) {
+    dist_hooks_->UnpinRemote(request->id, *remote_unpin);
+  }
+  (void)SendMessage(fd, MessageType::kReleaseReply, reply);
+}
+
+void Store::HandleContains(ClientConn& conn,
+                           const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<ContainsRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+  ContainsReply reply;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    reply.contains = table_.ContainsSealed(request->id);
+  }
+  (void)SendMessage(fd, MessageType::kContainsReply, reply);
+}
+
+void Store::HandleDelete(ClientConn& conn,
+                         const std::vector<uint8_t>& body) {
+  int fd = conn.fd.get();
+  auto request = DecodeMessage<DeleteRequest>(body);
+  if (!request.ok()) {
+    DropClient(fd);
+    return;
+  }
+  DeleteReply reply;
+  bool deleted = false;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    auto pins = remote_pins_.find(request->id);
+    if (pins != remote_pins_.end() && !pins->second.empty()) {
+      reply.status = Status::Invalid("delete: object " +
+                                     request->id.Hex() +
+                                     " is pinned by remote clients");
+    } else {
+      auto removed = table_.Remove(request->id);
+      reply.status = removed.status();
+      if (removed.ok()) {
+        (void)allocator_->Free(removed->offset);
+        eviction_.Remove(request->id);
+        remote_pins_.erase(request->id);
+        if (shared_index_ != nullptr) {
+          (void)shared_index_->Remove(request->id);
+        }
+        deleted = true;
+      }
+    }
+  }
+  if (deleted) {
+    if (dist_hooks_ != nullptr) {
+      dist_hooks_->NotifyDeleted(request->id);
+    }
+    Notification notice;
+    notice.id = request->id;
+    notice.deleted = true;
+    BroadcastNotification(notice);
+  }
+  (void)SendMessage(fd, MessageType::kDeleteReply, reply);
+}
+
+void Store::HandleList(ClientConn& conn) {
+  ListReply reply;
+  {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    reply.objects = table_.List();
+  }
+  (void)SendMessage(conn.fd.get(), MessageType::kListReply, reply);
+}
+
+void Store::HandleStats(ClientConn& conn) {
+  StatsReply reply;
+  reply.stats = stats();
+  (void)SendMessage(conn.fd.get(), MessageType::kStatsReply, reply);
+}
+
+// ---- thread-safe peer surface ---------------------------------------------
+
+Result<RemoteObjectLocation> Store::LookupForPeer(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto entry = table_.Lookup(id);
+  if (!entry.ok()) return entry.status();
+  if (entry->state != ObjectState::kSealed) {
+    return Status::NotSealed("object " + id.Hex() + " not sealed yet");
+  }
+  RemoteObjectLocation loc;
+  loc.home_node = node_id_;
+  loc.home_region = pool_region_;
+  loc.offset = entry->offset;
+  loc.data_size = entry->data_size;
+  loc.metadata_size = entry->metadata_size;
+  return loc;
+}
+
+bool Store::ContainsId(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return table_.Contains(id);
+}
+
+Status Store::PinForPeer(const ObjectId& id, uint32_t peer_node) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  if (!table_.ContainsSealed(id)) {
+    return Status::KeyError("pin: object " + id.Hex() + " not sealed here");
+  }
+  ++remote_pins_[id][peer_node];
+  return Status::OK();
+}
+
+Status Store::UnpinForPeer(const ObjectId& id, uint32_t peer_node) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto it = remote_pins_.find(id);
+  if (it == remote_pins_.end()) {
+    return Status::KeyError("unpin: object " + id.Hex() + " not pinned");
+  }
+  auto peer_it = it->second.find(peer_node);
+  if (peer_it == it->second.end()) {
+    return Status::KeyError("unpin: no pins from node " +
+                            std::to_string(peer_node));
+  }
+  if (--peer_it->second == 0) {
+    it->second.erase(peer_it);
+  }
+  if (it->second.empty()) {
+    remote_pins_.erase(it);
+  }
+  return Status::OK();
+}
+
+uint32_t Store::RemotePins(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  auto it = remote_pins_.find(id);
+  if (it == remote_pins_.end()) return 0;
+  uint32_t total = 0;
+  for (const auto& [node, count] : it->second) {
+    (void)node;
+    total += count;
+  }
+  return total;
+}
+
+StoreStats Store::stats() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  StoreStats s;
+  s.capacity = options_.capacity;
+  s.bytes_in_use = table_.bytes_in_use();
+  s.objects_total = table_.size();
+  s.objects_sealed = table_.sealed_count();
+  s.evictions = eviction_count_;
+  s.remote_lookups = remote_lookups_;
+  s.remote_lookup_hits = remote_lookup_hits_;
+  return s;
+}
+
+alloc::AllocatorStats Store::allocator_stats() {
+  std::lock_guard<std::mutex> lock(state_mutex_);
+  return allocator_->stats();
+}
+
+}  // namespace mdos::plasma

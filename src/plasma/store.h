@@ -1,0 +1,245 @@
+// Store — the memory-disaggregated Plasma object store (paper §IV).
+//
+// One Store runs per node. Local clients connect over a Unix domain
+// socket; object buffers are carved out of the node's disaggregated
+// memory pool by the paper's first-fit ordered-map allocator, so remote
+// nodes can consume them by direct fabric loads instead of copying data
+// over the LAN. Stores are interconnected through the dist layer
+// (gRPC-equivalent unary sync RPC): on a client Get for an unknown id,
+// the store looks the id up in its peers and, on a hit, hands the client
+// a buffer that points into the remote node's disaggregated memory; on
+// Create it probes peers to guarantee system-wide identifier uniqueness.
+//
+// Threading: the store's event-loop thread services all client sockets;
+// the node's RPC server thread calls into the thread-safe peer surface
+// (LookupForPeer & co.). A single mutex guards table + allocator +
+// eviction state — the concurrency design the paper describes.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <unordered_map>
+#include <vector>
+
+#include "alloc/allocator.h"
+#include "common/object_id.h"
+#include "common/status.h"
+#include "net/fd.h"
+#include "net/memfd.h"
+#include "net/poller.h"
+#include "plasma/eviction.h"
+#include "plasma/object_table.h"
+#include "plasma/protocol.h"
+#include "plasma/shared_index.h"
+#include "tf/fabric.h"
+
+namespace mdos::plasma {
+
+enum class AllocatorKind : uint8_t {
+  kFirstFit = 0,       // the paper's replacement allocator
+  kSegregatedFit = 1,  // dlmalloc-style baseline
+};
+
+struct StoreOptions {
+  std::string name = "plasma";
+  // UDS path for client IPC; empty picks a unique /tmp path.
+  std::string socket_path;
+  uint64_t capacity = 256ull << 20;
+  AllocatorKind allocator = AllocatorKind::kFirstFit;
+  // Probe peers on Create so ids are unique system-wide (§IV-A2).
+  bool check_global_uniqueness = true;
+  // Distributed object-usage sharing (paper future work, implemented):
+  // pin remote objects at their home store while local clients use them.
+  bool pin_remote_objects = true;
+};
+
+// Location of a remote object as exchanged between stores.
+struct RemoteObjectLocation {
+  uint32_t home_node = 0;
+  uint32_t home_region = 0;  // fabric RegionId of the home store's pool
+  uint64_t offset = 0;       // region-relative offset of the data section
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+};
+
+// Interface to the distributed layer; implemented by
+// dist::RemoteStoreRegistry. All calls may block on RPC (the paper's
+// synchronous gRPC mode) and are invoked from the store's event loop.
+class DistHooks {
+ public:
+  virtual ~DistHooks() = default;
+
+  // Looks up each id in the peer stores; entry i is nullopt when id i is
+  // unknown everywhere.
+  virtual std::vector<std::optional<RemoteObjectLocation>> LookupRemote(
+      const std::vector<ObjectId>& ids) = 0;
+
+  // True when any peer store already knows `id` (uniqueness probe).
+  virtual bool IdKnownRemotely(const ObjectId& id) = 0;
+
+  // Usage-tracking extension: pin/unpin `id` at its home store.
+  virtual void PinRemote(const ObjectId& id,
+                         const RemoteObjectLocation& loc) = 0;
+  virtual void UnpinRemote(const ObjectId& id,
+                           const RemoteObjectLocation& loc) = 0;
+
+  // Broadcast that this store dropped `id` (lookup-cache invalidation).
+  virtual void NotifyDeleted(const ObjectId& id) = 0;
+};
+
+class Store {
+ public:
+  // Standalone store: owns a private memfd pool (no fabric, no peers).
+  static Result<std::unique_ptr<Store>> Create(StoreOptions options);
+
+  // Fabric-backed store: the pool is the window of `node`'s slab that was
+  // exported as `pool_region` (offsets within the region and within the
+  // pool coincide; the cluster layer guarantees this).
+  static Result<std::unique_ptr<Store>> CreateOnFabric(
+      StoreOptions options, tf::Fabric* fabric, tf::NodeId node,
+      tf::RegionId pool_region);
+
+  ~Store();
+  Store(const Store&) = delete;
+  Store& operator=(const Store&) = delete;
+
+  // Binds the socket and starts the event-loop thread.
+  Status Start();
+  // Stops the event loop and closes all client connections. Idempotent.
+  void Stop();
+
+  // Wiring (before Start): distributed hooks and the external-pin
+  // predicate consulted by eviction (distributed usage tracking).
+  void SetDistHooks(DistHooks* hooks) { dist_hooks_ = hooks; }
+  void SetExternalPinCheck(std::function<bool(const ObjectId&)> check) {
+    external_pin_check_ = std::move(check);
+  }
+
+  // Shared-index extension (paper §V-B): when set, sealed objects are
+  // published into `writer` (a table in disaggregated memory that remote
+  // stores read directly) and withdrawn on delete/eviction.
+  // `index_region` is the fabric region peers should attach; it travels
+  // in the Hello handshake.
+  void SetSharedIndex(SharedIndexWriter* writer, uint32_t index_region) {
+    shared_index_ = writer;
+    index_region_ = index_region;
+  }
+  uint32_t index_region() const { return index_region_; }
+
+  const std::string& socket_path() const { return socket_path_; }
+  const std::string& name() const { return options_.name; }
+  uint32_t node_id() const { return node_id_; }
+  uint32_t pool_region() const { return pool_region_; }
+  uint64_t capacity() const { return options_.capacity; }
+
+  // ---- thread-safe surface for the dist service (RPC thread) ----------
+
+  // Sealed-object lookup on behalf of a peer store; KeyError when absent
+  // or unsealed. Offsets in the reply are pool/region-relative.
+  Result<RemoteObjectLocation> LookupForPeer(const ObjectId& id);
+
+  // True when the id exists in any state (uniqueness probe must also see
+  // unsealed creations).
+  bool ContainsId(const ObjectId& id);
+
+  // Remote pin bookkeeping (usage-tracking extension).
+  Status PinForPeer(const ObjectId& id, uint32_t peer_node);
+  Status UnpinForPeer(const ObjectId& id, uint32_t peer_node);
+  // Remote pins held on a local object; 0 when none.
+  uint32_t RemotePins(const ObjectId& id);
+
+  StoreStats stats();
+
+  // Test hook: direct access to allocator statistics.
+  alloc::AllocatorStats allocator_stats();
+
+ private:
+  struct ClientConn;
+  struct PendingGet;
+
+  Store(StoreOptions options, uint32_t node_id, uint32_t pool_region);
+
+  void EventLoop();
+  void AcceptClient();
+  void HandleClientMessage(ClientConn& conn);
+  void DropClient(int fd);
+
+  // Message handlers (store mutex taken inside as needed).
+  void HandleConnect(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleCreate(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleSeal(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleAbort(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleGet(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleRelease(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleContains(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleDelete(ClientConn& conn, const std::vector<uint8_t>& body);
+  void HandleList(ClientConn& conn);
+  void HandleStats(ClientConn& conn);
+  void HandleSubscribe(ClientConn& conn, const std::vector<uint8_t>& body);
+  // Pushes a notification to every subscriber connection.
+  void BroadcastNotification(const Notification& notice);
+
+  // Allocates space, evicting LRU unpinned objects if needed. Requires
+  // state_mutex_ held.
+  Result<alloc::Allocation> AllocateWithEviction(uint64_t size);
+  // Requires state_mutex_ held.
+  bool IsEvictable(const ObjectId& id) const;
+
+  // Resolves one id for a local Get: local hit pins and returns an entry;
+  // unknown ids return nullopt (caller consults the dist layer).
+  std::optional<GetReplyEntry> TryLocalGet(const ObjectId& id);
+
+  // Completes pending gets waiting on `id` after it was sealed.
+  void ServePendingGetsFor(const ObjectId& id);
+  // Replies to expired pending gets; returns ms until the next deadline
+  // (or -1 when none pending).
+  int FlushExpiredPendingGets();
+  void ReplyPendingGet(PendingGet& pending);
+
+  StoreOptions options_;
+  std::string socket_path_;
+  uint32_t node_id_ = 0;
+  uint32_t pool_region_ = UINT32_MAX;
+
+  // Pool memory: standalone stores own `own_pool_`; fabric stores borrow
+  // the node slab window. `pool_base_` points at offset 0 of the pool.
+  std::optional<net::MemfdSegment> own_pool_;
+  tf::Fabric* fabric_ = nullptr;
+  tf::NodeMemory* fabric_node_ = nullptr;
+  uint64_t pool_slab_offset_ = 0;
+  uint8_t* pool_base_ = nullptr;
+  int pool_fd_ = -1;
+
+  // Guards table/allocator/eviction/pins (store thread + RPC thread).
+  std::mutex state_mutex_;
+  ObjectTable table_;
+  std::unique_ptr<alloc::Allocator> allocator_;
+  EvictionPolicy eviction_;
+  std::unordered_map<ObjectId, std::unordered_map<uint32_t, uint32_t>>
+      remote_pins_;  // id -> (peer node -> pin count)
+  uint64_t eviction_count_ = 0;
+  uint64_t remote_lookups_ = 0;
+  uint64_t remote_lookup_hits_ = 0;
+
+  DistHooks* dist_hooks_ = nullptr;
+  std::function<bool(const ObjectId&)> external_pin_check_;
+  SharedIndexWriter* shared_index_ = nullptr;  // guarded by state_mutex_
+  uint32_t index_region_ = UINT32_MAX;
+
+  // Event loop state (store thread only).
+  net::UniqueFd listen_fd_;
+  net::Poller poller_;
+  std::unordered_map<int, std::unique_ptr<ClientConn>> clients_;
+  std::list<PendingGet> pending_gets_;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+};
+
+}  // namespace mdos::plasma

@@ -1,0 +1,100 @@
+#include "rpc/channel.h"
+
+#include <sys/socket.h>
+
+#include "common/clock.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mdos::rpc {
+
+Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
+    const std::string& host, uint16_t port, int64_t simulated_rtt_ns) {
+  MDOS_ASSIGN_OR_RETURN(net::UniqueFd fd, net::TcpConnect(host, port));
+  auto channel = std::make_shared<RpcChannel>();
+  channel->fd_ = std::move(fd);
+  channel->simulated_rtt_ns_ = simulated_rtt_ns;
+  return channel;
+}
+
+Result<std::vector<uint8_t>> RpcChannel::Call(
+    const std::string& method, const std::vector<uint8_t>& payload,
+    uint64_t timeout_ms) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (!fd_.valid()) return Status::NotConnected("channel closed");
+
+  const int64_t start_ns = MonotonicNanos();
+  auto fail = [&](Status st) -> Result<std::vector<uint8_t>> {
+    ++stats_.failures;
+    return st;
+  };
+
+  RpcRequest request;
+  request.call_id = next_call_id_.fetch_add(1);
+  request.method = method;
+  request.deadline_ms = timeout_ms;
+  request.payload = payload;
+
+  wire::Writer writer;
+  request.EncodeTo(writer);
+
+  // Model half the LAN round trip before send, half after receive.
+  if (simulated_rtt_ns_ > 0) SpinForNanos(simulated_rtt_ns_ / 2);
+
+  if (timeout_ms > 0) {
+    timeval tv{};
+    tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
+    tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
+    ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+  }
+
+  Status sent =
+      net::SendFrame(fd_.get(), kRequestFrame, writer.data(), writer.size());
+  if (!sent.ok()) {
+    fd_.Reset();
+    return fail(std::move(sent));
+  }
+
+  auto frame = net::RecvFrame(fd_.get());
+  if (!frame.ok()) {
+    Status st = frame.status();
+    fd_.Reset();
+    if (st.Is(StatusCode::kIoError) &&
+        st.message().find("Resource temporarily unavailable") !=
+            std::string::npos) {
+      return fail(Status::Timeout("rpc call '" + method + "' timed out"));
+    }
+    return fail(std::move(st));
+  }
+  if (frame->type != kResponseFrame) {
+    fd_.Reset();
+    return fail(Status::ProtocolError("unexpected frame type"));
+  }
+  wire::Reader reader(frame->payload.data(), frame->payload.size());
+  auto response = RpcResponse::DecodeFrom(reader);
+  if (!response.ok()) {
+    fd_.Reset();
+    return fail(response.status());
+  }
+  if (response->call_id != request.call_id) {
+    fd_.Reset();
+    return fail(Status::ProtocolError("rpc call id mismatch"));
+  }
+
+  if (simulated_rtt_ns_ > 0) SpinForNanos(simulated_rtt_ns_ / 2);
+
+  ++stats_.calls;
+  stats_.total_call_ns += MonotonicNanos() - start_ns;
+
+  if (response->code != StatusCode::kOk) {
+    return Status(response->code, response->error);
+  }
+  return std::move(response->payload);
+}
+
+ChannelStats RpcChannel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mdos::rpc

@@ -1,0 +1,80 @@
+// RpcChannel — client side of the unary sync RPC framework.
+//
+// A channel owns one TCP connection to a peer RpcServer. Calls are unary
+// and synchronous (the paper's gRPC configuration): the caller thread
+// serializes the request, blocks for the response, and deserializes it.
+// The channel is thread-safe; concurrent callers are serialized by a
+// mutex, matching a single HTTP/2 stream being reused sequentially.
+//
+// `simulated_rtt_ns` injects additional latency per call so loopback TCP
+// can model a data-centre LAN round trip (see DESIGN.md §6 calibration);
+// it is applied client-side, half before sending and half after receiving.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fd.h"
+#include "rpc/message.h"
+
+namespace mdos::rpc {
+
+struct ChannelStats {
+  uint64_t calls = 0;
+  uint64_t failures = 0;
+  int64_t total_call_ns = 0;  // wall time across all calls
+};
+
+class RpcChannel {
+ public:
+  RpcChannel() = default;
+  RpcChannel(const RpcChannel&) = delete;
+  RpcChannel& operator=(const RpcChannel&) = delete;
+
+  // Connects to 127.0.0.1:`port`. Channels contain synchronization state,
+  // so they live on the heap and are shared by reference.
+  static Result<std::shared_ptr<RpcChannel>> Connect(
+      const std::string& host, uint16_t port,
+      int64_t simulated_rtt_ns = 0);
+
+  bool connected() const { return fd_.valid(); }
+  void Disconnect() { fd_.Reset(); }
+
+  // Performs one unary call. `timeout_ms` (0 = no timeout) bounds the wait
+  // for the response.
+  Result<std::vector<uint8_t>> Call(const std::string& method,
+                                    const std::vector<uint8_t>& payload,
+                                    uint64_t timeout_ms = 0);
+
+  // Typed convenience: encodes `request`, decodes the response into
+  // `ResponseT`. RequestT must provide EncodeTo, ResponseT DecodeFrom.
+  template <typename ResponseT, typename RequestT>
+  Result<ResponseT> CallTyped(const std::string& method,
+                              const RequestT& request,
+                              uint64_t timeout_ms = 0) {
+    wire::Writer w;
+    request.EncodeTo(w);
+    std::vector<uint8_t> bytes(w.data(), w.data() + w.size());
+    MDOS_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                          Call(method, bytes, timeout_ms));
+    wire::Reader r(reply.data(), reply.size());
+    return ResponseT::DecodeFrom(r);
+  }
+
+  ChannelStats stats() const;
+  int64_t simulated_rtt_ns() const { return simulated_rtt_ns_; }
+
+ private:
+  net::UniqueFd fd_;
+  int64_t simulated_rtt_ns_ = 0;
+  std::atomic<uint64_t> next_call_id_{1};
+  mutable std::mutex mutex_;
+  ChannelStats stats_;
+};
+
+}  // namespace mdos::rpc

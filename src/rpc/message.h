@@ -1,0 +1,52 @@
+// RPC wire messages.
+//
+// The paper interconnects Plasma stores with gRPC configured in
+// synchronous unary mode (§IV-A2). This module defines the equivalent
+// on-the-wire representation for our from-scratch RPC framework:
+//
+//   request  := { call_id: u64, method: string, deadline_ms: varint,
+//                 payload: bytes }
+//   response := { call_id: u64, code: u8, error: string, payload: bytes }
+//
+// Both travel as net::Frame payloads with frame types kRequestFrame /
+// kResponseFrame.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "wire/wire.h"
+
+namespace mdos::rpc {
+
+inline constexpr uint32_t kRequestFrame = 0x52504351;   // "RPCQ"
+inline constexpr uint32_t kResponseFrame = 0x52504352;  // "RPCR"
+
+struct RpcRequest {
+  uint64_t call_id = 0;
+  std::string method;
+  uint64_t deadline_ms = 0;  // 0 = no deadline
+  std::vector<uint8_t> payload;
+
+  void EncodeTo(wire::Writer& w) const;
+  static Result<RpcRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct RpcResponse {
+  uint64_t call_id = 0;
+  StatusCode code = StatusCode::kOk;
+  std::string error;
+  std::vector<uint8_t> payload;
+
+  void EncodeTo(wire::Writer& w) const;
+  static Result<RpcResponse> DecodeFrom(wire::Reader& r);
+
+  Status ToStatus() const {
+    if (code == StatusCode::kOk) return Status::OK();
+    return Status(code, error);
+  }
+};
+
+}  // namespace mdos::rpc

@@ -1,0 +1,125 @@
+#include "rpc/server.h"
+
+#include <algorithm>
+
+#include "common/clock.h"
+#include "common/log.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mdos::rpc {
+
+RpcServer::~RpcServer() { Stop(); }
+
+void RpcServer::RegisterHandler(std::string method, Handler handler) {
+  handlers_[std::move(method)] = std::move(handler);
+}
+
+Status RpcServer::Start(uint16_t port) {
+  if (running_.load()) return Status::Invalid("server already running");
+  MDOS_ASSIGN_OR_RETURN(listen_fd_, net::TcpListen(port, &port_));
+  running_.store(true);
+  poller_.Add(listen_fd_.get());
+  thread_ = std::thread([this] { ServeLoop(); });
+  return Status::OK();
+}
+
+void RpcServer::Stop() {
+  if (!running_.exchange(false)) {
+    if (thread_.joinable()) thread_.join();
+    return;
+  }
+  poller_.Wakeup();
+  if (thread_.joinable()) thread_.join();
+  connections_.clear();
+  listen_fd_.Reset();
+}
+
+ServerStats RpcServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  return stats_;
+}
+
+void RpcServer::ServeLoop() {
+  while (running_.load()) {
+    auto ready = poller_.Wait(/*timeout_ms=*/200, [this](int fd) {
+      if (fd == listen_fd_.get()) {
+        auto conn = net::Accept(listen_fd_.get());
+        if (conn.ok()) {
+          (void)net::SetNoDelay(conn->get());
+          poller_.Add(conn->get());
+          connections_.push_back(std::move(conn).value());
+        }
+      } else {
+        HandleReadable(fd);
+      }
+    });
+    if (!ready.ok()) {
+      MDOS_LOG_ERROR << "rpc server poll failed: " << ready.status();
+      break;
+    }
+  }
+}
+
+void RpcServer::HandleReadable(int fd) {
+  auto frame = net::RecvFrame(fd);
+  if (!frame.ok()) {
+    // Clean disconnect or corrupt stream: drop the connection either way.
+    CloseConnection(fd);
+    return;
+  }
+  if (frame->type != kRequestFrame) {
+    CloseConnection(fd);
+    return;
+  }
+  wire::Reader reader(frame->payload.data(), frame->payload.size());
+  auto request = RpcRequest::DecodeFrom(reader);
+  if (!request.ok()) {
+    CloseConnection(fd);
+    return;
+  }
+
+  int64_t delay = service_delay_ns_.load(std::memory_order_relaxed);
+  if (delay > 0) SpinForNanos(delay);
+
+  RpcResponse response;
+  response.call_id = request->call_id;
+  auto it = handlers_.find(request->method);
+  if (it == handlers_.end()) {
+    response.code = StatusCode::kInvalid;
+    response.error = "unknown method: " + request->method;
+  } else {
+    auto result = it->second(request->payload);
+    if (result.ok()) {
+      response.payload = std::move(result).value();
+    } else {
+      response.code = result.status().code();
+      response.error = result.status().message();
+    }
+  }
+
+  wire::Writer writer;
+  response.EncodeTo(writer);
+  // Account the call before the response leaves: once the client has the
+  // reply, the server's counters must already reflect it.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.calls;
+    if (response.code != StatusCode::kOk) ++stats_.errors;
+    stats_.bytes_in += frame->payload.size();
+    stats_.bytes_out += writer.size();
+  }
+  Status sent =
+      net::SendFrame(fd, kResponseFrame, writer.data(), writer.size());
+  if (!sent.ok()) CloseConnection(fd);
+}
+
+void RpcServer::CloseConnection(int fd) {
+  poller_.Remove(fd);
+  connections_.erase(
+      std::remove_if(connections_.begin(), connections_.end(),
+                     [fd](const net::UniqueFd& c) { return c.get() == fd; }),
+      connections_.end());
+}
+
+}  // namespace mdos::rpc

@@ -1,0 +1,81 @@
+// RpcServer — synchronous unary RPC service endpoint.
+//
+// Mirrors the paper's gRPC configuration: "the gRPC server requires a
+// dedicated thread to service all calls synchronously" (§IV-A2). A single
+// server thread multiplexes all peer connections with poll(2) and executes
+// handlers inline, one call at a time — the same serialization behaviour
+// as a sync gRPC server with one completion thread. Handlers therefore
+// need no internal locking against each other, but they *do* run
+// concurrently with the owning store's main thread, which is exactly the
+// concurrency the paper's mutexes protect against.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "common/status.h"
+#include "net/fd.h"
+#include "net/poller.h"
+#include "rpc/message.h"
+
+namespace mdos::rpc {
+
+// A handler consumes the request payload and produces a response payload.
+using Handler =
+    std::function<Result<std::vector<uint8_t>>(const std::vector<uint8_t>&)>;
+
+struct ServerStats {
+  uint64_t calls = 0;
+  uint64_t errors = 0;
+  uint64_t bytes_in = 0;
+  uint64_t bytes_out = 0;
+};
+
+class RpcServer {
+ public:
+  RpcServer() = default;
+  ~RpcServer();
+  RpcServer(const RpcServer&) = delete;
+  RpcServer& operator=(const RpcServer&) = delete;
+
+  // Registers `handler` for `method`. Must be called before Start.
+  void RegisterHandler(std::string method, Handler handler);
+
+  // Binds 127.0.0.1:`port` (0 = ephemeral) and starts the service thread.
+  Status Start(uint16_t port = 0);
+
+  // Stops the service thread and closes all connections. Idempotent.
+  void Stop();
+
+  uint16_t port() const { return port_; }
+  bool running() const { return running_.load(); }
+  ServerStats stats() const;
+
+  // Optional per-call artificial service delay, modelling the remote
+  // store's handler-side work in latency studies. 0 = disabled.
+  void set_service_delay_ns(int64_t ns) { service_delay_ns_.store(ns); }
+
+ private:
+  void ServeLoop();
+  void HandleReadable(int fd);
+  void CloseConnection(int fd);
+
+  std::map<std::string, Handler> handlers_;
+  net::UniqueFd listen_fd_;
+  uint16_t port_ = 0;
+  std::thread thread_;
+  std::atomic<bool> running_{false};
+  std::atomic<int64_t> service_delay_ns_{0};
+  net::Poller poller_;
+  std::vector<net::UniqueFd> connections_;
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace mdos::rpc

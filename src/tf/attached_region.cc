@@ -1,0 +1,146 @@
+#include "tf/attached_region.h"
+
+#include <cstring>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/crc32.h"
+
+namespace mdos::tf {
+
+AttachedRegion::AttachedRegion(NodeMemory* home, uint64_t base_offset,
+                               uint64_t size, bool remote,
+                               bool model_home_cache,
+                               LatencyParams latency,
+                               RegionCounters* fabric_counters)
+    : home_(home),
+      base_(home->data() + base_offset),
+      base_offset_(base_offset),
+      size_(size),
+      remote_(remote),
+      model_home_cache_(model_home_cache),
+      latency_(latency),
+      fabric_counters_(fabric_counters) {}
+
+AttachedRegion::AttachedRegion(const AttachedRegion& other)
+    : home_(other.home_),
+      base_(other.base_),
+      base_offset_(other.base_offset_),
+      size_(other.size_),
+      remote_(other.remote_),
+      model_home_cache_(other.model_home_cache_),
+      latency_(other.latency_),
+      fabric_counters_(other.fabric_counters_),
+      stream_cursor_(other.stream_cursor_.load(std::memory_order_relaxed)) {
+}
+
+AttachedRegion& AttachedRegion::operator=(const AttachedRegion& other) {
+  if (this != &other) {
+    home_ = other.home_;
+    base_ = other.base_;
+    base_offset_ = other.base_offset_;
+    size_ = other.size_;
+    remote_ = other.remote_;
+    model_home_cache_ = other.model_home_cache_;
+    latency_ = other.latency_;
+    fabric_counters_ = other.fabric_counters_;
+    stream_cursor_.store(
+        other.stream_cursor_.load(std::memory_order_relaxed),
+        std::memory_order_relaxed);
+  }
+  return *this;
+}
+
+Status AttachedRegion::CheckBounds(uint64_t offset, uint64_t size) const {
+  if (home_ == nullptr) return Status::Invalid("region not attached");
+  if (offset + size < offset || offset + size > size_) {
+    return Status::Invalid("region access out of bounds");
+  }
+  return Status::OK();
+}
+
+Status AttachedRegion::Read(uint64_t offset, void* dst,
+                            uint64_t size) const {
+  MDOS_RETURN_IF_ERROR(CheckBounds(offset, size));
+  const int64_t start = MonotonicNanos();
+  // Sequential-stream detection: continuing (within the prefetch window)
+  // where the last read ended skips the base access latency.
+  uint64_t cursor = stream_cursor_.load(std::memory_order_relaxed);
+  LatencyParams effective = latency_;
+  if (offset >= cursor && offset - cursor <= kPrefetchWindow) {
+    effective.base_latency_ns = 0;
+  }
+  stream_cursor_.store(offset + size, std::memory_order_relaxed);
+  if (remote_ || !model_home_cache_) {
+    // OpenCAPI remote reads are cache-coherent: fetch current memory.
+    // (Local reads take the same fast path unless the functional cache
+    // model is enabled — see FabricConfig::model_home_cache.)
+    std::memcpy(dst, base_ + offset, size);
+  } else {
+    // The home node reads its own memory through its CPU cache model and
+    // can therefore observe stale lines after remote writes.
+    home_->home_cache().Read(base_offset_ + offset, dst, size);
+  }
+  EnforceModel(effective, size, start);
+  if (fabric_counters_ != nullptr) {
+    __atomic_add_fetch(&fabric_counters_->reads, 1, __ATOMIC_RELAXED);
+    __atomic_add_fetch(&fabric_counters_->read_bytes, size,
+                       __ATOMIC_RELAXED);
+  }
+  return Status::OK();
+}
+
+Status AttachedRegion::Write(uint64_t offset, const void* src,
+                             uint64_t size) const {
+  MDOS_RETURN_IF_ERROR(CheckBounds(offset, size));
+  const int64_t start = MonotonicNanos();
+  if (remote_) {
+    // Data is flushed to home DRAM but the home node's cached lines are
+    // not invalidated — the paper's Fig. 3b hazard.
+    std::memcpy(base_ + offset, src, size);
+    home_->home_cache().NoteRemoteWrite(base_offset_ + offset, size);
+  } else if (model_home_cache_) {
+    home_->home_cache().Write(base_offset_ + offset, src, size);
+  } else {
+    std::memcpy(base_ + offset, src, size);
+  }
+  EnforceModel(latency_, size, start);
+  if (fabric_counters_ != nullptr) {
+    __atomic_add_fetch(&fabric_counters_->writes, 1, __ATOMIC_RELAXED);
+    __atomic_add_fetch(&fabric_counters_->write_bytes, size,
+                       __ATOMIC_RELAXED);
+  }
+  return Status::OK();
+}
+
+Result<uint32_t> AttachedRegion::ChecksumRead(uint64_t offset,
+                                              uint64_t size,
+                                              uint64_t chunk) const {
+  MDOS_RETURN_IF_ERROR(CheckBounds(offset, size));
+  if (chunk == 0) return Status::Invalid("chunk must be positive");
+  std::vector<uint8_t> scratch(std::min(chunk, size));
+  uint32_t crc = 0;
+  uint64_t pos = 0;
+  while (pos < size) {
+    uint64_t n = std::min(chunk, size - pos);
+    MDOS_RETURN_IF_ERROR(Read(offset + pos, scratch.data(), n));
+    crc = Crc32Update(crc, scratch.data(), n);
+    pos += n;
+  }
+  return crc;
+}
+
+RegionCounters AttachedRegion::counters() const {
+  if (fabric_counters_ == nullptr) return {};
+  RegionCounters out;
+  out.reads = __atomic_load_n(&fabric_counters_->reads, __ATOMIC_RELAXED);
+  out.read_bytes =
+      __atomic_load_n(&fabric_counters_->read_bytes, __ATOMIC_RELAXED);
+  out.writes =
+      __atomic_load_n(&fabric_counters_->writes, __ATOMIC_RELAXED);
+  out.write_bytes =
+      __atomic_load_n(&fabric_counters_->write_bytes, __ATOMIC_RELAXED);
+  return out;
+}
+
+}  // namespace mdos::tf

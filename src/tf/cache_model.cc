@@ -1,0 +1,127 @@
+#include "tf/cache_model.h"
+
+#include <algorithm>
+#include <cstring>
+
+namespace mdos::tf {
+
+CacheModel::CacheModel(uint8_t* memory, uint64_t memory_size,
+                       CacheConfig config)
+    : memory_(memory),
+      memory_size_(memory_size),
+      config_(config),
+      max_lines_(std::max<uint64_t>(1, config.capacity_bytes /
+                                           config.line_size)) {}
+
+CacheModel::Line& CacheModel::TouchLine(uint64_t line_index) {
+  auto it = lines_.find(line_index);
+  if (it != lines_.end()) {
+    ++stats_.hits;
+    lru_.erase(it->second.lru_it);
+    lru_.push_front(line_index);
+    it->second.lru_it = lru_.begin();
+    return it->second;
+  }
+  ++stats_.misses;
+  EvictIfNeeded();
+  uint64_t begin = line_index * config_.line_size;
+  uint64_t end = std::min(begin + config_.line_size, memory_size_);
+  Line line;
+  line.snapshot.assign(memory_ + begin, memory_ + end);
+  lru_.push_front(line_index);
+  line.lru_it = lru_.begin();
+  auto [inserted, ok] = lines_.emplace(line_index, std::move(line));
+  (void)ok;
+  return inserted->second;
+}
+
+void CacheModel::EvictIfNeeded() {
+  while (lines_.size() >= max_lines_) {
+    uint64_t victim = lru_.back();
+    lru_.pop_back();
+    lines_.erase(victim);
+    ++stats_.evictions;
+  }
+}
+
+void CacheModel::Read(uint64_t offset, void* dst, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint8_t* out = static_cast<uint8_t*>(dst);
+  uint64_t pos = offset;
+  uint64_t end = offset + size;
+  while (pos < end) {
+    uint64_t line_index = pos / config_.line_size;
+    uint64_t line_begin = line_index * config_.line_size;
+    uint64_t in_line = pos - line_begin;
+    uint64_t n = std::min(config_.line_size - in_line, end - pos);
+    Line& line = TouchLine(line_index);
+    // Track staleness for observability: a hit whose snapshot no longer
+    // matches memory is the paper's Fig. 3b hazard in action.
+    if (in_line + n <= line.snapshot.size() &&
+        std::memcmp(line.snapshot.data() + in_line, memory_ + pos, n) !=
+            0) {
+      ++stats_.stale_hits;
+    }
+    std::memcpy(out, line.snapshot.data() + in_line, n);
+    out += n;
+    pos += n;
+  }
+}
+
+void CacheModel::Write(uint64_t offset, const void* src, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const uint8_t* in = static_cast<const uint8_t*>(src);
+  std::memcpy(memory_ + offset, in, size);
+  // Refresh any cached lines covering the written range; untouched lines
+  // are left alone (write-allocate is not modelled — immaterial for the
+  // staleness semantics under test).
+  uint64_t first_line = offset / config_.line_size;
+  uint64_t last_line = (offset + size - 1) / config_.line_size;
+  for (uint64_t li = first_line; li <= last_line; ++li) {
+    auto it = lines_.find(li);
+    if (it == lines_.end()) continue;
+    uint64_t begin = li * config_.line_size;
+    uint64_t end = std::min(begin + config_.line_size, memory_size_);
+    it->second.snapshot.assign(memory_ + begin, memory_ + end);
+  }
+}
+
+void CacheModel::NoteRemoteWrite(uint64_t offset, uint64_t size) {
+  (void)offset;
+  (void)size;
+  // Intentionally does not touch cached snapshots: this is the
+  // ThymesisFlow incoherence being modelled.
+}
+
+void CacheModel::FlushRange(uint64_t offset, uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (size == 0) return;
+  uint64_t first_line = offset / config_.line_size;
+  uint64_t last_line = (offset + size - 1) / config_.line_size;
+  for (uint64_t li = first_line; li <= last_line; ++li) {
+    auto it = lines_.find(li);
+    if (it == lines_.end()) continue;
+    lru_.erase(it->second.lru_it);
+    lines_.erase(it);
+    ++stats_.flushes;
+  }
+}
+
+void CacheModel::InvalidateAll() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.flushes += lines_.size();
+  lines_.clear();
+  lru_.clear();
+}
+
+CacheStats CacheModel::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+uint64_t CacheModel::cached_lines() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return lines_.size();
+}
+
+}  // namespace mdos::tf

@@ -1,0 +1,91 @@
+// CacheModel — functional model of the ThymesisFlow coherency asymmetry.
+//
+// Paper §III / Fig. 3: remote *reads* of disaggregated memory are
+// cache-coherent (OpenCAPI fetches coherent data from the home node), but
+// when a node writes to *remote* disaggregated memory, the write is
+// flushed to the home node's DRAM while the home node's own CPU caches
+// are NOT invalidated — the home node may keep reading a stale value
+// until its cached lines are evicted or explicitly flushed ("eliminating
+// caching completely ... would require the development of custom kernel
+// modules").
+//
+// This class models the home node's CPU cache over its own slab:
+// line-granular, bounded capacity, LRU eviction. Reads by the home node
+// go through the cache and can observe stale snapshots after a remote
+// write; `FlushRange`/`InvalidateAll` model the kernel-module mitigation.
+// Remote readers bypass the model entirely (reads are coherent).
+//
+// The model is *functional*, not a timing model — it exists so the store
+// protocol can be property-tested against exactly the hazard the paper
+// designs around (the framework never writes remotely, and tests verify
+// the hazard would bite if it did).
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+namespace mdos::tf {
+
+struct CacheConfig {
+  uint64_t line_size = 128;        // POWER9 cache line
+  uint64_t capacity_bytes = 1 << 20;  // modelled cache footprint
+};
+
+struct CacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t evictions = 0;
+  uint64_t flushes = 0;
+  uint64_t stale_hits = 0;  // hits on lines that differ from memory
+};
+
+class CacheModel {
+ public:
+  CacheModel(uint8_t* memory, uint64_t memory_size, CacheConfig config);
+
+  // Home-node read through the cache: fills `dst` from cached line
+  // snapshots where present (possibly stale), from memory otherwise
+  // (caching the lines it touches). Thread-safe.
+  void Read(uint64_t offset, void* dst, uint64_t size);
+
+  // Home-node write: writes memory and refreshes the affected cached
+  // lines (a CPU's own stores are coherent with its own cache).
+  void Write(uint64_t offset, const void* src, uint64_t size);
+
+  // Called by the fabric when a *remote* node writes this node's memory:
+  // memory has already been updated; cached lines intentionally keep
+  // their stale snapshots. Only stats are recorded.
+  void NoteRemoteWrite(uint64_t offset, uint64_t size);
+
+  // Mitigations (the paper's hypothetical kernel module / explicit sync).
+  void FlushRange(uint64_t offset, uint64_t size);
+  void InvalidateAll();
+
+  CacheStats stats() const;
+  uint64_t cached_lines() const;
+
+ private:
+  struct Line {
+    std::vector<uint8_t> snapshot;
+    std::list<uint64_t>::iterator lru_it;
+  };
+
+  // Requires lock held. Returns the line, caching it on miss.
+  Line& TouchLine(uint64_t line_index);
+  void EvictIfNeeded();
+
+  uint8_t* const memory_;
+  const uint64_t memory_size_;
+  const CacheConfig config_;
+  const uint64_t max_lines_;
+
+  mutable std::mutex mutex_;
+  std::unordered_map<uint64_t, Line> lines_;
+  std::list<uint64_t> lru_;  // front = most recent
+  CacheStats stats_;
+};
+
+}  // namespace mdos::tf

@@ -1,0 +1,93 @@
+#include "tf/fabric.h"
+
+namespace mdos::tf {
+
+Fabric::Fabric(FabricConfig config)
+    : config_(config),
+      local_counters_(std::make_unique<RegionCounters>()),
+      remote_counters_(std::make_unique<RegionCounters>()) {}
+
+Result<NodeId> Fabric::AddNode(const std::string& name, uint64_t slab_size,
+                               uint64_t disagg_offset,
+                               uint64_t disagg_size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (disagg_size == UINT64_MAX) {
+    disagg_size = slab_size - disagg_offset;
+  }
+  NodeId id = static_cast<NodeId>(nodes_.size());
+  MDOS_ASSIGN_OR_RETURN(
+      auto node, NodeMemory::Create(id, name, slab_size, disagg_offset,
+                                    disagg_size, config_.home_cache));
+  nodes_.push_back(std::move(node));
+  return id;
+}
+
+Result<NodeMemory*> Fabric::node(NodeId id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= nodes_.size()) {
+    return Status::KeyError("unknown node " + std::to_string(id));
+  }
+  return nodes_[id].get();
+}
+
+size_t Fabric::node_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return nodes_.size();
+}
+
+Result<RegionId> Fabric::ExportRegion(NodeId owner, uint64_t offset,
+                                      uint64_t size) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (owner >= nodes_.size()) {
+    return Status::KeyError("unknown node " + std::to_string(owner));
+  }
+  NodeMemory& node = *nodes_[owner];
+  if (!node.InDisaggWindow(offset, size)) {
+    return Status::Invalid(
+        "region outside the node's disaggregated window");
+  }
+  RegionId id = static_cast<RegionId>(regions_.size());
+  regions_.push_back(RegionInfo{id, owner, offset, size});
+  return id;
+}
+
+Result<RegionInfo> Fabric::region_info(RegionId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (id >= regions_.size()) {
+    return Status::KeyError("unknown region " + std::to_string(id));
+  }
+  return regions_[id];
+}
+
+Result<AttachedRegion> Fabric::Attach(NodeId accessor, RegionId region) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (accessor >= nodes_.size()) {
+    return Status::KeyError("unknown node " + std::to_string(accessor));
+  }
+  if (region >= regions_.size()) {
+    return Status::KeyError("unknown region " + std::to_string(region));
+  }
+  const RegionInfo& info = regions_[region];
+  const bool remote = info.owner != accessor;
+  return AttachedRegion(
+      nodes_[info.owner].get(), info.offset, info.size, remote,
+      config_.model_home_cache, remote ? config_.remote : config_.local,
+      remote ? remote_counters_.get() : local_counters_.get());
+}
+
+FabricStats Fabric::stats() const {
+  FabricStats out;
+  auto load = [](const RegionCounters& c) {
+    RegionCounters r;
+    r.reads = __atomic_load_n(&c.reads, __ATOMIC_RELAXED);
+    r.read_bytes = __atomic_load_n(&c.read_bytes, __ATOMIC_RELAXED);
+    r.writes = __atomic_load_n(&c.writes, __ATOMIC_RELAXED);
+    r.write_bytes = __atomic_load_n(&c.write_bytes, __ATOMIC_RELAXED);
+    return r;
+  };
+  out.local = load(*local_counters_);
+  out.remote = load(*remote_counters_);
+  return out;
+}
+
+}  // namespace mdos::tf

@@ -1,0 +1,46 @@
+#include "tf/latency_model.h"
+
+#include "common/clock.h"
+
+namespace mdos::tf {
+
+int64_t LatencyParams::AccessNanos(uint64_t bytes) const {
+  int64_t ns = base_latency_ns;
+  if (bandwidth_gib_per_s > 0.0) {
+    const double bytes_per_ns =
+        bandwidth_gib_per_s * (1024.0 * 1024.0 * 1024.0) / 1e9;
+    ns += static_cast<int64_t>(static_cast<double>(bytes) / bytes_per_ns);
+  }
+  return ns;
+}
+
+LatencyParams LocalDramParams() {
+  return LatencyParams{/*base_latency_ns=*/90,
+                       /*bandwidth_gib_per_s=*/6.5};
+}
+
+LatencyParams RemoteFabricParams() {
+  return LatencyParams{/*base_latency_ns=*/2500,
+                       /*bandwidth_gib_per_s=*/5.75};
+}
+
+LatencyParams ScaledLocalParams(double scale) {
+  LatencyParams p = LocalDramParams();
+  p.bandwidth_gib_per_s *= scale;
+  p.base_latency_ns = static_cast<int64_t>(p.base_latency_ns / scale);
+  return p;
+}
+
+LatencyParams ScaledRemoteParams(double scale) {
+  LatencyParams p = RemoteFabricParams();
+  p.bandwidth_gib_per_s *= scale;
+  p.base_latency_ns = static_cast<int64_t>(p.base_latency_ns / scale);
+  return p;
+}
+
+void EnforceModel(const LatencyParams& params, uint64_t bytes,
+                  int64_t start_ns) {
+  SpinUntilNanos(start_ns + params.AccessNanos(bytes));
+}
+
+}  // namespace mdos::tf

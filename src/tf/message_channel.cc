@@ -1,0 +1,199 @@
+#include "tf/message_channel.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/clock.h"
+
+namespace mdos::tf {
+namespace {
+
+constexpr uint32_t kWrapMarker = 0xFFFFFFFF;
+constexpr uint64_t kRecordAlign = 8;
+
+uint64_t RecordBytes(uint32_t payload) {
+  return (4 + static_cast<uint64_t>(payload) + kRecordAlign - 1) &
+         ~(kRecordAlign - 1);
+}
+
+std::atomic_ref<uint64_t> Cursor(uint8_t* p) {
+  return std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(p));
+}
+
+std::atomic_ref<const uint64_t> Cursor(const uint8_t* p) {
+  return std::atomic_ref<const uint64_t>(
+      *reinterpret_cast<const uint64_t*>(p));
+}
+
+}  // namespace
+
+Status MessageChannel::Create(Fabric* fabric, NodeId producer_node,
+                              uint64_t producer_offset,
+                              NodeId consumer_node,
+                              uint64_t consumer_offset,
+                              uint64_t ring_bytes,
+                              ChannelProducer* producer,
+                              ChannelConsumer* consumer) {
+  if (ring_bytes < 64 || (ring_bytes & (ring_bytes - 1)) != 0) {
+    return Status::Invalid("ring_bytes must be a power of two >= 64");
+  }
+  if (producer_node == consumer_node) {
+    return Status::Invalid("channel endpoints must be distinct nodes");
+  }
+  // Producer window: cursor + ring. Consumer window: cursor only.
+  MDOS_ASSIGN_OR_RETURN(
+      RegionId producer_region,
+      fabric->ExportRegion(producer_node, producer_offset,
+                           8 + ring_bytes));
+  MDOS_ASSIGN_OR_RETURN(
+      RegionId consumer_region,
+      fabric->ExportRegion(consumer_node, consumer_offset, 8));
+
+  // Each endpoint attaches its own region locally and the peer's
+  // remotely; local pointers come from the local attachments, the
+  // latency model for remote reads from the remote ones.
+  MDOS_ASSIGN_OR_RETURN(AttachedRegion producer_local,
+                        fabric->Attach(producer_node, producer_region));
+  MDOS_ASSIGN_OR_RETURN(AttachedRegion producer_view_of_consumer,
+                        fabric->Attach(producer_node, consumer_region));
+  MDOS_ASSIGN_OR_RETURN(AttachedRegion consumer_local,
+                        fabric->Attach(consumer_node, consumer_region));
+  MDOS_ASSIGN_OR_RETURN(AttachedRegion consumer_view_of_producer,
+                        fabric->Attach(consumer_node, producer_region));
+
+  uint8_t* producer_base =
+      const_cast<uint8_t*>(producer_local.unsafe_data());
+  uint8_t* consumer_base =
+      const_cast<uint8_t*>(consumer_local.unsafe_data());
+  std::memset(producer_base, 0, 8 + ring_bytes);
+  std::memset(consumer_base, 0, 8);
+
+  producer->write_cursor_ptr_ = producer_base;
+  producer->ring_ = producer_base + 8;
+  producer->read_cursor_ptr_ = producer_view_of_consumer.unsafe_data();
+  producer->capacity_ = ring_bytes;
+  producer->remote_ = producer_view_of_consumer.latency();
+  producer->cached_read_cursor_ = 0;
+
+  consumer->write_cursor_ptr_ = consumer_view_of_producer.unsafe_data();
+  consumer->ring_ = consumer_view_of_producer.unsafe_data() + 8;
+  consumer->read_cursor_ptr_ = consumer_base;
+  consumer->capacity_ = ring_bytes;
+  consumer->remote_ = consumer_view_of_producer.latency();
+  return Status::OK();
+}
+
+// ---- producer --------------------------------------------------------------
+
+Status ChannelProducer::TrySend(const void* message, uint32_t size) {
+  uint64_t record = RecordBytes(size);
+  if (record + kRecordAlign > capacity_) {
+    return Status::Invalid("message larger than ring");
+  }
+  uint64_t write = Cursor(write_cursor_ptr_).load(std::memory_order_relaxed);
+
+  // Free space check against the cached view of the consumer cursor;
+  // refresh it (one modelled remote read) only when it looks full —
+  // the same trick hardware SPSC rings use to avoid cross-node traffic.
+  auto free_bytes = [&] {
+    return capacity_ - (write - cached_read_cursor_);
+  };
+  uint64_t pos = write & (capacity_ - 1);
+  uint64_t contiguous = capacity_ - pos;
+  uint64_t needed = record <= contiguous ? record : contiguous + record;
+  if (free_bytes() < needed) {
+    const int64_t t0 = MonotonicNanos();
+    cached_read_cursor_ =
+        Cursor(read_cursor_ptr_).load(std::memory_order_acquire);
+    EnforceModel(remote_, 8, t0);
+    if (free_bytes() < needed) {
+      ++stats_.full_stalls;
+      return Status::Unavailable("ring full");
+    }
+  }
+
+  if (record > contiguous) {
+    // Not enough contiguous space: write a wrap marker and start over at
+    // the ring base.
+    std::memcpy(ring_ + pos, &kWrapMarker, 4);
+    write += contiguous;
+    pos = 0;
+  }
+  std::memcpy(ring_ + pos, &size, 4);
+  std::memcpy(ring_ + pos + 4, message, size);
+  Cursor(write_cursor_ptr_)
+      .store(write + record, std::memory_order_release);
+  ++stats_.messages;
+  stats_.bytes += size;
+  return Status::OK();
+}
+
+Status ChannelProducer::Send(const void* message, uint32_t size,
+                             uint64_t timeout_ms) {
+  const int64_t deadline =
+      MonotonicNanos() + static_cast<int64_t>(timeout_ms) * 1000000;
+  while (true) {
+    Status status = TrySend(message, size);
+    if (!status.Is(StatusCode::kUnavailable)) return status;
+    if (MonotonicNanos() >= deadline) {
+      return Status::Timeout("channel send timed out (ring full)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+// ---- consumer --------------------------------------------------------------
+
+Result<std::optional<std::vector<uint8_t>>> ChannelConsumer::TryReceive() {
+  uint64_t read = Cursor(read_cursor_ptr_).load(std::memory_order_relaxed);
+
+  // One modelled remote read of the producer cursor.
+  const int64_t t0 = MonotonicNanos();
+  uint64_t write =
+      Cursor(write_cursor_ptr_).load(std::memory_order_acquire);
+  EnforceModel(remote_, 8, t0);
+  if (read == write) {
+    ++stats_.empty_polls;
+    return std::optional<std::vector<uint8_t>>(std::nullopt);
+  }
+
+  uint64_t pos = read & (capacity_ - 1);
+  uint32_t size;
+  const int64_t t1 = MonotonicNanos();
+  std::memcpy(&size, ring_ + pos, 4);
+  if (size == kWrapMarker) {
+    EnforceModel(remote_, 4, t1);
+    // Skip to the ring base and retry.
+    Cursor(read_cursor_ptr_)
+        .store(read + (capacity_ - pos), std::memory_order_release);
+    return TryReceive();
+  }
+  uint64_t record = RecordBytes(size);
+  if (record > capacity_ || pos + record > capacity_) {
+    return Status::ProtocolError("channel record corrupt");
+  }
+  std::vector<uint8_t> payload(size);
+  std::memcpy(payload.data(), ring_ + pos + 4, size);
+  EnforceModel(remote_, 4 + size, t1);
+  Cursor(read_cursor_ptr_)
+      .store(read + record, std::memory_order_release);
+  ++stats_.messages;
+  stats_.bytes += size;
+  return std::optional<std::vector<uint8_t>>(std::move(payload));
+}
+
+Result<std::vector<uint8_t>> ChannelConsumer::Receive(
+    uint64_t timeout_ms) {
+  const int64_t deadline =
+      MonotonicNanos() + static_cast<int64_t>(timeout_ms) * 1000000;
+  while (true) {
+    MDOS_ASSIGN_OR_RETURN(auto message, TryReceive());
+    if (message.has_value()) return std::move(*message);
+    if (MonotonicNanos() >= deadline) {
+      return Status::Timeout("channel receive timed out (ring empty)");
+    }
+    std::this_thread::sleep_for(std::chrono::microseconds(50));
+  }
+}
+
+}  // namespace mdos::tf

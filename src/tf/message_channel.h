@@ -1,0 +1,100 @@
+// MessageChannel — point-to-point messaging through disaggregated memory
+// (paper §IV-A2, approach 2).
+//
+// The paper considers store-to-store messaging via disaggregated memory
+// and rejects it for the prototype because "the cache-coherency
+// characteristics of ThymesisFlow introduce additional complexity" —
+// then lists it as a possible improvement. This module implements that
+// messaging system with a design that respects the coherency asymmetry
+// (Fig. 3): each side only ever WRITES its own local memory and only
+// ever READS the peer's memory (remote reads are coherent; remote writes
+// are never performed, so the Fig. 3b staleness hazard cannot occur).
+//
+//   producer node memory: [ write_cursor | ring payload bytes ]
+//   consumer node memory: [ read_cursor ]
+//
+// The producer appends records locally and advances write_cursor; it
+// learns of consumed space by remotely reading the consumer's
+// read_cursor. The consumer remotely reads the producer's cursor and
+// payload and advances its own local read_cursor. Classic SPSC ring with
+// acquire/release cursors; each remote access pays the fabric latency
+// model.
+//
+// Record layout: u32 size, payload, padded to 8 bytes. A size of
+// 0xFFFFFFFF is a wrap marker (rest of the ring is skipped).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/status.h"
+#include "tf/fabric.h"
+
+namespace mdos::tf {
+
+struct ChannelStats {
+  uint64_t messages = 0;
+  uint64_t bytes = 0;
+  uint64_t full_stalls = 0;   // producer found the ring full
+  uint64_t empty_polls = 0;   // consumer found the ring empty
+};
+
+class ChannelProducer {
+ public:
+  // Non-blocking send; Unavailable when the ring is full.
+  Status TrySend(const void* message, uint32_t size);
+  // Blocking send with timeout.
+  Status Send(const void* message, uint32_t size,
+              uint64_t timeout_ms = 1000);
+
+  uint64_t capacity() const { return capacity_; }
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  friend class MessageChannel;
+  uint8_t* ring_ = nullptr;           // local (own memory)
+  uint8_t* write_cursor_ptr_ = nullptr;
+  const uint8_t* read_cursor_ptr_ = nullptr;  // remote (peer memory)
+  uint64_t capacity_ = 0;
+  LatencyParams remote_;
+  uint64_t cached_read_cursor_ = 0;
+  ChannelStats stats_;
+};
+
+class ChannelConsumer {
+ public:
+  // Non-blocking receive; nullopt when the ring is empty.
+  Result<std::optional<std::vector<uint8_t>>> TryReceive();
+  // Blocking receive with timeout.
+  Result<std::vector<uint8_t>> Receive(uint64_t timeout_ms = 1000);
+
+  const ChannelStats& stats() const { return stats_; }
+
+ private:
+  friend class MessageChannel;
+  const uint8_t* ring_ = nullptr;     // remote (peer memory)
+  const uint8_t* write_cursor_ptr_ = nullptr;  // remote
+  uint8_t* read_cursor_ptr_ = nullptr;         // local (own memory)
+  uint64_t capacity_ = 0;
+  LatencyParams remote_;
+  ChannelStats stats_;
+};
+
+// Factory wiring one producer->consumer channel over two fabric regions.
+class MessageChannel {
+ public:
+  // Exports the required regions from both nodes and returns the two
+  // endpoints. `ring_bytes` must be a power of two >= 64. The producer
+  // ring lives at [producer_offset, producer_offset + 8 + ring_bytes) in
+  // the producer's slab; the consumer cursor occupies 8 bytes at
+  // consumer_offset in the consumer's slab. Both windows must lie in the
+  // nodes' disaggregated windows and must not overlap object pools.
+  static Status Create(Fabric* fabric, NodeId producer_node,
+                       uint64_t producer_offset, NodeId consumer_node,
+                       uint64_t consumer_offset, uint64_t ring_bytes,
+                       ChannelProducer* producer,
+                       ChannelConsumer* consumer);
+};
+
+}  // namespace mdos::tf

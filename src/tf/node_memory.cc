@@ -1,0 +1,36 @@
+#include "tf/node_memory.h"
+
+namespace mdos::tf {
+
+Result<std::unique_ptr<NodeMemory>> NodeMemory::Create(
+    NodeId id, const std::string& name, uint64_t slab_size,
+    uint64_t disagg_offset, uint64_t disagg_size,
+    CacheConfig cache_config) {
+  if (disagg_offset + disagg_size > slab_size) {
+    return Status::Invalid("disaggregated window exceeds slab");
+  }
+  MDOS_ASSIGN_OR_RETURN(net::MemfdSegment segment,
+                        net::MemfdSegment::Create(name, slab_size));
+  return std::unique_ptr<NodeMemory>(
+      new NodeMemory(id, name, std::move(segment), disagg_offset,
+                     disagg_size, cache_config));
+}
+
+NodeMemory::NodeMemory(NodeId id, std::string name,
+                       net::MemfdSegment segment, uint64_t disagg_offset,
+                       uint64_t disagg_size, CacheConfig cache_config)
+    : id_(id),
+      name_(std::move(name)),
+      segment_(std::move(segment)),
+      disagg_offset_(disagg_offset),
+      disagg_size_(disagg_size),
+      home_cache_(std::make_unique<CacheModel>(
+          segment_.data(), segment_.size(), cache_config)) {}
+
+bool NodeMemory::InDisaggWindow(uint64_t offset, uint64_t size) const {
+  return offset >= disagg_offset_ &&
+         offset + size <= disagg_offset_ + disagg_size_ &&
+         offset + size >= offset;  // overflow guard
+}
+
+}  // namespace mdos::tf

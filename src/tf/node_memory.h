@@ -1,0 +1,63 @@
+// NodeMemory — one simulated compute node's DRAM slab.
+//
+// Backed by a memfd so the Plasma store on the node can hand the fd to
+// its local clients (the upstream Plasma shared-memory mechanism), while
+// the fabric can expose windows of the same slab as disaggregated regions
+// to remote nodes. A node designates a window [disagg_offset,
+// disagg_offset + disagg_size) as its *disaggregated* portion — the part
+// remote nodes may attach, mirroring how ThymesisFlow carves a region of
+// local system memory out for the fabric.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "net/memfd.h"
+#include "tf/cache_model.h"
+
+namespace mdos::tf {
+
+using NodeId = uint32_t;
+
+class NodeMemory {
+ public:
+  static Result<std::unique_ptr<NodeMemory>> Create(
+      NodeId id, const std::string& name, uint64_t slab_size,
+      uint64_t disagg_offset, uint64_t disagg_size,
+      CacheConfig cache_config);
+
+  NodeId id() const { return id_; }
+  const std::string& name() const { return name_; }
+
+  uint8_t* data() const { return segment_.data(); }
+  uint64_t size() const { return segment_.size(); }
+
+  uint64_t disagg_offset() const { return disagg_offset_; }
+  uint64_t disagg_size() const { return disagg_size_; }
+
+  // True when [offset, offset+size) lies inside the exported window.
+  bool InDisaggWindow(uint64_t offset, uint64_t size) const;
+
+  // The home node's modelled CPU cache (see CacheModel).
+  CacheModel& home_cache() { return *home_cache_; }
+  const CacheModel& home_cache() const { return *home_cache_; }
+
+  // Shares the backing fd (e.g. with a local Plasma client for mmap).
+  Result<net::UniqueFd> ShareFd() const { return segment_.DupFd(); }
+
+ private:
+  NodeMemory(NodeId id, std::string name, net::MemfdSegment segment,
+             uint64_t disagg_offset, uint64_t disagg_size,
+             CacheConfig cache_config);
+
+  NodeId id_;
+  std::string name_;
+  net::MemfdSegment segment_;
+  uint64_t disagg_offset_;
+  uint64_t disagg_size_;
+  std::unique_ptr<CacheModel> home_cache_;
+};
+
+}  // namespace mdos::tf

@@ -1,0 +1,89 @@
+#include "wire/wire.h"
+
+namespace mdos::wire {
+
+void Writer::PutVarint(uint64_t v) {
+  while (v >= 0x80) {
+    buf_.push_back(static_cast<uint8_t>(v) | 0x80);
+    v >>= 7;
+  }
+  buf_.push_back(static_cast<uint8_t>(v));
+}
+
+void Writer::PutVarintSigned(int64_t v) {
+  // Zigzag: maps small-magnitude signed ints to small unsigned ints.
+  uint64_t zz = (static_cast<uint64_t>(v) << 1) ^
+                static_cast<uint64_t>(v >> 63);
+  PutVarint(zz);
+}
+
+void Writer::PutBytes(std::string_view data) {
+  PutVarint(data.size());
+  PutRaw(data.data(), data.size());
+}
+
+void Writer::PutRaw(const void* data, size_t size) {
+  const uint8_t* b = static_cast<const uint8_t*>(data);
+  buf_.insert(buf_.end(), b, b + size);
+}
+
+Result<uint8_t> Reader::GetU8() { return GetFixed<uint8_t>(); }
+Result<uint16_t> Reader::GetU16() { return GetFixed<uint16_t>(); }
+Result<uint32_t> Reader::GetU32() { return GetFixed<uint32_t>(); }
+Result<uint64_t> Reader::GetU64() { return GetFixed<uint64_t>(); }
+Result<int64_t> Reader::GetI64() { return GetFixed<int64_t>(); }
+Result<double> Reader::GetDouble() { return GetFixed<double>(); }
+
+Result<bool> Reader::GetBool() {
+  MDOS_ASSIGN_OR_RETURN(uint8_t v, GetU8());
+  if (v > 1) return Status::ProtocolError("wire: bool out of range");
+  return v == 1;
+}
+
+Result<uint64_t> Reader::GetVarint() {
+  uint64_t result = 0;
+  int shift = 0;
+  while (true) {
+    if (pos_ >= size_) {
+      return Status::ProtocolError("wire: truncated varint");
+    }
+    uint8_t byte = data_[pos_++];
+    if (shift == 63 && (byte & ~uint8_t{1}) != 0) {
+      return Status::ProtocolError("wire: varint overflow");
+    }
+    result |= static_cast<uint64_t>(byte & 0x7F) << shift;
+    if ((byte & 0x80) == 0) return result;
+    shift += 7;
+    if (shift > 63) {
+      return Status::ProtocolError("wire: varint too long");
+    }
+  }
+}
+
+Result<int64_t> Reader::GetVarintSigned() {
+  MDOS_ASSIGN_OR_RETURN(uint64_t zz, GetVarint());
+  return static_cast<int64_t>((zz >> 1) ^ (~(zz & 1) + 1));
+}
+
+Result<std::string_view> Reader::GetBytes() {
+  MDOS_ASSIGN_OR_RETURN(uint64_t len, GetVarint());
+  MDOS_RETURN_IF_ERROR(Need(len));
+  std::string_view out(reinterpret_cast<const char*>(data_ + pos_), len);
+  pos_ += len;
+  return out;
+}
+
+Result<std::string> Reader::GetString() {
+  MDOS_ASSIGN_OR_RETURN(std::string_view v, GetBytes());
+  return std::string(v);
+}
+
+Result<ObjectId> Reader::GetObjectId() {
+  MDOS_RETURN_IF_ERROR(Need(ObjectId::kSize));
+  ObjectId id = ObjectId::FromBinary(std::string_view(
+      reinterpret_cast<const char*>(data_ + pos_), ObjectId::kSize));
+  pos_ += ObjectId::kSize;
+  return id;
+}
+
+}  // namespace mdos::wire

@@ -1,0 +1,148 @@
+// wire — byte-level serialization used by the Plasma IPC protocol and the
+// RPC framework.
+//
+// The real system serializes store↔client messages with FlatBuffers and
+// store↔store messages with Protocol Buffers (via gRPC). Neither is
+// available offline, so this module provides the same capability from
+// scratch: a little-endian `Writer`/`Reader` pair with fixed-width
+// integers, LEB128 varints, zigzag-encoded signed varints, length-prefixed
+// strings/bytes, and repeated fields. Every protocol message in the
+// framework implements
+//   void EncodeTo(wire::Writer&) const;
+//   static Result<T> DecodeFrom(wire::Reader&);
+#pragma once
+
+#include <cstdint>
+#include <cstring>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+
+namespace mdos::wire {
+
+// Growable output buffer. All multi-byte integers little-endian.
+class Writer {
+ public:
+  Writer() = default;
+  explicit Writer(size_t reserve) { buf_.reserve(reserve); }
+
+  void PutU8(uint8_t v) { buf_.push_back(v); }
+  void PutU16(uint16_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU32(uint32_t v) { PutFixed(&v, sizeof(v)); }
+  void PutU64(uint64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutI64(int64_t v) { PutFixed(&v, sizeof(v)); }
+  void PutDouble(double v) { PutFixed(&v, sizeof(v)); }
+  void PutBool(bool v) { PutU8(v ? 1 : 0); }
+
+  // Unsigned LEB128 varint.
+  void PutVarint(uint64_t v);
+  // Zigzag-encoded signed varint.
+  void PutVarintSigned(int64_t v);
+
+  // Length-prefixed (varint) byte string.
+  void PutBytes(std::string_view data);
+  void PutString(std::string_view s) { PutBytes(s); }
+
+  // Raw bytes, no length prefix.
+  void PutRaw(const void* data, size_t size);
+
+  void PutObjectId(const ObjectId& id) {
+    PutRaw(id.data(), ObjectId::kSize);
+  }
+
+  // Repeated-field helper: varint count, then Encode each element.
+  template <typename Container, typename Fn>
+  void PutRepeated(const Container& items, Fn&& encode_one) {
+    PutVarint(items.size());
+    for (const auto& item : items) encode_one(*this, item);
+  }
+
+  const uint8_t* data() const { return buf_.data(); }
+  size_t size() const { return buf_.size(); }
+  std::string_view view() const {
+    return {reinterpret_cast<const char*>(buf_.data()), buf_.size()};
+  }
+  std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
+  void Clear() { buf_.clear(); }
+
+ private:
+  void PutFixed(const void* p, size_t n) {
+    const uint8_t* b = static_cast<const uint8_t*>(p);
+    buf_.insert(buf_.end(), b, b + n);
+  }
+
+  std::vector<uint8_t> buf_;
+};
+
+// Bounds-checked reader over a non-owned byte span. All getters return a
+// Result so malformed frames surface as ProtocolError, never UB.
+class Reader {
+ public:
+  Reader(const void* data, size_t size)
+      : data_(static_cast<const uint8_t*>(data)), size_(size) {}
+  explicit Reader(std::string_view data)
+      : Reader(data.data(), data.size()) {}
+
+  Result<uint8_t> GetU8();
+  Result<uint16_t> GetU16();
+  Result<uint32_t> GetU32();
+  Result<uint64_t> GetU64();
+  Result<int64_t> GetI64();
+  Result<double> GetDouble();
+  Result<bool> GetBool();
+  Result<uint64_t> GetVarint();
+  Result<int64_t> GetVarintSigned();
+  // Length-prefixed byte string; the view aliases the underlying buffer.
+  Result<std::string_view> GetBytes();
+  Result<std::string> GetString();
+  Result<ObjectId> GetObjectId();
+
+  // Repeated-field helper mirrored from Writer::PutRepeated.
+  template <typename T, typename Fn>
+  Result<std::vector<T>> GetRepeated(Fn&& decode_one) {
+    MDOS_ASSIGN_OR_RETURN(uint64_t count, GetVarint());
+    // Sanity bound: no message in the protocol carries more than 2^24
+    // repeated elements; larger counts indicate a corrupt frame.
+    if (count > (1u << 24)) {
+      return Status::ProtocolError("repeated field count too large");
+    }
+    std::vector<T> items;
+    items.reserve(count);
+    for (uint64_t i = 0; i < count; ++i) {
+      auto item = decode_one(*this);
+      if (!item.ok()) return item.status();
+      items.push_back(std::move(item).value());
+    }
+    return items;
+  }
+
+  size_t remaining() const { return size_ - pos_; }
+  bool AtEnd() const { return pos_ == size_; }
+  size_t position() const { return pos_; }
+
+ private:
+  Status Need(size_t n) {
+    if (size_ - pos_ < n) {
+      return Status::ProtocolError("wire: truncated message");
+    }
+    return Status::OK();
+  }
+
+  template <typename T>
+  Result<T> GetFixed() {
+    MDOS_RETURN_IF_ERROR(Need(sizeof(T)));
+    T v;
+    std::memcpy(&v, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return v;
+  }
+
+  const uint8_t* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace mdos::wire

@@ -1,0 +1,151 @@
+// Property-based allocator testing: a randomized allocate/free workload is
+// replayed against a reference model; after every step the allocator's
+// answers must be consistent with the model and its internal invariants
+// must hold. Parameterized over both allocator implementations and many
+// RNG seeds.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <memory>
+
+#include "alloc/first_fit_allocator.h"
+#include "alloc/segregated_fit_allocator.h"
+#include "common/rng.h"
+
+namespace mdos::alloc {
+namespace {
+
+enum class Kind { kFirstFit, kSegregatedFit };
+
+std::unique_ptr<Allocator> Make(Kind kind, uint64_t capacity) {
+  if (kind == Kind::kFirstFit) {
+    return std::make_unique<FirstFitAllocator>(capacity);
+  }
+  return std::make_unique<SegregatedFitAllocator>(capacity);
+}
+
+Status CheckInvariants(Kind kind, Allocator& a) {
+  if (kind == Kind::kFirstFit) {
+    return static_cast<FirstFitAllocator&>(a).CheckInvariants();
+  }
+  return static_cast<SegregatedFitAllocator&>(a).CheckInvariants();
+}
+
+struct Param {
+  Kind kind;
+  uint64_t seed;
+};
+
+class AllocFuzz : public ::testing::TestWithParam<Param> {};
+
+TEST_P(AllocFuzz, RandomWorkloadKeepsInvariants) {
+  constexpr uint64_t kCapacity = 1 << 20;
+  auto allocator = Make(GetParam().kind, kCapacity);
+  SplitMix64 rng(GetParam().seed);
+
+  // Reference model: live allocations as offset -> size.
+  std::map<uint64_t, uint64_t> model;
+  uint64_t model_bytes = 0;
+
+  for (int step = 0; step < 2000; ++step) {
+    bool do_alloc = model.empty() || rng.NextBelow(100) < 55;
+    if (do_alloc) {
+      // Mixed size classes, from tiny to 64 KiB.
+      uint64_t size = 1 + (rng.Next() % (1 << (4 + rng.NextBelow(13))));
+      auto r = allocator->Allocate(size);
+      if (r.ok()) {
+        // Must not overlap any model allocation.
+        auto next = model.lower_bound(r->offset);
+        if (next != model.end()) {
+          ASSERT_LE(r->offset + size, next->first) << "step " << step;
+        }
+        if (next != model.begin()) {
+          auto prev = std::prev(next);
+          ASSERT_LE(prev->first + prev->second, r->offset)
+              << "step " << step;
+        }
+        ASSERT_LE(r->offset + size, kCapacity);
+        model.emplace(r->offset, size);
+        model_bytes += size;
+      } else {
+        // OOM is only legitimate when the request plausibly cannot fit.
+        ASSERT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+        ASSERT_GT(size + model_bytes, 0u);
+      }
+    } else {
+      // Free a pseudo-random live allocation.
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      ASSERT_TRUE(allocator->Free(it->first).ok()) << "step " << step;
+      model_bytes -= it->second;
+      model.erase(it);
+    }
+
+    if (step % 100 == 0) {
+      ASSERT_TRUE(CheckInvariants(GetParam().kind, *allocator).ok())
+          << "step " << step;
+      EXPECT_EQ(allocator->stats().bytes_allocated, model_bytes);
+    }
+  }
+
+  // Drain: free everything and verify full coalescing.
+  for (const auto& [offset, size] : model) {
+    (void)size;
+    ASSERT_TRUE(allocator->Free(offset).ok());
+  }
+  auto stats = allocator->stats();
+  EXPECT_EQ(stats.bytes_allocated, 0u);
+  EXPECT_EQ(stats.free_regions, 1u);
+  EXPECT_EQ(stats.largest_free_region, kCapacity);
+  EXPECT_TRUE(CheckInvariants(GetParam().kind, *allocator).ok());
+}
+
+std::vector<Param> MakeParams() {
+  std::vector<Param> params;
+  for (Kind kind : {Kind::kFirstFit, Kind::kSegregatedFit}) {
+    for (uint64_t seed : {11u, 22u, 33u, 44u, 55u, 66u, 77u, 88u}) {
+      params.push_back({kind, seed});
+    }
+  }
+  return params;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Workloads, AllocFuzz, ::testing::ValuesIn(MakeParams()),
+    [](const auto& info) {
+      return std::string(info.param.kind == Kind::kFirstFit ? "FirstFit"
+                                                            : "SegFit") +
+             "_seed" + std::to_string(info.param.seed);
+    });
+
+// Fragmentation comparison property: after identical heavy churn the
+// segregated-fit baseline should never be dramatically *worse* than the
+// paper's simple first-fit in terms of satisfiable request size. (This is
+// observational: it pins the behaviour the ablation bench measures.)
+TEST(AllocComparison, BothSurviveFragmentationStress) {
+  constexpr uint64_t kCapacity = 1 << 20;
+  for (Kind kind : {Kind::kFirstFit, Kind::kSegregatedFit}) {
+    auto a = Make(kind, kCapacity);
+    SplitMix64 rng(99);
+    std::vector<uint64_t> offsets;
+    // Saturate with small blocks.
+    while (true) {
+      auto r = a->Allocate(256);
+      if (!r.ok()) break;
+      offsets.push_back(r->offset);
+    }
+    // Free every other block: worst-case checkerboard.
+    for (size_t i = 0; i < offsets.size(); i += 2) {
+      ASSERT_TRUE(a->Free(offsets[i]).ok());
+    }
+    // ~half the capacity is free but only in 256-byte holes: a 512-byte
+    // request must fail...
+    EXPECT_FALSE(a->Allocate(512).ok());
+    // ...but 256-byte requests must all still succeed.
+    auto r = a->Allocate(256);
+    EXPECT_TRUE(r.ok());
+  }
+}
+
+}  // namespace
+}  // namespace mdos::alloc

@@ -1,0 +1,166 @@
+// Tests for the arrowlite columnar layer and its Plasma IPC integration.
+#include <gtest/gtest.h>
+
+#include "arrowlite/ipc.h"
+#include "cluster/cluster.h"
+
+namespace mdos::arrowlite {
+namespace {
+
+RecordBatchPtr SampleBatch() {
+  Schema schema({{"id", TypeId::kInt64},
+                 {"score", TypeId::kFloat64},
+                 {"name", TypeId::kString}});
+  auto ids = std::make_shared<Int64Array>(
+      std::vector<int64_t>{1, 2, 3, 4});
+  auto scores = std::make_shared<Float64Array>(
+      std::vector<double>{0.5, 1.5, -2.25, 1e12});
+  auto names = StringArray::From({"alpha", "beta", "", "delta"});
+  auto batch = RecordBatch::Make(schema, {ids, scores, names});
+  EXPECT_TRUE(batch.ok());
+  return *batch;
+}
+
+TEST(SchemaTest, FieldIndexAndToString) {
+  Schema schema({{"a", TypeId::kInt64}, {"b", TypeId::kString}});
+  EXPECT_EQ(schema.FieldIndex("a"), 0);
+  EXPECT_EQ(schema.FieldIndex("b"), 1);
+  EXPECT_EQ(schema.FieldIndex("c"), -1);
+  EXPECT_EQ(schema.ToString(), "schema{a: int64, b: string}");
+}
+
+TEST(SchemaTest, EncodeDecodeRoundTrip) {
+  Schema schema({{"x", TypeId::kFloat64}, {"y", TypeId::kString}});
+  wire::Writer w;
+  schema.EncodeTo(w);
+  wire::Reader r(w.data(), w.size());
+  auto decoded = Schema::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_TRUE(decoded->Equals(schema));
+}
+
+TEST(ArrayTest, Int64Values) {
+  Int64Array array({10, -20, 30});
+  EXPECT_EQ(array.length(), 3u);
+  EXPECT_EQ(array.Value(1), -20);
+  EXPECT_EQ(array.type(), TypeId::kInt64);
+}
+
+TEST(ArrayTest, StringArrayLayout) {
+  auto array = StringArray::From({"foo", "", "barbaz"});
+  EXPECT_EQ(array->length(), 3u);
+  EXPECT_EQ(array->Value(0), "foo");
+  EXPECT_EQ(array->Value(1), "");
+  EXPECT_EQ(array->Value(2), "barbaz");
+}
+
+TEST(ArrayTest, EmptyStringArray) {
+  auto array = StringArray::From({});
+  EXPECT_EQ(array->length(), 0u);
+}
+
+TEST(ArrayTest, CorruptStringOffsetsRejected) {
+  wire::Writer w;
+  w.PutVarint(3);  // 3 offsets = 2 strings
+  w.PutU32(0);
+  w.PutU32(10);  // exceeds chars buffer below
+  w.PutU32(4);   // non-monotone
+  w.PutString("abcd");
+  wire::Reader r(w.data(), w.size());
+  EXPECT_FALSE(StringArray::DecodeFrom(r).ok());
+}
+
+TEST(BatchTest, MakeValidatesShape) {
+  Schema schema({{"a", TypeId::kInt64}});
+  auto short_col = std::make_shared<Int64Array>(std::vector<int64_t>{1});
+  auto long_col =
+      std::make_shared<Int64Array>(std::vector<int64_t>{1, 2, 3});
+  // Wrong column count.
+  EXPECT_FALSE(RecordBatch::Make(schema, {}).ok());
+  // Type mismatch.
+  auto wrong_type = StringArray::From({"x"});
+  EXPECT_FALSE(RecordBatch::Make(schema, {wrong_type}).ok());
+  // OK case.
+  EXPECT_TRUE(RecordBatch::Make(schema, {long_col}).ok());
+  // Mixed lengths across columns.
+  Schema two({{"a", TypeId::kInt64}, {"b", TypeId::kInt64}});
+  EXPECT_FALSE(RecordBatch::Make(two, {short_col, long_col}).ok());
+}
+
+TEST(BatchTest, TypedAccessors) {
+  auto batch = SampleBatch();
+  EXPECT_EQ(batch->num_rows(), 4u);
+  EXPECT_EQ(batch->num_columns(), 3u);
+  ASSERT_NE(batch->Int64Column(0), nullptr);
+  EXPECT_EQ(batch->Int64Column(0)->Value(2), 3);
+  ASSERT_NE(batch->Float64Column(1), nullptr);
+  EXPECT_DOUBLE_EQ(batch->Float64Column(1)->Value(3), 1e12);
+  ASSERT_NE(batch->StringColumn(2), nullptr);
+  EXPECT_EQ(batch->StringColumn(2)->Value(0), "alpha");
+  // Wrong-type access returns null.
+  EXPECT_EQ(batch->Int64Column(2), nullptr);
+  // By-name access.
+  EXPECT_NE(batch->ColumnByName("score"), nullptr);
+  EXPECT_EQ(batch->ColumnByName("missing"), nullptr);
+}
+
+TEST(IpcTest, SerializeDeserializeRoundTrip) {
+  auto batch = SampleBatch();
+  auto bytes = SerializeBatch(*batch);
+  auto decoded = DeserializeBatch(bytes.data(), bytes.size());
+  ASSERT_TRUE(decoded.ok()) << decoded.status();
+  EXPECT_TRUE((*decoded)->schema().Equals(batch->schema()));
+  EXPECT_EQ((*decoded)->num_rows(), 4u);
+  EXPECT_EQ((*decoded)->Int64Column(0)->values(),
+            batch->Int64Column(0)->values());
+  EXPECT_EQ((*decoded)->StringColumn(2)->Value(3), "delta");
+}
+
+TEST(IpcTest, GarbageRejected) {
+  std::string junk = "definitely not a batch";
+  EXPECT_FALSE(DeserializeBatch(junk.data(), junk.size()).ok());
+}
+
+TEST(IpcTest, PutGetThroughLocalPlasma) {
+  plasma::StoreOptions options;
+  options.capacity = 8 << 20;
+  auto store = plasma::Store::Create(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Start().ok());
+  auto client = plasma::PlasmaClient::Connect((*store)->socket_path());
+  ASSERT_TRUE(client.ok());
+
+  auto batch = SampleBatch();
+  ObjectId id = ObjectId::FromName("batch-object");
+  ASSERT_TRUE(PutBatch(**client, id, *batch).ok());
+  auto loaded = GetBatch(**client, id);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->num_rows(), 4u);
+  EXPECT_EQ((*loaded)->StringColumn(2)->Value(1), "beta");
+  client->reset();
+  (*store)->Stop();
+}
+
+TEST(IpcTest, BatchSharedAcrossClusterNodes) {
+  tf::FabricConfig fast;
+  fast.local = tf::LatencyParams{0, 0.0};
+  fast.remote = tf::LatencyParams{0, 0.0};
+  cluster::NodeOptions small;
+  small.pool_size = 8 << 20;
+  auto cluster = cluster::Cluster::CreateTwoNode(small, fast);
+  ASSERT_TRUE(cluster.ok());
+  auto producer = (*cluster)->node(0)->CreateClient();
+  auto consumer = (*cluster)->node(1)->CreateClient();
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+
+  auto batch = SampleBatch();
+  ObjectId id = ObjectId::FromName("cross-node-batch");
+  ASSERT_TRUE(PutBatch(**producer, id, *batch).ok());
+  auto loaded = GetBatch(**consumer, id, /*timeout_ms=*/2000);
+  ASSERT_TRUE(loaded.ok()) << loaded.status();
+  EXPECT_EQ((*loaded)->num_rows(), 4u);
+  EXPECT_DOUBLE_EQ((*loaded)->Float64Column(1)->Value(2), -2.25);
+}
+
+}  // namespace
+}  // namespace mdos::arrowlite

@@ -1,0 +1,278 @@
+// Unit tests for src/common: Status/Result, ObjectId, hex, CRC32, RNG.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <set>
+#include <unordered_set>
+
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "common/hex.h"
+#include "common/log.h"
+#include "common/object_id.h"
+#include "common/rng.h"
+#include "common/status.h"
+
+namespace mdos {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, FactoryFunctionsSetCodeAndMessage) {
+  EXPECT_EQ(Status::Invalid("x").code(), StatusCode::kInvalid);
+  EXPECT_EQ(Status::OutOfMemory("x").code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(Status::KeyError("x").code(), StatusCode::kKeyError);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::IoError("x").code(), StatusCode::kIoError);
+  EXPECT_EQ(Status::Timeout("x").code(), StatusCode::kTimeout);
+  EXPECT_EQ(Status::NotConnected("x").code(), StatusCode::kNotConnected);
+  EXPECT_EQ(Status::ProtocolError("x").code(), StatusCode::kProtocolError);
+  EXPECT_EQ(Status::CapacityError("x").code(), StatusCode::kCapacityError);
+  EXPECT_EQ(Status::Sealed("x").code(), StatusCode::kSealed);
+  EXPECT_EQ(Status::NotSealed("x").code(), StatusCode::kNotSealed);
+  EXPECT_EQ(Status::Unavailable("x").code(), StatusCode::kUnavailable);
+  EXPECT_EQ(Status::Cancelled("x").code(), StatusCode::kCancelled);
+  EXPECT_EQ(Status::Unknown("x").code(), StatusCode::kUnknown);
+  EXPECT_EQ(Status::Invalid("boom").message(), "boom");
+}
+
+TEST(StatusTest, ToStringIncludesCodeName) {
+  EXPECT_EQ(Status::KeyError("missing").ToString(), "KeyError: missing");
+}
+
+TEST(StatusTest, IsChecksCode) {
+  EXPECT_TRUE(Status::Timeout("t").Is(StatusCode::kTimeout));
+  EXPECT_FALSE(Status::Timeout("t").Is(StatusCode::kIoError));
+}
+
+TEST(StatusTest, FromErrnoCapturesMessage) {
+  errno = ENOENT;
+  Status s = Status::FromErrno("open(/nope)");
+  EXPECT_EQ(s.code(), StatusCode::kIoError);
+  EXPECT_NE(s.message().find("open(/nope)"), std::string::npos);
+}
+
+TEST(ResultTest, HoldsValue) {
+  Result<int> r = 42;
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_TRUE(r.status().ok());
+}
+
+TEST(ResultTest, HoldsError) {
+  Result<int> r = Status::KeyError("nope");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(r.ValueOr(-1), -1);
+}
+
+TEST(ResultTest, OkStatusBecomesUnknownError) {
+  // A Result must never silently carry "OK but no value".
+  Result<int> r = Status::OK();
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kUnknown);
+}
+
+TEST(ResultTest, MoveOnlyValue) {
+  Result<std::unique_ptr<int>> r = std::make_unique<int>(7);
+  ASSERT_TRUE(r.ok());
+  std::unique_ptr<int> v = std::move(r).value();
+  EXPECT_EQ(*v, 7);
+}
+
+Result<int> ParsePositive(int x) {
+  if (x <= 0) return Status::Invalid("not positive");
+  return x;
+}
+
+Status UsesAssignOrReturn(int x, int* out) {
+  MDOS_ASSIGN_OR_RETURN(int v, ParsePositive(x));
+  *out = v * 2;
+  return Status::OK();
+}
+
+TEST(ResultTest, AssignOrReturnMacro) {
+  int out = 0;
+  EXPECT_TRUE(UsesAssignOrReturn(21, &out).ok());
+  EXPECT_EQ(out, 42);
+  EXPECT_EQ(UsesAssignOrReturn(-1, &out).code(), StatusCode::kInvalid);
+}
+
+TEST(HexTest, RoundTrip) {
+  std::vector<uint8_t> bytes = {0x00, 0x01, 0xab, 0xcd, 0xef, 0xff};
+  std::string hex = HexEncode(bytes.data(), bytes.size());
+  EXPECT_EQ(hex, "0001abcdefff");
+  auto decoded = HexDecode(hex);
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ(*decoded, bytes);
+}
+
+TEST(HexTest, DecodeRejectsMalformed) {
+  EXPECT_FALSE(HexDecode("abc").has_value());  // odd length
+  EXPECT_FALSE(HexDecode("zz").has_value());   // non-hex
+  EXPECT_TRUE(HexDecode("").has_value());      // empty is valid
+}
+
+TEST(HexTest, DecodeAcceptsUpperCase) {
+  auto decoded = HexDecode("ABCDEF");
+  ASSERT_TRUE(decoded.has_value());
+  EXPECT_EQ((*decoded)[0], 0xAB);
+}
+
+TEST(ObjectIdTest, DefaultIsNil) {
+  ObjectId id;
+  EXPECT_TRUE(id.IsNil());
+  EXPECT_EQ(id, ObjectId::Nil());
+}
+
+TEST(ObjectIdTest, RandomIsNotNilAndUnique) {
+  std::set<ObjectId> ids;
+  for (int i = 0; i < 1000; ++i) {
+    ObjectId id = ObjectId::Random();
+    EXPECT_FALSE(id.IsNil());
+    ids.insert(id);
+  }
+  EXPECT_EQ(ids.size(), 1000u);
+}
+
+TEST(ObjectIdTest, HexRoundTrip) {
+  ObjectId id = ObjectId::Random();
+  std::string hex = id.Hex();
+  EXPECT_EQ(hex.size(), 40u);
+  auto parsed = ObjectId::FromHex(hex);
+  ASSERT_TRUE(parsed.has_value());
+  EXPECT_EQ(*parsed, id);
+}
+
+TEST(ObjectIdTest, FromHexRejectsWrongLength) {
+  EXPECT_FALSE(ObjectId::FromHex("abcd").has_value());
+  EXPECT_FALSE(ObjectId::FromHex(std::string(42, 'a')).has_value());
+}
+
+TEST(ObjectIdTest, BinaryRoundTrip) {
+  ObjectId id = ObjectId::Random();
+  EXPECT_EQ(ObjectId::FromBinary(id.Binary()), id);
+}
+
+TEST(ObjectIdTest, FromNameIsDeterministicAndDistinct) {
+  ObjectId a1 = ObjectId::FromName("alpha");
+  ObjectId a2 = ObjectId::FromName("alpha");
+  ObjectId b = ObjectId::FromName("beta");
+  EXPECT_EQ(a1, a2);
+  EXPECT_NE(a1, b);
+  EXPECT_FALSE(a1.IsNil());
+}
+
+TEST(ObjectIdTest, HashIsUsableInUnorderedSet) {
+  std::unordered_set<ObjectId> set;
+  for (int i = 0; i < 100; ++i) {
+    set.insert(ObjectId::FromName("obj-" + std::to_string(i)));
+  }
+  EXPECT_EQ(set.size(), 100u);
+  EXPECT_TRUE(set.count(ObjectId::FromName("obj-42")));
+}
+
+TEST(ObjectIdTest, OrderingIsTotal) {
+  ObjectId a = ObjectId::FromName("a");
+  ObjectId b = ObjectId::FromName("b");
+  EXPECT_TRUE((a < b) || (b < a));
+  EXPECT_FALSE(a < a);
+}
+
+TEST(Crc32Test, KnownVectors) {
+  // Standard test vector: CRC32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, IncrementalMatchesOneShot) {
+  std::string data = "the quick brown fox jumps over the lazy dog";
+  uint32_t crc = 0;
+  for (size_t i = 0; i < data.size(); i += 7) {
+    size_t n = std::min<size_t>(7, data.size() - i);
+    crc = Crc32Update(crc, data.data() + i, n);
+  }
+  EXPECT_EQ(crc, Crc32(data));
+}
+
+TEST(Crc32Test, DetectsBitFlip) {
+  std::string data(1024, 'x');
+  uint32_t before = Crc32(data);
+  data[512] ^= 1;
+  EXPECT_NE(Crc32(data), before);
+}
+
+TEST(RngTest, Deterministic) {
+  SplitMix64 a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  SplitMix64 a(1), b(2);
+  EXPECT_NE(a.Next(), b.Next());
+}
+
+TEST(RngTest, NextBelowInRange) {
+  SplitMix64 rng(7);
+  for (int i = 0; i < 1000; ++i) {
+    EXPECT_LT(rng.NextBelow(10), 10u);
+  }
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  SplitMix64 rng(9);
+  for (int i = 0; i < 1000; ++i) {
+    double d = rng.NextDouble();
+    EXPECT_GE(d, 0.0);
+    EXPECT_LT(d, 1.0);
+  }
+}
+
+TEST(RngTest, FillProducesStableBytes) {
+  std::vector<uint8_t> a(37), b(37);
+  SplitMix64 r1(42), r2(42);
+  r1.Fill(a.data(), a.size());
+  r2.Fill(b.data(), b.size());
+  EXPECT_EQ(a, b);
+  bool any_nonzero = false;
+  for (uint8_t byte : a) any_nonzero |= (byte != 0);
+  EXPECT_TRUE(any_nonzero);
+}
+
+TEST(ClockTest, MonotonicAdvances) {
+  int64_t a = MonotonicNanos();
+  int64_t b = MonotonicNanos();
+  EXPECT_GE(b, a);
+}
+
+TEST(ClockTest, SpinForWaitsAtLeastRequested) {
+  Stopwatch sw;
+  SpinForNanos(200 * 1000);  // 200 us
+  EXPECT_GE(sw.ElapsedNanos(), 200 * 1000);
+}
+
+TEST(ClockTest, StopwatchResets) {
+  Stopwatch sw;
+  SpinForNanos(50 * 1000);
+  sw.Reset();
+  EXPECT_LT(sw.ElapsedNanos(), 50 * 1000 * 1000);
+}
+
+TEST(LogTest, LevelGate) {
+  LogLevel old = GetLogLevel();
+  SetLogLevel(LogLevel::kError);
+  EXPECT_FALSE(internal::LogEnabled(LogLevel::kInfo));
+  EXPECT_TRUE(internal::LogEnabled(LogLevel::kError));
+  SetLogLevel(old);
+}
+
+}  // namespace
+}  // namespace mdos

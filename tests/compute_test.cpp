@@ -1,0 +1,152 @@
+// Tests for the arrowlite compute kernels.
+#include <gtest/gtest.h>
+
+#include "arrowlite/compute.h"
+
+namespace mdos::arrowlite {
+namespace {
+
+RecordBatchPtr SampleBatch() {
+  Schema schema({{"id", TypeId::kInt64},
+                 {"value", TypeId::kInt64},
+                 {"weight", TypeId::kFloat64},
+                 {"tag", TypeId::kString}});
+  auto batch = RecordBatch::Make(
+      schema,
+      {std::make_shared<Int64Array>(std::vector<int64_t>{1, 2, 3, 4, 5}),
+       std::make_shared<Int64Array>(
+           std::vector<int64_t>{10, -20, 30, -40, 50}),
+       std::make_shared<Float64Array>(
+           std::vector<double>{0.1, 0.2, 0.3, 0.4, 0.5}),
+       StringArray::From({"a", "b", "c", "d", "e"})});
+  EXPECT_TRUE(batch.ok());
+  return *batch;
+}
+
+TEST(ComputeTest, SelectIndicesByPredicate) {
+  Int64Array column({5, -3, 8, 0, -1});
+  auto indices = SelectIndices(column, [](int64_t v) { return v > 0; });
+  EXPECT_EQ(indices, (std::vector<uint32_t>{0, 2}));
+}
+
+TEST(ComputeTest, TakeReordersAllColumnTypes) {
+  auto batch = SampleBatch();
+  auto taken = Take(*batch, {4, 0, 2});
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ((*taken)->num_rows(), 3u);
+  EXPECT_EQ((*taken)->Int64Column(0)->Value(0), 5);
+  EXPECT_EQ((*taken)->Int64Column(0)->Value(1), 1);
+  EXPECT_DOUBLE_EQ((*taken)->Float64Column(2)->Value(2), 0.3);
+  EXPECT_EQ((*taken)->StringColumn(3)->Value(0), "e");
+}
+
+TEST(ComputeTest, TakeRejectsOutOfRange) {
+  auto batch = SampleBatch();
+  EXPECT_FALSE(Take(*batch, {99}).ok());
+}
+
+TEST(ComputeTest, TakeEmptyIndicesGivesEmptyBatch) {
+  auto batch = SampleBatch();
+  auto taken = Take(*batch, {});
+  ASSERT_TRUE(taken.ok());
+  EXPECT_EQ((*taken)->num_rows(), 0u);
+}
+
+TEST(ComputeTest, FilterByInt64) {
+  auto batch = SampleBatch();
+  auto filtered = FilterByInt64(*batch, "value",
+                                [](int64_t v) { return v > 0; });
+  ASSERT_TRUE(filtered.ok());
+  EXPECT_EQ((*filtered)->num_rows(), 3u);
+  EXPECT_EQ((*filtered)->StringColumn(3)->Value(1), "c");
+}
+
+TEST(ComputeTest, FilterMissingColumnIsKeyError) {
+  auto batch = SampleBatch();
+  auto filtered =
+      FilterByInt64(*batch, "nope", [](int64_t) { return true; });
+  EXPECT_EQ(filtered.status().code(), StatusCode::kKeyError);
+}
+
+TEST(ComputeTest, FilterWrongTypeIsInvalid) {
+  auto batch = SampleBatch();
+  auto filtered =
+      FilterByInt64(*batch, "tag", [](int64_t) { return true; });
+  EXPECT_EQ(filtered.status().code(), StatusCode::kInvalid);
+}
+
+TEST(ComputeTest, SummarizeInt64) {
+  Int64Array column({10, -20, 30, -40, 50});
+  auto stats = SummarizeInt64(column);
+  EXPECT_EQ(stats.count, 5);
+  EXPECT_EQ(stats.sum, 30);
+  EXPECT_EQ(stats.min, -40);
+  EXPECT_EQ(stats.max, 50);
+}
+
+TEST(ComputeTest, SummarizeEmptyIsZero) {
+  Int64Array column({});
+  auto stats = SummarizeInt64(column);
+  EXPECT_EQ(stats.count, 0);
+  EXPECT_EQ(stats.sum, 0);
+}
+
+TEST(ComputeTest, SummarizeFloat64Mean) {
+  Float64Array column({1.0, 2.0, 3.0});
+  auto stats = SummarizeFloat64(column);
+  EXPECT_EQ(stats.count, 3);
+  EXPECT_DOUBLE_EQ(stats.mean(), 2.0);
+  EXPECT_DOUBLE_EQ(stats.min, 1.0);
+  EXPECT_DOUBLE_EQ(stats.max, 3.0);
+}
+
+TEST(ComputeTest, GroupBySum) {
+  Schema schema({{"k", TypeId::kInt64}, {"v", TypeId::kInt64}});
+  auto batch = RecordBatch::Make(
+      schema,
+      {std::make_shared<Int64Array>(std::vector<int64_t>{1, 2, 1, 2, 1}),
+       std::make_shared<Int64Array>(
+           std::vector<int64_t>{10, 20, 30, 40, 50})});
+  ASSERT_TRUE(batch.ok());
+  auto sums = GroupBySum(**batch, "k", "v");
+  ASSERT_TRUE(sums.ok());
+  EXPECT_EQ(sums->size(), 2u);
+  EXPECT_EQ(sums->at(1), 90);
+  EXPECT_EQ(sums->at(2), 60);
+}
+
+TEST(ComputeTest, ConcatenatePreservesOrder) {
+  auto a = SampleBatch();
+  auto b = SampleBatch();
+  auto combined = Concatenate({a, b});
+  ASSERT_TRUE(combined.ok());
+  EXPECT_EQ((*combined)->num_rows(), 10u);
+  EXPECT_EQ((*combined)->Int64Column(0)->Value(5), 1);
+  EXPECT_EQ((*combined)->StringColumn(3)->Value(9), "e");
+}
+
+TEST(ComputeTest, ConcatenateRejectsSchemaMismatch) {
+  auto a = SampleBatch();
+  Schema other({{"x", TypeId::kInt64}});
+  auto b = RecordBatch::Make(
+      other,
+      {std::make_shared<Int64Array>(std::vector<int64_t>{1})});
+  ASSERT_TRUE(b.ok());
+  EXPECT_FALSE(Concatenate({a, *b}).ok());
+  EXPECT_FALSE(Concatenate({}).ok());
+}
+
+TEST(ComputeTest, FilterThenAggregatePipeline) {
+  // The shape the genomics example uses: filter by quality, then
+  // aggregate the surviving rows.
+  auto batch = SampleBatch();
+  auto positive = FilterByInt64(*batch, "value",
+                                [](int64_t v) { return v > 0; });
+  ASSERT_TRUE(positive.ok());
+  auto stats = SummarizeFloat64(*(*positive)->Float64Column(2));
+  EXPECT_EQ(stats.count, 3);
+  EXPECT_DOUBLE_EQ(stats.sum, 0.1 + 0.3 + 0.5);
+}
+
+}  // namespace
+}  // namespace mdos::arrowlite

@@ -1,0 +1,116 @@
+// Unit tests for the LRU eviction policy.
+#include <gtest/gtest.h>
+
+#include "plasma/eviction.h"
+
+namespace mdos::plasma {
+namespace {
+
+ObjectId Id(int i) { return ObjectId::FromName("obj" + std::to_string(i)); }
+
+TEST(EvictionTest, ChoosesLruFirst) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+  policy.Add(Id(3), 100);
+
+  auto victims =
+      policy.ChooseVictims(100, [](const ObjectId&) { return true; });
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], Id(1));  // oldest first
+}
+
+TEST(EvictionTest, TouchMovesToMru) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+  policy.Touch(Id(1));  // 2 is now LRU
+
+  auto victims =
+      policy.ChooseVictims(100, [](const ObjectId&) { return true; });
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], Id(2));
+}
+
+TEST(EvictionTest, AccumulatesUntilBytesSatisfied) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+  policy.Add(Id(3), 100);
+
+  auto victims =
+      policy.ChooseVictims(250, [](const ObjectId&) { return true; });
+  EXPECT_EQ(victims.size(), 3u);
+}
+
+TEST(EvictionTest, SkipsPinnedObjects) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+
+  auto victims = policy.ChooseVictims(
+      100, [](const ObjectId& id) { return id != Id(1); });
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], Id(2));
+}
+
+TEST(EvictionTest, ReturnsEmptyWhenCannotSatisfy) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  auto victims =
+      policy.ChooseVictims(500, [](const ObjectId&) { return true; });
+  EXPECT_TRUE(victims.empty()) << "must not thrash if goal unreachable";
+}
+
+TEST(EvictionTest, ReturnsEmptyWhenAllPinned) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+  auto victims =
+      policy.ChooseVictims(100, [](const ObjectId&) { return false; });
+  EXPECT_TRUE(victims.empty());
+}
+
+TEST(EvictionTest, RemoveDropsFromConsideration) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+  policy.Remove(Id(1));
+  EXPECT_FALSE(policy.Contains(Id(1)));
+  EXPECT_EQ(policy.size(), 1u);
+
+  auto victims =
+      policy.ChooseVictims(100, [](const ObjectId&) { return true; });
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], Id(2));
+}
+
+TEST(EvictionTest, ReAddMovesToMru) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  policy.Add(Id(2), 100);
+  policy.Add(Id(1), 100);  // re-add: refreshed
+  auto victims =
+      policy.ChooseVictims(100, [](const ObjectId&) { return true; });
+  ASSERT_EQ(victims.size(), 1u);
+  EXPECT_EQ(victims[0], Id(2));
+}
+
+TEST(EvictionTest, TouchUnknownIsNoOp) {
+  EvictionPolicy policy;
+  policy.Touch(Id(9));
+  policy.Remove(Id(9));
+  EXPECT_EQ(policy.size(), 0u);
+}
+
+TEST(EvictionTest, ChooseDoesNotMutate) {
+  EvictionPolicy policy;
+  policy.Add(Id(1), 100);
+  auto v1 = policy.ChooseVictims(100, [](const ObjectId&) { return true; });
+  auto v2 = policy.ChooseVictims(100, [](const ObjectId&) { return true; });
+  EXPECT_EQ(v1, v2);
+  EXPECT_EQ(policy.size(), 1u);
+}
+
+}  // namespace
+}  // namespace mdos::plasma

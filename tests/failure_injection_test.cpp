@@ -1,0 +1,184 @@
+// Failure-injection tests: malformed frames, garbage payloads, abrupt
+// disconnects, and dead peers. The store and RPC server must shed the
+// offending connection and keep serving everyone else.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "dist/remote_registry.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+#include "rpc/channel.h"
+#include "rpc/server.h"
+
+namespace mdos {
+namespace {
+
+TEST(RpcFailureTest, GarbageBytesDropConnectionOnly) {
+  rpc::RpcServer server;
+  server.RegisterHandler(
+      "echo", [](const std::vector<uint8_t>& p)
+                  -> Result<std::vector<uint8_t>> { return p; });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  // Attacker connection: raw garbage (bad magic).
+  auto attacker = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(attacker.ok());
+  const char junk[] = "this is definitely not a frame header at all";
+  ASSERT_TRUE(net::WriteAll(attacker->get(), junk, sizeof(junk)).ok());
+
+  // Legitimate client keeps working.
+  auto channel = rpc::RpcChannel::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call("echo", {1, 2, 3});
+  ASSERT_TRUE(reply.ok()) << reply.status();
+
+  // The attacker's socket was closed by the server.
+  char byte;
+  Status read = net::ReadAll(attacker->get(), &byte, 1);
+  EXPECT_FALSE(read.ok());
+  server.Stop();
+}
+
+TEST(RpcFailureTest, ValidFrameGarbagePayloadDropped) {
+  rpc::RpcServer server;
+  server.RegisterHandler(
+      "echo", [](const std::vector<uint8_t>& p)
+                  -> Result<std::vector<uint8_t>> { return p; });
+  ASSERT_TRUE(server.Start(0).ok());
+
+  auto attacker = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(attacker.ok());
+  // Correct framing, undecodable RpcRequest body.
+  std::vector<uint8_t> junk_payload = {0xFF, 0xFF, 0xFF};
+  ASSERT_TRUE(net::SendFrame(attacker->get(), rpc::kRequestFrame,
+                             junk_payload)
+                  .ok());
+  char byte;
+  EXPECT_FALSE(net::ReadAll(attacker->get(), &byte, 1).ok());
+
+  auto channel = rpc::RpcChannel::Connect("127.0.0.1", server.port());
+  ASSERT_TRUE(channel.ok());
+  EXPECT_TRUE((*channel)->Call("echo", {9}).ok());
+  server.Stop();
+}
+
+TEST(RpcFailureTest, WrongFrameTypeDropped) {
+  rpc::RpcServer server;
+  ASSERT_TRUE(server.Start(0).ok());
+  auto attacker = net::TcpConnect("127.0.0.1", server.port());
+  ASSERT_TRUE(attacker.ok());
+  ASSERT_TRUE(
+      net::SendFrame(attacker->get(), 0xDEAD, {1, 2, 3}).ok());
+  char byte;
+  EXPECT_FALSE(net::ReadAll(attacker->get(), &byte, 1).ok());
+  server.Stop();
+}
+
+class StoreFailureTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    plasma::StoreOptions options;
+    options.name = "failure-store";
+    options.capacity = 4 << 20;
+    auto store = plasma::Store::Create(options);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    ASSERT_TRUE(store_->Start().ok());
+  }
+  void TearDown() override { store_->Stop(); }
+  std::unique_ptr<plasma::Store> store_;
+};
+
+TEST_F(StoreFailureTest, GarbageOnClientSocketDoesNotKillStore) {
+  auto attacker = net::UdsConnect(store_->socket_path());
+  ASSERT_TRUE(attacker.ok());
+  const char junk[] = "garbage garbage garbage garbage garbage";
+  ASSERT_TRUE(net::WriteAll(attacker->get(), junk, sizeof(junk)).ok());
+
+  auto client = plasma::PlasmaClient::Connect(store_->socket_path());
+  ASSERT_TRUE(client.ok());
+  EXPECT_TRUE(
+      (*client)->CreateAndSeal(ObjectId::FromName("alive"), "yes").ok());
+}
+
+TEST_F(StoreFailureTest, UnknownMessageTypeDropsClient) {
+  auto attacker = net::UdsConnect(store_->socket_path());
+  ASSERT_TRUE(attacker.ok());
+  ASSERT_TRUE(net::SendFrame(attacker->get(), 9999, {1}).ok());
+  char byte;
+  EXPECT_FALSE(net::ReadAll(attacker->get(), &byte, 1).ok());
+}
+
+TEST_F(StoreFailureTest, TruncatedCreateRequestDropsClient) {
+  auto attacker = net::UdsConnect(store_->socket_path());
+  ASSERT_TRUE(attacker.ok());
+  // A CreateRequest payload that is too short to decode.
+  std::vector<uint8_t> short_payload(5, 0xAB);
+  ASSERT_TRUE(net::SendFrame(
+                  attacker->get(),
+                  static_cast<uint32_t>(
+                      plasma::MessageType::kCreateRequest),
+                  short_payload)
+                  .ok());
+  char byte;
+  EXPECT_FALSE(net::ReadAll(attacker->get(), &byte, 1).ok());
+}
+
+TEST_F(StoreFailureTest, RapidConnectDisconnectCycles) {
+  for (int i = 0; i < 30; ++i) {
+    auto client = plasma::PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(client.ok()) << i;
+    if (i % 3 == 0) {
+      ASSERT_TRUE((*client)
+                      ->Create(ObjectId::FromName("cycle" +
+                                                  std::to_string(i)),
+                               100)
+                      .ok());
+      // Disconnect with the object unsealed: the store must abort it.
+    }
+  }
+  auto client = plasma::PlasmaClient::Connect(store_->socket_path());
+  ASSERT_TRUE(client.ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto list = (*client)->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_TRUE(list->empty()) << "orphaned unsealed objects leaked";
+}
+
+TEST_F(StoreFailureTest, MidWriteDisconnectFreesSpace) {
+  auto stats_before = store_->stats();
+  {
+    auto client = plasma::PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(client.ok());
+    auto buffer =
+        (*client)->Create(ObjectId::FromName("partial"), 2 << 20);
+    ASSERT_TRUE(buffer.ok());
+    std::string half(1 << 20, 'h');
+    ASSERT_TRUE(buffer->WriteData(0, half.data(), half.size()).ok());
+    // Client dies mid-write.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  auto stats_after = store_->stats();
+  EXPECT_EQ(stats_after.bytes_in_use, stats_before.bytes_in_use);
+}
+
+TEST(DistFailureTest, PinAgainstDeadPeerIsHarmless) {
+  dist::RemoteStoreRegistry registry(/*self_node=*/7);
+  plasma::RemoteObjectLocation loc;
+  loc.home_node = 99;  // no such peer
+  registry.PinRemote(ObjectId::FromName("x"), loc);
+  registry.UnpinRemote(ObjectId::FromName("x"), loc);
+  EXPECT_EQ(registry.usage().total_pins(), 0u);
+}
+
+TEST(DistFailureTest, AddPeerToClosedPortFails) {
+  dist::RemoteStoreRegistry registry(/*self_node=*/7);
+  EXPECT_FALSE(registry.AddPeer("127.0.0.1", 1).ok());
+  EXPECT_EQ(registry.peer_count(), 0u);
+}
+
+}  // namespace
+}  // namespace mdos

@@ -1,0 +1,105 @@
+// Tests for the calibration helpers and the sequential-stream prefetch
+// detection of the fabric latency model.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "common/clock.h"
+#include "tf/fabric.h"
+#include "tf/latency_model.h"
+
+namespace mdos::tf {
+namespace {
+
+TEST(ScaledParamsTest, BandwidthScalesDownLatencyScalesUp) {
+  LatencyParams full = LocalDramParams();
+  LatencyParams half = ScaledLocalParams(0.5);
+  EXPECT_DOUBLE_EQ(half.bandwidth_gib_per_s,
+                   full.bandwidth_gib_per_s * 0.5);
+  EXPECT_EQ(half.base_latency_ns, full.base_latency_ns * 2);
+}
+
+TEST(ScaledParamsTest, UnitScaleIsIdentity) {
+  LatencyParams full = RemoteFabricParams();
+  LatencyParams same = ScaledRemoteParams(1.0);
+  EXPECT_DOUBLE_EQ(same.bandwidth_gib_per_s, full.bandwidth_gib_per_s);
+  EXPECT_EQ(same.base_latency_ns, full.base_latency_ns);
+}
+
+TEST(ScaledParamsTest, RatioIsScaleInvariant) {
+  // The paper's local/remote throughput ratio must survive scaling.
+  for (double scale : {1.0, 0.5, 0.25, 0.1}) {
+    LatencyParams local = ScaledLocalParams(scale);
+    LatencyParams remote = ScaledRemoteParams(scale);
+    EXPECT_NEAR(remote.bandwidth_gib_per_s / local.bandwidth_gib_per_s,
+                5.75 / 6.5, 1e-9);
+  }
+}
+
+class StreamingTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    // Huge base latency, no bandwidth cap: timing differences isolate
+    // exactly the base-latency decision.
+    FabricConfig config;
+    config.local = LatencyParams{0, 0.0};
+    config.remote = LatencyParams{200000, 0.0};  // 200 us per access
+    fabric_ = std::make_unique<Fabric>(config);
+    auto n0 = fabric_->AddNode("home", 1 << 20);
+    auto n1 = fabric_->AddNode("reader", 1 << 20);
+    ASSERT_TRUE(n0.ok() && n1.ok());
+    auto region = fabric_->ExportRegion(*n0, 0, 1 << 20);
+    ASSERT_TRUE(region.ok());
+    auto attached = fabric_->Attach(*n1, *region);
+    ASSERT_TRUE(attached.ok());
+    region_ = std::make_unique<AttachedRegion>(std::move(attached).value());
+  }
+
+  std::unique_ptr<Fabric> fabric_;
+  std::unique_ptr<AttachedRegion> region_;
+};
+
+TEST_F(StreamingTest, SequentialReadsSkipBaseLatency) {
+  std::vector<uint8_t> buf(1024);
+  // First read pays the base latency.
+  Stopwatch sw;
+  ASSERT_TRUE(region_->Read(0, buf.data(), buf.size()).ok());
+  EXPECT_GE(sw.ElapsedNanos(), 200000);
+
+  // Sequential continuation: prefetch hit, far below the base latency.
+  sw.Reset();
+  for (int i = 1; i < 10; ++i) {
+    ASSERT_TRUE(
+        region_->Read(i * buf.size(), buf.data(), buf.size()).ok());
+  }
+  EXPECT_LT(sw.ElapsedNanos(), 9 * 200000 / 2)
+      << "sequential reads must not pay full base latency each";
+}
+
+TEST_F(StreamingTest, SmallGapStillCountsAsStream) {
+  std::vector<uint8_t> buf(1024);
+  ASSERT_TRUE(region_->Read(0, buf.data(), buf.size()).ok());
+  Stopwatch sw;
+  // 64-byte allocator gap, well within the prefetch window.
+  ASSERT_TRUE(region_->Read(1024 + 64, buf.data(), buf.size()).ok());
+  EXPECT_LT(sw.ElapsedNanos(), 200000 / 2);
+}
+
+TEST_F(StreamingTest, RandomJumpPaysBaseLatency) {
+  std::vector<uint8_t> buf(1024);
+  ASSERT_TRUE(region_->Read(0, buf.data(), buf.size()).ok());
+  Stopwatch sw;
+  ASSERT_TRUE(region_->Read(512 * 1024, buf.data(), buf.size()).ok());
+  EXPECT_GE(sw.ElapsedNanos(), 200000);
+}
+
+TEST_F(StreamingTest, BackwardJumpPaysBaseLatency) {
+  std::vector<uint8_t> buf(1024);
+  ASSERT_TRUE(region_->Read(100000, buf.data(), buf.size()).ok());
+  Stopwatch sw;
+  ASSERT_TRUE(region_->Read(0, buf.data(), buf.size()).ok());
+  EXPECT_GE(sw.ElapsedNanos(), 200000);
+}
+
+}  // namespace
+}  // namespace mdos::tf

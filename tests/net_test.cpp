@@ -1,0 +1,301 @@
+// Tests for the net layer: sockets, framing, memfd sharing, fd passing,
+// and the poller.
+#include <gtest/gtest.h>
+
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <atomic>
+#include <cstring>
+#include <thread>
+
+#include "common/rng.h"
+#include "net/fd.h"
+#include "net/frame.h"
+#include "net/memfd.h"
+#include "net/poller.h"
+#include "net/socket.h"
+
+namespace mdos::net {
+namespace {
+
+TEST(UniqueFdTest, ClosesOnDestruction) {
+  int raw[2];
+  ASSERT_EQ(::pipe(raw), 0);
+  {
+    UniqueFd a(raw[0]);
+    UniqueFd b(raw[1]);
+    EXPECT_TRUE(a.valid());
+  }
+  // Both ends should now be closed: write fails with EBADF.
+  EXPECT_EQ(::write(raw[1], "x", 1), -1);
+  EXPECT_EQ(errno, EBADF);
+}
+
+TEST(UniqueFdTest, MoveTransfersOwnership) {
+  int raw[2];
+  ASSERT_EQ(::pipe(raw), 0);
+  UniqueFd a(raw[0]);
+  UniqueFd b(raw[1]);
+  UniqueFd moved = std::move(a);
+  EXPECT_FALSE(a.valid());  // NOLINT use-after-move intended
+  EXPECT_TRUE(moved.valid());
+  EXPECT_EQ(moved.get(), raw[0]);
+}
+
+TEST(UniqueFdTest, ReleaseDetaches) {
+  int raw[2];
+  ASSERT_EQ(::pipe(raw), 0);
+  UniqueFd b(raw[1]);
+  {
+    UniqueFd a(raw[0]);
+    EXPECT_EQ(a.Release(), raw[0]);
+  }
+  // raw[0] still open: close it manually.
+  EXPECT_EQ(::close(raw[0]), 0);
+}
+
+TEST(SocketTest, UdsRoundTrip) {
+  std::string path = UniqueSocketPath("udstest");
+  auto listener = UdsListen(path);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+
+  std::thread server([&] {
+    auto conn = Accept(listener->get());
+    ASSERT_TRUE(conn.ok());
+    char buf[5];
+    ASSERT_TRUE(ReadAll(conn->get(), buf, 5).ok());
+    EXPECT_EQ(std::string(buf, 5), "hello");
+    ASSERT_TRUE(WriteAll(conn->get(), "world", 5).ok());
+  });
+
+  auto client = UdsConnect(path);
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(WriteAll(client->get(), "hello", 5).ok());
+  char buf[5];
+  ASSERT_TRUE(ReadAll(client->get(), buf, 5).ok());
+  EXPECT_EQ(std::string(buf, 5), "world");
+  server.join();
+  ::unlink(path.c_str());
+}
+
+TEST(SocketTest, UdsConnectToMissingPathTimesOut) {
+  auto client = UdsConnect("/tmp/mdos-definitely-missing.sock",
+                           /*timeout_ms=*/50);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(SocketTest, TcpEphemeralPortRoundTrip) {
+  uint16_t port = 0;
+  auto listener = TcpListen(0, &port);
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  EXPECT_GT(port, 0);
+
+  std::thread server([&] {
+    auto conn = Accept(listener->get());
+    ASSERT_TRUE(conn.ok());
+    char buf[4];
+    ASSERT_TRUE(ReadAll(conn->get(), buf, 4).ok());
+    ASSERT_TRUE(WriteAll(conn->get(), buf, 4).ok());
+  });
+
+  auto client = TcpConnect("127.0.0.1", port);
+  ASSERT_TRUE(client.ok()) << client.status();
+  ASSERT_TRUE(WriteAll(client->get(), "ping", 4).ok());
+  char buf[4];
+  ASSERT_TRUE(ReadAll(client->get(), buf, 4).ok());
+  EXPECT_EQ(std::string(buf, 4), "ping");
+  server.join();
+}
+
+TEST(SocketTest, TcpConnectRefusedFailsQuickly) {
+  // Port 1 on loopback is essentially never listening.
+  auto client = TcpConnect("127.0.0.1", 1, /*timeout_ms=*/50);
+  EXPECT_FALSE(client.ok());
+}
+
+TEST(SocketTest, ReadAllReportsCleanEof) {
+  std::string path = UniqueSocketPath("eof");
+  auto listener = UdsListen(path);
+  ASSERT_TRUE(listener.ok());
+  std::thread server([&] {
+    auto conn = Accept(listener->get());
+    // close immediately
+  });
+  auto client = UdsConnect(path);
+  ASSERT_TRUE(client.ok());
+  server.join();
+  char buf[1];
+  Status s = ReadAll(client->get(), buf, 1);
+  EXPECT_EQ(s.code(), StatusCode::kNotConnected);
+  ::unlink(path.c_str());
+}
+
+TEST(FrameTest, RoundTripVariousSizes) {
+  std::string path = UniqueSocketPath("frame");
+  auto listener = UdsListen(path);
+  ASSERT_TRUE(listener.ok());
+
+  const size_t sizes[] = {0, 1, 100, 4096, 1 << 20};
+  std::thread server([&] {
+    auto conn = Accept(listener->get());
+    ASSERT_TRUE(conn.ok());
+    for (size_t size : sizes) {
+      auto frame = RecvFrame(conn->get());
+      ASSERT_TRUE(frame.ok()) << frame.status();
+      EXPECT_EQ(frame->type, 7u);
+      EXPECT_EQ(frame->payload.size(), size);
+      ASSERT_TRUE(SendFrame(conn->get(), 8, frame->payload).ok());
+    }
+  });
+
+  auto client = UdsConnect(path);
+  ASSERT_TRUE(client.ok());
+  SplitMix64 rng(3);
+  for (size_t size : sizes) {
+    std::vector<uint8_t> payload(size);
+    rng.Fill(payload.data(), payload.size());
+    ASSERT_TRUE(SendFrame(client->get(), 7, payload).ok());
+    auto echo = RecvFrame(client->get());
+    ASSERT_TRUE(echo.ok());
+    EXPECT_EQ(echo->type, 8u);
+    EXPECT_EQ(echo->payload, payload);
+  }
+  server.join();
+  ::unlink(path.c_str());
+}
+
+TEST(FrameTest, BadMagicRejected) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  uint32_t junk[4] = {0xBADC0DE, 1, 0, 0};
+  ASSERT_TRUE(WriteAll(a.get(), junk, sizeof(junk)).ok());
+  auto frame = RecvFrame(b.get());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, CrcMismatchRejected) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  // magic, type, length=4, wrong crc, payload "abcd"
+  struct {
+    uint32_t magic = kFrameMagic;
+    uint32_t type = 1;
+    uint32_t length = 4;
+    uint32_t crc = 0x12345678;
+    char payload[4] = {'a', 'b', 'c', 'd'};
+  } __attribute__((packed)) wire;
+  ASSERT_TRUE(WriteAll(a.get(), &wire, sizeof(wire)).ok());
+  auto frame = RecvFrame(b.get());
+  ASSERT_FALSE(frame.ok());
+  EXPECT_EQ(frame.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(FrameTest, OversizePayloadLengthRejected) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  uint32_t hdr[4] = {kFrameMagic, 1, kMaxFramePayload + 1, 0};
+  ASSERT_TRUE(WriteAll(a.get(), hdr, sizeof(hdr)).ok());
+  auto frame = RecvFrame(b.get());
+  ASSERT_FALSE(frame.ok());
+}
+
+TEST(FrameTest, SendRejectsTooLargePayload) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  std::vector<uint8_t> big(kMaxFramePayload + 1);
+  EXPECT_EQ(SendFrame(a.get(), 1, big).code(), StatusCode::kInvalid);
+}
+
+TEST(MemfdTest, CreateAndWrite) {
+  auto seg = MemfdSegment::Create("test-seg", 4096);
+  ASSERT_TRUE(seg.ok()) << seg.status();
+  EXPECT_EQ(seg->size(), 4096u);
+  std::memset(seg->data(), 0x5A, 4096);
+  EXPECT_EQ(seg->data()[4095], 0x5A);
+}
+
+TEST(MemfdTest, SharedMappingSeesWrites) {
+  auto seg = MemfdSegment::Create("share-seg", 4096);
+  ASSERT_TRUE(seg.ok());
+  auto dup = seg->DupFd();
+  ASSERT_TRUE(dup.ok());
+  auto view = MemfdSegment::Map(std::move(dup).value(), 4096);
+  ASSERT_TRUE(view.ok());
+  seg->data()[100] = 42;
+  EXPECT_EQ(view->data()[100], 42);  // same physical pages
+  view->data()[200] = 24;
+  EXPECT_EQ(seg->data()[200], 24);
+}
+
+TEST(MemfdTest, FdPassingAcrossSocket) {
+  auto seg = MemfdSegment::Create("fdpass-seg", 4096);
+  ASSERT_TRUE(seg.ok());
+  seg->data()[0] = 77;
+
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  ASSERT_TRUE(SendFd(a.get(), seg->fd()).ok());
+  auto received = RecvFd(b.get());
+  ASSERT_TRUE(received.ok()) << received.status();
+  auto view = MemfdSegment::Map(std::move(received).value(), 4096);
+  ASSERT_TRUE(view.ok());
+  EXPECT_EQ(view->data()[0], 77);
+}
+
+TEST(PollerTest, ReportsReadableFd) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  Poller poller;
+  poller.Add(b.get());
+  ASSERT_TRUE(WriteAll(a.get(), "x", 1).ok());
+  int seen = -1;
+  auto n = poller.Wait(1000, [&](int fd) { seen = fd; });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_EQ(seen, b.get());
+}
+
+TEST(PollerTest, TimesOutWithNoEvents) {
+  Poller poller;
+  auto n = poller.Wait(10, [](int) { FAIL() << "no fd should be ready"; });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+}
+
+TEST(PollerTest, WakeupInterruptsWait) {
+  Poller poller;
+  std::atomic<bool> woke{false};
+  std::thread waiter([&] {
+    auto n = poller.Wait(5000, [](int) {});
+    ASSERT_TRUE(n.ok());
+    woke.store(true);
+  });
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  poller.Wakeup();
+  waiter.join();
+  EXPECT_TRUE(woke.load());
+}
+
+TEST(PollerTest, RemoveStopsReporting) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  Poller poller;
+  poller.Add(b.get());
+  poller.Remove(b.get());
+  ASSERT_TRUE(WriteAll(a.get(), "x", 1).ok());
+  auto n = poller.Wait(10, [](int) { FAIL(); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+}
+
+}  // namespace
+}  // namespace mdos::net

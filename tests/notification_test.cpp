@@ -1,0 +1,159 @@
+// Tests for the seal/delete notification subscription mechanism
+// (upstream Plasma's notification socket, reimplemented).
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "plasma/client.h"
+#include "plasma/store.h"
+
+namespace mdos::plasma {
+namespace {
+
+class NotificationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreOptions options;
+    options.name = "notify-store";
+    options.capacity = 8 << 20;
+    auto store = Store::Create(options);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    ASSERT_TRUE(store_->Start().ok());
+    auto client = PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).value();
+  }
+
+  void TearDown() override {
+    client_.reset();
+    store_->Stop();
+  }
+
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<PlasmaClient> client_;
+};
+
+TEST_F(NotificationTest, SubscribeHandshake) {
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok()) << listener.status();
+  EXPECT_TRUE(listener->connected());
+}
+
+TEST_F(NotificationTest, SealPushesNotification) {
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok());
+
+  ObjectId id = ObjectId::FromName("announced");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "data!", "md").ok());
+
+  auto notice = listener->Next(/*timeout_ms=*/2000);
+  ASSERT_TRUE(notice.ok()) << notice.status();
+  EXPECT_EQ(notice->id, id);
+  EXPECT_EQ(notice->data_size, 5u);
+  EXPECT_EQ(notice->metadata_size, 2u);
+  EXPECT_FALSE(notice->deleted);
+}
+
+TEST_F(NotificationTest, DeletePushesDeletedNotification) {
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok());
+
+  ObjectId id = ObjectId::FromName("vanishing");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  ASSERT_TRUE(client_->Delete(id).ok());
+
+  auto sealed = listener->Next(2000);
+  ASSERT_TRUE(sealed.ok());
+  EXPECT_FALSE(sealed->deleted);
+  auto deleted = listener->Next(2000);
+  ASSERT_TRUE(deleted.ok());
+  EXPECT_EQ(deleted->id, id);
+  EXPECT_TRUE(deleted->deleted);
+}
+
+TEST_F(NotificationTest, NotificationsArriveInSealOrder) {
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok());
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 10; ++i) {
+    ObjectId id = ObjectId::FromName("seq" + std::to_string(i));
+    ids.push_back(id);
+    ASSERT_TRUE(client_->CreateAndSeal(id, std::to_string(i)).ok());
+  }
+  for (int i = 0; i < 10; ++i) {
+    auto notice = listener->Next(2000);
+    ASSERT_TRUE(notice.ok()) << i;
+    EXPECT_EQ(notice->id, ids[i]) << i;
+  }
+}
+
+TEST_F(NotificationTest, MultipleSubscribersAllNotified) {
+  auto listener1 = NotificationListener::Connect(store_->socket_path());
+  auto listener2 = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener1.ok() && listener2.ok());
+
+  ObjectId id = ObjectId::FromName("fanout");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+
+  auto n1 = listener1->Next(2000);
+  auto n2 = listener2->Next(2000);
+  ASSERT_TRUE(n1.ok() && n2.ok());
+  EXPECT_EQ(n1->id, id);
+  EXPECT_EQ(n2->id, id);
+}
+
+TEST_F(NotificationTest, NextTimesOutQuietly) {
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok());
+  auto notice = listener->Next(/*timeout_ms=*/50);
+  ASSERT_FALSE(notice.ok());
+  EXPECT_EQ(notice.status().code(), StatusCode::kTimeout);
+}
+
+TEST_F(NotificationTest, SubscriberCanDriveConsumption) {
+  // The classic pattern: a consumer waits for whatever appears, then
+  // fetches it — no id coordination needed.
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok());
+
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+    auto producer_client = PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(producer_client.ok());
+    ASSERT_TRUE((*producer_client)
+                    ->CreateAndSeal(ObjectId::FromName("pushed"),
+                                    "pushed-payload")
+                    .ok());
+  });
+
+  auto notice = listener->Next(5000);
+  ASSERT_TRUE(notice.ok());
+  auto buffer = client_->Get(notice->id, 1000);
+  producer.join();
+  ASSERT_TRUE(buffer.ok());
+  auto data = buffer->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "pushed-payload");
+}
+
+TEST_F(NotificationTest, DroppedSubscriberDoesNotBreakStore) {
+  {
+    auto listener = NotificationListener::Connect(store_->socket_path());
+    ASSERT_TRUE(listener.ok());
+    // Listener dropped here without unsubscribe.
+  }
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  // Store keeps working; sealing succeeds and live subscribers still get
+  // their pushes.
+  auto listener = NotificationListener::Connect(store_->socket_path());
+  ASSERT_TRUE(listener.ok());
+  ObjectId id = ObjectId::FromName("after-drop");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  auto notice = listener->Next(2000);
+  ASSERT_TRUE(notice.ok());
+  EXPECT_EQ(notice->id, id);
+}
+
+}  // namespace
+}  // namespace mdos::plasma

@@ -1,0 +1,168 @@
+// Unit tests for the store's ObjectTable lifecycle bookkeeping.
+#include <gtest/gtest.h>
+
+#include "plasma/object_table.h"
+
+namespace mdos::plasma {
+namespace {
+
+ObjectEntry MakeEntry(const std::string& name, uint64_t offset = 0,
+                      uint64_t data = 100, uint64_t meta = 10,
+                      int fd = 3) {
+  ObjectEntry entry;
+  entry.id = ObjectId::FromName(name);
+  entry.offset = offset;
+  entry.data_size = data;
+  entry.metadata_size = meta;
+  entry.creator_fd = fd;
+  return entry;
+}
+
+TEST(ObjectTableTest, AddAndLookup) {
+  ObjectTable table;
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a", 64, 100, 10)).ok());
+  auto entry = table.Lookup(ObjectId::FromName("a"));
+  ASSERT_TRUE(entry.ok());
+  EXPECT_EQ(entry->offset, 64u);
+  EXPECT_EQ(entry->data_size, 100u);
+  EXPECT_EQ(entry->metadata_size, 10u);
+  EXPECT_EQ(entry->state, ObjectState::kCreated);
+  EXPECT_EQ(entry->total_size(), 110u);
+  EXPECT_GT(entry->created_ns, 0);
+}
+
+TEST(ObjectTableTest, DuplicateAddRejected) {
+  ObjectTable table;
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  EXPECT_EQ(table.AddCreated(MakeEntry("a")).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ObjectTableTest, LookupMissingIsKeyError) {
+  ObjectTable table;
+  EXPECT_EQ(table.Lookup(ObjectId::FromName("ghost")).status().code(),
+            StatusCode::kKeyError);
+}
+
+TEST(ObjectTableTest, SealTransitions) {
+  ObjectTable table;
+  ObjectId id = ObjectId::FromName("a");
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  EXPECT_FALSE(table.ContainsSealed(id));
+  EXPECT_EQ(table.sealed_count(), 0u);
+
+  ASSERT_TRUE(table.Seal(id).ok());
+  EXPECT_TRUE(table.ContainsSealed(id));
+  EXPECT_EQ(table.sealed_count(), 1u);
+  EXPECT_GT(table.Lookup(id)->sealed_ns, 0);
+
+  // Double seal is an error (immutability contract).
+  EXPECT_EQ(table.Seal(id).code(), StatusCode::kSealed);
+}
+
+TEST(ObjectTableTest, SealMissingIsKeyError) {
+  ObjectTable table;
+  EXPECT_EQ(table.Seal(ObjectId::FromName("ghost")).code(),
+            StatusCode::kKeyError);
+}
+
+TEST(ObjectTableTest, RefCounting) {
+  ObjectTable table;
+  ObjectId id = ObjectId::FromName("a");
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  ASSERT_TRUE(table.Seal(id).ok());
+
+  ASSERT_TRUE(table.AddRef(id).ok());
+  ASSERT_TRUE(table.AddRef(id).ok());
+  EXPECT_EQ(table.Lookup(id)->local_refs, 2u);
+
+  auto refs = table.ReleaseRef(id);
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(*refs, 1u);
+  refs = table.ReleaseRef(id);
+  ASSERT_TRUE(refs.ok());
+  EXPECT_EQ(*refs, 0u);
+  // Underflow rejected.
+  EXPECT_EQ(table.ReleaseRef(id).status().code(), StatusCode::kInvalid);
+}
+
+TEST(ObjectTableTest, RemoveRequiresSealedAndUnreferenced) {
+  ObjectTable table;
+  ObjectId id = ObjectId::FromName("a");
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  // Unsealed: refuse.
+  EXPECT_EQ(table.Remove(id).status().code(), StatusCode::kNotSealed);
+  ASSERT_TRUE(table.Seal(id).ok());
+  ASSERT_TRUE(table.AddRef(id).ok());
+  // Referenced: refuse.
+  EXPECT_EQ(table.Remove(id).status().code(), StatusCode::kInvalid);
+  ASSERT_TRUE(table.ReleaseRef(id).ok());
+  auto removed = table.Remove(id);
+  ASSERT_TRUE(removed.ok());
+  EXPECT_EQ(removed->id, id);
+  EXPECT_FALSE(table.Contains(id));
+}
+
+TEST(ObjectTableTest, ForceRemoveSkipsChecks) {
+  ObjectTable table;
+  ObjectId id = ObjectId::FromName("a");
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  auto removed = table.Remove(id, /*force=*/true);
+  EXPECT_TRUE(removed.ok());
+  EXPECT_EQ(table.size(), 0u);
+}
+
+TEST(ObjectTableTest, BytesInUseAccounting) {
+  ObjectTable table;
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a", 0, 100, 10)).ok());
+  ASSERT_TRUE(table.AddCreated(MakeEntry("b", 200, 50, 0)).ok());
+  EXPECT_EQ(table.bytes_in_use(), 160u);
+  ASSERT_TRUE(table.Remove(ObjectId::FromName("b"), true).ok());
+  EXPECT_EQ(table.bytes_in_use(), 110u);
+}
+
+TEST(ObjectTableTest, SealedCountTracksRemovals) {
+  ObjectTable table;
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  ASSERT_TRUE(table.Seal(ObjectId::FromName("a")).ok());
+  EXPECT_EQ(table.sealed_count(), 1u);
+  ASSERT_TRUE(table.Remove(ObjectId::FromName("a")).ok());
+  EXPECT_EQ(table.sealed_count(), 0u);
+}
+
+TEST(ObjectTableTest, ListReportsAllStates) {
+  ObjectTable table;
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a")).ok());
+  ASSERT_TRUE(table.AddCreated(MakeEntry("b")).ok());
+  ASSERT_TRUE(table.Seal(ObjectId::FromName("a")).ok());
+  ASSERT_TRUE(table.AddRef(ObjectId::FromName("a")).ok());
+
+  auto list = table.List();
+  ASSERT_EQ(list.size(), 2u);
+  int sealed = 0, created = 0;
+  for (const auto& info : list) {
+    if (info.sealed) {
+      ++sealed;
+      EXPECT_EQ(info.ref_count, 1u);
+    } else {
+      ++created;
+    }
+  }
+  EXPECT_EQ(sealed, 1);
+  EXPECT_EQ(created, 1);
+}
+
+TEST(ObjectTableTest, UnsealedCreatedByFiltersByFd) {
+  ObjectTable table;
+  ASSERT_TRUE(table.AddCreated(MakeEntry("a", 0, 10, 0, /*fd=*/5)).ok());
+  ASSERT_TRUE(table.AddCreated(MakeEntry("b", 64, 10, 0, /*fd=*/5)).ok());
+  ASSERT_TRUE(table.AddCreated(MakeEntry("c", 128, 10, 0, /*fd=*/6)).ok());
+  ASSERT_TRUE(table.Seal(ObjectId::FromName("a")).ok());
+
+  auto orphans = table.UnsealedCreatedBy(5);
+  ASSERT_EQ(orphans.size(), 1u);
+  EXPECT_EQ(orphans[0], ObjectId::FromName("b"));
+}
+
+}  // namespace
+}  // namespace mdos::plasma

@@ -1,0 +1,239 @@
+// Tests for the unary sync RPC framework (the gRPC stand-in).
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "common/clock.h"
+#include "rpc/channel.h"
+#include "rpc/message.h"
+#include "rpc/server.h"
+
+namespace mdos::rpc {
+namespace {
+
+struct EchoRequest {
+  std::string text;
+  void EncodeTo(wire::Writer& w) const { w.PutString(text); }
+  static Result<EchoRequest> DecodeFrom(wire::Reader& r) {
+    EchoRequest m;
+    MDOS_ASSIGN_OR_RETURN(m.text, r.GetString());
+    return m;
+  }
+};
+using EchoReply = EchoRequest;
+
+class RpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    server_.RegisterHandler(
+        "echo",
+        [](const std::vector<uint8_t>& payload)
+            -> Result<std::vector<uint8_t>> { return payload; });
+    server_.RegisterHandler(
+        "fail",
+        [](const std::vector<uint8_t>&) -> Result<std::vector<uint8_t>> {
+          return Status::KeyError("no such thing");
+        });
+    server_.RegisterHandler(
+        "slow",
+        [](const std::vector<uint8_t>& payload)
+            -> Result<std::vector<uint8_t>> {
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+          return payload;
+        });
+    ASSERT_TRUE(server_.Start(0).ok());
+  }
+
+  void TearDown() override { server_.Stop(); }
+
+  RpcServer server_;
+};
+
+TEST_F(RpcTest, EchoRoundTrip) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok()) << channel.status();
+  std::vector<uint8_t> payload = {1, 2, 3, 4, 5};
+  auto reply = (*channel)->Call("echo", payload);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(*reply, payload);
+}
+
+TEST_F(RpcTest, TypedCall) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  EchoRequest request{"hello rpc"};
+  auto reply = (*channel)->CallTyped<EchoReply>("echo", request);
+  ASSERT_TRUE(reply.ok()) << reply.status();
+  EXPECT_EQ(reply->text, "hello rpc");
+}
+
+TEST_F(RpcTest, HandlerErrorPropagatesCodeAndMessage) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call("fail", {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kKeyError);
+  EXPECT_EQ(reply.status().message(), "no such thing");
+}
+
+TEST_F(RpcTest, UnknownMethodIsInvalid) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call("nope", {});
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kInvalid);
+}
+
+TEST_F(RpcTest, ManySequentialCalls) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  for (int i = 0; i < 200; ++i) {
+    EchoRequest request{"msg-" + std::to_string(i)};
+    auto reply = (*channel)->CallTyped<EchoReply>("echo", request);
+    ASSERT_TRUE(reply.ok());
+    EXPECT_EQ(reply->text, request.text);
+  }
+  EXPECT_EQ((*channel)->stats().calls, 200u);
+}
+
+TEST_F(RpcTest, MultipleConcurrentClients) {
+  // The sync server serializes handler execution; all clients still
+  // complete correctly.
+  constexpr int kClients = 4;
+  constexpr int kCallsEach = 50;
+  std::atomic<int> ok_calls{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+      ASSERT_TRUE(channel.ok());
+      for (int i = 0; i < kCallsEach; ++i) {
+        EchoRequest request{"c" + std::to_string(c) + "-" +
+                            std::to_string(i)};
+        auto reply = (*channel)->CallTyped<EchoReply>("echo", request);
+        if (reply.ok() && reply->text == request.text) {
+          ok_calls.fetch_add(1);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(ok_calls.load(), kClients * kCallsEach);
+  EXPECT_EQ(server_.stats().calls,
+            static_cast<uint64_t>(kClients * kCallsEach));
+}
+
+TEST_F(RpcTest, DeadlineExpiresOnSlowHandler) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  auto reply = (*channel)->Call("slow", {}, /*timeout_ms=*/50);
+  ASSERT_FALSE(reply.ok());
+  EXPECT_EQ(reply.status().code(), StatusCode::kTimeout);
+  // The channel invalidates itself after a timeout (the response may
+  // still arrive and would desynchronize the stream).
+  EXPECT_FALSE((*channel)->connected());
+}
+
+TEST_F(RpcTest, CallAfterDisconnectFails) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  (*channel)->Disconnect();
+  auto reply = (*channel)->Call("echo", {});
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotConnected);
+}
+
+TEST_F(RpcTest, SimulatedRttAddsLatency) {
+  constexpr int64_t kRtt = 2 * 1000 * 1000;  // 2 ms
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port(), kRtt);
+  ASSERT_TRUE(channel.ok());
+  Stopwatch sw;
+  auto reply = (*channel)->Call("echo", {});
+  ASSERT_TRUE(reply.ok());
+  EXPECT_GE(sw.ElapsedNanos(), kRtt);
+}
+
+TEST_F(RpcTest, ServerStatsCountErrors) {
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  (void)(*channel)->Call("fail", {});
+  (void)(*channel)->Call("echo", {});
+  auto stats = server_.stats();
+  EXPECT_EQ(stats.calls, 2u);
+  EXPECT_EQ(stats.errors, 1u);
+}
+
+TEST_F(RpcTest, ServiceDelayIsEnforced) {
+  server_.set_service_delay_ns(1 * 1000 * 1000);  // 1 ms
+  auto channel = RpcChannel::Connect("127.0.0.1", server_.port());
+  ASSERT_TRUE(channel.ok());
+  Stopwatch sw;
+  ASSERT_TRUE((*channel)->Call("echo", {}).ok());
+  EXPECT_GE(sw.ElapsedNanos(), 1 * 1000 * 1000);
+  server_.set_service_delay_ns(0);
+}
+
+TEST(RpcLifecycleTest, ConnectToStoppedServerFails) {
+  auto channel = RpcChannel::Connect("127.0.0.1", 1, /*simulated_rtt_ns=*/0);
+  EXPECT_FALSE(channel.ok());
+}
+
+TEST(RpcLifecycleTest, RestartOnNewPort) {
+  RpcServer server;
+  server.RegisterHandler(
+      "echo", [](const std::vector<uint8_t>& p)
+                  -> Result<std::vector<uint8_t>> { return p; });
+  ASSERT_TRUE(server.Start(0).ok());
+  uint16_t port = server.port();
+  server.Stop();
+  EXPECT_FALSE(server.running());
+  // Channel to the stopped server cannot complete a call.
+  auto channel = RpcChannel::Connect("127.0.0.1", port, 0);
+  if (channel.ok()) {
+    EXPECT_FALSE((*channel)->Call("echo", {}).ok());
+  }
+}
+
+TEST(RpcMessageTest, RequestRoundTrip) {
+  RpcRequest request;
+  request.call_id = 42;
+  request.method = "Plasma.Lookup";
+  request.deadline_ms = 1500;
+  request.payload = {9, 8, 7};
+  wire::Writer w;
+  request.EncodeTo(w);
+  wire::Reader r(w.data(), w.size());
+  auto decoded = RpcRequest::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->call_id, 42u);
+  EXPECT_EQ(decoded->method, "Plasma.Lookup");
+  EXPECT_EQ(decoded->deadline_ms, 1500u);
+  EXPECT_EQ(decoded->payload, request.payload);
+}
+
+TEST(RpcMessageTest, ResponseRoundTripWithError) {
+  RpcResponse response;
+  response.call_id = 7;
+  response.code = StatusCode::kKeyError;
+  response.error = "missing";
+  wire::Writer w;
+  response.EncodeTo(w);
+  wire::Reader r(w.data(), w.size());
+  auto decoded = RpcResponse::DecodeFrom(r);
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(decoded->ToStatus().code(), StatusCode::kKeyError);
+  EXPECT_EQ(decoded->ToStatus().message(), "missing");
+}
+
+TEST(RpcMessageTest, BadStatusCodeRejected) {
+  wire::Writer w;
+  w.PutU64(1);
+  w.PutU8(255);  // invalid status code
+  w.PutString("");
+  w.PutBytes("");
+  wire::Reader r(w.data(), w.size());
+  EXPECT_FALSE(RpcResponse::DecodeFrom(r).ok());
+}
+
+}  // namespace
+}  // namespace mdos::rpc

@@ -1,0 +1,256 @@
+// Tests for the shared-index extension: the seqlock hash table in
+// disaggregated memory (paper §V-B), its writer/reader pair, and the
+// end-to-end RPC-free lookup path through the cluster.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "cluster/cluster.h"
+#include "plasma/shared_index.h"
+
+namespace mdos::plasma {
+namespace {
+
+tf::LatencyParams NoLatency() { return tf::LatencyParams{0, 0.0}; }
+
+class SharedIndexTest : public ::testing::Test {
+ protected:
+  SharedIndexTest() : memory_(SharedIndexLayout::BytesFor(256) + 64, 0) {}
+
+  SharedIndexWriter MakeWriter() {
+    auto writer = SharedIndexWriter::Create(memory_.data(), memory_.size());
+    EXPECT_TRUE(writer.ok()) << writer.status();
+    return std::move(writer).value();
+  }
+
+  SharedIndexReader MakeReader() {
+    auto reader = SharedIndexReader::Open(memory_.data(), memory_.size(),
+                                          NoLatency());
+    EXPECT_TRUE(reader.ok()) << reader.status();
+    return std::move(reader).value();
+  }
+
+  // 8-byte aligned backing (vector<uint8_t> data is sufficiently aligned
+  // via operator new).
+  std::vector<uint8_t> memory_;
+};
+
+TEST_F(SharedIndexTest, LayoutCapacityIsPowerOfTwo) {
+  EXPECT_EQ(SharedIndexLayout::CapacityFor(
+                SharedIndexLayout::BytesFor(256)),
+            256u);
+  EXPECT_EQ(SharedIndexLayout::CapacityFor(64), 0u);
+  uint64_t capacity = SharedIndexLayout::CapacityFor(1 << 20);
+  EXPECT_NE(capacity, 0u);
+  EXPECT_EQ(capacity & (capacity - 1), 0u);
+}
+
+TEST_F(SharedIndexTest, InsertThenLookup) {
+  auto writer = MakeWriter();
+  auto reader = MakeReader();
+  ObjectId id = ObjectId::FromName("indexed");
+  ASSERT_TRUE(writer.Insert(id, {4096, 1000, 16}).ok());
+
+  auto hit = reader.Lookup(id);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->offset, 4096u);
+  EXPECT_EQ(hit->data_size, 1000u);
+  EXPECT_EQ(hit->metadata_size, 16u);
+}
+
+TEST_F(SharedIndexTest, MissingIdIsMiss) {
+  auto writer = MakeWriter();
+  auto reader = MakeReader();
+  ASSERT_TRUE(writer.Insert(ObjectId::FromName("a"), {1, 2, 3}).ok());
+  EXPECT_FALSE(reader.Lookup(ObjectId::FromName("b")).has_value());
+}
+
+TEST_F(SharedIndexTest, RemoveMakesMiss) {
+  auto writer = MakeWriter();
+  auto reader = MakeReader();
+  ObjectId id = ObjectId::FromName("gone");
+  ASSERT_TRUE(writer.Insert(id, {0, 1, 0}).ok());
+  ASSERT_TRUE(writer.Remove(id).ok());
+  EXPECT_FALSE(reader.Lookup(id).has_value());
+  EXPECT_EQ(writer.stats().live, 0u);
+}
+
+TEST_F(SharedIndexTest, RemoveUnknownIsKeyError) {
+  auto writer = MakeWriter();
+  EXPECT_EQ(writer.Remove(ObjectId::FromName("nope")).code(),
+            StatusCode::kKeyError);
+}
+
+TEST_F(SharedIndexTest, ReinsertUpdatesInPlace) {
+  auto writer = MakeWriter();
+  auto reader = MakeReader();
+  ObjectId id = ObjectId::FromName("updated");
+  ASSERT_TRUE(writer.Insert(id, {100, 1, 0}).ok());
+  ASSERT_TRUE(writer.Insert(id, {200, 2, 0}).ok());
+  auto hit = reader.Lookup(id);
+  ASSERT_TRUE(hit.has_value());
+  EXPECT_EQ(hit->offset, 200u);
+  EXPECT_EQ(writer.stats().live, 1u);
+}
+
+TEST_F(SharedIndexTest, TombstonesDoNotBreakProbeChains) {
+  auto writer = MakeWriter();
+  auto reader = MakeReader();
+  // Insert many ids (forcing collisions in the 256-slot table), remove
+  // half, and verify the rest remain findable.
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 128; ++i) {
+    ObjectId id = ObjectId::FromName("chain" + std::to_string(i));
+    ids.push_back(id);
+    ASSERT_TRUE(writer.Insert(id, {static_cast<uint64_t>(i), 1, 0}).ok());
+  }
+  for (int i = 0; i < 128; i += 2) {
+    ASSERT_TRUE(writer.Remove(ids[i]).ok());
+  }
+  for (int i = 1; i < 128; i += 2) {
+    auto hit = reader.Lookup(ids[i]);
+    ASSERT_TRUE(hit.has_value()) << i;
+    EXPECT_EQ(hit->offset, static_cast<uint64_t>(i));
+  }
+  for (int i = 0; i < 128; i += 2) {
+    EXPECT_FALSE(reader.Lookup(ids[i]).has_value()) << i;
+  }
+}
+
+TEST_F(SharedIndexTest, TombstoneSlotsAreReused) {
+  auto writer = MakeWriter();
+  // Fill completely, remove all, refill: must succeed (tombstone reuse).
+  for (int round = 0; round < 2; ++round) {
+    std::vector<ObjectId> ids;
+    for (int i = 0; i < 256; ++i) {
+      ObjectId id =
+          ObjectId::FromName("fill" + std::to_string(round * 1000 + i));
+      ids.push_back(id);
+      ASSERT_TRUE(writer.Insert(id, {1, 1, 0}).ok())
+          << "round " << round << " i " << i;
+    }
+    EXPECT_EQ(writer.stats().live, 256u);
+    for (const auto& id : ids) {
+      ASSERT_TRUE(writer.Remove(id).ok());
+    }
+  }
+}
+
+TEST_F(SharedIndexTest, FullTableRejectsInsert) {
+  auto writer = MakeWriter();
+  for (int i = 0; i < 256; ++i) {
+    ASSERT_TRUE(
+        writer.Insert(ObjectId::FromName("full" + std::to_string(i)),
+                      {1, 1, 0})
+            .ok());
+  }
+  auto status = writer.Insert(ObjectId::FromName("overflow"), {1, 1, 0});
+  EXPECT_EQ(status.code(), StatusCode::kOutOfMemory);
+  EXPECT_EQ(writer.stats().insert_failures, 1u);
+}
+
+TEST_F(SharedIndexTest, ReaderRejectsUnformattedMemory) {
+  std::vector<uint8_t> junk(4096, 0xAB);
+  // Align to 8 via the vector's allocation; contents are not a table.
+  auto reader = SharedIndexReader::Open(junk.data(), junk.size(),
+                                        NoLatency());
+  EXPECT_FALSE(reader.ok());
+}
+
+TEST_F(SharedIndexTest, ConcurrentReadersSeeConsistentEntries) {
+  auto writer = MakeWriter();
+  // Readers hammer lookups while the writer churns; every successful
+  // lookup must return one of the values the writer actually wrote
+  // (offset == data_size by construction here).
+  std::atomic<bool> stop{false};
+  std::atomic<uint64_t> inconsistent{0};
+  std::vector<std::thread> readers;
+  for (int t = 0; t < 3; ++t) {
+    readers.emplace_back([&] {
+      auto reader = MakeReader();
+      while (!stop.load()) {
+        for (int i = 0; i < 16; ++i) {
+          auto hit =
+              reader.Lookup(ObjectId::FromName("c" + std::to_string(i)));
+          if (hit.has_value() && hit->offset != hit->data_size) {
+            inconsistent.fetch_add(1);
+          }
+        }
+      }
+    });
+  }
+  for (uint64_t round = 1; round <= 3000; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      ObjectId id = ObjectId::FromName("c" + std::to_string(i));
+      // offset and data_size always written equal: a torn read surfaces
+      // as offset != data_size.
+      ASSERT_TRUE(writer.Insert(id, {round, round, 0}).ok());
+    }
+  }
+  stop.store(true);
+  for (auto& t : readers) t.join();
+  EXPECT_EQ(inconsistent.load(), 0u)
+      << "seqlock must prevent torn reads";
+}
+
+// End-to-end: the cluster resolves remote objects via the shared index
+// with zero lookup RPCs.
+TEST(SharedIndexClusterTest, LookupWithoutRpc) {
+  tf::FabricConfig fast;
+  fast.local = tf::LatencyParams{0, 0.0};
+  fast.remote = tf::LatencyParams{0, 0.0};
+  cluster::NodeOptions options;
+  options.pool_size = 8 << 20;
+  options.enable_shared_index = true;
+  auto cluster = cluster::Cluster::CreateTwoNode(options, fast);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  auto producer = (*cluster)->node(0)->CreateClient();
+  auto consumer = (*cluster)->node(1)->CreateClient();
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+
+  ObjectId id = ObjectId::FromName("indexed-object");
+  std::string payload(100000, 'I');
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, payload).ok());
+
+  auto buffer = (*consumer)->Get(id, 2000);
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  EXPECT_TRUE(buffer->is_remote());
+  auto data = buffer->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), payload);
+
+  auto stats = (*cluster)->node(1)->registry().stats();
+  EXPECT_EQ(stats.index_hits, 1u);
+  EXPECT_EQ(stats.lookup_rpcs, 0u) << "lookup must bypass the RPC path";
+  ASSERT_TRUE((*consumer)->Release(id).ok());
+}
+
+TEST(SharedIndexClusterTest, DeleteWithdrawsFromIndex) {
+  tf::FabricConfig fast;
+  fast.local = tf::LatencyParams{0, 0.0};
+  fast.remote = tf::LatencyParams{0, 0.0};
+  cluster::NodeOptions options;
+  options.pool_size = 8 << 20;
+  options.enable_shared_index = true;
+  auto cluster = cluster::Cluster::CreateTwoNode(options, fast);
+  ASSERT_TRUE(cluster.ok());
+
+  auto producer = (*cluster)->node(0)->CreateClient();
+  auto consumer = (*cluster)->node(1)->CreateClient();
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+  ObjectId id = ObjectId::FromName("withdrawn");
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, "temp").ok());
+  ASSERT_TRUE((*producer)->Delete(id).ok());
+
+  // The index no longer lists it; the fallback RPC also misses.
+  auto buffers =
+      (*consumer)->Get(std::vector<ObjectId>{id}, /*timeout_ms=*/0);
+  ASSERT_TRUE(buffers.ok());
+  EXPECT_FALSE((*buffers)[0].valid());
+}
+
+}  // namespace
+}  // namespace mdos::plasma

@@ -1,0 +1,238 @@
+// Model-based stress tests: random operation sequences are executed
+// against the real store and mirrored in an in-memory reference model;
+// the store's observable behaviour must match the model at every step.
+// Also includes a multi-client concurrency hammer.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <map>
+#include <set>
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+
+namespace mdos::plasma {
+namespace {
+
+class StoreStressTest : public ::testing::TestWithParam<uint64_t> {
+ protected:
+  void SetUp() override {
+    StoreOptions options;
+    options.name = "stress-store";
+    options.capacity = 16 << 20;
+    auto store = Store::Create(options);
+    ASSERT_TRUE(store.ok());
+    store_ = std::move(store).value();
+    ASSERT_TRUE(store_->Start().ok());
+    auto client = PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(client.ok());
+    client_ = std::move(client).value();
+  }
+
+  void TearDown() override {
+    client_.reset();
+    store_->Stop();
+  }
+
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<PlasmaClient> client_;
+};
+
+TEST_P(StoreStressTest, RandomOpsMatchReferenceModel) {
+  SplitMix64 rng(GetParam());
+
+  // Reference model.
+  struct ModelObject {
+    uint32_t crc = 0;
+    uint64_t size = 0;
+    bool sealed = false;
+    int pins = 0;
+  };
+  std::map<int, ModelObject> model;  // key -> object (key names the id)
+  auto id_of = [&](int key) {
+    return ObjectId::FromName("stress" + std::to_string(GetParam()) +
+                              "-" + std::to_string(key));
+  };
+  int next_key = 0;
+
+  for (int step = 0; step < 400; ++step) {
+    int op = static_cast<int>(rng.NextBelow(100));
+    if (op < 30 || model.empty()) {
+      // CREATE + WRITE (+ maybe SEAL)
+      int key = next_key++;
+      uint64_t size = 1 + rng.NextBelow(64 * 1024);
+      std::string payload(size, '\0');
+      rng.Fill(payload.data(), payload.size());
+      auto buffer = client_->Create(id_of(key), size);
+      ASSERT_TRUE(buffer.ok()) << step;
+      ASSERT_TRUE(buffer->WriteDataFrom(payload).ok());
+      ModelObject object;
+      object.crc = Crc32(payload);
+      object.size = size;
+      if (rng.NextBelow(100) < 80) {
+        ASSERT_TRUE(client_->Seal(id_of(key)).ok()) << step;
+        object.sealed = true;
+      } else {
+        // Leave unsealed; it must be invisible to Contains/Get.
+      }
+      model.emplace(key, object);
+    } else if (op < 55) {
+      // GET (+ verify payload) on a random known key
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      auto buffers = client_->Get(
+          std::vector<ObjectId>{id_of(it->first)}, /*timeout_ms=*/0);
+      ASSERT_TRUE(buffers.ok()) << step;
+      bool found = (*buffers)[0].valid();
+      ASSERT_EQ(found, it->second.sealed) << step;
+      if (found) {
+        auto crc = (*buffers)[0].ChecksumData();
+        ASSERT_TRUE(crc.ok());
+        EXPECT_EQ(*crc, it->second.crc) << step;
+        ++it->second.pins;
+      }
+    } else if (op < 75) {
+      // RELEASE one pin somewhere
+      for (auto& [key, object] : model) {
+        if (object.pins > 0) {
+          ASSERT_TRUE(client_->Release(id_of(key)).ok()) << step;
+          --object.pins;
+          break;
+        }
+      }
+    } else if (op < 88) {
+      // CONTAINS agrees with the model
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      auto contains = client_->Contains(id_of(it->first));
+      ASSERT_TRUE(contains.ok());
+      EXPECT_EQ(*contains, it->second.sealed) << step;
+    } else {
+      // DELETE: allowed exactly when sealed and unpinned
+      auto it = model.begin();
+      std::advance(it, rng.NextBelow(model.size()));
+      Status deleted = client_->Delete(id_of(it->first));
+      bool deletable = it->second.sealed && it->second.pins == 0;
+      EXPECT_EQ(deleted.ok(), deletable) << step;
+      if (deleted.ok()) model.erase(it);
+    }
+  }
+
+  // Final reconciliation: every sealed model object is present with the
+  // right bytes; unsealed ones are not visible.
+  for (auto& [key, object] : model) {
+    auto contains = client_->Contains(id_of(key));
+    ASSERT_TRUE(contains.ok());
+    EXPECT_EQ(*contains, object.sealed);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, StoreStressTest,
+                         ::testing::Values(101, 202, 303, 404));
+
+TEST(StoreConcurrencyTest, ManyClientsHammerOneStore) {
+  StoreOptions options;
+  options.name = "hammer-store";
+  options.capacity = 32 << 20;
+  auto store = Store::Create(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Start().ok());
+
+  constexpr int kClients = 6;
+  constexpr int kOpsEach = 120;
+  std::atomic<int> failures{0};
+  std::vector<std::thread> threads;
+  for (int c = 0; c < kClients; ++c) {
+    threads.emplace_back([&, c] {
+      auto client = PlasmaClient::Connect((*store)->socket_path());
+      if (!client.ok()) {
+        failures.fetch_add(1);
+        return;
+      }
+      SplitMix64 rng(c + 1);
+      for (int i = 0; i < kOpsEach; ++i) {
+        ObjectId id = ObjectId::FromName(
+            "h" + std::to_string(c) + "-" + std::to_string(i));
+        std::string payload(64 + rng.NextBelow(4096), '\0');
+        rng.Fill(payload.data(), payload.size());
+        if (!(*client)->CreateAndSeal(id, payload).ok()) {
+          failures.fetch_add(1);
+          continue;
+        }
+        auto buffer = (*client)->Get(id);
+        if (!buffer.ok() ||
+            buffer->ChecksumData().ValueOr(0) != Crc32(payload)) {
+          failures.fetch_add(1);
+          continue;
+        }
+        (void)(*client)->Release(id);
+        if (rng.NextBelow(2) == 0) {
+          (void)(*client)->Delete(id);
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(failures.load(), 0);
+
+  // The store is still coherent afterwards.
+  auto client = PlasmaClient::Connect((*store)->socket_path());
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_LE(stats->bytes_in_use, stats->capacity);
+  client->reset();
+  (*store)->Stop();
+}
+
+TEST(StoreConcurrencyTest, ProducersAndBlockedConsumersInterleave) {
+  StoreOptions options;
+  options.capacity = 16 << 20;
+  auto store = Store::Create(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Start().ok());
+
+  constexpr int kObjects = 40;
+  std::atomic<int> consumed{0};
+  // Consumers block on ids that do not exist yet.
+  std::vector<std::thread> consumers;
+  for (int t = 0; t < 3; ++t) {
+    consumers.emplace_back([&, t] {
+      auto client = PlasmaClient::Connect((*store)->socket_path());
+      ASSERT_TRUE(client.ok());
+      for (int i = t; i < kObjects; i += 3) {
+        ObjectId id = ObjectId::FromName("pipe" + std::to_string(i));
+        auto buffer = (*client)->Get(id, /*timeout_ms=*/10000);
+        if (buffer.ok()) {
+          auto data = buffer->CopyData();
+          if (data.ok() &&
+              std::string(data->begin(), data->end()) ==
+                  "payload" + std::to_string(i)) {
+            consumed.fetch_add(1);
+          }
+          (void)(*client)->Release(id);
+        }
+      }
+    });
+  }
+  std::thread producer([&] {
+    auto client = PlasmaClient::Connect((*store)->socket_path());
+    ASSERT_TRUE(client.ok());
+    for (int i = 0; i < kObjects; ++i) {
+      ObjectId id = ObjectId::FromName("pipe" + std::to_string(i));
+      ASSERT_TRUE(
+          (*client)->CreateAndSeal(id, "payload" + std::to_string(i)).ok());
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+  });
+  producer.join();
+  for (auto& t : consumers) t.join();
+  EXPECT_EQ(consumed.load(), kObjects);
+  (*store)->Stop();
+}
+
+}  // namespace
+}  // namespace mdos::plasma

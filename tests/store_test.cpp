@@ -1,0 +1,389 @@
+// End-to-end tests of one Plasma store and its clients over real Unix
+// sockets and shared memory (no fabric, no peers): the upstream-Plasma
+// behaviour the distributed framework builds on.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+
+namespace mdos::plasma {
+namespace {
+
+std::string RandomPayload(uint64_t seed, size_t size) {
+  std::string data(size, '\0');
+  SplitMix64(seed).Fill(data.data(), data.size());
+  return data;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreOptions options;
+    options.name = "store-test";
+    options.capacity = 8 << 20;
+    auto store = Store::Create(options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    store_ = std::move(store).value();
+    ASSERT_TRUE(store_->Start().ok());
+    auto client = PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(client.ok()) << client.status();
+    client_ = std::move(client).value();
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (store_) store_->Stop();
+  }
+
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<PlasmaClient> client_;
+};
+
+TEST_F(StoreTest, ConnectHandshake) {
+  EXPECT_EQ(client_->store_name(), "store-test");
+  EXPECT_EQ(client_->node_id(), 0u);
+}
+
+TEST_F(StoreTest, CreateWriteSealGetRoundTrip) {
+  ObjectId id = ObjectId::FromName("roundtrip");
+  std::string payload = RandomPayload(1, 100000);
+
+  auto buffer = client_->Create(id, payload.size());
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  EXPECT_TRUE(buffer->writable());
+  ASSERT_TRUE(buffer->WriteDataFrom(payload).ok());
+  ASSERT_TRUE(client_->Seal(id).ok());
+
+  auto get = client_->Get(id);
+  ASSERT_TRUE(get.ok()) << get.status();
+  EXPECT_FALSE(get->writable());
+  EXPECT_FALSE(get->is_remote());
+  EXPECT_EQ(get->data_size(), payload.size());
+  auto data = get->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), payload);
+  EXPECT_TRUE(client_->Release(id).ok());
+}
+
+TEST_F(StoreTest, MetadataSectionIndependentOfData) {
+  ObjectId id = ObjectId::FromName("meta");
+  auto buffer = client_->Create(id, 100, 16);
+  ASSERT_TRUE(buffer.ok());
+  std::string data(100, 'd');
+  std::string meta = "schema-version:7";
+  ASSERT_TRUE(buffer->WriteData(0, data.data(), data.size()).ok());
+  ASSERT_TRUE(buffer->WriteMetadata(0, meta.data(), meta.size()).ok());
+  ASSERT_TRUE(client_->Seal(id).ok());
+
+  auto get = client_->Get(id);
+  ASSERT_TRUE(get.ok());
+  EXPECT_EQ(get->metadata_size(), 16u);
+  char meta_out[16];
+  ASSERT_TRUE(get->ReadMetadata(0, meta_out, 16).ok());
+  EXPECT_EQ(std::string(meta_out, 16), meta);
+  char data_out[100];
+  ASSERT_TRUE(get->ReadData(0, data_out, 100).ok());
+  EXPECT_EQ(std::string(data_out, 100), data);
+}
+
+TEST_F(StoreTest, SealedBufferRejectsWrites) {
+  ObjectId id = ObjectId::FromName("sealed-write");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "immutable").ok());
+  auto get = client_->Get(id);
+  ASSERT_TRUE(get.ok());
+  char byte = 'x';
+  EXPECT_EQ(get->WriteData(0, &byte, 1).code(), StatusCode::kSealed);
+}
+
+TEST_F(StoreTest, DuplicateCreateRejected) {
+  ObjectId id = ObjectId::FromName("dup");
+  ASSERT_TRUE(client_->Create(id, 10).ok());
+  auto again = client_->Create(id, 10);
+  EXPECT_EQ(again.status().code(), StatusCode::kAlreadyExists);
+}
+
+TEST_F(StoreTest, SealUnknownIsKeyError) {
+  EXPECT_EQ(client_->Seal(ObjectId::FromName("ghost")).code(),
+            StatusCode::kKeyError);
+}
+
+TEST_F(StoreTest, DoubleSealRejected) {
+  ObjectId id = ObjectId::FromName("double-seal");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  EXPECT_EQ(client_->Seal(id).code(), StatusCode::kSealed);
+}
+
+TEST_F(StoreTest, AbortDiscardsUnsealed) {
+  ObjectId id = ObjectId::FromName("abort");
+  ASSERT_TRUE(client_->Create(id, 1000).ok());
+  ASSERT_TRUE(client_->Abort(id).ok());
+  auto contains = client_->Contains(id);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_FALSE(*contains);
+  // Space was returned: the id can be recreated.
+  EXPECT_TRUE(client_->Create(id, 1000).ok());
+}
+
+TEST_F(StoreTest, AbortSealedRejected) {
+  ObjectId id = ObjectId::FromName("abort-sealed");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  EXPECT_EQ(client_->Abort(id).code(), StatusCode::kSealed);
+}
+
+TEST_F(StoreTest, ContainsReflectsSealOnly) {
+  ObjectId id = ObjectId::FromName("contains");
+  ASSERT_TRUE(client_->Create(id, 8).ok());
+  EXPECT_FALSE(client_->Contains(id).value());
+  ASSERT_TRUE(client_->Seal(id).ok());
+  EXPECT_TRUE(client_->Contains(id).value());
+}
+
+TEST_F(StoreTest, GetWithZeroTimeoutReturnsNotFoundEntries) {
+  auto buffers = client_->Get(std::vector<ObjectId>{ObjectId::FromName("nothing")}, 0);
+  ASSERT_TRUE(buffers.ok());
+  ASSERT_EQ(buffers->size(), 1u);
+  EXPECT_FALSE((*buffers)[0].valid());
+}
+
+TEST_F(StoreTest, GetTimesOutOnMissingObject) {
+  auto buffers = client_->Get(std::vector<ObjectId>{ObjectId::FromName("never")}, 100);
+  ASSERT_TRUE(buffers.ok());
+  EXPECT_FALSE((*buffers)[0].valid());
+}
+
+TEST_F(StoreTest, BlockingGetWakesOnSeal) {
+  ObjectId id = ObjectId::FromName("late");
+  std::thread producer([&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(100));
+    auto producer_client = PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(producer_client.ok());
+    ASSERT_TRUE((*producer_client)->CreateAndSeal(id, "finally").ok());
+  });
+  auto get = client_->Get(id, /*timeout_ms=*/5000);
+  producer.join();
+  ASSERT_TRUE(get.ok()) << get.status();
+  auto data = get->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "finally");
+}
+
+TEST_F(StoreTest, BatchGetPreservesRequestOrder) {
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 5; ++i) {
+    ObjectId id = ObjectId::FromName("batch" + std::to_string(i));
+    ids.push_back(id);
+    ASSERT_TRUE(
+        client_->CreateAndSeal(id, "payload" + std::to_string(i)).ok());
+  }
+  auto buffers = client_->Get(ids, 0);
+  ASSERT_TRUE(buffers.ok());
+  ASSERT_EQ(buffers->size(), 5u);
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ((*buffers)[i].id(), ids[i]);
+    auto data = (*buffers)[i].CopyData();
+    ASSERT_TRUE(data.ok());
+    EXPECT_EQ(std::string(data->begin(), data->end()),
+              "payload" + std::to_string(i));
+  }
+}
+
+TEST_F(StoreTest, DuplicateIdsInOneGet) {
+  ObjectId id = ObjectId::FromName("dup-get");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  auto buffers = client_->Get({id, id, id}, 0);
+  ASSERT_TRUE(buffers.ok());
+  ASSERT_EQ(buffers->size(), 3u);
+  for (const auto& buffer : *buffers) {
+    EXPECT_TRUE(buffer.valid());
+  }
+}
+
+TEST_F(StoreTest, ReleaseWithoutGetIsKeyError) {
+  ObjectId id = ObjectId::FromName("no-pin");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  EXPECT_EQ(client_->Release(id).code(), StatusCode::kKeyError);
+}
+
+TEST_F(StoreTest, DeleteRemovesObject) {
+  ObjectId id = ObjectId::FromName("delete");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  ASSERT_TRUE(client_->Delete(id).ok());
+  EXPECT_FALSE(client_->Contains(id).value());
+}
+
+TEST_F(StoreTest, DeletePinnedRejected) {
+  ObjectId id = ObjectId::FromName("delete-pinned");
+  ASSERT_TRUE(client_->CreateAndSeal(id, "x").ok());
+  ASSERT_TRUE(client_->Get(id).ok());  // pins
+  EXPECT_FALSE(client_->Delete(id).ok());
+  ASSERT_TRUE(client_->Release(id).ok());
+  EXPECT_TRUE(client_->Delete(id).ok());
+}
+
+TEST_F(StoreTest, ListShowsObjects) {
+  ASSERT_TRUE(client_->CreateAndSeal(ObjectId::FromName("l1"), "a").ok());
+  ASSERT_TRUE(client_->Create(ObjectId::FromName("l2"), 10).ok());
+  auto list = client_->List();
+  ASSERT_TRUE(list.ok());
+  EXPECT_EQ(list->size(), 2u);
+}
+
+TEST_F(StoreTest, StatsReflectUsage) {
+  ASSERT_TRUE(
+      client_->CreateAndSeal(ObjectId::FromName("s1"), "0123456789").ok());
+  auto stats = client_->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->capacity, 8u << 20);
+  EXPECT_EQ(stats->objects_total, 1u);
+  EXPECT_EQ(stats->objects_sealed, 1u);
+  EXPECT_GE(stats->bytes_in_use, 10u);
+}
+
+TEST_F(StoreTest, ObjectLargerThanCapacityIsCapacityError) {
+  auto r = client_->Create(ObjectId::FromName("huge"), 64 << 20);
+  EXPECT_EQ(r.status().code(), StatusCode::kCapacityError);
+}
+
+TEST_F(StoreTest, EmptyObjectRejected) {
+  auto r = client_->Create(ObjectId::FromName("empty"), 0, 0);
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalid);
+}
+
+TEST_F(StoreTest, EvictionMakesRoomForNewObjects) {
+  // Fill the 8 MiB store with 1 MiB objects, then keep creating: old
+  // unpinned sealed objects must be evicted LRU-first.
+  const size_t kObjSize = 1 << 20;
+  std::string payload = RandomPayload(3, kObjSize);
+  for (int i = 0; i < 16; ++i) {
+    ObjectId id = ObjectId::FromName("evict" + std::to_string(i));
+    ASSERT_TRUE(client_->CreateAndSeal(id, payload).ok()) << i;
+  }
+  auto stats = client_->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GT(stats->evictions, 0u);
+  // The earliest objects are gone; the latest survive.
+  EXPECT_FALSE(client_->Contains(ObjectId::FromName("evict0")).value());
+  EXPECT_TRUE(client_->Contains(ObjectId::FromName("evict15")).value());
+}
+
+TEST_F(StoreTest, PinnedObjectsSurviveEvictionPressure) {
+  const size_t kObjSize = 1 << 20;
+  std::string payload = RandomPayload(4, kObjSize);
+  ObjectId pinned = ObjectId::FromName("pinned");
+  ASSERT_TRUE(client_->CreateAndSeal(pinned, payload).ok());
+  ASSERT_TRUE(client_->Get(pinned).ok());  // pin it
+
+  for (int i = 0; i < 16; ++i) {
+    ObjectId id = ObjectId::FromName("pressure" + std::to_string(i));
+    ASSERT_TRUE(client_->CreateAndSeal(id, payload).ok()) << i;
+  }
+  EXPECT_TRUE(client_->Contains(pinned).value());
+  ASSERT_TRUE(client_->Release(pinned).ok());
+}
+
+TEST_F(StoreTest, AllPinnedMeansOutOfMemory) {
+  const size_t kObjSize = 1 << 20;
+  std::string payload = RandomPayload(5, kObjSize);
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 7; ++i) {
+    ObjectId id = ObjectId::FromName("pin-all" + std::to_string(i));
+    ASSERT_TRUE(client_->CreateAndSeal(id, payload).ok());
+    ASSERT_TRUE(client_->Get(id).ok());
+    ids.push_back(id);
+  }
+  auto r = client_->Create(ObjectId::FromName("wont-fit"), 2 << 20);
+  EXPECT_EQ(r.status().code(), StatusCode::kOutOfMemory);
+  for (const auto& id : ids) {
+    ASSERT_TRUE(client_->Release(id).ok());
+  }
+}
+
+TEST_F(StoreTest, DisconnectAbortsUnsealedAndReleasesPins) {
+  ObjectId sealed = ObjectId::FromName("disc-sealed");
+  ASSERT_TRUE(client_->CreateAndSeal(sealed, "x").ok());
+
+  {
+    auto other = PlasmaClient::Connect(store_->socket_path());
+    ASSERT_TRUE(other.ok());
+    ASSERT_TRUE((*other)->Create(ObjectId::FromName("disc-unsealed"), 100)
+                    .ok());
+    ASSERT_TRUE((*other)->Get(sealed).ok());  // pin via other client
+    // `other` disconnects here (destructor).
+  }
+  // Give the store a moment to process the disconnect.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+
+  // The unsealed object was aborted...
+  auto list = client_->List();
+  ASSERT_TRUE(list.ok());
+  for (const auto& info : *list) {
+    EXPECT_NE(info.id, ObjectId::FromName("disc-unsealed"));
+  }
+  // ...and the pin was released, so delete succeeds.
+  EXPECT_TRUE(client_->Delete(sealed).ok());
+}
+
+TEST_F(StoreTest, SecondClientSeesFirstClientsObjects) {
+  ObjectId id = ObjectId::FromName("shared");
+  std::string payload = RandomPayload(6, 4096);
+  ASSERT_TRUE(client_->CreateAndSeal(id, payload).ok());
+
+  auto other = PlasmaClient::Connect(store_->socket_path());
+  ASSERT_TRUE(other.ok());
+  auto get = (*other)->Get(id);
+  ASSERT_TRUE(get.ok());
+  auto data = get->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), payload);
+}
+
+TEST_F(StoreTest, ChecksumMatchesPayload) {
+  ObjectId id = ObjectId::FromName("crc");
+  std::string payload = RandomPayload(7, 250000);
+  ASSERT_TRUE(client_->CreateAndSeal(id, payload).ok());
+  auto get = client_->Get(id);
+  ASSERT_TRUE(get.ok());
+  auto crc = get->ChecksumData(/*chunk=*/8192);
+  ASSERT_TRUE(crc.ok());
+  EXPECT_EQ(*crc, Crc32(payload));
+}
+
+TEST_F(StoreTest, OutOfBoundsBufferAccessRejected) {
+  ObjectId id = ObjectId::FromName("bounds");
+  ASSERT_TRUE(client_->CreateAndSeal(id, std::string(100, 'b')).ok());
+  auto get = client_->Get(id);
+  ASSERT_TRUE(get.ok());
+  char buf[32];
+  EXPECT_FALSE(get->ReadData(90, buf, 20).ok());
+  EXPECT_FALSE(get->ReadData(UINT64_MAX, buf, 2).ok());
+  EXPECT_TRUE(get->ReadData(90, buf, 10).ok());
+}
+
+TEST_F(StoreTest, SegregatedFitAllocatorWorksToo) {
+  StoreOptions options;
+  options.name = "segfit-store";
+  options.capacity = 1 << 20;
+  options.allocator = AllocatorKind::kSegregatedFit;
+  auto store = Store::Create(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Start().ok());
+  auto client = PlasmaClient::Connect((*store)->socket_path());
+  ASSERT_TRUE(client.ok());
+  ObjectId id = ObjectId::FromName("segfit-obj");
+  std::string payload = RandomPayload(8, 10000);
+  ASSERT_TRUE((*client)->CreateAndSeal(id, payload).ok());
+  auto get = (*client)->Get(id);
+  ASSERT_TRUE(get.ok());
+  auto data = get->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), payload);
+  client->reset();
+  (*store)->Stop();
+}
+
+}  // namespace
+}  // namespace mdos::plasma

@@ -1,0 +1,230 @@
+// Unit + property tests for the wire serialization layer.
+#include <gtest/gtest.h>
+
+#include <limits>
+
+#include "common/object_id.h"
+#include "common/rng.h"
+#include "wire/wire.h"
+
+namespace mdos::wire {
+namespace {
+
+TEST(WireTest, FixedWidthRoundTrip) {
+  Writer w;
+  w.PutU8(0xAB);
+  w.PutU16(0xBEEF);
+  w.PutU32(0xDEADBEEF);
+  w.PutU64(0x0123456789ABCDEFULL);
+  w.PutI64(-42);
+  w.PutDouble(3.141592653589793);
+  w.PutBool(true);
+  w.PutBool(false);
+
+  Reader r(w.data(), w.size());
+  EXPECT_EQ(r.GetU8().value(), 0xAB);
+  EXPECT_EQ(r.GetU16().value(), 0xBEEF);
+  EXPECT_EQ(r.GetU32().value(), 0xDEADBEEFu);
+  EXPECT_EQ(r.GetU64().value(), 0x0123456789ABCDEFULL);
+  EXPECT_EQ(r.GetI64().value(), -42);
+  EXPECT_DOUBLE_EQ(r.GetDouble().value(), 3.141592653589793);
+  EXPECT_TRUE(r.GetBool().value());
+  EXPECT_FALSE(r.GetBool().value());
+  EXPECT_TRUE(r.AtEnd());
+}
+
+TEST(WireTest, VarintBoundaries) {
+  const uint64_t cases[] = {0,
+                            1,
+                            127,
+                            128,
+                            16383,
+                            16384,
+                            (1ull << 32) - 1,
+                            1ull << 32,
+                            std::numeric_limits<uint64_t>::max()};
+  for (uint64_t v : cases) {
+    Writer w;
+    w.PutVarint(v);
+    Reader r(w.data(), w.size());
+    auto decoded = r.GetVarint();
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+    EXPECT_TRUE(r.AtEnd());
+  }
+}
+
+TEST(WireTest, VarintEncodingIsCompact) {
+  Writer w;
+  w.PutVarint(127);
+  EXPECT_EQ(w.size(), 1u);
+  w.Clear();
+  w.PutVarint(128);
+  EXPECT_EQ(w.size(), 2u);
+}
+
+TEST(WireTest, SignedVarintRoundTrip) {
+  const int64_t cases[] = {0,
+                           -1,
+                           1,
+                           -64,
+                           64,
+                           std::numeric_limits<int64_t>::min(),
+                           std::numeric_limits<int64_t>::max()};
+  for (int64_t v : cases) {
+    Writer w;
+    w.PutVarintSigned(v);
+    Reader r(w.data(), w.size());
+    auto decoded = r.GetVarintSigned();
+    ASSERT_TRUE(decoded.ok()) << v;
+    EXPECT_EQ(*decoded, v);
+  }
+}
+
+TEST(WireTest, ZigzagSmallMagnitudesAreShort) {
+  Writer w;
+  w.PutVarintSigned(-1);
+  EXPECT_EQ(w.size(), 1u);
+}
+
+TEST(WireTest, BytesAndStrings) {
+  Writer w;
+  w.PutBytes("hello");
+  w.PutString("");
+  w.PutString(std::string(1000, 'z'));
+
+  Reader r(w.data(), w.size());
+  EXPECT_EQ(r.GetBytes().value(), "hello");
+  EXPECT_EQ(r.GetString().value(), "");
+  EXPECT_EQ(r.GetString().value(), std::string(1000, 'z'));
+}
+
+TEST(WireTest, ObjectIdRoundTrip) {
+  ObjectId id = ObjectId::Random();
+  Writer w;
+  w.PutObjectId(id);
+  EXPECT_EQ(w.size(), ObjectId::kSize);
+  Reader r(w.data(), w.size());
+  EXPECT_EQ(r.GetObjectId().value(), id);
+}
+
+TEST(WireTest, RepeatedRoundTrip) {
+  std::vector<uint64_t> values = {1, 2, 3, 500, 70000};
+  Writer w;
+  w.PutRepeated(values, [](Writer& w2, uint64_t v) { w2.PutVarint(v); });
+  Reader r(w.data(), w.size());
+  auto decoded = r.GetRepeated<uint64_t>(
+      [](Reader& r2) { return r2.GetVarint(); });
+  ASSERT_TRUE(decoded.ok());
+  EXPECT_EQ(*decoded, values);
+}
+
+TEST(WireTest, TruncatedFixedFails) {
+  Writer w;
+  w.PutU32(7);
+  Reader r(w.data(), 2);  // cut short
+  auto v = r.GetU32();
+  ASSERT_FALSE(v.ok());
+  EXPECT_EQ(v.status().code(), StatusCode::kProtocolError);
+}
+
+TEST(WireTest, TruncatedVarintFails) {
+  Writer w;
+  w.PutVarint(1ull << 40);
+  Reader r(w.data(), 2);
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(WireTest, TruncatedBytesFails) {
+  Writer w;
+  w.PutBytes("abcdef");
+  Reader r(w.data(), 3);
+  EXPECT_FALSE(r.GetBytes().ok());
+}
+
+TEST(WireTest, VarintOverflowRejected) {
+  // 10 bytes of 0xFF encode more than 64 bits.
+  uint8_t bad[10];
+  for (auto& b : bad) b = 0xFF;
+  Reader r(bad, sizeof(bad));
+  EXPECT_FALSE(r.GetVarint().ok());
+}
+
+TEST(WireTest, BoolOutOfRangeRejected) {
+  uint8_t bad = 2;
+  Reader r(&bad, 1);
+  EXPECT_FALSE(r.GetBool().ok());
+}
+
+TEST(WireTest, RepeatedHugeCountRejected) {
+  Writer w;
+  w.PutVarint(1ull << 30);  // absurd element count
+  Reader r(w.data(), w.size());
+  auto decoded =
+      r.GetRepeated<uint64_t>([](Reader& r2) { return r2.GetVarint(); });
+  EXPECT_FALSE(decoded.ok());
+}
+
+// Property: any mixed message round-trips exactly (fuzz with seeds).
+class WireFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(WireFuzzTest, MixedMessageRoundTrips) {
+  SplitMix64 rng(GetParam());
+  const int ops = 200;
+  std::vector<int> kinds;
+  std::vector<uint64_t> u64s;
+  std::vector<int64_t> i64s;
+  std::vector<std::string> strings;
+
+  Writer w;
+  for (int i = 0; i < ops; ++i) {
+    int kind = static_cast<int>(rng.NextBelow(4));
+    kinds.push_back(kind);
+    switch (kind) {
+      case 0: {
+        uint64_t v = rng.Next() >> rng.NextBelow(64);
+        u64s.push_back(v);
+        w.PutVarint(v);
+        break;
+      }
+      case 1: {
+        int64_t v = static_cast<int64_t>(rng.Next());
+        i64s.push_back(v);
+        w.PutVarintSigned(v);
+        break;
+      }
+      case 2: {
+        std::string s(rng.NextBelow(64), ' ');
+        for (auto& c : s) c = static_cast<char>('a' + rng.NextBelow(26));
+        strings.push_back(s);
+        w.PutString(s);
+        break;
+      }
+      case 3: {
+        uint64_t v = rng.Next();
+        u64s.push_back(v);
+        w.PutU64(v);
+        break;
+      }
+    }
+  }
+
+  Reader r(w.data(), w.size());
+  size_t ui = 0, ii = 0, si = 0;
+  for (int kind : kinds) {
+    switch (kind) {
+      case 0: EXPECT_EQ(r.GetVarint().value(), u64s[ui++]); break;
+      case 1: EXPECT_EQ(r.GetVarintSigned().value(), i64s[ii++]); break;
+      case 2: EXPECT_EQ(r.GetString().value(), strings[si++]); break;
+      case 3: EXPECT_EQ(r.GetU64().value(), u64s[ui++]); break;
+    }
+  }
+  EXPECT_TRUE(r.AtEnd());
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, WireFuzzTest,
+                         ::testing::Values(1, 2, 3, 5, 8, 13, 21, 34, 55,
+                                           89));
+
+}  // namespace
+}  // namespace mdos::wire

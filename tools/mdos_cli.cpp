@@ -1,0 +1,169 @@
+// mdos_cli — command-line client for a running mdos_store.
+//
+//   mdos_cli -s /tmp/mdos.sock put <name> <data...>
+//   mdos_cli -s /tmp/mdos.sock get <name>
+//   mdos_cli -s /tmp/mdos.sock contains <name>
+//   mdos_cli -s /tmp/mdos.sock delete <name>
+//   mdos_cli -s /tmp/mdos.sock list
+//   mdos_cli -s /tmp/mdos.sock stats
+//   mdos_cli -s /tmp/mdos.sock watch [count]
+//
+// Object names are hashed to deterministic 20-byte ids with
+// ObjectId::FromName, so `put foo ...` and `get foo` agree across
+// invocations and processes.
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "plasma/client.h"
+
+using namespace mdos;
+
+namespace {
+
+int Fail(const Status& status) {
+  std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+  return 1;
+}
+
+int CmdPut(plasma::PlasmaClient& client, int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "put needs a name\n");
+    return 2;
+  }
+  std::string name = argv[0];
+  std::string data;
+  for (int i = 1; i < argc; ++i) {
+    if (i > 1) data += ' ';
+    data += argv[i];
+  }
+  Status status = client.CreateAndSeal(ObjectId::FromName(name), data);
+  if (!status.ok()) return Fail(status);
+  std::printf("sealed %s (%zu bytes) as %s\n", name.c_str(), data.size(),
+              ObjectId::FromName(name).Hex().c_str());
+  return 0;
+}
+
+int CmdGet(plasma::PlasmaClient& client, int argc, char** argv) {
+  if (argc < 1) {
+    std::fprintf(stderr, "get needs a name\n");
+    return 2;
+  }
+  auto buffer = client.Get(ObjectId::FromName(argv[0]),
+                           /*timeout_ms=*/2000);
+  if (!buffer.ok()) return Fail(buffer.status());
+  auto data = buffer->CopyData();
+  if (!data.ok()) return Fail(data.status());
+  std::fwrite(data->data(), 1, data->size(), stdout);
+  std::printf("\n");
+  (void)client.Release(ObjectId::FromName(argv[0]));
+  return 0;
+}
+
+int CmdContains(plasma::PlasmaClient& client, int argc, char** argv) {
+  if (argc < 1) return 2;
+  auto contains = client.Contains(ObjectId::FromName(argv[0]));
+  if (!contains.ok()) return Fail(contains.status());
+  std::printf("%s\n", *contains ? "yes" : "no");
+  return *contains ? 0 : 1;
+}
+
+int CmdDelete(plasma::PlasmaClient& client, int argc, char** argv) {
+  if (argc < 1) return 2;
+  Status status = client.Delete(ObjectId::FromName(argv[0]));
+  if (!status.ok()) return Fail(status);
+  std::printf("deleted\n");
+  return 0;
+}
+
+int CmdList(plasma::PlasmaClient& client) {
+  auto list = client.List();
+  if (!list.ok()) return Fail(list.status());
+  std::printf("%-42s %-10s %-8s %-6s\n", "id", "bytes", "sealed", "refs");
+  for (const auto& info : *list) {
+    std::printf("%-42s %-10llu %-8s %-6u\n", info.id.Hex().c_str(),
+                static_cast<unsigned long long>(info.data_size +
+                                                info.metadata_size),
+                info.sealed ? "yes" : "no", info.ref_count);
+  }
+  std::printf("(%zu objects)\n", list->size());
+  return 0;
+}
+
+int CmdStats(plasma::PlasmaClient& client) {
+  auto stats = client.Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("capacity:            %llu\n",
+              static_cast<unsigned long long>(stats->capacity));
+  std::printf("bytes_in_use:        %llu\n",
+              static_cast<unsigned long long>(stats->bytes_in_use));
+  std::printf("objects_total:       %llu\n",
+              static_cast<unsigned long long>(stats->objects_total));
+  std::printf("objects_sealed:      %llu\n",
+              static_cast<unsigned long long>(stats->objects_sealed));
+  std::printf("evictions:           %llu\n",
+              static_cast<unsigned long long>(stats->evictions));
+  std::printf("remote_lookups:      %llu\n",
+              static_cast<unsigned long long>(stats->remote_lookups));
+  std::printf("remote_lookup_hits:  %llu\n",
+              static_cast<unsigned long long>(stats->remote_lookup_hits));
+  return 0;
+}
+
+int CmdWatch(const std::string& socket_path, int argc, char** argv) {
+  int count = argc >= 1 ? std::atoi(argv[0]) : 10;
+  auto listener =
+      plasma::NotificationListener::Connect(socket_path, "mdos_cli");
+  if (!listener.ok()) return Fail(listener.status());
+  std::printf("watching %d notifications...\n", count);
+  for (int i = 0; i < count; ++i) {
+    auto notice = listener->Next(/*timeout_ms=*/0);
+    if (!notice.ok()) return Fail(notice.status());
+    std::printf("%s %s (%llu bytes)\n",
+                notice->deleted ? "DELETED" : "SEALED ",
+                notice->id.Hex().c_str(),
+                static_cast<unsigned long long>(notice->data_size));
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string socket_path;
+  int arg = 1;
+  if (arg + 1 < argc && std::strcmp(argv[arg], "-s") == 0) {
+    socket_path = argv[arg + 1];
+    arg += 2;
+  }
+  if (socket_path.empty() || arg >= argc) {
+    std::fprintf(stderr,
+                 "usage: %s -s <socket> "
+                 "put|get|contains|delete|list|stats|watch [args...]\n",
+                 argv[0]);
+    return 2;
+  }
+  std::string command = argv[arg++];
+
+  if (command == "watch") {
+    return CmdWatch(socket_path, argc - arg, argv + arg);
+  }
+
+  auto client = plasma::PlasmaClient::Connect(socket_path);
+  if (!client.ok()) return Fail(client.status());
+  if (command == "put") return CmdPut(**client, argc - arg, argv + arg);
+  if (command == "get") return CmdGet(**client, argc - arg, argv + arg);
+  if (command == "contains") {
+    return CmdContains(**client, argc - arg, argv + arg);
+  }
+  if (command == "delete") {
+    return CmdDelete(**client, argc - arg, argv + arg);
+  }
+  if (command == "list") return CmdList(**client);
+  if (command == "stats") return CmdStats(**client);
+  std::fprintf(stderr, "unknown command: %s\n", command.c_str());
+  return 2;
+}

@@ -1,0 +1,85 @@
+// mdos_store — standalone Plasma store daemon.
+//
+// Runs one store process serving clients on a Unix socket, like the
+// upstream `plasma-store-server` binary. Useful for trying the client
+// API from separate processes (the in-process cluster simulator is only
+// needed for the disaggregated-fabric experiments).
+//
+//   mdos_store -s /tmp/mdos.sock -m 268435456 [-a firstfit|segfit]
+#include <csignal>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
+#include "plasma/store.h"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void HandleSignal(int) { g_stop = 1; }
+
+void Usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [-s socket_path] [-m capacity_bytes] [-a firstfit|segfit]"
+      " [-v]\n",
+      argv0);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  mdos::plasma::StoreOptions options;
+  options.name = "mdos-store";
+  options.capacity = 256ull << 20;
+
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "-s") == 0 && i + 1 < argc) {
+      options.socket_path = argv[++i];
+    } else if (std::strcmp(argv[i], "-m") == 0 && i + 1 < argc) {
+      options.capacity = std::strtoull(argv[++i], nullptr, 10);
+    } else if (std::strcmp(argv[i], "-a") == 0 && i + 1 < argc) {
+      const char* kind = argv[++i];
+      if (std::strcmp(kind, "segfit") == 0) {
+        options.allocator = mdos::plasma::AllocatorKind::kSegregatedFit;
+      } else if (std::strcmp(kind, "firstfit") == 0) {
+        options.allocator = mdos::plasma::AllocatorKind::kFirstFit;
+      } else {
+        Usage(argv[0]);
+        return 2;
+      }
+    } else if (std::strcmp(argv[i], "-v") == 0) {
+      mdos::SetLogLevel(mdos::LogLevel::kInfo);
+    } else {
+      Usage(argv[0]);
+      return 2;
+    }
+  }
+
+  auto store = mdos::plasma::Store::Create(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store creation failed: %s\n",
+                 store.status().ToString().c_str());
+    return 1;
+  }
+  if (mdos::Status started = (*store)->Start(); !started.ok()) {
+    std::fprintf(stderr, "store start failed: %s\n",
+                 started.ToString().c_str());
+    return 1;
+  }
+  std::printf("mdos_store serving on %s (capacity %llu bytes)\n",
+              (*store)->socket_path().c_str(),
+              static_cast<unsigned long long>((*store)->capacity()));
+  std::fflush(stdout);
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (g_stop == 0) {
+    struct timespec ts{0, 100 * 1000 * 1000};
+    nanosleep(&ts, nullptr);
+  }
+  std::printf("shutting down\n");
+  (*store)->Stop();
+  return 0;
+}
