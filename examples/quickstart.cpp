@@ -1,14 +1,19 @@
-// Quickstart — the framework in ~60 lines.
+// Quickstart — the framework in ~80 lines.
 //
-// Builds the paper's 2-node setup, publishes an object on node 0, and
-// consumes it from node 1 through the disaggregated fabric — no copy
+// Builds the paper's 2-node setup, publishes objects on node 0, and
+// consumes them from node 1 through the disaggregated fabric — no copy
 // over the LAN, the consumer reads the producer's memory directly.
+// Consumption uses the pipelined async API: all Gets are in flight on
+// one connection and the store batches their remote look-ups into a
+// single peer RPC.
 //
 //   ./quickstart
 #include <cstdio>
 #include <string>
+#include <vector>
 
 #include "cluster/cluster.h"
+#include "plasma/async_client.h"
 
 using namespace mdos;
 
@@ -25,35 +30,53 @@ int main() {
     return 1;
   }
 
-  // 2. A producer client on node 0 commits and seals an object.
+  // 2. A producer client on node 0 commits and seals a few objects.
   auto producer = (*cluster)->node(0)->CreateClient("producer");
   if (!producer.ok()) return 1;
-  ObjectId id = ObjectId::FromName("quickstart-object");
-  std::string payload = "hello from node0's disaggregated memory";
-  if (Status s = (*producer)->CreateAndSeal(id, payload); !s.ok()) {
-    std::fprintf(stderr, "create failed: %s\n", s.ToString().c_str());
-    return 1;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < 4; ++i) {
+    ObjectId id = ObjectId::FromName("quickstart-" + std::to_string(i));
+    std::string payload =
+        "hello " + std::to_string(i) + " from node0's disaggregated memory";
+    if (Status s = (*producer)->CreateAndSeal(id, payload); !s.ok()) {
+      std::fprintf(stderr, "create failed: %s\n", s.ToString().c_str());
+      return 1;
+    }
+    ids.push_back(id);
   }
-  std::printf("node0: sealed object %s (%zu bytes)\n", id.Hex().c_str(),
-              payload.size());
+  std::printf("node0: sealed %zu objects\n", ids.size());
 
-  // 3. A consumer client on node 1 retrieves it. The local store on
-  //    node 1 looks the id up in node 0's store via RPC and hands back a
-  //    buffer that points directly into node 0's exported memory.
-  auto consumer = (*cluster)->node(1)->CreateClient("consumer");
+  // 3. An async consumer on node 1 retrieves all of them with one
+  //    pipelined window: every GetAsync is in flight at once, node 1's
+  //    store resolves the unknown ids with a single look-up RPC to node
+  //    0, and each buffer points directly into node 0's exported memory.
+  plasma::ClientOptions consumer_options;
+  consumer_options.client_name = "consumer";
+  consumer_options.fabric = &(*cluster)->fabric();
+  auto consumer = plasma::AsyncClient::Connect(
+      (*cluster)->node(1)->store().socket_path(), consumer_options);
   if (!consumer.ok()) return 1;
-  auto buffer = (*consumer)->Get(id, /*timeout_ms=*/2000);
-  if (!buffer.ok()) {
-    std::fprintf(stderr, "get failed: %s\n",
-                 buffer.status().ToString().c_str());
-    return 1;
+
+  std::vector<Future<Result<plasma::ObjectBuffer>>> gets;
+  for (const ObjectId& id : ids) {
+    gets.push_back((*consumer)->GetAsync(id, /*timeout_ms=*/2000));
   }
-  auto data = buffer->CopyData();
-  if (!data.ok()) return 1;
-  std::printf("node1: got %s object: \"%s\"\n",
-              buffer->is_remote() ? "REMOTE" : "local",
-              std::string(data->begin(), data->end()).c_str());
-  (void)(*consumer)->Release(id);
+  WaitAll(gets);
+
+  for (auto& get : gets) {
+    auto& buffer = get.Wait();
+    if (!buffer.ok()) {
+      std::fprintf(stderr, "get failed: %s\n",
+                   buffer.status().ToString().c_str());
+      return 1;
+    }
+    auto data = buffer->CopyData();
+    if (!data.ok()) return 1;
+    std::printf("node1: got %s object: \"%s\"\n",
+                buffer->is_remote() ? "REMOTE" : "local",
+                std::string(data->begin(), data->end()).c_str());
+    (void)(*consumer)->ReleaseAsync(buffer->id()).Take();
+  }
 
   // 4. The fabric counters prove the bytes moved over disaggregated
   //    memory, not the LAN.

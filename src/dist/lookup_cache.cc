@@ -1,0 +1,63 @@
+#include "dist/lookup_cache.h"
+
+namespace mdos::dist {
+
+std::optional<plasma::RemoteObjectLocation> LookupCache::Get(
+    const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(id);
+  if (it == index_.end()) {
+    ++stats_.misses;
+    return std::nullopt;
+  }
+  ++stats_.hits;
+  lru_.splice(lru_.begin(), lru_, it->second);
+  return it->second->location;
+}
+
+void LookupCache::Put(const ObjectId& id,
+                      const plasma::RemoteObjectLocation& loc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(id);
+  if (it != index_.end()) {
+    it->second->location = loc;
+    lru_.splice(lru_.begin(), lru_, it->second);
+    ++stats_.insertions;
+    return;
+  }
+  lru_.push_front(Entry{id, loc});
+  index_[id] = lru_.begin();
+  ++stats_.insertions;
+  while (index_.size() > capacity_) {
+    index_.erase(lru_.back().id);
+    lru_.pop_back();
+    ++stats_.evictions;
+  }
+}
+
+void LookupCache::Invalidate(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = index_.find(id);
+  if (it == index_.end()) return;
+  lru_.erase(it->second);
+  index_.erase(it);
+  ++stats_.invalidations;
+}
+
+void LookupCache::Clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  lru_.clear();
+  index_.clear();
+}
+
+size_t LookupCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.size();
+}
+
+LookupCacheStats LookupCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mdos::dist

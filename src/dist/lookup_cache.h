@@ -1,0 +1,65 @@
+// LookupCache — LRU cache of remote object locations (paper §V-B).
+//
+// The paper's prototype pays one Plasma.Lookup RPC for every remote Get;
+// §V-B suggests "caching the look-up results" as future work. This cache
+// implements it: a bounded, thread-safe LRU map of id → home-store
+// location, populated by successful lookups and invalidated by
+// DeleteNotice broadcasts (and by failed buffer resolutions).
+//
+// Thread-safety: the store's event-loop thread reads/writes on Get paths
+// while the RPC server thread invalidates on DeleteNotice — one mutex
+// covers both.
+#pragma once
+
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <optional>
+#include <unordered_map>
+
+#include "common/object_id.h"
+#include "plasma/store.h"
+
+namespace mdos::dist {
+
+struct LookupCacheStats {
+  uint64_t hits = 0;
+  uint64_t misses = 0;
+  uint64_t insertions = 0;
+  uint64_t invalidations = 0;
+  uint64_t evictions = 0;
+};
+
+class LookupCache {
+ public:
+  explicit LookupCache(size_t capacity = 4096) : capacity_(capacity) {}
+
+  // Returns the cached location and refreshes LRU position.
+  std::optional<plasma::RemoteObjectLocation> Get(const ObjectId& id);
+
+  // Inserts or overwrites; evicts the LRU entry beyond capacity.
+  void Put(const ObjectId& id, const plasma::RemoteObjectLocation& loc);
+
+  // Drops one id (no-op and not counted when absent).
+  void Invalidate(const ObjectId& id);
+
+  void Clear();
+
+  size_t size() const;
+  LookupCacheStats stats() const;
+
+ private:
+  struct Entry {
+    ObjectId id;
+    plasma::RemoteObjectLocation location;
+  };
+
+  size_t capacity_;
+  mutable std::mutex mutex_;
+  // MRU at front.
+  std::list<Entry> lru_;
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
+  LookupCacheStats stats_;
+};
+
+}  // namespace mdos::dist

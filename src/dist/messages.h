@@ -1,0 +1,120 @@
+// Store↔store RPC messages (the paper's gRPC protobufs, re-expressed in
+// the wire module's encoding).
+//
+// Stores interconnect with unary sync RPC (§IV-A2). The method surface:
+//   Plasma.Hello        — handshake: exchange node ids, pool regions and
+//                         (shared-index extension) the index region
+//   Plasma.Lookup       — batched sealed-object location lookup
+//   Plasma.Probe        — id-uniqueness probe (sees unsealed objects too)
+//   Plasma.Pin/Unpin    — distributed usage tracking (remote pins)
+//   Plasma.DeleteNotice — lookup-cache invalidation broadcast
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "plasma/store.h"
+#include "wire/wire.h"
+
+namespace mdos::dist {
+
+// Method names registered with the RPC server.
+inline constexpr const char* kMethodHello = "Plasma.Hello";
+inline constexpr const char* kMethodLookup = "Plasma.Lookup";
+inline constexpr const char* kMethodProbe = "Plasma.Probe";
+inline constexpr const char* kMethodPin = "Plasma.Pin";
+inline constexpr const char* kMethodUnpin = "Plasma.Unpin";
+inline constexpr const char* kMethodDeleteNotice = "Plasma.DeleteNotice";
+
+// ---- hello -----------------------------------------------------------------
+
+struct HelloRequest {
+  uint32_t node_id = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<HelloRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct HelloReply {
+  uint32_t node_id = 0;
+  uint32_t pool_region = UINT32_MAX;
+  // Shared-index extension: fabric region of the replier's index table;
+  // UINT32_MAX when the extension is disabled.
+  uint32_t index_region = UINT32_MAX;
+  std::string store_name;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<HelloReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- lookup ----------------------------------------------------------------
+
+struct LookupRequest {
+  std::vector<ObjectId> ids;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<LookupRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct LookupEntry {
+  ObjectId id;
+  bool found = false;
+  plasma::RemoteObjectLocation location;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<LookupEntry> DecodeFrom(wire::Reader& r);
+};
+
+struct LookupReply {
+  std::vector<LookupEntry> entries;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<LookupReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- probe -----------------------------------------------------------------
+
+struct ProbeRequest {
+  ObjectId id;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ProbeRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ProbeReply {
+  bool exists = false;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ProbeReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- pin / unpin -----------------------------------------------------------
+
+struct PinRequest {
+  ObjectId id;
+  uint32_t peer_node = 0;  // the pinning (requesting) node
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PinRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct PinReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PinReply> DecodeFrom(wire::Reader& r);
+};
+
+// Unpin reuses the same shapes.
+using UnpinRequest = PinRequest;
+using UnpinReply = PinReply;
+
+// ---- delete notice ---------------------------------------------------------
+
+struct DeleteNotice {
+  ObjectId id;
+  uint32_t from_node = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<DeleteNotice> DecodeFrom(wire::Reader& r);
+};
+
+struct DeleteNoticeAck {
+  void EncodeTo(wire::Writer& w) const;
+  static Result<DeleteNoticeAck> DecodeFrom(wire::Reader& r);
+};
+
+}  // namespace mdos::dist

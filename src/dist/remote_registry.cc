@@ -1,0 +1,270 @@
+#include "dist/remote_registry.h"
+
+#include <algorithm>
+
+#include "common/log.h"
+#include "dist/messages.h"
+
+namespace mdos::dist {
+
+RemoteStoreRegistry::RemoteStoreRegistry(uint32_t self_node,
+                                         RegistryOptions options)
+    : self_node_(self_node), options_(options) {
+  if (options_.enable_lookup_cache) {
+    cache_ = std::make_unique<LookupCache>(options_.lookup_cache_capacity);
+  }
+}
+
+Status RemoteStoreRegistry::AddPeer(const std::string& host,
+                                    uint16_t port) {
+  MDOS_ASSIGN_OR_RETURN(
+      auto channel,
+      rpc::RpcChannel::Connect(host, port, options_.simulated_rtt_ns));
+
+  HelloRequest request;
+  request.node_id = self_node_;
+  MDOS_ASSIGN_OR_RETURN(
+      HelloReply reply,
+      channel->CallTyped<HelloReply>(kMethodHello, request,
+                                     options_.rpc_timeout_ms));
+  if (reply.node_id == self_node_) {
+    return Status::Invalid("refusing to peer with self (node " +
+                           std::to_string(self_node_) + ")");
+  }
+
+  auto peer = std::make_shared<Peer>();
+  peer->node_id = reply.node_id;
+  peer->pool_region = reply.pool_region;
+  peer->store_name = reply.store_name;
+  peer->channel = std::move(channel);
+
+  // Shared-index extension: attach the peer's exported index table so
+  // lookups can read it directly over the fabric instead of calling RPC.
+  if (reply.index_region != UINT32_MAX && options_.fabric != nullptr) {
+    auto attached =
+        options_.fabric->Attach(self_node_, reply.index_region);
+    if (attached.ok()) {
+      peer->index_attachment.emplace(std::move(attached).value());
+      auto reader = plasma::SharedIndexReader::Open(
+          peer->index_attachment->unsafe_data(),
+          peer->index_attachment->size(),
+          options_.fabric->config().remote);
+      if (reader.ok()) {
+        peer->index_reader.emplace(std::move(reader).value());
+      } else {
+        MDOS_LOG_WARN << "peer " << reply.node_id
+                      << " exported an unreadable index: "
+                      << reader.status();
+        peer->index_attachment.reset();
+      }
+    }
+  }
+
+  std::lock_guard<std::mutex> lock(mutex_);
+  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                              [&](const std::shared_ptr<Peer>& p) {
+                                return p->node_id == reply.node_id;
+                              }),
+               peers_.end());
+  peers_.push_back(std::move(peer));
+  return Status::OK();
+}
+
+size_t RemoteStoreRegistry::peer_count() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_.size();
+}
+
+std::vector<uint32_t> RemoteStoreRegistry::peer_nodes() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<uint32_t> nodes;
+  nodes.reserve(peers_.size());
+  for (const auto& peer : peers_) nodes.push_back(peer->node_id);
+  return nodes;
+}
+
+RegistryStats RemoteStoreRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+std::vector<std::shared_ptr<RemoteStoreRegistry::Peer>>
+RemoteStoreRegistry::SnapshotPeers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return peers_;
+}
+
+std::shared_ptr<RemoteStoreRegistry::Peer> RemoteStoreRegistry::FindPeer(
+    uint32_t node_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& peer : peers_) {
+    if (peer->node_id == node_id) return peer;
+  }
+  return nullptr;
+}
+
+std::vector<std::optional<plasma::RemoteObjectLocation>>
+RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
+  std::vector<std::optional<plasma::RemoteObjectLocation>> out(ids.size());
+  std::vector<size_t> unresolved;
+  unresolved.reserve(ids.size());
+
+  // 1. Lookup cache (§V-B extension).
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (cache_ != nullptr) {
+      auto hit = cache_->Get(ids[i]);
+      if (hit.has_value()) {
+        out[i] = *hit;
+        continue;
+      }
+    }
+    unresolved.push_back(i);
+  }
+
+  auto peers = SnapshotPeers();
+
+  // 2. Shared index in disaggregated memory (§V-B extension): probe every
+  // peer's table before falling back to RPC.
+  for (const auto& peer : peers) {
+    if (!peer->index_reader.has_value() || unresolved.empty()) continue;
+    std::vector<size_t> still_unresolved;
+    for (size_t i : unresolved) {
+      auto indexed = peer->index_reader->Lookup(ids[i]);
+      if (!indexed.has_value()) {
+        still_unresolved.push_back(i);
+        continue;
+      }
+      plasma::RemoteObjectLocation loc;
+      loc.home_node = peer->node_id;
+      loc.home_region = peer->pool_region;
+      loc.offset = indexed->offset;
+      loc.data_size = indexed->data_size;
+      loc.metadata_size = indexed->metadata_size;
+      out[i] = loc;
+      if (cache_ != nullptr) cache_->Put(ids[i], loc);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.index_hits;
+    }
+    unresolved.swap(still_unresolved);
+  }
+
+  // 3. Batched Plasma.Lookup RPC per peer until everything unresolved has
+  // been asked everywhere (the paper's sync unary gRPC path).
+  for (const auto& peer : peers) {
+    if (unresolved.empty()) break;
+    LookupRequest request;
+    request.ids.reserve(unresolved.size());
+    for (size_t i : unresolved) request.ids.push_back(ids[i]);
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.lookup_rpcs;
+    }
+    auto reply = peer->channel->CallTyped<LookupReply>(
+        kMethodLookup, request, options_.rpc_timeout_ms);
+    if (!reply.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failed_rpcs;
+      continue;
+    }
+    std::vector<size_t> still_unresolved;
+    for (size_t k = 0; k < unresolved.size(); ++k) {
+      size_t i = unresolved[k];
+      if (k < reply->entries.size() && reply->entries[k].found) {
+        out[i] = reply->entries[k].location;
+        if (cache_ != nullptr) cache_->Put(ids[i], *out[i]);
+      } else {
+        still_unresolved.push_back(i);
+      }
+    }
+    unresolved.swap(still_unresolved);
+  }
+  return out;
+}
+
+bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id) {
+  ProbeRequest request;
+  request.id = id;
+  for (const auto& peer : SnapshotPeers()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.probe_rpcs;
+    }
+    auto reply = peer->channel->CallTyped<ProbeReply>(
+        kMethodProbe, request, options_.rpc_timeout_ms);
+    if (!reply.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failed_rpcs;
+      continue;
+    }
+    if (reply->exists) return true;
+  }
+  return false;
+}
+
+void RemoteStoreRegistry::PinRemote(
+    const ObjectId& id, const plasma::RemoteObjectLocation& loc) {
+  auto peer = FindPeer(loc.home_node);
+  if (peer == nullptr) return;  // dead or unknown peer: harmless no-op
+  PinRequest request;
+  request.id = id;
+  request.peer_node = self_node_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pin_rpcs;
+  }
+  auto reply = peer->channel->CallTyped<PinReply>(
+      kMethodPin, request, options_.rpc_timeout_ms);
+  if (!reply.ok() || !reply->status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failed_rpcs;
+    return;
+  }
+  usage_.RecordPin(id, loc);
+}
+
+void RemoteStoreRegistry::UnpinRemote(
+    const ObjectId& id, const plasma::RemoteObjectLocation& loc) {
+  // Only unpin what we recorded: a pin whose RPC failed (or that targeted
+  // a dead peer) has no remote state to release.
+  if (!usage_.RecordUnpin(id)) return;
+  auto peer = FindPeer(loc.home_node);
+  if (peer == nullptr) return;
+  UnpinRequest request;
+  request.id = id;
+  request.peer_node = self_node_;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.pin_rpcs;
+  }
+  auto reply = peer->channel->CallTyped<UnpinReply>(
+      kMethodUnpin, request, options_.rpc_timeout_ms);
+  if (!reply.ok() || !reply->status.ok()) {
+    std::lock_guard<std::mutex> lock(mutex_);
+    ++stats_.failed_rpcs;
+  }
+}
+
+void RemoteStoreRegistry::NotifyDeleted(const ObjectId& id) {
+  if (cache_ != nullptr) cache_->Invalidate(id);
+  DeleteNotice notice;
+  notice.id = id;
+  notice.from_node = self_node_;
+  for (const auto& peer : SnapshotPeers()) {
+    auto reply = peer->channel->CallTyped<DeleteNoticeAck>(
+        kMethodDeleteNotice, notice, options_.rpc_timeout_ms);
+    if (!reply.ok()) {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.failed_rpcs;
+    }
+  }
+}
+
+void RemoteStoreRegistry::ReleaseAllPins() {
+  for (const auto& pin : usage_.Snapshot()) {
+    for (uint32_t i = 0; i < pin.count; ++i) {
+      UnpinRemote(pin.id, pin.location);
+    }
+  }
+}
+
+}  // namespace mdos::dist

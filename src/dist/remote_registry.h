@@ -1,0 +1,115 @@
+// RemoteStoreRegistry — a store's view of its peer stores (DistHooks).
+//
+// Implements the distributed half of §IV-A2: every store keeps one RPC
+// channel per peer (the paper's gRPC stubs) and resolves unknown object
+// ids by asking the peers, probes peers for id uniqueness on Create, and
+// broadcasts delete notices. Two §V-B extensions are layered in front of
+// the RPC path:
+//   * lookup cache — repeated remote Gets skip the RPC entirely,
+//   * shared index  — when a peer exports its index region (Hello
+//     handshake), lookups read the peer's table in disaggregated memory
+//     and fall back to RPC only on a miss.
+//
+// Thread-safety: LookupRemote/IdKnownRemotely/Pin/Unpin are called from
+// the store's event loop; AddPeer/ReleaseAllPins from control threads;
+// DeleteNotice invalidations land on the RPC server thread. Peer-list
+// access is mutex-guarded; RpcChannels are internally synchronized.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "dist/lookup_cache.h"
+#include "dist/usage_tracker.h"
+#include "plasma/shared_index.h"
+#include "plasma/store.h"
+#include "rpc/channel.h"
+#include "tf/fabric.h"
+
+namespace mdos::dist {
+
+struct RegistryOptions {
+  // Cache successful lookups (paper §V-B "caching the look-up results").
+  bool enable_lookup_cache = false;
+  size_t lookup_cache_capacity = 4096;
+  // Injected per-RPC latency modelling the data-centre LAN.
+  int64_t simulated_rtt_ns = 0;
+  // Bound on every peer RPC.
+  uint64_t rpc_timeout_ms = 5000;
+  // Required for the shared-index read path (attaching peer regions).
+  tf::Fabric* fabric = nullptr;
+};
+
+struct RegistryStats {
+  uint64_t lookup_rpcs = 0;   // Plasma.Lookup calls issued
+  uint64_t probe_rpcs = 0;    // Plasma.Probe calls issued
+  uint64_t pin_rpcs = 0;      // Plasma.Pin + Plasma.Unpin calls issued
+  uint64_t failed_rpcs = 0;   // calls that returned an error
+  uint64_t index_hits = 0;    // ids resolved by reading a peer's index
+};
+
+class RemoteStoreRegistry : public plasma::DistHooks {
+ public:
+  explicit RemoteStoreRegistry(uint32_t self_node,
+                               RegistryOptions options = {});
+  ~RemoteStoreRegistry() override = default;
+
+  // Connects to a peer store's RPC endpoint and performs the Hello
+  // handshake. Rejects self-peering; re-adding a known node replaces its
+  // channel.
+  Status AddPeer(const std::string& host, uint16_t port);
+
+  size_t peer_count() const;
+  std::vector<uint32_t> peer_nodes() const;
+
+  // Unpins everything this node still holds (shutdown path). Idempotent.
+  void ReleaseAllPins();
+
+  // nullptr when the cache extension is disabled.
+  LookupCache* lookup_cache() { return cache_.get(); }
+  const UsageTracker& usage() const { return usage_; }
+  RegistryStats stats() const;
+
+  // ---- DistHooks (called by the owning store) -------------------------
+
+  std::vector<std::optional<plasma::RemoteObjectLocation>> LookupRemote(
+      const std::vector<ObjectId>& ids) override;
+  bool IdKnownRemotely(const ObjectId& id) override;
+  void PinRemote(const ObjectId& id,
+                 const plasma::RemoteObjectLocation& loc) override;
+  void UnpinRemote(const ObjectId& id,
+                   const plasma::RemoteObjectLocation& loc) override;
+  void NotifyDeleted(const ObjectId& id) override;
+
+ private:
+  struct Peer {
+    uint32_t node_id = 0;
+    uint32_t pool_region = UINT32_MAX;
+    std::string store_name;
+    std::shared_ptr<rpc::RpcChannel> channel;
+    // Shared-index read path (set when the peer exports an index region
+    // and a fabric is configured). The attachment owns the mapping the
+    // reader points into.
+    std::optional<tf::AttachedRegion> index_attachment;
+    std::optional<plasma::SharedIndexReader> index_reader;
+  };
+
+  std::vector<std::shared_ptr<Peer>> SnapshotPeers() const;
+  std::shared_ptr<Peer> FindPeer(uint32_t node_id) const;
+
+  const uint32_t self_node_;
+  const RegistryOptions options_;
+  std::unique_ptr<LookupCache> cache_;
+  UsageTracker usage_;
+
+  mutable std::mutex mutex_;  // guards peers_ and stats_
+  std::vector<std::shared_ptr<Peer>> peers_;
+  RegistryStats stats_;
+};
+
+}  // namespace mdos::dist

@@ -1,0 +1,108 @@
+#include "dist/service.h"
+
+#include "dist/messages.h"
+
+namespace mdos::dist {
+
+namespace {
+
+template <typename ReplyT>
+std::vector<uint8_t> EncodeReply(const ReplyT& reply) {
+  wire::Writer w;
+  reply.EncodeTo(w);
+  return {w.data(), w.data() + w.size()};
+}
+
+template <typename RequestT>
+Result<RequestT> DecodeRequest(const std::vector<uint8_t>& payload) {
+  wire::Reader r(payload.data(), payload.size());
+  return RequestT::DecodeFrom(r);
+}
+
+}  // namespace
+
+void StoreService::RegisterWith(rpc::RpcServer& server) {
+  plasma::Store* store = store_;
+  LookupCache* cache = cache_;
+
+  server.RegisterHandler(
+      kMethodHello,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(HelloRequest request,
+                              DecodeRequest<HelloRequest>(payload));
+        (void)request;  // the caller's node id is not needed yet
+        HelloReply reply;
+        reply.node_id = store->node_id();
+        reply.pool_region = store->pool_region();
+        reply.index_region = store->index_region();
+        reply.store_name = store->name();
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
+      kMethodLookup,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(LookupRequest request,
+                              DecodeRequest<LookupRequest>(payload));
+        LookupReply reply;
+        reply.entries.reserve(request.ids.size());
+        for (const ObjectId& id : request.ids) {
+          LookupEntry entry;
+          entry.id = id;
+          auto location = store->LookupForPeer(id);
+          if (location.ok()) {
+            entry.found = true;
+            entry.location = *location;
+          }
+          reply.entries.push_back(entry);
+        }
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
+      kMethodProbe,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(ProbeRequest request,
+                              DecodeRequest<ProbeRequest>(payload));
+        ProbeReply reply;
+        reply.exists = store->ContainsId(request.id);
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
+      kMethodPin,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(PinRequest request,
+                              DecodeRequest<PinRequest>(payload));
+        PinReply reply;
+        reply.status = store->PinForPeer(request.id, request.peer_node);
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
+      kMethodUnpin,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(UnpinRequest request,
+                              DecodeRequest<UnpinRequest>(payload));
+        UnpinReply reply;
+        reply.status = store->UnpinForPeer(request.id, request.peer_node);
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
+      kMethodDeleteNotice,
+      [cache](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(DeleteNotice notice,
+                              DecodeRequest<DeleteNotice>(payload));
+        if (cache != nullptr) cache->Invalidate(notice.id);
+        return EncodeReply(DeleteNoticeAck{});
+      });
+}
+
+}  // namespace mdos::dist

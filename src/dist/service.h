@@ -1,0 +1,32 @@
+// StoreService — the RPC service a store exposes to its peers.
+//
+// The server side of the paper's gRPC surface (§IV-A2): handlers decode
+// the dist message, call into the owning store's thread-safe peer surface
+// (LookupForPeer & co.), and encode the reply. Handlers run on the RPC
+// server thread, concurrently with the store's event loop — the store's
+// state mutex provides the required synchronization.
+#pragma once
+
+#include "common/status.h"
+#include "dist/lookup_cache.h"
+#include "plasma/store.h"
+#include "rpc/server.h"
+
+namespace mdos::dist {
+
+class StoreService {
+ public:
+  // `cache` may be null (extension disabled); DeleteNotice handling then
+  // degrades to an ack-only no-op.
+  StoreService(plasma::Store* store, LookupCache* cache)
+      : store_(store), cache_(cache) {}
+
+  // Registers every Plasma.* method. Call before RpcServer::Start.
+  void RegisterWith(rpc::RpcServer& server);
+
+ private:
+  plasma::Store* store_;
+  LookupCache* cache_;
+};
+
+}  // namespace mdos::dist

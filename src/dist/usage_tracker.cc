@@ -1,0 +1,57 @@
+#include "dist/usage_tracker.h"
+
+namespace mdos::dist {
+
+void UsageTracker::RecordPin(const ObjectId& id,
+                             const plasma::RemoteObjectLocation& loc) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& pin = outstanding_[id];
+  pin.id = id;
+  pin.location = loc;
+  ++pin.count;
+  ++pins_recorded_;
+}
+
+bool UsageTracker::RecordUnpin(const ObjectId& id) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = outstanding_.find(id);
+  if (it == outstanding_.end()) return false;
+  ++unpins_recorded_;
+  if (--it->second.count == 0) {
+    outstanding_.erase(it);
+  }
+  return true;
+}
+
+uint64_t UsageTracker::total_pins() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t total = 0;
+  for (const auto& [id, pin] : outstanding_) {
+    (void)id;
+    total += pin.count;
+  }
+  return total;
+}
+
+uint64_t UsageTracker::pins_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pins_recorded_;
+}
+
+uint64_t UsageTracker::unpins_recorded() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return unpins_recorded_;
+}
+
+std::vector<OutstandingPin> UsageTracker::Snapshot() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<OutstandingPin> snapshot;
+  snapshot.reserve(outstanding_.size());
+  for (const auto& [id, pin] : outstanding_) {
+    (void)id;
+    snapshot.push_back(pin);
+  }
+  return snapshot;
+}
+
+}  // namespace mdos::dist

@@ -1,0 +1,51 @@
+// UsageTracker — client-side bookkeeping of remote pins (paper §IV-A2).
+//
+// The paper notes its prototype "does not share object usage information
+// between nodes", accepting that a home store may evict an object a
+// remote client is still reading. The implemented extension pins remote
+// objects at their home store for the duration of local use; this tracker
+// records the pins a node holds so they can be released en masse at
+// shutdown (and audited in tests).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/object_id.h"
+#include "plasma/store.h"
+
+namespace mdos::dist {
+
+struct OutstandingPin {
+  ObjectId id;
+  plasma::RemoteObjectLocation location;
+  uint32_t count = 0;
+};
+
+class UsageTracker {
+ public:
+  void RecordPin(const ObjectId& id,
+                 const plasma::RemoteObjectLocation& loc);
+
+  // False when no pin is outstanding for `id` (unbalanced unpin).
+  bool RecordUnpin(const ObjectId& id);
+
+  // Currently outstanding pins (sum of per-object counts).
+  uint64_t total_pins() const;
+
+  // Cumulative counters.
+  uint64_t pins_recorded() const;
+  uint64_t unpins_recorded() const;
+
+  std::vector<OutstandingPin> Snapshot() const;
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<ObjectId, OutstandingPin> outstanding_;
+  uint64_t pins_recorded_ = 0;
+  uint64_t unpins_recorded_ = 0;
+};
+
+}  // namespace mdos::dist

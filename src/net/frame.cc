@@ -16,6 +16,25 @@ struct FrameHeader {
 };
 static_assert(sizeof(FrameHeader) == 16);
 
+// Shared by the blocking and buffered receive paths so the two can never
+// disagree about what a well-formed frame is.
+Status ValidateHeader(const FrameHeader& hdr) {
+  if (hdr.magic != kFrameMagic) {
+    return Status::ProtocolError("bad frame magic");
+  }
+  if (hdr.length > kMaxFramePayload) {
+    return Status::ProtocolError("frame payload length too large");
+  }
+  return Status::OK();
+}
+
+Status VerifyPayloadCrc(const FrameHeader& hdr, const Frame& frame) {
+  if (Crc32(frame.payload.data(), frame.payload.size()) != hdr.crc) {
+    return Status::ProtocolError("frame CRC mismatch");
+  }
+  return Status::OK();
+}
+
 }  // namespace
 
 Status SendFrame(int fd, uint32_t type, const void* payload, size_t size) {
@@ -42,12 +61,7 @@ Status SendFrame(int fd, uint32_t type,
 Result<Frame> RecvFrame(int fd) {
   FrameHeader hdr;
   MDOS_RETURN_IF_ERROR(ReadAll(fd, &hdr, sizeof(hdr)));
-  if (hdr.magic != kFrameMagic) {
-    return Status::ProtocolError("bad frame magic");
-  }
-  if (hdr.length > kMaxFramePayload) {
-    return Status::ProtocolError("frame payload length too large");
-  }
+  MDOS_RETURN_IF_ERROR(ValidateHeader(hdr));
   Frame frame;
   frame.type = hdr.type;
   frame.payload.resize(hdr.length);
@@ -55,10 +69,24 @@ Result<Frame> RecvFrame(int fd) {
     MDOS_RETURN_IF_ERROR(
         ReadAll(fd, frame.payload.data(), frame.payload.size()));
   }
-  if (Crc32(frame.payload.data(), frame.payload.size()) != hdr.crc) {
-    return Status::ProtocolError("frame CRC mismatch");
-  }
+  MDOS_RETURN_IF_ERROR(VerifyPayloadCrc(hdr, frame));
   return frame;
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                   size_t* consumed) {
+  *consumed = 0;
+  if (size < sizeof(FrameHeader)) return Status::OK();
+  FrameHeader hdr;
+  std::memcpy(&hdr, data, sizeof(hdr));
+  MDOS_RETURN_IF_ERROR(ValidateHeader(hdr));
+  if (size < sizeof(hdr) + hdr.length) return Status::OK();
+  frame->type = hdr.type;
+  frame->payload.assign(data + sizeof(hdr),
+                        data + sizeof(hdr) + hdr.length);
+  MDOS_RETURN_IF_ERROR(VerifyPayloadCrc(hdr, *frame));
+  *consumed = sizeof(hdr) + hdr.length;
+  return Status::OK();
 }
 
 }  // namespace mdos::net

@@ -35,4 +35,11 @@ Status SendFrame(int fd, uint32_t type, const std::vector<uint8_t>& payload);
 // Receives one frame (blocking). NotConnected on clean EOF between frames.
 Result<Frame> RecvFrame(int fd);
 
+// Decodes one frame from an in-memory buffer (the store's per-connection
+// receive buffer; many frames may be queued by a pipelining client).
+// On success sets *frame and *consumed. OK with *consumed == 0 means the
+// buffer holds only a partial frame — read more bytes and retry.
+Status DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                   size_t* consumed);
+
 }  // namespace mdos::net

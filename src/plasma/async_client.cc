@@ -1,0 +1,389 @@
+#include "plasma/async_client.h"
+
+#include <sys/socket.h>
+
+#include "common/log.h"
+#include "net/frame.h"
+#include "net/socket.h"
+
+namespace mdos::plasma {
+
+Result<std::unique_ptr<AsyncClient>> AsyncClient::Connect(
+    const std::string& socket_path, ClientOptions options) {
+  auto client = std::unique_ptr<AsyncClient>(new AsyncClient());
+  client->options_ = options;
+  MDOS_ASSIGN_OR_RETURN(client->fd_, net::UdsConnect(socket_path));
+
+  // The handshake is the one synchronous exchange: nothing else can be in
+  // flight before the pool fd has crossed the socket.
+  ConnectRequest request;
+  request.client_name = options.client_name;
+  const uint64_t handshake_id = client->next_request_id_.fetch_add(1);
+  MDOS_RETURN_IF_ERROR(SendMessage(client->fd_.get(),
+                                   MessageType::kConnectRequest,
+                                   handshake_id, request));
+  MDOS_ASSIGN_OR_RETURN(
+      std::vector<uint8_t> body,
+      RecvExpect(client->fd_.get(), MessageType::kConnectReply));
+  MDOS_ASSIGN_OR_RETURN(ConnectReply reply,
+                        DecodeMessage<ConnectReply>(body));
+  client->node_id_ = reply.node_id;
+  client->pool_region_ = reply.pool_region_id;
+  client->pool_size_ = reply.pool_size;
+  client->pool_slab_offset_ = reply.pool_slab_offset;
+  client->store_name_ = reply.store_name;
+
+  // The store follows the reply with the pool memfd.
+  MDOS_ASSIGN_OR_RETURN(net::UniqueFd pool_fd,
+                        net::RecvFd(client->fd_.get()));
+
+  if (options.fabric != nullptr && reply.pool_region_id != UINT32_MAX) {
+    // Fabric mode: attach the local pool region for modelled access. The
+    // client runs on the store's node, so this is a local attachment.
+    MDOS_ASSIGN_OR_RETURN(
+        tf::AttachedRegion local,
+        options.fabric->Attach(reply.node_id, reply.pool_region_id));
+    client->local_region_ =
+        std::make_shared<tf::AttachedRegion>(std::move(local));
+  } else {
+    // Raw mode: mmap the shared pool like upstream Plasma clients do.
+    MDOS_ASSIGN_OR_RETURN(
+        auto map, net::MemfdSegment::Map(
+                      std::move(pool_fd),
+                      reply.pool_slab_offset + reply.pool_size));
+    client->pool_map_.emplace(std::move(map));
+  }
+
+  {
+    std::lock_guard<std::mutex> lock(client->pending_mutex_);
+    client->running_ = true;
+  }
+  client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
+  return client;
+}
+
+AsyncClient::~AsyncClient() { (void)Disconnect(); }
+
+Status AsyncClient::Disconnect() {
+  // Serializes concurrent disconnect/destructor paths (double-join UB).
+  std::lock_guard<std::mutex> disconnect_lock(disconnect_mutex_);
+  bool was_running;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    was_running = running_;
+    running_ = false;
+  }
+  if (was_running) {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    if (fd_.valid()) {
+      ListRequest dummy;  // DisconnectRequest carries no payload
+      (void)SendMessage(fd_.get(), MessageType::kDisconnectRequest,
+                        kNoRequestId, dummy);
+      // Wakes the reply-dispatch thread out of its blocking read; it
+      // fails every outstanding promise before exiting.
+      ::shutdown(fd_.get(), SHUT_RDWR);
+    }
+  }
+  if (reader_.joinable()) reader_.join();
+  // Belt and braces: if the reader never ran, fail stragglers here.
+  FailAllPending(Status::NotConnected("client disconnected"));
+  {
+    // Senders read fd_ only under send_mutex_, so closing it here cannot
+    // race a write onto a recycled descriptor.
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    fd_.Reset();
+  }
+  return Status::OK();
+}
+
+size_t AsyncClient::inflight() const {
+  std::lock_guard<std::mutex> lock(pending_mutex_);
+  return pending_.size();
+}
+
+void AsyncClient::FailAllPending(const Status& status) {
+  std::unordered_map<uint64_t, ReplyHandler> orphans;
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    orphans.swap(pending_);
+    running_ = false;
+  }
+  for (auto& [id, handler] : orphans) {
+    (void)id;
+    handler(MessageType::kNotification, Status(status));
+  }
+}
+
+void AsyncClient::ReaderLoop() {
+  for (;;) {
+    auto frame = net::RecvFrame(fd_.get());
+    if (!frame.ok()) {
+      FailAllPending(Status::NotConnected(
+          "connection closed: " + frame.status().ToString()));
+      return;
+    }
+    const auto type = static_cast<MessageType>(frame->type);
+    if (type == MessageType::kNotification) {
+      continue;  // subscriptions use a dedicated listener connection
+    }
+    auto tag = PeekRequestId(frame->payload);
+    if (!tag.ok()) {
+      FailAllPending(tag.status());
+      return;
+    }
+    ReplyHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(*tag);
+      if (it != pending_.end()) {
+        handler = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (handler) {
+      handler(type, std::move(frame->payload));
+    } else {
+      MDOS_LOG_WARN << "async client: reply for unknown request " << *tag;
+    }
+  }
+}
+
+template <typename ReplyT, typename RequestT, typename Fn>
+auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
+                           const RequestT& request, Fn transform)
+    -> Future<std::invoke_result_t<Fn, ReplyT&&>> {
+  using T = std::invoke_result_t<Fn, ReplyT&&>;
+  Promise<T> promise;
+  Future<T> future = promise.GetFuture();
+
+  const uint64_t request_id = next_request_id_.fetch_add(1);
+  {
+    std::lock_guard<std::mutex> lock(pending_mutex_);
+    if (!running_) {
+      promise.Set(T(Status::NotConnected("client disconnected")));
+      return future;
+    }
+    // Registered before the send so a reply can never beat its handler.
+    pending_.emplace(
+        request_id,
+        [promise, reply_type, transform](
+            MessageType type, Result<std::vector<uint8_t>> payload) mutable {
+          if (!payload.ok()) {
+            promise.Set(T(payload.status()));
+            return;
+          }
+          if (type != reply_type) {
+            promise.Set(T(Status::ProtocolError(
+                "unexpected reply type " +
+                std::to_string(static_cast<uint32_t>(type)))));
+            return;
+          }
+          auto reply = DecodeMessage<ReplyT>(*payload);
+          if (!reply.ok()) {
+            promise.Set(T(reply.status()));
+            return;
+          }
+          promise.Set(transform(std::move(reply).value()));
+        });
+  }
+
+  Status sent;
+  {
+    std::lock_guard<std::mutex> lock(send_mutex_);
+    sent = SendMessage(fd_.get(), request_type, request_id, request);
+  }
+  if (!sent.ok()) {
+    ReplyHandler handler;
+    {
+      std::lock_guard<std::mutex> lock(pending_mutex_);
+      auto it = pending_.find(request_id);
+      if (it != pending_.end()) {
+        handler = std::move(it->second);
+        pending_.erase(it);
+      }
+    }
+    if (handler) handler(reply_type, Status(sent));
+  }
+  return future;
+}
+
+// ---- buffer construction ---------------------------------------------------
+
+Result<std::shared_ptr<tf::AttachedRegion>> AsyncClient::ResolveRegion(
+    uint32_t node, uint32_t region) {
+  if (options_.fabric == nullptr) {
+    return Status::Unavailable(
+        "remote object requires a fabric-enabled client");
+  }
+  auto key = std::make_pair(node, region);
+  {
+    std::lock_guard<std::mutex> lock(region_mutex_);
+    auto it = attachments_.find(key);
+    if (it != attachments_.end()) return it->second;
+  }
+  // Attach outside the lock (the fabric has its own synchronization);
+  // concurrent resolvers of the same region race benignly — last one in
+  // wins the cache slot, both attachments stay usable.
+  MDOS_ASSIGN_OR_RETURN(tf::AttachedRegion attached,
+                        options_.fabric->Attach(node_id_, region));
+  auto shared = std::make_shared<tf::AttachedRegion>(std::move(attached));
+  std::lock_guard<std::mutex> lock(region_mutex_);
+  attachments_[key] = shared;
+  return shared;
+}
+
+ObjectBuffer AsyncClient::MakeBuffer(const GetReplyEntry& entry,
+                                     bool writable) {
+  ObjectBuffer buffer;
+  buffer.id_ = entry.id;
+  buffer.data_size_ = entry.data_size;
+  buffer.metadata_size_ = entry.metadata_size;
+  buffer.writable_ = writable;
+  if (!entry.found) return buffer;  // invalid
+
+  if (entry.location == ObjectLocation::kRemote) {
+    auto region = ResolveRegion(entry.home_node, entry.home_region);
+    if (!region.ok()) return buffer;  // invalid
+    buffer.region_ = std::move(region).value();
+    buffer.base_ = entry.offset;
+    buffer.remote_ = true;
+    buffer.valid_ = true;
+    return buffer;
+  }
+
+  if (local_region_ != nullptr) {
+    buffer.region_ = local_region_;
+    buffer.base_ = entry.offset;
+  } else if (pool_map_.has_value()) {
+    buffer.raw_ = pool_map_->data() + pool_slab_offset_;
+    buffer.base_ = entry.offset;
+  } else {
+    return buffer;  // invalid
+  }
+  buffer.valid_ = true;
+  return buffer;
+}
+
+// ---- operations ------------------------------------------------------------
+
+Future<Result<ObjectBuffer>> AsyncClient::CreateAsync(
+    const ObjectId& id, uint64_t data_size, uint64_t metadata_size) {
+  CreateRequest request;
+  request.id = id;
+  request.data_size = data_size;
+  request.metadata_size = metadata_size;
+  return Dispatch<CreateReply>(
+      MessageType::kCreateRequest, MessageType::kCreateReply, request,
+      [this, id](CreateReply&& reply) -> Result<ObjectBuffer> {
+        if (!reply.status.ok()) return reply.status;
+        GetReplyEntry entry;
+        entry.id = id;
+        entry.found = true;
+        entry.location = ObjectLocation::kLocal;
+        entry.offset = reply.offset;
+        entry.data_size = reply.data_size;
+        entry.metadata_size = reply.metadata_size;
+        ObjectBuffer buffer = MakeBuffer(entry, /*writable=*/true);
+        if (!buffer.valid()) {
+          return Status::Unknown("could not map created buffer");
+        }
+        return buffer;
+      });
+}
+
+Future<Status> AsyncClient::SealAsync(const ObjectId& id) {
+  SealRequest request;
+  request.id = id;
+  return Dispatch<SealReply>(
+      MessageType::kSealRequest, MessageType::kSealReply, request,
+      [](SealReply&& reply) { return reply.status; });
+}
+
+Future<Status> AsyncClient::AbortAsync(const ObjectId& id) {
+  AbortRequest request;
+  request.id = id;
+  return Dispatch<AbortReply>(
+      MessageType::kAbortRequest, MessageType::kAbortReply, request,
+      [](AbortReply&& reply) { return reply.status; });
+}
+
+Future<Result<std::vector<ObjectBuffer>>> AsyncClient::GetAsync(
+    const std::vector<ObjectId>& ids, uint64_t timeout_ms) {
+  GetRequest request;
+  request.ids = ids;
+  request.timeout_ms = timeout_ms;
+  return Dispatch<GetReply>(
+      MessageType::kGetRequest, MessageType::kGetReply, request,
+      [this](GetReply&& reply) -> Result<std::vector<ObjectBuffer>> {
+        if (!reply.status.ok()) return reply.status;
+        std::vector<ObjectBuffer> buffers;
+        buffers.reserve(reply.entries.size());
+        for (const GetReplyEntry& entry : reply.entries) {
+          buffers.push_back(MakeBuffer(entry, /*writable=*/false));
+        }
+        return buffers;
+      });
+}
+
+Future<Result<ObjectBuffer>> AsyncClient::GetAsync(const ObjectId& id,
+                                                   uint64_t timeout_ms) {
+  GetRequest request;
+  request.ids = {id};
+  request.timeout_ms = timeout_ms;
+  return Dispatch<GetReply>(
+      MessageType::kGetRequest, MessageType::kGetReply, request,
+      [this, id](GetReply&& reply) -> Result<ObjectBuffer> {
+        if (!reply.status.ok()) return reply.status;
+        if (reply.entries.empty()) {
+          return Status::Unknown("empty get reply");
+        }
+        ObjectBuffer buffer =
+            MakeBuffer(reply.entries[0], /*writable=*/false);
+        if (!buffer.valid()) {
+          return Status::KeyError("object " + id.Hex() + " not found");
+        }
+        return buffer;
+      });
+}
+
+Future<Status> AsyncClient::ReleaseAsync(const ObjectId& id) {
+  ReleaseRequest request;
+  request.id = id;
+  return Dispatch<ReleaseReply>(
+      MessageType::kReleaseRequest, MessageType::kReleaseReply, request,
+      [](ReleaseReply&& reply) { return reply.status; });
+}
+
+Future<Result<bool>> AsyncClient::ContainsAsync(const ObjectId& id) {
+  ContainsRequest request;
+  request.id = id;
+  return Dispatch<ContainsReply>(
+      MessageType::kContainsRequest, MessageType::kContainsReply, request,
+      [](ContainsReply&& reply) -> Result<bool> { return reply.contains; });
+}
+
+Future<Status> AsyncClient::DeleteAsync(const ObjectId& id) {
+  DeleteRequest request;
+  request.id = id;
+  return Dispatch<DeleteReply>(
+      MessageType::kDeleteRequest, MessageType::kDeleteReply, request,
+      [](DeleteReply&& reply) { return reply.status; });
+}
+
+Future<Result<std::vector<ObjectInfo>>> AsyncClient::ListAsync() {
+  ListRequest request;
+  return Dispatch<ListReply>(
+      MessageType::kListRequest, MessageType::kListReply, request,
+      [](ListReply&& reply) -> Result<std::vector<ObjectInfo>> {
+        return std::move(reply.objects);
+      });
+}
+
+Future<Result<StoreStats>> AsyncClient::StatsAsync() {
+  StatsRequest request;
+  return Dispatch<StatsReply>(
+      MessageType::kStatsRequest, MessageType::kStatsReply, request,
+      [](StatsReply&& reply) -> Result<StoreStats> { return reply.stats; });
+}
+
+}  // namespace mdos::plasma

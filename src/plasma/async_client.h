@@ -1,0 +1,157 @@
+// AsyncClient — the pipelined core of the Plasma client API.
+//
+// The paper's client (§IV-A2) is strictly synchronous: one Unix-socket
+// round-trip per operation, so a client thread can never have more than
+// one request outstanding and every remote look-up stalls it for a full
+// RPC. AsyncClient redesigns that boundary around the request-tagged wire
+// protocol: each operation is assigned a request id, written to the
+// socket immediately, and completed by a reply-dispatch thread when the
+// (possibly out-of-order) tagged reply arrives — so a single connection
+// pipelines dozens of requests and the store can batch their remote
+// look-ups into one peer RPC.
+//
+//   auto a = client->GetAsync(id_a);      // in flight
+//   auto b = client->GetAsync(id_b);      // also in flight
+//   auto c = client->ContainsAsync(id_c); // may complete first
+//   WaitAll(a, b, c);
+//
+// Thread-safety: all *Async methods may be called from any thread
+// (sends are serialized internally); futures may be waited anywhere.
+// Futures remain valid after the client is destroyed — teardown fails
+// outstanding promises with NotConnected instead of leaving waiters
+// dangling. The blocking PlasmaClient in client.h is a thin shim over
+// this class.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <type_traits>
+#include <unordered_map>
+#include <vector>
+
+#include "common/future.h"
+#include "common/object_id.h"
+#include "common/status.h"
+#include "net/fd.h"
+#include "net/memfd.h"
+#include "plasma/client.h"
+#include "plasma/protocol.h"
+#include "tf/fabric.h"
+
+namespace mdos::plasma {
+
+class AsyncClient {
+ public:
+  static Result<std::unique_ptr<AsyncClient>> Connect(
+      const std::string& socket_path, ClientOptions options = {});
+
+  ~AsyncClient();
+  AsyncClient(const AsyncClient&) = delete;
+  AsyncClient& operator=(const AsyncClient&) = delete;
+
+  // Reserves an object and resolves to a writable buffer.
+  Future<Result<ObjectBuffer>> CreateAsync(const ObjectId& id,
+                                           uint64_t data_size,
+                                           uint64_t metadata_size = 0);
+
+  // Seals / aborts an object this client created.
+  Future<Status> SealAsync(const ObjectId& id);
+  Future<Status> AbortAsync(const ObjectId& id);
+
+  // Retrieves buffers; the store holds the reply until the objects are
+  // sealed (anywhere) or `timeout_ms` expires, so the future resolves at
+  // availability. Entries that never appeared are invalid buffers.
+  Future<Result<std::vector<ObjectBuffer>>> GetAsync(
+      const std::vector<ObjectId>& ids, uint64_t timeout_ms = 0);
+  // Single-id form; an absent object resolves to KeyError.
+  Future<Result<ObjectBuffer>> GetAsync(const ObjectId& id,
+                                        uint64_t timeout_ms = 0);
+
+  Future<Status> ReleaseAsync(const ObjectId& id);
+  Future<Result<bool>> ContainsAsync(const ObjectId& id);
+  Future<Status> DeleteAsync(const ObjectId& id);
+  Future<Result<std::vector<ObjectInfo>>> ListAsync();
+  Future<Result<StoreStats>> StatsAsync();
+
+  // Fails all in-flight requests with NotConnected and closes the
+  // connection. Also performed by the destructor. Idempotent.
+  Status Disconnect();
+
+  bool connected() const { return fd_.valid(); }
+  // Requests sent whose replies have not yet been dispatched.
+  size_t inflight() const;
+
+  uint32_t node_id() const { return node_id_; }
+  const std::string& store_name() const { return store_name_; }
+  uint64_t pool_size() const { return pool_size_; }
+
+ private:
+  friend class PlasmaClient;
+
+  // Consumes a reply frame's (type, tagged payload) — or the connection
+  // error that ended it — and fulfills the operation's promise.
+  using ReplyHandler =
+      std::function<void(MessageType, Result<std::vector<uint8_t>>)>;
+
+  AsyncClient() = default;
+
+  // Registers a reply handler under a fresh request id, sends the tagged
+  // request, and returns the future. `transform` maps the decoded ReplyT
+  // to the future's value type (Status or Result<...>), both of which are
+  // constructible from an error Status.
+  template <typename ReplyT, typename RequestT, typename Fn>
+  auto Dispatch(MessageType request_type, MessageType reply_type,
+                const RequestT& request, Fn transform)
+      -> Future<std::invoke_result_t<Fn, ReplyT&&>>;
+
+  void ReaderLoop();
+  void FailAllPending(const Status& status);
+
+  // Resolves the AttachedRegion for (node, region). Thread-safe: the
+  // attachment cache is shared by callers and the reply-dispatch thread.
+  Result<std::shared_ptr<tf::AttachedRegion>> ResolveRegion(
+      uint32_t node, uint32_t region);
+  ObjectBuffer MakeBuffer(const GetReplyEntry& entry, bool writable);
+
+  net::UniqueFd fd_;
+  ClientOptions options_;
+  uint32_t node_id_ = 0;
+  uint32_t pool_region_ = UINT32_MAX;
+  uint64_t pool_size_ = 0;
+  uint64_t pool_slab_offset_ = 0;
+  std::string store_name_;
+
+  // Raw-mode mapping of the pool fd (no fabric).
+  std::optional<net::MemfdSegment> pool_map_;
+  // Fabric-mode attachment of the local pool region.
+  std::shared_ptr<tf::AttachedRegion> local_region_;
+  // Cache of remote region attachments: (node, region) -> accessor.
+  std::mutex region_mutex_;
+  std::map<std::pair<uint32_t, uint32_t>,
+           std::shared_ptr<tf::AttachedRegion>>
+      attachments_;
+
+  // Send queue: writes are serialized; the kernel socket buffer carries
+  // the queued frames to the store back-to-back. fd_ is closed only with
+  // this mutex held, so senders never write a recycled descriptor.
+  std::mutex send_mutex_;
+  // Serializes Disconnect against itself (explicit call vs destructor).
+  std::mutex disconnect_mutex_;
+  std::atomic<uint64_t> next_request_id_{1};
+
+  // In-flight table, shared with the reply-dispatch thread.
+  mutable std::mutex pending_mutex_;
+  bool running_ = false;  // guarded by pending_mutex_
+  std::unordered_map<uint64_t, ReplyHandler> pending_;
+
+  std::thread reader_;
+};
+
+}  // namespace mdos::plasma

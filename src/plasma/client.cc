@@ -1,13 +1,16 @@
 #include "plasma/client.h"
 
-#include <sys/socket.h>
-#include <sys/time.h>
+#include <poll.h>
 
+#include <algorithm>
+#include <cassert>
 #include <cstring>
+#include <limits>
 
 #include "common/crc32.h"
 #include "net/frame.h"
 #include "net/socket.h"
+#include "plasma/async_client.h"
 
 namespace mdos::plasma {
 
@@ -99,8 +102,9 @@ Result<NotificationListener> NotificationListener::Connect(
   MDOS_ASSIGN_OR_RETURN(listener.fd_, net::UdsConnect(socket_path));
   SubscribeRequest request;
   request.subscriber_name = subscriber_name;
-  MDOS_RETURN_IF_ERROR(SendMessage(
-      listener.fd_.get(), MessageType::kSubscribeRequest, request));
+  MDOS_RETURN_IF_ERROR(SendMessage(listener.fd_.get(),
+                                   MessageType::kSubscribeRequest,
+                                   /*request_id=*/1, request));
   MDOS_ASSIGN_OR_RETURN(
       std::vector<uint8_t> body,
       RecvExpect(listener.fd_.get(), MessageType::kSubscribeReply));
@@ -112,154 +116,60 @@ Result<NotificationListener> NotificationListener::Connect(
 
 Result<Notification> NotificationListener::Next(uint64_t timeout_ms) {
   if (!fd_.valid()) return Status::NotConnected("listener closed");
-  timeval tv{};
-  tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
-  tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
-  ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
-  auto body = RecvExpect(fd_.get(), MessageType::kNotification);
-  if (!body.ok()) {
-    if (body.status().Is(StatusCode::kIoError) &&
-        body.status().message().find("Resource temporarily unavailable") !=
-            std::string::npos) {
+  // Wait for readability first so a quiet deadline surfaces as a clean
+  // StatusCode::kTimeout instead of a read error.
+  if (timeout_ms > 0) {
+    // poll(2) takes an int of milliseconds; clamp so huge deadlines do
+    // not wrap into "return immediately" or "wait forever".
+    int wait_ms = static_cast<int>(
+        std::min<uint64_t>(timeout_ms, std::numeric_limits<int>::max()));
+    pollfd pfd{};
+    pfd.fd = fd_.get();
+    pfd.events = POLLIN;
+    int ready;
+    do {
+      ready = ::poll(&pfd, 1, wait_ms);
+    } while (ready < 0 && errno == EINTR);
+    if (ready < 0) return Status::FromErrno("poll notification socket");
+    if (ready == 0) {
       return Status::Timeout("no notification within deadline");
     }
-    return body.status();
   }
-  return DecodeMessage<Notification>(*body);
+  MDOS_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
+                        RecvExpect(fd_.get(), MessageType::kNotification));
+  return DecodeMessage<Notification>(body);
 }
 
-// ---- PlasmaClient ----------------------------------------------------------
+// ---- PlasmaClient (blocking shim over AsyncClient) -------------------------
 
 Result<std::unique_ptr<PlasmaClient>> PlasmaClient::Connect(
     const std::string& socket_path, ClientOptions options) {
   auto client = std::unique_ptr<PlasmaClient>(new PlasmaClient());
-  client->options_ = options;
-  MDOS_ASSIGN_OR_RETURN(client->fd_, net::UdsConnect(socket_path));
-
-  ConnectRequest request;
-  request.client_name = options.client_name;
-  MDOS_RETURN_IF_ERROR(SendMessage(client->fd_.get(),
-                                   MessageType::kConnectRequest, request));
-  MDOS_ASSIGN_OR_RETURN(
-      std::vector<uint8_t> body,
-      RecvExpect(client->fd_.get(), MessageType::kConnectReply));
-  MDOS_ASSIGN_OR_RETURN(ConnectReply reply,
-                        DecodeMessage<ConnectReply>(body));
-  client->node_id_ = reply.node_id;
-  client->pool_region_ = reply.pool_region_id;
-  client->pool_size_ = reply.pool_size;
-  client->pool_slab_offset_ = reply.pool_slab_offset;
-  client->store_name_ = reply.store_name;
-
-  // The store follows the reply with the pool memfd.
-  MDOS_ASSIGN_OR_RETURN(net::UniqueFd pool_fd,
-                        net::RecvFd(client->fd_.get()));
-
-  if (options.fabric != nullptr &&
-      reply.pool_region_id != UINT32_MAX) {
-    // Fabric mode: attach the local pool region for modelled access. The
-    // client runs on the store's node, so this is a local attachment.
-    MDOS_ASSIGN_OR_RETURN(
-        tf::AttachedRegion local,
-        options.fabric->Attach(reply.node_id, reply.pool_region_id));
-    client->local_region_ =
-        std::make_shared<tf::AttachedRegion>(std::move(local));
-  } else {
-    // Raw mode: mmap the shared pool like upstream Plasma clients do.
-    MDOS_ASSIGN_OR_RETURN(
-        auto map, net::MemfdSegment::Map(
-                      std::move(pool_fd),
-                      reply.pool_slab_offset + reply.pool_size));
-    client->pool_map_.emplace(std::move(map));
-  }
+  MDOS_ASSIGN_OR_RETURN(client->core_,
+                        AsyncClient::Connect(socket_path, options));
   return client;
 }
 
-PlasmaClient::~PlasmaClient() { (void)Disconnect(); }
+PlasmaClient::~PlasmaClient() = default;
 
-template <typename ReplyT, typename RequestT>
-Result<ReplyT> PlasmaClient::Roundtrip(MessageType request_type,
-                                       MessageType reply_type,
-                                       const RequestT& request) {
-  if (!fd_.valid()) return Status::NotConnected("client disconnected");
-  MDOS_RETURN_IF_ERROR(SendMessage(fd_.get(), request_type, request));
-  MDOS_ASSIGN_OR_RETURN(std::vector<uint8_t> body,
-                        RecvExpect(fd_.get(), reply_type));
-  return DecodeMessage<ReplyT>(body);
-}
-
-Result<std::shared_ptr<tf::AttachedRegion>> PlasmaClient::ResolveRegion(
-    uint32_t node, uint32_t region) {
-  if (options_.fabric == nullptr) {
-    return Status::Unavailable(
-        "remote object requires a fabric-enabled client");
+void PlasmaClient::AssertSingleThread() const {
+#ifndef NDEBUG
+  std::thread::id none;
+  std::thread::id self = std::this_thread::get_id();
+  // First caller stakes ownership; everyone after must match.
+  if (!owner_thread_.compare_exchange_strong(none, self)) {
+    assert(owner_thread_.load() == self &&
+           "PlasmaClient is single-threaded: use one client per thread "
+           "or switch to AsyncClient");
   }
-  auto key = std::make_pair(node, region);
-  auto it = attachments_.find(key);
-  if (it != attachments_.end()) return it->second;
-  MDOS_ASSIGN_OR_RETURN(tf::AttachedRegion attached,
-                        options_.fabric->Attach(node_id_, region));
-  auto shared = std::make_shared<tf::AttachedRegion>(std::move(attached));
-  attachments_.emplace(key, shared);
-  return shared;
-}
-
-ObjectBuffer PlasmaClient::MakeBuffer(const GetReplyEntry& entry,
-                                      bool writable) {
-  ObjectBuffer buffer;
-  buffer.id_ = entry.id;
-  buffer.data_size_ = entry.data_size;
-  buffer.metadata_size_ = entry.metadata_size;
-  buffer.writable_ = writable;
-  if (!entry.found) return buffer;  // invalid
-
-  if (entry.location == ObjectLocation::kRemote) {
-    auto region = ResolveRegion(entry.home_node, entry.home_region);
-    if (!region.ok()) return buffer;  // invalid
-    buffer.region_ = std::move(region).value();
-    buffer.base_ = entry.offset;
-    buffer.remote_ = true;
-    buffer.valid_ = true;
-    return buffer;
-  }
-
-  if (local_region_ != nullptr) {
-    buffer.region_ = local_region_;
-    buffer.base_ = entry.offset;
-  } else if (pool_map_.has_value()) {
-    buffer.raw_ = pool_map_->data() + pool_slab_offset_;
-    buffer.base_ = entry.offset;
-  } else {
-    return buffer;  // invalid
-  }
-  buffer.valid_ = true;
-  return buffer;
+#endif
 }
 
 Result<ObjectBuffer> PlasmaClient::Create(const ObjectId& id,
                                           uint64_t data_size,
                                           uint64_t metadata_size) {
-  CreateRequest request;
-  request.id = id;
-  request.data_size = data_size;
-  request.metadata_size = metadata_size;
-  MDOS_ASSIGN_OR_RETURN(
-      CreateReply reply,
-      (Roundtrip<CreateReply>(MessageType::kCreateRequest,
-                              MessageType::kCreateReply, request)));
-  MDOS_RETURN_IF_ERROR(reply.status);
-  GetReplyEntry entry;
-  entry.id = id;
-  entry.found = true;
-  entry.location = ObjectLocation::kLocal;
-  entry.offset = reply.offset;
-  entry.data_size = reply.data_size;
-  entry.metadata_size = reply.metadata_size;
-  ObjectBuffer buffer = MakeBuffer(entry, /*writable=*/true);
-  if (!buffer.valid()) {
-    return Status::Unknown("could not map created buffer");
-  }
-  return buffer;
+  AssertSingleThread();
+  return core_->CreateAsync(id, data_size, metadata_size).Take();
 }
 
 Status PlasmaClient::CreateAndSeal(const ObjectId& id,
@@ -278,110 +188,58 @@ Status PlasmaClient::CreateAndSeal(const ObjectId& id,
 }
 
 Status PlasmaClient::Seal(const ObjectId& id) {
-  SealRequest request;
-  request.id = id;
-  MDOS_ASSIGN_OR_RETURN(
-      SealReply reply,
-      (Roundtrip<SealReply>(MessageType::kSealRequest,
-                            MessageType::kSealReply, request)));
-  return reply.status;
+  AssertSingleThread();
+  return core_->SealAsync(id).Take();
 }
 
 Status PlasmaClient::Abort(const ObjectId& id) {
-  AbortRequest request;
-  request.id = id;
-  MDOS_ASSIGN_OR_RETURN(
-      AbortReply reply,
-      (Roundtrip<AbortReply>(MessageType::kAbortRequest,
-                             MessageType::kAbortReply, request)));
-  return reply.status;
+  AssertSingleThread();
+  return core_->AbortAsync(id).Take();
 }
 
 Result<std::vector<ObjectBuffer>> PlasmaClient::Get(
     const std::vector<ObjectId>& ids, uint64_t timeout_ms) {
-  GetRequest request;
-  request.ids = ids;
-  request.timeout_ms = timeout_ms;
-  MDOS_ASSIGN_OR_RETURN(
-      GetReply reply,
-      (Roundtrip<GetReply>(MessageType::kGetRequest,
-                           MessageType::kGetReply, request)));
-  MDOS_RETURN_IF_ERROR(reply.status);
-  std::vector<ObjectBuffer> buffers;
-  buffers.reserve(reply.entries.size());
-  for (const GetReplyEntry& entry : reply.entries) {
-    buffers.push_back(MakeBuffer(entry, /*writable=*/false));
-  }
-  return buffers;
+  AssertSingleThread();
+  return core_->GetAsync(ids, timeout_ms).Take();
 }
 
 Result<ObjectBuffer> PlasmaClient::Get(const ObjectId& id,
                                        uint64_t timeout_ms) {
-  MDOS_ASSIGN_OR_RETURN(std::vector<ObjectBuffer> buffers,
-                        Get(std::vector<ObjectId>{id}, timeout_ms));
-  if (buffers.empty()) {
-    return Status::Unknown("empty get reply");
-  }
-  if (!buffers[0].valid()) {
-    return Status::KeyError("object " + id.Hex() + " not found");
-  }
-  return std::move(buffers[0]);
+  AssertSingleThread();
+  return core_->GetAsync(id, timeout_ms).Take();
 }
 
 Status PlasmaClient::Release(const ObjectId& id) {
-  ReleaseRequest request;
-  request.id = id;
-  MDOS_ASSIGN_OR_RETURN(
-      ReleaseReply reply,
-      (Roundtrip<ReleaseReply>(MessageType::kReleaseRequest,
-                               MessageType::kReleaseReply, request)));
-  return reply.status;
+  AssertSingleThread();
+  return core_->ReleaseAsync(id).Take();
 }
 
 Result<bool> PlasmaClient::Contains(const ObjectId& id) {
-  ContainsRequest request;
-  request.id = id;
-  MDOS_ASSIGN_OR_RETURN(
-      ContainsReply reply,
-      (Roundtrip<ContainsReply>(MessageType::kContainsRequest,
-                                MessageType::kContainsReply, request)));
-  return reply.contains;
+  AssertSingleThread();
+  return core_->ContainsAsync(id).Take();
 }
 
 Status PlasmaClient::Delete(const ObjectId& id) {
-  DeleteRequest request;
-  request.id = id;
-  MDOS_ASSIGN_OR_RETURN(
-      DeleteReply reply,
-      (Roundtrip<DeleteReply>(MessageType::kDeleteRequest,
-                              MessageType::kDeleteReply, request)));
-  return reply.status;
+  AssertSingleThread();
+  return core_->DeleteAsync(id).Take();
 }
 
 Result<std::vector<ObjectInfo>> PlasmaClient::List() {
-  ListRequest request;
-  MDOS_ASSIGN_OR_RETURN(
-      ListReply reply,
-      (Roundtrip<ListReply>(MessageType::kListRequest,
-                            MessageType::kListReply, request)));
-  return reply.objects;
+  AssertSingleThread();
+  return core_->ListAsync().Take();
 }
 
 Result<StoreStats> PlasmaClient::Stats() {
-  StatsRequest request;
-  MDOS_ASSIGN_OR_RETURN(
-      StatsReply reply,
-      (Roundtrip<StatsReply>(MessageType::kStatsRequest,
-                             MessageType::kStatsReply, request)));
-  return reply.stats;
+  AssertSingleThread();
+  return core_->StatsAsync().Take();
 }
 
-Status PlasmaClient::Disconnect() {
-  if (!fd_.valid()) return Status::OK();
-  ListRequest dummy;  // DisconnectRequest carries no payload
-  (void)SendMessage(fd_.get(), MessageType::kDisconnectRequest, dummy);
-  fd_.Reset();
-  return Status::OK();
+Status PlasmaClient::Disconnect() { return core_->Disconnect(); }
+
+uint32_t PlasmaClient::node_id() const { return core_->node_id(); }
+
+const std::string& PlasmaClient::store_name() const {
+  return core_->store_name();
 }
 
 }  // namespace mdos::plasma

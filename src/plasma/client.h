@@ -1,4 +1,5 @@
-// PlasmaClient — application-facing handle to a node-local Plasma store.
+// PlasmaClient — application-facing blocking handle to a node-local
+// Plasma store.
 //
 // Mirrors the Apache Arrow Plasma client API: Create/Seal publish an
 // immutable object, Get retrieves read-only buffers (blocking with a
@@ -8,15 +9,24 @@
 // buffers that may point into a *remote* node's disaggregated memory; the
 // client consumes them through fabric loads with no copy over the LAN.
 //
-// A client owns one Unix-socket connection and is NOT thread-safe; use
-// one client per thread (as the paper's single-threaded benchmarks do).
+// Since the async API redesign, every method here is a thin blocking shim
+// over AsyncClient (plasma/async_client.h): the request is dispatched
+// through the pipelined, request-tagged core and the caller waits on the
+// returned future. Callers that want more than one operation in flight
+// should hold an AsyncClient instead.
+//
+// Threading contract: a PlasmaClient must be driven by ONE thread — the
+// thread that makes its first call (the paper's benchmarks are
+// single-threaded per client). This is asserted in debug builds. The
+// underlying AsyncClient is fully thread-safe; the shim keeps the
+// historical contract so misuse is caught rather than silently relied on.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
-#include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/object_id.h"
@@ -27,6 +37,8 @@
 #include "tf/fabric.h"
 
 namespace mdos::plasma {
+
+class AsyncClient;
 
 struct ClientOptions {
   std::string client_name = "client";
@@ -65,7 +77,7 @@ class ObjectBuffer {
   Status WriteDataFrom(std::string_view bytes);
 
  private:
-  friend class PlasmaClient;
+  friend class AsyncClient;
 
   Status CheckAccess(uint64_t section_size, uint64_t offset,
                      uint64_t size) const;
@@ -154,38 +166,22 @@ class PlasmaClient {
   // Graceful disconnect (also performed by the destructor).
   Status Disconnect();
 
-  uint32_t node_id() const { return node_id_; }
-  const std::string& store_name() const { return store_name_; }
+  uint32_t node_id() const;
+  const std::string& store_name() const;
+
+  // The pipelined core this shim drives; exposed so callers can migrate
+  // incrementally (issue async operations on the same connection).
+  AsyncClient& async() { return *core_; }
 
  private:
   PlasmaClient() = default;
 
-  template <typename ReplyT, typename RequestT>
-  Result<ReplyT> Roundtrip(MessageType request_type, MessageType reply_type,
-                           const RequestT& request);
+  // Debug-build enforcement of the single-thread contract: the first
+  // call stakes ownership, later calls must come from the same thread.
+  void AssertSingleThread() const;
 
-  // Resolves the AttachedRegion for (node, region), caching attachments.
-  Result<std::shared_ptr<tf::AttachedRegion>> ResolveRegion(
-      uint32_t node, uint32_t region);
-
-  ObjectBuffer MakeBuffer(const GetReplyEntry& entry, bool writable);
-
-  net::UniqueFd fd_;
-  ClientOptions options_;
-  uint32_t node_id_ = 0;
-  uint32_t pool_region_ = UINT32_MAX;
-  uint64_t pool_size_ = 0;
-  uint64_t pool_slab_offset_ = 0;
-  std::string store_name_;
-
-  // Raw-mode mapping of the pool fd (no fabric).
-  std::optional<net::MemfdSegment> pool_map_;
-  // Fabric-mode attachment of the local pool region.
-  std::shared_ptr<tf::AttachedRegion> local_region_;
-  // Cache of remote region attachments: (node, region) -> accessor.
-  std::map<std::pair<uint32_t, uint32_t>,
-           std::shared_ptr<tf::AttachedRegion>>
-      attachments_;
+  std::unique_ptr<AsyncClient> core_;
+  mutable std::atomic<std::thread::id> owner_thread_{};
 };
 
 }  // namespace mdos::plasma

@@ -260,13 +260,25 @@ struct Notification {
 
 // ---- helpers ---------------------------------------------------------------
 
+// Request-tagged framing: every Plasma IPC frame payload is
+//   wire::MessageHeader (request_id) || message body.
+// Requests carry a client-chosen id; the store echoes it into the reply,
+// which lets one connection keep many requests in flight and lets replies
+// complete out of order. Server pushes (notifications) use kNoRequestId.
+inline constexpr uint64_t kNoRequestId = 0;
+
 // Encodes a Status as (u8 code, string message).
 void EncodeStatus(wire::Writer& w, const Status& s);
 // Decodes into *out; the returned Status reports decode failure only.
 Status DecodeStatus(wire::Reader& r, Status* out);
 
-// Receives one frame and checks its type.
-Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected);
+// Reads the request id off a tagged frame payload.
+Result<uint64_t> PeekRequestId(const std::vector<uint8_t>& payload);
+
+// Receives one frame and checks its type; `request_id` (optional)
+// receives the frame's tag.
+Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected,
+                                        uint64_t* request_id = nullptr);
 
 }  // namespace mdos::plasma
 
@@ -274,19 +286,24 @@ Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected);
 
 namespace mdos::plasma {
 
-// Sends `msg` as one frame of the given type.
+// Sends `msg` as one request-tagged frame of the given type.
 template <typename Message>
-Status SendMessage(int fd, MessageType type, const Message& msg) {
+Status SendMessage(int fd, MessageType type, uint64_t request_id,
+                   const Message& msg) {
   wire::Writer w;
+  wire::MessageHeader{request_id}.EncodeTo(w);
   msg.EncodeTo(w);
   return net::SendFrame(fd, static_cast<uint32_t>(type), w.data(),
                         w.size());
 }
 
-// Decodes a payload previously produced by Message::EncodeTo.
+// Decodes a tagged payload previously produced by SendMessage (skips the
+// message header).
 template <typename Message>
 Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
   wire::Reader r(payload.data(), payload.size());
+  auto header = wire::MessageHeader::DecodeFrom(r);
+  if (!header.ok()) return header.status();
   return Message::DecodeFrom(r);
 }
 

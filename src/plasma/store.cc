@@ -1,6 +1,10 @@
 #include "plasma/store.h"
 
+#include <sys/socket.h>
+#include <sys/time.h>
+
 #include <algorithm>
+#include <cerrno>
 #include <unordered_set>
 
 #include "alloc/first_fit_allocator.h"
@@ -33,6 +37,9 @@ struct Store::ClientConn {
   std::string name;
   bool handshaken = false;
   bool subscriber = false;  // notification-only connection
+  // Bytes received but not yet framed. A pipelining client may queue many
+  // frames here between event-loop passes.
+  std::vector<uint8_t> inbuf;
   // Pins of local objects held through this connection: id -> count.
   std::unordered_map<ObjectId, uint32_t> local_pins;
   // Remote objects handed out through this connection: id -> (loc, count).
@@ -43,9 +50,13 @@ struct Store::ClientConn {
 // A Get waiting for objects to be sealed (or for its deadline).
 struct Store::PendingGet {
   int fd = -1;
+  uint64_t request_id = kNoRequestId;  // echoed into the reply
   std::vector<ObjectId> order;  // reply preserves request order
   std::unordered_map<ObjectId, GetReplyEntry> ready;
   std::unordered_set<ObjectId> waiting;
+  // Ids the local pass could not satisfy; consumed by ResolveGets.
+  std::vector<ObjectId> missing;
+  uint64_t timeout_ms = 0;
   int64_t deadline_ns = 0;
 };
 
@@ -132,7 +143,7 @@ void Store::EventLoop() {
       } else {
         auto it = clients_.find(fd);
         if (it != clients_.end()) {
-          HandleClientMessage(*it->second);
+          OnClientReadable(*it->second);
         }
       }
     });
@@ -147,38 +158,123 @@ void Store::AcceptClient() {
   auto conn_fd = net::Accept(listen_fd_.get());
   if (!conn_fd.ok()) return;
   int fd = conn_fd->get();
+  // Replies are written by the single event-loop thread. A client that
+  // stops draining its socket must not park the whole store in write():
+  // bound the send and shed the offender instead.
+  timeval send_timeout{};
+  send_timeout.tv_sec = 5;
+  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+               sizeof(send_timeout));
   auto conn = std::make_unique<ClientConn>();
   conn->fd = std::move(conn_fd).value();
   poller_.Add(fd);
   clients_.emplace(fd, std::move(conn));
 }
 
-void Store::HandleClientMessage(ClientConn& conn) {
+void Store::OnClientReadable(ClientConn& conn) {
   int fd = conn.fd.get();
-  auto frame = net::RecvFrame(fd);
-  if (!frame.ok()) {
+
+  // Drain everything the socket has buffered without blocking the loop.
+  uint8_t chunk[64 * 1024];
+  bool closed = false;
+  for (;;) {
+    ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    if (n > 0) {
+      conn.inbuf.insert(conn.inbuf.end(), chunk, chunk + n);
+      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      continue;
+    }
+    if (n == 0) {
+      closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    closed = true;
+    break;
+  }
+
+  // Decode every complete frame; a pipelining client's queued requests
+  // become one batch.
+  std::vector<net::Frame> batch;
+  size_t offset = 0;
+  Status parse = Status::OK();
+  while (offset < conn.inbuf.size()) {
+    net::Frame frame;
+    size_t consumed = 0;
+    parse = net::DecodeFrame(conn.inbuf.data() + offset,
+                             conn.inbuf.size() - offset, &frame, &consumed);
+    if (!parse.ok() || consumed == 0) break;
+    offset += consumed;
+    batch.push_back(std::move(frame));
+  }
+  conn.inbuf.erase(conn.inbuf.begin(),
+                   conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
+
+  // Dispatch in arrival order; Gets defer their remote half to the end of
+  // the batch. `conn` may die mid-batch (decode error, disconnect), so
+  // re-check liveness between frames.
+  std::vector<PendingGet> batch_gets;
+  for (const net::Frame& frame : batch) {
+    if (clients_.find(fd) == clients_.end()) return;
+    DispatchFrame(conn, frame, &batch_gets);
+  }
+  if (clients_.find(fd) == clients_.end()) return;
+  ResolveGets(conn, batch_gets);
+
+  if (clients_.find(fd) == clients_.end()) return;
+  if (!parse.ok()) {
+    MDOS_LOG_WARN << "store: dropping client on bad frame: " << parse;
     DropClient(fd);
     return;
   }
-  const auto type = static_cast<MessageType>(frame->type);
-  const std::vector<uint8_t>& body = frame->payload;
+  if (closed) DropClient(fd);
+}
+
+void Store::DispatchFrame(ClientConn& conn, const net::Frame& frame,
+                          std::vector<PendingGet>* batch_gets) {
+  int fd = conn.fd.get();
+  const auto type = static_cast<MessageType>(frame.type);
+  const std::vector<uint8_t>& body = frame.payload;
+  auto tag = PeekRequestId(body);
+  if (!tag.ok()) {
+    DropClient(fd);
+    return;
+  }
+  const uint64_t request_id = *tag;
   switch (type) {
-    case MessageType::kConnectRequest: HandleConnect(conn, body); break;
-    case MessageType::kCreateRequest: HandleCreate(conn, body); break;
-    case MessageType::kSealRequest: HandleSeal(conn, body); break;
-    case MessageType::kAbortRequest: HandleAbort(conn, body); break;
-    case MessageType::kGetRequest: HandleGet(conn, body); break;
-    case MessageType::kReleaseRequest: HandleRelease(conn, body); break;
-    case MessageType::kContainsRequest: HandleContains(conn, body); break;
-    case MessageType::kDeleteRequest: HandleDelete(conn, body); break;
-    case MessageType::kListRequest: HandleList(conn); break;
-    case MessageType::kStatsRequest: HandleStats(conn); break;
+    case MessageType::kConnectRequest:
+      HandleConnect(conn, request_id, body);
+      break;
+    case MessageType::kCreateRequest:
+      HandleCreate(conn, request_id, body);
+      break;
+    case MessageType::kSealRequest:
+      HandleSeal(conn, request_id, body);
+      break;
+    case MessageType::kAbortRequest:
+      HandleAbort(conn, request_id, body);
+      break;
+    case MessageType::kGetRequest:
+      HandleGet(conn, request_id, body, batch_gets);
+      break;
+    case MessageType::kReleaseRequest:
+      HandleRelease(conn, request_id, body);
+      break;
+    case MessageType::kContainsRequest:
+      HandleContains(conn, request_id, body);
+      break;
+    case MessageType::kDeleteRequest:
+      HandleDelete(conn, request_id, body);
+      break;
+    case MessageType::kListRequest: HandleList(conn, request_id); break;
+    case MessageType::kStatsRequest: HandleStats(conn, request_id); break;
     case MessageType::kSubscribeRequest:
-      HandleSubscribe(conn, body);
+      HandleSubscribe(conn, request_id, body);
       break;
     case MessageType::kDisconnectRequest: DropClient(fd); break;
     default:
-      MDOS_LOG_WARN << "store: unknown message type " << frame->type;
+      MDOS_LOG_WARN << "store: unknown message type " << frame.type;
       DropClient(fd);
       break;
   }
@@ -225,7 +321,7 @@ void Store::DropClient(int fd) {
   }
 }
 
-void Store::HandleConnect(ClientConn& conn,
+void Store::HandleConnect(ClientConn& conn, uint64_t request_id,
                           const std::vector<uint8_t>& body) {
   auto request = DecodeMessage<ConnectRequest>(body);
   if (!request.ok()) {
@@ -242,7 +338,8 @@ void Store::HandleConnect(ClientConn& conn,
   reply.pool_slab_offset = pool_slab_offset_;
   reply.store_name = options_.name;
   int fd = conn.fd.get();
-  if (!SendMessage(fd, MessageType::kConnectReply, reply).ok()) {
+  if (!SendMessage(fd, MessageType::kConnectReply, request_id, reply)
+           .ok()) {
     DropClient(fd);
     return;
   }
@@ -305,7 +402,7 @@ bool Store::IsEvictable(const ObjectId& id) const {
   return true;
 }
 
-void Store::HandleCreate(ClientConn& conn,
+void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
                          const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<CreateRequest>(body);
@@ -336,7 +433,7 @@ void Store::HandleCreate(ClientConn& conn,
     reply.status = Status::AlreadyExists(
         "object id " + request->id.Hex() +
         (exists_remotely ? " exists in a remote store" : " exists"));
-    (void)SendMessage(fd, MessageType::kCreateReply, reply);
+    (void)SendMessage(fd, MessageType::kCreateReply, request_id, reply);
     return;
   }
 
@@ -373,10 +470,11 @@ void Store::HandleCreate(ClientConn& conn,
       }
     }
   }
-  (void)SendMessage(fd, MessageType::kCreateReply, reply);
+  (void)SendMessage(fd, MessageType::kCreateReply, request_id, reply);
 }
 
-void Store::HandleSeal(ClientConn& conn, const std::vector<uint8_t>& body) {
+void Store::HandleSeal(ClientConn& conn, uint64_t request_id,
+                       const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<SealRequest>(body);
   if (!request.ok()) {
@@ -402,7 +500,7 @@ void Store::HandleSeal(ClientConn& conn, const std::vector<uint8_t>& body) {
       }
     }
   }
-  (void)SendMessage(fd, MessageType::kSealReply, reply);
+  (void)SendMessage(fd, MessageType::kSealReply, request_id, reply);
   if (reply.status.ok()) {
     // Sealing makes the object available: wake matching pending gets and
     // notify subscribers.
@@ -421,7 +519,7 @@ void Store::HandleSeal(ClientConn& conn, const std::vector<uint8_t>& body) {
   }
 }
 
-void Store::HandleSubscribe(ClientConn& conn,
+void Store::HandleSubscribe(ClientConn& conn, uint64_t request_id,
                             const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<SubscribeRequest>(body);
@@ -432,21 +530,22 @@ void Store::HandleSubscribe(ClientConn& conn,
   conn.subscriber = true;
   conn.name = request->subscriber_name;
   SubscribeReply reply;
-  (void)SendMessage(fd, MessageType::kSubscribeReply, reply);
+  (void)SendMessage(fd, MessageType::kSubscribeReply, request_id, reply);
 }
 
 void Store::BroadcastNotification(const Notification& notice) {
   std::vector<int> dead;
   for (auto& [fd, conn] : clients_) {
     if (!conn->subscriber) continue;
-    if (!SendMessage(fd, MessageType::kNotification, notice).ok()) {
+    if (!SendMessage(fd, MessageType::kNotification, kNoRequestId, notice)
+             .ok()) {
       dead.push_back(fd);
     }
   }
   for (int fd : dead) DropClient(fd);
 }
 
-void Store::HandleAbort(ClientConn& conn,
+void Store::HandleAbort(ClientConn& conn, uint64_t request_id,
                         const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<AbortRequest>(body);
@@ -471,7 +570,7 @@ void Store::HandleAbort(ClientConn& conn,
       reply.status = removed.status();
     }
   }
-  (void)SendMessage(fd, MessageType::kAbortReply, reply);
+  (void)SendMessage(fd, MessageType::kAbortReply, request_id, reply);
 }
 
 std::optional<GetReplyEntry> Store::TryLocalGet(const ObjectId& id) {
@@ -489,7 +588,9 @@ std::optional<GetReplyEntry> Store::TryLocalGet(const ObjectId& id) {
   return out;
 }
 
-void Store::HandleGet(ClientConn& conn, const std::vector<uint8_t>& body) {
+void Store::HandleGet(ClientConn& conn, uint64_t request_id,
+                      const std::vector<uint8_t>& body,
+                      std::vector<PendingGet>* batch_gets) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<GetRequest>(body);
   if (!request.ok()) {
@@ -499,13 +600,15 @@ void Store::HandleGet(ClientConn& conn, const std::vector<uint8_t>& body) {
 
   PendingGet pending;
   pending.fd = fd;
+  pending.request_id = request_id;
   pending.order = request->ids;
+  pending.timeout_ms = request->timeout_ms;
 
-  std::vector<ObjectId> missing;
+  std::unordered_set<ObjectId> missing_seen;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     for (const ObjectId& id : request->ids) {
-      if (pending.ready.count(id) != 0 || pending.waiting.count(id) != 0) {
+      if (pending.ready.count(id) != 0 || missing_seen.count(id) != 0) {
         continue;  // duplicate id in request: one entry suffices
       }
       auto local = TryLocalGet(id);
@@ -515,58 +618,122 @@ void Store::HandleGet(ClientConn& conn, const std::vector<uint8_t>& body) {
         eviction_.Touch(id);
         pending.ready.emplace(id, *local);
       } else {
-        missing.push_back(id);
+        missing_seen.insert(id);
+        pending.missing.push_back(id);
       }
     }
   }
+  batch_gets->push_back(std::move(pending));
+}
 
-  // Unknown ids: consult the remote stores (RPC outside the mutex; the
-  // paper's local store performs this look-up synchronously on the
-  // client's behalf).
-  if (!missing.empty() && dist_hooks_ != nullptr) {
-    auto locations = dist_hooks_->LookupRemote(missing);
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      remote_lookups_ += missing.size();
+void Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
+                              const ObjectId& id,
+                              const RemoteObjectLocation& loc,
+                              bool count_hit) {
+  GetReplyEntry entry;
+  entry.id = id;
+  entry.found = true;
+  entry.location = ObjectLocation::kRemote;
+  entry.offset = loc.offset;
+  entry.data_size = loc.data_size;
+  entry.metadata_size = loc.metadata_size;
+  entry.home_node = loc.home_node;
+  entry.home_region = loc.home_region;
+  pending.ready.emplace(id, entry);
+  if (count_hit) {
+    // Hits are only counted where the look-up itself was counted, so
+    // stats never report more hits than look-ups.
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    ++remote_lookup_hits_;
+  }
+  if (options_.pin_remote_objects && dist_hooks_ != nullptr) {
+    dist_hooks_->PinRemote(id, loc);
+    auto& ref = conn.remote_refs[id];
+    ref.first = loc;
+    ++ref.second;
+  }
+}
+
+std::unordered_map<ObjectId, RemoteObjectLocation>
+Store::BatchedRemoteLookup(const std::vector<ObjectId>& ids,
+                           bool count_lookups) {
+  std::unordered_map<ObjectId, RemoteObjectLocation> resolved;
+  if (dist_hooks_ == nullptr || ids.empty()) return resolved;
+  std::vector<ObjectId> unknown;
+  std::unordered_set<ObjectId> seen;
+  for (const ObjectId& id : ids) {
+    if (seen.insert(id).second) unknown.push_back(id);
+  }
+  // RPC outside the mutex; the paper's local store performs the look-up
+  // synchronously on the client's behalf.
+  auto locations = dist_hooks_->LookupRemote(unknown);
+  if (count_lookups) {
+    std::lock_guard<std::mutex> lock(state_mutex_);
+    remote_lookups_ += unknown.size();
+  }
+  for (size_t i = 0; i < unknown.size() && i < locations.size(); ++i) {
+    if (locations[i].has_value()) {
+      resolved.emplace(unknown[i], *locations[i]);
     }
-    for (size_t i = 0; i < missing.size(); ++i) {
-      if (!locations[i].has_value()) continue;
-      const RemoteObjectLocation& loc = *locations[i];
-      GetReplyEntry entry;
-      entry.id = missing[i];
-      entry.found = true;
-      entry.location = ObjectLocation::kRemote;
-      entry.offset = loc.offset;
-      entry.data_size = loc.data_size;
-      entry.metadata_size = loc.metadata_size;
-      entry.home_node = loc.home_node;
-      entry.home_region = loc.home_region;
-      pending.ready.emplace(missing[i], entry);
+  }
+  return resolved;
+}
+
+void Store::ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets) {
+  if (gets.empty()) return;
+
+  // One remote look-up for every id unknown anywhere in the batch: a
+  // pipelining client that issued N Gets for remote objects pays one RPC
+  // round instead of N.
+  std::vector<ObjectId> unknown;
+  for (const PendingGet& pending : gets) {
+    unknown.insert(unknown.end(), pending.missing.begin(),
+                   pending.missing.end());
+  }
+  auto resolved = BatchedRemoteLookup(unknown, /*count_lookups=*/true);
+
+  const int fd = conn.fd.get();
+  for (PendingGet& pending : gets) {
+    // A failed reply for an earlier get in this batch drops the client
+    // (and frees `conn`); every get in the batch is from that client, so
+    // stop.
+    if (clients_.find(fd) == clients_.end()) return;
+    for (const ObjectId& id : pending.missing) {
+      auto it = resolved.find(id);
+      if (it != resolved.end()) {
+        AdoptRemoteObject(conn, pending, id, it->second,
+                          /*count_hit=*/true);
+        continue;
+      }
+      // Re-run the local pass: a later frame of the same batch (or a
+      // concurrent client) may have sealed the object after this get's
+      // first look — parking it would miss an available object.
+      std::optional<GetReplyEntry> local;
       {
         std::lock_guard<std::mutex> lock(state_mutex_);
-        ++remote_lookup_hits_;
+        local = TryLocalGet(id);
+        if (local.has_value()) {
+          (void)table_.AddRef(id);
+          ++conn.local_pins[id];
+          eviction_.Touch(id);
+        }
       }
-      if (options_.pin_remote_objects) {
-        dist_hooks_->PinRemote(missing[i], loc);
-        auto& ref = conn.remote_refs[missing[i]];
-        ref.first = loc;
-        ++ref.second;
+      if (local.has_value()) {
+        pending.ready.emplace(id, *local);
+      } else {
+        pending.waiting.insert(id);
       }
     }
-  }
-  for (const ObjectId& id : missing) {
-    if (pending.ready.count(id) == 0) {
-      pending.waiting.insert(id);
+    pending.missing.clear();
+    if (pending.waiting.empty() || pending.timeout_ms == 0) {
+      ReplyPendingGet(pending);
+      continue;
     }
+    pending.deadline_ns =
+        MonotonicNanos() +
+        static_cast<int64_t>(pending.timeout_ms) * 1000000;
+    pending_gets_.push_back(std::move(pending));
   }
-
-  if (pending.waiting.empty() || request->timeout_ms == 0) {
-    ReplyPendingGet(pending);
-    return;
-  }
-  pending.deadline_ns =
-      MonotonicNanos() + static_cast<int64_t>(request->timeout_ms) * 1000000;
-  pending_gets_.push_back(std::move(pending));
 }
 
 void Store::ReplyPendingGet(PendingGet& pending) {
@@ -584,12 +751,18 @@ void Store::ReplyPendingGet(PendingGet& pending) {
       reply.entries.push_back(missing);
     }
   }
-  if (!SendMessage(pending.fd, MessageType::kGetReply, reply).ok()) {
+  if (!SendMessage(pending.fd, MessageType::kGetReply, pending.request_id,
+                   reply)
+           .ok()) {
     DropClient(pending.fd);
   }
 }
 
 void Store::ServePendingGetsFor(const ObjectId& id) {
+  // Completed gets are moved out of the list before any reply is sent:
+  // a failed send inside ReplyPendingGet drops the client, which prunes
+  // pending_gets_ and would invalidate iterators held here.
+  std::vector<PendingGet> completed;
   for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
     PendingGet& pending = *it;
     if (pending.waiting.erase(id) > 0) {
@@ -606,11 +779,14 @@ void Store::ServePendingGetsFor(const ObjectId& id) {
       }
     }
     if (pending.waiting.empty()) {
-      ReplyPendingGet(pending);
+      completed.push_back(std::move(pending));
       it = pending_gets_.erase(it);
     } else {
       ++it;
     }
+  }
+  for (PendingGet& pending : completed) {
+    ReplyPendingGet(pending);
   }
 }
 
@@ -618,51 +794,50 @@ int Store::FlushExpiredPendingGets() {
   if (pending_gets_.empty()) return -1;
   int64_t now = MonotonicNanos();
   int64_t next_deadline = INT64_MAX;
+  std::vector<PendingGet> expired;
   for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
     if (it->deadline_ns > now) {
       next_deadline = std::min(next_deadline, it->deadline_ns);
       ++it;
       continue;
     }
-    // Deadline reached: one final remote look-up for the stragglers (they
-    // may have been sealed on a peer while we waited), then reply.
-    PendingGet pending = std::move(*it);
+    expired.push_back(std::move(*it));
     it = pending_gets_.erase(it);
-    if (!pending.waiting.empty() && dist_hooks_ != nullptr) {
-      std::vector<ObjectId> stragglers(pending.waiting.begin(),
-                                       pending.waiting.end());
-      auto locations = dist_hooks_->LookupRemote(stragglers);
-      auto conn_it = clients_.find(pending.fd);
-      for (size_t i = 0; i < stragglers.size(); ++i) {
-        if (!locations[i].has_value()) continue;
-        const RemoteObjectLocation& loc = *locations[i];
-        GetReplyEntry entry;
-        entry.id = stragglers[i];
-        entry.found = true;
-        entry.location = ObjectLocation::kRemote;
-        entry.offset = loc.offset;
-        entry.data_size = loc.data_size;
-        entry.metadata_size = loc.metadata_size;
-        entry.home_node = loc.home_node;
-        entry.home_region = loc.home_region;
-        pending.ready.emplace(stragglers[i], entry);
-        pending.waiting.erase(stragglers[i]);
-        if (options_.pin_remote_objects && conn_it != clients_.end()) {
-          dist_hooks_->PinRemote(stragglers[i], loc);
-          auto& ref = conn_it->second->remote_refs[stragglers[i]];
-          ref.first = loc;
-          ++ref.second;
-        }
-      }
-    }
-    ReplyPendingGet(pending);
   }
+
+  if (!expired.empty()) {
+    // Deadline reached: one final remote look-up for the stragglers (they
+    // may have been sealed on a peer while we waited), batched across all
+    // expired gets, then reply.
+    std::vector<ObjectId> stragglers;
+    for (const PendingGet& pending : expired) {
+      stragglers.insert(stragglers.end(), pending.waiting.begin(),
+                        pending.waiting.end());
+    }
+    auto resolved = BatchedRemoteLookup(stragglers, /*count_lookups=*/false);
+    for (PendingGet& pending : expired) {
+      auto conn_it = clients_.find(pending.fd);
+      for (auto id_it = pending.waiting.begin();
+           id_it != pending.waiting.end();) {
+        auto hit = resolved.find(*id_it);
+        if (hit == resolved.end() || conn_it == clients_.end()) {
+          ++id_it;
+          continue;
+        }
+        AdoptRemoteObject(*conn_it->second, pending, *id_it, hit->second,
+                          /*count_hit=*/false);
+        id_it = pending.waiting.erase(id_it);
+      }
+      ReplyPendingGet(pending);
+    }
+  }
+
   if (next_deadline == INT64_MAX) return -1;
   int64_t ms = (next_deadline - now + 999999) / 1000000;
   return static_cast<int>(std::max<int64_t>(ms, 1));
 }
 
-void Store::HandleRelease(ClientConn& conn,
+void Store::HandleRelease(ClientConn& conn, uint64_t request_id,
                           const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<ReleaseRequest>(body);
@@ -697,10 +872,10 @@ void Store::HandleRelease(ClientConn& conn,
       options_.pin_remote_objects) {
     dist_hooks_->UnpinRemote(request->id, *remote_unpin);
   }
-  (void)SendMessage(fd, MessageType::kReleaseReply, reply);
+  (void)SendMessage(fd, MessageType::kReleaseReply, request_id, reply);
 }
 
-void Store::HandleContains(ClientConn& conn,
+void Store::HandleContains(ClientConn& conn, uint64_t request_id,
                            const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<ContainsRequest>(body);
@@ -713,10 +888,10 @@ void Store::HandleContains(ClientConn& conn,
     std::lock_guard<std::mutex> lock(state_mutex_);
     reply.contains = table_.ContainsSealed(request->id);
   }
-  (void)SendMessage(fd, MessageType::kContainsReply, reply);
+  (void)SendMessage(fd, MessageType::kContainsReply, request_id, reply);
 }
 
-void Store::HandleDelete(ClientConn& conn,
+void Store::HandleDelete(ClientConn& conn, uint64_t request_id,
                          const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<DeleteRequest>(body);
@@ -756,22 +931,24 @@ void Store::HandleDelete(ClientConn& conn,
     notice.deleted = true;
     BroadcastNotification(notice);
   }
-  (void)SendMessage(fd, MessageType::kDeleteReply, reply);
+  (void)SendMessage(fd, MessageType::kDeleteReply, request_id, reply);
 }
 
-void Store::HandleList(ClientConn& conn) {
+void Store::HandleList(ClientConn& conn, uint64_t request_id) {
   ListReply reply;
   {
     std::lock_guard<std::mutex> lock(state_mutex_);
     reply.objects = table_.List();
   }
-  (void)SendMessage(conn.fd.get(), MessageType::kListReply, reply);
+  (void)SendMessage(conn.fd.get(), MessageType::kListReply, request_id,
+                    reply);
 }
 
-void Store::HandleStats(ClientConn& conn) {
+void Store::HandleStats(ClientConn& conn, uint64_t request_id) {
   StatsReply reply;
   reply.stats = stats();
-  (void)SendMessage(conn.fd.get(), MessageType::kStatsReply, reply);
+  (void)SendMessage(conn.fd.get(), MessageType::kStatsReply, request_id,
+                    reply);
 }
 
 // ---- thread-safe peer surface ---------------------------------------------

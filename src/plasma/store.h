@@ -168,23 +168,56 @@ class Store {
 
   void EventLoop();
   void AcceptClient();
-  void HandleClientMessage(ClientConn& conn);
+  // Drains the connection's socket, decodes every complete frame, and
+  // processes them as one batch. A pipelining client thus has all of its
+  // queued requests serviced in a single pass — with one combined remote
+  // lookup for every unknown id across the batch (see ResolveGets).
+  void OnClientReadable(ClientConn& conn);
+  void DispatchFrame(ClientConn& conn, const net::Frame& frame,
+                     std::vector<PendingGet>* batch_gets);
   void DropClient(int fd);
 
-  // Message handlers (store mutex taken inside as needed).
-  void HandleConnect(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleCreate(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleSeal(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleAbort(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleGet(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleRelease(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleContains(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleDelete(ClientConn& conn, const std::vector<uint8_t>& body);
-  void HandleList(ClientConn& conn);
-  void HandleStats(ClientConn& conn);
-  void HandleSubscribe(ClientConn& conn, const std::vector<uint8_t>& body);
+  // Message handlers (store mutex taken inside as needed). Every reply
+  // echoes `request_id` so clients can pipeline and match out of order.
+  void HandleConnect(ClientConn& conn, uint64_t request_id,
+                     const std::vector<uint8_t>& body);
+  void HandleCreate(ClientConn& conn, uint64_t request_id,
+                    const std::vector<uint8_t>& body);
+  void HandleSeal(ClientConn& conn, uint64_t request_id,
+                  const std::vector<uint8_t>& body);
+  void HandleAbort(ClientConn& conn, uint64_t request_id,
+                   const std::vector<uint8_t>& body);
+  // Local-table pass only; the remote/missing halves are resolved for the
+  // whole batch in ResolveGets.
+  void HandleGet(ClientConn& conn, uint64_t request_id,
+                 const std::vector<uint8_t>& body,
+                 std::vector<PendingGet>* batch_gets);
+  void HandleRelease(ClientConn& conn, uint64_t request_id,
+                     const std::vector<uint8_t>& body);
+  void HandleContains(ClientConn& conn, uint64_t request_id,
+                      const std::vector<uint8_t>& body);
+  void HandleDelete(ClientConn& conn, uint64_t request_id,
+                    const std::vector<uint8_t>& body);
+  void HandleList(ClientConn& conn, uint64_t request_id);
+  void HandleStats(ClientConn& conn, uint64_t request_id);
+  void HandleSubscribe(ClientConn& conn, uint64_t request_id,
+                       const std::vector<uint8_t>& body);
   // Pushes a notification to every subscriber connection.
   void BroadcastNotification(const Notification& notice);
+
+  // Completes a batch of local-pass Gets: one DistHooks::LookupRemote for
+  // the union of unknown ids, then replies or parks each get on its
+  // deadline.
+  void ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets);
+  // One deduplicated LookupRemote for `ids`; empty map without hooks.
+  std::unordered_map<ObjectId, RemoteObjectLocation> BatchedRemoteLookup(
+      const std::vector<ObjectId>& ids, bool count_lookups);
+  // Applies one resolved remote location to a pending get (reply entry,
+  // remote pin, per-connection ref bookkeeping). `count_hit` must match
+  // whether the look-up that produced `loc` was counted in stats.
+  void AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
+                         const ObjectId& id,
+                         const RemoteObjectLocation& loc, bool count_hit);
 
   // Allocates space, evicting LRU unpinned objects if needed. Requires
   // state_mutex_ held.

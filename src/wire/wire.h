@@ -145,4 +145,24 @@ class Reader {
   size_t pos_ = 0;
 };
 
+// Request-tag header preceding every framed protocol message.
+//
+// The Plasma IPC protocol (and any other frame-multiplexed protocol built
+// on this module) prefixes each message body with this fixed-size header
+// so replies can be matched to requests and therefore complete out of
+// order — the foundation of the pipelined client API. `request_id` 0 is
+// reserved for untagged traffic (server pushes such as notifications).
+struct MessageHeader {
+  static constexpr size_t kWireSize = 8;
+
+  uint64_t request_id = 0;
+
+  void EncodeTo(Writer& w) const { w.PutU64(request_id); }
+  static Result<MessageHeader> DecodeFrom(Reader& r) {
+    auto id = r.GetU64();
+    if (!id.ok()) return id.status();
+    return MessageHeader{id.value()};
+  }
+};
+
 }  // namespace mdos::wire

@@ -1,0 +1,250 @@
+// Tests for the pipelined AsyncClient API and the request-tagged wire
+// protocol underneath it: out-of-order completion, deep in-flight
+// pipelines on a single connection, Get timeouts, teardown safety, and
+// the WaitAll/WaitAny combinators.
+#include <gtest/gtest.h>
+
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/future.h"
+#include "plasma/async_client.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+
+namespace mdos::plasma {
+namespace {
+
+class AsyncClientTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    StoreOptions options;
+    options.name = "async-test";
+    options.capacity = 16 << 20;
+    auto store = Store::Create(options);
+    ASSERT_TRUE(store.ok()) << store.status();
+    store_ = std::move(store).value();
+    ASSERT_TRUE(store_->Start().ok());
+    auto client = AsyncClient::Connect(store_->socket_path());
+    ASSERT_TRUE(client.ok()) << client.status();
+    client_ = std::move(client).value();
+  }
+
+  void TearDown() override {
+    client_.reset();
+    if (store_) store_->Stop();
+  }
+
+  std::unique_ptr<Store> store_;
+  std::unique_ptr<AsyncClient> client_;
+};
+
+TEST_F(AsyncClientTest, HandshakeExposesStoreIdentity) {
+  EXPECT_EQ(client_->store_name(), "async-test");
+  EXPECT_TRUE(client_->connected());
+  EXPECT_EQ(client_->inflight(), 0u);
+}
+
+TEST_F(AsyncClientTest, CreateSealGetPipeline) {
+  ObjectId id = ObjectId::FromName("pipeline");
+  std::string payload = "pipelined payload";
+
+  auto created = client_->CreateAsync(id, payload.size());
+  auto buffer = created.Take();
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  ASSERT_TRUE(buffer->WriteDataFrom(payload).ok());
+
+  // Seal and Get ride the same connection back to back; the Get's reply
+  // resolves against the sealed object.
+  auto sealed = client_->SealAsync(id);
+  auto got = client_->GetAsync(id, /*timeout_ms=*/1000);
+  WaitAll(sealed, got);
+  ASSERT_TRUE(sealed.Wait().ok());
+  auto get_result = got.Take();
+  ASSERT_TRUE(get_result.ok()) << get_result.status();
+  auto data = get_result->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), payload);
+  EXPECT_TRUE(client_->ReleaseAsync(id).Take().ok());
+}
+
+TEST_F(AsyncClientTest, RepliesCompleteOutOfOrder) {
+  ObjectId waiting_id = ObjectId::FromName("not-sealed-yet");
+
+  // Request 1: blocks server-side until the object is sealed.
+  auto got = client_->GetAsync(waiting_id, /*timeout_ms=*/5000);
+  // Request 2: answered immediately although it was sent second.
+  auto contains = client_->ContainsAsync(waiting_id);
+
+  auto contains_result = contains.Take();
+  ASSERT_TRUE(contains_result.ok());
+  EXPECT_FALSE(*contains_result);
+  EXPECT_FALSE(got.Ready()) << "get must still be parked on the store";
+
+  // Publishing the object releases the parked get.
+  auto created = client_->CreateAsync(waiting_id, 4).Take();
+  ASSERT_TRUE(created.ok()) << created.status();
+  ASSERT_TRUE(created->WriteDataFrom("data").ok());
+  ASSERT_TRUE(client_->SealAsync(waiting_id).Take().ok());
+
+  auto got_result = got.Take();
+  ASSERT_TRUE(got_result.ok()) << got_result.status();
+  EXPECT_EQ(got_result->data_size(), 4u);
+  EXPECT_TRUE(client_->ReleaseAsync(waiting_id).Take().ok());
+}
+
+TEST_F(AsyncClientTest, SixteenPlusInflightOnOneConnection) {
+  constexpr int kDepth = 32;
+  std::vector<ObjectId> ids;
+  for (int i = 0; i < kDepth; ++i) {
+    ids.push_back(ObjectId::FromName("deep" + std::to_string(i)));
+  }
+
+  // Park kDepth Gets on unsealed objects — all in flight on ONE socket.
+  std::vector<Future<Result<ObjectBuffer>>> gets;
+  std::mutex order_mutex;
+  std::vector<int> completion_order;
+  for (int i = 0; i < kDepth; ++i) {
+    gets.push_back(client_->GetAsync(ids[i], /*timeout_ms=*/10000));
+    gets.back().OnReady([i, &order_mutex, &completion_order] {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      completion_order.push_back(i);
+    });
+  }
+  EXPECT_GE(client_->inflight(), 16u);
+
+  // Seal in reverse order: replies must come back in seal order, i.e.
+  // the reverse of issue order — pipelined and out of order.
+  for (int i = kDepth - 1; i >= 0; --i) {
+    auto buffer = client_->CreateAsync(ids[i], 8).Take();
+    ASSERT_TRUE(buffer.ok()) << i << ": " << buffer.status();
+    ASSERT_TRUE(buffer->WriteDataFrom("01234567").ok());
+    ASSERT_TRUE(client_->SealAsync(ids[i]).Take().ok());
+  }
+  WaitAll(gets);
+  EXPECT_EQ(client_->inflight(), 0u);
+
+  ASSERT_EQ(completion_order.size(), static_cast<size_t>(kDepth));
+  std::vector<int> reversed;
+  for (int i = kDepth - 1; i >= 0; --i) reversed.push_back(i);
+  EXPECT_EQ(completion_order, reversed)
+      << "replies should complete in seal order, not issue order";
+
+  for (const ObjectId& id : ids) {
+    EXPECT_TRUE(client_->ReleaseAsync(id).Take().ok());
+  }
+}
+
+// Get, Create and Seal of the same id fired back to back without
+// waiting: depending on timing the store sees them in one drain batch or
+// several, and in every interleaving the parked Get must resolve with
+// the sealed object rather than waiting out its deadline.
+TEST_F(AsyncClientTest, GetResolvesWhenSealArrivesInSameBatch) {
+  for (int round = 0; round < 20; ++round) {
+    ObjectId id = ObjectId::FromName("burst" + std::to_string(round));
+    auto got = client_->GetAsync(id, /*timeout_ms=*/10000);
+    auto created = client_->CreateAsync(id, 4);
+    auto sealed = client_->SealAsync(id);
+    Stopwatch sw;
+    ASSERT_TRUE(created.Take().ok()) << round;
+    ASSERT_TRUE(sealed.Take().ok()) << round;
+    auto result = got.Take();
+    ASSERT_TRUE(result.ok()) << round << ": " << result.status();
+    EXPECT_LT(sw.ElapsedMillis(), 5000.0)
+        << "get must resolve at seal time, not at its deadline";
+    ASSERT_TRUE(client_->ReleaseAsync(id).Take().ok());
+    ASSERT_TRUE(client_->DeleteAsync(id).Take().ok());
+  }
+}
+
+TEST_F(AsyncClientTest, GetAsyncTimesOutOnNeverSealedObject) {
+  ObjectId ghost = ObjectId::FromName("never-sealed");
+  Stopwatch sw;
+  auto got = client_->GetAsync(ghost, /*timeout_ms=*/100);
+  auto result = got.Take();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kKeyError);
+  // The store holds the reply for the full deadline, not forever.
+  EXPECT_GE(sw.ElapsedMillis(), 50.0);
+  EXPECT_LT(sw.ElapsedMillis(), 5000.0);
+
+  // Batch form: the missing entry comes back invalid, not as an error.
+  auto batch = client_->GetAsync(std::vector<ObjectId>{ghost}, 50).Take();
+  ASSERT_TRUE(batch.ok()) << batch.status();
+  ASSERT_EQ(batch->size(), 1u);
+  EXPECT_FALSE((*batch)[0].valid());
+}
+
+TEST_F(AsyncClientTest, FuturesResolveAfterClientTeardown) {
+  std::vector<Future<Result<ObjectBuffer>>> orphans;
+  for (int i = 0; i < 8; ++i) {
+    orphans.push_back(client_->GetAsync(
+        ObjectId::FromName("orphan" + std::to_string(i)),
+        /*timeout_ms=*/60000));
+  }
+  // Destroying the client must fail every outstanding future — promptly
+  // and without use-after-free (futures own their shared state).
+  client_.reset();
+  for (auto& orphan : orphans) {
+    auto result = orphan.Take();
+    EXPECT_FALSE(result.ok());
+    EXPECT_EQ(result.status().code(), StatusCode::kNotConnected);
+  }
+}
+
+TEST_F(AsyncClientTest, OperationsAfterDisconnectFailFast) {
+  ASSERT_TRUE(client_->Disconnect().ok());
+  auto result = client_->GetAsync(ObjectId::FromName("x"), 1000).Take();
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotConnected);
+}
+
+TEST_F(AsyncClientTest, WaitAnyReturnsFirstCompleted) {
+  ObjectId parked = ObjectId::FromName("parked");
+  ObjectId ready = ObjectId::FromName("ready");
+  ASSERT_TRUE(client_->CreateAsync(ready, 1).Take().ok());
+  ASSERT_TRUE(client_->SealAsync(ready).Take().ok());
+
+  std::vector<Future<Result<ObjectBuffer>>> futures;
+  futures.push_back(client_->GetAsync(parked, /*timeout_ms=*/5000));
+  futures.push_back(client_->GetAsync(ready, /*timeout_ms=*/5000));
+  size_t first = WaitAny(futures);
+  EXPECT_EQ(first, 1u) << "the sealed object's get must win";
+
+  ASSERT_TRUE(client_->CreateAsync(parked, 1).Take().ok());
+  ASSERT_TRUE(client_->SealAsync(parked).Take().ok());
+  WaitAll(futures);
+  EXPECT_TRUE(client_->ReleaseAsync(parked).Take().ok());
+  EXPECT_TRUE(client_->ReleaseAsync(ready).Take().ok());
+}
+
+// The blocking PlasmaClient is a shim over the async core: interleaving
+// shim calls and direct async calls on the same connection must work.
+TEST(AsyncShimTest, BlockingClientSharesAsyncCore) {
+  StoreOptions options;
+  options.name = "shim-test";
+  options.capacity = 4 << 20;
+  auto store = Store::Create(options);
+  ASSERT_TRUE(store.ok());
+  ASSERT_TRUE((*store)->Start().ok());
+
+  auto client = PlasmaClient::Connect((*store)->socket_path());
+  ASSERT_TRUE(client.ok()) << client.status();
+  ObjectId id = ObjectId::FromName("shim-object");
+  ASSERT_TRUE((*client)->CreateAndSeal(id, "via-shim").ok());
+
+  // Async Get over the same connection the blocking shim drives.
+  auto got = (*client)->async().GetAsync(id, 1000).Take();
+  ASSERT_TRUE(got.ok()) << got.status();
+  auto contains = (*client)->Contains(id);
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(*contains);
+
+  client->reset();
+  (*store)->Stop();
+}
+
+}  // namespace
+}  // namespace mdos::plasma
