@@ -1,0 +1,165 @@
+// Shard-scaling benchmark — aggregate local Get throughput vs the
+// store's shard count (1 / 2 / 4 / 8).
+//
+// The original store core serviced every connection from ONE event-loop
+// thread behind ONE mutex, so client-side pipelining could never buy
+// server-side parallelism. The sharded core runs one event loop per
+// shard with per-shard tables, arenas, and eviction; this bench measures
+// what that is worth: T client threads (each with its own AsyncClient
+// connection, placed round-robin across shards) hammer pipelined
+// GetAsync/ReleaseAsync over a preloaded set of 4 KiB objects whose ids
+// hash across every shard.
+//
+// Shape target (on a host with >= 4 cores): >= 2x aggregate ops/s at
+// 4 shards vs 1 shard. On fewer cores the shard threads timeshare and
+// the curve flattens — the printed hardware_concurrency makes that
+// legible.
+//
+// Environment knobs:
+//   MDOS_SHARD_THREADS  client threads (default 8)
+//   MDOS_SHARD_OPS      Get ops per thread (default 20000)
+//   MDOS_SHARD_DEPTH    pipeline depth per connection (default 16)
+#include <cstdio>
+#include <cstdlib>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/future.h"
+#include "common/object_id.h"
+#include "plasma/async_client.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+
+namespace mdos::bench {
+namespace {
+
+constexpr uint64_t kObjectBytes = 4096;
+constexpr int kObjects = 512;
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+ObjectId IdOf(int i) {
+  return ObjectId::FromName("shardscale" + std::to_string(i));
+}
+
+// One full run at a given shard count; returns aggregate ops/s.
+double RunAt(uint32_t shards, int threads, int ops_per_thread,
+             int depth) {
+  plasma::StoreOptions options;
+  options.name = "shard-scale-" + std::to_string(shards);
+  options.capacity = 64ull << 20;
+  options.shards = shards;
+  auto store = plasma::Store::Create(options);
+  if (!store.ok()) {
+    std::fprintf(stderr, "store create failed: %s\n",
+                 store.status().ToString().c_str());
+    std::exit(1);
+  }
+  if (!(*store)->Start().ok()) {
+    std::fprintf(stderr, "store start failed\n");
+    std::exit(1);
+  }
+
+  // Preload: ids hash across all shards.
+  {
+    auto loader = plasma::PlasmaClient::Connect((*store)->socket_path());
+    if (!loader.ok()) std::exit(1);
+    std::string payload(kObjectBytes, 'x');
+    for (int i = 0; i < kObjects; ++i) {
+      if (!(*loader)->CreateAndSeal(IdOf(i), payload).ok()) {
+        std::fprintf(stderr, "preload failed at %d\n", i);
+        std::exit(1);
+      }
+    }
+  }
+
+  // T threads, each with its own connection (placed round-robin over the
+  // shards by the accept thread), each keeping `depth` Gets in flight.
+  std::vector<std::unique_ptr<plasma::AsyncClient>> clients;
+  for (int t = 0; t < threads; ++t) {
+    auto client =
+        plasma::AsyncClient::Connect((*store)->socket_path());
+    if (!client.ok()) std::exit(1);
+    clients.push_back(std::move(client).value());
+  }
+
+  Stopwatch sw;
+  std::vector<std::thread> workers;
+  for (int t = 0; t < threads; ++t) {
+    workers.emplace_back([&, t] {
+      plasma::AsyncClient& client = *clients[t];
+      using GetFuture = Future<Result<plasma::ObjectBuffer>>;
+      std::vector<Future<Status>> releases;
+      releases.reserve(static_cast<size_t>(depth) * 2);
+      int issued = 0;
+      int cursor = t;  // stagger starting offsets across threads
+      while (issued < ops_per_thread) {
+        std::vector<GetFuture> window;
+        int window_size =
+            std::min(depth, ops_per_thread - issued);
+        window.reserve(window_size);
+        for (int i = 0; i < window_size; ++i) {
+          window.push_back(client.GetAsync(IdOf(cursor % kObjects),
+                                           /*timeout_ms=*/30000));
+          cursor += 7;  // co-prime stride: every thread sweeps all shards
+        }
+        WaitAll(window);
+        for (auto& get : window) {
+          auto& buffer = get.Wait();
+          if (!buffer.ok()) {
+            std::fprintf(stderr, "get failed: %s\n",
+                         buffer.status().ToString().c_str());
+            std::exit(1);
+          }
+          releases.push_back(client.ReleaseAsync(buffer->id()));
+        }
+        WaitAll(releases);
+        releases.clear();
+        issued += window_size;
+      }
+    });
+  }
+  for (auto& worker : workers) worker.join();
+  double seconds = sw.ElapsedSeconds();
+
+  clients.clear();
+  (*store)->Stop();
+  return static_cast<double>(threads) *
+         static_cast<double>(ops_per_thread) / seconds;
+}
+
+int Run() {
+  const int threads = EnvInt("MDOS_SHARD_THREADS", 8);
+  const int ops = EnvInt("MDOS_SHARD_OPS", 20000);
+  const int depth = EnvInt("MDOS_SHARD_DEPTH", 16);
+
+  std::printf(
+      "# bench_shard_scaling — aggregate local Get throughput vs shard "
+      "count\n");
+  std::printf(
+      "# %d client threads x %d ops, pipeline depth %d, %d objects x %llu "
+      "B, host cores: %u\n",
+      threads, ops, depth, kObjects,
+      static_cast<unsigned long long>(kObjectBytes),
+      std::thread::hardware_concurrency());
+  std::printf("%-8s %-14s %-10s\n", "shards", "ops/s", "vs-1-shard");
+
+  double base = 0.0;
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    double ops_per_sec = RunAt(shards, threads, ops, depth);
+    if (shards == 1) base = ops_per_sec;
+    std::printf("%-8u %-14.0f %.2fx\n", shards, ops_per_sec,
+                ops_per_sec / base);
+    std::fflush(stdout);
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace mdos::bench
+
+int main() { return mdos::bench::Run(); }

@@ -1,0 +1,77 @@
+#include "alloc/sharded_allocator.h"
+
+#include <algorithm>
+
+namespace mdos::alloc {
+
+namespace {
+constexpr uint64_t kArenaAlign = 4096;
+}  // namespace
+
+ArenaAllocator::ArenaAllocator(std::unique_ptr<Allocator> inner,
+                               uint64_t base)
+    : inner_(std::move(inner)), base_(base) {}
+
+Result<Allocation> ArenaAllocator::Allocate(uint64_t size,
+                                            uint64_t alignment) {
+  MDOS_ASSIGN_OR_RETURN(Allocation a, inner_->Allocate(size, alignment));
+  a.offset += base_;
+  return a;
+}
+
+Status ArenaAllocator::Free(uint64_t offset) {
+  if (offset < base_) {
+    return Status::KeyError("offset " + std::to_string(offset) +
+                            " below arena base " + std::to_string(base_));
+  }
+  return inner_->Free(offset - base_);
+}
+
+AllocatorStats ArenaAllocator::stats() const { return inner_->stats(); }
+
+std::string ArenaAllocator::name() const {
+  return inner_->name() + "@arena+" + std::to_string(base_);
+}
+
+ShardedAllocator::ShardedAllocator(uint64_t capacity, uint32_t shards,
+                                   const ArenaFactory& factory)
+    : capacity_(capacity) {
+  uint64_t max_shards = std::max<uint64_t>(capacity / kMinArenaBytes, 1);
+  uint64_t count = std::clamp<uint64_t>(shards, 1, max_shards);
+  // Equal 4 KiB-aligned slices; the last arena absorbs the remainder so
+  // the arenas exactly tile [0, capacity).
+  uint64_t slice = (capacity / count) & ~(kArenaAlign - 1);
+  if (slice == 0) {
+    slice = capacity;
+    count = 1;
+  }
+  arenas_.reserve(count);
+  arena_capacities_.reserve(count);
+  for (uint64_t i = 0; i < count; ++i) {
+    uint64_t base = i * slice;
+    uint64_t arena_capacity =
+        (i + 1 == count) ? capacity - base : slice;
+    arenas_.push_back(std::make_unique<ArenaAllocator>(
+        factory(arena_capacity), base));
+    arena_capacities_.push_back(arena_capacity);
+  }
+}
+
+AllocatorStats ShardedAllocator::Merge(
+    const std::vector<AllocatorStats>& parts) {
+  AllocatorStats out;
+  for (const AllocatorStats& part : parts) {
+    out.capacity += part.capacity;
+    out.bytes_allocated += part.bytes_allocated;
+    out.bytes_reserved += part.bytes_reserved;
+    out.allocations += part.allocations;
+    out.frees += part.frees;
+    out.failures += part.failures;
+    out.free_regions += part.free_regions;
+    out.largest_free_region =
+        std::max(out.largest_free_region, part.largest_free_region);
+  }
+  return out;
+}
+
+}  // namespace mdos::alloc

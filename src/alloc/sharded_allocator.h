@@ -1,0 +1,86 @@
+// ShardedAllocator — carves one contiguous (disaggregated) memory pool
+// into N per-shard arenas, each managed by an independent inner
+// allocator.
+//
+// The sharded store core runs one event-loop thread per shard; giving
+// every shard a private arena means allocation and eviction never
+// contend across shards (the free-list of shard 0 is untouched by a
+// Create handled on shard 3). Offsets handed out by an arena are
+// *pool-relative* — the facade adds the arena base — so the rest of the
+// system (object table entries, wire protocol, fabric regions, client
+// mmaps) is oblivious to the carving.
+//
+// Thread-safety: none here, by design. Each arena is owned by exactly
+// one store shard and is only ever touched under that shard's mutex;
+// putting a second lock in the allocator would just double the cost.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "alloc/allocator.h"
+
+namespace mdos::alloc {
+
+// Allocator facade over one arena [base, base + capacity) of the pool.
+// The inner allocator manages arena-relative offsets; this class
+// translates them to pool-relative. The base is 4 KiB-aligned, so any
+// alignment the inner allocator honours up to 4 KiB survives the
+// translation.
+class ArenaAllocator : public Allocator {
+ public:
+  ArenaAllocator(std::unique_ptr<Allocator> inner, uint64_t base);
+
+  Result<Allocation> Allocate(uint64_t size,
+                              uint64_t alignment = 64) override;
+  Status Free(uint64_t offset) override;
+  AllocatorStats stats() const override;
+  std::string name() const override;
+
+  uint64_t base() const { return base_; }
+
+ private:
+  std::unique_ptr<Allocator> inner_;
+  uint64_t base_ = 0;
+};
+
+class ShardedAllocator {
+ public:
+  using ArenaFactory =
+      std::function<std::unique_ptr<Allocator>(uint64_t arena_capacity)>;
+
+  // Every arena must be able to hold at least one real object; requests
+  // for more shards than `capacity / kMinArenaBytes` are clamped.
+  static constexpr uint64_t kMinArenaBytes = 64 * 1024;
+
+  // Carves `capacity` into (up to) `shards` arenas — bases 4 KiB-aligned,
+  // the last arena absorbing the rounding remainder — and builds one
+  // inner allocator per arena via `factory`.
+  ShardedAllocator(uint64_t capacity, uint32_t shards,
+                   const ArenaFactory& factory);
+
+  uint32_t shard_count() const {
+    return static_cast<uint32_t>(arenas_.size());
+  }
+  uint64_t capacity() const { return capacity_; }
+
+  Allocator& arena(uint32_t shard) { return *arenas_[shard]; }
+  uint64_t arena_capacity(uint32_t shard) const {
+    return arena_capacities_[shard];
+  }
+
+  // Combines per-arena statistics into one pool-wide view (sums, except
+  // largest_free_region which is the max — a cross-arena allocation is
+  // impossible, so that is the true largest satisfiable request).
+  static AllocatorStats Merge(const std::vector<AllocatorStats>& parts);
+
+ private:
+  uint64_t capacity_ = 0;
+  std::vector<std::unique_ptr<ArenaAllocator>> arenas_;
+  std::vector<uint64_t> arena_capacities_;
+};
+
+}  // namespace mdos::alloc

@@ -10,10 +10,14 @@
 //     handshake), lookups read the peer's table in disaggregated memory
 //     and fall back to RPC only on a miss.
 //
-// Thread-safety: LookupRemote/IdKnownRemotely/Pin/Unpin are called from
-// the store's event loop; AddPeer/ReleaseAllPins from control threads;
-// DeleteNotice invalidations land on the RPC server thread. Peer-list
-// access is mutex-guarded; RpcChannels are internally synchronized.
+// Thread-safety: LookupRemote/IdKnownRemotely/Pin/Unpin may be called
+// concurrently from several of the store's shard threads (the sharded
+// core resolves remote ids from whichever shard homes the requesting
+// connection); AddPeer/ReleaseAllPins from control threads; DeleteNotice
+// invalidations land on the RPC server thread. Peer-list access is
+// mutex-guarded, RpcChannels are internally synchronized, the lookup
+// cache and usage tracker carry their own mutexes, and shared-index
+// probe counters are atomic.
 #pragma once
 
 #include <cstdint>

@@ -48,13 +48,16 @@ void StoreService::RegisterWith(rpc::RpcServer& server) {
                               DecodeRequest<LookupRequest>(payload));
         LookupReply reply;
         reply.entries.reserve(request.ids.size());
-        for (const ObjectId& id : request.ids) {
+        // Batched, shard-aware lookup: the store groups the ids by
+        // owning shard and takes each shard mutex once, instead of the
+        // RPC thread paying one (formerly global) lock per id.
+        auto locations = store->LookupManyForPeer(request.ids);
+        for (size_t i = 0; i < request.ids.size(); ++i) {
           LookupEntry entry;
-          entry.id = id;
-          auto location = store->LookupForPeer(id);
-          if (location.ok()) {
+          entry.id = request.ids[i];
+          if (locations[i].has_value()) {
             entry.found = true;
-            entry.location = *location;
+            entry.location = *locations[i];
           }
           reply.entries.push_back(entry);
         }

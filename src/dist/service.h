@@ -2,9 +2,10 @@
 //
 // The server side of the paper's gRPC surface (§IV-A2): handlers decode
 // the dist message, call into the owning store's thread-safe peer surface
-// (LookupForPeer & co.), and encode the reply. Handlers run on the RPC
-// server thread, concurrently with the store's event loop — the store's
-// state mutex provides the required synchronization.
+// (LookupManyForPeer & co.), and encode the reply. Handlers run on the
+// RPC server thread, concurrently with the store's shard event loops —
+// the store routes each call to the owning shard's mutex for the
+// required synchronization.
 #pragma once
 
 #include "common/status.h"

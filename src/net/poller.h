@@ -1,9 +1,10 @@
-// Poller — a thin poll(2) wrapper driving the Plasma store's event loop.
+// Poller — a thin poll(2) wrapper driving the Plasma store's event loops.
 //
-// The store services many client connections from a single thread (like
-// upstream Plasma); the poller multiplexes the listening socket and all
-// client sockets and supports a wakeup pipe so other threads (e.g. the RPC
-// server thread) can interrupt the loop for shutdown.
+// Each store shard services its subset of client connections from its own
+// thread through its own Poller (the accept thread runs another over the
+// listening socket). Add/Remove/Wait belong to the owning thread; Wakeup
+// is the one thread-safe entry point — other shards use it to signal a
+// posted mailbox task, and Stop uses it for shutdown.
 #pragma once
 
 #include <functional>

@@ -1,6 +1,7 @@
 #include "net/socket.h"
 
 #include <arpa/inet.h>
+#include <fcntl.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
@@ -126,6 +127,32 @@ Result<UniqueFd> Accept(int listen_fd) {
     if (errno == EINTR) continue;
     return Status::FromErrno("accept");
   }
+}
+
+UniqueFd TryAccept(int listen_fd, int* errno_out) {
+  while (true) {
+    int fd = ::accept4(listen_fd, nullptr, nullptr, SOCK_CLOEXEC);
+    if (fd >= 0) {
+      *errno_out = 0;
+      return UniqueFd(fd);
+    }
+    if (errno == EINTR) continue;
+    if (errno == EWOULDBLOCK) {
+      *errno_out = EAGAIN;
+    } else {
+      *errno_out = errno;
+    }
+    return UniqueFd();
+  }
+}
+
+Status SetNonBlocking(int fd) {
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags < 0) return Status::FromErrno("fcntl(F_GETFL)");
+  if (::fcntl(fd, F_SETFL, flags | O_NONBLOCK) < 0) {
+    return Status::FromErrno("fcntl(F_SETFL)");
+  }
+  return Status::OK();
 }
 
 Status WriteAll(int fd, const void* data, size_t size) {

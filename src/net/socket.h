@@ -37,6 +37,17 @@ Result<UniqueFd> TcpConnect(const std::string& host, uint16_t port,
 // Accepts one connection; blocks.
 Result<UniqueFd> Accept(int listen_fd);
 
+// Non-blocking accept for the store's accept loop (the listen fd must be
+// O_NONBLOCK). Returns a valid fd on success. Returns an invalid fd with
+// *errno_out = EAGAIN when the pending-connection queue is drained, and
+// with the failing errno otherwise — the caller classifies transient
+// resource exhaustion (EMFILE/ENFILE/ENOBUFS/ENOMEM) and backs off
+// instead of tearing the loop down.
+UniqueFd TryAccept(int listen_fd, int* errno_out);
+
+// Sets O_NONBLOCK on a descriptor.
+Status SetNonBlocking(int fd);
+
 // Writes exactly `size` bytes (loops over partial writes / EINTR).
 Status WriteAll(int fd, const void* data, size_t size);
 

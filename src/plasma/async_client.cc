@@ -386,4 +386,14 @@ Future<Result<StoreStats>> AsyncClient::StatsAsync() {
       [](StatsReply&& reply) -> Result<StoreStats> { return reply.stats; });
 }
 
+Future<Result<std::vector<ShardStatsEntry>>> AsyncClient::ShardStatsAsync() {
+  ShardStatsRequest request;
+  return Dispatch<ShardStatsReply>(
+      MessageType::kShardStatsRequest, MessageType::kShardStatsReply,
+      request,
+      [](ShardStatsReply&& reply) -> Result<std::vector<ShardStatsEntry>> {
+        return std::move(reply.shards);
+      });
+}
+
 }  // namespace mdos::plasma

@@ -79,6 +79,8 @@ class AsyncClient {
   Future<Status> DeleteAsync(const ObjectId& id);
   Future<Result<std::vector<ObjectInfo>>> ListAsync();
   Future<Result<StoreStats>> StatsAsync();
+  // Per-shard statistics of the sharded store core (GetStoreStats).
+  Future<Result<std::vector<ShardStatsEntry>>> ShardStatsAsync();
 
   // Fails all in-flight requests with NotConnected and closes the
   // connection. Also performed by the destructor. Idempotent.

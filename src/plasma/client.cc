@@ -234,6 +234,11 @@ Result<StoreStats> PlasmaClient::Stats() {
   return core_->StatsAsync().Take();
 }
 
+Result<std::vector<ShardStatsEntry>> PlasmaClient::ShardStats() {
+  AssertSingleThread();
+  return core_->ShardStatsAsync().Take();
+}
+
 Status PlasmaClient::Disconnect() { return core_->Disconnect(); }
 
 uint32_t PlasmaClient::node_id() const { return core_->node_id(); }

@@ -162,6 +162,8 @@ class PlasmaClient {
 
   Result<std::vector<ObjectInfo>> List();
   Result<StoreStats> Stats();
+  // Per-shard breakdown from the sharded store core (GetStoreStats).
+  Result<std::vector<ShardStatsEntry>> ShardStats();
 
   // Graceful disconnect (also performed by the destructor).
   Status Disconnect();

@@ -7,6 +7,8 @@
 // across stores (§IV-A2). This policy tracks recency only; the Store
 // combines it with local ref counts and the distributed usage tracker
 // (the future-work feature we implement) to decide true evictability.
+// Not internally synchronized: each store shard owns one policy for its
+// arena, guarded by the shard's mutex.
 #pragma once
 
 #include <cstdint>

@@ -9,10 +9,14 @@
 //
 // Sealed objects are immutable; clients pin them with Get and unpin with
 // Release, and only unpinned sealed objects are evictable. The table is
-// not internally synchronized: the owning Store guards it (together with
-// the allocator and eviction policy) with one mutex, which is exactly the
-// thread-safety mechanism the paper added when the RPC server thread
-// started sharing the object-identifier map with the store thread.
+// not internally synchronized: in the sharded store core each shard owns
+// one ObjectTable covering its hash slice of the object space, guarded
+// (together with that shard's allocator arena and eviction policy) by
+// the shard's mutex. Any thread — another shard's event loop, the RPC
+// server thread — takes that mutex to touch the slice, which generalizes
+// the paper's single table + single mutex design (the mechanism it added
+// when the RPC thread started sharing the object-identifier map) to N
+// independent slices.
 #pragma once
 
 #include <cstdint>

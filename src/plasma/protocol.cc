@@ -286,6 +286,50 @@ Result<StatsReply> StatsReply::DecodeFrom(wire::Reader& r) {
   return m;
 }
 
+void ShardStatsEntry::EncodeTo(wire::Writer& w) const {
+  w.PutU32(shard);
+  w.PutU64(clients);
+  w.PutU64(objects_total);
+  w.PutU64(objects_sealed);
+  w.PutU64(bytes_in_use);
+  w.PutU64(arena_capacity);
+  w.PutU64(evictions);
+  w.PutU64(inflight_gets);
+}
+Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
+  ShardStatsEntry m;
+  MDOS_ASSIGN_OR_RETURN(m.shard, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.clients, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.objects_total, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.objects_sealed, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.bytes_in_use, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.arena_capacity, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.evictions, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.inflight_gets, r.GetU64());
+  return m;
+}
+
+void ShardStatsRequest::EncodeTo(wire::Writer&) const {}
+Result<ShardStatsRequest> ShardStatsRequest::DecodeFrom(wire::Reader&) {
+  return ShardStatsRequest{};
+}
+
+void ShardStatsReply::EncodeTo(wire::Writer& w) const {
+  w.PutRepeated(shards,
+                [](wire::Writer& w2, const ShardStatsEntry& entry) {
+                  entry.EncodeTo(w2);
+                });
+}
+Result<ShardStatsReply> ShardStatsReply::DecodeFrom(wire::Reader& r) {
+  ShardStatsReply m;
+  MDOS_ASSIGN_OR_RETURN(
+      m.shards,
+      r.GetRepeated<ShardStatsEntry>([](wire::Reader& r2) {
+        return ShardStatsEntry::DecodeFrom(r2);
+      }));
+  return m;
+}
+
 void SubscribeRequest::EncodeTo(wire::Writer& w) const {
   w.PutString(subscriber_name);
 }

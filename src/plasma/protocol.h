@@ -48,6 +48,9 @@ enum class MessageType : uint32_t {
   kSubscribeRequest,
   kSubscribeReply,
   kNotification,  // store -> subscriber push, no reply
+  // GetStoreStats extension (sharded store core): per-shard statistics.
+  kShardStatsRequest,
+  kShardStatsReply,
 };
 
 // Where an object's bytes live, from the requesting client's viewpoint.
@@ -230,6 +233,35 @@ struct StatsReply {
   StoreStats stats;
   void EncodeTo(wire::Writer& w) const;
   static Result<StatsReply> DecodeFrom(wire::Reader& r);
+};
+
+// GetStoreStats extension: one row per store shard. The sharded core
+// runs N event-loop shards, each owning its own object table, eviction
+// state, and allocator arena; this message exposes that state so load
+// imbalance and eviction pressure are observable per shard
+// (`mdos_cli stats` renders the rows).
+struct ShardStatsEntry {
+  uint32_t shard = 0;
+  uint64_t clients = 0;          // connections homed on this shard
+  uint64_t objects_total = 0;
+  uint64_t objects_sealed = 0;
+  uint64_t bytes_in_use = 0;
+  uint64_t arena_capacity = 0;   // bytes of the pool carved to this shard
+  uint64_t evictions = 0;
+  uint64_t inflight_gets = 0;    // parked Gets awaiting a seal/deadline
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ShardStatsEntry> DecodeFrom(wire::Reader& r);
+};
+
+struct ShardStatsRequest {
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ShardStatsRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ShardStatsReply {
+  std::vector<ShardStatsEntry> shards;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ShardStatsReply> DecodeFrom(wire::Reader& r);
 };
 
 // ---- subscribe / notifications --------------------------------------------

@@ -15,8 +15,9 @@
 // table directly over the fabric — a few hundred nanoseconds instead of
 // a milliseconds-scale RPC.
 //
-// Concurrency: single writer (the home store, under its state mutex),
-// many remote readers. Every slot carries a seqlock: the writer bumps
+// Concurrency: single writer at a time (any of the home store's shard
+// threads, serialized by the store's index mutex), many remote readers.
+// Every slot carries a seqlock: the writer bumps
 // the sequence to odd before mutating and to even after; readers retry
 // while the sequence is odd or changed mid-copy. Slot words are accessed
 // through std::atomic_ref so the cross-"node" (cross-thread) accesses
@@ -30,6 +31,7 @@
 // usage-tracking extension (remote pins) closes that window.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <optional>
 
@@ -68,7 +70,8 @@ struct SharedIndexStats {
 };
 
 // Writer side — owned by the home store; all calls are made under the
-// store's state mutex (single writer).
+// store's index mutex (one writer at a time; the sharded core's shard
+// threads all publish through it).
 class SharedIndexWriter {
  public:
   // Formats the table in `memory` (`bytes` long). Capacity is the
@@ -104,11 +107,30 @@ class SharedIndexReader {
                                         uint64_t bytes,
                                         tf::LatencyParams latency);
 
-  // Looks up `id`; nullopt when absent. Thread-safe (readers only).
+  // Copy/move transfer the probe count (the atomic member otherwise
+  // deletes the defaults).
+  SharedIndexReader(const SharedIndexReader& other)
+      : slots_(other.slots_),
+        capacity_(other.capacity_),
+        latency_(other.latency_),
+        probes_(other.probes_.load(std::memory_order_relaxed)) {}
+  SharedIndexReader& operator=(const SharedIndexReader& other) {
+    slots_ = other.slots_;
+    capacity_ = other.capacity_;
+    latency_ = other.latency_;
+    probes_.store(other.probes_.load(std::memory_order_relaxed),
+                  std::memory_order_relaxed);
+    return *this;
+  }
+
+  // Looks up `id`; nullopt when absent. Thread-safe: concurrent store
+  // shards may probe the same peer index (probes_ is atomic).
   std::optional<IndexedObject> Lookup(const ObjectId& id) const;
 
   uint64_t capacity() const { return capacity_; }
-  uint64_t probes() const { return probes_; }
+  uint64_t probes() const {
+    return probes_.load(std::memory_order_relaxed);
+  }
 
  private:
   SharedIndexReader(const uint8_t* memory, uint64_t capacity,
@@ -117,7 +139,7 @@ class SharedIndexReader {
   const uint8_t* slots_ = nullptr;
   uint64_t capacity_ = 0;
   tf::LatencyParams latency_;
-  mutable uint64_t probes_ = 0;
+  mutable std::atomic<uint64_t> probes_{0};
 };
 
 // Internal: hash an id into the table (also used by tests).

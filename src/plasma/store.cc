@@ -5,6 +5,9 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <list>
 #include <unordered_set>
 
 #include "alloc/first_fit_allocator.h"
@@ -17,6 +20,10 @@
 namespace mdos::plasma {
 
 namespace {
+
+constexpr uint32_t kMaxShards = 64;
+constexpr int kAcceptBackoffStartMs = 10;
+constexpr int kAcceptBackoffMaxMs = 1000;
 
 std::unique_ptr<alloc::Allocator> MakeAllocator(AllocatorKind kind,
                                                 uint64_t capacity) {
@@ -31,7 +38,9 @@ std::unique_ptr<alloc::Allocator> MakeAllocator(AllocatorKind kind,
 
 }  // namespace
 
-// One connected client (one Unix socket).
+// One connected client (one Unix socket), homed on exactly one shard.
+// All fields are touched only by the home shard's thread; the struct is
+// held by shared_ptr so a batch in flight survives a mid-batch drop.
 struct Store::ClientConn {
   net::UniqueFd fd;
   std::string name;
@@ -41,13 +50,15 @@ struct Store::ClientConn {
   // frames here between event-loop passes.
   std::vector<uint8_t> inbuf;
   // Pins of local objects held through this connection: id -> count.
+  // (The pinned ids may be owned by any shard.)
   std::unordered_map<ObjectId, uint32_t> local_pins;
   // Remote objects handed out through this connection: id -> (loc, count).
   std::unordered_map<ObjectId, std::pair<RemoteObjectLocation, uint32_t>>
       remote_refs;
 };
 
-// A Get waiting for objects to be sealed (or for its deadline).
+// A Get waiting for objects to be sealed (or for its deadline). Parked
+// in the issuing connection's home shard.
 struct Store::PendingGet {
   int fd = -1;
   uint64_t request_id = kNoRequestId;  // echoed into the reply
@@ -60,6 +71,49 @@ struct Store::PendingGet {
   int64_t deadline_ns = 0;
 };
 
+// One event-loop shard: owner of a hash slice of the object space and of
+// the client connections homed on it. See the threading contract in
+// store.h.
+struct Store::Shard {
+  uint32_t index = 0;
+
+  // ---- owner state: any thread, guarded by `mutex` --------------------
+  std::mutex mutex;
+  ObjectTable table;
+  EvictionPolicy eviction;
+  alloc::Allocator* arena = nullptr;  // borrowed from pool_alloc_
+  std::unordered_map<ObjectId, std::unordered_map<uint32_t, uint32_t>>
+      remote_pins;  // id -> (peer node -> pin count)
+  uint64_t eviction_count = 0;
+
+  // ---- event-loop state: shard thread only ----------------------------
+  net::Poller poller;
+  std::unordered_map<int, std::shared_ptr<ClientConn>> clients;
+  std::list<PendingGet> pending_gets;
+  std::thread thread;
+
+  // Cross-thread observability (ShardStats) and fan-out gating.
+  // parked_gets is pre-announced with seq_cst BEFORE a Get's final local
+  // re-check (ResolveGets), which is what lets FanOutSealed skip shards
+  // reading 0 without losing wakeups. subscriber_count gates
+  // notification fan-out.
+  std::atomic<uint64_t> client_count{0};
+  std::atomic<uint64_t> parked_gets{0};
+  std::atomic<uint64_t> subscriber_count{0};
+
+  // ---- mailbox: tasks that must run on this shard's thread ------------
+  std::mutex mailbox_mutex;
+  std::vector<std::function<void()>> mailbox;
+
+  void Post(std::function<void()> task) {
+    {
+      std::lock_guard<std::mutex> lock(mailbox_mutex);
+      mailbox.push_back(std::move(task));
+    }
+    poller.Wakeup();
+  }
+};
+
 Store::Store(StoreOptions options, uint32_t node_id, uint32_t pool_region)
     : options_(std::move(options)),
       node_id_(node_id),
@@ -67,7 +121,36 @@ Store::Store(StoreOptions options, uint32_t node_id, uint32_t pool_region)
   socket_path_ = options_.socket_path.empty()
                      ? net::UniqueSocketPath(options_.name)
                      : options_.socket_path;
-  allocator_ = MakeAllocator(options_.allocator, options_.capacity);
+}
+
+void Store::InitShards() {
+  const AllocatorKind kind = options_.allocator;
+  uint32_t requested = std::clamp<uint32_t>(options_.shards, 1, kMaxShards);
+  pool_alloc_ = std::make_unique<alloc::ShardedAllocator>(
+      options_.capacity, requested, [kind](uint64_t arena_capacity) {
+        return MakeAllocator(kind, arena_capacity);
+      });
+  shards_.clear();
+  shards_.reserve(pool_alloc_->shard_count());
+  for (uint32_t i = 0; i < pool_alloc_->shard_count(); ++i) {
+    auto shard = std::make_unique<Shard>();
+    shard->index = i;
+    shard->arena = &pool_alloc_->arena(i);
+    shards_.push_back(std::move(shard));
+  }
+}
+
+uint32_t Store::shard_count() const {
+  return static_cast<uint32_t>(shards_.size());
+}
+
+uint32_t Store::ShardIndexOf(const ObjectId& id) const {
+  return static_cast<uint32_t>(std::hash<ObjectId>{}(id) %
+                               shards_.size());
+}
+
+Store::Shard& Store::OwnerShard(const ObjectId& id) {
+  return *shards_[ShardIndexOf(id)];
 }
 
 Result<std::unique_ptr<Store>> Store::Create(StoreOptions options) {
@@ -80,6 +163,7 @@ Result<std::unique_ptr<Store>> Store::Create(StoreOptions options) {
   store->own_pool_.emplace(std::move(pool));
   store->pool_base_ = store->own_pool_->data();
   store->pool_fd_ = store->own_pool_->fd();
+  store->InitShards();
   return store;
 }
 
@@ -101,9 +185,8 @@ Result<std::unique_ptr<Store>> Store::CreateOnFabric(
   // The pool fd is the node slab's memfd; clients that mmap it directly
   // apply pool_slab_offset from the connect reply.
   store->pool_fd_ = -1;  // resolved per-connection via NodeMemory::ShareFd
-  // Allocator capacity must match the region, not the original option.
-  store->allocator_ =
-      MakeAllocator(store->options_.allocator, store->options_.capacity);
+  // Arena capacities must match the region, not the original option.
+  store->InitShards();
   return store;
 }
 
@@ -111,68 +194,151 @@ Store::~Store() { Stop(); }
 
 Status Store::Start() {
   if (running_.load()) return Status::Invalid("store already running");
-  MDOS_ASSIGN_OR_RETURN(listen_fd_, net::UdsListen(socket_path_));
-  poller_.Add(listen_fd_.get());
+  MDOS_ASSIGN_OR_RETURN(
+      listen_fd_, net::UdsListen(socket_path_, options_.accept_backlog));
+  // Non-blocking so the accept loop can drain the backlog and classify
+  // EAGAIN vs resource exhaustion without ever parking in accept(2).
+  MDOS_RETURN_IF_ERROR(net::SetNonBlocking(listen_fd_.get()));
+  accept_poller_.Add(listen_fd_.get());
+  next_shard_ = 0;
+  accept_backoff_ms_ = 0;
   running_.store(true);
-  thread_ = std::thread([this] { EventLoop(); });
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->thread = std::thread([this, s] { ShardLoop(*s); });
+  }
+  accept_thread_ = std::thread([this] { AcceptLoop(); });
   MDOS_LOG_INFO << "store '" << options_.name << "' listening on "
-                << socket_path_;
+                << socket_path_ << " (" << shards_.size() << " shard"
+                << (shards_.size() == 1 ? "" : "s") << ")";
   return Status::OK();
 }
 
 void Store::Stop() {
   if (!running_.exchange(false)) {
-    if (thread_.joinable()) thread_.join();
+    if (accept_thread_.joinable()) accept_thread_.join();
+    for (auto& shard : shards_) {
+      if (shard->thread.joinable()) shard->thread.join();
+    }
     return;
   }
-  poller_.Wakeup();
-  if (thread_.joinable()) thread_.join();
-  clients_.clear();
-  pending_gets_.clear();
+  accept_poller_.Wakeup();
+  for (auto& shard : shards_) shard->poller.Wakeup();
+  if (accept_thread_.joinable()) accept_thread_.join();
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  for (auto& shard : shards_) {
+    shard->clients.clear();
+    shard->pending_gets.clear();
+    shard->parked_gets.store(0);
+    shard->client_count.store(0);
+    shard->subscriber_count.store(0);
+    std::lock_guard<std::mutex> lock(shard->mailbox_mutex);
+    shard->mailbox.clear();
+  }
+  accept_poller_.Remove(listen_fd_.get());
   listen_fd_.Reset();
   ::unlink(socket_path_.c_str());
 }
 
-void Store::EventLoop() {
+// ---- accept thread ---------------------------------------------------------
+
+void Store::AcceptLoop() {
   while (running_.load()) {
-    int timeout_ms = FlushExpiredPendingGets();
-    if (timeout_ms < 0 || timeout_ms > 200) timeout_ms = 200;
-    auto ready = poller_.Wait(timeout_ms, [this](int fd) {
-      if (fd == listen_fd_.get()) {
-        AcceptClient();
-      } else {
-        auto it = clients_.find(fd);
-        if (it != clients_.end()) {
-          OnClientReadable(*it->second);
-        }
-      }
+    auto ready = accept_poller_.Wait(200, [this](int fd) {
+      if (fd == listen_fd_.get()) AcceptPending();
     });
     if (!ready.ok()) {
-      MDOS_LOG_ERROR << "store poll failed: " << ready.status();
+      MDOS_LOG_ERROR << "store accept poll failed: " << ready.status();
       break;
     }
   }
 }
 
-void Store::AcceptClient() {
-  auto conn_fd = net::Accept(listen_fd_.get());
-  if (!conn_fd.ok()) return;
-  int fd = conn_fd->get();
-  // Replies are written by the single event-loop thread. A client that
-  // stops draining its socket must not park the whole store in write():
-  // bound the send and shed the offender instead.
-  timeval send_timeout{};
-  send_timeout.tv_sec = 5;
-  ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-               sizeof(send_timeout));
-  auto conn = std::make_unique<ClientConn>();
-  conn->fd = std::move(conn_fd).value();
-  poller_.Add(fd);
-  clients_.emplace(fd, std::move(conn));
+void Store::AcceptPending() {
+  for (;;) {
+    int err = 0;
+    net::UniqueFd conn_fd = net::TryAccept(listen_fd_.get(), &err);
+    if (!conn_fd.valid()) {
+      if (err == EAGAIN) return;  // backlog drained
+      if (err == ECONNABORTED) continue;  // peer gave up; keep draining
+      if (err == EMFILE || err == ENFILE || err == ENOBUFS ||
+          err == ENOMEM) {
+        // Fd/memory exhaustion is transient: shedding the accept loop
+        // would strand the whole store, so log, back off, and retry.
+        // Connections keep queueing in the (bounded) listen backlog.
+        accept_backoff_ms_ =
+            accept_backoff_ms_ == 0
+                ? kAcceptBackoffStartMs
+                : std::min(accept_backoff_ms_ * 2, kAcceptBackoffMaxMs);
+        MDOS_LOG_WARN << "store accept: " << strerror(err)
+                      << "; backing off " << accept_backoff_ms_ << "ms";
+        std::this_thread::sleep_for(
+            std::chrono::milliseconds(accept_backoff_ms_));
+        return;
+      }
+      MDOS_LOG_WARN << "store accept failed: " << strerror(err);
+      return;
+    }
+    accept_backoff_ms_ = 0;
+
+    int fd = conn_fd.get();
+    // Replies are written by the connection's home shard thread. A client
+    // that stops draining its socket must not park that shard in write():
+    // bound the send and shed the offender instead.
+    timeval send_timeout{};
+    send_timeout.tv_sec = 5;
+    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
+                 sizeof(send_timeout));
+    auto conn = std::make_shared<ClientConn>();
+    conn->fd = std::move(conn_fd);
+
+    // Round-robin placement; the shard adopts the connection on its own
+    // thread (poller registration is not thread-safe by design).
+    Shard* home = shards_[next_shard_].get();
+    next_shard_ = (next_shard_ + 1) % shards_.size();
+    home->Post([home, conn = std::move(conn), fd]() mutable {
+      home->poller.Add(fd);
+      home->clients.emplace(fd, std::move(conn));
+      home->client_count.fetch_add(1, std::memory_order_relaxed);
+    });
+  }
 }
 
-void Store::OnClientReadable(ClientConn& conn) {
-  int fd = conn.fd.get();
+// ---- shard event loops -----------------------------------------------------
+
+void Store::ShardLoop(Shard& shard) {
+  while (running_.load()) {
+    DrainMailbox(shard);
+    int timeout_ms = FlushExpiredPendingGets(shard);
+    if (timeout_ms < 0 || timeout_ms > 200) timeout_ms = 200;
+    auto ready = shard.poller.Wait(timeout_ms, [this, &shard](int fd) {
+      OnClientReadable(shard, fd);
+    });
+    if (!ready.ok()) {
+      MDOS_LOG_ERROR << "store shard " << shard.index
+                     << " poll failed: " << ready.status();
+      break;
+    }
+  }
+}
+
+void Store::DrainMailbox(Shard& shard) {
+  std::vector<std::function<void()>> tasks;
+  {
+    std::lock_guard<std::mutex> lock(shard.mailbox_mutex);
+    tasks.swap(shard.mailbox);
+  }
+  for (auto& task : tasks) task();
+}
+
+void Store::OnClientReadable(Shard& shard, int fd) {
+  auto it = shard.clients.find(fd);
+  if (it == shard.clients.end()) return;
+  // Keep the connection alive across a mid-batch drop.
+  std::shared_ptr<ClientConn> conn_ref = it->second;
+  ClientConn& conn = *conn_ref;
 
   // Drain everything the socket has buffered without blocking the loop.
   uint8_t chunk[64 * 1024];
@@ -212,108 +378,132 @@ void Store::OnClientReadable(ClientConn& conn) {
                    conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
 
   // Dispatch in arrival order; Gets defer their remote half to the end of
-  // the batch. `conn` may die mid-batch (decode error, disconnect), so
-  // re-check liveness between frames.
+  // the batch. `conn` may be dropped mid-batch (decode error,
+  // disconnect), so re-check liveness between frames.
   std::vector<PendingGet> batch_gets;
   for (const net::Frame& frame : batch) {
-    if (clients_.find(fd) == clients_.end()) return;
-    DispatchFrame(conn, frame, &batch_gets);
+    if (shard.clients.find(fd) == shard.clients.end()) return;
+    DispatchFrame(shard, conn, frame, &batch_gets);
   }
-  if (clients_.find(fd) == clients_.end()) return;
-  ResolveGets(conn, batch_gets);
+  if (shard.clients.find(fd) == shard.clients.end()) return;
+  ResolveGets(shard, conn, batch_gets);
 
-  if (clients_.find(fd) == clients_.end()) return;
+  if (shard.clients.find(fd) == shard.clients.end()) return;
   if (!parse.ok()) {
     MDOS_LOG_WARN << "store: dropping client on bad frame: " << parse;
-    DropClient(fd);
+    DropClient(shard, fd);
     return;
   }
-  if (closed) DropClient(fd);
+  if (closed) DropClient(shard, fd);
 }
 
-void Store::DispatchFrame(ClientConn& conn, const net::Frame& frame,
+void Store::DispatchFrame(Shard& shard, ClientConn& conn,
+                          const net::Frame& frame,
                           std::vector<PendingGet>* batch_gets) {
   int fd = conn.fd.get();
   const auto type = static_cast<MessageType>(frame.type);
   const std::vector<uint8_t>& body = frame.payload;
   auto tag = PeekRequestId(body);
   if (!tag.ok()) {
-    DropClient(fd);
+    DropClient(shard, fd);
     return;
   }
   const uint64_t request_id = *tag;
   switch (type) {
     case MessageType::kConnectRequest:
-      HandleConnect(conn, request_id, body);
+      HandleConnect(shard, conn, request_id, body);
       break;
     case MessageType::kCreateRequest:
-      HandleCreate(conn, request_id, body);
+      HandleCreate(shard, conn, request_id, body);
       break;
     case MessageType::kSealRequest:
-      HandleSeal(conn, request_id, body);
+      HandleSeal(shard, conn, request_id, body);
       break;
     case MessageType::kAbortRequest:
-      HandleAbort(conn, request_id, body);
+      HandleAbort(shard, conn, request_id, body);
       break;
     case MessageType::kGetRequest:
-      HandleGet(conn, request_id, body, batch_gets);
+      HandleGet(shard, conn, request_id, body, batch_gets);
       break;
     case MessageType::kReleaseRequest:
-      HandleRelease(conn, request_id, body);
+      HandleRelease(shard, conn, request_id, body);
       break;
     case MessageType::kContainsRequest:
-      HandleContains(conn, request_id, body);
+      HandleContains(shard, conn, request_id, body);
       break;
     case MessageType::kDeleteRequest:
-      HandleDelete(conn, request_id, body);
+      HandleDelete(shard, conn, request_id, body);
       break;
-    case MessageType::kListRequest: HandleList(conn, request_id); break;
-    case MessageType::kStatsRequest: HandleStats(conn, request_id); break;
+    case MessageType::kListRequest:
+      HandleList(shard, conn, request_id);
+      break;
+    case MessageType::kStatsRequest:
+      HandleStats(shard, conn, request_id);
+      break;
+    case MessageType::kShardStatsRequest:
+      HandleShardStats(shard, conn, request_id);
+      break;
     case MessageType::kSubscribeRequest:
-      HandleSubscribe(conn, request_id, body);
+      HandleSubscribe(shard, conn, request_id, body);
       break;
-    case MessageType::kDisconnectRequest: DropClient(fd); break;
+    case MessageType::kDisconnectRequest: DropClient(shard, fd); break;
     default:
       MDOS_LOG_WARN << "store: unknown message type " << frame.type;
-      DropClient(fd);
+      DropClient(shard, fd);
       break;
   }
 }
 
-void Store::DropClient(int fd) {
-  auto it = clients_.find(fd);
-  if (it == clients_.end()) return;
-  std::unique_ptr<ClientConn> conn = std::move(it->second);
-  clients_.erase(it);
-  poller_.Remove(fd);
+void Store::DropClient(Shard& shard, int fd) {
+  auto it = shard.clients.find(fd);
+  if (it == shard.clients.end()) return;
+  std::shared_ptr<ClientConn> conn = std::move(it->second);
+  shard.clients.erase(it);
+  shard.poller.Remove(fd);
+  shard.client_count.fetch_sub(1, std::memory_order_relaxed);
+  if (conn->subscriber) {
+    shard.subscriber_count.fetch_sub(1, std::memory_order_relaxed);
+  }
 
   // Drop pending gets issued by this connection.
-  pending_gets_.remove_if(
-      [fd](const PendingGet& p) { return p.fd == fd; });
+  size_t dropped = 0;
+  shard.pending_gets.remove_if([fd, &dropped](const PendingGet& p) {
+    if (p.fd != fd) return false;
+    ++dropped;
+    return true;
+  });
+  shard.parked_gets.fetch_sub(dropped, std::memory_order_relaxed);
 
-  std::vector<std::pair<ObjectId, RemoteObjectLocation>> remote_unpins;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    // Release all local pins held through this connection.
-    for (const auto& [id, count] : conn->local_pins) {
+  // The connection may hold pins on — and have unsealed creations in —
+  // any shard; visit each owner shard once.
+  std::vector<std::vector<std::pair<ObjectId, uint32_t>>> pins_by_shard(
+      shards_.size());
+  for (const auto& [id, count] : conn->local_pins) {
+    pins_by_shard[ShardIndexOf(id)].emplace_back(id, count);
+  }
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    Shard& owner = *shards_[s];
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    for (const auto& [id, count] : pins_by_shard[s]) {
       for (uint32_t i = 0; i < count; ++i) {
-        (void)table_.ReleaseRef(id);
+        (void)owner.table.ReleaseRef(id);
       }
     }
     // Abort unsealed objects this client created but never sealed.
-    for (const ObjectId& id : table_.UnsealedCreatedBy(fd)) {
-      auto removed = table_.Remove(id, /*force=*/true);
+    for (const ObjectId& id : owner.table.UnsealedCreatedBy(fd)) {
+      auto removed = owner.table.Remove(id, /*force=*/true);
       if (removed.ok()) {
-        (void)allocator_->Free(removed->offset);
-      }
-    }
-    for (const auto& [id, ref] : conn->remote_refs) {
-      for (uint32_t i = 0; i < ref.second; ++i) {
-        remote_unpins.emplace_back(id, ref.first);
+        (void)owner.arena->Free(removed->offset);
       }
     }
   }
-  // RPC outside the state mutex (see HandleCreate for the rationale).
+  std::vector<std::pair<ObjectId, RemoteObjectLocation>> remote_unpins;
+  for (const auto& [id, ref] : conn->remote_refs) {
+    for (uint32_t i = 0; i < ref.second; ++i) {
+      remote_unpins.emplace_back(id, ref.first);
+    }
+  }
+  // RPC outside any shard mutex (see HandleCreate for the rationale).
   if (dist_hooks_ != nullptr && options_.pin_remote_objects) {
     for (const auto& [id, loc] : remote_unpins) {
       dist_hooks_->UnpinRemote(id, loc);
@@ -321,11 +511,12 @@ void Store::DropClient(int fd) {
   }
 }
 
-void Store::HandleConnect(ClientConn& conn, uint64_t request_id,
+void Store::HandleConnect(Shard& home, ClientConn& conn,
+                          uint64_t request_id,
                           const std::vector<uint8_t>& body) {
   auto request = DecodeMessage<ConnectRequest>(body);
   if (!request.ok()) {
-    DropClient(conn.fd.get());
+    DropClient(home, conn.fd.get());
     return;
   }
   conn.name = request->client_name;
@@ -340,7 +531,7 @@ void Store::HandleConnect(ClientConn& conn, uint64_t request_id,
   int fd = conn.fd.get();
   if (!SendMessage(fd, MessageType::kConnectReply, request_id, reply)
            .ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
   // Ship the pool fd so the client can mmap the shared memory, exactly
@@ -355,59 +546,70 @@ void Store::HandleConnect(ClientConn& conn, uint64_t request_id,
   }
   if (!pool_fd.valid() ||
       !net::SendFd(fd, pool_fd.get()).ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
   }
 }
 
-Result<alloc::Allocation> Store::AllocateWithEviction(uint64_t size) {
-  if (size > options_.capacity) {
+Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
+                                                      uint64_t size) {
+  const uint64_t arena_capacity = pool_alloc_->arena_capacity(owner.index);
+  if (size > arena_capacity) {
     return Status::CapacityError(
         "object of " + std::to_string(size) +
-        " bytes exceeds store capacity " +
-        std::to_string(options_.capacity));
+        " bytes exceeds shard arena capacity " +
+        std::to_string(arena_capacity) + " (store capacity " +
+        std::to_string(options_.capacity) + ", " +
+        std::to_string(shards_.size()) + " shards)");
   }
   while (true) {
-    auto allocation = allocator_->Allocate(size);
+    auto allocation = owner.arena->Allocate(size);
     if (allocation.ok()) return allocation;
 
-    auto victims = eviction_.ChooseVictims(
-        size, [this](const ObjectId& id) { return IsEvictable(id); });
+    auto victims = owner.eviction.ChooseVictims(
+        size,
+        [this, &owner](const ObjectId& id) {
+          return IsEvictable(owner, id);
+        });
     if (victims.empty()) {
       return Status::OutOfMemory(
-          "store full and no evictable objects for " +
+          "shard arena full and no evictable objects for " +
           std::to_string(size) + " bytes");
     }
     for (const ObjectId& victim : victims) {
-      auto removed = table_.Remove(victim);
+      auto removed = owner.table.Remove(victim);
       if (!removed.ok()) continue;  // raced with a new pin; skip
-      (void)allocator_->Free(removed->offset);
-      eviction_.Remove(victim);
-      remote_pins_.erase(victim);
+      (void)owner.arena->Free(removed->offset);
+      owner.eviction.Remove(victim);
+      owner.remote_pins.erase(victim);
       if (shared_index_ != nullptr) {
+        std::lock_guard<std::mutex> index_lock(index_mutex_);
         (void)shared_index_->Remove(victim);
       }
-      ++eviction_count_;
+      ++owner.eviction_count;
     }
   }
 }
 
-bool Store::IsEvictable(const ObjectId& id) const {
-  auto entry = table_.Lookup(id);
+bool Store::IsEvictable(const Shard& owner, const ObjectId& id) const {
+  auto entry = owner.table.Lookup(id);
   if (!entry.ok()) return false;
   if (entry->state != ObjectState::kSealed) return false;
   if (entry->local_refs != 0) return false;
-  auto pins = remote_pins_.find(id);
-  if (pins != remote_pins_.end() && !pins->second.empty()) return false;
+  auto pins = owner.remote_pins.find(id);
+  if (pins != owner.remote_pins.end() && !pins->second.empty()) {
+    return false;
+  }
   if (external_pin_check_ && external_pin_check_(id)) return false;
   return true;
 }
 
-void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
+void Store::HandleCreate(Shard& home, ClientConn& conn,
+                         uint64_t request_id,
                          const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<CreateRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
 
@@ -415,15 +617,17 @@ void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
   reply.data_size = request->data_size;
   reply.metadata_size = request->metadata_size;
 
+  Shard& owner = OwnerShard(request->id);
+
   // Local existence check.
   bool exists_locally;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    exists_locally = table_.Contains(request->id);
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    exists_locally = owner.table.Contains(request->id);
   }
   // Identifier-uniqueness probe across the distributed system (§IV-A2).
-  // Deliberately outside the state mutex: the peer answering our probe
-  // may simultaneously probe us, and its answer needs our mutex.
+  // Deliberately outside any shard mutex: the peer answering our probe
+  // may simultaneously probe us, and its answer needs a shard mutex.
   bool exists_remotely = false;
   if (!exists_locally && options_.check_global_uniqueness &&
       dist_hooks_ != nullptr) {
@@ -438,10 +642,10 @@ void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
   }
 
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
+    std::lock_guard<std::mutex> lock(owner.mutex);
     // Re-check: another client may have created the id while the probe
     // was in flight.
-    if (table_.Contains(request->id)) {
+    if (owner.table.Contains(request->id)) {
       reply.status =
           Status::AlreadyExists("object id " + request->id.Hex());
     } else {
@@ -449,7 +653,7 @@ void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
       if (total == 0) {
         reply.status = Status::Invalid("object must not be empty");
       } else {
-        auto allocation = AllocateWithEviction(total);
+        auto allocation = AllocateWithEviction(owner, total);
         if (!allocation.ok()) {
           reply.status = allocation.status();
         } else {
@@ -459,11 +663,11 @@ void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
           entry.data_size = request->data_size;
           entry.metadata_size = request->metadata_size;
           entry.creator_fd = fd;
-          Status added = table_.AddCreated(entry);
+          Status added = owner.table.AddCreated(entry);
           if (added.ok()) {
             reply.offset = allocation->offset;
           } else {
-            (void)allocator_->Free(allocation->offset);
+            (void)owner.arena->Free(allocation->offset);
             reply.status = added;
           }
         }
@@ -473,26 +677,32 @@ void Store::HandleCreate(ClientConn& conn, uint64_t request_id,
   (void)SendMessage(fd, MessageType::kCreateReply, request_id, reply);
 }
 
-void Store::HandleSeal(ClientConn& conn, uint64_t request_id,
+void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
                        const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<SealRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
+  Shard& owner = OwnerShard(request->id);
   SealReply reply;
+  Notification notice;
+  notice.id = request->id;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    reply.status = table_.Seal(request->id);
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    reply.status = owner.table.Seal(request->id);
     if (reply.status.ok()) {
-      auto entry = table_.Lookup(request->id);
+      auto entry = owner.table.Lookup(request->id);
       if (entry.ok()) {
-        eviction_.Add(request->id, entry->total_size());
+        owner.eviction.Add(request->id, entry->total_size());
+        notice.data_size = entry->data_size;
+        notice.metadata_size = entry->metadata_size;
         if (shared_index_ != nullptr) {
           // Publish into disaggregated memory so peers can find the
           // object without an RPC. Index-full is non-fatal: peers fall
           // back to the RPC lookup path.
+          std::lock_guard<std::mutex> index_lock(index_mutex_);
           (void)shared_index_->Insert(
               request->id, IndexedObject{entry->offset, entry->data_size,
                                          entry->metadata_size});
@@ -502,30 +712,27 @@ void Store::HandleSeal(ClientConn& conn, uint64_t request_id,
   }
   (void)SendMessage(fd, MessageType::kSealReply, request_id, reply);
   if (reply.status.ok()) {
-    // Sealing makes the object available: wake matching pending gets and
-    // notify subscribers.
-    ServePendingGetsFor(request->id);
-    Notification notice;
-    notice.id = request->id;
-    {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      auto entry = table_.Lookup(request->id);
-      if (entry.ok()) {
-        notice.data_size = entry->data_size;
-        notice.metadata_size = entry->metadata_size;
-      }
-    }
-    BroadcastNotification(notice);
+    // Sealing makes the object available. The sealed notice is fanned
+    // out BEFORE waking parked gets: a woken consumer may immediately
+    // Delete the object, and its deleted notice must land behind the
+    // sealed notice in every subscriber shard's FIFO mailbox — waking
+    // first would let the two push races invert the lifecycle order.
+    FanOutNotification(&home, notice);
+    FanOutSealed(&home, request->id);
   }
 }
 
-void Store::HandleSubscribe(ClientConn& conn, uint64_t request_id,
+void Store::HandleSubscribe(Shard& home, ClientConn& conn,
+                            uint64_t request_id,
                             const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<SubscribeRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
+  }
+  if (!conn.subscriber) {
+    home.subscriber_count.fetch_add(1, std::memory_order_relaxed);
   }
   conn.subscriber = true;
   conn.name = request->subscriber_name;
@@ -533,39 +740,75 @@ void Store::HandleSubscribe(ClientConn& conn, uint64_t request_id,
   (void)SendMessage(fd, MessageType::kSubscribeReply, request_id, reply);
 }
 
-void Store::BroadcastNotification(const Notification& notice) {
+void Store::FanOutSealed(Shard* origin, const ObjectId& id) {
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    if (s == origin) {
+      ServePendingGetsFor(*s, id);
+      continue;
+    }
+    // Gated on the pre-announced parked-Get counter (see ResolveGets):
+    // the seq_cst pairing guarantees a racing parker either is visible
+    // here or re-checked the table after our seal committed, so skipping
+    // an idle shard can never lose a wakeup. A stale non-zero just posts
+    // a no-op task.
+    if (s->parked_gets.load() == 0) continue;
+    s->Post([this, s, id] { ServePendingGetsFor(*s, id); });
+  }
+}
+
+void Store::FanOutNotification(Shard* origin, const Notification& notice) {
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    // Subscriptions racing a concurrent fan-out may miss it — a
+    // subscription starts "now-ish", as in upstream Plasma — so a
+    // relaxed emptiness check is enough to skip subscriber-less shards.
+    if (s->subscriber_count.load(std::memory_order_relaxed) == 0) {
+      continue;
+    }
+    if (s == origin) {
+      DeliverNotification(*s, notice);
+    } else {
+      s->Post([this, s, notice] { DeliverNotification(*s, notice); });
+    }
+  }
+}
+
+void Store::DeliverNotification(Shard& shard, const Notification& notice) {
   std::vector<int> dead;
-  for (auto& [fd, conn] : clients_) {
+  for (auto& [fd, conn] : shard.clients) {
     if (!conn->subscriber) continue;
     if (!SendMessage(fd, MessageType::kNotification, kNoRequestId, notice)
              .ok()) {
       dead.push_back(fd);
     }
   }
-  for (int fd : dead) DropClient(fd);
+  for (int fd : dead) DropClient(shard, fd);
 }
 
-void Store::HandleAbort(ClientConn& conn, uint64_t request_id,
+void Store::HandleAbort(Shard& home, ClientConn& conn,
+                        uint64_t request_id,
                         const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<AbortRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
+  Shard& owner = OwnerShard(request->id);
   AbortReply reply;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    auto entry = table_.Lookup(request->id);
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    auto entry = owner.table.Lookup(request->id);
     if (!entry.ok()) {
       reply.status = entry.status();
     } else if (entry->state == ObjectState::kSealed) {
       reply.status =
           Status::Sealed("cannot abort sealed object " + request->id.Hex());
     } else {
-      auto removed = table_.Remove(request->id, /*force=*/true);
+      auto removed = owner.table.Remove(request->id, /*force=*/true);
       if (removed.ok()) {
-        (void)allocator_->Free(removed->offset);
+        (void)owner.arena->Free(removed->offset);
       }
       reply.status = removed.status();
     }
@@ -573,28 +816,39 @@ void Store::HandleAbort(ClientConn& conn, uint64_t request_id,
   (void)SendMessage(fd, MessageType::kAbortReply, request_id, reply);
 }
 
-std::optional<GetReplyEntry> Store::TryLocalGet(const ObjectId& id) {
-  auto entry = table_.Lookup(id);
-  if (!entry.ok() || entry->state != ObjectState::kSealed) {
-    return std::nullopt;
+std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
+                                                const ObjectId& id) {
+  Shard& owner = OwnerShard(id);
+  std::optional<GetReplyEntry> out;
+  {
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    auto entry = owner.table.Lookup(id);
+    if (!entry.ok() || entry->state != ObjectState::kSealed) {
+      return std::nullopt;
+    }
+    GetReplyEntry found;
+    found.id = id;
+    found.found = true;
+    found.location = ObjectLocation::kLocal;
+    found.offset = entry->offset;
+    found.data_size = entry->data_size;
+    found.metadata_size = entry->metadata_size;
+    (void)owner.table.AddRef(id);
+    owner.eviction.Touch(id);
+    out = found;
   }
-  GetReplyEntry out;
-  out.id = id;
-  out.found = true;
-  out.location = ObjectLocation::kLocal;
-  out.offset = entry->offset;
-  out.data_size = entry->data_size;
-  out.metadata_size = entry->metadata_size;
+  // Home-thread connection state; no lock needed.
+  ++conn.local_pins[id];
   return out;
 }
 
-void Store::HandleGet(ClientConn& conn, uint64_t request_id,
+void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
                       const std::vector<uint8_t>& body,
                       std::vector<PendingGet>* batch_gets) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<GetRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
 
@@ -605,22 +859,16 @@ void Store::HandleGet(ClientConn& conn, uint64_t request_id,
   pending.timeout_ms = request->timeout_ms;
 
   std::unordered_set<ObjectId> missing_seen;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    for (const ObjectId& id : request->ids) {
-      if (pending.ready.count(id) != 0 || missing_seen.count(id) != 0) {
-        continue;  // duplicate id in request: one entry suffices
-      }
-      auto local = TryLocalGet(id);
-      if (local.has_value()) {
-        (void)table_.AddRef(id);
-        ++conn.local_pins[id];
-        eviction_.Touch(id);
-        pending.ready.emplace(id, *local);
-      } else {
-        missing_seen.insert(id);
-        pending.missing.push_back(id);
-      }
+  for (const ObjectId& id : request->ids) {
+    if (pending.ready.count(id) != 0 || missing_seen.count(id) != 0) {
+      continue;  // duplicate id in request: one entry suffices
+    }
+    auto local = TryLocalGet(conn, id);
+    if (local.has_value()) {
+      pending.ready.emplace(id, *local);
+    } else {
+      missing_seen.insert(id);
+      pending.missing.push_back(id);
     }
   }
   batch_gets->push_back(std::move(pending));
@@ -643,8 +891,7 @@ void Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
   if (count_hit) {
     // Hits are only counted where the look-up itself was counted, so
     // stats never report more hits than look-ups.
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    ++remote_lookup_hits_;
+    remote_lookup_hits_.fetch_add(1, std::memory_order_relaxed);
   }
   if (options_.pin_remote_objects && dist_hooks_ != nullptr) {
     dist_hooks_->PinRemote(id, loc);
@@ -664,12 +911,11 @@ Store::BatchedRemoteLookup(const std::vector<ObjectId>& ids,
   for (const ObjectId& id : ids) {
     if (seen.insert(id).second) unknown.push_back(id);
   }
-  // RPC outside the mutex; the paper's local store performs the look-up
-  // synchronously on the client's behalf.
+  // RPC outside any shard mutex; the paper's local store performs the
+  // look-up synchronously on the client's behalf.
   auto locations = dist_hooks_->LookupRemote(unknown);
   if (count_lookups) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    remote_lookups_ += unknown.size();
+    remote_lookups_.fetch_add(unknown.size(), std::memory_order_relaxed);
   }
   for (size_t i = 0; i < unknown.size() && i < locations.size(); ++i) {
     if (locations[i].has_value()) {
@@ -679,7 +925,8 @@ Store::BatchedRemoteLookup(const std::vector<ObjectId>& ids,
   return resolved;
 }
 
-void Store::ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets) {
+void Store::ResolveGets(Shard& home, ClientConn& conn,
+                        std::vector<PendingGet>& gets) {
   if (gets.empty()) return;
 
   // One remote look-up for every id unknown anywhere in the batch: a
@@ -695,9 +942,20 @@ void Store::ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets) {
   const int fd = conn.fd.get();
   for (PendingGet& pending : gets) {
     // A failed reply for an earlier get in this batch drops the client
-    // (and frees `conn`); every get in the batch is from that client, so
-    // stop.
-    if (clients_.find(fd) == clients_.end()) return;
+    // (and its conn entry); every get in the batch is from that client,
+    // so stop.
+    if (home.clients.find(fd) == home.clients.end()) return;
+    // Pre-announce a potential park BEFORE the final local re-check
+    // (seq_cst). A concurrent sealer on another shard either observes
+    // this counter in FanOutSealed and posts the wakeup, or its table
+    // commit precedes our re-check (both sides bracket the owner shard
+    // mutex), in which case the re-check finds the object — so gating
+    // the fan-out on the counter can never strand a parked get.
+    bool announced = false;
+    if (!pending.missing.empty() && pending.timeout_ms != 0) {
+      home.parked_gets.fetch_add(1);
+      announced = true;
+    }
     for (const ObjectId& id : pending.missing) {
       auto it = resolved.find(id);
       if (it != resolved.end()) {
@@ -706,18 +964,10 @@ void Store::ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets) {
         continue;
       }
       // Re-run the local pass: a later frame of the same batch (or a
-      // concurrent client) may have sealed the object after this get's
-      // first look — parking it would miss an available object.
-      std::optional<GetReplyEntry> local;
-      {
-        std::lock_guard<std::mutex> lock(state_mutex_);
-        local = TryLocalGet(id);
-        if (local.has_value()) {
-          (void)table_.AddRef(id);
-          ++conn.local_pins[id];
-          eviction_.Touch(id);
-        }
-      }
+      // concurrent client on any shard) may have sealed the object after
+      // this get's first look — parking it would miss an available
+      // object.
+      auto local = TryLocalGet(conn, id);
       if (local.has_value()) {
         pending.ready.emplace(id, *local);
       } else {
@@ -726,19 +976,23 @@ void Store::ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets) {
     }
     pending.missing.clear();
     if (pending.waiting.empty() || pending.timeout_ms == 0) {
-      ReplyPendingGet(pending);
+      if (announced) {
+        home.parked_gets.fetch_sub(1, std::memory_order_relaxed);
+      }
+      ReplyPendingGet(home, pending);
       continue;
     }
+    // The pre-announcement above already counted this park.
     pending.deadline_ns =
         MonotonicNanos() +
         static_cast<int64_t>(pending.timeout_ms) * 1000000;
-    pending_gets_.push_back(std::move(pending));
+    home.pending_gets.push_back(std::move(pending));
   }
 }
 
-void Store::ReplyPendingGet(PendingGet& pending) {
-  auto it = clients_.find(pending.fd);
-  if (it == clients_.end()) return;
+void Store::ReplyPendingGet(Shard& shard, PendingGet& pending) {
+  auto it = shard.clients.find(pending.fd);
+  if (it == shard.clients.end()) return;
   GetReply reply;
   for (const ObjectId& id : pending.order) {
     auto ready = pending.ready.find(id);
@@ -754,55 +1008,55 @@ void Store::ReplyPendingGet(PendingGet& pending) {
   if (!SendMessage(pending.fd, MessageType::kGetReply, pending.request_id,
                    reply)
            .ok()) {
-    DropClient(pending.fd);
+    DropClient(shard, pending.fd);
   }
 }
 
-void Store::ServePendingGetsFor(const ObjectId& id) {
+void Store::ServePendingGetsFor(Shard& shard, const ObjectId& id) {
   // Completed gets are moved out of the list before any reply is sent:
   // a failed send inside ReplyPendingGet drops the client, which prunes
-  // pending_gets_ and would invalidate iterators held here.
+  // pending_gets and would invalidate iterators held here.
   std::vector<PendingGet> completed;
-  for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
+  for (auto it = shard.pending_gets.begin();
+       it != shard.pending_gets.end();) {
     PendingGet& pending = *it;
     if (pending.waiting.erase(id) > 0) {
-      std::lock_guard<std::mutex> lock(state_mutex_);
-      auto local = TryLocalGet(id);
-      if (local.has_value()) {
-        auto conn_it = clients_.find(pending.fd);
-        if (conn_it != clients_.end()) {
-          (void)table_.AddRef(id);
-          ++conn_it->second->local_pins[id];
-          eviction_.Touch(id);
+      auto conn_it = shard.clients.find(pending.fd);
+      if (conn_it != shard.clients.end()) {
+        auto local = TryLocalGet(*conn_it->second, id);
+        if (local.has_value()) {
           pending.ready.emplace(id, *local);
         }
       }
     }
     if (pending.waiting.empty()) {
       completed.push_back(std::move(pending));
-      it = pending_gets_.erase(it);
+      it = shard.pending_gets.erase(it);
+      shard.parked_gets.fetch_sub(1, std::memory_order_relaxed);
     } else {
       ++it;
     }
   }
   for (PendingGet& pending : completed) {
-    ReplyPendingGet(pending);
+    ReplyPendingGet(shard, pending);
   }
 }
 
-int Store::FlushExpiredPendingGets() {
-  if (pending_gets_.empty()) return -1;
+int Store::FlushExpiredPendingGets(Shard& shard) {
+  if (shard.pending_gets.empty()) return -1;
   int64_t now = MonotonicNanos();
   int64_t next_deadline = INT64_MAX;
   std::vector<PendingGet> expired;
-  for (auto it = pending_gets_.begin(); it != pending_gets_.end();) {
+  for (auto it = shard.pending_gets.begin();
+       it != shard.pending_gets.end();) {
     if (it->deadline_ns > now) {
       next_deadline = std::min(next_deadline, it->deadline_ns);
       ++it;
       continue;
     }
     expired.push_back(std::move(*it));
-    it = pending_gets_.erase(it);
+    it = shard.pending_gets.erase(it);
+    shard.parked_gets.fetch_sub(1, std::memory_order_relaxed);
   }
 
   if (!expired.empty()) {
@@ -816,11 +1070,11 @@ int Store::FlushExpiredPendingGets() {
     }
     auto resolved = BatchedRemoteLookup(stragglers, /*count_lookups=*/false);
     for (PendingGet& pending : expired) {
-      auto conn_it = clients_.find(pending.fd);
+      auto conn_it = shard.clients.find(pending.fd);
       for (auto id_it = pending.waiting.begin();
            id_it != pending.waiting.end();) {
         auto hit = resolved.find(*id_it);
-        if (hit == resolved.end() || conn_it == clients_.end()) {
+        if (hit == resolved.end() || conn_it == shard.clients.end()) {
           ++id_it;
           continue;
         }
@@ -828,7 +1082,7 @@ int Store::FlushExpiredPendingGets() {
                           /*count_hit=*/false);
         id_it = pending.waiting.erase(id_it);
       }
-      ReplyPendingGet(pending);
+      ReplyPendingGet(shard, pending);
     }
   }
 
@@ -837,12 +1091,13 @@ int Store::FlushExpiredPendingGets() {
   return static_cast<int>(std::max<int64_t>(ms, 1));
 }
 
-void Store::HandleRelease(ClientConn& conn, uint64_t request_id,
+void Store::HandleRelease(Shard& home, ClientConn& conn,
+                          uint64_t request_id,
                           const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<ReleaseRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
   ReleaseReply reply;
@@ -850,9 +1105,12 @@ void Store::HandleRelease(ClientConn& conn, uint64_t request_id,
 
   auto local_it = conn.local_pins.find(request->id);
   if (local_it != conn.local_pins.end()) {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    auto refs = table_.ReleaseRef(request->id);
-    reply.status = refs.status();
+    Shard& owner = OwnerShard(request->id);
+    {
+      std::lock_guard<std::mutex> lock(owner.mutex);
+      auto refs = owner.table.ReleaseRef(request->id);
+      reply.status = refs.status();
+    }
     if (--local_it->second == 0) {
       conn.local_pins.erase(local_it);
     }
@@ -875,47 +1133,52 @@ void Store::HandleRelease(ClientConn& conn, uint64_t request_id,
   (void)SendMessage(fd, MessageType::kReleaseReply, request_id, reply);
 }
 
-void Store::HandleContains(ClientConn& conn, uint64_t request_id,
+void Store::HandleContains(Shard& home, ClientConn& conn,
+                           uint64_t request_id,
                            const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<ContainsRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
+  Shard& owner = OwnerShard(request->id);
   ContainsReply reply;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    reply.contains = table_.ContainsSealed(request->id);
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    reply.contains = owner.table.ContainsSealed(request->id);
   }
   (void)SendMessage(fd, MessageType::kContainsReply, request_id, reply);
 }
 
-void Store::HandleDelete(ClientConn& conn, uint64_t request_id,
+void Store::HandleDelete(Shard& home, ClientConn& conn,
+                         uint64_t request_id,
                          const std::vector<uint8_t>& body) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<DeleteRequest>(body);
   if (!request.ok()) {
-    DropClient(fd);
+    DropClient(home, fd);
     return;
   }
+  Shard& owner = OwnerShard(request->id);
   DeleteReply reply;
   bool deleted = false;
   {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    auto pins = remote_pins_.find(request->id);
-    if (pins != remote_pins_.end() && !pins->second.empty()) {
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    auto pins = owner.remote_pins.find(request->id);
+    if (pins != owner.remote_pins.end() && !pins->second.empty()) {
       reply.status = Status::Invalid("delete: object " +
                                      request->id.Hex() +
                                      " is pinned by remote clients");
     } else {
-      auto removed = table_.Remove(request->id);
+      auto removed = owner.table.Remove(request->id);
       reply.status = removed.status();
       if (removed.ok()) {
-        (void)allocator_->Free(removed->offset);
-        eviction_.Remove(request->id);
-        remote_pins_.erase(request->id);
+        (void)owner.arena->Free(removed->offset);
+        owner.eviction.Remove(request->id);
+        owner.remote_pins.erase(request->id);
         if (shared_index_ != nullptr) {
+          std::lock_guard<std::mutex> index_lock(index_mutex_);
           (void)shared_index_->Remove(request->id);
         }
         deleted = true;
@@ -929,64 +1192,96 @@ void Store::HandleDelete(ClientConn& conn, uint64_t request_id,
     Notification notice;
     notice.id = request->id;
     notice.deleted = true;
-    BroadcastNotification(notice);
+    FanOutNotification(&home, notice);
   }
   (void)SendMessage(fd, MessageType::kDeleteReply, request_id, reply);
 }
 
-void Store::HandleList(ClientConn& conn, uint64_t request_id) {
+void Store::HandleList(Shard& home, ClientConn& conn,
+                       uint64_t request_id) {
+  (void)home;
+  // Cross-shard scan: one shard lock at a time, never two (lock-order
+  // safety), merged into one reply.
   ListReply reply;
-  {
-    std::lock_guard<std::mutex> lock(state_mutex_);
-    reply.objects = table_.List();
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    auto objects = shard->table.List();
+    reply.objects.insert(reply.objects.end(), objects.begin(),
+                         objects.end());
   }
   (void)SendMessage(conn.fd.get(), MessageType::kListReply, request_id,
                     reply);
 }
 
-void Store::HandleStats(ClientConn& conn, uint64_t request_id) {
+void Store::HandleStats(Shard& home, ClientConn& conn,
+                        uint64_t request_id) {
+  (void)home;
   StatsReply reply;
   reply.stats = stats();
   (void)SendMessage(conn.fd.get(), MessageType::kStatsReply, request_id,
                     reply);
 }
 
+void Store::HandleShardStats(Shard& home, ClientConn& conn,
+                             uint64_t request_id) {
+  (void)home;
+  ShardStatsReply reply;
+  reply.shards = shard_stats();
+  (void)SendMessage(conn.fd.get(), MessageType::kShardStatsReply,
+                    request_id, reply);
+}
+
 // ---- thread-safe peer surface ---------------------------------------------
 
-Result<RemoteObjectLocation> Store::LookupForPeer(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  auto entry = table_.Lookup(id);
-  if (!entry.ok()) return entry.status();
-  if (entry->state != ObjectState::kSealed) {
-    return Status::NotSealed("object " + id.Hex() + " not sealed yet");
+std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
+    const std::vector<ObjectId>& ids) {
+  std::vector<std::optional<RemoteObjectLocation>> out(ids.size());
+  // Group by owning shard so a batched peer lookup takes each shard
+  // mutex once instead of once per id.
+  std::vector<std::vector<size_t>> by_shard(shards_.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    by_shard[ShardIndexOf(ids[i])].push_back(i);
   }
-  RemoteObjectLocation loc;
-  loc.home_node = node_id_;
-  loc.home_region = pool_region_;
-  loc.offset = entry->offset;
-  loc.data_size = entry->data_size;
-  loc.metadata_size = entry->metadata_size;
-  return loc;
+  for (size_t s = 0; s < shards_.size(); ++s) {
+    if (by_shard[s].empty()) continue;
+    Shard& owner = *shards_[s];
+    std::lock_guard<std::mutex> lock(owner.mutex);
+    for (size_t i : by_shard[s]) {
+      auto entry = owner.table.Lookup(ids[i]);
+      if (!entry.ok() || entry->state != ObjectState::kSealed) continue;
+      RemoteObjectLocation loc;
+      loc.home_node = node_id_;
+      loc.home_region = pool_region_;
+      loc.offset = entry->offset;
+      loc.data_size = entry->data_size;
+      loc.metadata_size = entry->metadata_size;
+      out[i] = loc;
+    }
+  }
+  return out;
 }
 
 bool Store::ContainsId(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return table_.Contains(id);
+  Shard& owner = OwnerShard(id);
+  std::lock_guard<std::mutex> lock(owner.mutex);
+  return owner.table.Contains(id);
 }
 
 Status Store::PinForPeer(const ObjectId& id, uint32_t peer_node) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  if (!table_.ContainsSealed(id)) {
+  Shard& owner = OwnerShard(id);
+  std::lock_guard<std::mutex> lock(owner.mutex);
+  if (!owner.table.ContainsSealed(id)) {
     return Status::KeyError("pin: object " + id.Hex() + " not sealed here");
   }
-  ++remote_pins_[id][peer_node];
+  ++owner.remote_pins[id][peer_node];
   return Status::OK();
 }
 
 Status Store::UnpinForPeer(const ObjectId& id, uint32_t peer_node) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  auto it = remote_pins_.find(id);
-  if (it == remote_pins_.end()) {
+  Shard& owner = OwnerShard(id);
+  std::lock_guard<std::mutex> lock(owner.mutex);
+  auto it = owner.remote_pins.find(id);
+  if (it == owner.remote_pins.end()) {
     return Status::KeyError("unpin: object " + id.Hex() + " not pinned");
   }
   auto peer_it = it->second.find(peer_node);
@@ -998,15 +1293,16 @@ Status Store::UnpinForPeer(const ObjectId& id, uint32_t peer_node) {
     it->second.erase(peer_it);
   }
   if (it->second.empty()) {
-    remote_pins_.erase(it);
+    owner.remote_pins.erase(it);
   }
   return Status::OK();
 }
 
 uint32_t Store::RemotePins(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  auto it = remote_pins_.find(id);
-  if (it == remote_pins_.end()) return 0;
+  Shard& owner = OwnerShard(id);
+  std::lock_guard<std::mutex> lock(owner.mutex);
+  auto it = owner.remote_pins.find(id);
+  if (it == owner.remote_pins.end()) return 0;
   uint32_t total = 0;
   for (const auto& [node, count] : it->second) {
     (void)node;
@@ -1016,21 +1312,51 @@ uint32_t Store::RemotePins(const ObjectId& id) {
 }
 
 StoreStats Store::stats() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
   StoreStats s;
   s.capacity = options_.capacity;
-  s.bytes_in_use = table_.bytes_in_use();
-  s.objects_total = table_.size();
-  s.objects_sealed = table_.sealed_count();
-  s.evictions = eviction_count_;
-  s.remote_lookups = remote_lookups_;
-  s.remote_lookup_hits = remote_lookup_hits_;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    s.bytes_in_use += shard->table.bytes_in_use();
+    s.objects_total += shard->table.size();
+    s.objects_sealed += shard->table.sealed_count();
+    s.evictions += shard->eviction_count;
+  }
+  s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
+  s.remote_lookup_hits =
+      remote_lookup_hits_.load(std::memory_order_relaxed);
   return s;
 }
 
+std::vector<ShardStatsEntry> Store::shard_stats() {
+  std::vector<ShardStatsEntry> out;
+  out.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    ShardStatsEntry entry;
+    entry.shard = shard->index;
+    {
+      std::lock_guard<std::mutex> lock(shard->mutex);
+      entry.objects_total = shard->table.size();
+      entry.objects_sealed = shard->table.sealed_count();
+      entry.bytes_in_use = shard->table.bytes_in_use();
+      entry.evictions = shard->eviction_count;
+    }
+    entry.arena_capacity = pool_alloc_->arena_capacity(shard->index);
+    entry.clients = shard->client_count.load(std::memory_order_relaxed);
+    entry.inflight_gets =
+        shard->parked_gets.load(std::memory_order_relaxed);
+    out.push_back(entry);
+  }
+  return out;
+}
+
 alloc::AllocatorStats Store::allocator_stats() {
-  std::lock_guard<std::mutex> lock(state_mutex_);
-  return allocator_->stats();
+  std::vector<alloc::AllocatorStats> parts;
+  parts.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    parts.push_back(shard->arena->stats());
+  }
+  return alloc::ShardedAllocator::Merge(parts);
 }
 
 }  // namespace mdos::plasma

@@ -1,4 +1,5 @@
-// Store — the memory-disaggregated Plasma object store (paper §IV).
+// Store — the memory-disaggregated Plasma object store (paper §IV),
+// rearchitected as a sharded, multi-threaded core.
 //
 // One Store runs per node. Local clients connect over a Unix domain
 // socket; object buffers are carved out of the node's disaggregated
@@ -10,16 +11,41 @@
 // a buffer that points into the remote node's disaggregated memory; on
 // Create it probes peers to guarantee system-wide identifier uniqueness.
 //
-// Threading: the store's event-loop thread services all client sockets;
-// the node's RPC server thread calls into the thread-safe peer surface
-// (LookupForPeer & co.). A single mutex guards table + allocator +
-// eviction state — the concurrency design the paper describes.
+// Threading (sharded design — supersedes the paper's single store
+// thread + single mutex):
+//
+//   * A dedicated ACCEPT thread owns the listening socket. It hands each
+//     new connection to a shard round-robin and survives fd exhaustion
+//     (EMFILE/ENFILE) by logging and backing off instead of dying.
+//   * N SHARD threads (StoreOptions::shards) each drive a Poller event
+//     loop over the connections homed on them. Every object id hashes to
+//     exactly one OWNER shard, which holds that id's table entry,
+//     eviction state, and allocator arena (the pool is carved into
+//     per-shard arenas by alloc::ShardedAllocator).
+//   * Owner state is guarded by a per-shard mutex, so a handler running
+//     on shard A may operate on an id owned by shard B by taking B's
+//     lock — cross-shard Creates/Gets/Deletes are synchronous and never
+//     hold two shard locks at once (no lock-order cycles).
+//   * Work that must execute on a specific shard's event loop — waking
+//     parked Gets after a cross-shard Seal, pushing notifications to
+//     that shard's subscribers, adopting a freshly accepted connection —
+//     travels through a per-shard MAILBOX (Shard::Post) and is drained
+//     by the shard thread, so every write to a client socket happens on
+//     the connection's home thread and replies still complete out of
+//     order via the request-tagged protocol.
+//   * The node's RPC server thread calls the thread-safe peer surface
+//     (LookupManyForPeer & co.), which routes straight to the owning
+//     shard's mutex instead of one global lock.
+//   * The shared index writer is serialized by its own index mutex
+//     (always acquired after a shard mutex, never before).
+//
+// With shards = 1 (the default) the store is protocol- and
+// behaviour-compatible with the original single-threaded design.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
-#include <list>
 #include <memory>
 #include <mutex>
 #include <optional>
@@ -29,6 +55,7 @@
 #include <vector>
 
 #include "alloc/allocator.h"
+#include "alloc/sharded_allocator.h"
 #include "common/object_id.h"
 #include "common/status.h"
 #include "net/fd.h"
@@ -53,6 +80,16 @@ struct StoreOptions {
   std::string socket_path;
   uint64_t capacity = 256ull << 20;
   AllocatorKind allocator = AllocatorKind::kFirstFit;
+  // Event-loop shards. Each shard owns its own connections, object
+  // table, eviction state, and allocator arena; ids hash to shards.
+  // Clamped to [1, 64] and to capacity / ShardedAllocator::kMinArenaBytes.
+  // Trade-off of the static arena carving: a single object can be at
+  // most capacity/shards bytes, and eviction pressure is per-arena (a
+  // hash-hot shard evicts while cold arenas sit idle) — size shards to
+  // the workload's largest object and core count.
+  uint32_t shards = 1;
+  // Explicit accept backlog for the listening socket.
+  int accept_backlog = 128;
   // Probe peers on Create so ids are unique system-wide (§IV-A2).
   bool check_global_uniqueness = true;
   // Distributed object-usage sharing (paper future work, implemented):
@@ -71,7 +108,10 @@ struct RemoteObjectLocation {
 
 // Interface to the distributed layer; implemented by
 // dist::RemoteStoreRegistry. All calls may block on RPC (the paper's
-// synchronous gRPC mode) and are invoked from the store's event loop.
+// synchronous gRPC mode). With the sharded core, calls may arrive
+// concurrently from several shard threads — implementations must be
+// thread-safe (RemoteStoreRegistry is: peer list, cache, and stats are
+// mutex-guarded and channels internally synchronized).
 class DistHooks {
  public:
   virtual ~DistHooks() = default;
@@ -110,13 +150,15 @@ class Store {
   Store(const Store&) = delete;
   Store& operator=(const Store&) = delete;
 
-  // Binds the socket and starts the event-loop thread.
+  // Binds the socket and starts the accept + shard threads.
   Status Start();
-  // Stops the event loop and closes all client connections. Idempotent.
+  // Stops every thread and closes all client connections. Idempotent.
   void Stop();
 
   // Wiring (before Start): distributed hooks and the external-pin
-  // predicate consulted by eviction (distributed usage tracking).
+  // predicate consulted by eviction (distributed usage tracking). Both
+  // may be called from any shard thread concurrently and must be
+  // thread-safe.
   void SetDistHooks(DistHooks* hooks) { dist_hooks_ = hooks; }
   void SetExternalPinCheck(std::function<bool(const ObjectId&)> check) {
     external_pin_check_ = std::move(check);
@@ -124,9 +166,10 @@ class Store {
 
   // Shared-index extension (paper §V-B): when set, sealed objects are
   // published into `writer` (a table in disaggregated memory that remote
-  // stores read directly) and withdrawn on delete/eviction.
-  // `index_region` is the fabric region peers should attach; it travels
-  // in the Hello handshake.
+  // stores read directly) and withdrawn on delete/eviction. Writes from
+  // all shards are serialized by the store's index mutex (the index
+  // format is single-writer). `index_region` is the fabric region peers
+  // should attach; it travels in the Hello handshake.
   void SetSharedIndex(SharedIndexWriter* writer, uint32_t index_region) {
     shared_index_ = writer;
     index_region_ = index_region;
@@ -138,12 +181,18 @@ class Store {
   uint32_t node_id() const { return node_id_; }
   uint32_t pool_region() const { return pool_region_; }
   uint64_t capacity() const { return options_.capacity; }
+  // Effective shard count (after clamping).
+  uint32_t shard_count() const;
 
   // ---- thread-safe surface for the dist service (RPC thread) ----------
+  // Each call routes to the owning shard's mutex; no global lock exists.
 
-  // Sealed-object lookup on behalf of a peer store; KeyError when absent
-  // or unsealed. Offsets in the reply are pool/region-relative.
-  Result<RemoteObjectLocation> LookupForPeer(const ObjectId& id);
+  // Batched sealed-object lookup on behalf of a peer store: groups ids
+  // by owning shard so each shard mutex is taken once per request
+  // instead of once per id. Entry i is nullopt when id i is absent or
+  // unsealed. Offsets in the reply are pool/region-relative.
+  std::vector<std::optional<RemoteObjectLocation>> LookupManyForPeer(
+      const std::vector<ObjectId>& ids);
 
   // True when the id exists in any state (uniqueness probe must also see
   // unsealed creations).
@@ -155,60 +204,90 @@ class Store {
   // Remote pins held on a local object; 0 when none.
   uint32_t RemotePins(const ObjectId& id);
 
+  // Aggregate statistics across shards.
   StoreStats stats();
+  // Per-shard statistics (the GetStoreStats protocol message).
+  std::vector<ShardStatsEntry> shard_stats();
 
-  // Test hook: direct access to allocator statistics.
+  // Test hook: pool-wide allocator statistics (merged over arenas).
   alloc::AllocatorStats allocator_stats();
 
  private:
+  struct Shard;
   struct ClientConn;
   struct PendingGet;
 
   Store(StoreOptions options, uint32_t node_id, uint32_t pool_region);
 
-  void EventLoop();
-  void AcceptClient();
+  // Builds the sharded allocator + shard structs once capacity is final.
+  void InitShards();
+  uint32_t ShardIndexOf(const ObjectId& id) const;
+  Shard& OwnerShard(const ObjectId& id);
+
+  // ---- accept thread ---------------------------------------------------
+  void AcceptLoop();
+  // Drains the (non-blocking) listening socket; EMFILE/ENFILE and
+  // friends log + back off instead of killing the loop.
+  void AcceptPending();
+
+  // ---- shard event loops -----------------------------------------------
+  void ShardLoop(Shard& shard);
+  void DrainMailbox(Shard& shard);
   // Drains the connection's socket, decodes every complete frame, and
   // processes them as one batch. A pipelining client thus has all of its
   // queued requests serviced in a single pass — with one combined remote
   // lookup for every unknown id across the batch (see ResolveGets).
-  void OnClientReadable(ClientConn& conn);
-  void DispatchFrame(ClientConn& conn, const net::Frame& frame,
+  void OnClientReadable(Shard& shard, int fd);
+  void DispatchFrame(Shard& shard, ClientConn& conn,
+                     const net::Frame& frame,
                      std::vector<PendingGet>* batch_gets);
-  void DropClient(int fd);
+  void DropClient(Shard& shard, int fd);
 
-  // Message handlers (store mutex taken inside as needed). Every reply
-  // echoes `request_id` so clients can pipeline and match out of order.
-  void HandleConnect(ClientConn& conn, uint64_t request_id,
+  // Message handlers, running on the connection's home shard thread.
+  // `home` is that shard; object state is accessed by locking the id's
+  // owner shard. Every reply echoes `request_id` so clients can pipeline
+  // and match out of order.
+  void HandleConnect(Shard& home, ClientConn& conn, uint64_t request_id,
                      const std::vector<uint8_t>& body);
-  void HandleCreate(ClientConn& conn, uint64_t request_id,
+  void HandleCreate(Shard& home, ClientConn& conn, uint64_t request_id,
                     const std::vector<uint8_t>& body);
-  void HandleSeal(ClientConn& conn, uint64_t request_id,
+  void HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
                   const std::vector<uint8_t>& body);
-  void HandleAbort(ClientConn& conn, uint64_t request_id,
+  void HandleAbort(Shard& home, ClientConn& conn, uint64_t request_id,
                    const std::vector<uint8_t>& body);
   // Local-table pass only; the remote/missing halves are resolved for the
   // whole batch in ResolveGets.
-  void HandleGet(ClientConn& conn, uint64_t request_id,
+  void HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
                  const std::vector<uint8_t>& body,
                  std::vector<PendingGet>* batch_gets);
-  void HandleRelease(ClientConn& conn, uint64_t request_id,
+  void HandleRelease(Shard& home, ClientConn& conn, uint64_t request_id,
                      const std::vector<uint8_t>& body);
-  void HandleContains(ClientConn& conn, uint64_t request_id,
+  void HandleContains(Shard& home, ClientConn& conn, uint64_t request_id,
                       const std::vector<uint8_t>& body);
-  void HandleDelete(ClientConn& conn, uint64_t request_id,
+  void HandleDelete(Shard& home, ClientConn& conn, uint64_t request_id,
                     const std::vector<uint8_t>& body);
-  void HandleList(ClientConn& conn, uint64_t request_id);
-  void HandleStats(ClientConn& conn, uint64_t request_id);
-  void HandleSubscribe(ClientConn& conn, uint64_t request_id,
+  // Fans out over every shard's table (scan).
+  void HandleList(Shard& home, ClientConn& conn, uint64_t request_id);
+  void HandleStats(Shard& home, ClientConn& conn, uint64_t request_id);
+  void HandleShardStats(Shard& home, ClientConn& conn,
+                        uint64_t request_id);
+  void HandleSubscribe(Shard& home, ClientConn& conn, uint64_t request_id,
                        const std::vector<uint8_t>& body);
-  // Pushes a notification to every subscriber connection.
-  void BroadcastNotification(const Notification& notice);
+
+  // Cross-shard fan-out through the mailboxes: `origin` (may be null for
+  // non-shard callers) runs its part inline, every other shard gets a
+  // posted task.
+  void FanOutSealed(Shard* origin, const ObjectId& id);
+  void FanOutNotification(Shard* origin, const Notification& notice);
+  // Pushes a notification to this shard's subscriber connections (shard
+  // thread only).
+  void DeliverNotification(Shard& shard, const Notification& notice);
 
   // Completes a batch of local-pass Gets: one DistHooks::LookupRemote for
   // the union of unknown ids, then replies or parks each get on its
-  // deadline.
-  void ResolveGets(ClientConn& conn, std::vector<PendingGet>& gets);
+  // deadline (in the home shard's pending list).
+  void ResolveGets(Shard& home, ClientConn& conn,
+                   std::vector<PendingGet>& gets);
   // One deduplicated LookupRemote for `ids`; empty map without hooks.
   std::unordered_map<ObjectId, RemoteObjectLocation> BatchedRemoteLookup(
       const std::vector<ObjectId>& ids, bool count_lookups);
@@ -219,22 +298,26 @@ class Store {
                          const ObjectId& id,
                          const RemoteObjectLocation& loc, bool count_hit);
 
-  // Allocates space, evicting LRU unpinned objects if needed. Requires
-  // state_mutex_ held.
-  Result<alloc::Allocation> AllocateWithEviction(uint64_t size);
-  // Requires state_mutex_ held.
-  bool IsEvictable(const ObjectId& id) const;
+  // Allocates space from the owner shard's arena, evicting its LRU
+  // unpinned objects if needed. Requires owner.mutex held.
+  Result<alloc::Allocation> AllocateWithEviction(Shard& owner,
+                                                 uint64_t size);
+  // Requires owner.mutex held.
+  bool IsEvictable(const Shard& owner, const ObjectId& id) const;
 
-  // Resolves one id for a local Get: local hit pins and returns an entry;
-  // unknown ids return nullopt (caller consults the dist layer).
-  std::optional<GetReplyEntry> TryLocalGet(const ObjectId& id);
+  // Resolves one id against its owner shard for a local Get: a hit pins
+  // and returns an entry; unknown ids return nullopt (caller consults
+  // the dist layer). Takes the owner shard's mutex.
+  std::optional<GetReplyEntry> TryLocalGet(ClientConn& conn,
+                                           const ObjectId& id);
 
-  // Completes pending gets waiting on `id` after it was sealed.
-  void ServePendingGetsFor(const ObjectId& id);
-  // Replies to expired pending gets; returns ms until the next deadline
-  // (or -1 when none pending).
-  int FlushExpiredPendingGets();
-  void ReplyPendingGet(PendingGet& pending);
+  // Completes this shard's pending gets waiting on `id` after it was
+  // sealed (shard thread only).
+  void ServePendingGetsFor(Shard& shard, const ObjectId& id);
+  // Replies to this shard's expired pending gets; returns ms until the
+  // next deadline (or -1 when none pending).
+  int FlushExpiredPendingGets(Shard& shard);
+  void ReplyPendingGet(Shard& shard, PendingGet& pending);
 
   StoreOptions options_;
   std::string socket_path_;
@@ -250,28 +333,29 @@ class Store {
   uint8_t* pool_base_ = nullptr;
   int pool_fd_ = -1;
 
-  // Guards table/allocator/eviction/pins (store thread + RPC thread).
-  std::mutex state_mutex_;
-  ObjectTable table_;
-  std::unique_ptr<alloc::Allocator> allocator_;
-  EvictionPolicy eviction_;
-  std::unordered_map<ObjectId, std::unordered_map<uint32_t, uint32_t>>
-      remote_pins_;  // id -> (peer node -> pin count)
-  uint64_t eviction_count_ = 0;
-  uint64_t remote_lookups_ = 0;
-  uint64_t remote_lookup_hits_ = 0;
+  // The pool carved into per-shard arenas; shards_[i] borrows arena i.
+  std::unique_ptr<alloc::ShardedAllocator> pool_alloc_;
+  std::vector<std::unique_ptr<Shard>> shards_;
 
   DistHooks* dist_hooks_ = nullptr;
   std::function<bool(const ObjectId&)> external_pin_check_;
-  SharedIndexWriter* shared_index_ = nullptr;  // guarded by state_mutex_
+  // Shared-index writer; serialized across shards by index_mutex_
+  // (lock order: shard mutex first, index mutex second).
+  std::mutex index_mutex_;
+  SharedIndexWriter* shared_index_ = nullptr;
   uint32_t index_region_ = UINT32_MAX;
 
-  // Event loop state (store thread only).
+  // Store-wide remote-lookup counters (updated from any shard thread).
+  std::atomic<uint64_t> remote_lookups_{0};
+  std::atomic<uint64_t> remote_lookup_hits_{0};
+
+  // Accept thread state.
   net::UniqueFd listen_fd_;
-  net::Poller poller_;
-  std::unordered_map<int, std::unique_ptr<ClientConn>> clients_;
-  std::list<PendingGet> pending_gets_;
-  std::thread thread_;
+  net::Poller accept_poller_;
+  std::thread accept_thread_;
+  uint32_t next_shard_ = 0;     // accept thread only (round-robin)
+  int accept_backoff_ms_ = 0;   // accept thread only
+
   std::atomic<bool> running_{false};
 };
 

@@ -4,8 +4,10 @@
 // the WaitAll/WaitAny combinators.
 #include <gtest/gtest.h>
 
+#include <chrono>
 #include <mutex>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -126,10 +128,25 @@ TEST_F(AsyncClientTest, SixteenPlusInflightOnOneConnection) {
   WaitAll(gets);
   EXPECT_EQ(client_->inflight(), 0u);
 
-  ASSERT_EQ(completion_order.size(), static_cast<size_t>(kDepth));
+  // OnReady callbacks fire on the reply-dispatch thread *after* the
+  // future's value is set, so WaitAll returning does not order us after
+  // the final callback — wait for it, then snapshot under the callback
+  // mutex.
+  std::vector<int> observed_order;
+  for (Stopwatch deadline; deadline.ElapsedMillis() < 5000;) {
+    {
+      std::lock_guard<std::mutex> lock(order_mutex);
+      if (completion_order.size() == static_cast<size_t>(kDepth)) {
+        observed_order = completion_order;
+        break;
+      }
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  ASSERT_EQ(observed_order.size(), static_cast<size_t>(kDepth));
   std::vector<int> reversed;
   for (int i = kDepth - 1; i >= 0; --i) reversed.push_back(i);
-  EXPECT_EQ(completion_order, reversed)
+  EXPECT_EQ(observed_order, reversed)
       << "replies should complete in seal order, not issue order";
 
   for (const ObjectId& id : ids) {

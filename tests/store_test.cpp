@@ -243,6 +243,24 @@ TEST_F(StoreTest, StatsReflectUsage) {
   EXPECT_GE(stats->bytes_in_use, 10u);
 }
 
+TEST_F(StoreTest, ShardStatsSingleShardDefault) {
+  // The default store runs one shard; GetStoreStats must report exactly
+  // one row that mirrors the aggregate view.
+  ASSERT_TRUE(
+      client_->CreateAndSeal(ObjectId::FromName("ss1"), "payload").ok());
+  auto shards = client_->ShardStats();
+  ASSERT_TRUE(shards.ok());
+  ASSERT_EQ(shards->size(), 1u);
+  const auto& shard = (*shards)[0];
+  EXPECT_EQ(shard.shard, 0u);
+  EXPECT_EQ(shard.objects_total, 1u);
+  EXPECT_EQ(shard.objects_sealed, 1u);
+  EXPECT_EQ(shard.arena_capacity, 8u << 20);
+  EXPECT_GE(shard.bytes_in_use, 7u);
+  EXPECT_GE(shard.clients, 1u);
+  EXPECT_EQ(shard.inflight_gets, 0u);
+}
+
 TEST_F(StoreTest, ObjectLargerThanCapacityIsCapacityError) {
   auto r = client_->Create(ObjectId::FromName("huge"), 64 << 20);
   EXPECT_EQ(r.status().code(), StatusCode::kCapacityError);

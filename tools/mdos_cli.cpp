@@ -109,6 +109,32 @@ int CmdStats(plasma::PlasmaClient& client) {
               static_cast<unsigned long long>(stats->remote_lookups));
   std::printf("remote_lookup_hits:  %llu\n",
               static_cast<unsigned long long>(stats->remote_lookup_hits));
+
+  // Per-shard breakdown (GetStoreStats): exposes load balance across the
+  // store's event-loop shards. Non-fatal: a store that predates the
+  // message drops the connection on the unknown type, but the aggregate
+  // above already printed.
+  auto shards = client.ShardStats();
+  if (!shards.ok()) {
+    std::fprintf(stderr,
+                 "(per-shard stats unavailable: %s)\n",
+                 shards.status().ToString().c_str());
+    return 0;
+  }
+  std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s\n", "shard",
+              "clients", "objects", "sealed", "bytes", "arena", "evicted",
+              "inflight");
+  for (const auto& s : *shards) {
+    std::printf("%-6u %-8llu %-9llu %-9llu %-12llu %-12llu %-10llu %-9llu\n",
+                s.shard, static_cast<unsigned long long>(s.clients),
+                static_cast<unsigned long long>(s.objects_total),
+                static_cast<unsigned long long>(s.objects_sealed),
+                static_cast<unsigned long long>(s.bytes_in_use),
+                static_cast<unsigned long long>(s.arena_capacity),
+                static_cast<unsigned long long>(s.evictions),
+                static_cast<unsigned long long>(s.inflight_gets));
+  }
+  std::printf("(%zu shards)\n", shards->size());
   return 0;
 }
 

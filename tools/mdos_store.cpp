@@ -5,7 +5,7 @@
 // API from separate processes (the in-process cluster simulator is only
 // needed for the disaggregated-fabric experiments).
 //
-//   mdos_store -s /tmp/mdos.sock -m 268435456 [-a firstfit|segfit]
+//   mdos_store -s /tmp/mdos.sock -m 268435456 [-a firstfit|segfit] [-j 4]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +23,7 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [-s socket_path] [-m capacity_bytes] [-a firstfit|segfit]"
-      " [-v]\n",
+      " [-j shards] [-v]\n",
       argv0);
 }
 
@@ -49,6 +49,13 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "-j") == 0 && i + 1 < argc) {
+      options.shards =
+          static_cast<uint32_t>(std::strtoul(argv[++i], nullptr, 10));
+      if (options.shards == 0) {
+        Usage(argv[0]);
+        return 2;
+      }
     } else if (std::strcmp(argv[i], "-v") == 0) {
       mdos::SetLogLevel(mdos::LogLevel::kInfo);
     } else {
@@ -68,9 +75,10 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("mdos_store serving on %s (capacity %llu bytes)\n",
+  std::printf("mdos_store serving on %s (capacity %llu bytes, %u shards)\n",
               (*store)->socket_path().c_str(),
-              static_cast<unsigned long long>((*store)->capacity()));
+              static_cast<unsigned long long>((*store)->capacity()),
+              (*store)->shard_count());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
