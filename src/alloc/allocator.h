@@ -13,6 +13,12 @@
 // Allocators manage *offsets* into an externally owned slab; they never
 // touch the slab memory itself, so the same code manages local DRAM and
 // fabric-attached disaggregated regions.
+//
+// Threading: implementations are NOT internally synchronized. In the
+// sharded store each arena (one Allocator over a pool slice, carved by
+// ShardedAllocator) is owner state of exactly one shard and is guarded
+// by that shard's mutex, like the object table and eviction policy;
+// stats() snapshots under the same lock.
 #pragma once
 
 #include <cstdint>

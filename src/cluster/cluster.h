@@ -5,6 +5,19 @@
 // design allows for this modification" (§V-B). Cluster implements that
 // extension: any number of nodes, stores interconnected in a full mesh,
 // all sharing one fabric (and thus one latency calibration).
+//
+// Lifecycle: AddNode every node first, then StartAll — starting exports
+// each node's pool region, boots its store + RPC server, and performs
+// the Hello mesh handshake (peers learn each other's pool and
+// shared-index regions). Stop (also run by the destructor) releases
+// remote pins before tearing nodes down so no store is left refusing
+// eviction for a peer that no longer exists; it is idempotent.
+//
+// Threading: AddNode/StartAll/Stop are control-plane calls and must be
+// serialized by the owner (typically a test or benchmark main thread).
+// Once started, the per-node stacks run their own threads (store accept
+// + shard loops, RPC server) and clients on any thread may talk to any
+// node's store; node(i) pointers stay valid until Stop.
 #pragma once
 
 #include <memory>

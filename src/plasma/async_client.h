@@ -21,6 +21,12 @@
 // outstanding promises with NotConnected instead of leaving waiters
 // dangling. The blocking PlasmaClient in client.h is a thin shim over
 // this class.
+//
+// Storage tiers are invisible here exactly as in the blocking API: a
+// GetAsync future for a remote object resolves to a fabric-backed
+// buffer, and one for a disk-spilled object resolves after the store
+// restores it into shared memory — callers never branch on where the
+// bytes were.
 #pragma once
 
 #include <atomic>

@@ -8,6 +8,11 @@
 // hidden to Plasma clients" (paper §IV-A2): Get transparently returns
 // buffers that may point into a *remote* node's disaggregated memory; the
 // client consumes them through fabric loads with no copy over the LAN.
+// The same transparency covers the store's disk spill tier: a Get for an
+// object that was spilled blocks while the store restores it and then
+// returns an ordinary local buffer — no client-visible state or API
+// distinguishes the tiers (only latency, and the spill counters in
+// Stats/ShardStats).
 //
 // Since the async API redesign, every method here is a thin blocking shim
 // over AsyncClient (plasma/async_client.h): the request is dispatched

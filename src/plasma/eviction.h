@@ -1,14 +1,37 @@
-// EvictionPolicy — LRU ordering over sealed objects.
+// EvictionPolicy — LRU ordering over sealed, pool-resident objects.
 //
 // Upstream Plasma evicts least-recently-used unpinned objects when a
 // create cannot be satisfied. The paper highlights the distributed twist:
 // "in-use objects will not be evicted, because clients might still be
 // reading from memory" — and with remote clients, usage must be shared
-// across stores (§IV-A2). This policy tracks recency only; the Store
-// combines it with local ref counts and the distributed usage tracker
-// (the future-work feature we implement) to decide true evictability.
+// across stores (§IV-A2).
+//
+// Contract — what is (and is not) in the LRU:
+//
+//   * Only SEALED objects are registered (Store calls Add at seal time
+//     and after a spill-tier restore). Unsealed creations are never
+//     eviction candidates, and spilled objects leave the LRU until
+//     restored — they hold no pool bytes to reclaim.
+//   * This policy tracks recency ONLY. It does not know about pins; the
+//     caller passes an `evictable` predicate to ChooseVictims and the
+//     Store's predicate (IsEvictable) excludes every object that is
+//       - still mapped by a local client (local_refs != 0 — a Get that
+//         has not been Released keeps the buffer mmap'd, so its memory
+//         must not be reused under the reader),
+//       - pinned by a remote store (remote_pins, the distributed
+//         usage-tracking extension), or
+//       - flagged by the external pin check (cluster-level tracker).
+//     An object excluded by the predicate is skipped, not unqueued: it
+//     keeps its LRU position and becomes a candidate again the moment
+//     its last pin drops. eviction_test's EvictWhileMappedIsRefused
+//     locks the whole contract end to end.
+//   * ChooseVictims is all-or-nothing: if the evictable candidates
+//     cannot cover `bytes_needed`, it returns an empty list so the
+//     caller fails the allocation instead of thrashing the cache for a
+//     create that cannot succeed anyway.
+//
 // Not internally synchronized: each store shard owns one policy for its
-// arena, guarded by the shard's mutex.
+// arena, guarded (with the table and arena) by the shard's mutex.
 #pragma once
 
 #include <cstdint>

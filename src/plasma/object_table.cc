@@ -23,7 +23,7 @@ bool ObjectTable::Contains(const ObjectId& id) const {
 
 bool ObjectTable::ContainsSealed(const ObjectId& id) const {
   auto it = entries_.find(id);
-  return it != entries_.end() && it->second.state == ObjectState::kSealed;
+  return it != entries_.end() && it->second.state != ObjectState::kCreated;
 }
 
 Result<ObjectEntry> ObjectTable::Lookup(const ObjectId& id) const {
@@ -39,7 +39,7 @@ Status ObjectTable::Seal(const ObjectId& id) {
   if (it == entries_.end()) {
     return Status::KeyError("seal: object " + id.Hex() + " not found");
   }
-  if (it->second.state == ObjectState::kSealed) {
+  if (it->second.state != ObjectState::kCreated) {
     return Status::Sealed("object " + id.Hex() + " is already sealed");
   }
   it->second.state = ObjectState::kSealed;
@@ -69,6 +69,60 @@ Result<uint32_t> ObjectTable::ReleaseRef(const ObjectId& id) {
   return --it->second.local_refs;
 }
 
+Status ObjectTable::MarkSpilled(const ObjectId& id, uint64_t spill_offset) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("spill: object " + id.Hex() + " not found");
+  }
+  ObjectEntry& entry = it->second;
+  if (entry.state != ObjectState::kSealed) {
+    return Status::NotSealed("spill: object " + id.Hex() +
+                             " is not sealed in memory");
+  }
+  if (entry.local_refs != 0) {
+    return Status::Invalid("spill: object " + id.Hex() + " is in use");
+  }
+  entry.state = ObjectState::kSpilled;
+  entry.spill_offset = spill_offset;
+  --sealed_count_;
+  bytes_in_use_ -= entry.total_size();
+  ++spilled_count_;
+  spilled_bytes_ += entry.total_size();
+  return Status::OK();
+}
+
+Status ObjectTable::MarkRestored(const ObjectId& id, uint64_t pool_offset) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("restore: object " + id.Hex() + " not found");
+  }
+  ObjectEntry& entry = it->second;
+  if (entry.state != ObjectState::kSpilled) {
+    return Status::Invalid("restore: object " + id.Hex() +
+                           " is not spilled");
+  }
+  entry.state = ObjectState::kSealed;
+  entry.offset = pool_offset;
+  entry.spill_offset = 0;
+  ++sealed_count_;
+  bytes_in_use_ += entry.total_size();
+  --spilled_count_;
+  spilled_bytes_ -= entry.total_size();
+  return Status::OK();
+}
+
+Status ObjectTable::UpdateSpillOffset(const ObjectId& id,
+                                      uint64_t spill_offset) {
+  auto it = entries_.find(id);
+  if (it == entries_.end() ||
+      it->second.state != ObjectState::kSpilled) {
+    return Status::KeyError("spill offset update: object " + id.Hex() +
+                            " is not spilled");
+  }
+  it->second.spill_offset = spill_offset;
+  return Status::OK();
+}
+
 Result<ObjectEntry> ObjectTable::Remove(const ObjectId& id, bool force) {
   auto it = entries_.find(id);
   if (it == entries_.end()) {
@@ -76,7 +130,7 @@ Result<ObjectEntry> ObjectTable::Remove(const ObjectId& id, bool force) {
   }
   const ObjectEntry& entry = it->second;
   if (!force) {
-    if (entry.state != ObjectState::kSealed) {
+    if (entry.state == ObjectState::kCreated) {
       return Status::NotSealed("remove: object " + id.Hex() +
                                " is not sealed");
     }
@@ -90,7 +144,14 @@ Result<ObjectEntry> ObjectTable::Remove(const ObjectId& id, bool force) {
   if (entry.state == ObjectState::kSealed) {
     --sealed_count_;
   }
-  bytes_in_use_ -= entry.total_size();
+  if (entry.state == ObjectState::kSpilled) {
+    // Spilled entries hold no pool bytes; their accounting lives in the
+    // spilled counters.
+    --spilled_count_;
+    spilled_bytes_ -= entry.total_size();
+  } else {
+    bytes_in_use_ -= entry.total_size();
+  }
   entries_.erase(it);
   return out;
 }
@@ -103,7 +164,8 @@ std::vector<ObjectInfo> ObjectTable::List() const {
     info.id = id;
     info.data_size = entry.data_size;
     info.metadata_size = entry.metadata_size;
-    info.sealed = entry.state == ObjectState::kSealed;
+    info.sealed = entry.state != ObjectState::kCreated;
+    info.spilled = entry.state == ObjectState::kSpilled;
     info.ref_count = entry.local_refs;
     out.push_back(info);
   }

@@ -5,10 +5,17 @@
 // pool placement and lifecycle state:
 //
 //   created --Seal--> sealed --Delete/Evict--> gone
-//      \--Abort--> gone
+//      \--Abort--> gone       \--Spill--> spilled --Restore--> sealed
+//                                  \--Delete--> gone
 //
 // Sealed objects are immutable; clients pin them with Get and unpin with
-// Release, and only unpinned sealed objects are evictable. The table is
+// Release, and only unpinned sealed objects are evictable. kSpilled is
+// the disk tier's state: the object's bytes live in the owning shard's
+// spill file (ObjectEntry::spill_offset), its pool allocation is gone,
+// and a Get transparently restores it to kSealed before replying —
+// spilled objects are therefore never pinned and never in the eviction
+// LRU. Spilled bytes are tracked separately from bytes_in_use (which
+// counts pool residency only). The table is
 // not internally synchronized: in the sharded store core each shard owns
 // one ObjectTable covering its hash slice of the object space, guarded
 // (together with that shard's allocator arena and eviction policy) by
@@ -29,7 +36,11 @@
 
 namespace mdos::plasma {
 
-enum class ObjectState : uint8_t { kCreated = 0, kSealed = 1 };
+enum class ObjectState : uint8_t {
+  kCreated = 0,
+  kSealed = 1,
+  kSpilled = 2,  // sealed, but resident in the shard's spill file
+};
 
 struct ObjectEntry {
   ObjectId id;
@@ -37,6 +48,9 @@ struct ObjectEntry {
   uint64_t offset = 0;  // pool-relative offset of the data section
   uint64_t data_size = 0;
   uint64_t metadata_size = 0;
+  // File offset of the record in the shard's spill file (kSpilled only;
+  // `offset` is meaningless while spilled).
+  uint64_t spill_offset = 0;
   uint32_t local_refs = 0;  // pins held by local clients
   int creator_fd = -1;      // connection that created it (abort cleanup)
   int64_t created_ns = 0;
@@ -51,6 +65,9 @@ class ObjectTable {
   Status AddCreated(const ObjectEntry& entry);
 
   bool Contains(const ObjectId& id) const;
+  // True for kSealed and kSpilled: both are immutable and retrievable
+  // here; residency (pool vs spill file) is a tier detail callers that
+  // only ask about availability should not see.
   bool ContainsSealed(const ObjectId& id) const;
 
   // Copy-out lookup; KeyError when absent.
@@ -64,7 +81,18 @@ class ObjectTable {
   // Returns the new ref count.
   Result<uint32_t> ReleaseRef(const ObjectId& id);
 
-  // Removes an object and returns its entry (for allocator free).
+  // sealed -> spilled: the pool allocation is being released and the
+  // bytes now live at `spill_offset` in the shard's spill file. Fails
+  // unless the object is sealed, unpinned, and unspilled.
+  Status MarkSpilled(const ObjectId& id, uint64_t spill_offset);
+  // spilled -> sealed: the bytes were read back into the pool at
+  // `pool_offset`.
+  Status MarkRestored(const ObjectId& id, uint64_t pool_offset);
+  // Rewrites a spilled entry's file offset (spill-file compaction).
+  Status UpdateSpillOffset(const ObjectId& id, uint64_t spill_offset);
+
+  // Removes an object and returns its entry (for allocator free, or
+  // spill-slot free when the entry was kSpilled).
   // `force` skips the sealed/ref checks (abort & disconnect cleanup).
   Result<ObjectEntry> Remove(const ObjectId& id, bool force = false);
 
@@ -73,13 +101,19 @@ class ObjectTable {
   std::vector<ObjectId> UnsealedCreatedBy(int fd) const;
 
   size_t size() const { return entries_.size(); }
+  // Sealed objects resident in the pool (spilled objects not included).
   size_t sealed_count() const { return sealed_count_; }
+  // Pool bytes only; spilled bytes are reported separately.
   uint64_t bytes_in_use() const { return bytes_in_use_; }
+  size_t spilled_count() const { return spilled_count_; }
+  uint64_t spilled_bytes() const { return spilled_bytes_; }
 
  private:
   std::unordered_map<ObjectId, ObjectEntry> entries_;
   size_t sealed_count_ = 0;
   uint64_t bytes_in_use_ = 0;
+  size_t spilled_count_ = 0;
+  uint64_t spilled_bytes_ = 0;
 };
 
 }  // namespace mdos::plasma

@@ -220,6 +220,7 @@ void ObjectInfo::EncodeTo(wire::Writer& w) const {
   w.PutU64(data_size);
   w.PutU64(metadata_size);
   w.PutBool(sealed);
+  w.PutBool(spilled);
   w.PutU32(ref_count);
 }
 Result<ObjectInfo> ObjectInfo::DecodeFrom(wire::Reader& r) {
@@ -228,6 +229,7 @@ Result<ObjectInfo> ObjectInfo::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.sealed, r.GetBool());
+  MDOS_ASSIGN_OR_RETURN(m.spilled, r.GetBool());
   MDOS_ASSIGN_OR_RETURN(m.ref_count, r.GetU32());
   return m;
 }
@@ -265,6 +267,10 @@ void StoreStats::EncodeTo(wire::Writer& w) const {
   w.PutU64(remote_lookups);
   w.PutU64(remote_lookup_hits);
   w.PutU64(lookup_cache_hits);
+  w.PutU64(spilled_objects);
+  w.PutU64(spilled_bytes);
+  w.PutU64(spills);
+  w.PutU64(spill_restores);
 }
 Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   StoreStats m;
@@ -276,6 +282,10 @@ Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.remote_lookups, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.remote_lookup_hits, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.lookup_cache_hits, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spilled_objects, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spilled_bytes, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spills, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spill_restores, r.GetU64());
   return m;
 }
 
@@ -295,6 +305,9 @@ void ShardStatsEntry::EncodeTo(wire::Writer& w) const {
   w.PutU64(arena_capacity);
   w.PutU64(evictions);
   w.PutU64(inflight_gets);
+  w.PutU64(spilled_objects);
+  w.PutU64(spilled_bytes);
+  w.PutU64(spill_restores);
 }
 Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   ShardStatsEntry m;
@@ -306,6 +319,9 @@ Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.arena_capacity, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.evictions, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.inflight_gets, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spilled_objects, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spilled_bytes, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.spill_restores, r.GetU64());
   return m;
 }
 

@@ -195,6 +195,7 @@ struct ObjectInfo {
   uint64_t data_size = 0;
   uint64_t metadata_size = 0;
   bool sealed = false;
+  bool spilled = false;  // sealed but resident in the disk spill tier
   uint32_t ref_count = 0;
   void EncodeTo(wire::Writer& w) const;
   static Result<ObjectInfo> DecodeFrom(wire::Reader& r);
@@ -225,6 +226,11 @@ struct StoreStats {
   uint64_t remote_lookups = 0;
   uint64_t remote_lookup_hits = 0;
   uint64_t lookup_cache_hits = 0;
+  // Disk spill tier (zero when StoreOptions::spill_dir is unset).
+  uint64_t spilled_objects = 0;  // currently resident on disk
+  uint64_t spilled_bytes = 0;
+  uint64_t spills = 0;           // cumulative objects written to disk
+  uint64_t spill_restores = 0;   // cumulative objects read back
   void EncodeTo(wire::Writer& w) const;
   static Result<StoreStats> DecodeFrom(wire::Reader& r);
 };
@@ -249,6 +255,9 @@ struct ShardStatsEntry {
   uint64_t arena_capacity = 0;   // bytes of the pool carved to this shard
   uint64_t evictions = 0;
   uint64_t inflight_gets = 0;    // parked Gets awaiting a seal/deadline
+  uint64_t spilled_objects = 0;  // objects in this shard's spill file
+  uint64_t spilled_bytes = 0;
+  uint64_t spill_restores = 0;   // cumulative restores on this shard
   void EncodeTo(wire::Writer& w) const;
   static Result<ShardStatsEntry> DecodeFrom(wire::Reader& r);
 };

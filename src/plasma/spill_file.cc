@@ -1,0 +1,446 @@
+#include "plasma/spill_file.h"
+
+#include <fcntl.h>
+#include <sys/stat.h>
+#include <sys/uio.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstring>
+
+#include "common/crc32.h"
+#include "common/log.h"
+
+namespace mdos::plasma {
+
+namespace {
+
+// Record header, 56 bytes on disk:
+//   [ magic u32 | header_crc u32 | slot_capacity u64 | data_size u64 |
+//     metadata_size u64 | payload_crc u32 | object id (20 bytes) ]
+// header_crc covers everything after itself, so a torn header write is
+// caught before any other field is trusted.
+constexpr uint32_t kLiveMagic = 0x4C50534D;  // "MSPL"
+constexpr uint32_t kFreeMagic = 0x4650534D;  // "MSPF"
+constexpr size_t kHeaderSize = 56;
+constexpr size_t kHeaderCrcStart = 8;  // fields covered by header_crc
+
+// Compaction pays a full rewrite; only worth it once the file is
+// mostly holes and big enough for the holes to matter.
+constexpr uint64_t kCompactMinFileBytes = 1 << 20;
+
+struct RawHeader {
+  uint32_t magic = 0;
+  uint32_t header_crc = 0;
+  uint64_t slot_capacity = 0;
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  uint32_t payload_crc = 0;
+  ObjectId id;
+
+  void Serialize(uint8_t out[kHeaderSize]) const {
+    std::memcpy(out + 0, &magic, 4);
+    std::memcpy(out + 8, &slot_capacity, 8);
+    std::memcpy(out + 16, &data_size, 8);
+    std::memcpy(out + 24, &metadata_size, 8);
+    std::memcpy(out + 32, &payload_crc, 4);
+    std::memcpy(out + 36, id.data(), ObjectId::kSize);
+    uint32_t crc = Crc32(out + kHeaderCrcStart, kHeaderSize - kHeaderCrcStart);
+    std::memcpy(out + 4, &crc, 4);
+  }
+
+  // False when the header CRC does not match (fields untrustworthy).
+  static bool Deserialize(const uint8_t in[kHeaderSize], RawHeader* out) {
+    std::memcpy(&out->magic, in + 0, 4);
+    std::memcpy(&out->header_crc, in + 4, 4);
+    std::memcpy(&out->slot_capacity, in + 8, 8);
+    std::memcpy(&out->data_size, in + 16, 8);
+    std::memcpy(&out->metadata_size, in + 24, 8);
+    std::memcpy(&out->payload_crc, in + 32, 4);
+    out->id = ObjectId::FromBinary(std::string_view(
+        reinterpret_cast<const char*>(in + 36), ObjectId::kSize));
+    return Crc32(in + kHeaderCrcStart, kHeaderSize - kHeaderCrcStart) ==
+           out->header_crc;
+  }
+};
+
+Status PReadAll(int fd, void* buf, size_t size, uint64_t offset) {
+  uint8_t* dst = static_cast<uint8_t*>(buf);
+  while (size > 0) {
+    ssize_t n = ::pread(fd, dst, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("spill pread");
+    }
+    if (n == 0) return Status::IoError("spill pread: unexpected EOF");
+    dst += n;
+    size -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+Status PWriteAll(int fd, const void* buf, size_t size, uint64_t offset) {
+  const uint8_t* src = static_cast<const uint8_t*>(buf);
+  while (size > 0) {
+    ssize_t n = ::pwrite(fd, src, size, static_cast<off_t>(offset));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("spill pwrite");
+    }
+    src += n;
+    size -= static_cast<size_t>(n);
+    offset += static_cast<uint64_t>(n);
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+Result<SpillFile> SpillFile::Open(std::string path) {
+  int raw = ::open(path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (raw < 0) return Status::FromErrno("spill open " + path);
+  SpillFile file;
+  file.path_ = std::move(path);
+  file.fd_ = net::UniqueFd(raw);
+  return file;
+}
+
+Result<SpillFile> SpillFile::Recover(std::string path) {
+  int raw = ::open(path.c_str(), O_RDWR, 0644);
+  if (raw < 0) return Status::FromErrno("spill recover " + path);
+  SpillFile file;
+  file.path_ = std::move(path);
+  file.fd_ = net::UniqueFd(raw);
+
+  struct stat st {};
+  if (::fstat(raw, &st) != 0) return Status::FromErrno("spill fstat");
+  const uint64_t file_len = static_cast<uint64_t>(st.st_size);
+
+  // Walk the record chain. Headers frame the file: a record whose header
+  // fails its CRC (or whose magic is unknown) cannot be strided over, so
+  // the scan stops there and the tail is truncated away. Damaged
+  // payloads only cost their own record — the slot becomes reusable and
+  // the walk continues behind it.
+  uint64_t offset = 0;
+  std::vector<uint8_t> payload;
+  while (offset + kHeaderSize <= file_len) {
+    uint8_t raw_header[kHeaderSize];
+    if (!PReadAll(raw, raw_header, kHeaderSize, offset).ok()) break;
+    RawHeader header;
+    if (!RawHeader::Deserialize(raw_header, &header) ||
+        (header.magic != kLiveMagic && header.magic != kFreeMagic)) {
+      ++file.stats_.corrupt_records;
+      break;
+    }
+    const uint64_t payload_size = header.data_size + header.metadata_size;
+    if (payload_size > header.slot_capacity ||
+        offset + kHeaderSize + header.slot_capacity > file_len) {
+      // Truncated tail: the slot extends past EOF (torn final append).
+      ++file.stats_.corrupt_records;
+      break;
+    }
+    const uint64_t next = offset + kHeaderSize + header.slot_capacity;
+    if (header.magic == kFreeMagic) {
+      file.free_slots_.emplace(offset, header.slot_capacity);
+      file.stats_.free_bytes += header.slot_capacity;
+      offset = next;
+      continue;
+    }
+    payload.resize(payload_size);
+    Status read = PReadAll(raw, payload.data(), payload_size,
+                           offset + kHeaderSize);
+    if (!read.ok() ||
+        Crc32(payload.data(), payload.size()) != header.payload_crc) {
+      // Corrupt payload: drop the record, keep its slot reusable, and
+      // keep walking — later records are still intact.
+      ++file.stats_.corrupt_records;
+      file.free_slots_.emplace(offset, header.slot_capacity);
+      file.stats_.free_bytes += header.slot_capacity;
+      offset = next;
+      continue;
+    }
+    Slot slot;
+    slot.id = header.id;
+    slot.capacity = header.slot_capacity;
+    slot.data_size = header.data_size;
+    slot.metadata_size = header.metadata_size;
+    slot.payload_crc = header.payload_crc;
+    file.live_.emplace(offset, slot);
+    file.stats_.live_bytes += payload_size;
+    offset = next;
+  }
+  file.end_offset_ = offset;
+  if (offset < file_len) {
+    // Unframeable tail; discard so future appends extend a clean chain.
+    (void)::ftruncate(raw, static_cast<off_t>(offset));
+  }
+  return file;
+}
+
+Result<uint64_t> SpillFile::WriteRecord(uint64_t offset,
+                                        uint64_t slot_capacity,
+                                        const ObjectId& id,
+                                        const uint8_t* payload,
+                                        uint64_t data_size,
+                                        uint64_t metadata_size) {
+  RawHeader header;
+  header.magic = kLiveMagic;
+  header.slot_capacity = slot_capacity;
+  header.data_size = data_size;
+  header.metadata_size = metadata_size;
+  header.payload_crc =
+      Crc32(payload, static_cast<size_t>(data_size + metadata_size));
+  header.id = id;
+  uint8_t raw_header[kHeaderSize];
+  header.Serialize(raw_header);
+
+  // One positioned writev keeps header and payload adjacent without an
+  // intermediate copy of the (possibly large) payload.
+  struct iovec iov[2];
+  iov[0].iov_base = raw_header;
+  iov[0].iov_len = kHeaderSize;
+  iov[1].iov_base = const_cast<uint8_t*>(payload);
+  iov[1].iov_len = static_cast<size_t>(data_size + metadata_size);
+  uint64_t written = 0;
+  const uint64_t total = kHeaderSize + data_size + metadata_size;
+  while (written < total) {
+    ssize_t n = ::pwritev(fd_.get(), iov, 2,
+                          static_cast<off_t>(offset + written));
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("spill pwritev");
+    }
+    written += static_cast<uint64_t>(n);
+    if (written >= total) break;
+    // Short write: fall back to plain pwrites for the remainder.
+    if (written >= kHeaderSize) {
+      MDOS_RETURN_IF_ERROR(PWriteAll(fd_.get(),
+                                     payload + (written - kHeaderSize),
+                                     static_cast<size_t>(total - written),
+                                     offset + written));
+    } else {
+      MDOS_RETURN_IF_ERROR(PWriteAll(fd_.get(), raw_header + written,
+                                     static_cast<size_t>(kHeaderSize - written),
+                                     offset + written));
+      MDOS_RETURN_IF_ERROR(
+          PWriteAll(fd_.get(), payload,
+                    static_cast<size_t>(data_size + metadata_size),
+                    offset + kHeaderSize));
+    }
+    written = total;
+  }
+
+  Slot slot;
+  slot.id = id;
+  slot.capacity = slot_capacity;
+  slot.data_size = data_size;
+  slot.metadata_size = metadata_size;
+  slot.payload_crc = header.payload_crc;
+  live_[offset] = slot;
+  stats_.live_bytes += data_size + metadata_size;
+  ++stats_.appends;
+  return offset;
+}
+
+Result<uint64_t> SpillFile::Append(const ObjectId& id,
+                                   const uint8_t* payload,
+                                   uint64_t data_size,
+                                   uint64_t metadata_size) {
+  if (!fd_.valid()) return Status::NotConnected("spill file not open");
+  const uint64_t payload_size = data_size + metadata_size;
+
+  // First-fit over freed slots (offset order), as in the pool allocator.
+  for (auto it = free_slots_.begin(); it != free_slots_.end(); ++it) {
+    if (it->second < payload_size) continue;
+    const uint64_t offset = it->first;
+    const uint64_t capacity = it->second;
+    free_slots_.erase(it);
+    stats_.free_bytes -= capacity;
+    auto written = WriteRecord(offset, capacity, id, payload, data_size,
+                               metadata_size);
+    if (!written.ok()) {
+      // The slot is still a hole on disk; keep it reusable.
+      free_slots_.emplace(offset, capacity);
+      stats_.free_bytes += capacity;
+      return written;
+    }
+    ++stats_.slot_reuses;
+    return written;
+  }
+
+  const uint64_t offset = end_offset_;
+  auto written = WriteRecord(offset, payload_size, id, payload, data_size,
+                             metadata_size);
+  if (written.ok()) end_offset_ = offset + kHeaderSize + payload_size;
+  return written;
+}
+
+Status SpillFile::ReadBack(const ObjectId& id, uint64_t offset,
+                           uint8_t* dst) {
+  if (!fd_.valid()) return Status::NotConnected("spill file not open");
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    return Status::KeyError("spill: no live record at offset " +
+                            std::to_string(offset));
+  }
+  const Slot& slot = it->second;
+  if (slot.id != id) {
+    return Status::KeyError("spill: record at " + std::to_string(offset) +
+                            " holds " + slot.id.Hex() + ", not " + id.Hex());
+  }
+
+  // Re-verify the on-disk header before trusting the payload span: it
+  // detects silent file damage underneath a running store.
+  uint8_t raw_header[kHeaderSize];
+  MDOS_RETURN_IF_ERROR(
+      PReadAll(fd_.get(), raw_header, kHeaderSize, offset));
+  RawHeader header;
+  if (!RawHeader::Deserialize(raw_header, &header) ||
+      header.magic != kLiveMagic || header.id != id ||
+      header.data_size != slot.data_size ||
+      header.metadata_size != slot.metadata_size) {
+    ++stats_.corrupt_records;
+    return Status::IoError("spill: corrupt record header at offset " +
+                           std::to_string(offset));
+  }
+  const uint64_t payload_size = slot.data_size + slot.metadata_size;
+  MDOS_RETURN_IF_ERROR(
+      PReadAll(fd_.get(), dst, static_cast<size_t>(payload_size),
+               offset + kHeaderSize));
+  if (Crc32(dst, static_cast<size_t>(payload_size)) != slot.payload_crc) {
+    ++stats_.corrupt_records;
+    return Status::IoError("spill: payload CRC mismatch for " + id.Hex() +
+                           " at offset " + std::to_string(offset));
+  }
+  return Status::OK();
+}
+
+Status SpillFile::Free(uint64_t offset) {
+  if (!fd_.valid()) return Status::NotConnected("spill file not open");
+  auto it = live_.find(offset);
+  if (it == live_.end()) {
+    return Status::KeyError("spill free: no live record at offset " +
+                            std::to_string(offset));
+  }
+  const Slot slot = it->second;
+
+  // Re-magic the header so a Recover scan strides over the hole.
+  RawHeader header;
+  header.magic = kFreeMagic;
+  header.slot_capacity = slot.capacity;
+  header.data_size = slot.data_size;
+  header.metadata_size = slot.metadata_size;
+  header.payload_crc = slot.payload_crc;
+  header.id = slot.id;
+  uint8_t raw_header[kHeaderSize];
+  header.Serialize(raw_header);
+  MDOS_RETURN_IF_ERROR(
+      PWriteAll(fd_.get(), raw_header, kHeaderSize, offset));
+
+  live_.erase(it);
+  free_slots_.emplace(offset, slot.capacity);
+  stats_.live_bytes -= slot.data_size + slot.metadata_size;
+  stats_.free_bytes += slot.capacity;
+  ++stats_.frees;
+  return Status::OK();
+}
+
+bool SpillFile::ShouldCompact() const {
+  if (end_offset_ < kCompactMinFileBytes) return false;
+  const uint64_t hole_bytes =
+      stats_.free_bytes + free_slots_.size() * kHeaderSize;
+  return hole_bytes * 2 > end_offset_;
+}
+
+Status SpillFile::Compact(
+    const std::function<void(const ObjectId&, uint64_t new_offset)>&
+        on_move) {
+  if (!fd_.valid()) return Status::NotConnected("spill file not open");
+  const std::string tmp_path = path_ + ".compact";
+  int tmp = ::open(tmp_path.c_str(), O_RDWR | O_CREAT | O_TRUNC, 0644);
+  if (tmp < 0) return Status::FromErrno("spill compact open " + tmp_path);
+  net::UniqueFd tmp_fd(tmp);
+
+  // Copy live records packed, in file order (live_ is offset-ordered),
+  // so relative placement and any sequential-read locality survive. An
+  // I/O failure abandons the rewrite: the original segment is untouched
+  // and the temp file must not be left behind on the (likely full) disk.
+  std::map<uint64_t, Slot> relocated;
+  std::vector<std::pair<ObjectId, uint64_t>> moves;  // id -> new offset
+  moves.reserve(live_.size());
+  uint64_t out_offset = 0;
+  std::vector<uint8_t> payload;
+  Status copy = Status::OK();
+  for (const auto& [old_offset, slot] : live_) {
+    const uint64_t payload_size = slot.data_size + slot.metadata_size;
+    payload.resize(payload_size);
+    copy = PReadAll(fd_.get(), payload.data(),
+                    static_cast<size_t>(payload_size),
+                    old_offset + kHeaderSize);
+    if (!copy.ok()) break;
+    RawHeader header;
+    header.magic = kLiveMagic;
+    header.slot_capacity = payload_size;  // packed: capacity == payload
+    header.data_size = slot.data_size;
+    header.metadata_size = slot.metadata_size;
+    header.payload_crc = slot.payload_crc;
+    header.id = slot.id;
+    uint8_t raw_header[kHeaderSize];
+    header.Serialize(raw_header);
+    copy = PWriteAll(tmp_fd.get(), raw_header, kHeaderSize, out_offset);
+    if (copy.ok()) {
+      copy = PWriteAll(tmp_fd.get(), payload.data(),
+                       static_cast<size_t>(payload_size),
+                       out_offset + kHeaderSize);
+    }
+    if (!copy.ok()) break;
+    relocated.emplace(out_offset, slot);
+    moves.emplace_back(slot.id, out_offset);
+    out_offset += kHeaderSize + payload_size;
+  }
+  if (copy.ok() && ::rename(tmp_path.c_str(), path_.c_str()) != 0) {
+    copy = Status::FromErrno("spill compact rename");
+  }
+  if (!copy.ok()) {
+    (void)::unlink(tmp_path.c_str());
+    return copy;
+  }
+  // The old fd now refers to the unlinked inode; adopt the new one.
+  fd_ = std::move(tmp_fd);
+  end_offset_ = out_offset;
+  live_ = std::move(relocated);
+  free_slots_.clear();
+  stats_.free_bytes = 0;
+  ++stats_.compactions;
+
+  if (on_move) {
+    for (const auto& [id, new_offset] : moves) {
+      on_move(id, new_offset);
+    }
+  }
+  return Status::OK();
+}
+
+std::vector<SpillFile::RecordInfo> SpillFile::live() const {
+  std::vector<RecordInfo> out;
+  out.reserve(live_.size());
+  for (const auto& [offset, slot] : live_) {
+    RecordInfo info;
+    info.id = slot.id;
+    info.offset = offset;
+    info.data_size = slot.data_size;
+    info.metadata_size = slot.metadata_size;
+    out.push_back(info);
+  }
+  return out;
+}
+
+SpillFileStats SpillFile::stats() const {
+  SpillFileStats s = stats_;
+  s.file_bytes = end_offset_;
+  s.live_records = live_.size();
+  return s;
+}
+
+}  // namespace mdos::plasma

@@ -1,0 +1,137 @@
+// SpillFile — the on-disk segment file behind the store's spill tier.
+//
+// Each store shard owns one SpillFile. When eviction would destroy a
+// sealed object and StoreOptions::spill_dir is set, the shard appends
+// the object's bytes here instead and the ObjectTable entry moves to
+// kSpilled, remembering the record's file offset; a later Get reads the
+// record back into the shared-memory pool. The framing discipline
+// follows Arrow IPC: every record is self-describing and checksummed,
+// so a reader never has to trust anything but the bytes in front of it.
+//
+// On-disk layout: a packed sequence of records, each
+//
+//   [ 56-byte header | payload (data section || metadata section) ]
+//
+// where the header carries a magic (live vs freed slot), the object id,
+// the slot's payload capacity, the section sizes, a CRC32 of the
+// payload, and a CRC32 of the header itself. Freed slots keep their
+// header (remagicked) so a scan can stride over them and an append can
+// reuse them first-fit; when freed capacity crosses half the file the
+// owner is told to Compact(), which rewrites live records packed into a
+// fresh file and reports every record's new offset.
+//
+// Crash safety: ReadBack and Recover() verify both CRCs. A truncated
+// tail record (torn final write) or a payload CRC mismatch is detected
+// and skipped — Recover keeps every intact record after the damage as
+// long as headers stay readable, and stops at the first unreadable
+// header (nothing beyond it can be framed).
+//
+// Not internally synchronized: each shard accesses its SpillFile under
+// the shard mutex, mirroring the table/arena/eviction ownership rules.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/object_id.h"
+#include "common/status.h"
+#include "net/fd.h"
+
+namespace mdos::plasma {
+
+struct SpillFileStats {
+  uint64_t file_bytes = 0;      // current file length
+  uint64_t live_records = 0;
+  uint64_t live_bytes = 0;      // payload bytes of live records
+  uint64_t free_bytes = 0;      // reusable payload capacity in freed slots
+  uint64_t appends = 0;         // cumulative records written
+  uint64_t slot_reuses = 0;     // appends that recycled a freed slot
+  uint64_t frees = 0;
+  uint64_t compactions = 0;
+  uint64_t corrupt_records = 0; // CRC failures seen by ReadBack/Recover
+};
+
+class SpillFile {
+ public:
+  // One live record as seen by Recover (and tests).
+  struct RecordInfo {
+    ObjectId id;
+    uint64_t offset = 0;  // file offset of the record header
+    uint64_t data_size = 0;
+    uint64_t metadata_size = 0;
+    uint64_t payload_size() const { return data_size + metadata_size; }
+  };
+
+  SpillFile() = default;
+  SpillFile(SpillFile&&) = default;
+  SpillFile& operator=(SpillFile&&) = default;
+
+  // Creates (or truncates) the segment file.
+  static Result<SpillFile> Open(std::string path);
+
+  // Opens an existing segment and scans it record by record, verifying
+  // both CRCs. Damaged records (truncated tail, corrupt payload, freed
+  // slots) are skipped; the survivors are returned through live().
+  static Result<SpillFile> Recover(std::string path);
+
+  // Writes one record (data || metadata) and returns its file offset,
+  // reusing a freed slot when one fits.
+  Result<uint64_t> Append(const ObjectId& id, const uint8_t* payload,
+                          uint64_t data_size, uint64_t metadata_size);
+
+  // Reads the record at `offset` back into `dst` (payload_size() bytes),
+  // verifying the header, the id, and the payload CRC. IoError on any
+  // mismatch — a corrupt record is never silently served.
+  Status ReadBack(const ObjectId& id, uint64_t offset, uint8_t* dst);
+
+  // Releases the record's slot for reuse. The payload bytes stay on disk
+  // until the slot is recycled or compacted.
+  Status Free(uint64_t offset);
+
+  // True when freed capacity justifies rewriting the file (the owner
+  // should call Compact under its shard mutex).
+  bool ShouldCompact() const;
+
+  // Rewrites live records packed into `path() + ".compact"`, renames it
+  // over the segment, and reports each surviving record's new offset.
+  Status Compact(
+      const std::function<void(const ObjectId&, uint64_t new_offset)>&
+          on_move);
+
+  // Live records ordered by file offset (Recover fills this; Append and
+  // Free maintain it).
+  std::vector<RecordInfo> live() const;
+
+  SpillFileStats stats() const;
+  const std::string& path() const { return path_; }
+  bool valid() const { return fd_.valid(); }
+
+ private:
+  struct Slot {
+    ObjectId id;
+    uint64_t capacity = 0;  // payload bytes reserved for the slot
+    uint64_t data_size = 0;
+    uint64_t metadata_size = 0;
+    uint32_t payload_crc = 0;
+  };
+
+  Result<uint64_t> WriteRecord(uint64_t offset, uint64_t slot_capacity,
+                               const ObjectId& id, const uint8_t* payload,
+                               uint64_t data_size, uint64_t metadata_size);
+
+  std::string path_;
+  net::UniqueFd fd_;
+  uint64_t end_offset_ = 0;  // file length == next append position
+
+  // Both keyed by header offset, ordered so first-fit reuse and the
+  // compaction/recovery walks get file order for free.
+  std::map<uint64_t, Slot> live_;
+  std::map<uint64_t, uint64_t> free_slots_;  // offset -> capacity
+
+  SpillFileStats stats_;
+};
+
+}  // namespace mdos::plasma

@@ -1,6 +1,7 @@
 #include "plasma/store.h"
 
 #include <sys/socket.h>
+#include <sys/stat.h>
 #include <sys/time.h>
 
 #include <algorithm>
@@ -85,6 +86,11 @@ struct Store::Shard {
   std::unordered_map<ObjectId, std::unordered_map<uint32_t, uint32_t>>
       remote_pins;  // id -> (peer node -> pin count)
   uint64_t eviction_count = 0;
+  // Disk spill tier (engaged when StoreOptions::spill_dir is set): the
+  // shard's segment file plus cumulative spill/restore counters.
+  std::optional<SpillFile> spill;
+  uint64_t spill_count = 0;
+  uint64_t restore_count = 0;
 
   // ---- event-loop state: shard thread only ----------------------------
   net::Poller poller;
@@ -194,6 +200,18 @@ Store::~Store() { Stop(); }
 
 Status Store::Start() {
   if (running_.load()) return Status::Invalid("store already running");
+  if (!options_.spill_dir.empty()) {
+    // Best-effort create; a real failure surfaces from SpillFile::Open.
+    (void)::mkdir(options_.spill_dir.c_str(), 0755);
+    for (auto& shard : shards_) {
+      MDOS_ASSIGN_OR_RETURN(
+          auto spill,
+          SpillFile::Open(options_.spill_dir + "/" + options_.name +
+                          ".shard" + std::to_string(shard->index) +
+                          ".spill"));
+      shard->spill.emplace(std::move(spill));
+    }
+  }
   MDOS_ASSIGN_OR_RETURN(
       listen_fd_, net::UdsListen(socket_path_, options_.accept_backlog));
   // Non-blocking so the accept loop can drain the backlog and classify
@@ -236,6 +254,17 @@ void Store::Stop() {
     shard->subscriber_count.store(0);
     std::lock_guard<std::mutex> lock(shard->mailbox_mutex);
     shard->mailbox.clear();
+  }
+  // The spill tier does not persist across runs: close and delete each
+  // shard's segment. Shard mutexes guard against a peer-surface call
+  // still in flight on the RPC thread.
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    if (shard->spill.has_value()) {
+      std::string spill_path = shard->spill->path();
+      shard->spill.reset();
+      ::unlink(spill_path.c_str());
+    }
   }
   accept_poller_.Remove(listen_fd_.get());
   listen_fd_.Reset();
@@ -576,6 +605,39 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
           std::to_string(size) + " bytes");
     }
     for (const ObjectId& victim : victims) {
+      // Spill tier first: demote the victim to the shard's segment file
+      // and keep its table entry (as kSpilled). A failed spill write
+      // (disk full, I/O error) falls through to destructive eviction so
+      // the create still succeeds.
+      if (owner.spill.has_value()) {
+        auto entry = owner.table.Lookup(victim);
+        if (entry.ok() && entry->state == ObjectState::kSealed &&
+            entry->local_refs == 0) {
+          auto spilled_at = owner.spill->Append(
+              victim, pool_base_ + entry->offset, entry->data_size,
+              entry->metadata_size);
+          if (spilled_at.ok() &&
+              owner.table.MarkSpilled(victim, *spilled_at).ok()) {
+            (void)owner.arena->Free(entry->offset);
+            owner.eviction.Remove(victim);
+            if (shared_index_ != nullptr) {
+              // Peers must stop reading the stale pool offset; their
+              // look-ups fall back to RPC, which restores on demand.
+              std::lock_guard<std::mutex> index_lock(index_mutex_);
+              (void)shared_index_->Remove(victim);
+            }
+            ++owner.spill_count;
+            continue;
+          }
+          if (spilled_at.ok()) {
+            (void)owner.spill->Free(*spilled_at);
+          } else {
+            MDOS_LOG_WARN << "spill of " << victim.Hex()
+                          << " failed: " << spilled_at.status()
+                          << "; evicting destructively";
+          }
+        }
+      }
       auto removed = owner.table.Remove(victim);
       if (!removed.ok()) continue;  // raced with a new pin; skip
       (void)owner.arena->Free(removed->offset);
@@ -587,6 +649,56 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
       }
       ++owner.eviction_count;
     }
+  }
+}
+
+Result<ObjectEntry> Store::RestoreSpilled(Shard& owner,
+                                          const ObjectId& id) {
+  MDOS_ASSIGN_OR_RETURN(ObjectEntry entry, owner.table.Lookup(id));
+  if (entry.state != ObjectState::kSpilled) return entry;
+  if (!owner.spill.has_value()) {
+    return Status::Invalid("object " + id.Hex() +
+                           " is spilled but the spill tier is closed");
+  }
+  // Making room may spill other objects from this shard — appends to the
+  // segment never disturb the live record we are about to read.
+  MDOS_ASSIGN_OR_RETURN(alloc::Allocation allocation,
+                        AllocateWithEviction(owner, entry.total_size()));
+  Status read = owner.spill->ReadBack(id, entry.spill_offset,
+                                      pool_base_ + allocation.offset);
+  if (!read.ok()) {
+    // The record is unreadable (CRC mismatch / I/O error): the object is
+    // gone. Drop the entry so callers see a clean miss instead of
+    // retrying a poisoned restore forever.
+    (void)owner.arena->Free(allocation.offset);
+    (void)owner.spill->Free(entry.spill_offset);
+    (void)owner.table.Remove(id, /*force=*/true);
+    MDOS_LOG_ERROR << "restore of spilled object " << id.Hex()
+                   << " failed: " << read;
+    return read;
+  }
+  (void)owner.table.MarkRestored(id, allocation.offset);
+  (void)owner.spill->Free(entry.spill_offset);
+  owner.eviction.Add(id, entry.total_size());
+  ++owner.restore_count;
+  if (shared_index_ != nullptr) {
+    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    (void)shared_index_->Insert(
+        id, IndexedObject{allocation.offset, entry.data_size,
+                          entry.metadata_size});
+  }
+  MaybeCompactSpill(owner);
+  return owner.table.Lookup(id);
+}
+
+void Store::MaybeCompactSpill(Shard& owner) {
+  if (!owner.spill.has_value() || !owner.spill->ShouldCompact()) return;
+  Status compacted =
+      owner.spill->Compact([&owner](const ObjectId& id, uint64_t offset) {
+        (void)owner.table.UpdateSpillOffset(id, offset);
+      });
+  if (!compacted.ok()) {
+    MDOS_LOG_WARN << "spill compaction failed: " << compacted;
   }
 }
 
@@ -802,7 +914,10 @@ void Store::HandleAbort(Shard& home, ClientConn& conn,
     auto entry = owner.table.Lookup(request->id);
     if (!entry.ok()) {
       reply.status = entry.status();
-    } else if (entry->state == ObjectState::kSealed) {
+    } else if (entry->state != ObjectState::kCreated) {
+      // Covers kSpilled too: a spilled entry's pool offset is stale (its
+      // allocation was already freed at spill time), so force-removing
+      // it here would double-free whatever lives there now.
       reply.status =
           Status::Sealed("cannot abort sealed object " + request->id.Hex());
     } else {
@@ -823,6 +938,11 @@ std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
   {
     std::lock_guard<std::mutex> lock(owner.mutex);
     auto entry = owner.table.Lookup(id);
+    if (entry.ok() && entry->state == ObjectState::kSpilled) {
+      // Transparent promotion from the disk tier: the client sees a
+      // normal local hit, just slower. A failed restore reads as a miss.
+      entry = RestoreSpilled(owner, id);
+    }
     if (!entry.ok() || entry->state != ObjectState::kSealed) {
       return std::nullopt;
     }
@@ -1073,6 +1193,18 @@ int Store::FlushExpiredPendingGets(Shard& shard) {
       auto conn_it = shard.clients.find(pending.fd);
       for (auto id_it = pending.waiting.begin();
            id_it != pending.waiting.end();) {
+        if (conn_it != shard.clients.end()) {
+          // Final local retry. This mostly matters for the spill tier:
+          // a restore that failed with kOutOfMemory while the pool was
+          // pinned solid (the object existed all along — Contains said
+          // so) may succeed now that pins have dropped during the wait.
+          auto local = TryLocalGet(*conn_it->second, *id_it);
+          if (local.has_value()) {
+            pending.ready.emplace(*id_it, *local);
+            id_it = pending.waiting.erase(id_it);
+            continue;
+          }
+        }
         auto hit = resolved.find(*id_it);
         if (hit == resolved.end() || conn_it == shard.clients.end()) {
           ++id_it;
@@ -1174,7 +1306,14 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
       auto removed = owner.table.Remove(request->id);
       reply.status = removed.status();
       if (removed.ok()) {
-        (void)owner.arena->Free(removed->offset);
+        if (removed->state == ObjectState::kSpilled) {
+          if (owner.spill.has_value()) {
+            (void)owner.spill->Free(removed->spill_offset);
+            MaybeCompactSpill(owner);
+          }
+        } else {
+          (void)owner.arena->Free(removed->offset);
+        }
         owner.eviction.Remove(request->id);
         owner.remote_pins.erase(request->id);
         if (shared_index_ != nullptr) {
@@ -1246,8 +1385,19 @@ std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
     if (by_shard[s].empty()) continue;
     Shard& owner = *shards_[s];
     std::lock_guard<std::mutex> lock(owner.mutex);
+    // Objects already reported from this shard are ref-pinned until the
+    // batch leaves the shard: a later id's restore re-runs eviction, and
+    // without the pin it could re-spill an earlier hit and invalidate
+    // the offset we just put in the reply.
+    std::vector<ObjectId> reported;
     for (size_t i : by_shard[s]) {
       auto entry = owner.table.Lookup(ids[i]);
+      if (entry.ok() && entry->state == ObjectState::kSpilled) {
+        // Spilled objects are present as far as peers are concerned:
+        // restore into the pool so the returned offset is readable over
+        // the fabric. (Same transparency rule as a local Get.)
+        entry = RestoreSpilled(owner, ids[i]);
+      }
       if (!entry.ok() || entry->state != ObjectState::kSealed) continue;
       RemoteObjectLocation loc;
       loc.home_node = node_id_;
@@ -1256,6 +1406,11 @@ std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
       loc.data_size = entry->data_size;
       loc.metadata_size = entry->metadata_size;
       out[i] = loc;
+      (void)owner.table.AddRef(ids[i]);
+      reported.push_back(ids[i]);
+    }
+    for (const ObjectId& id : reported) {
+      (void)owner.table.ReleaseRef(id);
     }
   }
   return out;
@@ -1270,7 +1425,12 @@ bool Store::ContainsId(const ObjectId& id) {
 Status Store::PinForPeer(const ObjectId& id, uint32_t peer_node) {
   Shard& owner = OwnerShard(id);
   std::lock_guard<std::mutex> lock(owner.mutex);
-  if (!owner.table.ContainsSealed(id)) {
+  auto entry = owner.table.Lookup(id);
+  if (entry.ok() && entry->state == ObjectState::kSpilled) {
+    // A pin promises the peer stable pool residency; promote first.
+    entry = RestoreSpilled(owner, id);
+  }
+  if (!entry.ok() || entry->state != ObjectState::kSealed) {
     return Status::KeyError("pin: object " + id.Hex() + " not sealed here");
   }
   ++owner.remote_pins[id][peer_node];
@@ -1320,6 +1480,10 @@ StoreStats Store::stats() {
     s.objects_total += shard->table.size();
     s.objects_sealed += shard->table.sealed_count();
     s.evictions += shard->eviction_count;
+    s.spilled_objects += shard->table.spilled_count();
+    s.spilled_bytes += shard->table.spilled_bytes();
+    s.spills += shard->spill_count;
+    s.spill_restores += shard->restore_count;
   }
   s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
   s.remote_lookup_hits =
@@ -1339,6 +1503,9 @@ std::vector<ShardStatsEntry> Store::shard_stats() {
       entry.objects_sealed = shard->table.sealed_count();
       entry.bytes_in_use = shard->table.bytes_in_use();
       entry.evictions = shard->eviction_count;
+      entry.spilled_objects = shard->table.spilled_count();
+      entry.spilled_bytes = shard->table.spilled_bytes();
+      entry.spill_restores = shard->restore_count;
     }
     entry.arena_capacity = pool_alloc_->arena_capacity(shard->index);
     entry.clients = shard->client_count.load(std::memory_order_relaxed);

@@ -39,6 +39,18 @@
 //   * The shared index writer is serialized by its own index mutex
 //     (always acquired after a shard mutex, never before).
 //
+// Tiered storage (StoreOptions::spill_dir): with a spill directory set,
+// eviction demotes sealed, unpinned objects to a per-shard disk segment
+// (plasma/spill_file.h) instead of destroying them, and a Get for a
+// spilled object transparently promotes it back into the pool —
+// re-running eviction for the space if needed — before the reply is
+// sent. Clients never observe the tier: the same Get/Contains surface
+// answers from memory or disk, only latency (and the spill counters in
+// GetStoreStats) differ. Spill files are owner state, accessed under the
+// shard mutex like the table and arena; spill writes and restore reads
+// therefore serialize that shard's owner operations — the price of
+// overcommit, paid only by workloads that exceed the pool.
+//
 // With shards = 1 (the default) the store is protocol- and
 // behaviour-compatible with the original single-threaded design.
 #pragma once
@@ -65,6 +77,7 @@
 #include "plasma/object_table.h"
 #include "plasma/protocol.h"
 #include "plasma/shared_index.h"
+#include "plasma/spill_file.h"
 #include "tf/fabric.h"
 
 namespace mdos::plasma {
@@ -90,6 +103,15 @@ struct StoreOptions {
   uint32_t shards = 1;
   // Explicit accept backlog for the listening socket.
   int accept_backlog = 128;
+  // Disk spill tier. Empty (the default) disables it: eviction destroys
+  // victims as before. When set, each shard keeps an append-only segment
+  // file `<spill_dir>/<name>.shard<i>.spill`; eviction writes victims
+  // there and Get restores them on demand, so working sets larger than
+  // `capacity` complete instead of failing with kOutOfMemory. The
+  // directory is created if missing; files are deleted on Stop (the
+  // spill tier is an extension of the in-memory pool, not a persistence
+  // layer across store restarts).
+  std::string spill_dir;
   // Probe peers on Create so ids are unique system-wide (§IV-A2).
   bool check_global_uniqueness = true;
   // Distributed object-usage sharing (paper future work, implemented):
@@ -299,11 +321,23 @@ class Store {
                          const RemoteObjectLocation& loc, bool count_hit);
 
   // Allocates space from the owner shard's arena, evicting its LRU
-  // unpinned objects if needed. Requires owner.mutex held.
+  // unpinned objects if needed — to the shard's spill file when the
+  // spill tier is enabled, destructively otherwise (or when the spill
+  // write fails). Requires owner.mutex held.
   Result<alloc::Allocation> AllocateWithEviction(Shard& owner,
                                                  uint64_t size);
   // Requires owner.mutex held.
   bool IsEvictable(const Shard& owner, const ObjectId& id) const;
+
+  // Promotes a spilled object back into the pool (allocating with
+  // eviction, verifying the record CRC) and returns the now-sealed
+  // entry. An unreadable record drops the object and returns the read
+  // error. Requires owner.mutex held.
+  Result<ObjectEntry> RestoreSpilled(Shard& owner, const ObjectId& id);
+  // Compacts the shard's spill file when its freed capacity crosses the
+  // threshold, rewriting spilled entries' file offsets. Requires
+  // owner.mutex held.
+  void MaybeCompactSpill(Shard& owner);
 
   // Resolves one id against its owner shard for a local Get: a hit pins
   // and returns an entry; unknown ids return nullopt (caller consults

@@ -1,7 +1,11 @@
-// Unit tests for the LRU eviction policy.
+// Unit tests for the LRU eviction policy, plus the end-to-end
+// evict-while-mapped contract: an object a client still holds mapped
+// (Get without Release) must never lose its memory to eviction.
 #include <gtest/gtest.h>
 
+#include "plasma/client.h"
 #include "plasma/eviction.h"
+#include "plasma/store.h"
 
 namespace mdos::plasma {
 namespace {
@@ -110,6 +114,55 @@ TEST(EvictionTest, ChooseDoesNotMutate) {
   auto v2 = policy.ChooseVictims(100, [](const ObjectId&) { return true; });
   EXPECT_EQ(v1, v2);
   EXPECT_EQ(policy.size(), 1u);
+}
+
+// The store-level half of the contract documented in eviction.h: an
+// object a client has Get-mapped (local_refs != 0) is excluded from
+// eviction even when it is the LRU candidate, so the client's mmap'd
+// buffer is never reused underneath it; dropping the pin makes the
+// object evictable again.
+TEST(EvictionTest, EvictWhileMappedIsRefused) {
+  StoreOptions options;
+  options.name = "evict-mapped-test";
+  options.capacity = 2 << 20;  // room for exactly two 1 MiB objects
+  auto store = Store::Create(options);
+  ASSERT_TRUE(store.ok()) << store.status();
+  ASSERT_TRUE((*store)->Start().ok());
+  auto client = PlasmaClient::Connect((*store)->socket_path());
+  ASSERT_TRUE(client.ok()) << client.status();
+
+  const std::string payload(1 << 20, 'a');
+  ASSERT_TRUE((*client)->CreateAndSeal(Id(1), payload).ok());
+  ASSERT_TRUE((*client)->CreateAndSeal(Id(2), payload).ok());
+
+  // Map Id(1): it is now both the LRU-most-recent and pinned; Id(2) is
+  // the only legal victim.
+  auto mapped = (*client)->Get(Id(1), /*timeout_ms=*/0);
+  ASSERT_TRUE(mapped.ok()) << mapped.status();
+
+  // A third object forces eviction: Id(2) goes, Id(1) must survive.
+  ASSERT_TRUE((*client)->CreateAndSeal(Id(3), payload).ok());
+  auto contains = (*client)->Contains(Id(1));
+  ASSERT_TRUE(contains.ok());
+  EXPECT_TRUE(*contains) << "mapped object was evicted";
+  // The mapping still reads the original bytes.
+  char byte = 0;
+  ASSERT_TRUE(mapped->ReadData(0, &byte, 1).ok());
+  EXPECT_EQ(byte, 'a');
+
+  // With Id(1) pinned and Id(3) fresh, a create needing BOTH slots can
+  // only claim Id(3)'s; the pinned object blocks it entirely.
+  auto blocked = (*client)->Create(Id(4), 2 << 20);
+  EXPECT_EQ(blocked.status().code(), StatusCode::kOutOfMemory)
+      << "create must fail rather than evict a mapped object";
+
+  // Releasing the pin restores evictability: the same create succeeds.
+  ASSERT_TRUE((*client)->Release(Id(1)).ok());
+  auto unblocked = (*client)->Create(Id(4), 2 << 20);
+  EXPECT_TRUE(unblocked.ok()) << unblocked.status();
+
+  (*client).reset();
+  (*store)->Stop();
 }
 
 }  // namespace

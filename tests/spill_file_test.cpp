@@ -1,0 +1,311 @@
+// Unit tests for the spill-tier segment file: record round-trips,
+// free-slot reuse, compaction, and — the crash-safety contract — that a
+// truncated tail record or a CRC-mismatched record is detected and
+// skipped on recovery instead of being served as object bytes.
+#include <gtest/gtest.h>
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "common/rng.h"
+#include "plasma/spill_file.h"
+
+namespace mdos::plasma {
+namespace {
+
+ObjectId Id(int i) { return ObjectId::FromName("spill" + std::to_string(i)); }
+
+std::vector<uint8_t> Payload(uint64_t seed, size_t size) {
+  std::vector<uint8_t> data(size);
+  SplitMix64(seed).Fill(data.data(), data.size());
+  return data;
+}
+
+class SpillFileTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    path_ = "/tmp/mdos-spill-test-" + std::to_string(::getpid()) + "-" +
+            ::testing::UnitTest::GetInstance()->current_test_info()->name();
+    ::unlink(path_.c_str());
+  }
+  void TearDown() override { ::unlink(path_.c_str()); }
+
+  // Flips one byte at `offset` in the closed file.
+  void CorruptByteAt(uint64_t offset) {
+    std::FILE* f = std::fopen(path_.c_str(), "r+b");
+    ASSERT_NE(f, nullptr);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    int byte = std::fgetc(f);
+    ASSERT_NE(byte, EOF);
+    ASSERT_EQ(std::fseek(f, static_cast<long>(offset), SEEK_SET), 0);
+    std::fputc(byte ^ 0xFF, f);
+    std::fclose(f);
+  }
+
+  std::string path_;
+};
+
+TEST_F(SpillFileTest, AppendReadBackRoundTrip) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok()) << file.status();
+  auto payload = Payload(1, 5000);
+  auto offset = file->Append(Id(1), payload.data(), 4000, 1000);
+  ASSERT_TRUE(offset.ok()) << offset.status();
+
+  std::vector<uint8_t> back(5000);
+  ASSERT_TRUE(file->ReadBack(Id(1), *offset, back.data()).ok());
+  EXPECT_EQ(back, payload);
+
+  auto stats = file->stats();
+  EXPECT_EQ(stats.live_records, 1u);
+  EXPECT_EQ(stats.live_bytes, 5000u);
+  EXPECT_EQ(stats.appends, 1u);
+}
+
+TEST_F(SpillFileTest, ReadBackChecksIdentity) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto payload = Payload(2, 100);
+  auto offset = file->Append(Id(1), payload.data(), 100, 0);
+  ASSERT_TRUE(offset.ok());
+
+  std::vector<uint8_t> back(100);
+  EXPECT_EQ(file->ReadBack(Id(2), *offset, back.data()).code(),
+            StatusCode::kKeyError);
+  EXPECT_EQ(file->ReadBack(Id(1), *offset + 1, back.data()).code(),
+            StatusCode::kKeyError);
+}
+
+TEST_F(SpillFileTest, FreedSlotIsReusedFirstFit) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto big = Payload(3, 8000);
+  auto small = Payload(4, 1000);
+  auto first = file->Append(Id(1), big.data(), 8000, 0);
+  auto second = file->Append(Id(2), big.data(), 8000, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(second.ok());
+  const uint64_t end_before = file->stats().file_bytes;
+
+  ASSERT_TRUE(file->Free(*first).ok());
+  // A smaller record lands in the freed slot; the file does not grow.
+  auto reused = file->Append(Id(3), small.data(), 1000, 0);
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(*reused, *first);
+  EXPECT_EQ(file->stats().file_bytes, end_before);
+  EXPECT_EQ(file->stats().slot_reuses, 1u);
+
+  std::vector<uint8_t> back(1000);
+  ASSERT_TRUE(file->ReadBack(Id(3), *reused, back.data()).ok());
+  EXPECT_EQ(back, small);
+}
+
+TEST_F(SpillFileTest, TooSmallFreeSlotIsSkipped) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto small = Payload(5, 1000);
+  auto big = Payload(6, 4000);
+  auto first = file->Append(Id(1), small.data(), 1000, 0);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE(file->Append(Id(2), small.data(), 1000, 0).ok());
+  ASSERT_TRUE(file->Free(*first).ok());
+
+  auto appended = file->Append(Id(3), big.data(), 4000, 0);
+  ASSERT_TRUE(appended.ok());
+  EXPECT_NE(*appended, *first) << "4000-byte record cannot fit a 1000-byte slot";
+}
+
+TEST_F(SpillFileTest, DoubleFreeRejected) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto payload = Payload(7, 100);
+  auto offset = file->Append(Id(1), payload.data(), 100, 0);
+  ASSERT_TRUE(offset.ok());
+  ASSERT_TRUE(file->Free(*offset).ok());
+  EXPECT_EQ(file->Free(*offset).code(), StatusCode::kKeyError);
+}
+
+TEST_F(SpillFileTest, RecoverRebuildsLiveAndFreeState) {
+  std::vector<uint8_t> p1 = Payload(8, 3000), p2 = Payload(9, 2000),
+                       p3 = Payload(10, 1000);
+  uint64_t off1 = 0, off3 = 0;
+  {
+    auto file = SpillFile::Open(path_);
+    ASSERT_TRUE(file.ok());
+    auto a = file->Append(Id(1), p1.data(), 2000, 1000);
+    auto b = file->Append(Id(2), p2.data(), 2000, 0);
+    auto c = file->Append(Id(3), p3.data(), 1000, 0);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    ASSERT_TRUE(file->Free(*b).ok());
+    off1 = *a;
+    off3 = *c;
+  }
+
+  auto recovered = SpillFile::Recover(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  auto live = recovered->live();
+  ASSERT_EQ(live.size(), 2u);
+  EXPECT_EQ(live[0].id, Id(1));
+  EXPECT_EQ(live[0].offset, off1);
+  EXPECT_EQ(live[0].data_size, 2000u);
+  EXPECT_EQ(live[0].metadata_size, 1000u);
+  EXPECT_EQ(live[1].id, Id(3));
+  EXPECT_EQ(live[1].offset, off3);
+  EXPECT_EQ(recovered->stats().corrupt_records, 0u);
+
+  std::vector<uint8_t> back(3000);
+  ASSERT_TRUE(recovered->ReadBack(Id(1), off1, back.data()).ok());
+  EXPECT_EQ(back, p1);
+  // The freed middle slot is found again and reused.
+  auto reused = recovered->Append(Id(4), p3.data(), 1000, 0);
+  ASSERT_TRUE(reused.ok());
+  EXPECT_EQ(recovered->stats().slot_reuses, 1u);
+}
+
+TEST_F(SpillFileTest, RecoverSkipsTruncatedTailRecord) {
+  std::vector<uint8_t> p1 = Payload(11, 2000), p2 = Payload(12, 3000);
+  uint64_t off1 = 0, file_len = 0;
+  {
+    auto file = SpillFile::Open(path_);
+    ASSERT_TRUE(file.ok());
+    auto a = file->Append(Id(1), p1.data(), 2000, 0);
+    auto b = file->Append(Id(2), p2.data(), 3000, 0);
+    ASSERT_TRUE(a.ok() && b.ok());
+    off1 = *a;
+    file_len = file->stats().file_bytes;
+  }
+  // Tear the final record: a crash mid-append leaves a short write.
+  ASSERT_EQ(::truncate(path_.c_str(), static_cast<off_t>(file_len - 100)),
+            0);
+
+  auto recovered = SpillFile::Recover(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  auto live = recovered->live();
+  ASSERT_EQ(live.size(), 1u) << "torn tail record must be dropped";
+  EXPECT_EQ(live[0].id, Id(1));
+  EXPECT_EQ(recovered->stats().corrupt_records, 1u);
+
+  std::vector<uint8_t> back(2000);
+  ASSERT_TRUE(recovered->ReadBack(Id(1), off1, back.data()).ok());
+  EXPECT_EQ(back, p1);
+  // Appends after recovery extend a clean chain (no overlap with the
+  // truncated garbage).
+  auto appended = recovered->Append(Id(3), p2.data(), 3000, 0);
+  ASSERT_TRUE(appended.ok());
+  back.resize(3000);
+  ASSERT_TRUE(recovered->ReadBack(Id(3), *appended, back.data()).ok());
+}
+
+TEST_F(SpillFileTest, RecoverSkipsCrcMismatchButKeepsLaterRecords) {
+  std::vector<uint8_t> p1 = Payload(13, 2000), p2 = Payload(14, 2000),
+                       p3 = Payload(15, 2000);
+  uint64_t off2 = 0, off3 = 0;
+  {
+    auto file = SpillFile::Open(path_);
+    ASSERT_TRUE(file.ok());
+    auto a = file->Append(Id(1), p1.data(), 2000, 0);
+    auto b = file->Append(Id(2), p2.data(), 2000, 0);
+    auto c = file->Append(Id(3), p3.data(), 2000, 0);
+    ASSERT_TRUE(a.ok() && b.ok() && c.ok());
+    off2 = *b;
+    off3 = *c;
+  }
+  // Flip one payload byte of the SECOND record (56-byte header + 1000).
+  CorruptByteAt(off2 + 56 + 1000);
+
+  auto recovered = SpillFile::Recover(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  auto live = recovered->live();
+  ASSERT_EQ(live.size(), 2u)
+      << "only the damaged record is dropped; records behind it survive";
+  EXPECT_EQ(live[0].id, Id(1));
+  EXPECT_EQ(live[1].id, Id(3));
+  EXPECT_EQ(recovered->stats().corrupt_records, 1u);
+  std::vector<uint8_t> back(2000);
+  ASSERT_TRUE(recovered->ReadBack(Id(3), off3, back.data()).ok());
+  EXPECT_EQ(back, p3);
+}
+
+TEST_F(SpillFileTest, ReadBackDetectsPayloadCorruptionUnderneath) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  auto payload = Payload(16, 4096);
+  auto offset = file->Append(Id(1), payload.data(), 4096, 0);
+  ASSERT_TRUE(offset.ok());
+  // Damage the file behind the running store's back.
+  CorruptByteAt(*offset + 56 + 512);
+
+  std::vector<uint8_t> back(4096);
+  Status read = file->ReadBack(Id(1), *offset, back.data());
+  EXPECT_EQ(read.code(), StatusCode::kIoError) << read;
+  EXPECT_EQ(file->stats().corrupt_records, 1u);
+}
+
+TEST_F(SpillFileTest, CompactRewritesPackedAndReportsMoves) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  std::vector<uint8_t> payload = Payload(17, 4000);
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 8; ++i) {
+    auto off = file->Append(Id(i), payload.data(), 4000, 0);
+    ASSERT_TRUE(off.ok());
+    offsets.push_back(*off);
+  }
+  // Free every even record -> half the file is holes.
+  for (int i = 0; i < 8; i += 2) {
+    ASSERT_TRUE(file->Free(offsets[static_cast<size_t>(i)]).ok());
+  }
+  const uint64_t before = file->stats().file_bytes;
+
+  std::unordered_map<ObjectId, uint64_t> moves;
+  ASSERT_TRUE(file->Compact([&moves](const ObjectId& id, uint64_t off) {
+                    moves[id] = off;
+                  })
+                  .ok());
+  EXPECT_LT(file->stats().file_bytes, before);
+  EXPECT_EQ(file->stats().free_bytes, 0u);
+  EXPECT_EQ(moves.size(), 4u);
+
+  // Every survivor reads back intact at its reported new offset.
+  std::vector<uint8_t> back(4000);
+  for (int i = 1; i < 8; i += 2) {
+    ASSERT_TRUE(moves.count(Id(i)) == 1);
+    ASSERT_TRUE(file->ReadBack(Id(i), moves[Id(i)], back.data()).ok())
+        << "record " << i;
+    EXPECT_EQ(back, payload);
+  }
+  // And the compacted file recovers cleanly.
+  auto stats = file->stats();
+  EXPECT_EQ(stats.live_records, 4u);
+  EXPECT_EQ(stats.compactions, 1u);
+}
+
+TEST_F(SpillFileTest, ShouldCompactTriggersOnMostlyHoles) {
+  auto file = SpillFile::Open(path_);
+  ASSERT_TRUE(file.ok());
+  // Below the minimum file size nothing triggers.
+  auto small = Payload(18, 1000);
+  auto off = file->Append(Id(1), small.data(), 1000, 0);
+  ASSERT_TRUE(off.ok());
+  ASSERT_TRUE(file->Free(*off).ok());
+  EXPECT_FALSE(file->ShouldCompact());
+
+  // Grow past 1 MiB, then free ~75% of it.
+  std::vector<uint8_t> chunk = Payload(19, 256 * 1024);
+  std::vector<uint64_t> offsets;
+  for (int i = 0; i < 8; ++i) {
+    auto o = file->Append(Id(100 + i), chunk.data(), chunk.size(), 0);
+    ASSERT_TRUE(o.ok());
+    offsets.push_back(*o);
+  }
+  EXPECT_FALSE(file->ShouldCompact());
+  for (int i = 0; i < 6; ++i) {
+    ASSERT_TRUE(file->Free(offsets[static_cast<size_t>(i)]).ok());
+  }
+  EXPECT_TRUE(file->ShouldCompact());
+}
+
+}  // namespace
+}  // namespace mdos::plasma

@@ -86,7 +86,8 @@ int CmdList(plasma::PlasmaClient& client) {
     std::printf("%-42s %-10llu %-8s %-6u\n", info.id.Hex().c_str(),
                 static_cast<unsigned long long>(info.data_size +
                                                 info.metadata_size),
-                info.sealed ? "yes" : "no", info.ref_count);
+                info.spilled ? "disk" : (info.sealed ? "yes" : "no"),
+                info.ref_count);
   }
   std::printf("(%zu objects)\n", list->size());
   return 0;
@@ -109,6 +110,14 @@ int CmdStats(plasma::PlasmaClient& client) {
               static_cast<unsigned long long>(stats->remote_lookups));
   std::printf("remote_lookup_hits:  %llu\n",
               static_cast<unsigned long long>(stats->remote_lookup_hits));
+  std::printf("spilled_objects:     %llu\n",
+              static_cast<unsigned long long>(stats->spilled_objects));
+  std::printf("spilled_bytes:       %llu\n",
+              static_cast<unsigned long long>(stats->spilled_bytes));
+  std::printf("spills:              %llu\n",
+              static_cast<unsigned long long>(stats->spills));
+  std::printf("spill_restores:      %llu\n",
+              static_cast<unsigned long long>(stats->spill_restores));
 
   // Per-shard breakdown (GetStoreStats): exposes load balance across the
   // store's event-loop shards. Non-fatal: a store that predates the
@@ -121,18 +130,23 @@ int CmdStats(plasma::PlasmaClient& client) {
                  shards.status().ToString().c_str());
     return 0;
   }
-  std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s\n", "shard",
-              "clients", "objects", "sealed", "bytes", "arena", "evicted",
-              "inflight");
+  std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s %-9s %-12s %-9s\n",
+              "shard", "clients", "objects", "sealed", "bytes", "arena",
+              "evicted", "inflight", "spilled", "spill_bytes", "restores");
   for (const auto& s : *shards) {
-    std::printf("%-6u %-8llu %-9llu %-9llu %-12llu %-12llu %-10llu %-9llu\n",
-                s.shard, static_cast<unsigned long long>(s.clients),
-                static_cast<unsigned long long>(s.objects_total),
-                static_cast<unsigned long long>(s.objects_sealed),
-                static_cast<unsigned long long>(s.bytes_in_use),
-                static_cast<unsigned long long>(s.arena_capacity),
-                static_cast<unsigned long long>(s.evictions),
-                static_cast<unsigned long long>(s.inflight_gets));
+    std::printf(
+        "%-6u %-8llu %-9llu %-9llu %-12llu %-12llu %-10llu %-9llu %-9llu "
+        "%-12llu %-9llu\n",
+        s.shard, static_cast<unsigned long long>(s.clients),
+        static_cast<unsigned long long>(s.objects_total),
+        static_cast<unsigned long long>(s.objects_sealed),
+        static_cast<unsigned long long>(s.bytes_in_use),
+        static_cast<unsigned long long>(s.arena_capacity),
+        static_cast<unsigned long long>(s.evictions),
+        static_cast<unsigned long long>(s.inflight_gets),
+        static_cast<unsigned long long>(s.spilled_objects),
+        static_cast<unsigned long long>(s.spilled_bytes),
+        static_cast<unsigned long long>(s.spill_restores));
   }
   std::printf("(%zu shards)\n", shards->size());
   return 0;

@@ -6,6 +6,7 @@
 // needed for the disaggregated-fabric experiments).
 //
 //   mdos_store -s /tmp/mdos.sock -m 268435456 [-a firstfit|segfit] [-j 4]
+//              [--spill-dir /var/tmp/mdos-spill]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -23,7 +24,7 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [-s socket_path] [-m capacity_bytes] [-a firstfit|segfit]"
-      " [-j shards] [-v]\n",
+      " [-j shards] [--spill-dir dir] [-v]\n",
       argv0);
 }
 
@@ -56,6 +57,8 @@ int main(int argc, char** argv) {
         Usage(argv[0]);
         return 2;
       }
+    } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
+      options.spill_dir = argv[++i];
     } else if (std::strcmp(argv[i], "-v") == 0) {
       mdos::SetLogLevel(mdos::LogLevel::kInfo);
     } else {
@@ -75,10 +78,13 @@ int main(int argc, char** argv) {
                  started.ToString().c_str());
     return 1;
   }
-  std::printf("mdos_store serving on %s (capacity %llu bytes, %u shards)\n",
-              (*store)->socket_path().c_str(),
-              static_cast<unsigned long long>((*store)->capacity()),
-              (*store)->shard_count());
+  std::printf(
+      "mdos_store serving on %s (capacity %llu bytes, %u shards%s%s)\n",
+      (*store)->socket_path().c_str(),
+      static_cast<unsigned long long>((*store)->capacity()),
+      (*store)->shard_count(),
+      options.spill_dir.empty() ? "" : ", spill dir ",
+      options.spill_dir.c_str());
   std::fflush(stdout);
 
   std::signal(SIGINT, HandleSignal);
