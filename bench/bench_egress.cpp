@@ -1,0 +1,202 @@
+// Egress-path benchmark — the acceptance numbers for the non-blocking
+// zero-copy send rewrite (PR 4).
+//
+// Part 1 (frame send) pits the OLD SendFrame path — byte-at-a-time
+// table CRC, heap-allocated header+payload copy, blocking send loop —
+// against the NEW path (hardware/slice-by-8 CRC, two-iovec gather
+// write, zero copies) over a socketpair with a draining reader, per
+// payload size. The acceptance bar is ≥2x throughput at ≥64 KiB.
+//
+// Part 2 (coalescing) sends bursts of small frames first one blocking
+// send per frame (old shape), then queued through a TxQueue and flushed
+// as coalesced gather writes (new shape) — the syscall-amortisation the
+// store's reply batching gets for free.
+//
+// Machine-readable output: one "RESULT key=value ..." line per
+// measurement (consumed by tools/run_benches.py).
+//
+// Environment knobs:
+//   MDOS_EGRESS_MB     megabytes sent per size point (default 256)
+//   MDOS_EGRESS_BURST  frames per coalescing burst (default 32)
+#include <sys/socket.h>
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <thread>
+#include <vector>
+
+#include "common/clock.h"
+#include "common/crc32.h"
+#include "common/rng.h"
+#include "net/frame.h"
+#include "net/socket.h"
+#include "net/tx_queue.h"
+
+namespace mdos::bench {
+namespace {
+
+int EnvInt(const char* name, int fallback) {
+  const char* value = std::getenv(name);
+  return value != nullptr ? std::atoi(value) : fallback;
+}
+
+// ---- the OLD egress path, preserved for comparison -------------------------
+
+// Byte-at-a-time table CRC (what common/crc32.cc shipped before the
+// slice-by-8/hardware rewrite; Crc32Impl::kTable pins the same loop).
+uint32_t OldCrc32(const void* data, size_t size) {
+  return Crc32UpdateWith(Crc32Impl::kTable, 0, data, size);
+}
+
+// The old SendFrame: fresh heap buffer, full payload memcpy, blocking
+// WriteAll of the combined buffer.
+Status OldSendFrame(int fd, uint32_t type, const void* payload,
+                    size_t size) {
+  net::FrameHeader hdr{net::kFrameMagic, type, static_cast<uint32_t>(size),
+                       OldCrc32(payload, size)};
+  std::vector<uint8_t> buf(sizeof(hdr) + size);
+  std::memcpy(buf.data(), &hdr, sizeof(hdr));
+  if (size > 0) {
+    std::memcpy(buf.data() + sizeof(hdr), payload, size);
+  }
+  return net::WriteAll(fd, buf.data(), buf.size());
+}
+
+// ---- harness ---------------------------------------------------------------
+
+struct SendResult {
+  double seconds = 0;
+  double mb_per_s = 0;
+  double frames_per_s = 0;
+};
+
+// Pumps `frames` frames of `payload_size` through `send` into a
+// socketpair while a reader drains the peer.
+template <typename SendFn>
+SendResult RunSendLoop(size_t payload_size, int frames, SendFn&& send) {
+  int sv[2];
+  if (::socketpair(AF_UNIX, SOCK_STREAM, 0, sv) != 0) {
+    std::perror("socketpair");
+    std::exit(1);
+  }
+  net::UniqueFd tx_fd(sv[0]), rx_fd(sv[1]);
+
+  std::thread drainer([fd = rx_fd.get(), payload_size, frames] {
+    std::vector<uint8_t> sink(1 << 20);
+    size_t want = static_cast<size_t>(frames) * (payload_size + 16);
+    size_t got = 0;
+    while (got < want) {
+      ssize_t n = ::recv(fd, sink.data(), sink.size(), 0);
+      if (n <= 0) break;
+      got += static_cast<size_t>(n);
+    }
+  });
+
+  std::vector<uint8_t> payload(payload_size);
+  SplitMix64 rng(99);
+  rng.Fill(payload.data(), payload.size());
+
+  const int64_t start = MonotonicNanos();
+  for (int i = 0; i < frames; ++i) {
+    Status sent = send(tx_fd.get(), payload);
+    if (!sent.ok()) {
+      std::fprintf(stderr, "send failed: %s\n", sent.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  const double seconds =
+      static_cast<double>(MonotonicNanos() - start) / 1e9;
+  drainer.join();
+
+  SendResult result;
+  result.seconds = seconds;
+  result.mb_per_s = static_cast<double>(payload_size) * frames /
+                    (1024.0 * 1024.0) / seconds;
+  result.frames_per_s = frames / seconds;
+  return result;
+}
+
+}  // namespace
+
+int Run() {
+  const int total_mb = EnvInt("MDOS_EGRESS_MB", 256);
+  const int burst = EnvInt("MDOS_EGRESS_BURST", 32);
+
+  std::printf("egress benchmark — old (copy + table CRC + blocking send) "
+              "vs new (zero-copy writev + %s CRC)\n\n",
+              Crc32ImplName(Crc32ActiveImpl()));
+
+  // ---- Part 1: frame-send throughput per payload size ----------------
+  std::printf("%-10s %14s %14s %9s\n", "payload", "old MB/s", "new MB/s",
+              "speedup");
+  const size_t kSizes[] = {16 << 10, 64 << 10, 256 << 10, 1 << 20};
+  double speedup_64k = 0;
+  for (size_t size : kSizes) {
+    int frames =
+        static_cast<int>(static_cast<uint64_t>(total_mb) * (1 << 20) / size);
+    auto old_result = RunSendLoop(
+        size, frames, [](int fd, const std::vector<uint8_t>& p) {
+          return OldSendFrame(fd, 7, p.data(), p.size());
+        });
+    auto new_result = RunSendLoop(
+        size, frames, [](int fd, const std::vector<uint8_t>& p) {
+          return net::SendFrame(fd, 7, p.data(), p.size());
+        });
+    double speedup = new_result.mb_per_s / old_result.mb_per_s;
+    if (size == (64 << 10)) speedup_64k = speedup;
+    std::printf("%-10zu %14.1f %14.1f %8.2fx\n", size, old_result.mb_per_s,
+                new_result.mb_per_s, speedup);
+    std::printf("RESULT bench=egress_send payload=%zu old_mb_s=%.1f "
+                "new_mb_s=%.1f speedup=%.2f\n",
+                size, old_result.mb_per_s, new_result.mb_per_s, speedup);
+  }
+
+  // ---- Part 2: small-frame coalescing ---------------------------------
+  // Old shape: one blocking send per frame. New shape: `burst` frames
+  // queued in a TxQueue and flushed as gather writes.
+  const size_t kSmall = 256;
+  const int kBursts = 4000;
+  auto per_frame = RunSendLoop(
+      kSmall, burst * kBursts, [](int fd, const std::vector<uint8_t>& p) {
+        return OldSendFrame(fd, 7, p.data(), p.size());
+      });
+  auto coalesced = RunSendLoop(
+      kSmall, burst * kBursts,
+      [&, queue = net::TxQueue(), pending = 0](
+          int fd, const std::vector<uint8_t>& p) mutable -> Status {
+        MDOS_RETURN_IF_ERROR(
+            queue.Append(7, std::vector<uint8_t>(p.begin(), p.end())));
+        if (++pending < burst) return Status::OK();
+        pending = 0;
+        while (true) {
+          auto state = queue.Flush(fd);
+          MDOS_RETURN_IF_ERROR(state.status());
+          if (*state == net::TxQueue::FlushState::kDrained) {
+            return Status::OK();
+          }
+          MDOS_ASSIGN_OR_RETURN(bool writable,
+                                net::WaitWritable(fd, 1000));
+          (void)writable;
+        }
+      });
+  double frame_speedup = coalesced.frames_per_s / per_frame.frames_per_s;
+  std::printf("\n%d-byte frames, bursts of %d: %.0f frames/s per-frame "
+              "vs %.0f frames/s coalesced (%.2fx)\n",
+              static_cast<int>(kSmall), burst, per_frame.frames_per_s,
+              coalesced.frames_per_s, frame_speedup);
+  std::printf("RESULT bench=egress_coalesce frame_bytes=%zu burst=%d "
+              "per_frame_fps=%.0f coalesced_fps=%.0f speedup=%.2f\n",
+              kSmall, burst, per_frame.frames_per_s,
+              coalesced.frames_per_s, frame_speedup);
+
+  std::printf("\nacceptance: >=2x at 64 KiB payloads: %.2fx — %s\n",
+              speedup_64k, speedup_64k >= 2.0 ? "PASS" : "FAIL");
+  std::printf("RESULT bench=egress_acceptance speedup_64k=%.2f pass=%d\n",
+              speedup_64k, speedup_64k >= 2.0 ? 1 : 0);
+  return speedup_64k >= 2.0 ? 0 : 1;
+}
+
+}  // namespace mdos::bench
+
+int main() { return mdos::bench::Run(); }

@@ -2,10 +2,21 @@
 
 #include <array>
 
+#if defined(__x86_64__)
+#include <immintrin.h>
+#elif defined(__aarch64__)
+#if defined(__linux__)
+#include <sys/auxv.h>
+#endif
+#endif
+
 namespace mdos {
 namespace {
 
 constexpr uint32_t kPoly = 0xEDB88320u;
+
+// All internal helpers operate on the "raw" CRC state (already inverted);
+// the public entry points apply the ~crc pre/post conditioning once.
 
 constexpr std::array<uint32_t, 256> MakeTable() {
   std::array<uint32_t, 256> table{};
@@ -21,15 +32,233 @@ constexpr std::array<uint32_t, 256> MakeTable() {
 
 constexpr auto kTable = MakeTable();
 
-}  // namespace
+// Slice-by-8 companion tables: kSlice[j][b] is the CRC contribution of
+// byte b positioned j bytes before the end of an 8-byte block, so eight
+// independent lookups replace the 1-byte-per-step dependency chain.
+constexpr std::array<std::array<uint32_t, 256>, 8> MakeSliceTables() {
+  std::array<std::array<uint32_t, 256>, 8> tables{};
+  tables[0] = MakeTable();
+  for (uint32_t b = 0; b < 256; ++b) {
+    uint32_t c = tables[0][b];
+    for (int j = 1; j < 8; ++j) {
+      c = tables[0][c & 0xFF] ^ (c >> 8);
+      tables[j][b] = c;
+    }
+  }
+  return tables;
+}
 
-uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
-  const uint8_t* p = static_cast<const uint8_t*>(data);
-  crc = ~crc;
+// constexpr like kTable: constant-initialized, so a CRC computed from
+// any other TU's dynamic initializer can never observe zeroed tables.
+constexpr auto kSlice = MakeSliceTables();
+
+uint32_t RawTable(uint32_t crc, const uint8_t* p, size_t size) {
   for (size_t i = 0; i < size; ++i) {
     crc = kTable[(crc ^ p[i]) & 0xFF] ^ (crc >> 8);
   }
-  return ~crc;
+  return crc;
+}
+
+uint32_t RawSlice8(uint32_t crc, const uint8_t* p, size_t size) {
+  // Head: align the hot loop to 8-byte groups.
+  while (size != 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = kTable[(crc ^ *p++) & 0xFF] ^ (crc >> 8);
+    --size;
+  }
+  while (size >= 8) {
+    uint32_t lo;
+    uint32_t hi;
+    __builtin_memcpy(&lo, p, 4);
+    __builtin_memcpy(&hi, p + 4, 4);
+    lo ^= crc;
+    crc = kSlice[7][lo & 0xFF] ^ kSlice[6][(lo >> 8) & 0xFF] ^
+          kSlice[5][(lo >> 16) & 0xFF] ^ kSlice[4][lo >> 24] ^
+          kSlice[3][hi & 0xFF] ^ kSlice[2][(hi >> 8) & 0xFF] ^
+          kSlice[1][(hi >> 16) & 0xFF] ^ kSlice[0][hi >> 24];
+    p += 8;
+    size -= 8;
+  }
+  return RawTable(crc, p, size);
+}
+
+#if defined(__x86_64__)
+
+// PCLMULQDQ folding for the reflected IEEE polynomial (the technique of
+// Intel's "Fast CRC Computation for Generic Polynomials Using PCLMULQDQ"
+// white paper, constants as used by zlib). Processes 64 bytes per
+// iteration with four independent 128-bit folding accumulators.
+__attribute__((target("sse4.1,pclmul"))) uint32_t RawHwX86(
+    uint32_t crc, const uint8_t* buf, size_t len) {
+  if (len < 64) return RawSlice8(crc, buf, len);
+
+  alignas(16) static const uint64_t k1k2[2] = {0x0154442bd4, 0x01c6e41596};
+  alignas(16) static const uint64_t k3k4[2] = {0x01751997d0, 0x00ccaa009e};
+  alignas(16) static const uint64_t k5k0[2] = {0x0163cd6124, 0x0000000000};
+  alignas(16) static const uint64_t kPolyMu[2] = {0x01db710641,
+                                                  0x01f7011641};
+
+  __m128i x1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+  __m128i x2 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16));
+  __m128i x3 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32));
+  __m128i x4 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48));
+  x1 = _mm_xor_si128(x1, _mm_cvtsi32_si128(static_cast<int>(crc)));
+
+  __m128i k = _mm_load_si128(reinterpret_cast<const __m128i*>(k1k2));
+  buf += 64;
+  len -= 64;
+
+  while (len >= 64) {
+    __m128i y1 = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    __m128i y2 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 16));
+    __m128i y3 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 32));
+    __m128i y4 =
+        _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf + 48));
+
+    __m128i t1 = _mm_clmulepi64_si128(x1, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    __m128i t2 = _mm_clmulepi64_si128(x2, k, 0x00);
+    x2 = _mm_clmulepi64_si128(x2, k, 0x11);
+    __m128i t3 = _mm_clmulepi64_si128(x3, k, 0x00);
+    x3 = _mm_clmulepi64_si128(x3, k, 0x11);
+    __m128i t4 = _mm_clmulepi64_si128(x4, k, 0x00);
+    x4 = _mm_clmulepi64_si128(x4, k, 0x11);
+
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t1), y1);
+    x2 = _mm_xor_si128(_mm_xor_si128(x2, t2), y2);
+    x3 = _mm_xor_si128(_mm_xor_si128(x3, t3), y3);
+    x4 = _mm_xor_si128(_mm_xor_si128(x4, t4), y4);
+
+    buf += 64;
+    len -= 64;
+  }
+
+  // Fold the four accumulators into one.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(k3k4));
+  __m128i t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x2);
+  t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x3);
+  t = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+  x1 = _mm_xor_si128(_mm_xor_si128(x1, t), x4);
+
+  // Fold remaining whole 16-byte blocks.
+  while (len >= 16) {
+    __m128i y = _mm_loadu_si128(reinterpret_cast<const __m128i*>(buf));
+    t = _mm_clmulepi64_si128(x1, k, 0x00);
+    x1 = _mm_clmulepi64_si128(x1, k, 0x11);
+    x1 = _mm_xor_si128(_mm_xor_si128(x1, t), y);
+    buf += 16;
+    len -= 16;
+  }
+
+  // Reduce 128 -> 64 bits.
+  __m128i mask = _mm_setr_epi32(~0, 0, ~0, 0);
+  t = _mm_clmulepi64_si128(x1, k, 0x10);
+  x1 = _mm_srli_si128(x1, 8);
+  x1 = _mm_xor_si128(x1, t);
+
+  k = _mm_loadl_epi64(reinterpret_cast<const __m128i*>(k5k0));
+  t = _mm_srli_si128(x1, 4);
+  x1 = _mm_and_si128(x1, mask);
+  x1 = _mm_clmulepi64_si128(x1, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+
+  // Barrett reduction 64 -> 32 bits.
+  k = _mm_load_si128(reinterpret_cast<const __m128i*>(kPolyMu));
+  t = _mm_and_si128(x1, mask);
+  t = _mm_clmulepi64_si128(t, k, 0x10);
+  t = _mm_and_si128(t, mask);
+  t = _mm_clmulepi64_si128(t, k, 0x00);
+  x1 = _mm_xor_si128(x1, t);
+  crc = static_cast<uint32_t>(_mm_extract_epi32(x1, 1));
+
+  return RawSlice8(crc, buf, len);
+}
+
+bool DetectHardware() {
+  return __builtin_cpu_supports("pclmul") &&
+         __builtin_cpu_supports("sse4.1");
+}
+
+uint32_t RawHardware(uint32_t crc, const uint8_t* p, size_t size) {
+  return RawHwX86(crc, p, size);
+}
+
+#elif defined(__aarch64__) && defined(__ARM_FEATURE_CRC32)
+
+// ARMv8 CRC32 extension: crc32b/w/x implement exactly this (IEEE)
+// polynomial in hardware.
+uint32_t RawHardware(uint32_t crc, const uint8_t* p, size_t size) {
+  while (size != 0 && (reinterpret_cast<uintptr_t>(p) & 7) != 0) {
+    crc = __builtin_arm_crc32b(crc, *p++);
+    --size;
+  }
+  while (size >= 8) {
+    uint64_t v;
+    __builtin_memcpy(&v, p, 8);
+    crc = __builtin_arm_crc32d(crc, v);
+    p += 8;
+    size -= 8;
+  }
+  while (size != 0) {
+    crc = __builtin_arm_crc32b(crc, *p++);
+    --size;
+  }
+  return crc;
+}
+
+bool DetectHardware() {
+#if defined(__linux__) && defined(HWCAP_CRC32)
+  return (getauxval(AT_HWCAP) & HWCAP_CRC32) != 0;
+#else
+  return true;  // compiled with +crc: assume the target has it
+#endif
+}
+
+#else
+
+uint32_t RawHardware(uint32_t crc, const uint8_t* p, size_t size) {
+  return RawSlice8(crc, p, size);
+}
+
+bool DetectHardware() { return false; }
+
+#endif
+
+using RawFn = uint32_t (*)(uint32_t, const uint8_t*, size_t);
+
+struct Dispatch {
+  RawFn fn;
+  Crc32Impl impl;
+  bool hardware_ok;
+};
+
+const Dispatch& ActiveDispatch() {
+  static const Dispatch dispatch = [] {
+    Dispatch d;
+    d.hardware_ok = DetectHardware();
+    if (d.hardware_ok) {
+      d.fn = &RawHardware;
+      d.impl = Crc32Impl::kHardware;
+    } else {
+      d.fn = &RawSlice8;
+      d.impl = Crc32Impl::kSlice8;
+    }
+    return d;
+  }();
+  return dispatch;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, const void* data, size_t size) {
+  return ~ActiveDispatch().fn(~crc, static_cast<const uint8_t*>(data),
+                              size);
 }
 
 uint32_t Crc32(const void* data, size_t size) {
@@ -38,6 +267,39 @@ uint32_t Crc32(const void* data, size_t size) {
 
 uint32_t Crc32(std::string_view data) {
   return Crc32(data.data(), data.size());
+}
+
+Crc32Impl Crc32ActiveImpl() { return ActiveDispatch().impl; }
+
+bool Crc32ImplAvailable(Crc32Impl impl) {
+  return impl != Crc32Impl::kHardware || ActiveDispatch().hardware_ok;
+}
+
+uint32_t Crc32UpdateWith(Crc32Impl impl, uint32_t crc, const void* data,
+                         size_t size) {
+  const uint8_t* p = static_cast<const uint8_t*>(data);
+  switch (impl) {
+    case Crc32Impl::kTable:
+      return ~RawTable(~crc, p, size);
+    case Crc32Impl::kHardware:
+      if (ActiveDispatch().hardware_ok) return ~RawHardware(~crc, p, size);
+      [[fallthrough]];
+    case Crc32Impl::kSlice8:
+    default:
+      return ~RawSlice8(~crc, p, size);
+  }
+}
+
+const char* Crc32ImplName(Crc32Impl impl) {
+  switch (impl) {
+    case Crc32Impl::kTable:
+      return "table";
+    case Crc32Impl::kSlice8:
+      return "slice8";
+    case Crc32Impl::kHardware:
+      return "hw";
+  }
+  return "?";
 }
 
 }  // namespace mdos

@@ -1,6 +1,21 @@
-// CRC-32 (IEEE 802.3 polynomial), table-driven. Used to checksum RPC
-// frames crossing the simulated LAN and to validate payload integrity in
-// tests and benchmarks.
+// CRC-32 (IEEE 802.3 polynomial, reflected 0xEDB88320). Used to checksum
+// RPC frames crossing the simulated LAN and to validate payload integrity
+// in tests and benchmarks.
+//
+// Three implementations share the polynomial and therefore the result:
+//
+//   kTable    — the original byte-at-a-time table loop, kept as the
+//               reference implementation the test vectors pin.
+//   kSlice8   — slice-by-8: eight 256-entry tables consume 8 bytes per
+//               iteration with no inter-byte dependency chain.
+//   kHardware — carry-less-multiply folding on x86-64 (PCLMULQDQ +
+//               SSE4.1, the SSE4.2-era CRC path) or the ARMv8 CRC32
+//               extension on aarch64. Runtime-detected; never selected
+//               on CPUs without the feature.
+//
+// Crc32/Crc32Update dispatch to the fastest implementation the CPU
+// supports; the explicit-impl entry points exist so tests can prove all
+// backends agree and the micro-benchmark can compare them.
 #pragma once
 
 #include <cstddef>
@@ -9,11 +24,28 @@
 
 namespace mdos {
 
-// One-shot CRC of a buffer.
+enum class Crc32Impl : uint8_t {
+  kTable = 0,
+  kSlice8 = 1,
+  kHardware = 2,
+};
+
+// One-shot CRC of a buffer (best available implementation).
 uint32_t Crc32(const void* data, size_t size);
 uint32_t Crc32(std::string_view data);
 
 // Incremental form: seed with 0, feed chunks, result equals one-shot CRC.
 uint32_t Crc32Update(uint32_t crc, const void* data, size_t size);
+
+// The implementation Crc32Update dispatches to on this machine.
+Crc32Impl Crc32ActiveImpl();
+// True when `impl` can run on this CPU (kTable/kSlice8 always can).
+bool Crc32ImplAvailable(Crc32Impl impl);
+// Incremental update pinned to a specific implementation. Calling with an
+// unavailable impl falls back to kSlice8.
+uint32_t Crc32UpdateWith(Crc32Impl impl, uint32_t crc, const void* data,
+                         size_t size);
+// Human-readable implementation name ("table", "slice8", "hw").
+const char* Crc32ImplName(Crc32Impl impl);
 
 }  // namespace mdos

@@ -10,7 +10,9 @@ template <typename ReplyT>
 std::vector<uint8_t> EncodeReply(const ReplyT& reply) {
   wire::Writer w;
   reply.EncodeTo(w);
-  return {w.data(), w.data() + w.size()};
+  // Move the encode buffer out instead of copying it: the RPC server
+  // appends it to the connection's egress queue as-is.
+  return w.TakeBuffer();
 }
 
 template <typename RequestT>

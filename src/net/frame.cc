@@ -8,14 +8,6 @@
 namespace mdos::net {
 namespace {
 
-struct FrameHeader {
-  uint32_t magic;
-  uint32_t type;
-  uint32_t length;
-  uint32_t crc;
-};
-static_assert(sizeof(FrameHeader) == 16);
-
 // Shared by the blocking and buffered receive paths so the two can never
 // disagree about what a well-formed frame is.
 Status ValidateHeader(const FrameHeader& hdr) {
@@ -28,8 +20,9 @@ Status ValidateHeader(const FrameHeader& hdr) {
   return Status::OK();
 }
 
-Status VerifyPayloadCrc(const FrameHeader& hdr, const Frame& frame) {
-  if (Crc32(frame.payload.data(), frame.payload.size()) != hdr.crc) {
+Status VerifyPayloadCrc(const FrameHeader& hdr, const uint8_t* payload,
+                        size_t size) {
+  if (Crc32(payload, size) != hdr.crc) {
     return Status::ProtocolError("frame CRC mismatch");
   }
   return Status::OK();
@@ -43,14 +36,11 @@ Status SendFrame(int fd, uint32_t type, const void* payload, size_t size) {
   }
   FrameHeader hdr{kFrameMagic, type, static_cast<uint32_t>(size),
                   Crc32(payload, size)};
-  // Header and payload are sent in one buffer to avoid a partial-header
-  // window and a second syscall on the hot RPC path.
-  std::vector<uint8_t> buf(sizeof(hdr) + size);
-  std::memcpy(buf.data(), &hdr, sizeof(hdr));
-  if (size > 0) {
-    std::memcpy(buf.data() + sizeof(hdr), payload, size);
-  }
-  return WriteAll(fd, buf.data(), buf.size());
+  // One gather write: no partial-header window, no second syscall, and —
+  // unlike the old build-a-copy path — no allocation or payload memcpy.
+  iovec iov[2] = {{&hdr, sizeof(hdr)},
+                  {const_cast<void*>(payload), size}};
+  return WritevAll(fd, iov, size > 0 ? 2 : 1);
 }
 
 Status SendFrame(int fd, uint32_t type,
@@ -58,34 +48,52 @@ Status SendFrame(int fd, uint32_t type,
   return SendFrame(fd, type, payload.data(), payload.size());
 }
 
-Result<Frame> RecvFrame(int fd) {
+Status RecvFrame(int fd, Frame* frame) {
   FrameHeader hdr;
   MDOS_RETURN_IF_ERROR(ReadAll(fd, &hdr, sizeof(hdr)));
   MDOS_RETURN_IF_ERROR(ValidateHeader(hdr));
-  Frame frame;
-  frame.type = hdr.type;
-  frame.payload.resize(hdr.length);
+  frame->type = hdr.type;
+  // resize reuses the vector's capacity: a long-lived reader (RPC
+  // channel, client reply loop) stops allocating per frame once its
+  // scratch frame has seen its largest payload.
+  frame->payload.resize(hdr.length);
   if (hdr.length > 0) {
     MDOS_RETURN_IF_ERROR(
-        ReadAll(fd, frame.payload.data(), frame.payload.size()));
+        ReadAll(fd, frame->payload.data(), frame->payload.size()));
   }
-  MDOS_RETURN_IF_ERROR(VerifyPayloadCrc(hdr, frame));
+  return VerifyPayloadCrc(hdr, frame->payload.data(),
+                          frame->payload.size());
+}
+
+Result<Frame> RecvFrame(int fd) {
+  Frame frame;
+  MDOS_RETURN_IF_ERROR(RecvFrame(fd, &frame));
   return frame;
 }
 
-Status DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
-                   size_t* consumed) {
+Status DecodeFrameView(const uint8_t* data, size_t size, FrameView* view,
+                       size_t* consumed) {
   *consumed = 0;
   if (size < sizeof(FrameHeader)) return Status::OK();
   FrameHeader hdr;
   std::memcpy(&hdr, data, sizeof(hdr));
   MDOS_RETURN_IF_ERROR(ValidateHeader(hdr));
   if (size < sizeof(hdr) + hdr.length) return Status::OK();
-  frame->type = hdr.type;
-  frame->payload.assign(data + sizeof(hdr),
-                        data + sizeof(hdr) + hdr.length);
-  MDOS_RETURN_IF_ERROR(VerifyPayloadCrc(hdr, *frame));
+  view->type = hdr.type;
+  view->payload = data + sizeof(hdr);
+  view->size = hdr.length;
+  MDOS_RETURN_IF_ERROR(VerifyPayloadCrc(hdr, view->payload, view->size));
   *consumed = sizeof(hdr) + hdr.length;
+  return Status::OK();
+}
+
+Status DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
+                   size_t* consumed) {
+  FrameView view;
+  MDOS_RETURN_IF_ERROR(DecodeFrameView(data, size, &view, consumed));
+  if (*consumed == 0) return Status::OK();
+  frame->type = view.type;
+  frame->payload.assign(view.payload, view.payload + view.size);
   return Status::OK();
 }
 

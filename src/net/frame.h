@@ -7,7 +7,10 @@
 //   u32 crc32   — CRC of the payload (the "LAN" integrity check)
 //   u8  payload[length]
 //
-// Used by both the Plasma UDS protocol and the RPC framework.
+// Used by both the Plasma UDS protocol and the RPC framework. The send
+// path is zero-copy: SendFrame gathers the stack header and the caller's
+// payload with one writev-style syscall, and the store's egress queue
+// (net/tx_queue.h) builds on the same header/payload-pair layout.
 #pragma once
 
 #include <cstdint>
@@ -23,17 +26,40 @@ inline constexpr uint32_t kFrameMagic = 0x4D444F53;  // "MDOS"
 // generous for metadata and guards against corrupt length fields.
 inline constexpr uint32_t kMaxFramePayload = 64u << 20;
 
+// The on-wire header. Shared with the egress queue so the two can never
+// disagree about frame layout.
+struct FrameHeader {
+  uint32_t magic = kFrameMagic;
+  uint32_t type = 0;
+  uint32_t length = 0;
+  uint32_t crc = 0;
+};
+static_assert(sizeof(FrameHeader) == 16);
+
 struct Frame {
   uint32_t type = 0;
   std::vector<uint8_t> payload;
 };
 
-// Sends one frame (blocking).
+// A decoded frame whose payload aliases the receive buffer it was parsed
+// from — the store's batch dispatch path consumes these without copying.
+struct FrameView {
+  uint32_t type = 0;
+  const uint8_t* payload = nullptr;
+  size_t size = 0;
+};
+
+// Sends one frame (blocking). Header and payload leave in a single
+// gather write: no allocation, no payload copy.
 Status SendFrame(int fd, uint32_t type, const void* payload, size_t size);
 Status SendFrame(int fd, uint32_t type, const std::vector<uint8_t>& payload);
 
 // Receives one frame (blocking). NotConnected on clean EOF between frames.
 Result<Frame> RecvFrame(int fd);
+// Re-usable form: `frame->payload`'s capacity is recycled across calls,
+// so a steady-state reader allocates only when a payload outgrows every
+// previous one. Exactly one reserve per growth.
+Status RecvFrame(int fd, Frame* frame);
 
 // Decodes one frame from an in-memory buffer (the store's per-connection
 // receive buffer; many frames may be queued by a pipelining client).
@@ -41,5 +67,10 @@ Result<Frame> RecvFrame(int fd);
 // buffer holds only a partial frame — read more bytes and retry.
 Status DecodeFrame(const uint8_t* data, size_t size, Frame* frame,
                    size_t* consumed);
+
+// Zero-copy variant: *view's payload points into `data` (valid only while
+// the buffer is). Same partial-frame contract as DecodeFrame.
+Status DecodeFrameView(const uint8_t* data, size_t size, FrameView* view,
+                       size_t* consumed);
 
 }  // namespace mdos::net

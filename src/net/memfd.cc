@@ -76,7 +76,10 @@ Status SendFd(int socket_fd, int fd_to_send) {
   cmsg->cmsg_len = CMSG_LEN(sizeof(int));
   std::memcpy(CMSG_DATA(cmsg), &fd_to_send, sizeof(int));
   while (true) {
-    if (::sendmsg(socket_fd, &msg, 0) >= 0) return Status::OK();
+    // MSG_NOSIGNAL: a client that disconnects between the connect reply
+    // and the fd pass must surface as EPIPE (the store drops that one
+    // connection), not kill the process with SIGPIPE.
+    if (::sendmsg(socket_fd, &msg, MSG_NOSIGNAL) >= 0) return Status::OK();
     if (errno == EINTR) continue;
     return Status::FromErrno("sendmsg(SCM_RIGHTS)");
   }

@@ -2,12 +2,25 @@
 
 #include <fcntl.h>
 #include <poll.h>
+#include <sys/epoll.h>
 #include <unistd.h>
 
-#include <algorithm>
 #include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+#include "common/log.h"
 
 namespace mdos::net {
+
+namespace {
+
+bool ForcePollBackend() {
+  const char* force = std::getenv("MDOS_FORCE_POLL");
+  return force != nullptr && force[0] == '1';
+}
+
+}  // namespace
 
 Poller::Poller() {
   int pipefd[2];
@@ -17,21 +30,98 @@ Poller::Poller() {
     wake_read_.Reset(pipefd[0]);
     wake_write_.Reset(pipefd[1]);
   }
+  if (!ForcePollBackend()) {
+    epoll_fd_.Reset(::epoll_create1(EPOLL_CLOEXEC));
+    if (epoll_fd_.valid()) {
+      backend_ = Backend::kEpoll;
+      epoll_event ev{};
+      ev.events = EPOLLIN;
+      ev.data.fd = wake_read_.get();
+      ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_ADD, wake_read_.get(), &ev);
+    }
+  }
 }
 
-void Poller::Add(int fd) { fds_.push_back(fd); }
+void Poller::EpollUpdate(int fd, bool write_interest, int op) {
+  epoll_event ev{};
+  // Read stays level-triggered while idle; arming write switches the
+  // whole registration edge-triggered (see the header contract: armed
+  // fds drain reads to EAGAIN).
+  ev.events = write_interest ? (EPOLLIN | EPOLLOUT | EPOLLET) : EPOLLIN;
+  ev.data.fd = fd;
+  if (::epoll_ctl(epoll_fd_.get(), op, fd, &ev) != 0) {
+    MDOS_LOG_WARN << "epoll_ctl(" << op << ", " << fd
+                  << ") failed: " << strerror(errno);
+  }
+}
+
+void Poller::Add(int fd) {
+  if (!fds_.emplace(fd, false).second) return;  // already registered
+  if (backend_ == Backend::kEpoll) {
+    EpollUpdate(fd, /*write_interest=*/false, EPOLL_CTL_ADD);
+  }
+}
 
 void Poller::Remove(int fd) {
-  fds_.erase(std::remove(fds_.begin(), fds_.end(), fd), fds_.end());
+  if (fds_.erase(fd) == 0) return;
+  if (backend_ == Backend::kEpoll) {
+    ::epoll_ctl(epoll_fd_.get(), EPOLL_CTL_DEL, fd, nullptr);
+  }
 }
 
-Result<int> Poller::Wait(int timeout_ms,
-                         const std::function<void(int fd)>& on_readable) {
+void Poller::SetWriteInterest(int fd, bool enabled) {
+  auto it = fds_.find(fd);
+  if (it == fds_.end() || it->second == enabled) return;
+  it->second = enabled;
+  if (backend_ == Backend::kEpoll) {
+    // MOD re-arms the readiness scan: a fd that is already writable when
+    // interest is armed delivers its edge immediately.
+    EpollUpdate(fd, enabled, EPOLL_CTL_MOD);
+  }
+}
+
+Result<int> Poller::Wait(
+    int timeout_ms,
+    const std::function<void(int fd, uint32_t events)>& on_event) {
+  if (backend_ == Backend::kEpoll) {
+    epoll_event events[64];
+    int n = ::epoll_wait(epoll_fd_.get(), events, 64, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) return 0;
+      return Status::FromErrno("epoll_wait");
+    }
+    int ready = 0;
+    for (int i = 0; i < n; ++i) {
+      int fd = events[i].data.fd;
+      if (fd == wake_read_.get()) {
+        char buf[64];
+        while (::read(wake_read_.get(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      uint32_t mask = 0;
+      if (events[i].events & (EPOLLIN | EPOLLHUP | EPOLLERR)) {
+        mask |= kPollerReadable;
+      }
+      if (events[i].events & (EPOLLOUT | EPOLLERR)) {
+        mask |= kPollerWritable;
+      }
+      if (mask != 0) {
+        ++ready;
+        on_event(fd, mask);
+      }
+    }
+    return ready;
+  }
+
+  // poll(2) fallback: rebuild the pollfd set from the registry.
   std::vector<pollfd> pfds;
   pfds.reserve(fds_.size() + 1);
   pfds.push_back({wake_read_.get(), POLLIN, 0});
-  for (int fd : fds_) {
-    pfds.push_back({fd, POLLIN, 0});
+  for (const auto& [fd, write_interest] : fds_) {
+    pfds.push_back(
+        {fd, static_cast<short>(POLLIN | (write_interest ? POLLOUT : 0)),
+         0});
   }
   int n = ::poll(pfds.data(), pfds.size(), timeout_ms);
   if (n < 0) {
@@ -47,9 +137,16 @@ Result<int> Poller::Wait(int timeout_ms,
   }
   int ready = 0;
   for (size_t i = 1; i < pfds.size(); ++i) {
+    uint32_t mask = 0;
     if (pfds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+      mask |= kPollerReadable;
+    }
+    if (pfds[i].revents & (POLLOUT | POLLERR)) {
+      mask |= kPollerWritable;
+    }
+    if (mask != 0) {
       ++ready;
-      on_readable(pfds[i].fd);
+      on_event(pfds[i].fd, mask);
     }
   }
   return ready;

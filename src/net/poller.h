@@ -1,13 +1,35 @@
-// Poller — a thin poll(2) wrapper driving the Plasma store's event loops.
+// Poller — the readiness multiplexer driving the store's event loops.
 //
 // Each store shard services its subset of client connections from its own
 // thread through its own Poller (the accept thread runs another over the
-// listening socket). Add/Remove/Wait belong to the owning thread; Wakeup
-// is the one thread-safe entry point — other shards use it to signal a
+// listening socket, the RPC server a third over peer connections).
+// Add/Remove/SetWriteInterest/Wait belong to the owning thread; Wakeup is
+// the one thread-safe entry point — other shards use it to signal a
 // posted mailbox task, and Stop uses it for shutdown.
+//
+// Two backends behind one API:
+//
+//   * kEpoll (default on Linux): one epoll instance per Poller. Read
+//     interest is level-triggered; write interest is armed on demand and
+//     edge-triggered (EPOLLET) — a connection with queued egress residue
+//     arms EPOLLOUT, gets exactly one event per writability edge, and
+//     disarms once its queue drains, so an idle-writable socket never
+//     spins the loop. (epoll_ctl MOD re-arms: if the fd is already
+//     writable when interest is armed, the edge fires immediately — no
+//     lost wakeups.)
+//   * kPoll: the original poll(2) sweep, kept as a portable fallback and
+//     selectable with MDOS_FORCE_POLL=1 for testing. Write interest maps
+//     to POLLOUT in the rebuilt pollfd set; because interest is disarmed
+//     as soon as a queue drains, level-triggered POLLOUT does not spin.
+//
+// Callers that arm write interest must drain reads to EAGAIN (both the
+// store's batch reader and the RPC server do): while a fd is write-armed
+// under epoll its read events are edge-triggered too.
 #pragma once
 
+#include <cstdint>
 #include <functional>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
@@ -15,24 +37,46 @@
 
 namespace mdos::net {
 
+// Event bits passed to the Wait callback.
+inline constexpr uint32_t kPollerReadable = 1u;
+inline constexpr uint32_t kPollerWritable = 2u;
+
 class Poller {
  public:
+  enum class Backend : uint8_t { kEpoll, kPoll };
+
   Poller();
 
-  // Registers/unregisters a readable-interest fd.
+  // Registers/unregisters a fd. Registration always includes read
+  // interest; write interest starts disarmed. Remove clears both.
   void Add(int fd);
   void Remove(int fd);
 
-  // Waits up to `timeout_ms` (-1 = forever) and invokes `on_readable(fd)`
-  // for every readable fd. Returns the number of ready fds, 0 on timeout.
+  // Arms/disarms write-readiness reporting for a registered fd. Armed
+  // while (and only while) the fd's egress queue holds residue.
+  void SetWriteInterest(int fd, bool enabled);
+
+  // Waits up to `timeout_ms` (-1 = forever) and invokes
+  // `on_event(fd, events)` for every ready fd, where `events` is a mask
+  // of kPollerReadable / kPollerWritable (hang-ups and errors report as
+  // readable so the read path observes them). Returns the number of
+  // ready fds, 0 on timeout.
   Result<int> Wait(int timeout_ms,
-                   const std::function<void(int fd)>& on_readable);
+                   const std::function<void(int fd, uint32_t events)>&
+                       on_event);
 
   // Thread-safe: makes a concurrent/following Wait return immediately.
   void Wakeup();
 
+  Backend backend() const { return backend_; }
+
  private:
-  std::vector<int> fds_;
+  void EpollUpdate(int fd, bool write_interest, int op);
+
+  Backend backend_ = Backend::kPoll;
+  UniqueFd epoll_fd_;
+  // fd -> write interest armed. Also the registry for the poll backend.
+  std::unordered_map<int, bool> fds_;
   UniqueFd wake_read_;
   UniqueFd wake_write_;
 };

@@ -3,6 +3,7 @@
 #include <arpa/inet.h>
 #include <fcntl.h>
 #include <netinet/in.h>
+#include <poll.h>
 #include <netinet/tcp.h>
 #include <sys/socket.h>
 #include <sys/un.h>
@@ -170,6 +171,45 @@ Status WriteAll(int fd, const void* data, size_t size) {
     done += static_cast<size_t>(n);
   }
   return Status::OK();
+}
+
+Status WritevAll(int fd, struct iovec* iov, int iovcnt) {
+  while (iovcnt > 0) {
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    // sendmsg instead of writev for MSG_NOSIGNAL: a peer that vanished
+    // mid-write must surface as EPIPE, not kill the process.
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("writev");
+    }
+    if (n == 0) return Status::IoError("writev returned 0");
+    size_t done = static_cast<size_t>(n);
+    while (iovcnt > 0 && done >= iov->iov_len) {
+      done -= iov->iov_len;
+      ++iov;
+      --iovcnt;
+    }
+    if (iovcnt > 0 && done > 0) {
+      iov->iov_base = static_cast<uint8_t*>(iov->iov_base) + done;
+      iov->iov_len -= done;
+    }
+  }
+  return Status::OK();
+}
+
+Result<bool> WaitWritable(int fd, int timeout_ms) {
+  pollfd pfd{fd, POLLOUT, 0};
+  while (true) {
+    int n = ::poll(&pfd, 1, timeout_ms);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return Status::FromErrno("poll(POLLOUT)");
+    }
+    return n > 0;
+  }
 }
 
 Status ReadAll(int fd, void* data, size_t size) {

@@ -4,6 +4,8 @@
 // loops; non-blocking accept is used by the store's poller.
 #pragma once
 
+#include <sys/uio.h>
+
 #include <string>
 #include <string_view>
 
@@ -50,6 +52,14 @@ Status SetNonBlocking(int fd);
 
 // Writes exactly `size` bytes (loops over partial writes / EINTR).
 Status WriteAll(int fd, const void* data, size_t size);
+
+// Gather-writes every byte of `iov` (sendmsg with MSG_NOSIGNAL; loops
+// over partial writes / EINTR, adjusting the iovec array in place).
+Status WritevAll(int fd, struct iovec* iov, int iovcnt);
+
+// Blocks until `fd` is writable or `timeout_ms` elapses (-1 = forever).
+// Returns true when writable, false on timeout.
+Result<bool> WaitWritable(int fd, int timeout_ms);
 
 // Reads exactly `size` bytes. Returns NotConnected on clean EOF at offset
 // zero and ProtocolError on EOF mid-message.

@@ -1,0 +1,118 @@
+#include "net/tx_queue.h"
+
+#include <sys/socket.h>
+#include <sys/uio.h>
+
+#include <cerrno>
+
+#include "common/crc32.h"
+
+namespace mdos::net {
+
+namespace {
+
+// Upper bound on iovec entries per gather write. 64 covers 32 coalesced
+// frames per syscall; longer queues simply take another writev from the
+// same flush loop. (Comfortably under IOV_MAX everywhere.)
+constexpr int kMaxIov = 64;
+
+// Recycled-buffer pool bounds: don't hoard more buffers than a busy
+// batch uses, and never park a jumbo payload's capacity forever.
+constexpr size_t kMaxFreeBufs = 16;
+constexpr size_t kMaxRecycledCapacity = 1u << 20;
+
+}  // namespace
+
+Status TxQueue::Append(uint32_t type, std::vector<uint8_t> payload) {
+  if (payload.size() > kMaxFramePayload) {
+    return Status::Invalid("frame payload too large");
+  }
+  Slot slot;
+  slot.header.magic = kFrameMagic;
+  slot.header.type = type;
+  slot.header.length = static_cast<uint32_t>(payload.size());
+  slot.header.crc = Crc32(payload.data(), payload.size());
+  slot.payload = std::move(payload);
+  pending_bytes_ += slot.wire_size();
+  slots_.push_back(std::move(slot));
+  ++stats_.frames_enqueued;
+  return Status::OK();
+}
+
+Result<TxQueue::FlushState> TxQueue::Flush(int fd) {
+  while (!slots_.empty()) {
+    // Build one gather list over the queued frames, resuming mid-frame
+    // where the previous flush stopped.
+    iovec iov[kMaxIov];
+    int iovcnt = 0;
+    size_t frames_spanned = 0;
+    size_t skip = front_sent_;
+    for (const Slot& slot : slots_) {
+      if (iovcnt + 2 > kMaxIov) break;
+      ++frames_spanned;
+      const uint8_t* hdr =
+          reinterpret_cast<const uint8_t*>(&slot.header);
+      if (skip < sizeof(slot.header)) {
+        iov[iovcnt++] = {const_cast<uint8_t*>(hdr + skip),
+                         sizeof(slot.header) - skip};
+        skip = 0;
+      } else {
+        skip -= sizeof(slot.header);
+      }
+      if (slot.payload.size() > skip) {
+        iov[iovcnt++] = {
+            const_cast<uint8_t*>(slot.payload.data() + skip),
+            slot.payload.size() - skip};
+      }
+      skip = 0;
+    }
+
+    msghdr msg{};
+    msg.msg_iov = iov;
+    msg.msg_iovlen = static_cast<size_t>(iovcnt);
+    ssize_t n = ::sendmsg(fd, &msg, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      if (errno == EAGAIN || errno == EWOULDBLOCK) {
+        ++stats_.egress_blocked_events;
+        return FlushState::kBlocked;
+      }
+      return Status::FromErrno("tx flush");
+    }
+    ++stats_.writev_calls;
+    stats_.bytes_tx += static_cast<uint64_t>(n);
+    pending_bytes_ -= static_cast<size_t>(n);
+
+    // Pop fully sent frames; a partial tail becomes the new front offset.
+    size_t sent = front_sent_ + static_cast<size_t>(n);
+    size_t completed = 0;
+    while (!slots_.empty() && sent >= slots_.front().wire_size()) {
+      sent -= slots_.front().wire_size();
+      Recycle(std::move(slots_.front().payload));
+      slots_.pop_front();
+      ++completed;
+    }
+    front_sent_ = sent;
+    // Frames that shared their syscall with at least one other frame.
+    if (frames_spanned > 1) stats_.frames_coalesced += completed;
+  }
+  return FlushState::kDrained;
+}
+
+std::vector<uint8_t> TxQueue::AcquireBuffer() {
+  if (free_bufs_.empty()) return {};
+  std::vector<uint8_t> buf = std::move(free_bufs_.back());
+  free_bufs_.pop_back();
+  return buf;
+}
+
+void TxQueue::Recycle(std::vector<uint8_t> buf) {
+  if (free_bufs_.size() >= kMaxFreeBufs ||
+      buf.capacity() > kMaxRecycledCapacity) {
+    return;
+  }
+  buf.clear();
+  free_bufs_.push_back(std::move(buf));
+}
+
+}  // namespace mdos::net

@@ -1,0 +1,90 @@
+// TxQueue — per-connection non-blocking egress queue with scatter-gather
+// coalescing.
+//
+// Replies produced while a connection's request batch drains are appended
+// as (frame header, payload) pairs — the payload vector is moved in, so
+// enqueueing copies nothing — and flushed with one gather write (sendmsg)
+// spanning every queued frame. A flush that hits EAGAIN leaves the
+// residue queued (a byte-accurate offset into the front frame is kept)
+// and reports kBlocked so the owner can arm write interest on its poller
+// instead of blocking the event loop on a slow client.
+//
+// Buffer recycling closes the allocation loop: payload vectors of fully
+// sent frames park in a small free list and are handed back through
+// AcquireBuffer(), so the encode → enqueue → flush cycle allocates
+// nothing in steady state (pair it with wire::Writer::Adopt/TakeBuffer).
+//
+// Single-owner: a TxQueue lives on its connection's event-loop thread;
+// no internal locking. Stats are cumulative; owners snapshot/delta them
+// into whatever cross-thread counters they expose.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "common/status.h"
+#include "net/frame.h"
+
+namespace mdos::net {
+
+// Egress observability, per queue. Aggregated per store shard and
+// surfaced through GetStoreStats (see docs/operations.md).
+struct TxQueueStats {
+  uint64_t frames_enqueued = 0;
+  // Frames sent by a gather write that carried more than one frame —
+  // i.e. frames whose syscall was shared. frames_coalesced /
+  // frames_enqueued is the coalescing rate.
+  uint64_t frames_coalesced = 0;
+  uint64_t writev_calls = 0;
+  uint64_t bytes_tx = 0;
+  // Flushes that ended in EAGAIN with residue left queued (the moments a
+  // slow client would have blocked the old blocking-write path).
+  uint64_t egress_blocked_events = 0;
+};
+
+class TxQueue {
+ public:
+  enum class FlushState : uint8_t {
+    kDrained,  // queue empty; disarm write interest
+    kBlocked,  // EAGAIN with residue queued; arm write interest
+  };
+
+  // Appends one frame. The payload is moved in (zero-copy); its CRC is
+  // computed here (hardware-accelerated, see common/crc32.h).
+  Status Append(uint32_t type, std::vector<uint8_t> payload);
+
+  // Gather-writes queued frames until the queue drains or the socket
+  // stops accepting bytes. `fd` must be O_NONBLOCK (EAGAIN is the
+  // backpressure signal). Errors (EPIPE, ECONNRESET, ...) surface as a
+  // failed Status — the owner drops the connection.
+  Result<FlushState> Flush(int fd);
+
+  bool empty() const { return slots_.empty(); }
+  size_t pending_bytes() const { return pending_bytes_; }
+  size_t pending_frames() const { return slots_.size(); }
+
+  // A recycled payload buffer (empty, capacity preserved) or a fresh one.
+  std::vector<uint8_t> AcquireBuffer();
+
+  const TxQueueStats& stats() const { return stats_; }
+
+ private:
+  struct Slot {
+    FrameHeader header;
+    std::vector<uint8_t> payload;
+    size_t wire_size() const { return sizeof(header) + payload.size(); }
+  };
+
+  void Recycle(std::vector<uint8_t> buf);
+
+  std::deque<Slot> slots_;
+  // Bytes of the front slot already on the wire (a flush may stop
+  // mid-frame; the next one resumes exactly there).
+  size_t front_sent_ = 0;
+  size_t pending_bytes_ = 0;
+  std::vector<std::vector<uint8_t>> free_bufs_;
+  TxQueueStats stats_;
+};
+
+}  // namespace mdos::net

@@ -110,23 +110,26 @@ void AsyncClient::FailAllPending(const Status& status) {
   }
   for (auto& [id, handler] : orphans) {
     (void)id;
-    handler(MessageType::kNotification, Status(status));
+    handler(MessageType::kNotification, status, {});
   }
 }
 
 void AsyncClient::ReaderLoop() {
+  // Scratch frame reused across replies: its payload capacity grows to
+  // the largest reply seen and then the loop stops allocating.
+  net::Frame frame;
   for (;;) {
-    auto frame = net::RecvFrame(fd_.get());
-    if (!frame.ok()) {
+    Status received = net::RecvFrame(fd_.get(), &frame);
+    if (!received.ok()) {
       FailAllPending(Status::NotConnected(
-          "connection closed: " + frame.status().ToString()));
+          "connection closed: " + received.ToString()));
       return;
     }
-    const auto type = static_cast<MessageType>(frame->type);
+    const auto type = static_cast<MessageType>(frame.type);
     if (type == MessageType::kNotification) {
       continue;  // subscriptions use a dedicated listener connection
     }
-    auto tag = PeekRequestId(frame->payload);
+    auto tag = PeekRequestId(frame.payload);
     if (!tag.ok()) {
       FailAllPending(tag.status());
       return;
@@ -141,7 +144,7 @@ void AsyncClient::ReaderLoop() {
       }
     }
     if (handler) {
-      handler(type, std::move(frame->payload));
+      handler(type, Status::OK(), frame.payload);
     } else {
       MDOS_LOG_WARN << "async client: reply for unknown request " << *tag;
     }
@@ -167,9 +170,10 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
     pending_.emplace(
         request_id,
         [promise, reply_type, transform](
-            MessageType type, Result<std::vector<uint8_t>> payload) mutable {
-          if (!payload.ok()) {
-            promise.Set(T(payload.status()));
+            MessageType type, const Status& status,
+            std::span<const uint8_t> payload) mutable {
+          if (!status.ok()) {
+            promise.Set(T(status));
             return;
           }
           if (type != reply_type) {
@@ -178,7 +182,7 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
                 std::to_string(static_cast<uint32_t>(type)))));
             return;
           }
-          auto reply = DecodeMessage<ReplyT>(*payload);
+          auto reply = DecodeMessage<ReplyT>(payload.data(), payload.size());
           if (!reply.ok()) {
             promise.Set(T(reply.status()));
             return;
@@ -190,7 +194,10 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
   Status sent;
   {
     std::lock_guard<std::mutex> lock(send_mutex_);
-    sent = SendMessage(fd_.get(), request_type, request_id, request);
+    send_writer_.Reset();
+    EncodeMessage(send_writer_, request_id, request);
+    sent = net::SendFrame(fd_.get(), static_cast<uint32_t>(request_type),
+                          send_writer_.data(), send_writer_.size());
   }
   if (!sent.ok()) {
     ReplyHandler handler;
@@ -202,7 +209,7 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
         pending_.erase(it);
       }
     }
-    if (handler) handler(reply_type, Status(sent));
+    if (handler) handler(reply_type, sent, {});
   }
   return future;
 }

@@ -36,6 +36,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <type_traits>
@@ -104,9 +105,12 @@ class AsyncClient {
   friend class PlasmaClient;
 
   // Consumes a reply frame's (type, tagged payload) — or the connection
-  // error that ended it — and fulfills the operation's promise.
-  using ReplyHandler =
-      std::function<void(MessageType, Result<std::vector<uint8_t>>)>;
+  // error that ended it — and fulfills the operation's promise. The
+  // payload view aliases the reader thread's scratch frame (reused
+  // across replies; no per-reply allocation) and is only valid for the
+  // duration of the call: handlers decode synchronously.
+  using ReplyHandler = std::function<void(MessageType, const Status&,
+                                          std::span<const uint8_t>)>;
 
   AsyncClient() = default;
 
@@ -150,6 +154,9 @@ class AsyncClient {
   // the queued frames to the store back-to-back. fd_ is closed only with
   // this mutex held, so senders never write a recycled descriptor.
   std::mutex send_mutex_;
+  // Request-encode scratch (guarded by send_mutex_): capacity reused, so
+  // steady-state sends allocate nothing.
+  wire::Writer send_writer_;
   // Serializes Disconnect against itself (explicit call vs destructor).
   std::mutex disconnect_mutex_;
   std::atomic<uint64_t> next_request_id_{1};

@@ -271,6 +271,11 @@ void StoreStats::EncodeTo(wire::Writer& w) const {
   w.PutU64(spilled_bytes);
   w.PutU64(spills);
   w.PutU64(spill_restores);
+  w.PutU64(frames_tx);
+  w.PutU64(frames_coalesced);
+  w.PutU64(writev_calls);
+  w.PutU64(bytes_tx);
+  w.PutU64(egress_blocked_events);
 }
 Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   StoreStats m;
@@ -286,6 +291,11 @@ Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.spilled_bytes, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.spills, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.spill_restores, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.frames_tx, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.frames_coalesced, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.writev_calls, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.bytes_tx, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.egress_blocked_events, r.GetU64());
   return m;
 }
 
@@ -308,6 +318,11 @@ void ShardStatsEntry::EncodeTo(wire::Writer& w) const {
   w.PutU64(spilled_objects);
   w.PutU64(spilled_bytes);
   w.PutU64(spill_restores);
+  w.PutU64(frames_tx);
+  w.PutU64(frames_coalesced);
+  w.PutU64(writev_calls);
+  w.PutU64(bytes_tx);
+  w.PutU64(egress_blocked_events);
 }
 Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   ShardStatsEntry m;
@@ -322,6 +337,11 @@ Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.spilled_objects, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.spilled_bytes, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.spill_restores, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.frames_tx, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.frames_coalesced, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.writev_calls, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.bytes_tx, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.egress_blocked_events, r.GetU64());
   return m;
 }
 
@@ -379,11 +399,15 @@ Result<Notification> Notification::DecodeFrom(wire::Reader& r) {
   return m;
 }
 
-Result<uint64_t> PeekRequestId(const std::vector<uint8_t>& payload) {
-  wire::Reader r(payload.data(), payload.size());
+Result<uint64_t> PeekRequestId(const uint8_t* payload, size_t size) {
+  wire::Reader r(payload, size);
   MDOS_ASSIGN_OR_RETURN(wire::MessageHeader header,
                         wire::MessageHeader::DecodeFrom(r));
   return header.request_id;
+}
+
+Result<uint64_t> PeekRequestId(const std::vector<uint8_t>& payload) {
+  return PeekRequestId(payload.data(), payload.size());
 }
 
 Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected,

@@ -231,6 +231,12 @@ struct StoreStats {
   uint64_t spilled_bytes = 0;
   uint64_t spills = 0;           // cumulative objects written to disk
   uint64_t spill_restores = 0;   // cumulative objects read back
+  // Egress (non-blocking write-queue) counters, summed over shards.
+  uint64_t frames_tx = 0;              // reply frames enqueued
+  uint64_t frames_coalesced = 0;       // frames that shared a writev
+  uint64_t writev_calls = 0;           // gather-write syscalls issued
+  uint64_t bytes_tx = 0;               // reply bytes on the wire
+  uint64_t egress_blocked_events = 0;  // flushes parked on EAGAIN
   void EncodeTo(wire::Writer& w) const;
   static Result<StoreStats> DecodeFrom(wire::Reader& r);
 };
@@ -258,6 +264,12 @@ struct ShardStatsEntry {
   uint64_t spilled_objects = 0;  // objects in this shard's spill file
   uint64_t spilled_bytes = 0;
   uint64_t spill_restores = 0;   // cumulative restores on this shard
+  // Egress counters for this shard's connections (see StoreStats).
+  uint64_t frames_tx = 0;
+  uint64_t frames_coalesced = 0;
+  uint64_t writev_calls = 0;
+  uint64_t bytes_tx = 0;
+  uint64_t egress_blocked_events = 0;
   void EncodeTo(wire::Writer& w) const;
   static Result<ShardStatsEntry> DecodeFrom(wire::Reader& r);
 };
@@ -314,6 +326,7 @@ void EncodeStatus(wire::Writer& w, const Status& s);
 Status DecodeStatus(wire::Reader& r, Status* out);
 
 // Reads the request id off a tagged frame payload.
+Result<uint64_t> PeekRequestId(const uint8_t* payload, size_t size);
 Result<uint64_t> PeekRequestId(const std::vector<uint8_t>& payload);
 
 // Receives one frame and checks its type; `request_id` (optional)
@@ -327,25 +340,40 @@ Result<std::vector<uint8_t>> RecvExpect(int fd, MessageType expected,
 
 namespace mdos::plasma {
 
-// Sends `msg` as one request-tagged frame of the given type.
+// Encodes the request-tag header + `msg` into `w` (callers that keep a
+// scratch Writer per connection Reset() it first and reuse its capacity).
+template <typename Message>
+void EncodeMessage(wire::Writer& w, uint64_t request_id,
+                   const Message& msg) {
+  wire::MessageHeader{request_id}.EncodeTo(w);
+  msg.EncodeTo(w);
+}
+
+// Sends `msg` as one request-tagged frame of the given type (blocking;
+// the store's event loops use the non-blocking TxQueue path instead).
 template <typename Message>
 Status SendMessage(int fd, MessageType type, uint64_t request_id,
                    const Message& msg) {
   wire::Writer w;
-  wire::MessageHeader{request_id}.EncodeTo(w);
-  msg.EncodeTo(w);
+  EncodeMessage(w, request_id, msg);
   return net::SendFrame(fd, static_cast<uint32_t>(type), w.data(),
                         w.size());
 }
 
 // Decodes a tagged payload previously produced by SendMessage (skips the
-// message header).
+// message header). The span form decodes straight out of a receive
+// buffer (net::FrameView) without copying the payload first.
 template <typename Message>
-Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
-  wire::Reader r(payload.data(), payload.size());
+Result<Message> DecodeMessage(const uint8_t* payload, size_t size) {
+  wire::Reader r(payload, size);
   auto header = wire::MessageHeader::DecodeFrom(r);
   if (!header.ok()) return header.status();
   return Message::DecodeFrom(r);
+}
+
+template <typename Message>
+Result<Message> DecodeMessage(const std::vector<uint8_t>& payload) {
+  return DecodeMessage<Message>(payload.data(), payload.size());
 }
 
 }  // namespace mdos::plasma

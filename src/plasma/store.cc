@@ -1,5 +1,7 @@
 #include "plasma/store.h"
 
+#include <fcntl.h>
+#include <sys/ioctl.h>
 #include <sys/socket.h>
 #include <sys/stat.h>
 #include <sys/time.h>
@@ -48,8 +50,18 @@ struct Store::ClientConn {
   bool handshaken = false;
   bool subscriber = false;  // notification-only connection
   // Bytes received but not yet framed. A pipelining client may queue many
-  // frames here between event-loop passes.
+  // frames here between event-loop passes; capacity is reused across
+  // batches (the per-connection receive scratch).
   std::vector<uint8_t> inbuf;
+  // Non-blocking egress: replies queue here (zero-copy) and leave in
+  // coalesced gather writes at the end of each event-loop pass.
+  net::TxQueue tx;
+  // Write interest currently armed on the home shard's poller.
+  bool write_armed = false;
+  // Queued egress awaiting the end-of-pass flush (in Shard::dirty).
+  bool dirty = false;
+  // Tx counters already folded into the shard stats (delta tracking).
+  net::TxQueueStats reported_tx;
   // Pins of local objects held through this connection: id -> count.
   // (The pinned ids may be owned by any shard.)
   std::unordered_map<ObjectId, uint32_t> local_pins;
@@ -96,7 +108,17 @@ struct Store::Shard {
   net::Poller poller;
   std::unordered_map<int, std::shared_ptr<ClientConn>> clients;
   std::list<PendingGet> pending_gets;
+  // Connections with egress queued since the last flush pass.
+  std::vector<int> dirty;
   std::thread thread;
+
+  // Egress observability (TxQueueStats deltas folded in by
+  // AccumulateTxStats; read by stats()/shard_stats() from any thread).
+  std::atomic<uint64_t> tx_frames{0};
+  std::atomic<uint64_t> tx_frames_coalesced{0};
+  std::atomic<uint64_t> tx_writev_calls{0};
+  std::atomic<uint64_t> tx_bytes{0};
+  std::atomic<uint64_t> tx_blocked_events{0};
 
   // Cross-thread observability (ShardStats) and fan-out gating.
   // parked_gets is pre-announced with seq_cst BEFORE a Get's final local
@@ -119,6 +141,129 @@ struct Store::Shard {
     poller.Wakeup();
   }
 };
+
+// ---- non-blocking egress ---------------------------------------------------
+
+template <typename Message>
+void Store::QueueReply(Shard& shard, ClientConn& conn, MessageType type,
+                       uint64_t request_id, const Message& msg) {
+  // The per-connection encode scratch: a recycled payload buffer from
+  // the connection's own queue, adopted by a Writer and moved straight
+  // back in — the encode → enqueue → flush cycle allocates nothing in
+  // steady state and the payload is never copied.
+  wire::Writer w;
+  w.Adopt(conn.tx.AcquireBuffer());
+  EncodeMessage(w, request_id, msg);
+  Status queued =
+      conn.tx.Append(static_cast<uint32_t>(type), w.TakeBuffer());
+  if (!queued.ok()) {
+    // An unencodable reply (payload past the frame bound) must not
+    // leave the request silently unanswered forever — shed the client
+    // as the old blocking path did on a failed send.
+    MDOS_LOG_WARN << "store: dropping client '" << conn.name
+                  << "' on oversize reply: " << queued;
+    DropClient(shard, conn.fd.get());
+    return;
+  }
+  MarkDirty(shard, conn);
+  // Enforce the egress cap at enqueue time too: a single pipelined
+  // batch of expensive requests (thousands of Lists, say) must not
+  // build replies past the cap before the end-of-pass flush runs.
+  // FlushConn sheds the connection if the flush leaves it over the cap.
+  if (conn.tx.pending_bytes() > options_.max_egress_queue_bytes) {
+    FlushConn(shard, conn);
+  }
+}
+
+void Store::MarkDirty(Shard& shard, ClientConn& conn) {
+  if (conn.dirty) return;
+  conn.dirty = true;
+  shard.dirty.push_back(conn.fd.get());
+}
+
+void Store::FlushDirtyConns(Shard& shard) {
+  if (shard.dirty.empty()) return;
+  std::vector<int> fds;
+  fds.swap(shard.dirty);
+  for (int fd : fds) {
+    auto it = shard.clients.find(fd);
+    if (it == shard.clients.end()) continue;  // dropped mid-pass
+    it->second->dirty = false;
+    FlushConn(shard, *it->second);
+  }
+}
+
+void Store::AccumulateTxStats(Shard& shard, ClientConn& conn) {
+  const net::TxQueueStats& now = conn.tx.stats();
+  net::TxQueueStats& last = conn.reported_tx;
+  shard.tx_frames.fetch_add(now.frames_enqueued - last.frames_enqueued,
+                            std::memory_order_relaxed);
+  shard.tx_frames_coalesced.fetch_add(
+      now.frames_coalesced - last.frames_coalesced,
+      std::memory_order_relaxed);
+  shard.tx_writev_calls.fetch_add(now.writev_calls - last.writev_calls,
+                                  std::memory_order_relaxed);
+  shard.tx_bytes.fetch_add(now.bytes_tx - last.bytes_tx,
+                           std::memory_order_relaxed);
+  shard.tx_blocked_events.fetch_add(
+      now.egress_blocked_events - last.egress_blocked_events,
+      std::memory_order_relaxed);
+  last = now;
+}
+
+void Store::FlushConn(Shard& shard, ClientConn& conn) {
+  int fd = conn.fd.get();
+  auto state = conn.tx.Flush(fd);
+  AccumulateTxStats(shard, conn);
+  if (!state.ok()) {
+    // EPIPE/ECONNRESET: the client vanished mid-reply; routine shedding.
+    DropClient(shard, fd);
+    return;
+  }
+  if (*state == net::TxQueue::FlushState::kBlocked) {
+    if (conn.tx.pending_bytes() > options_.max_egress_queue_bytes) {
+      MDOS_LOG_WARN << "store: client '" << conn.name
+                    << "' not draining its socket ("
+                    << conn.tx.pending_bytes()
+                    << " bytes queued past the "
+                    << options_.max_egress_queue_bytes
+                    << "-byte egress cap); dropping";
+      DropClient(shard, fd);
+      return;
+    }
+    if (!conn.write_armed) {
+      shard.poller.SetWriteInterest(fd, true);
+      conn.write_armed = true;
+    }
+  } else if (conn.write_armed) {
+    shard.poller.SetWriteInterest(fd, false);
+    conn.write_armed = false;
+  }
+}
+
+Status Store::FlushConnBlocking(Shard& shard, ClientConn& conn,
+                                int timeout_ms) {
+  int fd = conn.fd.get();
+  const int64_t deadline =
+      MonotonicNanos() + int64_t{timeout_ms} * 1000000;
+  while (true) {
+    auto state = conn.tx.Flush(fd);
+    AccumulateTxStats(shard, conn);
+    MDOS_RETURN_IF_ERROR(state.status());
+    if (*state == net::TxQueue::FlushState::kDrained) return Status::OK();
+    int64_t left_ms = (deadline - MonotonicNanos()) / 1000000;
+    if (left_ms <= 0) return Status::Timeout("handshake flush timed out");
+    MDOS_ASSIGN_OR_RETURN(bool writable,
+                          net::WaitWritable(fd, static_cast<int>(left_ms)));
+    if (!writable) return Status::Timeout("handshake flush timed out");
+  }
+}
+
+void Store::OnClientWritable(Shard& shard, int fd) {
+  auto it = shard.clients.find(fd);
+  if (it == shard.clients.end()) return;
+  FlushConn(shard, *it->second);
+}
 
 Store::Store(StoreOptions options, uint32_t node_id, uint32_t pool_region)
     : options_(std::move(options)),
@@ -249,6 +394,7 @@ void Store::Stop() {
   for (auto& shard : shards_) {
     shard->clients.clear();
     shard->pending_gets.clear();
+    shard->dirty.clear();
     shard->parked_gets.store(0);
     shard->client_count.store(0);
     shard->subscriber_count.store(0);
@@ -275,7 +421,7 @@ void Store::Stop() {
 
 void Store::AcceptLoop() {
   while (running_.load()) {
-    auto ready = accept_poller_.Wait(200, [this](int fd) {
+    auto ready = accept_poller_.Wait(200, [this](int fd, uint32_t) {
       if (fd == listen_fd_.get()) AcceptPending();
     });
     if (!ready.ok()) {
@@ -313,13 +459,12 @@ void Store::AcceptPending() {
     accept_backoff_ms_ = 0;
 
     int fd = conn_fd.get();
-    // Replies are written by the connection's home shard thread. A client
-    // that stops draining its socket must not park that shard in write():
-    // bound the send and shed the offender instead.
-    timeval send_timeout{};
-    send_timeout.tv_sec = 5;
-    ::setsockopt(fd, SOL_SOCKET, SO_SNDTIMEO, &send_timeout,
-                 sizeof(send_timeout));
+    // Replies are written by the connection's home shard thread through
+    // its non-blocking write queue: O_NONBLOCK makes EAGAIN the
+    // backpressure signal, so a client that stops draining its socket
+    // queues bytes (up to max_egress_queue_bytes) instead of parking the
+    // shard in write(2).
+    (void)net::SetNonBlocking(fd);
     auto conn = std::make_shared<ClientConn>();
     conn->fd = std::move(conn_fd);
 
@@ -341,15 +486,25 @@ void Store::ShardLoop(Shard& shard) {
   while (running_.load()) {
     DrainMailbox(shard);
     int timeout_ms = FlushExpiredPendingGets(shard);
+    // Mailbox tasks and expired gets may have queued egress; flush it
+    // before parking in the poller.
+    FlushDirtyConns(shard);
     if (timeout_ms < 0 || timeout_ms > 200) timeout_ms = 200;
-    auto ready = shard.poller.Wait(timeout_ms, [this, &shard](int fd) {
-      OnClientReadable(shard, fd);
-    });
+    auto ready =
+        shard.poller.Wait(timeout_ms, [this, &shard](int fd,
+                                                     uint32_t events) {
+          // Writable first: draining queued residue may disarm write
+          // interest before the read pass queues fresh replies.
+          if (events & net::kPollerWritable) OnClientWritable(shard, fd);
+          if (events & net::kPollerReadable) OnClientReadable(shard, fd);
+        });
     if (!ready.ok()) {
       MDOS_LOG_ERROR << "store shard " << shard.index
                      << " poll failed: " << ready.status();
       break;
     }
+    // One coalesced gather write per connection touched this pass.
+    FlushDirtyConns(shard);
   }
 }
 
@@ -370,15 +525,24 @@ void Store::OnClientReadable(Shard& shard, int fd) {
   ClientConn& conn = *conn_ref;
 
   // Drain everything the socket has buffered without blocking the loop.
-  uint8_t chunk[64 * 1024];
+  // FIONREAD sizes the receive scratch so bytes land directly in place:
+  // no intermediate chunk buffer, no copy, and the vector's capacity is
+  // reused across batches.
   bool closed = false;
   for (;;) {
-    ssize_t n = ::recv(fd, chunk, sizeof(chunk), MSG_DONTWAIT);
+    int avail = 0;
+    if (::ioctl(fd, FIONREAD, &avail) != 0 || avail <= 0) avail = 4096;
+    const size_t base = conn.inbuf.size();
+    conn.inbuf.resize(base + static_cast<size_t>(avail));
+    ssize_t n =
+        ::recv(fd, conn.inbuf.data() + base, static_cast<size_t>(avail),
+               MSG_DONTWAIT);
     if (n > 0) {
-      conn.inbuf.insert(conn.inbuf.end(), chunk, chunk + n);
-      if (static_cast<size_t>(n) < sizeof(chunk)) break;
+      conn.inbuf.resize(base + static_cast<size_t>(n));
+      if (n < avail) break;  // drained at this instant
       continue;
     }
+    conn.inbuf.resize(base);
     if (n == 0) {
       closed = true;
       break;
@@ -389,28 +553,28 @@ void Store::OnClientReadable(Shard& shard, int fd) {
     break;
   }
 
-  // Decode every complete frame; a pipelining client's queued requests
-  // become one batch.
-  std::vector<net::Frame> batch;
+  // Decode every complete frame as a zero-copy view into the receive
+  // scratch; a pipelining client's queued requests become one batch. The
+  // consumed prefix is erased only after dispatch (the views alias it).
+  std::vector<net::FrameView> batch;
   size_t offset = 0;
   Status parse = Status::OK();
   while (offset < conn.inbuf.size()) {
-    net::Frame frame;
+    net::FrameView view;
     size_t consumed = 0;
-    parse = net::DecodeFrame(conn.inbuf.data() + offset,
-                             conn.inbuf.size() - offset, &frame, &consumed);
+    parse = net::DecodeFrameView(conn.inbuf.data() + offset,
+                                 conn.inbuf.size() - offset, &view,
+                                 &consumed);
     if (!parse.ok() || consumed == 0) break;
     offset += consumed;
-    batch.push_back(std::move(frame));
+    batch.push_back(view);
   }
-  conn.inbuf.erase(conn.inbuf.begin(),
-                   conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
 
   // Dispatch in arrival order; Gets defer their remote half to the end of
   // the batch. `conn` may be dropped mid-batch (decode error,
   // disconnect), so re-check liveness between frames.
   std::vector<PendingGet> batch_gets;
-  for (const net::Frame& frame : batch) {
+  for (const net::FrameView& frame : batch) {
     if (shard.clients.find(fd) == shard.clients.end()) return;
     DispatchFrame(shard, conn, frame, &batch_gets);
   }
@@ -418,6 +582,8 @@ void Store::OnClientReadable(Shard& shard, int fd) {
   ResolveGets(shard, conn, batch_gets);
 
   if (shard.clients.find(fd) == shard.clients.end()) return;
+  conn.inbuf.erase(conn.inbuf.begin(),
+                   conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
   if (!parse.ok()) {
     MDOS_LOG_WARN << "store: dropping client on bad frame: " << parse;
     DropClient(shard, fd);
@@ -427,12 +593,12 @@ void Store::OnClientReadable(Shard& shard, int fd) {
 }
 
 void Store::DispatchFrame(Shard& shard, ClientConn& conn,
-                          const net::Frame& frame,
+                          const net::FrameView& frame,
                           std::vector<PendingGet>* batch_gets) {
   int fd = conn.fd.get();
   const auto type = static_cast<MessageType>(frame.type);
-  const std::vector<uint8_t>& body = frame.payload;
-  auto tag = PeekRequestId(body);
+  const std::span<const uint8_t> body(frame.payload, frame.size);
+  auto tag = PeekRequestId(frame.payload, frame.size);
   if (!tag.ok()) {
     DropClient(shard, fd);
     return;
@@ -487,6 +653,11 @@ void Store::DropClient(Shard& shard, int fd) {
   auto it = shard.clients.find(fd);
   if (it == shard.clients.end()) return;
   std::shared_ptr<ClientConn> conn = std::move(it->second);
+  // Best-effort final flush: replies queued earlier in this batch still
+  // reach a client being dropped for a later protocol violation (and
+  // their counters are folded into the shard stats before teardown).
+  if (!conn->tx.empty()) (void)conn->tx.Flush(fd);
+  AccumulateTxStats(shard, *conn);
   shard.clients.erase(it);
   shard.poller.Remove(fd);
   shard.client_count.fetch_sub(1, std::memory_order_relaxed);
@@ -542,8 +713,8 @@ void Store::DropClient(Shard& shard, int fd) {
 
 void Store::HandleConnect(Shard& home, ClientConn& conn,
                           uint64_t request_id,
-                          const std::vector<uint8_t>& body) {
-  auto request = DecodeMessage<ConnectRequest>(body);
+                          std::span<const uint8_t> body) {
+  auto request = DecodeMessage<ConnectRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, conn.fd.get());
     return;
@@ -558,8 +729,11 @@ void Store::HandleConnect(Shard& home, ClientConn& conn,
   reply.pool_slab_offset = pool_slab_offset_;
   reply.store_name = options_.name;
   int fd = conn.fd.get();
-  if (!SendMessage(fd, MessageType::kConnectReply, request_id, reply)
-           .ok()) {
+  // The SCM_RIGHTS fd message below must follow the reply bytes in
+  // stream order, so the handshake (once per connection, a ~100-byte
+  // frame into an empty socket buffer) flushes the queue synchronously.
+  QueueReply(home, conn, MessageType::kConnectReply, request_id, reply);
+  if (!FlushConnBlocking(home, conn, /*timeout_ms=*/5000).ok()) {
     DropClient(home, fd);
     return;
   }
@@ -573,8 +747,13 @@ void Store::HandleConnect(Shard& home, ClientConn& conn,
     auto dup = fabric_node_->ShareFd();
     if (dup.ok()) pool_fd = std::move(dup).value();
   }
-  if (!pool_fd.valid() ||
-      !net::SendFd(fd, pool_fd.get()).ok()) {
+  // sendmsg of one byte + ancillary data; briefly revert to blocking so
+  // a momentarily full buffer cannot drop the fd pass.
+  int flags = ::fcntl(fd, F_GETFL, 0);
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags & ~O_NONBLOCK);
+  bool fd_sent = pool_fd.valid() && net::SendFd(fd, pool_fd.get()).ok();
+  if (flags >= 0) ::fcntl(fd, F_SETFL, flags);
+  if (!fd_sent) {
     DropClient(home, fd);
   }
 }
@@ -717,9 +896,9 @@ bool Store::IsEvictable(const Shard& owner, const ObjectId& id) const {
 
 void Store::HandleCreate(Shard& home, ClientConn& conn,
                          uint64_t request_id,
-                         const std::vector<uint8_t>& body) {
+                         std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<CreateRequest>(body);
+  auto request = DecodeMessage<CreateRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -749,7 +928,7 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
     reply.status = Status::AlreadyExists(
         "object id " + request->id.Hex() +
         (exists_remotely ? " exists in a remote store" : " exists"));
-    (void)SendMessage(fd, MessageType::kCreateReply, request_id, reply);
+    QueueReply(home, conn, MessageType::kCreateReply, request_id, reply);
     return;
   }
 
@@ -786,13 +965,13 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
       }
     }
   }
-  (void)SendMessage(fd, MessageType::kCreateReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kCreateReply, request_id, reply);
 }
 
 void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
-                       const std::vector<uint8_t>& body) {
+                       std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<SealRequest>(body);
+  auto request = DecodeMessage<SealRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -822,7 +1001,7 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
       }
     }
   }
-  (void)SendMessage(fd, MessageType::kSealReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kSealReply, request_id, reply);
   if (reply.status.ok()) {
     // Sealing makes the object available. The sealed notice is fanned
     // out BEFORE waking parked gets: a woken consumer may immediately
@@ -836,9 +1015,9 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
 
 void Store::HandleSubscribe(Shard& home, ClientConn& conn,
                             uint64_t request_id,
-                            const std::vector<uint8_t>& body) {
+                            std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<SubscribeRequest>(body);
+  auto request = DecodeMessage<SubscribeRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -849,7 +1028,7 @@ void Store::HandleSubscribe(Shard& home, ClientConn& conn,
   conn.subscriber = true;
   conn.name = request->subscriber_name;
   SubscribeReply reply;
-  (void)SendMessage(fd, MessageType::kSubscribeReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kSubscribeReply, request_id, reply);
 }
 
 void Store::FanOutSealed(Shard* origin, const ObjectId& id) {
@@ -887,22 +1066,28 @@ void Store::FanOutNotification(Shard* origin, const Notification& notice) {
 }
 
 void Store::DeliverNotification(Shard& shard, const Notification& notice) {
-  std::vector<int> dead;
+  // Queued, not sent: a burst of notifications to the same subscriber
+  // leaves in one gather write at the end of the pass, and a dead
+  // subscriber surfaces (and is dropped) at flush time. Subscriber fds
+  // are snapshotted first because QueueReply may DropClient (egress cap)
+  // and mutate the map mid-iteration.
+  std::vector<int> subscribers;
   for (auto& [fd, conn] : shard.clients) {
-    if (!conn->subscriber) continue;
-    if (!SendMessage(fd, MessageType::kNotification, kNoRequestId, notice)
-             .ok()) {
-      dead.push_back(fd);
-    }
+    if (conn->subscriber) subscribers.push_back(fd);
   }
-  for (int fd : dead) DropClient(shard, fd);
+  for (int fd : subscribers) {
+    auto it = shard.clients.find(fd);
+    if (it == shard.clients.end()) continue;
+    QueueReply(shard, *it->second, MessageType::kNotification,
+               kNoRequestId, notice);
+  }
 }
 
 void Store::HandleAbort(Shard& home, ClientConn& conn,
                         uint64_t request_id,
-                        const std::vector<uint8_t>& body) {
+                        std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<AbortRequest>(body);
+  auto request = DecodeMessage<AbortRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -928,7 +1113,7 @@ void Store::HandleAbort(Shard& home, ClientConn& conn,
       reply.status = removed.status();
     }
   }
-  (void)SendMessage(fd, MessageType::kAbortReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kAbortReply, request_id, reply);
 }
 
 std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
@@ -963,10 +1148,10 @@ std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
 }
 
 void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
-                      const std::vector<uint8_t>& body,
+                      std::span<const uint8_t> body,
                       std::vector<PendingGet>* batch_gets) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<GetRequest>(body);
+  auto request = DecodeMessage<GetRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -1125,11 +1310,8 @@ void Store::ReplyPendingGet(Shard& shard, PendingGet& pending) {
       reply.entries.push_back(missing);
     }
   }
-  if (!SendMessage(pending.fd, MessageType::kGetReply, pending.request_id,
-                   reply)
-           .ok()) {
-    DropClient(shard, pending.fd);
-  }
+  QueueReply(shard, *it->second, MessageType::kGetReply,
+             pending.request_id, reply);
 }
 
 void Store::ServePendingGetsFor(Shard& shard, const ObjectId& id) {
@@ -1225,9 +1407,9 @@ int Store::FlushExpiredPendingGets(Shard& shard) {
 
 void Store::HandleRelease(Shard& home, ClientConn& conn,
                           uint64_t request_id,
-                          const std::vector<uint8_t>& body) {
+                          std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<ReleaseRequest>(body);
+  auto request = DecodeMessage<ReleaseRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -1262,14 +1444,14 @@ void Store::HandleRelease(Shard& home, ClientConn& conn,
       options_.pin_remote_objects) {
     dist_hooks_->UnpinRemote(request->id, *remote_unpin);
   }
-  (void)SendMessage(fd, MessageType::kReleaseReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kReleaseReply, request_id, reply);
 }
 
 void Store::HandleContains(Shard& home, ClientConn& conn,
                            uint64_t request_id,
-                           const std::vector<uint8_t>& body) {
+                           std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<ContainsRequest>(body);
+  auto request = DecodeMessage<ContainsRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -1280,14 +1462,14 @@ void Store::HandleContains(Shard& home, ClientConn& conn,
     std::lock_guard<std::mutex> lock(owner.mutex);
     reply.contains = owner.table.ContainsSealed(request->id);
   }
-  (void)SendMessage(fd, MessageType::kContainsReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kContainsReply, request_id, reply);
 }
 
 void Store::HandleDelete(Shard& home, ClientConn& conn,
                          uint64_t request_id,
-                         const std::vector<uint8_t>& body) {
+                         std::span<const uint8_t> body) {
   int fd = conn.fd.get();
-  auto request = DecodeMessage<DeleteRequest>(body);
+  auto request = DecodeMessage<DeleteRequest>(body.data(), body.size());
   if (!request.ok()) {
     DropClient(home, fd);
     return;
@@ -1333,12 +1515,11 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
     notice.deleted = true;
     FanOutNotification(&home, notice);
   }
-  (void)SendMessage(fd, MessageType::kDeleteReply, request_id, reply);
+  QueueReply(home, conn, MessageType::kDeleteReply, request_id, reply);
 }
 
 void Store::HandleList(Shard& home, ClientConn& conn,
                        uint64_t request_id) {
-  (void)home;
   // Cross-shard scan: one shard lock at a time, never two (lock-order
   // safety), merged into one reply.
   ListReply reply;
@@ -1348,26 +1529,22 @@ void Store::HandleList(Shard& home, ClientConn& conn,
     reply.objects.insert(reply.objects.end(), objects.begin(),
                          objects.end());
   }
-  (void)SendMessage(conn.fd.get(), MessageType::kListReply, request_id,
-                    reply);
+  QueueReply(home, conn, MessageType::kListReply, request_id, reply);
 }
 
 void Store::HandleStats(Shard& home, ClientConn& conn,
                         uint64_t request_id) {
-  (void)home;
   StatsReply reply;
   reply.stats = stats();
-  (void)SendMessage(conn.fd.get(), MessageType::kStatsReply, request_id,
-                    reply);
+  QueueReply(home, conn, MessageType::kStatsReply, request_id, reply);
 }
 
 void Store::HandleShardStats(Shard& home, ClientConn& conn,
                              uint64_t request_id) {
-  (void)home;
   ShardStatsReply reply;
   reply.shards = shard_stats();
-  (void)SendMessage(conn.fd.get(), MessageType::kShardStatsReply,
-                    request_id, reply);
+  QueueReply(home, conn, MessageType::kShardStatsReply, request_id,
+             reply);
 }
 
 // ---- thread-safe peer surface ---------------------------------------------
@@ -1484,6 +1661,14 @@ StoreStats Store::stats() {
     s.spilled_bytes += shard->table.spilled_bytes();
     s.spills += shard->spill_count;
     s.spill_restores += shard->restore_count;
+    s.frames_tx += shard->tx_frames.load(std::memory_order_relaxed);
+    s.frames_coalesced +=
+        shard->tx_frames_coalesced.load(std::memory_order_relaxed);
+    s.writev_calls +=
+        shard->tx_writev_calls.load(std::memory_order_relaxed);
+    s.bytes_tx += shard->tx_bytes.load(std::memory_order_relaxed);
+    s.egress_blocked_events +=
+        shard->tx_blocked_events.load(std::memory_order_relaxed);
   }
   s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
   s.remote_lookup_hits =
@@ -1511,6 +1696,14 @@ std::vector<ShardStatsEntry> Store::shard_stats() {
     entry.clients = shard->client_count.load(std::memory_order_relaxed);
     entry.inflight_gets =
         shard->parked_gets.load(std::memory_order_relaxed);
+    entry.frames_tx = shard->tx_frames.load(std::memory_order_relaxed);
+    entry.frames_coalesced =
+        shard->tx_frames_coalesced.load(std::memory_order_relaxed);
+    entry.writev_calls =
+        shard->tx_writev_calls.load(std::memory_order_relaxed);
+    entry.bytes_tx = shard->tx_bytes.load(std::memory_order_relaxed);
+    entry.egress_blocked_events =
+        shard->tx_blocked_events.load(std::memory_order_relaxed);
     out.push_back(entry);
   }
   return out;

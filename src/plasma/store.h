@@ -61,6 +61,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -71,8 +72,10 @@
 #include "common/object_id.h"
 #include "common/status.h"
 #include "net/fd.h"
+#include "net/frame.h"
 #include "net/memfd.h"
 #include "net/poller.h"
+#include "net/tx_queue.h"
 #include "plasma/eviction.h"
 #include "plasma/object_table.h"
 #include "plasma/protocol.h"
@@ -103,6 +106,11 @@ struct StoreOptions {
   uint32_t shards = 1;
   // Explicit accept backlog for the listening socket.
   int accept_backlog = 128;
+  // Egress backpressure cap: a client that stops draining its socket has
+  // its replies queued in memory (the non-blocking write queue) up to
+  // this many bytes; past it the store sheds the client instead of
+  // buffering without bound.
+  uint64_t max_egress_queue_bytes = 64ull << 20;
   // Disk spill tier. Empty (the default) disables it: eviction destroys
   // victims as before. When set, each shard keeps an append-only segment
   // file `<spill_dir>/<name>.shard<i>.spill`; eviction writes victims
@@ -255,46 +263,73 @@ class Store {
   // ---- shard event loops -----------------------------------------------
   void ShardLoop(Shard& shard);
   void DrainMailbox(Shard& shard);
-  // Drains the connection's socket, decodes every complete frame, and
-  // processes them as one batch. A pipelining client thus has all of its
-  // queued requests serviced in a single pass — with one combined remote
-  // lookup for every unknown id across the batch (see ResolveGets).
+  // Drains the connection's socket into its receive scratch (sized once
+  // via FIONREAD — no chunk-copy, no per-frame allocation), decodes every
+  // complete frame as a zero-copy view, and processes them as one batch.
+  // A pipelining client thus has all of its queued requests serviced in a
+  // single pass — with one combined remote lookup for every unknown id
+  // across the batch (see ResolveGets) and every reply coalesced into the
+  // connection's write queue.
   void OnClientReadable(Shard& shard, int fd);
+  // Write-readiness edge for a connection with queued egress residue.
+  void OnClientWritable(Shard& shard, int fd);
   void DispatchFrame(Shard& shard, ClientConn& conn,
-                     const net::Frame& frame,
+                     const net::FrameView& frame,
                      std::vector<PendingGet>* batch_gets);
   void DropClient(Shard& shard, int fd);
+
+  // ---- non-blocking egress ---------------------------------------------
+  // Encodes `msg` into a recycled buffer and appends it to the
+  // connection's write queue; the frame leaves in the end-of-pass flush,
+  // coalesced with every other reply queued on that connection.
+  template <typename Message>
+  void QueueReply(Shard& shard, ClientConn& conn, MessageType type,
+                  uint64_t request_id, const Message& msg);
+  void MarkDirty(Shard& shard, ClientConn& conn);
+  // Flushes every connection marked dirty since the last pass (one
+  // writev per connection in the common case).
+  void FlushDirtyConns(Shard& shard);
+  // Flushes one connection's queue: EAGAIN arms write interest (and
+  // enforces max_egress_queue_bytes), drain disarms it, an error drops
+  // the client. Shard thread only.
+  void FlushConn(Shard& shard, ClientConn& conn);
+  // Blocking flush for the connect handshake (the SCM_RIGHTS fd pass
+  // must follow the reply bytes in stream order).
+  Status FlushConnBlocking(Shard& shard, ClientConn& conn, int timeout_ms);
+  // Folds the connection's cumulative TxQueue counters into the shard's
+  // cross-thread egress stats (delta since last fold).
+  void AccumulateTxStats(Shard& shard, ClientConn& conn);
 
   // Message handlers, running on the connection's home shard thread.
   // `home` is that shard; object state is accessed by locking the id's
   // owner shard. Every reply echoes `request_id` so clients can pipeline
   // and match out of order.
   void HandleConnect(Shard& home, ClientConn& conn, uint64_t request_id,
-                     const std::vector<uint8_t>& body);
+                     std::span<const uint8_t> body);
   void HandleCreate(Shard& home, ClientConn& conn, uint64_t request_id,
-                    const std::vector<uint8_t>& body);
+                    std::span<const uint8_t> body);
   void HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
-                  const std::vector<uint8_t>& body);
+                  std::span<const uint8_t> body);
   void HandleAbort(Shard& home, ClientConn& conn, uint64_t request_id,
-                   const std::vector<uint8_t>& body);
+                   std::span<const uint8_t> body);
   // Local-table pass only; the remote/missing halves are resolved for the
   // whole batch in ResolveGets.
   void HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
-                 const std::vector<uint8_t>& body,
+                 std::span<const uint8_t> body,
                  std::vector<PendingGet>* batch_gets);
   void HandleRelease(Shard& home, ClientConn& conn, uint64_t request_id,
-                     const std::vector<uint8_t>& body);
+                     std::span<const uint8_t> body);
   void HandleContains(Shard& home, ClientConn& conn, uint64_t request_id,
-                      const std::vector<uint8_t>& body);
+                      std::span<const uint8_t> body);
   void HandleDelete(Shard& home, ClientConn& conn, uint64_t request_id,
-                    const std::vector<uint8_t>& body);
+                    std::span<const uint8_t> body);
   // Fans out over every shard's table (scan).
   void HandleList(Shard& home, ClientConn& conn, uint64_t request_id);
   void HandleStats(Shard& home, ClientConn& conn, uint64_t request_id);
   void HandleShardStats(Shard& home, ClientConn& conn,
                         uint64_t request_id);
   void HandleSubscribe(Shard& home, ClientConn& conn, uint64_t request_id,
-                       const std::vector<uint8_t>& body);
+                       std::span<const uint8_t> body);
 
   // Cross-shard fan-out through the mailboxes: `origin` (may be null for
   // non-shard callers) runs its part inline, every other shard gets a

@@ -35,7 +35,9 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
   request.deadline_ms = timeout_ms;
   request.payload = payload;
 
-  wire::Writer writer;
+  // Scratch reuse: capacity persists across calls (mutex_ held).
+  wire::Writer& writer = scratch_writer_;
+  writer.Reset();
   request.EncodeTo(writer);
 
   // Model half the LAN round trip before send, half after receive.
@@ -55,9 +57,10 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
     return fail(std::move(sent));
   }
 
-  auto frame = net::RecvFrame(fd_.get());
-  if (!frame.ok()) {
-    Status st = frame.status();
+  net::Frame& frame = scratch_frame_;
+  Status received = net::RecvFrame(fd_.get(), &frame);
+  if (!received.ok()) {
+    Status st = std::move(received);
     fd_.Reset();
     if (st.Is(StatusCode::kIoError) &&
         st.message().find("Resource temporarily unavailable") !=
@@ -66,11 +69,11 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
     }
     return fail(std::move(st));
   }
-  if (frame->type != kResponseFrame) {
+  if (frame.type != kResponseFrame) {
     fd_.Reset();
     return fail(Status::ProtocolError("unexpected frame type"));
   }
-  wire::Reader reader(frame->payload.data(), frame->payload.size());
+  wire::Reader reader(frame.payload.data(), frame.payload.size());
   auto response = RpcResponse::DecodeFrom(reader);
   if (!response.ok()) {
     fd_.Reset();

@@ -20,6 +20,7 @@
 
 #include "common/status.h"
 #include "net/fd.h"
+#include "net/frame.h"
 #include "rpc/message.h"
 
 namespace mdos::rpc {
@@ -75,6 +76,11 @@ class RpcChannel {
   std::atomic<uint64_t> next_call_id_{1};
   mutable std::mutex mutex_;
   ChannelStats stats_;
+  // Per-channel scratch (guarded by mutex_ like the fd): the request
+  // encoder and response frame reuse their capacity across calls, so a
+  // steady-state channel issues zero allocations for the envelope.
+  wire::Writer scratch_writer_;
+  net::Frame scratch_frame_;
 };
 
 }  // namespace mdos::rpc

@@ -1,6 +1,10 @@
 #include "rpc/server.h"
 
+#include <sys/ioctl.h>
+#include <sys/socket.h>
+
 #include <algorithm>
+#include <cerrno>
 
 #include "common/clock.h"
 #include "common/log.h"
@@ -42,18 +46,32 @@ ServerStats RpcServer::stats() const {
 
 void RpcServer::ServeLoop() {
   while (running_.load()) {
-    auto ready = poller_.Wait(/*timeout_ms=*/200, [this](int fd) {
-      if (fd == listen_fd_.get()) {
-        auto conn = net::Accept(listen_fd_.get());
-        if (conn.ok()) {
-          (void)net::SetNoDelay(conn->get());
-          poller_.Add(conn->get());
-          connections_.push_back(std::move(conn).value());
-        }
-      } else {
-        HandleReadable(fd);
-      }
-    });
+    auto ready =
+        poller_.Wait(/*timeout_ms=*/200, [this](int fd, uint32_t events) {
+          if (fd == listen_fd_.get()) {
+            auto conn_fd = net::Accept(listen_fd_.get());
+            if (conn_fd.ok()) {
+              (void)net::SetNoDelay(conn_fd->get());
+              // Non-blocking: EAGAIN (not a parked send) is the signal
+              // that a peer has stopped draining its socket.
+              (void)net::SetNonBlocking(conn_fd->get());
+              int cfd = conn_fd->get();
+              auto conn = std::make_unique<Conn>();
+              conn->fd = std::move(conn_fd).value();
+              poller_.Add(cfd);
+              connections_.emplace(cfd, std::move(conn));
+            }
+            return;
+          }
+          auto it = connections_.find(fd);
+          if (it == connections_.end()) return;
+          if (events & net::kPollerWritable) {
+            FlushConn(*it->second);
+            it = connections_.find(fd);  // may have been dropped
+            if (it == connections_.end()) return;
+          }
+          if (events & net::kPollerReadable) HandleReadable(*it->second);
+        });
     if (!ready.ok()) {
       MDOS_LOG_ERROR << "rpc server poll failed: " << ready.status();
       break;
@@ -61,23 +79,70 @@ void RpcServer::ServeLoop() {
   }
 }
 
-void RpcServer::HandleReadable(int fd) {
-  auto frame = net::RecvFrame(fd);
-  if (!frame.ok()) {
-    // Clean disconnect or corrupt stream: drop the connection either way.
+void RpcServer::HandleReadable(Conn& conn) {
+  int fd = conn.fd.get();
+  // Drain the socket into the connection's receive scratch (sized via
+  // FIONREAD; capacity reused across batches).
+  bool closed = false;
+  for (;;) {
+    int avail = 0;
+    if (::ioctl(fd, FIONREAD, &avail) != 0 || avail <= 0) avail = 4096;
+    const size_t base = conn.inbuf.size();
+    conn.inbuf.resize(base + static_cast<size_t>(avail));
+    ssize_t n = ::recv(fd, conn.inbuf.data() + base,
+                       static_cast<size_t>(avail), MSG_DONTWAIT);
+    if (n > 0) {
+      conn.inbuf.resize(base + static_cast<size_t>(n));
+      if (n < avail) break;
+      continue;
+    }
+    conn.inbuf.resize(base);
+    if (n == 0) {
+      closed = true;
+      break;
+    }
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) break;
+    closed = true;
+    break;
+  }
+
+  // Serve every complete request frame in the batch; responses coalesce
+  // into the egress queue and leave in one gather write below.
+  size_t offset = 0;
+  Status parse = Status::OK();
+  while (offset < conn.inbuf.size()) {
+    net::FrameView view;
+    size_t consumed = 0;
+    parse = net::DecodeFrameView(conn.inbuf.data() + offset,
+                                 conn.inbuf.size() - offset, &view,
+                                 &consumed);
+    if (!parse.ok() || consumed == 0) break;
+    if (view.type != kRequestFrame) {
+      parse = Status::ProtocolError("unexpected frame type");
+      break;
+    }
+    offset += consumed;
+    parse = ServeRequest(conn, view.payload, view.size);
+    if (!parse.ok()) break;
+  }
+  conn.inbuf.erase(conn.inbuf.begin(),
+                   conn.inbuf.begin() + static_cast<ptrdiff_t>(offset));
+
+  if (!parse.ok() || closed) {
+    // Best effort: pipelined responses already queued still leave.
+    if (!conn.tx.empty()) (void)conn.tx.Flush(fd);
     CloseConnection(fd);
     return;
   }
-  if (frame->type != kRequestFrame) {
-    CloseConnection(fd);
-    return;
-  }
-  wire::Reader reader(frame->payload.data(), frame->payload.size());
+  FlushConn(conn);
+}
+
+Status RpcServer::ServeRequest(Conn& conn, const uint8_t* payload,
+                               size_t size) {
+  wire::Reader reader(payload, size);
   auto request = RpcRequest::DecodeFrom(reader);
-  if (!request.ok()) {
-    CloseConnection(fd);
-    return;
-  }
+  if (!request.ok()) return request.status();
 
   int64_t delay = service_delay_ns_.load(std::memory_order_relaxed);
   if (delay > 0) SpinForNanos(delay);
@@ -98,7 +163,10 @@ void RpcServer::HandleReadable(int fd) {
     }
   }
 
+  // Encode into a recycled buffer and queue; flushing happens once per
+  // readable batch.
   wire::Writer writer;
+  writer.Adopt(conn.tx.AcquireBuffer());
   response.EncodeTo(writer);
   // Account the call before the response leaves: once the client has the
   // reply, the server's counters must already reflect it.
@@ -106,20 +174,33 @@ void RpcServer::HandleReadable(int fd) {
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.calls;
     if (response.code != StatusCode::kOk) ++stats_.errors;
-    stats_.bytes_in += frame->payload.size();
+    stats_.bytes_in += size;
     stats_.bytes_out += writer.size();
   }
-  Status sent =
-      net::SendFrame(fd, kResponseFrame, writer.data(), writer.size());
-  if (!sent.ok()) CloseConnection(fd);
+  return conn.tx.Append(kResponseFrame, writer.TakeBuffer());
+}
+
+void RpcServer::FlushConn(Conn& conn) {
+  int fd = conn.fd.get();
+  auto state = conn.tx.Flush(fd);
+  if (!state.ok()) {
+    CloseConnection(fd);
+    return;
+  }
+  if (*state == net::TxQueue::FlushState::kBlocked) {
+    if (!conn.write_armed) {
+      poller_.SetWriteInterest(fd, true);
+      conn.write_armed = true;
+    }
+  } else if (conn.write_armed) {
+    poller_.SetWriteInterest(fd, false);
+    conn.write_armed = false;
+  }
 }
 
 void RpcServer::CloseConnection(int fd) {
   poller_.Remove(fd);
-  connections_.erase(
-      std::remove_if(connections_.begin(), connections_.end(),
-                     [fd](const net::UniqueFd& c) { return c.get() == fd; }),
-      connections_.end());
+  connections_.erase(fd);
 }
 
 }  // namespace mdos::rpc

@@ -2,26 +2,36 @@
 //
 // Mirrors the paper's gRPC configuration: "the gRPC server requires a
 // dedicated thread to service all calls synchronously" (§IV-A2). A single
-// server thread multiplexes all peer connections with poll(2) and executes
-// handlers inline, one call at a time — the same serialization behaviour
-// as a sync gRPC server with one completion thread. Handlers therefore
-// need no internal locking against each other, but they *do* run
-// concurrently with the owning store's main thread, which is exactly the
-// concurrency the paper's mutexes protect against.
+// server thread multiplexes all peer connections and executes handlers
+// inline, one call at a time — the same serialization behaviour as a sync
+// gRPC server with one completion thread. Handlers therefore need no
+// internal locking against each other, but they *do* run concurrently
+// with the owning store's shard threads, which is exactly the concurrency
+// the store's per-shard mutexes protect against.
+//
+// I/O is non-blocking end to end: requests drain into a per-connection
+// receive scratch (a batch of pipelined calls is served in one pass) and
+// responses leave through a per-connection egress queue (net/tx_queue.h)
+// flushed with coalesced gather writes — a peer that stops draining its
+// socket arms write interest instead of stalling every other peer's RPCs
+// behind a blocking send.
 #pragma once
 
 #include <atomic>
 #include <cstdint>
 #include <functional>
 #include <map>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <vector>
 
 #include "common/status.h"
 #include "net/fd.h"
 #include "net/poller.h"
+#include "net/tx_queue.h"
 #include "rpc/message.h"
 
 namespace mdos::rpc {
@@ -62,8 +72,24 @@ class RpcServer {
   void set_service_delay_ns(int64_t ns) { service_delay_ns_.store(ns); }
 
  private:
+  // One peer connection: receive scratch + egress queue (service thread
+  // only).
+  struct Conn {
+    net::UniqueFd fd;
+    std::vector<uint8_t> inbuf;
+    net::TxQueue tx;
+    bool write_armed = false;
+  };
+
   void ServeLoop();
-  void HandleReadable(int fd);
+  void HandleReadable(Conn& conn);
+  // Runs one decoded request frame and queues its response. A failure
+  // means the connection is corrupt and must be dropped (by the caller —
+  // never drops it itself, the batch loop still holds the Conn).
+  Status ServeRequest(Conn& conn, const uint8_t* payload, size_t size);
+  // Flushes the connection's egress queue, arming/disarming write
+  // interest; drops the connection on error.
+  void FlushConn(Conn& conn);
   void CloseConnection(int fd);
 
   std::map<std::string, Handler> handlers_;
@@ -73,7 +99,7 @@ class RpcServer {
   std::atomic<bool> running_{false};
   std::atomic<int64_t> service_delay_ns_{0};
   net::Poller poller_;
-  std::vector<net::UniqueFd> connections_;
+  std::unordered_map<int, std::unique_ptr<Conn>> connections_;
   mutable std::mutex stats_mutex_;
   ServerStats stats_;
 };

@@ -66,7 +66,15 @@ class Writer {
     return {reinterpret_cast<const char*>(buf_.data()), buf_.size()};
   }
   std::vector<uint8_t> TakeBuffer() { return std::move(buf_); }
-  void Clear() { buf_.clear(); }
+  // Buffer-reuse surface for encode-hot paths (one scratch Writer per
+  // connection/channel): Reset discards content but keeps capacity, so a
+  // steady-state encoder stops allocating; Adopt takes over a recycled
+  // buffer (e.g. from TxQueue::AcquireBuffer) — cleared, capacity kept.
+  void Reset() { buf_.clear(); }
+  void Adopt(std::vector<uint8_t> buf) {
+    buf_ = std::move(buf);
+    buf_.clear();
+  }
 
  private:
   void PutFixed(const void* p, size_t n) {

@@ -6,6 +6,9 @@
 #include <unistd.h>
 
 #include <atomic>
+#include <cstdlib>
+#include <memory>
+#include <vector>
 #include <cstring>
 #include <thread>
 
@@ -15,6 +18,7 @@
 #include "net/memfd.h"
 #include "net/poller.h"
 #include "net/socket.h"
+#include "net/tx_queue.h"
 
 namespace mdos::net {
 namespace {
@@ -249,52 +253,274 @@ TEST(MemfdTest, FdPassingAcrossSocket) {
   EXPECT_EQ(view->data()[0], 77);
 }
 
-TEST(PollerTest, ReportsReadableFd) {
+// Both Poller backends (epoll and the poll(2) fallback) must satisfy the
+// same contract; every PollerTest runs against each.
+class PollerTest : public ::testing::TestWithParam<Poller::Backend> {
+ protected:
+  void SetUp() override {
+    if (GetParam() == Poller::Backend::kPoll) {
+      ::setenv("MDOS_FORCE_POLL", "1", 1);
+    } else {
+      ::unsetenv("MDOS_FORCE_POLL");
+    }
+    poller_ = std::make_unique<Poller>();
+    ASSERT_EQ(poller_->backend(), GetParam());
+  }
+  void TearDown() override { ::unsetenv("MDOS_FORCE_POLL"); }
+
+  std::unique_ptr<Poller> poller_;
+};
+
+TEST_P(PollerTest, ReportsReadableFd) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   UniqueFd a(sv[0]), b(sv[1]);
-  Poller poller;
-  poller.Add(b.get());
+  poller_->Add(b.get());
   ASSERT_TRUE(WriteAll(a.get(), "x", 1).ok());
   int seen = -1;
-  auto n = poller.Wait(1000, [&](int fd) { seen = fd; });
+  uint32_t seen_events = 0;
+  auto n = poller_->Wait(1000, [&](int fd, uint32_t events) {
+    seen = fd;
+    seen_events = events;
+  });
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 1);
   EXPECT_EQ(seen, b.get());
+  EXPECT_TRUE(seen_events & kPollerReadable);
+  // Write interest is not armed: no writable report even though the
+  // socket is writable.
+  EXPECT_FALSE(seen_events & kPollerWritable);
 }
 
-TEST(PollerTest, TimesOutWithNoEvents) {
-  Poller poller;
-  auto n = poller.Wait(10, [](int) { FAIL() << "no fd should be ready"; });
+TEST_P(PollerTest, TimesOutWithNoEvents) {
+  auto n = poller_->Wait(10, [](int, uint32_t) {
+    FAIL() << "no fd should be ready";
+  });
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 0);
 }
 
-TEST(PollerTest, WakeupInterruptsWait) {
-  Poller poller;
+TEST_P(PollerTest, WakeupInterruptsWait) {
   std::atomic<bool> woke{false};
   std::thread waiter([&] {
-    auto n = poller.Wait(5000, [](int) {});
+    auto n = poller_->Wait(5000, [](int, uint32_t) {});
     ASSERT_TRUE(n.ok());
     woke.store(true);
   });
   std::this_thread::sleep_for(std::chrono::milliseconds(20));
-  poller.Wakeup();
+  poller_->Wakeup();
   waiter.join();
   EXPECT_TRUE(woke.load());
 }
 
-TEST(PollerTest, RemoveStopsReporting) {
+TEST_P(PollerTest, RemoveStopsReporting) {
   int sv[2];
   ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
   UniqueFd a(sv[0]), b(sv[1]);
-  Poller poller;
-  poller.Add(b.get());
-  poller.Remove(b.get());
+  poller_->Add(b.get());
+  poller_->Remove(b.get());
   ASSERT_TRUE(WriteAll(a.get(), "x", 1).ok());
-  auto n = poller.Wait(10, [](int) { FAIL(); });
+  auto n = poller_->Wait(10, [](int, uint32_t) { FAIL(); });
   ASSERT_TRUE(n.ok());
   EXPECT_EQ(*n, 0);
+}
+
+TEST_P(PollerTest, WriteInterestReportsWritableOnlyWhileArmed) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  poller_->Add(b.get());
+
+  // Idle-writable socket, interest disarmed: timeout.
+  auto n = poller_->Wait(10, [](int, uint32_t) { FAIL(); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+
+  // Armed: the (writable) socket reports immediately — including under
+  // epoll's edge triggering, because arming re-scans readiness.
+  poller_->SetWriteInterest(b.get(), true);
+  uint32_t seen_events = 0;
+  n = poller_->Wait(1000,
+                    [&](int, uint32_t events) { seen_events = events; });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_TRUE(seen_events & kPollerWritable);
+
+  // Disarmed again: back to silence.
+  poller_->SetWriteInterest(b.get(), false);
+  n = poller_->Wait(10, [](int, uint32_t) { FAIL(); });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0);
+}
+
+TEST_P(PollerTest, WriteInterestFiresAfterDrain) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  ASSERT_TRUE(SetNonBlocking(a.get()).ok());
+  // Fill a's send buffer until EAGAIN — the egress-blocked state.
+  std::vector<uint8_t> junk(64 * 1024, 0xAB);
+  while (true) {
+    ssize_t w = ::send(a.get(), junk.data(), junk.size(), MSG_DONTWAIT);
+    if (w < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) break;
+    ASSERT_GE(w, 0);
+  }
+  poller_->Add(a.get());
+  poller_->SetWriteInterest(a.get(), true);
+  auto n = poller_->Wait(10, [](int, uint32_t) {});
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 0) << "full socket must not report writable";
+
+  // Drain the peer; the writability edge must now be delivered.
+  std::vector<uint8_t> sink(1 << 20);
+  while (::recv(b.get(), sink.data(), sink.size(), MSG_DONTWAIT) > 0) {
+  }
+  uint32_t seen_events = 0;
+  n = poller_->Wait(1000,
+                    [&](int, uint32_t events) { seen_events = events; });
+  ASSERT_TRUE(n.ok());
+  EXPECT_EQ(*n, 1);
+  EXPECT_TRUE(seen_events & kPollerWritable);
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerTest,
+                         ::testing::Values(Poller::Backend::kEpoll,
+                                           Poller::Backend::kPoll),
+                         [](const auto& info) {
+                           return info.param == Poller::Backend::kEpoll
+                                      ? "epoll"
+                                      : "poll";
+                         });
+
+// ---- TxQueue ---------------------------------------------------------------
+
+TEST(TxQueueTest, CoalescesFramesIntoOneGatherWrite) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  ASSERT_TRUE(SetNonBlocking(a.get()).ok());
+
+  TxQueue tx;
+  SplitMix64 rng(11);
+  std::vector<std::vector<uint8_t>> payloads;
+  for (int i = 0; i < 8; ++i) {
+    std::vector<uint8_t> p(100 + 37 * i);
+    rng.Fill(p.data(), p.size());
+    payloads.push_back(p);
+    ASSERT_TRUE(tx.Append(42 + i, std::move(p)).ok());
+  }
+  EXPECT_EQ(tx.pending_frames(), 8u);
+
+  auto state = tx.Flush(a.get());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, TxQueue::FlushState::kDrained);
+  EXPECT_TRUE(tx.empty());
+  EXPECT_EQ(tx.stats().writev_calls, 1u) << "8 frames, one syscall";
+  EXPECT_EQ(tx.stats().frames_coalesced, 8u);
+  EXPECT_EQ(tx.stats().egress_blocked_events, 0u);
+
+  // The receiver must see 8 well-formed frames with intact payloads.
+  for (int i = 0; i < 8; ++i) {
+    auto frame = RecvFrame(b.get());
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->type, static_cast<uint32_t>(42 + i));
+    EXPECT_EQ(frame->payload, payloads[i]);
+  }
+}
+
+TEST(TxQueueTest, BlocksOnFullSocketAndResumesMidFrame) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  ASSERT_TRUE(SetNonBlocking(a.get()).ok());
+  // Shrink the send buffer so a single large frame cannot fit.
+  int small = 8 * 1024;
+  ::setsockopt(a.get(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small));
+
+  TxQueue tx;
+  SplitMix64 rng(13);
+  std::vector<uint8_t> big(512 * 1024);
+  rng.Fill(big.data(), big.size());
+  std::vector<uint8_t> copy = big;
+  ASSERT_TRUE(tx.Append(7, std::move(copy)).ok());
+
+  // Flush until blocked (no reader yet).
+  auto state = tx.Flush(a.get());
+  ASSERT_TRUE(state.ok());
+  EXPECT_EQ(*state, TxQueue::FlushState::kBlocked);
+  EXPECT_FALSE(tx.empty());
+  EXPECT_GE(tx.stats().egress_blocked_events, 1u);
+
+  // Drain concurrently and keep flushing: the residue must resume at the
+  // exact byte offset and the receiver must see one intact frame.
+  std::thread reader([&] {
+    auto frame = RecvFrame(b.get());
+    ASSERT_TRUE(frame.ok()) << frame.status();
+    EXPECT_EQ(frame->type, 7u);
+    EXPECT_EQ(frame->payload, big);
+  });
+  while (true) {
+    auto s = tx.Flush(a.get());
+    ASSERT_TRUE(s.ok());
+    if (*s == TxQueue::FlushState::kDrained) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+  reader.join();
+  EXPECT_EQ(tx.stats().bytes_tx, big.size() + 16);
+}
+
+TEST(TxQueueTest, PeerCloseSurfacesAsError) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  ASSERT_TRUE(SetNonBlocking(a.get()).ok());
+  b.Reset();  // peer gone
+  TxQueue tx;
+  ASSERT_TRUE(tx.Append(1, std::vector<uint8_t>{1, 2, 3}).ok());
+  auto state = tx.Flush(a.get());
+  EXPECT_FALSE(state.ok()) << "EPIPE must surface, not SIGPIPE";
+}
+
+TEST(TxQueueTest, RecyclesPayloadBuffers) {
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  ASSERT_TRUE(SetNonBlocking(a.get()).ok());
+  TxQueue tx;
+  ASSERT_TRUE(tx.Append(1, std::vector<uint8_t>(4096, 0x55)).ok());
+  ASSERT_TRUE(tx.Flush(a.get()).ok());
+  // The drained frame's buffer comes back with its capacity intact.
+  std::vector<uint8_t> recycled = tx.AcquireBuffer();
+  EXPECT_TRUE(recycled.empty());
+  EXPECT_GE(recycled.capacity(), 4096u);
+}
+
+TEST(FrameViewTest, DecodesWithoutCopy) {
+  // Encode a frame into a buffer via a socketpair round-trip.
+  int sv[2];
+  ASSERT_EQ(::socketpair(AF_UNIX, SOCK_STREAM, 0, sv), 0);
+  UniqueFd a(sv[0]), b(sv[1]);
+  std::vector<uint8_t> payload = {9, 8, 7, 6, 5};
+  ASSERT_TRUE(SendFrame(a.get(), 3, payload).ok());
+  uint8_t buf[256];
+  ssize_t n = ::recv(b.get(), buf, sizeof(buf), 0);
+  ASSERT_GT(n, 0);
+
+  FrameView view;
+  size_t consumed = 0;
+  ASSERT_TRUE(DecodeFrameView(buf, static_cast<size_t>(n), &view,
+                              &consumed)
+                  .ok());
+  ASSERT_EQ(consumed, 16u + payload.size());
+  EXPECT_EQ(view.type, 3u);
+  ASSERT_EQ(view.size, payload.size());
+  // Zero-copy: the view aliases the receive buffer.
+  EXPECT_EQ(view.payload, buf + 16);
+
+  // Partial prefix decodes to "need more bytes".
+  FrameView partial;
+  ASSERT_TRUE(DecodeFrameView(buf, 10, &partial, &consumed).ok());
+  EXPECT_EQ(consumed, 0u);
 }
 
 }  // namespace

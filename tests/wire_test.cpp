@@ -58,7 +58,7 @@ TEST(WireTest, VarintEncodingIsCompact) {
   Writer w;
   w.PutVarint(127);
   EXPECT_EQ(w.size(), 1u);
-  w.Clear();
+  w.Reset();
   w.PutVarint(128);
   EXPECT_EQ(w.size(), 2u);
 }

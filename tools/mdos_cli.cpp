@@ -118,6 +118,16 @@ int CmdStats(plasma::PlasmaClient& client) {
               static_cast<unsigned long long>(stats->spills));
   std::printf("spill_restores:      %llu\n",
               static_cast<unsigned long long>(stats->spill_restores));
+  std::printf("frames_tx:           %llu\n",
+              static_cast<unsigned long long>(stats->frames_tx));
+  std::printf("frames_coalesced:    %llu\n",
+              static_cast<unsigned long long>(stats->frames_coalesced));
+  std::printf("writev_calls:        %llu\n",
+              static_cast<unsigned long long>(stats->writev_calls));
+  std::printf("bytes_tx:            %llu\n",
+              static_cast<unsigned long long>(stats->bytes_tx));
+  std::printf("egress_blocked:      %llu\n",
+              static_cast<unsigned long long>(stats->egress_blocked_events));
 
   // Per-shard breakdown (GetStoreStats): exposes load balance across the
   // store's event-loop shards. Non-fatal: a store that predates the
@@ -130,13 +140,15 @@ int CmdStats(plasma::PlasmaClient& client) {
                  shards.status().ToString().c_str());
     return 0;
   }
-  std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s %-9s %-12s %-9s\n",
+  std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s %-9s %-12s %-9s "
+              "%-10s %-10s %-9s %-12s %-8s\n",
               "shard", "clients", "objects", "sealed", "bytes", "arena",
-              "evicted", "inflight", "spilled", "spill_bytes", "restores");
+              "evicted", "inflight", "spilled", "spill_bytes", "restores",
+              "frames_tx", "coalesced", "writev", "bytes_tx", "blocked");
   for (const auto& s : *shards) {
     std::printf(
         "%-6u %-8llu %-9llu %-9llu %-12llu %-12llu %-10llu %-9llu %-9llu "
-        "%-12llu %-9llu\n",
+        "%-12llu %-9llu %-10llu %-10llu %-9llu %-12llu %-8llu\n",
         s.shard, static_cast<unsigned long long>(s.clients),
         static_cast<unsigned long long>(s.objects_total),
         static_cast<unsigned long long>(s.objects_sealed),
@@ -146,7 +158,12 @@ int CmdStats(plasma::PlasmaClient& client) {
         static_cast<unsigned long long>(s.inflight_gets),
         static_cast<unsigned long long>(s.spilled_objects),
         static_cast<unsigned long long>(s.spilled_bytes),
-        static_cast<unsigned long long>(s.spill_restores));
+        static_cast<unsigned long long>(s.spill_restores),
+        static_cast<unsigned long long>(s.frames_tx),
+        static_cast<unsigned long long>(s.frames_coalesced),
+        static_cast<unsigned long long>(s.writev_calls),
+        static_cast<unsigned long long>(s.bytes_tx),
+        static_cast<unsigned long long>(s.egress_blocked_events));
   }
   std::printf("(%zu shards)\n", shards->size());
   return 0;

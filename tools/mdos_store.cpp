@@ -6,7 +6,7 @@
 // needed for the disaggregated-fabric experiments).
 //
 //   mdos_store -s /tmp/mdos.sock -m 268435456 [-a firstfit|segfit] [-j 4]
-//              [--spill-dir /var/tmp/mdos-spill]
+//              [--spill-dir /var/tmp/mdos-spill] [--egress-cap bytes]
 #include <csignal>
 #include <cstdio>
 #include <cstdlib>
@@ -24,7 +24,7 @@ void Usage(const char* argv0) {
   std::fprintf(
       stderr,
       "usage: %s [-s socket_path] [-m capacity_bytes] [-a firstfit|segfit]"
-      " [-j shards] [--spill-dir dir] [-v]\n",
+      " [-j shards] [--spill-dir dir] [--egress-cap bytes] [-v]\n",
       argv0);
 }
 
@@ -59,6 +59,11 @@ int main(int argc, char** argv) {
       }
     } else if (std::strcmp(argv[i], "--spill-dir") == 0 && i + 1 < argc) {
       options.spill_dir = argv[++i];
+    } else if (std::strcmp(argv[i], "--egress-cap") == 0 && i + 1 < argc) {
+      // Per-connection reply-queue bound for clients that stop reading
+      // (see StoreOptions::max_egress_queue_bytes).
+      options.max_egress_queue_bytes =
+          std::strtoull(argv[++i], nullptr, 10);
     } else if (std::strcmp(argv[i], "-v") == 0) {
       mdos::SetLogLevel(mdos::LogLevel::kInfo);
     } else {
