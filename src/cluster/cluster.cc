@@ -43,6 +43,26 @@ void Cluster::Stop() {
   nodes_.clear();
 }
 
+Status Cluster::KillNode(size_t index) {
+  if (index >= nodes_.size()) return Status::Invalid("no such node");
+  nodes_[index]->Kill();
+  return Status::OK();
+}
+
+Status Cluster::RestartNode(size_t index) {
+  if (index >= nodes_.size()) return Status::Invalid("no such node");
+  Node* node = nodes_[index].get();
+  if (node->started()) return Status::Invalid("node still running");
+  MDOS_RETURN_IF_ERROR(node->Restart());
+  // Re-mesh from the restarted side; survivors re-admit the peer through
+  // their own heartbeats + channel redials.
+  for (auto& peer : nodes_) {
+    if (peer.get() == node || !peer->started()) continue;
+    MDOS_RETURN_IF_ERROR(node->ConnectPeer(*peer));
+  }
+  return Status::OK();
+}
+
 Result<std::unique_ptr<Cluster>> Cluster::CreateTwoNode(
     NodeOptions base, tf::FabricConfig fabric_config) {
   auto cluster = std::make_unique<Cluster>(fabric_config);

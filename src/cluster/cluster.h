@@ -46,6 +46,17 @@ class Cluster {
   // Stops every node (releasing remote pins first).
   void Stop();
 
+  // Failure injection: crashes node `index` abruptly (no pin release, no
+  // notice — survivors discover the death through their health
+  // machines). The Node object stays valid for RestartNode.
+  Status KillNode(size_t index);
+  // Rebuilds and restarts a killed node on the same fabric identity and
+  // RPC port, then re-meshes it with every running node. Survivors'
+  // channels redial into the new incarnation on their own (see
+  // rpc/channel.h) and their health machines re-admit the peer on the
+  // next successful heartbeat.
+  Status RestartNode(size_t index);
+
   Node* node(size_t index) { return nodes_.at(index).get(); }
   size_t size() const { return nodes_.size(); }
   tf::Fabric& fabric() { return fabric_; }

@@ -21,45 +21,60 @@ Result<std::unique_ptr<Node>> Node::Create(tf::Fabric* fabric,
       node->pool_region_,
       fabric->ExportRegion(node->node_id_, 0, options.pool_size));
 
-  tf::RegionId index_region = UINT32_MAX;
   if (options.enable_shared_index) {
     MDOS_ASSIGN_OR_RETURN(
-        index_region, fabric->ExportRegion(node->node_id_,
-                                           options.pool_size, index_bytes));
-    MDOS_ASSIGN_OR_RETURN(tf::NodeMemory * memory,
-                          fabric->node(node->node_id_));
+        node->index_region_,
+        fabric->ExportRegion(node->node_id_, options.pool_size,
+                             index_bytes));
+  }
+
+  MDOS_RETURN_IF_ERROR(node->BuildStack());
+  return node;
+}
+
+Status Node::BuildStack() {
+  // Shared-index writer first: (re)initializes the exported index table
+  // in place, so a restarted store publishes into an empty index and
+  // peers' attached readers see no stale entries.
+  if (options_.enable_shared_index) {
+    MDOS_ASSIGN_OR_RETURN(tf::NodeMemory * memory, fabric_->node(node_id_));
     MDOS_ASSIGN_OR_RETURN(
         auto writer,
         plasma::SharedIndexWriter::Create(
-            memory->data() + options.pool_size, index_bytes));
-    node->index_writer_ =
-        std::make_unique<plasma::SharedIndexWriter>(writer);
+            memory->data() + options_.pool_size,
+            options_.shared_index_bytes));
+    index_writer_ = std::make_unique<plasma::SharedIndexWriter>(writer);
   }
 
   plasma::StoreOptions store_options;
-  store_options.name = options.name;
-  store_options.allocator = options.allocator;
-  store_options.check_global_uniqueness = options.check_global_uniqueness;
-  store_options.pin_remote_objects = options.pin_remote_objects;
+  store_options.name = options_.name;
+  store_options.allocator = options_.allocator;
+  store_options.check_global_uniqueness = options_.check_global_uniqueness;
+  store_options.pin_remote_objects = options_.pin_remote_objects;
   MDOS_ASSIGN_OR_RETURN(
-      node->store_,
-      plasma::Store::CreateOnFabric(store_options, fabric, node->node_id_,
-                                    node->pool_region_));
+      store_, plasma::Store::CreateOnFabric(store_options, fabric_,
+                                            node_id_, pool_region_));
 
-  if (node->index_writer_ != nullptr) {
-    node->store_->SetSharedIndex(node->index_writer_.get(), index_region);
+  if (index_writer_ != nullptr) {
+    store_->SetSharedIndex(index_writer_.get(), index_region_);
   }
 
-  dist::RegistryOptions registry_options = options.registry;
-  registry_options.fabric = fabric;
-  node->registry_ = std::make_unique<dist::RemoteStoreRegistry>(
-      node->node_id_, registry_options);
-  node->store_->SetDistHooks(node->registry_.get());
+  dist::RegistryOptions registry_options = options_.registry;
+  registry_options.fabric = fabric_;
+  registry_ = std::make_unique<dist::RemoteStoreRegistry>(
+      node_id_, registry_options);
+  store_->SetDistHooks(registry_.get());
+  // A peer declared dead must stop blocking eviction with its pins.
+  plasma::Store* store = store_.get();
+  registry_->SetPeerDeathHandler([store](uint32_t dead_node) {
+    (void)store->ReleasePinsForPeer(dead_node);
+  });
 
-  node->service_ = std::make_unique<dist::StoreService>(
-      node->store_.get(), node->registry_->lookup_cache());
-  node->service_->RegisterWith(node->rpc_server_);
-  return node;
+  service_ = std::make_unique<dist::StoreService>(
+      store_.get(), registry_->lookup_cache());
+  rpc_server_ = std::make_unique<rpc::RpcServer>();
+  service_->RegisterWith(*rpc_server_);
+  return Status::OK();
 }
 
 Node::~Node() { Stop(); }
@@ -67,7 +82,9 @@ Node::~Node() { Stop(); }
 Status Node::Start() {
   if (started_) return Status::Invalid("node already started");
   MDOS_RETURN_IF_ERROR(store_->Start());
-  MDOS_RETURN_IF_ERROR(rpc_server_.Start());
+  MDOS_RETURN_IF_ERROR(rpc_server_->Start(rpc_port_));
+  rpc_port_ = rpc_server_->port();
+  registry_->StartHealthMonitor();
   started_ = true;
   return Status::OK();
 }
@@ -75,10 +92,30 @@ Status Node::Start() {
 void Node::Stop() {
   if (!started_) return;
   started_ = false;
+  registry_->StopHealthMonitor();
   // Release pins first, while peer RPC servers are still reachable.
   registry_->ReleaseAllPins();
   store_->Stop();
-  rpc_server_.Stop();
+  rpc_server_->Stop();
+}
+
+void Node::Kill() {
+  if (!started_) return;
+  started_ = false;
+  // Crash semantics: no pin release, no goodbye to peers. Survivors'
+  // heartbeats and failure streaks must discover this on their own.
+  registry_->StopHealthMonitor();
+  store_->Stop();
+  rpc_server_->Stop();
+}
+
+Status Node::Restart() {
+  if (started_) return Status::Invalid("node still running");
+  // Fresh software stack on the same fabric identity (node id, pool and
+  // index regions) and the same RPC port — peers' channels redial into
+  // it transparently.
+  MDOS_RETURN_IF_ERROR(BuildStack());
+  return Start();
 }
 
 Status Node::ConnectPeer(const Node& peer) {

@@ -6,7 +6,17 @@
 //   * the Plasma store serving local clients over a Unix socket,
 //   * the RPC server (gRPC stand-in) exposing the store to peer stores,
 //   * the peer registry (DistHooks) with optional lookup cache and the
-//     usage tracker for distributed pin bookkeeping.
+//     usage tracker for distributed pin bookkeeping, plus the peer
+//     health monitor (heartbeat + failure streaks, see
+//     dist/remote_registry.h).
+//
+// Failure testing: Kill() tears the store and RPC server down abruptly —
+// no pin release, no notice to peers — simulating a crash; Restart()
+// rebuilds the whole software stack on the SAME fabric identity (node
+// id, pool region, shared-index region) and the same RPC port, so
+// surviving peers' channels redial into the new incarnation without any
+// re-configuration. The restarted store comes up empty (a crash loses
+// pool contents' table state), exactly like a real store restart.
 #pragma once
 
 #include <cstdint>
@@ -46,10 +56,19 @@ class Node {
   Node(const Node&) = delete;
   Node& operator=(const Node&) = delete;
 
-  // Starts the store event loop and the RPC server.
+  // Starts the store event loop, the RPC server, and (when the registry
+  // has a heartbeat interval) the peer health monitor.
   Status Start();
   // Releases remote pins and stops both services. Idempotent.
   void Stop();
+
+  // Abrupt crash: stops everything WITHOUT releasing pins or notifying
+  // peers. Survivors find out through their health machines. Idempotent.
+  void Kill();
+  // Rebuilds the whole per-node stack (store, registry, RPC service) on
+  // the same fabric identity and the same RPC port, then starts it.
+  // Only valid after Kill()/Stop().
+  Status Restart();
 
   // Connects this node's store to a peer's RPC endpoint.
   Status ConnectPeer(const Node& peer);
@@ -60,24 +79,33 @@ class Node {
 
   tf::NodeId id() const { return node_id_; }
   const std::string& name() const { return options_.name; }
+  bool started() const { return started_; }
   plasma::Store& store() { return *store_; }
   dist::RemoteStoreRegistry& registry() { return *registry_; }
-  rpc::RpcServer& rpc_server() { return rpc_server_; }
-  uint16_t rpc_port() const { return rpc_server_.port(); }
+  rpc::RpcServer& rpc_server() { return *rpc_server_; }
+  uint16_t rpc_port() const { return rpc_port_; }
   tf::RegionId pool_region() const { return pool_region_; }
 
  private:
   Node(tf::Fabric* fabric, NodeOptions options);
 
+  // Constructs store + registry + service + RPC server from the already
+  // registered fabric identity. Called by Create and Restart.
+  Status BuildStack();
+
   tf::Fabric* fabric_;
   NodeOptions options_;
   tf::NodeId node_id_ = 0;
   tf::RegionId pool_region_ = 0;
+  tf::RegionId index_region_ = UINT32_MAX;
   std::unique_ptr<plasma::SharedIndexWriter> index_writer_;
   std::unique_ptr<plasma::Store> store_;
   std::unique_ptr<dist::RemoteStoreRegistry> registry_;
   std::unique_ptr<dist::StoreService> service_;
-  rpc::RpcServer rpc_server_;
+  std::unique_ptr<rpc::RpcServer> rpc_server_;
+  // 0 until the first Start; Restart re-binds the same port so peers'
+  // channels redial into the new incarnation.
+  uint16_t rpc_port_ = 0;
   bool started_ = false;
 };
 

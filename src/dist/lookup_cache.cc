@@ -44,10 +44,27 @@ void LookupCache::Invalidate(const ObjectId& id) {
   ++stats_.invalidations;
 }
 
+size_t LookupCache::InvalidateNode(uint32_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t dropped = 0;
+  for (auto it = lru_.begin(); it != lru_.end();) {
+    if (it->location.home_node == node) {
+      index_.erase(it->id);
+      it = lru_.erase(it);
+      ++stats_.invalidations;
+      ++dropped;
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 void LookupCache::Clear() {
   std::lock_guard<std::mutex> lock(mutex_);
   lru_.clear();
   index_.clear();
+  stats_ = LookupCacheStats{};
 }
 
 size_t LookupCache::size() const {

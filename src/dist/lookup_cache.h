@@ -43,6 +43,11 @@ class LookupCache {
   // Drops one id (no-op and not counted when absent).
   void Invalidate(const ObjectId& id);
 
+  // Drops every entry homed on `node` (peer declared dead: its cached
+  // locations dangle). Returns how many entries were dropped.
+  size_t InvalidateNode(uint32_t node);
+
+  // Empties the cache and resets all statistics to zero.
   void Clear();
 
   size_t size() const;

@@ -149,4 +149,20 @@ Result<DeleteNoticeAck> DeleteNoticeAck::DecodeFrom(wire::Reader&) {
   return DeleteNoticeAck{};
 }
 
+// ---- ping (heartbeat) ------------------------------------------------------
+
+void PingRequest::EncodeTo(wire::Writer& w) const { w.PutU32(from_node); }
+Result<PingRequest> PingRequest::DecodeFrom(wire::Reader& r) {
+  PingRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.from_node, r.GetU32());
+  return m;
+}
+
+void PingReply::EncodeTo(wire::Writer& w) const { w.PutU32(node_id); }
+Result<PingReply> PingReply::DecodeFrom(wire::Reader& r) {
+  PingReply m;
+  MDOS_ASSIGN_OR_RETURN(m.node_id, r.GetU32());
+  return m;
+}
+
 }  // namespace mdos::dist

@@ -8,6 +8,7 @@
 //   Plasma.Probe        — id-uniqueness probe (sees unsealed objects too)
 //   Plasma.Pin/Unpin    — distributed usage tracking (remote pins)
 //   Plasma.DeleteNotice — lookup-cache invalidation broadcast
+//   Plasma.Ping         — liveness heartbeat driving peer health states
 #pragma once
 
 #include <cstdint>
@@ -28,6 +29,7 @@ inline constexpr const char* kMethodProbe = "Plasma.Probe";
 inline constexpr const char* kMethodPin = "Plasma.Pin";
 inline constexpr const char* kMethodUnpin = "Plasma.Unpin";
 inline constexpr const char* kMethodDeleteNotice = "Plasma.DeleteNotice";
+inline constexpr const char* kMethodPing = "Plasma.Ping";
 
 // ---- hello -----------------------------------------------------------------
 
@@ -115,6 +117,20 @@ struct DeleteNotice {
 struct DeleteNoticeAck {
   void EncodeTo(wire::Writer& w) const;
   static Result<DeleteNoticeAck> DecodeFrom(wire::Reader& r);
+};
+
+// ---- ping (heartbeat) ------------------------------------------------------
+
+struct PingRequest {
+  uint32_t from_node = 0;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PingRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct PingReply {
+  uint32_t node_id = 0;  // the replier, so a restarted peer is recognised
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PingReply> DecodeFrom(wire::Reader& r);
 };
 
 }  // namespace mdos::dist

@@ -1,11 +1,41 @@
 #include "dist/remote_registry.h"
 
 #include <algorithm>
+#include <chrono>
 
+#include "common/clock.h"
 #include "common/log.h"
-#include "dist/messages.h"
 
 namespace mdos::dist {
+
+namespace {
+
+// A connectivity failure feeds the health machine; an application-level
+// error (KeyError from an unpin race, Invalid, ...) proves the peer is
+// alive and healthy enough to reject us.
+bool IsConnectivityError(const Status& st) {
+  switch (st.code()) {
+    case StatusCode::kIoError:
+    case StatusCode::kTimeout:
+    case StatusCode::kNotConnected:
+    case StatusCode::kProtocolError:
+    case StatusCode::kUnavailable:
+      return true;
+    default:
+      return false;
+  }
+}
+
+const char* PeerStateName(PeerState state) {
+  switch (state) {
+    case PeerState::kHealthy: return "healthy";
+    case PeerState::kSuspect: return "suspect";
+    case PeerState::kDead: return "dead";
+  }
+  return "?";
+}
+
+}  // namespace
 
 RemoteStoreRegistry::RemoteStoreRegistry(uint32_t self_node,
                                          RegistryOptions options)
@@ -15,11 +45,16 @@ RemoteStoreRegistry::RemoteStoreRegistry(uint32_t self_node,
   }
 }
 
+RemoteStoreRegistry::~RemoteStoreRegistry() { StopHealthMonitor(); }
+
 Status RemoteStoreRegistry::AddPeer(const std::string& host,
                                     uint16_t port) {
+  rpc::ChannelOptions channel_options;
+  channel_options.simulated_rtt_ns = options_.simulated_rtt_ns;
+  channel_options.redial_backoff_min_ms = options_.redial_backoff_min_ms;
+  channel_options.redial_backoff_max_ms = options_.redial_backoff_max_ms;
   MDOS_ASSIGN_OR_RETURN(
-      auto channel,
-      rpc::RpcChannel::Connect(host, port, options_.simulated_rtt_ns));
+      auto channel, rpc::RpcChannel::Connect(host, port, channel_options));
 
   HelloRequest request;
   request.node_id = self_node_;
@@ -37,6 +72,7 @@ Status RemoteStoreRegistry::AddPeer(const std::string& host,
   peer->pool_region = reply.pool_region;
   peer->store_name = reply.store_name;
   peer->channel = std::move(channel);
+  peer->last_ok_ns = MonotonicNanos();
 
   // Shared-index extension: attach the peer's exported index table so
   // lookups can read it directly over the fabric instead of calling RPC.
@@ -60,13 +96,23 @@ Status RemoteStoreRegistry::AddPeer(const std::string& host,
     }
   }
 
-  std::lock_guard<std::mutex> lock(mutex_);
-  peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
-                              [&](const std::shared_ptr<Peer>& p) {
-                                return p->node_id == reply.node_id;
-                              }),
-               peers_.end());
-  peers_.push_back(std::move(peer));
+  bool replaced = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    size_t before = peers_.size();
+    peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
+                                [&](const std::shared_ptr<Peer>& p) {
+                                  return p->node_id == reply.node_id;
+                                }),
+                 peers_.end());
+    replaced = peers_.size() != before;
+    peers_.push_back(std::move(peer));
+  }
+  // Re-adding an existing node means it restarted: whatever locations we
+  // cached for it point into a previous incarnation's pool.
+  if (replaced && cache_ != nullptr) {
+    cache_->InvalidateNode(reply.node_id);
+  }
   return Status::OK();
 }
 
@@ -83,6 +129,14 @@ std::vector<uint32_t> RemoteStoreRegistry::peer_nodes() const {
   return nodes;
 }
 
+PeerState RemoteStoreRegistry::peer_state(uint32_t node_id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& peer : peers_) {
+    if (peer->node_id == node_id) return peer->state;
+  }
+  return PeerState::kDead;  // unknown peers are as good as dead
+}
+
 RegistryStats RemoteStoreRegistry::stats() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return stats_;
@@ -94,13 +148,157 @@ RemoteStoreRegistry::SnapshotPeers() const {
   return peers_;
 }
 
-std::shared_ptr<RemoteStoreRegistry::Peer> RemoteStoreRegistry::FindPeer(
-    uint32_t node_id) const {
+std::vector<std::shared_ptr<RemoteStoreRegistry::Peer>>
+RemoteStoreRegistry::SnapshotLivePeers() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<std::shared_ptr<Peer>> live;
+  live.reserve(peers_.size());
+  for (const auto& peer : peers_) {
+    if (peer->state != PeerState::kDead) live.push_back(peer);
+  }
+  return live;
+}
+
+std::shared_ptr<RemoteStoreRegistry::Peer>
+RemoteStoreRegistry::FindLivePeer(uint32_t node_id) const {
   std::lock_guard<std::mutex> lock(mutex_);
   for (const auto& peer : peers_) {
-    if (peer->node_id == node_id) return peer;
+    if (peer->node_id != node_id) continue;
+    return peer->state == PeerState::kDead ? nullptr : peer;
   }
   return nullptr;
+}
+
+void RemoteStoreRegistry::RecordPeerResult(
+    const std::shared_ptr<Peer>& peer, bool ok) {
+  bool died = false;
+  bool recovered = false;
+  bool flush_inline = false;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (ok) {
+      peer->failure_streak = 0;
+      peer->last_ok_ns = MonotonicNanos();
+      if (peer->state != PeerState::kHealthy) {
+        recovered = true;
+        peer->state = PeerState::kHealthy;
+        ++stats_.peers_recovered;
+      }
+      // A successful call while flagged dead can't happen (dead peers are
+      // skipped by the data path); the heartbeat is the only caller that
+      // still reaches them, which is exactly the recovery path above.
+    } else {
+      ++peer->failed_rpcs;
+      ++peer->failure_streak;
+      ++stats_.failed_rpcs;
+      PeerState next = peer->state;
+      if (peer->failure_streak >= options_.dead_after_failures) {
+        next = PeerState::kDead;
+      } else if (peer->failure_streak >= options_.suspect_after_failures &&
+                 peer->state == PeerState::kHealthy) {
+        next = PeerState::kSuspect;
+      }
+      if (next != peer->state) {
+        MDOS_LOG_INFO << "node " << self_node_ << ": peer "
+                      << peer->node_id << " "
+                      << PeerStateName(peer->state) << " -> "
+                      << PeerStateName(next) << " (streak "
+                      << peer->failure_streak << ")";
+        if (next == PeerState::kDead) {
+          died = true;
+          ++stats_.peers_died;
+          // A dead peer's parked notices are pointless: if it ever comes
+          // back it does so with an empty store and an empty cache.
+          peer->dropped_notices += peer->queued_notices.size();
+          stats_.notices_dropped += peer->queued_notices.size();
+          peer->queued_notices.clear();
+        }
+        peer->state = next;
+      }
+    }
+  }
+  if (died) HandlePeerDeath(peer->node_id);
+  if (recovered) {
+    MDOS_LOG_INFO << "node " << self_node_ << ": peer " << peer->node_id
+                  << " recovered";
+    // Queued notices are sent by the heartbeat thread so a data-path
+    // caller (a store shard thread) is never stalled behind up to
+    // max_queued_notices sequential RPCs. Without a heartbeat the
+    // observer of the recovery is a control/test path — flush inline.
+    {
+      std::lock_guard<std::mutex> hb_lock(heartbeat_mutex_);
+      flush_inline = !heartbeat_running_;
+    }
+    if (flush_inline) {
+      std::deque<DeleteNotice> to_flush;
+      {
+        std::lock_guard<std::mutex> lock(mutex_);
+        to_flush.swap(peer->queued_notices);
+      }
+      FlushQueuedNotices(peer, std::move(to_flush));
+    }
+  }
+}
+
+void RemoteStoreRegistry::HandlePeerDeath(uint32_t node_id) {
+  // Our cached locations into the corpse's pool dangle.
+  if (cache_ != nullptr) cache_->InvalidateNode(node_id);
+  // Pins we hold on the dead peer have no remote state left to release.
+  uint64_t dropped = usage_.DropPinsForNode(node_id);
+  if (dropped > 0) {
+    MDOS_LOG_INFO << "node " << self_node_ << ": dropped " << dropped
+                  << " pins held on dead peer " << node_id;
+  }
+  // Pins the dead peer held on us must stop blocking eviction — the
+  // cluster layer wires this to Store::ReleasePinsForPeer.
+  if (on_peer_dead_) on_peer_dead_(node_id);
+}
+
+void RemoteStoreRegistry::ParkNoticeLocked(Peer& peer,
+                                           const DeleteNotice& notice) {
+  if (peer.state == PeerState::kDead) {
+    // The death path's drop-the-queue rule: a dead peer's notices are
+    // pointless (a resurrected store comes back with an empty cache).
+    ++peer.dropped_notices;
+    ++stats_.notices_dropped;
+    return;
+  }
+  if (peer.queued_notices.size() >= options_.max_queued_notices) {
+    peer.queued_notices.pop_front();  // oldest first: newer supersede
+    ++peer.dropped_notices;
+    ++stats_.notices_dropped;
+  }
+  peer.queued_notices.push_back(notice);
+}
+
+void RemoteStoreRegistry::FlushQueuedNotices(
+    const std::shared_ptr<Peer>& peer, std::deque<DeleteNotice> notices) {
+  for (size_t i = 0; i < notices.size(); ++i) {
+    auto reply = peer->channel->CallTyped<DeleteNoticeAck>(
+        kMethodDeleteNotice, notices[i], options_.rpc_timeout_ms);
+    if (reply.ok()) {
+      RecordPeerResult(peer, true);
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.notices_flushed;
+      continue;
+    }
+    bool connectivity = IsConnectivityError(reply.status());
+    RecordPeerResult(peer, !connectivity);
+    if (!connectivity) {
+      // Application-level rejection: the peer is alive but refused this
+      // notice — drop it alone and keep flushing.
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++stats_.notices_dropped;
+      continue;
+    }
+    // The peer relapsed mid-flush. Re-park the remainder for the next
+    // recovery (dropped wholesale if the failure just declared it dead).
+    std::lock_guard<std::mutex> lock(mutex_);
+    for (size_t j = i; j < notices.size(); ++j) {
+      ParkNoticeLocked(*peer, notices[j]);
+    }
+    return;
+  }
 }
 
 std::vector<std::optional<plasma::RemoteObjectLocation>>
@@ -121,13 +319,16 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
     unresolved.push_back(i);
   }
 
-  auto peers = SnapshotPeers();
+  // Dead peers are skipped outright: no RPC, no timeout stall. The
+  // heartbeat loop is responsible for noticing a resurrection.
+  auto peers = SnapshotLivePeers();
 
   // 2. Shared index in disaggregated memory (§V-B extension): probe every
   // peer's table before falling back to RPC.
   for (const auto& peer : peers) {
     if (!peer->index_reader.has_value() || unresolved.empty()) continue;
     std::vector<size_t> still_unresolved;
+    uint64_t batch_index_hits = 0;
     for (size_t i : unresolved) {
       auto indexed = peer->index_reader->Lookup(ids[i]);
       if (!indexed.has_value()) {
@@ -142,8 +343,12 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
       loc.metadata_size = indexed->metadata_size;
       out[i] = loc;
       if (cache_ != nullptr) cache_->Put(ids[i], loc);
+      ++batch_index_hits;
+    }
+    if (batch_index_hits > 0) {
+      // One stats update per batch, not one lock round trip per hit.
       std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.index_hits;
+      stats_.index_hits += batch_index_hits;
     }
     unresolved.swap(still_unresolved);
   }
@@ -162,10 +367,10 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
     auto reply = peer->channel->CallTyped<LookupReply>(
         kMethodLookup, request, options_.rpc_timeout_ms);
     if (!reply.ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.failed_rpcs;
+      RecordPeerResult(peer, !IsConnectivityError(reply.status()));
       continue;
     }
+    RecordPeerResult(peer, true);
     std::vector<size_t> still_unresolved;
     for (size_t k = 0; k < unresolved.size(); ++k) {
       size_t i = unresolved[k];
@@ -184,7 +389,7 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
 bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id) {
   ProbeRequest request;
   request.id = id;
-  for (const auto& peer : SnapshotPeers()) {
+  for (const auto& peer : SnapshotLivePeers()) {
     {
       std::lock_guard<std::mutex> lock(mutex_);
       ++stats_.probe_rpcs;
@@ -192,19 +397,26 @@ bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id) {
     auto reply = peer->channel->CallTyped<ProbeReply>(
         kMethodProbe, request, options_.rpc_timeout_ms);
     if (!reply.ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.failed_rpcs;
+      RecordPeerResult(peer, !IsConnectivityError(reply.status()));
       continue;
     }
+    RecordPeerResult(peer, true);
     if (reply->exists) return true;
   }
   return false;
 }
 
-void RemoteStoreRegistry::PinRemote(
+Status RemoteStoreRegistry::PinRemote(
     const ObjectId& id, const plasma::RemoteObjectLocation& loc) {
-  auto peer = FindPeer(loc.home_node);
-  if (peer == nullptr) return;  // dead or unknown peer: harmless no-op
+  auto peer = FindLivePeer(loc.home_node);
+  if (peer == nullptr) {
+    // Unknown or dead home: the location is unusable; make sure it never
+    // serves another Get from the cache.
+    if (cache_ != nullptr) cache_->Invalidate(id);
+    return Status::Unavailable("pin: peer node " +
+                               std::to_string(loc.home_node) +
+                               " is unavailable");
+  }
   PinRequest request;
   request.id = id;
   request.peer_node = self_node_;
@@ -214,12 +426,21 @@ void RemoteStoreRegistry::PinRemote(
   }
   auto reply = peer->channel->CallTyped<PinReply>(
       kMethodPin, request, options_.rpc_timeout_ms);
-  if (!reply.ok() || !reply->status.ok()) {
+  Status status =
+      reply.ok() ? reply->status : reply.status();
+  RecordPeerResult(peer, !IsConnectivityError(status));
+  if (!status.ok()) {
+    // Either the peer is unreachable or it no longer has the object
+    // (e.g. a lost DeleteNotice left us a stale cache entry). Both ways
+    // the location must not be served again: invalidate and let the
+    // caller re-run the full lookup path.
+    if (cache_ != nullptr) cache_->Invalidate(id);
     std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.failed_rpcs;
-    return;
+    ++stats_.stale_pins_detected;
+    return status;
   }
   usage_.RecordPin(id, loc);
+  return Status::OK();
 }
 
 void RemoteStoreRegistry::UnpinRemote(
@@ -227,8 +448,8 @@ void RemoteStoreRegistry::UnpinRemote(
   // Only unpin what we recorded: a pin whose RPC failed (or that targeted
   // a dead peer) has no remote state to release.
   if (!usage_.RecordUnpin(id)) return;
-  auto peer = FindPeer(loc.home_node);
-  if (peer == nullptr) return;
+  auto peer = FindLivePeer(loc.home_node);
+  if (peer == nullptr) return;  // no remote state left to release
   UnpinRequest request;
   request.id = id;
   request.peer_node = self_node_;
@@ -238,10 +459,17 @@ void RemoteStoreRegistry::UnpinRemote(
   }
   auto reply = peer->channel->CallTyped<UnpinReply>(
       kMethodUnpin, request, options_.rpc_timeout_ms);
-  if (!reply.ok() || !reply->status.ok()) {
-    std::lock_guard<std::mutex> lock(mutex_);
-    ++stats_.failed_rpcs;
+  Status status = reply.ok() ? reply->status : reply.status();
+  if (IsConnectivityError(status)) {
+    // The unpin never reached the peer: re-record it so the pin is not
+    // leaked — ReleaseAllPins (or a later unpin) retries. Application
+    // errors (KeyError) mean the remote side already forgot the pin;
+    // nothing to re-record. Re-record BEFORE feeding the failure to the
+    // health machine: if this failure is the one that declares the peer
+    // dead, DropPinsForNode must see (and drop) this pin too.
+    usage_.RecordPin(id, loc);
   }
+  RecordPeerResult(peer, !IsConnectivityError(status));
 }
 
 void RemoteStoreRegistry::NotifyDeleted(const ObjectId& id) {
@@ -250,13 +478,64 @@ void RemoteStoreRegistry::NotifyDeleted(const ObjectId& id) {
   notice.id = id;
   notice.from_node = self_node_;
   for (const auto& peer : SnapshotPeers()) {
+    {
+      // One critical section for the state check AND the drop/queue, so
+      // a concurrent suspect→dead transition can't park a notice on a
+      // peer whose queue was just cleared by the death path.
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (peer->state == PeerState::kDead) {
+        ++peer->dropped_notices;
+        ++stats_.notices_dropped;
+        continue;
+      }
+      if (peer->state == PeerState::kSuspect) {
+        // Park the notice; the queue is flushed when the peer recovers,
+        // so its lookup cache reconverges.
+        ParkNoticeLocked(*peer, notice);
+        continue;
+      }
+    }
     auto reply = peer->channel->CallTyped<DeleteNoticeAck>(
         kMethodDeleteNotice, notice, options_.rpc_timeout_ms);
     if (!reply.ok()) {
-      std::lock_guard<std::mutex> lock(mutex_);
-      ++stats_.failed_rpcs;
+      bool connectivity = IsConnectivityError(reply.status());
+      RecordPeerResult(peer, !connectivity);
+      if (connectivity) {
+        // The notice was lost in flight; park it for the recovery flush
+        // (dropped if the failure just declared the peer dead).
+        std::lock_guard<std::mutex> lock(mutex_);
+        ParkNoticeLocked(*peer, notice);
+      }
+    } else {
+      RecordPeerResult(peer, true);
     }
   }
+}
+
+std::vector<plasma::PeerStatsEntry> RemoteStoreRegistry::PeerHealth() {
+  auto peers = SnapshotPeers();
+  std::vector<plasma::PeerStatsEntry> out;
+  out.reserve(peers.size());
+  const int64_t now = MonotonicNanos();
+  for (const auto& peer : peers) {
+    plasma::PeerStatsEntry entry;
+    // Channel stats have their own lock and never block behind an
+    // in-flight call.
+    auto channel_stats = peer->channel->stats();
+    std::lock_guard<std::mutex> lock(mutex_);
+    entry.node_id = peer->node_id;
+    entry.state = static_cast<uint8_t>(peer->state);
+    entry.failure_streak = peer->failure_streak;
+    entry.failed_rpcs = peer->failed_rpcs;
+    entry.reconnects = channel_stats.reconnects;
+    entry.heartbeats = peer->heartbeats;
+    entry.queued_notices = peer->queued_notices.size();
+    entry.dropped_notices = peer->dropped_notices;
+    entry.ms_since_ok =
+        peer->last_ok_ns > 0 ? (now - peer->last_ok_ns) / 1000000 : -1;
+    out.push_back(entry);
+  }
+  return out;
 }
 
 void RemoteStoreRegistry::ReleaseAllPins() {
@@ -264,6 +543,85 @@ void RemoteStoreRegistry::ReleaseAllPins() {
     for (uint32_t i = 0; i < pin.count; ++i) {
       UnpinRemote(pin.id, pin.location);
     }
+  }
+}
+
+void RemoteStoreRegistry::StartHealthMonitor() {
+  if (options_.heartbeat_interval_ms == 0) return;
+  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+  if (heartbeat_running_) return;
+  heartbeat_running_ = true;
+  heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
+}
+
+void RemoteStoreRegistry::StopHealthMonitor() {
+  // Claim the thread handle under the lock (concurrent Stops can't
+  // double-join), but never join while holding heartbeat_mutex_ — the
+  // loop re-acquires it between rounds.
+  std::thread to_join;
+  {
+    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    heartbeat_running_ = false;
+    to_join = std::move(heartbeat_thread_);
+  }
+  heartbeat_cv_.notify_all();
+  if (to_join.joinable()) to_join.join();
+}
+
+void RemoteStoreRegistry::HeartbeatLoop() {
+  std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+  while (heartbeat_running_) {
+    heartbeat_cv_.wait_for(
+        lock, std::chrono::milliseconds(options_.heartbeat_interval_ms),
+        [this] { return !heartbeat_running_; });
+    if (!heartbeat_running_) return;
+    lock.unlock();
+    PingAllPeers();
+    FlushRecoveredPeers();
+    lock.lock();
+  }
+}
+
+void RemoteStoreRegistry::FlushRecoveredPeers() {
+  for (const auto& peer : SnapshotPeers()) {
+    std::deque<DeleteNotice> to_flush;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (peer->state != PeerState::kHealthy ||
+          peer->queued_notices.empty()) {
+        continue;
+      }
+      to_flush.swap(peer->queued_notices);
+    }
+    FlushQueuedNotices(peer, std::move(to_flush));
+  }
+}
+
+void RemoteStoreRegistry::PingAllPeers() {
+  PingRequest request;
+  request.from_node = self_node_;
+  // Every peer, dead ones included: the heartbeat is how a restarted
+  // peer is noticed (the channel redials under its backoff policy, so a
+  // still-dead peer costs at most one cheap dial attempt per round).
+  for (const auto& peer : SnapshotPeers()) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      ++peer->heartbeats;
+      ++stats_.heartbeats;
+    }
+    auto reply = peer->channel->CallTyped<PingReply>(
+        kMethodPing, request, options_.ping_timeout_ms);
+    bool ok = reply.ok() && reply->node_id == peer->node_id;
+    if (reply.ok() && reply->node_id != peer->node_id) {
+      MDOS_LOG_WARN << "node " << self_node_ << ": peer port answered as "
+                    << reply->node_id << ", expected " << peer->node_id;
+    }
+    if (!reply.ok() && !IsConnectivityError(reply.status())) {
+      // An RPC-level rejection (e.g. an old peer without Plasma.Ping)
+      // still proves liveness.
+      ok = true;
+    }
+    RecordPeerResult(peer, ok);
   }
 }
 

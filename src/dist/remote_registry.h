@@ -10,25 +10,50 @@
 //     handshake), lookups read the peer's table in disaggregated memory
 //     and fall back to RPC only on a miss.
 //
+// Peer failure handling: each peer carries a health state machine
+//
+//     healthy ──failure──▶ suspect ──streak ≥ dead threshold──▶ dead
+//        ▲                    │                                   │
+//        └────any success─────┴──────ping success (heartbeat)─────┘
+//
+// driven by per-call failure streaks and by a Plasma.Ping heartbeat loop
+// (StartHealthMonitor). Data-path RPCs (lookup/probe/pin/unpin) skip
+// dead peers entirely — a dead peer costs zero RPCs per call, not an
+// rpc_timeout_ms stall — while the heartbeat keeps pinging it so a
+// restarted peer is re-admitted automatically (the channels redial with
+// backoff, see rpc/channel.h). DeleteNotices bound for a suspect peer
+// are queued (bounded) and flushed when it recovers so lookup caches
+// reconverge; notices for a dead peer are dropped — a crashed store
+// lost its cache anyway. Declaring a peer dead also drops our pins on
+// it from the usage tracker, invalidates its cached locations, and
+// fires the on-peer-dead callback (the cluster layer wires it to
+// Store::ReleasePinsForPeer so the corpse stops blocking eviction).
+//
 // Thread-safety: LookupRemote/IdKnownRemotely/Pin/Unpin may be called
 // concurrently from several of the store's shard threads (the sharded
 // core resolves remote ids from whichever shard homes the requesting
 // connection); AddPeer/ReleaseAllPins from control threads; DeleteNotice
-// invalidations land on the RPC server thread. Peer-list access is
-// mutex-guarded, RpcChannels are internally synchronized, the lookup
-// cache and usage tracker carry their own mutexes, and shared-index
-// probe counters are atomic.
+// invalidations land on the RPC server thread; the heartbeat runs its
+// own thread. Peer-list and health access is mutex-guarded, RpcChannels
+// are internally synchronized, the lookup cache and usage tracker carry
+// their own mutexes, and RPC calls are always issued outside the
+// registry mutex.
 #pragma once
 
+#include <condition_variable>
 #include <cstdint>
+#include <deque>
+#include <functional>
 #include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "common/status.h"
 #include "dist/lookup_cache.h"
+#include "dist/messages.h"
 #include "dist/usage_tracker.h"
 #include "plasma/shared_index.h"
 #include "plasma/store.h"
@@ -36,6 +61,13 @@
 #include "tf/fabric.h"
 
 namespace mdos::dist {
+
+// Per-peer health states (encoded as PeerStatsEntry::state).
+enum class PeerState : uint8_t {
+  kHealthy = 0,
+  kSuspect = 1,
+  kDead = 2,
+};
 
 struct RegistryOptions {
   // Cache successful lookups (paper §V-B "caching the look-up results").
@@ -47,29 +79,70 @@ struct RegistryOptions {
   uint64_t rpc_timeout_ms = 5000;
   // Required for the shared-index read path (attaching peer regions).
   tf::Fabric* fabric = nullptr;
+
+  // ---- failure handling ---------------------------------------------------
+  // Heartbeat period for StartHealthMonitor; 0 disables the loop. The
+  // heartbeat is the ONLY path that still talks to a dead peer, so with
+  // it disabled health is driven by data-path failure streaks alone and
+  // a peer declared dead stays dead until AddPeer re-meshes it (the
+  // restarted peer's own ConnectPeer does exactly that).
+  uint64_t heartbeat_interval_ms = 250;
+  // Ping deadline — heartbeats probe liveness, so they fail much faster
+  // than data RPCs.
+  uint64_t ping_timeout_ms = 500;
+  // Consecutive failures that demote a peer healthy → suspect and
+  // suspect → dead.
+  uint32_t suspect_after_failures = 1;
+  uint32_t dead_after_failures = 3;
+  // Bound on DeleteNotices parked per suspect peer awaiting recovery.
+  size_t max_queued_notices = 1024;
+  // Channel redial/backoff policy (see rpc/channel.h).
+  uint32_t redial_backoff_min_ms = 10;
+  uint32_t redial_backoff_max_ms = 1000;
 };
 
 struct RegistryStats {
   uint64_t lookup_rpcs = 0;   // Plasma.Lookup calls issued
   uint64_t probe_rpcs = 0;    // Plasma.Probe calls issued
   uint64_t pin_rpcs = 0;      // Plasma.Pin + Plasma.Unpin calls issued
-  uint64_t failed_rpcs = 0;   // calls that returned an error
+  uint64_t failed_rpcs = 0;   // connectivity failures (feeds the health
+                              // machine; application errors don't count)
   uint64_t index_hits = 0;    // ids resolved by reading a peer's index
+  uint64_t heartbeats = 0;    // Plasma.Ping calls issued
+  uint64_t peers_died = 0;    // healthy/suspect → dead transitions
+  uint64_t peers_recovered = 0;  // suspect/dead → healthy transitions
+  uint64_t notices_flushed = 0;  // queued DeleteNotices delivered
+  uint64_t notices_dropped = 0;  // queued DeleteNotices discarded
+  uint64_t stale_pins_detected = 0;  // failed pins at cached locations
 };
 
 class RemoteStoreRegistry : public plasma::DistHooks {
  public:
   explicit RemoteStoreRegistry(uint32_t self_node,
                                RegistryOptions options = {});
-  ~RemoteStoreRegistry() override = default;
+  ~RemoteStoreRegistry() override;
 
   // Connects to a peer store's RPC endpoint and performs the Hello
   // handshake. Rejects self-peering; re-adding a known node replaces its
-  // channel.
+  // channel (and resets its health to healthy — used after a restart).
   Status AddPeer(const std::string& host, uint16_t port);
 
   size_t peer_count() const;
   std::vector<uint32_t> peer_nodes() const;
+  PeerState peer_state(uint32_t node_id) const;
+
+  // Starts/stops the Plasma.Ping heartbeat loop. Start is a no-op when
+  // heartbeat_interval_ms is 0 or the loop already runs; Stop is
+  // idempotent and also runs from the destructor.
+  void StartHealthMonitor();
+  void StopHealthMonitor();
+
+  // Invoked (outside the registry mutex, from whichever thread observed
+  // the failure) whenever a peer transitions to dead. The cluster layer
+  // wires this to Store::ReleasePinsForPeer.
+  void SetPeerDeathHandler(std::function<void(uint32_t)> handler) {
+    on_peer_dead_ = std::move(handler);
+  }
 
   // Unpins everything this node still holds (shutdown path). Idempotent.
   void ReleaseAllPins();
@@ -84,11 +157,12 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   std::vector<std::optional<plasma::RemoteObjectLocation>> LookupRemote(
       const std::vector<ObjectId>& ids) override;
   bool IdKnownRemotely(const ObjectId& id) override;
-  void PinRemote(const ObjectId& id,
-                 const plasma::RemoteObjectLocation& loc) override;
+  Status PinRemote(const ObjectId& id,
+                   const plasma::RemoteObjectLocation& loc) override;
   void UnpinRemote(const ObjectId& id,
                    const plasma::RemoteObjectLocation& loc) override;
   void NotifyDeleted(const ObjectId& id) override;
+  std::vector<plasma::PeerStatsEntry> PeerHealth() override;
 
  private:
   struct Peer {
@@ -101,19 +175,60 @@ class RemoteStoreRegistry : public plasma::DistHooks {
     // reader points into.
     std::optional<tf::AttachedRegion> index_attachment;
     std::optional<plasma::SharedIndexReader> index_reader;
+    // Health machine (guarded by the registry mutex).
+    PeerState state = PeerState::kHealthy;
+    uint32_t failure_streak = 0;
+    uint64_t failed_rpcs = 0;
+    uint64_t heartbeats = 0;
+    uint64_t dropped_notices = 0;
+    int64_t last_ok_ns = 0;  // monotonic time of the last successful call
+    // DeleteNotices parked while the peer is suspect, flushed on
+    // recovery (bounded by max_queued_notices).
+    std::deque<DeleteNotice> queued_notices;
   };
 
   std::vector<std::shared_ptr<Peer>> SnapshotPeers() const;
-  std::shared_ptr<Peer> FindPeer(uint32_t node_id) const;
+  // Peers data-path RPCs may talk to (dead peers are skipped).
+  std::vector<std::shared_ptr<Peer>> SnapshotLivePeers() const;
+  // Peer lookup that treats dead peers as absent (one lock, one scan —
+  // the pin/unpin hot path).
+  std::shared_ptr<Peer> FindLivePeer(uint32_t node_id) const;
+
+  // Folds one call outcome into the peer's health machine and performs
+  // the resulting transition work (death cleanup / recovery flush).
+  // Never called with the registry mutex held.
+  void RecordPeerResult(const std::shared_ptr<Peer>& peer, bool ok);
+  // Parks a DeleteNotice for later flush: dead peers drop it, a full
+  // queue evicts the oldest. Requires the registry mutex held.
+  void ParkNoticeLocked(Peer& peer, const DeleteNotice& notice);
+  // Transition bookkeeping; both return work to run outside the mutex.
+  void HandlePeerDeath(uint32_t node_id);
+  void FlushQueuedNotices(const std::shared_ptr<Peer>& peer,
+                          std::deque<DeleteNotice> notices);
+
+  void HeartbeatLoop();
+  // One heartbeat round: ping every peer (including dead ones — that is
+  // the recovery path).
+  void PingAllPeers();
+  // Sends the queued notices of every healthy peer (heartbeat thread;
+  // also the inline recovery path when no heartbeat runs).
+  void FlushRecoveredPeers();
 
   const uint32_t self_node_;
   const RegistryOptions options_;
   std::unique_ptr<LookupCache> cache_;
   UsageTracker usage_;
+  std::function<void(uint32_t)> on_peer_dead_;
 
   mutable std::mutex mutex_;  // guards peers_ and stats_
   std::vector<std::shared_ptr<Peer>> peers_;
   RegistryStats stats_;
+
+  // Heartbeat thread state.
+  std::thread heartbeat_thread_;
+  std::mutex heartbeat_mutex_;
+  std::condition_variable heartbeat_cv_;
+  bool heartbeat_running_ = false;
 };
 
 }  // namespace mdos::dist

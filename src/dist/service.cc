@@ -100,6 +100,18 @@ void StoreService::RegisterWith(rpc::RpcServer& server) {
       });
 
   server.RegisterHandler(
+      kMethodPing,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(PingRequest request,
+                              DecodeRequest<PingRequest>(payload));
+        (void)request;  // liveness only; the sender's id is not needed
+        PingReply reply;
+        reply.node_id = store->node_id();
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
       kMethodDeleteNotice,
       [cache](const std::vector<uint8_t>& payload)
           -> Result<std::vector<uint8_t>> {

@@ -23,6 +23,21 @@ bool UsageTracker::RecordUnpin(const ObjectId& id) {
   return true;
 }
 
+uint64_t UsageTracker::DropPinsForNode(uint32_t node) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  uint64_t dropped = 0;
+  for (auto it = outstanding_.begin(); it != outstanding_.end();) {
+    if (it->second.location.home_node == node) {
+      dropped += it->second.count;
+      unpins_recorded_ += it->second.count;
+      it = outstanding_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+  return dropped;
+}
+
 uint64_t UsageTracker::total_pins() const {
   std::lock_guard<std::mutex> lock(mutex_);
   uint64_t total = 0;

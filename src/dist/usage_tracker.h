@@ -32,6 +32,10 @@ class UsageTracker {
   // False when no pin is outstanding for `id` (unbalanced unpin).
   bool RecordUnpin(const ObjectId& id);
 
+  // Forgets every pin homed on `node` (peer declared dead: there is no
+  // remote state left to release). Returns the number of pins dropped.
+  uint64_t DropPinsForNode(uint32_t node);
+
   // Currently outstanding pins (sum of per-object counts).
   uint64_t total_pins() const;
 

@@ -403,4 +403,14 @@ Future<Result<std::vector<ShardStatsEntry>>> AsyncClient::ShardStatsAsync() {
       });
 }
 
+Future<Result<std::vector<PeerStatsEntry>>> AsyncClient::PeerStatsAsync() {
+  PeerStatsRequest request;
+  return Dispatch<PeerStatsReply>(
+      MessageType::kPeerStatsRequest, MessageType::kPeerStatsReply,
+      request,
+      [](PeerStatsReply&& reply) -> Result<std::vector<PeerStatsEntry>> {
+        return std::move(reply.peers);
+      });
+}
+
 }  // namespace mdos::plasma

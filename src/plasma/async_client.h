@@ -88,6 +88,8 @@ class AsyncClient {
   Future<Result<StoreStats>> StatsAsync();
   // Per-shard statistics of the sharded store core (GetStoreStats).
   Future<Result<std::vector<ShardStatsEntry>>> ShardStatsAsync();
+  // Per-peer health rows (cluster failure handling); empty without peers.
+  Future<Result<std::vector<PeerStatsEntry>>> PeerStatsAsync();
 
   // Fails all in-flight requests with NotConnected and closes the
   // connection. Also performed by the destructor. Idempotent.

@@ -239,6 +239,11 @@ Result<std::vector<ShardStatsEntry>> PlasmaClient::ShardStats() {
   return core_->ShardStatsAsync().Take();
 }
 
+Result<std::vector<PeerStatsEntry>> PlasmaClient::PeerStats() {
+  AssertSingleThread();
+  return core_->PeerStatsAsync().Take();
+}
+
 Status PlasmaClient::Disconnect() { return core_->Disconnect(); }
 
 uint32_t PlasmaClient::node_id() const { return core_->node_id(); }

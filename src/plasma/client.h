@@ -169,6 +169,9 @@ class PlasmaClient {
   Result<StoreStats> Stats();
   // Per-shard breakdown from the sharded store core (GetStoreStats).
   Result<std::vector<ShardStatsEntry>> ShardStats();
+  // Per-peer health rows from the dist layer (empty for a standalone
+  // store without peers).
+  Result<std::vector<PeerStatsEntry>> PeerStats();
 
   // Graceful disconnect (also performed by the destructor).
   Status Disconnect();

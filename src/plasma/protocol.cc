@@ -276,6 +276,14 @@ void StoreStats::EncodeTo(wire::Writer& w) const {
   w.PutU64(writev_calls);
   w.PutU64(bytes_tx);
   w.PutU64(egress_blocked_events);
+  w.PutU64(peers_total);
+  w.PutU64(peers_healthy);
+  w.PutU64(peers_suspect);
+  w.PutU64(peers_dead);
+  w.PutU64(peer_failed_rpcs);
+  w.PutU64(peer_reconnects);
+  w.PutU64(peer_heartbeats);
+  w.PutU64(peer_queued_notices);
 }
 Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   StoreStats m;
@@ -296,6 +304,14 @@ Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.writev_calls, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.bytes_tx, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.egress_blocked_events, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peers_total, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peers_healthy, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peers_suspect, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peers_dead, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peer_failed_rpcs, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peer_reconnects, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peer_heartbeats, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.peer_queued_notices, r.GetU64());
   return m;
 }
 
@@ -363,6 +379,51 @@ Result<ShardStatsReply> ShardStatsReply::DecodeFrom(wire::Reader& r) {
       r.GetRepeated<ShardStatsEntry>([](wire::Reader& r2) {
         return ShardStatsEntry::DecodeFrom(r2);
       }));
+  return m;
+}
+
+void PeerStatsEntry::EncodeTo(wire::Writer& w) const {
+  w.PutU32(node_id);
+  w.PutU8(state);
+  w.PutU64(failure_streak);
+  w.PutU64(failed_rpcs);
+  w.PutU64(reconnects);
+  w.PutU64(heartbeats);
+  w.PutU64(queued_notices);
+  w.PutU64(dropped_notices);
+  w.PutU64(static_cast<uint64_t>(ms_since_ok));
+}
+Result<PeerStatsEntry> PeerStatsEntry::DecodeFrom(wire::Reader& r) {
+  PeerStatsEntry m;
+  MDOS_ASSIGN_OR_RETURN(m.node_id, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.state, r.GetU8());
+  MDOS_ASSIGN_OR_RETURN(m.failure_streak, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.failed_rpcs, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.reconnects, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.heartbeats, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.queued_notices, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.dropped_notices, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(uint64_t since, r.GetU64());
+  m.ms_since_ok = static_cast<int64_t>(since);
+  return m;
+}
+
+void PeerStatsRequest::EncodeTo(wire::Writer&) const {}
+Result<PeerStatsRequest> PeerStatsRequest::DecodeFrom(wire::Reader&) {
+  return PeerStatsRequest{};
+}
+
+void PeerStatsReply::EncodeTo(wire::Writer& w) const {
+  w.PutRepeated(peers, [](wire::Writer& w2, const PeerStatsEntry& entry) {
+    entry.EncodeTo(w2);
+  });
+}
+Result<PeerStatsReply> PeerStatsReply::DecodeFrom(wire::Reader& r) {
+  PeerStatsReply m;
+  MDOS_ASSIGN_OR_RETURN(m.peers,
+                        (r.GetRepeated<PeerStatsEntry>([](wire::Reader& r2) {
+                          return PeerStatsEntry::DecodeFrom(r2);
+                        })));
   return m;
 }
 

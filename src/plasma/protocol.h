@@ -51,6 +51,10 @@ enum class MessageType : uint32_t {
   // GetStoreStats extension (sharded store core): per-shard statistics.
   kShardStatsRequest,
   kShardStatsReply,
+  // Peer-health extension (cluster failure handling): one row per peer
+  // store with its health state and failure counters.
+  kPeerStatsRequest,
+  kPeerStatsReply,
 };
 
 // Where an object's bytes live, from the requesting client's viewpoint.
@@ -237,6 +241,16 @@ struct StoreStats {
   uint64_t writev_calls = 0;           // gather-write syscalls issued
   uint64_t bytes_tx = 0;               // reply bytes on the wire
   uint64_t egress_blocked_events = 0;  // flushes parked on EAGAIN
+  // Peer health (cluster failure handling; zero without peers). States
+  // count the dist layer's health machine: healthy / suspect / dead.
+  uint64_t peers_total = 0;
+  uint64_t peers_healthy = 0;
+  uint64_t peers_suspect = 0;
+  uint64_t peers_dead = 0;
+  uint64_t peer_failed_rpcs = 0;   // cumulative failed peer calls
+  uint64_t peer_reconnects = 0;    // channel redials that succeeded
+  uint64_t peer_heartbeats = 0;    // Plasma.Ping calls sent
+  uint64_t peer_queued_notices = 0;  // delete notices parked for recovery
   void EncodeTo(wire::Writer& w) const;
   static Result<StoreStats> DecodeFrom(wire::Reader& r);
 };
@@ -283,6 +297,35 @@ struct ShardStatsReply {
   std::vector<ShardStatsEntry> shards;
   void EncodeTo(wire::Writer& w) const;
   static Result<ShardStatsReply> DecodeFrom(wire::Reader& r);
+};
+
+// Peer-health extension: one row per peer store this node is meshed
+// with. `state` mirrors the dist layer's per-peer health machine
+// (healthy → suspect → dead, see dist/remote_registry.h); the counters
+// let `mdos_cli stats` show which peer is failing and how hard.
+struct PeerStatsEntry {
+  uint32_t node_id = 0;
+  uint8_t state = 0;             // 0 healthy, 1 suspect, 2 dead
+  uint64_t failure_streak = 0;   // consecutive failed calls right now
+  uint64_t failed_rpcs = 0;      // cumulative failed calls to this peer
+  uint64_t reconnects = 0;       // channel redials that succeeded
+  uint64_t heartbeats = 0;       // Plasma.Ping calls sent to this peer
+  uint64_t queued_notices = 0;   // delete notices parked for recovery
+  uint64_t dropped_notices = 0;  // notices discarded (dead peer / cap)
+  int64_t ms_since_ok = -1;      // ms since the last successful call
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PeerStatsEntry> DecodeFrom(wire::Reader& r);
+};
+
+struct PeerStatsRequest {
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PeerStatsRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct PeerStatsReply {
+  std::vector<PeerStatsEntry> peers;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<PeerStatsReply> DecodeFrom(wire::Reader& r);
 };
 
 // ---- subscribe / notifications --------------------------------------------

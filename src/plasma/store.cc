@@ -638,6 +638,9 @@ void Store::DispatchFrame(Shard& shard, ClientConn& conn,
     case MessageType::kShardStatsRequest:
       HandleShardStats(shard, conn, request_id);
       break;
+    case MessageType::kPeerStatsRequest:
+      HandlePeerStats(shard, conn, request_id);
+      break;
     case MessageType::kSubscribeRequest:
       HandleSubscribe(shard, conn, request_id, body);
       break;
@@ -1179,10 +1182,20 @@ void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
   batch_gets->push_back(std::move(pending));
 }
 
-void Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
+bool Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
                               const ObjectId& id,
                               const RemoteObjectLocation& loc,
                               bool count_hit) {
+  if (options_.pin_remote_objects && dist_hooks_ != nullptr) {
+    // Pin before handing the location out: a failed pin means the
+    // location is stale (lost DeleteNotice, restarted peer) and must not
+    // reach the client — it would read dangling pool offsets.
+    Status pinned = dist_hooks_->PinRemote(id, loc);
+    if (!pinned.ok()) return false;
+    auto& ref = conn.remote_refs[id];
+    ref.first = loc;
+    ++ref.second;
+  }
   GetReplyEntry entry;
   entry.id = id;
   entry.found = true;
@@ -1198,12 +1211,24 @@ void Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
     // stats never report more hits than look-ups.
     remote_lookup_hits_.fetch_add(1, std::memory_order_relaxed);
   }
-  if (options_.pin_remote_objects && dist_hooks_ != nullptr) {
-    dist_hooks_->PinRemote(id, loc);
-    auto& ref = conn.remote_refs[id];
-    ref.first = loc;
-    ++ref.second;
-  }
+  return true;
+}
+
+bool Store::AdoptRemoteObjectWithRetry(ClientConn& conn,
+                                       PendingGet& pending,
+                                       const ObjectId& id,
+                                       const RemoteObjectLocation& loc,
+                                       bool count_hit) {
+  if (AdoptRemoteObject(conn, pending, id, loc, count_hit)) return true;
+  // Stale location: the dist layer invalidated its cache entry when the
+  // pin failed, so this lookup bypasses the cache and asks the peers
+  // again. One retry only — a second stale answer means the object is
+  // really gone.
+  auto retried = BatchedRemoteLookup({id}, /*count_lookups=*/false);
+  auto it = retried.find(id);
+  if (it == retried.end()) return false;
+  return AdoptRemoteObject(conn, pending, id, it->second,
+                           /*count_hit=*/false);
 }
 
 std::unordered_map<ObjectId, RemoteObjectLocation>
@@ -1263,9 +1288,9 @@ void Store::ResolveGets(Shard& home, ClientConn& conn,
     }
     for (const ObjectId& id : pending.missing) {
       auto it = resolved.find(id);
-      if (it != resolved.end()) {
-        AdoptRemoteObject(conn, pending, id, it->second,
-                          /*count_hit=*/true);
+      if (it != resolved.end() &&
+          AdoptRemoteObjectWithRetry(conn, pending, id, it->second,
+                                     /*count_hit=*/true)) {
         continue;
       }
       // Re-run the local pass: a later frame of the same batch (or a
@@ -1388,12 +1413,13 @@ int Store::FlushExpiredPendingGets(Shard& shard) {
           }
         }
         auto hit = resolved.find(*id_it);
-        if (hit == resolved.end() || conn_it == shard.clients.end()) {
+        if (hit == resolved.end() || conn_it == shard.clients.end() ||
+            !AdoptRemoteObjectWithRetry(*conn_it->second, pending, *id_it,
+                                        hit->second,
+                                        /*count_hit=*/false)) {
           ++id_it;
           continue;
         }
-        AdoptRemoteObject(*conn_it->second, pending, *id_it, hit->second,
-                          /*count_hit=*/false);
         id_it = pending.waiting.erase(id_it);
       }
       ReplyPendingGet(shard, pending);
@@ -1547,6 +1573,13 @@ void Store::HandleShardStats(Shard& home, ClientConn& conn,
              reply);
 }
 
+void Store::HandlePeerStats(Shard& home, ClientConn& conn,
+                            uint64_t request_id) {
+  PeerStatsReply reply;
+  reply.peers = peer_stats();
+  QueueReply(home, conn, MessageType::kPeerStatsReply, request_id, reply);
+}
+
 // ---- thread-safe peer surface ---------------------------------------------
 
 std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
@@ -1648,6 +1681,31 @@ uint32_t Store::RemotePins(const ObjectId& id) {
   return total;
 }
 
+uint64_t Store::ReleasePinsForPeer(uint32_t peer_node) {
+  uint64_t released = 0;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mutex);
+    for (auto it = shard->remote_pins.begin();
+         it != shard->remote_pins.end();) {
+      auto peer_it = it->second.find(peer_node);
+      if (peer_it != it->second.end()) {
+        released += peer_it->second;
+        it->second.erase(peer_it);
+      }
+      if (it->second.empty()) {
+        it = shard->remote_pins.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  if (released > 0) {
+    MDOS_LOG_INFO << "store " << options_.name << ": released "
+                  << released << " pins held by dead peer " << peer_node;
+  }
+  return released;
+}
+
 StoreStats Store::stats() {
   StoreStats s;
   s.capacity = options_.capacity;
@@ -1673,7 +1731,25 @@ StoreStats Store::stats() {
   s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
   s.remote_lookup_hits =
       remote_lookup_hits_.load(std::memory_order_relaxed);
+  // Peer-health totals from the dist layer (empty without peers).
+  if (dist_hooks_ != nullptr) {
+    for (const PeerStatsEntry& peer : dist_hooks_->PeerHealth()) {
+      ++s.peers_total;
+      if (peer.state == 0) ++s.peers_healthy;
+      if (peer.state == 1) ++s.peers_suspect;
+      if (peer.state == 2) ++s.peers_dead;
+      s.peer_failed_rpcs += peer.failed_rpcs;
+      s.peer_reconnects += peer.reconnects;
+      s.peer_heartbeats += peer.heartbeats;
+      s.peer_queued_notices += peer.queued_notices;
+    }
+  }
   return s;
+}
+
+std::vector<PeerStatsEntry> Store::peer_stats() {
+  if (dist_hooks_ == nullptr) return {};
+  return dist_hooks_->PeerHealth();
 }
 
 std::vector<ShardStatsEntry> Store::shard_stats() {

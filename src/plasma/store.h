@@ -154,14 +154,21 @@ class DistHooks {
   // True when any peer store already knows `id` (uniqueness probe).
   virtual bool IdKnownRemotely(const ObjectId& id) = 0;
 
-  // Usage-tracking extension: pin/unpin `id` at its home store.
-  virtual void PinRemote(const ObjectId& id,
-                         const RemoteObjectLocation& loc) = 0;
+  // Usage-tracking extension: pin/unpin `id` at its home store. A failed
+  // pin means the location is no longer valid (the peer lost or dropped
+  // the object, or is unreachable); implementations invalidate any cached
+  // location so the caller can re-run the lookup path.
+  virtual Status PinRemote(const ObjectId& id,
+                           const RemoteObjectLocation& loc) = 0;
   virtual void UnpinRemote(const ObjectId& id,
                            const RemoteObjectLocation& loc) = 0;
 
   // Broadcast that this store dropped `id` (lookup-cache invalidation).
   virtual void NotifyDeleted(const ObjectId& id) = 0;
+
+  // Peer failure handling: per-peer health rows for observability
+  // (kPeerStatsRequest). Default: no peers.
+  virtual std::vector<PeerStatsEntry> PeerHealth() { return {}; }
 };
 
 class Store {
@@ -233,11 +240,18 @@ class Store {
   Status UnpinForPeer(const ObjectId& id, uint32_t peer_node);
   // Remote pins held on a local object; 0 when none.
   uint32_t RemotePins(const ObjectId& id);
+  // Drops every pin held by `peer_node` across all shards (the peer was
+  // declared dead — its pins must no longer block eviction). Returns the
+  // number of pins released.
+  uint64_t ReleasePinsForPeer(uint32_t peer_node);
 
-  // Aggregate statistics across shards.
+  // Aggregate statistics across shards (includes peer-health totals when
+  // dist hooks are wired).
   StoreStats stats();
   // Per-shard statistics (the GetStoreStats protocol message).
   std::vector<ShardStatsEntry> shard_stats();
+  // Per-peer health rows from the dist layer; empty without peers.
+  std::vector<PeerStatsEntry> peer_stats();
 
   // Test hook: pool-wide allocator statistics (merged over arenas).
   alloc::AllocatorStats allocator_stats();
@@ -328,6 +342,8 @@ class Store {
   void HandleStats(Shard& home, ClientConn& conn, uint64_t request_id);
   void HandleShardStats(Shard& home, ClientConn& conn,
                         uint64_t request_id);
+  void HandlePeerStats(Shard& home, ClientConn& conn,
+                       uint64_t request_id);
   void HandleSubscribe(Shard& home, ClientConn& conn, uint64_t request_id,
                        std::span<const uint8_t> body);
 
@@ -351,9 +367,19 @@ class Store {
   // Applies one resolved remote location to a pending get (reply entry,
   // remote pin, per-connection ref bookkeeping). `count_hit` must match
   // whether the look-up that produced `loc` was counted in stats.
-  void AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
+  // Returns false when the remote pin failed — the location was stale
+  // (the dist layer has already invalidated its cache entry) and the
+  // caller should re-run the lookup path for this id.
+  bool AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
                          const ObjectId& id,
                          const RemoteObjectLocation& loc, bool count_hit);
+  // AdoptRemoteObject with one retry through a fresh remote lookup when
+  // the cached location turned out stale. Returns false when the id
+  // could not be adopted at all (treat as missing).
+  bool AdoptRemoteObjectWithRetry(ClientConn& conn, PendingGet& pending,
+                                  const ObjectId& id,
+                                  const RemoteObjectLocation& loc,
+                                  bool count_hit);
 
   // Allocates space from the owner shard's arena, evicting its LRU
   // unpinned objects if needed — to the shard's spill file when the

@@ -2,32 +2,113 @@
 
 #include <sys/socket.h>
 
+#include <algorithm>
+
 #include "common/clock.h"
+#include "common/rng.h"
 #include "net/frame.h"
 #include "net/socket.h"
 
 namespace mdos::rpc {
 
 Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
-    const std::string& host, uint16_t port, int64_t simulated_rtt_ns) {
+    const std::string& host, uint16_t port, ChannelOptions options) {
   MDOS_ASSIGN_OR_RETURN(net::UniqueFd fd, net::TcpConnect(host, port));
   auto channel = std::make_shared<RpcChannel>();
   channel->fd_ = std::move(fd);
-  channel->simulated_rtt_ns_ = simulated_rtt_ns;
+  channel->options_ = options;
+  channel->host_ = host;
+  channel->port_ = port;
+  // Decorrelate the backoff jitter across channels dialing one peer.
+  channel->backoff_seed_ ^=
+      (static_cast<uint64_t>(port) << 32) ^
+      reinterpret_cast<uintptr_t>(channel.get());
   return channel;
+}
+
+Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
+    const std::string& host, uint16_t port, int64_t simulated_rtt_ns) {
+  ChannelOptions options;
+  options.simulated_rtt_ns = simulated_rtt_ns;
+  return Connect(host, port, options);
+}
+
+int64_t RpcChannel::NextBackoffNs() {
+  // Streak is >= 1 here (a dial just failed); the first window must be
+  // the configured minimum, doubling from there.
+  uint64_t shift = std::min<uint32_t>(dial_failure_streak_ - 1, 20);
+  uint64_t ms = static_cast<uint64_t>(options_.redial_backoff_min_ms)
+                << shift;
+  ms = std::min<uint64_t>(
+      std::max<uint64_t>(ms, 1), options_.redial_backoff_max_ms);
+  // ±25 % jitter (SplitMix64 step over the per-channel seed).
+  SplitMix64 rng(backoff_seed_);
+  backoff_seed_ = rng.Next();
+  double factor = 0.75 + 0.5 * rng.NextDouble();
+  return static_cast<int64_t>(static_cast<double>(ms) * factor * 1e6);
+}
+
+Status RpcChannel::RedialLocked() {
+  if (closed_ || host_.empty()) {
+    return Status::NotConnected("channel closed");
+  }
+  const int64_t now = MonotonicNanos();
+  if (now < next_redial_ns_) {
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.fast_failures;
+    }
+    return Status::NotConnected(
+        "channel to " + host_ + ":" + std::to_string(port_) +
+        " disconnected (redial backing off)");
+  }
+  Status last = Status::OK();
+  for (uint32_t attempt = 0; attempt < options_.redial_attempts;
+       ++attempt) {
+    // timeout 0: a refused redial reports immediately — the backoff
+    // schedule below owns the waiting, not a blocking connect retry.
+    auto fd = net::TcpConnect(host_, port_, /*timeout_ms=*/0);
+    if (fd.ok()) {
+      fd_ = std::move(fd).value();
+      armed_timeout_ms_ = 0;  // fresh socket: no SO_RCVTIMEO armed
+      dial_failure_streak_ = 0;
+      next_redial_ns_ = 0;
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.reconnects;
+      return Status::OK();
+    }
+    last = fd.status();
+    {
+      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      ++stats_.redial_failures;
+    }
+    ++dial_failure_streak_;
+  }
+  next_redial_ns_ = MonotonicNanos() + NextBackoffNs();
+  return Status::NotConnected(
+      "redial of " + host_ + ":" + std::to_string(port_) +
+      " failed: " + last.ToString());
 }
 
 Result<std::vector<uint8_t>> RpcChannel::Call(
     const std::string& method, const std::vector<uint8_t>& payload,
     uint64_t timeout_ms) {
   std::lock_guard<std::mutex> lock(mutex_);
-  if (!fd_.valid()) return Status::NotConnected("channel closed");
 
-  const int64_t start_ns = MonotonicNanos();
   auto fail = [&](Status st) -> Result<std::vector<uint8_t>> {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
     ++stats_.failures;
     return st;
   };
+
+  if (!fd_.valid()) {
+    // Transparent reconnect: a previous failure (or peer restart) left
+    // the channel disconnected; heal it here instead of failing forever.
+    Status redialed = RedialLocked();
+    if (!redialed.ok()) return fail(std::move(redialed));
+  }
+
+  const int64_t start_ns = MonotonicNanos();
 
   RpcRequest request;
   request.call_id = next_call_id_.fetch_add(1);
@@ -41,13 +122,19 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
   request.EncodeTo(writer);
 
   // Model half the LAN round trip before send, half after receive.
-  if (simulated_rtt_ns_ > 0) SpinForNanos(simulated_rtt_ns_ / 2);
+  if (options_.simulated_rtt_ns > 0) {
+    SpinForNanos(options_.simulated_rtt_ns / 2);
+  }
 
-  if (timeout_ms > 0) {
+  // Arm (or clear) SO_RCVTIMEO only when the wanted timeout differs from
+  // what the socket has: a timed call must not leave its timeout armed
+  // for later untimed calls on the same channel.
+  if (timeout_ms != armed_timeout_ms_) {
     timeval tv{};
     tv.tv_sec = static_cast<time_t>(timeout_ms / 1000);
     tv.tv_usec = static_cast<suseconds_t>((timeout_ms % 1000) * 1000);
     ::setsockopt(fd_.get(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv));
+    armed_timeout_ms_ = timeout_ms;
   }
 
   Status sent =
@@ -84,10 +171,15 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
     return fail(Status::ProtocolError("rpc call id mismatch"));
   }
 
-  if (simulated_rtt_ns_ > 0) SpinForNanos(simulated_rtt_ns_ / 2);
+  if (options_.simulated_rtt_ns > 0) {
+    SpinForNanos(options_.simulated_rtt_ns / 2);
+  }
 
-  ++stats_.calls;
-  stats_.total_call_ns += MonotonicNanos() - start_ns;
+  {
+    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    ++stats_.calls;
+    stats_.total_call_ns += MonotonicNanos() - start_ns;
+  }
 
   if (response->code != StatusCode::kOk) {
     return Status(response->code, response->error);
@@ -96,7 +188,7 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
 }
 
 ChannelStats RpcChannel::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
   return stats_;
 }
 

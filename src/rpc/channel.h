@@ -6,6 +6,15 @@
 // The channel is thread-safe; concurrent callers are serialized by a
 // mutex, matching a single HTTP/2 stream being reused sequentially.
 //
+// Failure handling: a failed call closes the socket but keeps the
+// endpoint. The next call transparently redials (bounded attempts per
+// call, exponential backoff with jitter between dial failures) instead
+// of returning NotConnected forever — a peer restart heals without any
+// caller intervention. While the backoff window is closed the call fails
+// fast with kNotConnected, so a dead peer costs nanoseconds per call,
+// not a connect timeout. Only an explicit Disconnect() retires the
+// channel permanently.
+//
 // `simulated_rtt_ns` injects additional latency per call so loopback TCP
 // can model a data-centre LAN round trip (see DESIGN.md §6 calibration);
 // it is applied client-side, half before sending and half after receiving.
@@ -25,10 +34,26 @@
 
 namespace mdos::rpc {
 
+struct ChannelOptions {
+  // Injected per-call latency modelling the data-centre LAN.
+  int64_t simulated_rtt_ns = 0;
+  // Reconnect policy. A call finding the channel disconnected makes up
+  // to `redial_attempts` dial attempts (only when the backoff window has
+  // elapsed); each consecutive dial failure doubles the wait between
+  // redials from `redial_backoff_min_ms` up to `redial_backoff_max_ms`,
+  // with ±25 % jitter so a mesh of peers does not redial in lockstep.
+  uint32_t redial_attempts = 1;
+  uint32_t redial_backoff_min_ms = 10;
+  uint32_t redial_backoff_max_ms = 1000;
+};
+
 struct ChannelStats {
   uint64_t calls = 0;
   uint64_t failures = 0;
-  int64_t total_call_ns = 0;  // wall time across all calls
+  uint64_t reconnects = 0;       // successful redials after a failure
+  uint64_t redial_failures = 0;  // dial attempts that failed
+  uint64_t fast_failures = 0;    // calls refused inside the backoff window
+  int64_t total_call_ns = 0;     // wall time across all calls
 };
 
 class RpcChannel {
@@ -37,17 +62,28 @@ class RpcChannel {
   RpcChannel(const RpcChannel&) = delete;
   RpcChannel& operator=(const RpcChannel&) = delete;
 
-  // Connects to 127.0.0.1:`port`. Channels contain synchronization state,
+  // Connects to `host`:`port`. Channels contain synchronization state,
   // so they live on the heap and are shared by reference.
+  static Result<std::shared_ptr<RpcChannel>> Connect(
+      const std::string& host, uint16_t port, ChannelOptions options);
+  // Back-compat convenience (pre-reconnect signature).
   static Result<std::shared_ptr<RpcChannel>> Connect(
       const std::string& host, uint16_t port,
       int64_t simulated_rtt_ns = 0);
 
   bool connected() const { return fd_.valid(); }
-  void Disconnect() { fd_.Reset(); }
+  // Permanently retires the channel: no redial, every later Call returns
+  // kNotConnected. (Failure-triggered disconnects keep the endpoint and
+  // heal on the next call instead.)
+  void Disconnect() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    fd_.Reset();
+    closed_ = true;
+  }
 
   // Performs one unary call. `timeout_ms` (0 = no timeout) bounds the wait
-  // for the response.
+  // for the response. A disconnected (but not retired) channel first
+  // redials under the backoff policy above.
   Result<std::vector<uint8_t>> Call(const std::string& method,
                                     const std::vector<uint8_t>& payload,
                                     uint64_t timeout_ms = 0);
@@ -68,13 +104,34 @@ class RpcChannel {
   }
 
   ChannelStats stats() const;
-  int64_t simulated_rtt_ns() const { return simulated_rtt_ns_; }
+  int64_t simulated_rtt_ns() const { return options_.simulated_rtt_ns; }
 
  private:
+  // Re-establishes the connection when the endpoint is known and the
+  // backoff window has elapsed. Requires mutex_ held.
+  Status RedialLocked();
+  // Jittered exponential backoff for the current failure streak (ns).
+  int64_t NextBackoffNs();
+
   net::UniqueFd fd_;
-  int64_t simulated_rtt_ns_ = 0;
+  ChannelOptions options_;
+  std::string host_;
+  uint16_t port_ = 0;
+  bool closed_ = false;  // explicit Disconnect(): never redial
+  // Reconnect state (guarded by mutex_).
+  uint32_t dial_failure_streak_ = 0;
+  int64_t next_redial_ns_ = 0;  // monotonic deadline gating the next dial
+  uint64_t backoff_seed_ = 0x9E3779B97F4A7C15ULL;
+  // Receive timeout currently armed on the socket (SO_RCVTIMEO); tracked
+  // so untimed calls after a timed one clear it and repeated timed calls
+  // skip the setsockopt.
+  uint64_t armed_timeout_ms_ = 0;
   std::atomic<uint64_t> next_call_id_{1};
   mutable std::mutex mutex_;
+  // stats_ has its own mutex so stats() never blocks behind an in-flight
+  // call (mutex_ is held for the full RPC round trip). Lock order:
+  // mutex_ then stats_mutex_; stats_mutex_ is never held across I/O.
+  mutable std::mutex stats_mutex_;
   ChannelStats stats_;
   // Per-channel scratch (guarded by mutex_ like the fd): the request
   // encoder and response frame reuse their capacity across calls, so a

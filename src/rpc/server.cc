@@ -35,7 +35,14 @@ void RpcServer::Stop() {
   }
   poller_.Wakeup();
   if (thread_.joinable()) thread_.join();
+  // Deregister surviving connections before closing them so a Stop/Start
+  // cycle (peer restart on the same port) reuses a clean poller.
+  for (const auto& [fd, conn] : connections_) {
+    (void)conn;
+    poller_.Remove(fd);
+  }
   connections_.clear();
+  poller_.Remove(listen_fd_.get());
   listen_fd_.Reset();
 }
 

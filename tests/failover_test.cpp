@@ -1,0 +1,587 @@
+// Peer failure handling tests: reconnecting RPC channels, the per-peer
+// health state machine (healthy → suspect → dead), dead-peer cleanup
+// (cache invalidation, usage-tracker drops, remote-pin release), queued
+// DeleteNotice flush on recovery, and the cluster-level kill/restart
+// round trip.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <thread>
+
+#include "cluster/cluster.h"
+#include "common/clock.h"
+#include "dist/messages.h"
+#include "dist/remote_registry.h"
+#include "dist/service.h"
+#include "plasma/client.h"
+#include "plasma/store.h"
+#include "rpc/channel.h"
+#include "rpc/server.h"
+#include "tf/fabric.h"
+
+namespace mdos {
+namespace {
+
+// Polls `pred` (expensive: RPCs, locks) until it holds or `timeout_ms`
+// elapses. Returns whether the predicate held.
+template <typename Pred>
+bool WaitUntil(Pred pred, int timeout_ms = 5000) {
+  Stopwatch sw;
+  while (sw.ElapsedMillis() < timeout_ms) {
+    if (pred()) return true;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return pred();
+}
+
+// ---- RpcChannel reconnect --------------------------------------------------
+
+class ReconnectRpcTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    RegisterHandlers(server_);
+    ASSERT_TRUE(server_.Start(0).ok());
+    port_ = server_.port();
+  }
+  void TearDown() override { server_.Stop(); }
+
+  static void RegisterHandlers(rpc::RpcServer& server) {
+    server.RegisterHandler(
+        "echo", [](const std::vector<uint8_t>& p)
+                    -> Result<std::vector<uint8_t>> { return p; });
+    server.RegisterHandler(
+        "slow", [](const std::vector<uint8_t>& p)
+                    -> Result<std::vector<uint8_t>> {
+          std::this_thread::sleep_for(std::chrono::milliseconds(300));
+          return p;
+        });
+  }
+
+  rpc::RpcServer server_;
+  uint16_t port_ = 0;
+};
+
+TEST_F(ReconnectRpcTest, ChannelRedialsAfterServerRestart) {
+  rpc::ChannelOptions options;
+  options.redial_backoff_min_ms = 1;
+  options.redial_backoff_max_ms = 20;
+  auto channel = rpc::RpcChannel::Connect("127.0.0.1", port_, options);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE((*channel)->Call("echo", {1}).ok());
+
+  server_.Stop();
+  // The in-flight connection is dead: the next call fails and marks the
+  // channel disconnected.
+  EXPECT_FALSE((*channel)->Call("echo", {2}).ok());
+  EXPECT_FALSE((*channel)->connected());
+
+  // Same port, new server incarnation — the channel must redial on its
+  // own instead of returning NotConnected forever.
+  rpc::RpcServer revived;
+  RegisterHandlers(revived);
+  ASSERT_TRUE(revived.Start(port_).ok());
+  bool healed = WaitUntil([&] {
+    return (*channel)->Call("echo", {3}).ok();
+  });
+  EXPECT_TRUE(healed);
+  EXPECT_TRUE((*channel)->connected());
+  EXPECT_GE((*channel)->stats().reconnects, 1u);
+  revived.Stop();
+}
+
+TEST_F(ReconnectRpcTest, FailsFastInsideBackoffWindow) {
+  rpc::ChannelOptions options;
+  options.redial_backoff_min_ms = 500;
+  options.redial_backoff_max_ms = 2000;
+  auto channel = rpc::RpcChannel::Connect("127.0.0.1", port_, options);
+  ASSERT_TRUE(channel.ok());
+  server_.Stop();
+  EXPECT_FALSE((*channel)->Call("echo", {}).ok());  // detects the loss
+  EXPECT_FALSE((*channel)->Call("echo", {}).ok());  // failed redial
+  // Inside the backoff window calls must fail in microseconds, not wait
+  // on a connect or timeout.
+  Stopwatch sw;
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_FALSE((*channel)->Call("echo", {}).ok());
+  }
+  EXPECT_LT(sw.ElapsedMillis(), 100.0);
+  EXPECT_GE((*channel)->stats().fast_failures, 90u);
+}
+
+TEST_F(ReconnectRpcTest, ExplicitDisconnectNeverRedials) {
+  auto channel = rpc::RpcChannel::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(channel.ok());
+  (*channel)->Disconnect();
+  auto reply = (*channel)->Call("echo", {});
+  EXPECT_EQ(reply.status().code(), StatusCode::kNotConnected);
+  EXPECT_EQ((*channel)->stats().reconnects, 0u);
+}
+
+TEST_F(ReconnectRpcTest, TimedCallDoesNotPoisonLaterUntimedCalls) {
+  // Regression: a timed call used to leave SO_RCVTIMEO armed, making
+  // every later *untimed* call on the channel time out spuriously.
+  auto channel = rpc::RpcChannel::Connect("127.0.0.1", port_);
+  ASSERT_TRUE(channel.ok());
+  ASSERT_TRUE((*channel)->Call("echo", {1}, /*timeout_ms=*/100).ok());
+  // 300 ms handler, no deadline: must succeed — with the stale 100 ms
+  // receive timeout still armed it would fail with kTimeout.
+  auto slow = (*channel)->Call("slow", {2});
+  EXPECT_TRUE(slow.ok()) << slow.status();
+}
+
+// ---- registry health machine ----------------------------------------------
+
+tf::FabricConfig FastFabric() {
+  tf::FabricConfig config;
+  config.local = tf::LatencyParams{0, 0.0};
+  config.remote = tf::LatencyParams{0, 0.0};
+  return config;
+}
+
+// Two fabric-backed stores wired manually so tests control meshing,
+// registry options, and server lifecycle (restarts on a fixed port).
+class FailoverDistTest : public ::testing::Test {
+ protected:
+  void Init(dist::RegistryOptions registry_options) {
+    fabric_ = std::make_unique<tf::Fabric>(FastFabric());
+    for (int i = 0; i < 2; ++i) {
+      auto node_id = fabric_->AddNode("f" + std::to_string(i), 8 << 20);
+      ASSERT_TRUE(node_id.ok());
+      auto region = fabric_->ExportRegion(*node_id, 0, 8 << 20);
+      ASSERT_TRUE(region.ok());
+      plasma::StoreOptions options;
+      options.name = "failover-store-" + std::to_string(i);
+      auto store = plasma::Store::CreateOnFabric(options, fabric_.get(),
+                                                 *node_id, *region);
+      ASSERT_TRUE(store.ok()) << store.status();
+      stores_[i] = std::move(store).value();
+
+      registries_[i] = std::make_unique<dist::RemoteStoreRegistry>(
+          *node_id, registry_options);
+      stores_[i]->SetDistHooks(registries_[i].get());
+      plasma::Store* raw_store = stores_[i].get();
+      registries_[i]->SetPeerDeathHandler([raw_store](uint32_t dead) {
+        (void)raw_store->ReleasePinsForPeer(dead);
+      });
+
+      services_[i] = std::make_unique<dist::StoreService>(
+          stores_[i].get(), registries_[i]->lookup_cache());
+      services_[i]->RegisterWith(servers_[i]);
+      ASSERT_TRUE(stores_[i]->Start().ok());
+      ASSERT_TRUE(servers_[i].Start(0).ok());
+      ports_[i] = servers_[i].port();
+    }
+  }
+
+  void TearDown() override {
+    for (int i = 0; i < 2; ++i) {
+      if (registries_[i]) registries_[i]->StopHealthMonitor();
+      if (stores_[i]) stores_[i]->Stop();
+      servers_[i].Stop();
+    }
+  }
+
+  Result<std::unique_ptr<plasma::PlasmaClient>> Client(int i) {
+    plasma::ClientOptions options;
+    options.fabric = fabric_.get();
+    return plasma::PlasmaClient::Connect(stores_[i]->socket_path(),
+                                         options);
+  }
+
+  static dist::RegistryOptions FastFailureOptions() {
+    dist::RegistryOptions options;
+    options.enable_lookup_cache = true;
+    options.rpc_timeout_ms = 1000;
+    options.heartbeat_interval_ms = 0;  // tests drive health manually
+    options.suspect_after_failures = 1;
+    options.dead_after_failures = 2;
+    options.redial_backoff_min_ms = 1;
+    options.redial_backoff_max_ms = 20;
+    return options;
+  }
+
+  std::unique_ptr<tf::Fabric> fabric_;
+  std::unique_ptr<plasma::Store> stores_[2];
+  std::unique_ptr<dist::RemoteStoreRegistry> registries_[2];
+  std::unique_ptr<dist::StoreService> services_[2];
+  rpc::RpcServer servers_[2];
+  uint16_t ports_[2] = {0, 0};
+};
+
+TEST_F(FailoverDistTest, FailureStreakMarksPeerDeadAndSkipsIt) {
+  Init(FastFailureOptions());
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+  servers_[1].Stop();
+
+  ObjectId id = ObjectId::FromName("gone");
+  // Two failed calls: healthy -> suspect -> dead.
+  (void)registries_[0]->LookupRemote({id});
+  (void)registries_[0]->LookupRemote({id});
+  EXPECT_EQ(registries_[0]->peer_state(stores_[1]->node_id()),
+            dist::PeerState::kDead);
+
+  // Dead peers are skipped: no further lookup RPCs are issued and the
+  // call returns immediately.
+  uint64_t rpcs_before = registries_[0]->stats().lookup_rpcs;
+  Stopwatch sw;
+  auto locations = registries_[0]->LookupRemote({id});
+  EXPECT_LT(sw.ElapsedMillis(), 50.0);
+  EXPECT_FALSE(locations[0].has_value());
+  EXPECT_EQ(registries_[0]->stats().lookup_rpcs, rpcs_before);
+}
+
+TEST_F(FailoverDistTest, DeadPeerReleasesItsPinsOnSurvivor) {
+  Init(FastFailureOptions());
+  // Mesh both directions: node 1's clients pin on node 0; node 0 watches
+  // node 1's health.
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+  ASSERT_TRUE(
+      registries_[1]->AddPeer("127.0.0.1", servers_[0].port()).ok());
+
+  auto producer = Client(0);
+  auto consumer = Client(1);
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+  ObjectId id = ObjectId::FromName("pinned-by-doomed-peer");
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, "payload").ok());
+  auto buffer = (*consumer)->Get(id, 1000);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(stores_[0]->RemotePins(id), 1u);
+  // Remote pin blocks delete (eviction contract).
+  EXPECT_FALSE((*producer)->Delete(id).ok());
+
+  // Node 1 "crashes" (its RPC endpoint dies; it never unpins).
+  servers_[1].Stop();
+  (void)registries_[0]->IdKnownRemotely(ObjectId::FromName("p1"));
+  (void)registries_[0]->IdKnownRemotely(ObjectId::FromName("p2"));
+  EXPECT_EQ(registries_[0]->peer_state(stores_[1]->node_id()),
+            dist::PeerState::kDead);
+
+  // Death released the corpse's pins: the object is deletable again.
+  EXPECT_EQ(stores_[0]->RemotePins(id), 0u);
+  EXPECT_TRUE((*producer)->Delete(id).ok());
+}
+
+TEST_F(FailoverDistTest, StaleCacheEntryInvalidatedOnFailedPin) {
+  Init(FastFailureOptions());
+  // One-way mesh: node 0 sees node 1, but node 1 has no peers — so its
+  // DeleteNotice broadcast reaches nobody, simulating a lost notice.
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+
+  auto producer = Client(1);
+  auto consumer = Client(0);
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+  ObjectId id = ObjectId::FromName("stale-entry");
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, "original").ok());
+
+  auto first = (*consumer)->Get(id, 1000);
+  ASSERT_TRUE(first.ok());
+  ASSERT_TRUE((*consumer)->Release(id).ok());
+  EXPECT_EQ(registries_[0]->lookup_cache()->size(), 1u);
+
+  // The notice is lost; node 0's cache still points at the dead offset.
+  ASSERT_TRUE((*producer)->Delete(id).ok());
+  EXPECT_EQ(registries_[0]->lookup_cache()->size(), 1u);
+
+  // The next Get must NOT serve the dangling location: the failed pin
+  // invalidates the entry and the re-run lookup finds nothing.
+  auto gone = (*consumer)->Get(id, /*timeout_ms=*/0);
+  EXPECT_FALSE(gone.ok());
+  EXPECT_EQ(registries_[0]->lookup_cache()->size(), 0u);
+  EXPECT_GE(registries_[0]->stats().stale_pins_detected, 1u);
+
+  // After the producer re-creates the object, the fresh lookup path
+  // serves the new bytes.
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, "recreated-data").ok());
+  auto again = (*consumer)->Get(id, 1000);
+  ASSERT_TRUE(again.ok()) << again.status();
+  auto data = again->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "recreated-data");
+}
+
+TEST_F(FailoverDistTest, FailedUnpinReRecordsThePin) {
+  Init(FastFailureOptions());
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+
+  auto producer = Client(1);
+  auto consumer = Client(0);
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+  ObjectId id = ObjectId::FromName("leaky-unpin");
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, "x").ok());
+  auto buffer = (*consumer)->Get(id, 1000);
+  ASSERT_TRUE(buffer.ok());
+  EXPECT_EQ(registries_[0]->usage().total_pins(), 1u);
+
+  // The unpin RPC cannot reach the (suspect, not yet dead) peer: the pin
+  // must stay recorded so a later release can retry, instead of leaking
+  // the remote pin with no record of it.
+  servers_[1].Stop();
+  ASSERT_TRUE((*consumer)->Release(id).ok());
+  EXPECT_EQ(registries_[0]->usage().total_pins(), 1u);
+  EXPECT_EQ(registries_[0]->peer_state(stores_[1]->node_id()),
+            dist::PeerState::kSuspect);
+
+  // Endpoint comes back: the retried release goes through and the pin on
+  // the home store drains to zero.
+  ASSERT_TRUE(servers_[1].Start(ports_[1]).ok());
+  registries_[0]->ReleaseAllPins();
+  EXPECT_EQ(registries_[0]->usage().total_pins(), 0u);
+  EXPECT_TRUE(WaitUntil([&] { return stores_[1]->RemotePins(id) == 0; }));
+}
+
+TEST_F(FailoverDistTest, QueuedDeleteNoticesFlushOnRecovery) {
+  Init(FastFailureOptions());
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+  ASSERT_TRUE(
+      registries_[1]->AddPeer("127.0.0.1", servers_[0].port()).ok());
+
+  auto producer = Client(1);
+  auto consumer = Client(0);
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+  ObjectId id = ObjectId::FromName("reconverge");
+  ASSERT_TRUE((*producer)->CreateAndSeal(id, "temp").ok());
+  auto buffer = (*consumer)->Get(id, 1000);
+  ASSERT_TRUE(buffer.ok());
+  ASSERT_TRUE((*consumer)->Release(id).ok());
+  EXPECT_EQ(registries_[0]->lookup_cache()->size(), 1u);
+
+  // Node 0's endpoint goes down; node 1 marks it suspect on the first
+  // failed probe.
+  servers_[0].Stop();
+  (void)registries_[1]->IdKnownRemotely(ObjectId::FromName("nudge"));
+  EXPECT_EQ(registries_[1]->peer_state(stores_[0]->node_id()),
+            dist::PeerState::kSuspect);
+
+  // Deleting now parks the notice for the suspect peer instead of losing
+  // it — node 0's stale cache entry survives for the moment.
+  ASSERT_TRUE((*producer)->Delete(id).ok());
+  EXPECT_EQ(registries_[0]->lookup_cache()->size(), 1u);
+
+  // Endpoint restored on the same port; the next successful call flushes
+  // the queue and node 0's cache reconverges.
+  ASSERT_TRUE(servers_[0].Start(ports_[0]).ok());
+  EXPECT_TRUE(WaitUntil([&] {
+    (void)registries_[1]->IdKnownRemotely(ObjectId::FromName("nudge"));
+    return registries_[1]->stats().notices_flushed >= 1;
+  }));
+  EXPECT_TRUE(WaitUntil(
+      [&] { return registries_[0]->lookup_cache()->size() == 0; }));
+  EXPECT_EQ(registries_[1]->peer_state(stores_[0]->node_id()),
+            dist::PeerState::kHealthy);
+}
+
+TEST_F(FailoverDistTest, HeartbeatDetectsDeathAndRecovery) {
+  auto options = FastFailureOptions();
+  options.heartbeat_interval_ms = 20;
+  options.ping_timeout_ms = 200;
+  options.dead_after_failures = 3;
+  Init(options);
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+  registries_[0]->StartHealthMonitor();
+  uint32_t peer = stores_[1]->node_id();
+
+  ASSERT_TRUE(WaitUntil(
+      [&] { return registries_[0]->stats().heartbeats >= 2; }));
+  EXPECT_EQ(registries_[0]->peer_state(peer), dist::PeerState::kHealthy);
+
+  // Kill the endpoint: the heartbeat alone (no data traffic) must walk
+  // the peer to dead.
+  servers_[1].Stop();
+  EXPECT_TRUE(WaitUntil([&] {
+    return registries_[0]->peer_state(peer) == dist::PeerState::kDead;
+  }));
+  EXPECT_GE(registries_[0]->stats().peers_died, 1u);
+
+  // Endpoint returns on the same port: the heartbeat keeps pinging dead
+  // peers, the channel redials, and the peer is re-admitted.
+  ASSERT_TRUE(servers_[1].Start(ports_[1]).ok());
+  EXPECT_TRUE(WaitUntil([&] {
+    return registries_[0]->peer_state(peer) == dist::PeerState::kHealthy;
+  }));
+  EXPECT_GE(registries_[0]->stats().peers_recovered, 1u);
+  registries_[0]->StopHealthMonitor();
+}
+
+TEST_F(FailoverDistTest, PeerHealthFlowsIntoStoreAndClientStats) {
+  Init(FastFailureOptions());
+  ASSERT_TRUE(
+      registries_[0]->AddPeer("127.0.0.1", servers_[1].port()).ok());
+
+  auto client = Client(0);
+  ASSERT_TRUE(client.ok());
+  auto stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->peers_total, 1u);
+  EXPECT_EQ(stats->peers_healthy, 1u);
+  EXPECT_EQ(stats->peers_dead, 0u);
+
+  auto peers = (*client)->PeerStats();
+  ASSERT_TRUE(peers.ok());
+  ASSERT_EQ(peers->size(), 1u);
+  EXPECT_EQ((*peers)[0].node_id, stores_[1]->node_id());
+  EXPECT_EQ((*peers)[0].state, 0u);  // healthy
+
+  // Walk the peer to dead; both stats surfaces must follow.
+  servers_[1].Stop();
+  (void)registries_[0]->IdKnownRemotely(ObjectId::FromName("a"));
+  (void)registries_[0]->IdKnownRemotely(ObjectId::FromName("b"));
+  stats = (*client)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_EQ(stats->peers_dead, 1u);
+  EXPECT_GE(stats->peer_failed_rpcs, 2u);
+  peers = (*client)->PeerStats();
+  ASSERT_TRUE(peers.ok());
+  EXPECT_EQ((*peers)[0].state, 2u);  // dead
+}
+
+// ---- cluster kill / restart -------------------------------------------------
+
+cluster::NodeOptions FailoverNode() {
+  cluster::NodeOptions options;
+  options.pool_size = 8 << 20;
+  options.registry.enable_lookup_cache = true;
+  options.registry.rpc_timeout_ms = 2000;
+  options.registry.heartbeat_interval_ms = 20;
+  options.registry.ping_timeout_ms = 200;
+  options.registry.suspect_after_failures = 1;
+  options.registry.dead_after_failures = 3;
+  options.registry.redial_backoff_min_ms = 1;
+  options.registry.redial_backoff_max_ms = 50;
+  return options;
+}
+
+TEST(ClusterFailoverTest, KillReleasesPinsFailsFastAndRestartRemeshes) {
+  auto cluster =
+      cluster::Cluster::CreateTwoNode(FailoverNode(), FastFabric());
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+  cluster::Node* node0 = (*cluster)->node(0);
+  cluster::Node* node1 = (*cluster)->node(1);
+  uint32_t id1 = node1->id();
+
+  auto producer = node0->CreateClient("producer");
+  ASSERT_TRUE(producer.ok());
+  ObjectId survivor_obj = ObjectId::FromName("survivor-obj");
+  ObjectId pinned_obj = ObjectId::FromName("pinned-obj");
+  ASSERT_TRUE((*producer)->CreateAndSeal(survivor_obj, "stays").ok());
+  ASSERT_TRUE((*producer)->CreateAndSeal(pinned_obj, "pin-me").ok());
+
+  // A client on node 1 reads node 0's object and holds the reference —
+  // the pin on node 0 will outlive the client's node.
+  {
+    auto consumer = node1->CreateClient("doomed-consumer");
+    ASSERT_TRUE(consumer.ok());
+    auto buffer = (*consumer)->Get(pinned_obj, 2000);
+    ASSERT_TRUE(buffer.ok());
+    EXPECT_EQ(node0->store().RemotePins(pinned_obj), 1u);
+
+    // Crash node 1 with the pin held: no unpin, no goodbye.
+    ASSERT_TRUE((*cluster)->KillNode(1).ok());
+  }
+
+  // Node 0's heartbeat walks node 1 to dead and releases its pins.
+  ASSERT_TRUE(WaitUntil([&] {
+    return node0->registry().peer_state(id1) == dist::PeerState::kDead;
+  }));
+  EXPECT_TRUE(WaitUntil(
+      [&] { return node0->store().RemotePins(pinned_obj) == 0; }));
+  // Its pinned object is deletable (= evictable) again.
+  EXPECT_TRUE((*producer)->Delete(pinned_obj).ok());
+
+  // Gets for unknown ids fail fast: the dead peer is skipped, no
+  // per-call rpc_timeout_ms (2 s) stall.
+  Stopwatch sw;
+  auto missing = (*producer)->Get(ObjectId::FromName("nowhere"),
+                                  /*timeout_ms=*/0);
+  EXPECT_FALSE(missing.ok());
+  EXPECT_LT(sw.ElapsedMillis(), 1000.0);
+
+  // Restart: same fabric identity, same RPC port. The cluster re-meshes
+  // the restarted side; node 0 re-admits the peer through heartbeat +
+  // channel redial, with no manual intervention on its side.
+  ASSERT_TRUE((*cluster)->RestartNode(1).ok());
+  ASSERT_TRUE(WaitUntil([&] {
+    return node0->registry().peer_state(id1) ==
+           dist::PeerState::kHealthy;
+  }));
+
+  // The revived node serves lookups again in both directions.
+  auto consumer = node1->CreateClient("revived-consumer");
+  ASSERT_TRUE(consumer.ok());
+  auto buffer = (*consumer)->Get(survivor_obj, 2000);
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  auto data = buffer->CopyData();
+  ASSERT_TRUE(data.ok());
+  EXPECT_EQ(std::string(data->begin(), data->end()), "stays");
+  ASSERT_TRUE((*consumer)->Release(survivor_obj).ok());
+
+  ObjectId fresh = ObjectId::FromName("post-restart-obj");
+  ASSERT_TRUE((*consumer)->CreateAndSeal(fresh, "new-life").ok());
+  auto from_survivor = (*producer)->Get(fresh, 2000);
+  ASSERT_TRUE(from_survivor.ok()) << from_survivor.status();
+
+  // The survivor's channel healed by redialing, not by re-configuration.
+  auto health = node0->registry().PeerHealth();
+  ASSERT_EQ(health.size(), 1u);
+  EXPECT_GE(health[0].reconnects, 1u);
+
+  // Mid-workload death counters made it to the stats surface.
+  auto stats = node0->store().stats();
+  EXPECT_GE(stats.peer_reconnects, 1u);
+  EXPECT_GE(stats.peer_heartbeats, 1u);
+}
+
+TEST(ClusterFailoverTest, KillNodeUnderActiveTrafficKeepsSurvivorsSane) {
+  auto cluster =
+      cluster::Cluster::CreateTwoNode(FailoverNode(), FastFabric());
+  ASSERT_TRUE(cluster.ok());
+  cluster::Node* node0 = (*cluster)->node(0);
+
+  auto producer = node0->CreateClient("producer");
+  ASSERT_TRUE(producer.ok());
+  for (int i = 0; i < 8; ++i) {
+    ASSERT_TRUE((*producer)
+                    ->CreateAndSeal(
+                        ObjectId::FromName("t" + std::to_string(i)),
+                        "traffic-" + std::to_string(i))
+                    .ok());
+  }
+
+  // Reader thread hammers node 0 while node 1 dies mid-workload.
+  std::atomic<bool> stop{false};
+  std::atomic<int> successes{0};
+  std::thread reader([&] {
+    auto client = node0->CreateClient("reader");
+    if (!client.ok()) return;
+    int i = 0;
+    while (!stop.load()) {
+      ObjectId id = ObjectId::FromName("t" + std::to_string(i % 8));
+      auto buffer = (*client)->Get(id, 200);
+      if (buffer.ok()) {
+        ++successes;
+        (void)(*client)->Release(id);
+      }
+      ++i;
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  ASSERT_TRUE((*cluster)->KillNode(1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  reader.join();
+
+  // Local traffic on the survivor never depended on the corpse.
+  EXPECT_GT(successes.load(), 0);
+  // And the survivor's store still answers.
+  auto check = (*producer)->Get(ObjectId::FromName("t0"), 500);
+  EXPECT_TRUE(check.ok());
+}
+
+}  // namespace
+}  // namespace mdos

@@ -169,7 +169,8 @@ TEST(DistFailureTest, PinAgainstDeadPeerIsHarmless) {
   dist::RemoteStoreRegistry registry(/*self_node=*/7);
   plasma::RemoteObjectLocation loc;
   loc.home_node = 99;  // no such peer
-  registry.PinRemote(ObjectId::FromName("x"), loc);
+  Status pinned = registry.PinRemote(ObjectId::FromName("x"), loc);
+  EXPECT_EQ(pinned.code(), StatusCode::kUnavailable);
   registry.UnpinRemote(ObjectId::FromName("x"), loc);
   EXPECT_EQ(registry.usage().total_pins(), 0u);
 }

@@ -94,6 +94,34 @@ TEST(LookupCacheTest, ClearEmptiesCache) {
   EXPECT_EQ(cache.size(), 0u);
 }
 
+TEST(LookupCacheTest, ClearResetsStats) {
+  LookupCache cache;
+  ObjectId id = ObjectId::FromName("a");
+  cache.Put(id, Loc(1, 1));
+  (void)cache.Get(id);                        // hit
+  (void)cache.Get(ObjectId::FromName("z"));   // miss
+  cache.Clear();
+  auto stats = cache.stats();
+  EXPECT_EQ(stats.hits, 0u);
+  EXPECT_EQ(stats.misses, 0u);
+  EXPECT_EQ(stats.insertions, 0u);
+  EXPECT_EQ(stats.invalidations, 0u);
+  EXPECT_EQ(stats.evictions, 0u);
+}
+
+TEST(LookupCacheTest, InvalidateNodeDropsOnlyThatNodesEntries) {
+  LookupCache cache;
+  cache.Put(ObjectId::FromName("a"), Loc(1, 1));
+  cache.Put(ObjectId::FromName("b"), Loc(2, 2));
+  cache.Put(ObjectId::FromName("c"), Loc(1, 3));
+  EXPECT_EQ(cache.InvalidateNode(1), 2u);
+  EXPECT_EQ(cache.size(), 1u);
+  EXPECT_FALSE(cache.Get(ObjectId::FromName("a")).has_value());
+  EXPECT_TRUE(cache.Get(ObjectId::FromName("b")).has_value());
+  EXPECT_FALSE(cache.Get(ObjectId::FromName("c")).has_value());
+  EXPECT_EQ(cache.InvalidateNode(7), 0u);
+}
+
 TEST(LookupCacheTest, ThreadSafeUnderContention) {
   LookupCache cache(1024);
   std::vector<std::thread> threads;
@@ -140,6 +168,20 @@ TEST(UsageTrackerTest, SnapshotListsOutstanding) {
   uint32_t total = 0;
   for (const auto& o : snapshot) total += o.count;
   EXPECT_EQ(total, 3u);
+}
+
+TEST(UsageTrackerTest, DropPinsForNodeForgetsOnlyThatNode) {
+  UsageTracker tracker;
+  tracker.RecordPin(ObjectId::FromName("a"), Loc(1, 0));
+  tracker.RecordPin(ObjectId::FromName("a"), Loc(1, 0));
+  tracker.RecordPin(ObjectId::FromName("b"), Loc(2, 0));
+  EXPECT_EQ(tracker.DropPinsForNode(1), 2u);
+  EXPECT_EQ(tracker.total_pins(), 1u);
+  // Dropped pins count as unpins so the cumulative books stay balanced.
+  EXPECT_EQ(tracker.unpins_recorded(), 2u);
+  EXPECT_FALSE(tracker.RecordUnpin(ObjectId::FromName("a")));
+  EXPECT_TRUE(tracker.RecordUnpin(ObjectId::FromName("b")));
+  EXPECT_EQ(tracker.DropPinsForNode(1), 0u);
 }
 
 TEST(UsageTrackerTest, CountersAreCumulative) {

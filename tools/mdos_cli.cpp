@@ -128,6 +128,45 @@ int CmdStats(plasma::PlasmaClient& client) {
               static_cast<unsigned long long>(stats->bytes_tx));
   std::printf("egress_blocked:      %llu\n",
               static_cast<unsigned long long>(stats->egress_blocked_events));
+  // Peer health (cluster failure handling); all zero without peers.
+  std::printf("peers:               %llu (%llu healthy, %llu suspect, "
+              "%llu dead)\n",
+              static_cast<unsigned long long>(stats->peers_total),
+              static_cast<unsigned long long>(stats->peers_healthy),
+              static_cast<unsigned long long>(stats->peers_suspect),
+              static_cast<unsigned long long>(stats->peers_dead));
+  std::printf("peer_failed_rpcs:    %llu\n",
+              static_cast<unsigned long long>(stats->peer_failed_rpcs));
+  std::printf("peer_reconnects:     %llu\n",
+              static_cast<unsigned long long>(stats->peer_reconnects));
+  std::printf("peer_heartbeats:     %llu\n",
+              static_cast<unsigned long long>(stats->peer_heartbeats));
+  std::printf("peer_queued_notices: %llu\n",
+              static_cast<unsigned long long>(stats->peer_queued_notices));
+
+  // Per-peer health table (kPeerStats); skipped when the store has no
+  // peers. Non-fatal like the shard table below.
+  auto peers = client.PeerStats();
+  if (peers.ok() && !peers->empty()) {
+    std::printf("\n%-8s %-9s %-8s %-9s %-11s %-11s %-8s %-9s %-12s\n",
+                "peer", "state", "streak", "failed", "reconnects",
+                "heartbeats", "queued", "dropped", "ms_since_ok");
+    static const char* kStateNames[] = {"healthy", "suspect", "dead"};
+    for (const auto& p : *peers) {
+      const char* state =
+          p.state < 3 ? kStateNames[p.state] : "?";
+      std::printf("%-8u %-9s %-8llu %-9llu %-11llu %-11llu %-8llu %-9llu "
+                  "%-12lld\n",
+                  p.node_id, state,
+                  static_cast<unsigned long long>(p.failure_streak),
+                  static_cast<unsigned long long>(p.failed_rpcs),
+                  static_cast<unsigned long long>(p.reconnects),
+                  static_cast<unsigned long long>(p.heartbeats),
+                  static_cast<unsigned long long>(p.queued_notices),
+                  static_cast<unsigned long long>(p.dropped_notices),
+                  static_cast<long long>(p.ms_since_ok));
+    }
+  }
 
   // Per-shard breakdown (GetStoreStats): exposes load balance across the
   // store's event-loop shards. Non-fatal: a store that predates the
