@@ -63,7 +63,9 @@ double TcpCopySeconds(uint64_t bytes, const tf::LatencyParams& lan) {
     }
     // Scale-out consumers then read their local copy.
     volatile uint64_t sink = 0;
-    for (uint64_t i = 0; i < bytes; i += 4096) sink += local_copy[i];
+    for (uint64_t i = 0; i < bytes; i += 4096) {
+      sink = sink + local_copy[i];
+    }
     elapsed = sw.ElapsedSeconds();
   }
   sender.join();

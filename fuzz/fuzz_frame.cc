@@ -1,0 +1,37 @@
+// Fuzz harness: net frame decoding (DecodeFrameView / DecodeFrame).
+//
+// The frame decoder is the first code that touches bytes off a socket —
+// every client and peer message passes through it, so it must tolerate
+// arbitrary garbage: truncated headers, hostile length fields, corrupt
+// CRCs, stream desync. The harness feeds raw bytes straight into both
+// decode paths and traps on any violated post-condition.
+#include <cstddef>
+#include <cstdint>
+
+#include "net/frame.h"
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  mdos::net::FrameView view;
+  size_t consumed = 0;
+  mdos::Status st = mdos::net::DecodeFrameView(data, size, &view, &consumed);
+  if (st.ok() && consumed > 0) {
+    // Post-conditions of a successful decode: the frame lies entirely
+    // inside the buffer and the payload view aliases it.
+    if (consumed > size) __builtin_trap();
+    if (view.size > consumed) __builtin_trap();
+    if (view.size > 0 && (view.payload < data || view.payload + view.size >
+                          data + size)) {
+      __builtin_trap();
+    }
+  }
+
+  mdos::net::Frame frame;
+  size_t consumed_copy = 0;
+  mdos::Status st2 =
+      mdos::net::DecodeFrame(data, size, &frame, &consumed_copy);
+  // The copying and zero-copy paths must agree on every input.
+  if (st.ok() != st2.ok() || (st.ok() && consumed != consumed_copy)) {
+    __builtin_trap();
+  }
+  return 0;
+}

@@ -1,0 +1,51 @@
+// Fuzz harness: plasma IPC protocol message decoders.
+//
+// Every message type's DecodeFrom runs against the same arbitrary
+// payload — exactly what a store or client faces when a confused or
+// hostile peer sends a frame whose type tag does not match its body.
+// Decoders must return ProtocolError, never crash or over-allocate.
+#include <cstddef>
+#include <cstdint>
+
+#include "plasma/protocol.h"
+
+namespace {
+
+template <typename Message>
+void TryDecode(const uint8_t* data, size_t size) {
+  (void)mdos::plasma::DecodeMessage<Message>(data, size);
+}
+
+}  // namespace
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size) {
+  using namespace mdos::plasma;
+  TryDecode<ConnectRequest>(data, size);
+  TryDecode<ConnectReply>(data, size);
+  TryDecode<CreateRequest>(data, size);
+  TryDecode<CreateReply>(data, size);
+  TryDecode<SealRequest>(data, size);
+  TryDecode<SealReply>(data, size);
+  TryDecode<AbortRequest>(data, size);
+  TryDecode<AbortReply>(data, size);
+  TryDecode<GetRequest>(data, size);
+  TryDecode<GetReply>(data, size);
+  TryDecode<ReleaseRequest>(data, size);
+  TryDecode<ReleaseReply>(data, size);
+  TryDecode<ContainsRequest>(data, size);
+  TryDecode<ContainsReply>(data, size);
+  TryDecode<DeleteRequest>(data, size);
+  TryDecode<DeleteReply>(data, size);
+  TryDecode<ListRequest>(data, size);
+  TryDecode<ListReply>(data, size);
+  TryDecode<StatsRequest>(data, size);
+  TryDecode<StatsReply>(data, size);
+  TryDecode<ShardStatsRequest>(data, size);
+  TryDecode<ShardStatsReply>(data, size);
+  TryDecode<PeerStatsRequest>(data, size);
+  TryDecode<PeerStatsReply>(data, size);
+  TryDecode<SubscribeRequest>(data, size);
+  TryDecode<SubscribeReply>(data, size);
+  TryDecode<Notification>(data, size);
+  return 0;
+}

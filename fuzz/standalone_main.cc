@@ -1,0 +1,73 @@
+// Corpus replayer — the non-libFuzzer driver for the fuzz/ harnesses.
+//
+// Linked with a harness when the toolchain has no libFuzzer (the default
+// g++ build): each argument is a corpus file or a directory of them, and
+// every input runs once through LLVMFuzzerTestOneInput. Registered with
+// ctest so the checked-in corpus (including every past crash regression)
+// is exercised by the ordinary test suite under any compiler.
+//
+// libFuzzer binaries run explicit file arguments the same way, so the
+// ctest command line is identical in both build modes.
+#include <dirent.h>
+
+#include <cstdint>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+extern "C" int LLVMFuzzerTestOneInput(const uint8_t* data, size_t size);
+
+namespace {
+
+int RunFile(const std::string& path) {
+  FILE* f = std::fopen(path.c_str(), "rb");
+  if (f == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", path.c_str());
+    return 1;
+  }
+  std::vector<uint8_t> bytes;
+  uint8_t chunk[4096];
+  size_t n;
+  while ((n = std::fread(chunk, 1, sizeof(chunk), f)) > 0) {
+    bytes.insert(bytes.end(), chunk, chunk + n);
+  }
+  std::fclose(f);
+  LLVMFuzzerTestOneInput(bytes.data(), bytes.size());
+  return 0;
+}
+
+int RunPath(const std::string& path, int* executed) {
+  DIR* dir = ::opendir(path.c_str());
+  if (dir == nullptr) {
+    ++*executed;
+    return RunFile(path);
+  }
+  int rc = 0;
+  while (dirent* entry = ::readdir(dir)) {
+    const std::string name = entry->d_name;
+    if (name == "." || name == "..") continue;
+    ++*executed;
+    rc |= RunFile(path + "/" + name);
+  }
+  ::closedir(dir);
+  return rc;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) {
+    std::fprintf(stderr, "usage: %s <corpus file or dir>...\n", argv[0]);
+    return 2;
+  }
+  int executed = 0;
+  int rc = 0;
+  for (int i = 1; i < argc; ++i) rc |= RunPath(argv[i], &executed);
+  std::printf("replayed %d corpus input(s)\n", executed);
+  if (executed == 0) {
+    std::fprintf(stderr, "no corpus inputs found\n");
+    return 2;
+  }
+  return rc;
+}

@@ -80,18 +80,27 @@ Status Node::BuildStack() {
 Node::~Node() { Stop(); }
 
 Status Node::Start() {
-  if (started_) return Status::Invalid("node already started");
+  {
+    MutexLock lock(lifecycle_mutex_);
+    if (started_) return Status::Invalid("node already started");
+  }
   MDOS_RETURN_IF_ERROR(store_->Start());
   MDOS_RETURN_IF_ERROR(rpc_server_->Start(rpc_port_));
   rpc_port_ = rpc_server_->port();
   registry_->StartHealthMonitor();
-  started_ = true;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    started_ = true;
+  }
   return Status::OK();
 }
 
 void Node::Stop() {
-  if (!started_) return;
-  started_ = false;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    if (!started_) return;
+    started_ = false;
+  }
   registry_->StopHealthMonitor();
   // Release pins first, while peer RPC servers are still reachable.
   registry_->ReleaseAllPins();
@@ -100,8 +109,11 @@ void Node::Stop() {
 }
 
 void Node::Kill() {
-  if (!started_) return;
-  started_ = false;
+  {
+    MutexLock lock(lifecycle_mutex_);
+    if (!started_) return;
+    started_ = false;
+  }
   // Crash semantics: no pin release, no goodbye to peers. Survivors'
   // heartbeats and failure streaks must discover this on their own.
   registry_->StopHealthMonitor();
@@ -110,7 +122,10 @@ void Node::Kill() {
 }
 
 Status Node::Restart() {
-  if (started_) return Status::Invalid("node still running");
+  {
+    MutexLock lock(lifecycle_mutex_);
+    if (started_) return Status::Invalid("node still running");
+  }
   // Fresh software stack on the same fabric identity (node id, pool and
   // index regions) and the same RPC port — peers' channels redial into
   // it transparently.

@@ -23,6 +23,7 @@
 #include <memory>
 #include <string>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dist/remote_registry.h"
 #include "dist/service.h"
@@ -58,17 +59,17 @@ class Node {
 
   // Starts the store event loop, the RPC server, and (when the registry
   // has a heartbeat interval) the peer health monitor.
-  Status Start();
+  Status Start() EXCLUDES(lifecycle_mutex_);
   // Releases remote pins and stops both services. Idempotent.
-  void Stop();
+  void Stop() EXCLUDES(lifecycle_mutex_);
 
   // Abrupt crash: stops everything WITHOUT releasing pins or notifying
   // peers. Survivors find out through their health machines. Idempotent.
-  void Kill();
+  void Kill() EXCLUDES(lifecycle_mutex_);
   // Rebuilds the whole per-node stack (store, registry, RPC service) on
   // the same fabric identity and the same RPC port, then starts it.
   // Only valid after Kill()/Stop().
-  Status Restart();
+  Status Restart() EXCLUDES(lifecycle_mutex_);
 
   // Connects this node's store to a peer's RPC endpoint.
   Status ConnectPeer(const Node& peer);
@@ -79,7 +80,10 @@ class Node {
 
   tf::NodeId id() const { return node_id_; }
   const std::string& name() const { return options_.name; }
-  bool started() const { return started_; }
+  bool started() const EXCLUDES(lifecycle_mutex_) {
+    MutexLock lock(lifecycle_mutex_);
+    return started_;
+  }
   plasma::Store& store() { return *store_; }
   dist::RemoteStoreRegistry& registry() { return *registry_; }
   rpc::RpcServer& rpc_server() { return *rpc_server_; }
@@ -106,7 +110,12 @@ class Node {
   // 0 until the first Start; Restart re-binds the same port so peers'
   // channels redial into the new incarnation.
   uint16_t rpc_port_ = 0;
-  bool started_ = false;
+  // Serializes Start/Stop/Kill/Restart against each other and against
+  // started() probes from test/driver threads. Never held across the
+  // service start/stop calls themselves — only across the flag flips —
+  // so handlers and shard threads can't deadlock back into it.
+  mutable Mutex lifecycle_mutex_;
+  bool started_ GUARDED_BY(lifecycle_mutex_) = false;
 };
 
 }  // namespace mdos::cluster

@@ -1,0 +1,83 @@
+// Clang Thread Safety Analysis annotations.
+//
+// These macros expand to Clang's capability attributes when compiling
+// under Clang and to nothing elsewhere, so the annotations cost nothing
+// on GCC builds while the dedicated CI job compiles everything with
+//   -Wthread-safety -Werror=thread-safety
+// and turns lock-discipline violations into build failures. The macro
+// set and spelling follow the Clang documentation (and Abseil/Chromium
+// practice): a mutex is a CAPABILITY, fields name their guard with
+// GUARDED_BY, and functions declare their lock contract with
+// REQUIRES/ACQUIRE/RELEASE/EXCLUDES.
+//
+// Use mdos::Mutex / mdos::MutexLock (common/mutex.h) rather than the
+// std types directly — the analysis only understands annotated types.
+#pragma once
+
+#if defined(__clang__)
+#define MDOS_THREAD_ANNOTATION__(x) __attribute__((x))
+#else
+#define MDOS_THREAD_ANNOTATION__(x)  // no-op off Clang
+#endif
+
+// Marks a class as a synchronization capability (e.g. "mutex").
+#define CAPABILITY(x) MDOS_THREAD_ANNOTATION__(capability(x))
+
+// Marks an RAII class that acquires a capability in its constructor and
+// releases it in its destructor.
+#define SCOPED_CAPABILITY MDOS_THREAD_ANNOTATION__(scoped_lockable)
+
+// Declares that a data member is protected by the given capability.
+#define GUARDED_BY(x) MDOS_THREAD_ANNOTATION__(guarded_by(x))
+
+// Declares that the data pointed to by a pointer member is protected by
+// the given capability (the pointer itself is not).
+#define PT_GUARDED_BY(x) MDOS_THREAD_ANNOTATION__(pt_guarded_by(x))
+
+// Lock-ordering declarations: this capability must be acquired before /
+// after the listed ones. (Enforced under -Wthread-safety-beta; the
+// declarations document the order machine-readably either way.)
+#define ACQUIRED_BEFORE(...) \
+  MDOS_THREAD_ANNOTATION__(acquired_before(__VA_ARGS__))
+#define ACQUIRED_AFTER(...) \
+  MDOS_THREAD_ANNOTATION__(acquired_after(__VA_ARGS__))
+
+// The function must be called with the listed capabilities held (and
+// does not release them).
+#define REQUIRES(...) \
+  MDOS_THREAD_ANNOTATION__(requires_capability(__VA_ARGS__))
+#define REQUIRES_SHARED(...) \
+  MDOS_THREAD_ANNOTATION__(requires_shared_capability(__VA_ARGS__))
+
+// The function acquires / releases the listed capabilities.
+#define ACQUIRE(...) \
+  MDOS_THREAD_ANNOTATION__(acquire_capability(__VA_ARGS__))
+#define ACQUIRE_SHARED(...) \
+  MDOS_THREAD_ANNOTATION__(acquire_shared_capability(__VA_ARGS__))
+#define RELEASE(...) \
+  MDOS_THREAD_ANNOTATION__(release_capability(__VA_ARGS__))
+#define RELEASE_SHARED(...) \
+  MDOS_THREAD_ANNOTATION__(release_shared_capability(__VA_ARGS__))
+
+// The function tries to acquire the capability and returns `b` on
+// success, e.g. TRY_ACQUIRE(true).
+#define TRY_ACQUIRE(...) \
+  MDOS_THREAD_ANNOTATION__(try_acquire_capability(__VA_ARGS__))
+
+// The function must NOT be called with the listed capabilities held
+// (it acquires them itself, or calling with them held would deadlock).
+#define EXCLUDES(...) MDOS_THREAD_ANNOTATION__(locks_excluded(__VA_ARGS__))
+
+// Asserts (to the analysis) that the calling thread already holds the
+// capability — the escape hatch for lambdas and callbacks, which Clang
+// analyzes as separate contexts from their lock-holding call site.
+#define ASSERT_CAPABILITY(x) \
+  MDOS_THREAD_ANNOTATION__(assert_capability(x))
+
+// The function returns a reference to the given capability.
+#define RETURN_CAPABILITY(x) MDOS_THREAD_ANNOTATION__(lock_returned(x))
+
+// Turns the analysis off for one function. Use sparingly, with a
+// comment explaining why the contract cannot be expressed.
+#define NO_THREAD_SAFETY_ANALYSIS \
+  MDOS_THREAD_ANNOTATION__(no_thread_safety_analysis)

@@ -4,7 +4,7 @@ namespace mdos::dist {
 
 std::optional<plasma::RemoteObjectLocation> LookupCache::Get(
     const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(id);
   if (it == index_.end()) {
     ++stats_.misses;
@@ -17,7 +17,7 @@ std::optional<plasma::RemoteObjectLocation> LookupCache::Get(
 
 void LookupCache::Put(const ObjectId& id,
                       const plasma::RemoteObjectLocation& loc) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(id);
   if (it != index_.end()) {
     it->second->location = loc;
@@ -36,7 +36,7 @@ void LookupCache::Put(const ObjectId& id,
 }
 
 void LookupCache::Invalidate(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = index_.find(id);
   if (it == index_.end()) return;
   lru_.erase(it->second);
@@ -45,7 +45,7 @@ void LookupCache::Invalidate(const ObjectId& id) {
 }
 
 size_t LookupCache::InvalidateNode(uint32_t node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   size_t dropped = 0;
   for (auto it = lru_.begin(); it != lru_.end();) {
     if (it->location.home_node == node) {
@@ -61,19 +61,19 @@ size_t LookupCache::InvalidateNode(uint32_t node) {
 }
 
 void LookupCache::Clear() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   lru_.clear();
   index_.clear();
   stats_ = LookupCacheStats{};
 }
 
 size_t LookupCache::size() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return index_.size();
 }
 
 LookupCacheStats LookupCache::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 

@@ -13,10 +13,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <optional>
 #include <unordered_map>
 
+#include "common/mutex.h"
 #include "common/object_id.h"
 #include "plasma/store.h"
 
@@ -60,11 +60,12 @@ class LookupCache {
   };
 
   size_t capacity_;
-  mutable std::mutex mutex_;
+  mutable Mutex mutex_;
   // MRU at front.
-  std::list<Entry> lru_;
-  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_;
-  LookupCacheStats stats_;
+  std::list<Entry> lru_ GUARDED_BY(mutex_);
+  std::unordered_map<ObjectId, std::list<Entry>::iterator> index_
+      GUARDED_BY(mutex_);
+  LookupCacheStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mdos::dist

@@ -98,7 +98,7 @@ Status RemoteStoreRegistry::AddPeer(const std::string& host,
 
   bool replaced = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     size_t before = peers_.size();
     peers_.erase(std::remove_if(peers_.begin(), peers_.end(),
                                 [&](const std::shared_ptr<Peer>& p) {
@@ -117,12 +117,12 @@ Status RemoteStoreRegistry::AddPeer(const std::string& host,
 }
 
 size_t RemoteStoreRegistry::peer_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return peers_.size();
 }
 
 std::vector<uint32_t> RemoteStoreRegistry::peer_nodes() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<uint32_t> nodes;
   nodes.reserve(peers_.size());
   for (const auto& peer : peers_) nodes.push_back(peer->node_id);
@@ -130,7 +130,7 @@ std::vector<uint32_t> RemoteStoreRegistry::peer_nodes() const {
 }
 
 PeerState RemoteStoreRegistry::peer_state(uint32_t node_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& peer : peers_) {
     if (peer->node_id == node_id) return peer->state;
   }
@@ -138,19 +138,19 @@ PeerState RemoteStoreRegistry::peer_state(uint32_t node_id) const {
 }
 
 RegistryStats RemoteStoreRegistry::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 std::vector<std::shared_ptr<RemoteStoreRegistry::Peer>>
 RemoteStoreRegistry::SnapshotPeers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return peers_;
 }
 
 std::vector<std::shared_ptr<RemoteStoreRegistry::Peer>>
 RemoteStoreRegistry::SnapshotLivePeers() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<std::shared_ptr<Peer>> live;
   live.reserve(peers_.size());
   for (const auto& peer : peers_) {
@@ -161,7 +161,7 @@ RemoteStoreRegistry::SnapshotLivePeers() const {
 
 std::shared_ptr<RemoteStoreRegistry::Peer>
 RemoteStoreRegistry::FindLivePeer(uint32_t node_id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   for (const auto& peer : peers_) {
     if (peer->node_id != node_id) continue;
     return peer->state == PeerState::kDead ? nullptr : peer;
@@ -175,7 +175,7 @@ void RemoteStoreRegistry::RecordPeerResult(
   bool recovered = false;
   bool flush_inline = false;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     if (ok) {
       peer->failure_streak = 0;
       peer->last_ok_ns = MonotonicNanos();
@@ -226,13 +226,13 @@ void RemoteStoreRegistry::RecordPeerResult(
     // max_queued_notices sequential RPCs. Without a heartbeat the
     // observer of the recovery is a control/test path — flush inline.
     {
-      std::lock_guard<std::mutex> hb_lock(heartbeat_mutex_);
+      MutexLock hb_lock(heartbeat_mutex_);
       flush_inline = !heartbeat_running_;
     }
     if (flush_inline) {
       std::deque<DeleteNotice> to_flush;
       {
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         to_flush.swap(peer->queued_notices);
       }
       FlushQueuedNotices(peer, std::move(to_flush));
@@ -278,7 +278,7 @@ void RemoteStoreRegistry::FlushQueuedNotices(
         kMethodDeleteNotice, notices[i], options_.rpc_timeout_ms);
     if (reply.ok()) {
       RecordPeerResult(peer, true);
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.notices_flushed;
       continue;
     }
@@ -287,13 +287,13 @@ void RemoteStoreRegistry::FlushQueuedNotices(
     if (!connectivity) {
       // Application-level rejection: the peer is alive but refused this
       // notice — drop it alone and keep flushing.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.notices_dropped;
       continue;
     }
     // The peer relapsed mid-flush. Re-park the remainder for the next
     // recovery (dropped wholesale if the failure just declared it dead).
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     for (size_t j = i; j < notices.size(); ++j) {
       ParkNoticeLocked(*peer, notices[j]);
     }
@@ -347,7 +347,7 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
     }
     if (batch_index_hits > 0) {
       // One stats update per batch, not one lock round trip per hit.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       stats_.index_hits += batch_index_hits;
     }
     unresolved.swap(still_unresolved);
@@ -361,7 +361,7 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
     request.ids.reserve(unresolved.size());
     for (size_t i : unresolved) request.ids.push_back(ids[i]);
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.lookup_rpcs;
     }
     auto reply = peer->channel->CallTyped<LookupReply>(
@@ -391,7 +391,7 @@ bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id) {
   request.id = id;
   for (const auto& peer : SnapshotLivePeers()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++stats_.probe_rpcs;
     }
     auto reply = peer->channel->CallTyped<ProbeReply>(
@@ -421,7 +421,7 @@ Status RemoteStoreRegistry::PinRemote(
   request.id = id;
   request.peer_node = self_node_;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.pin_rpcs;
   }
   auto reply = peer->channel->CallTyped<PinReply>(
@@ -435,7 +435,7 @@ Status RemoteStoreRegistry::PinRemote(
     // the location must not be served again: invalidate and let the
     // caller re-run the full lookup path.
     if (cache_ != nullptr) cache_->Invalidate(id);
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.stale_pins_detected;
     return status;
   }
@@ -454,7 +454,7 @@ void RemoteStoreRegistry::UnpinRemote(
   request.id = id;
   request.peer_node = self_node_;
   {
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     ++stats_.pin_rpcs;
   }
   auto reply = peer->channel->CallTyped<UnpinReply>(
@@ -482,7 +482,7 @@ void RemoteStoreRegistry::NotifyDeleted(const ObjectId& id) {
       // One critical section for the state check AND the drop/queue, so
       // a concurrent suspect→dead transition can't park a notice on a
       // peer whose queue was just cleared by the death path.
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (peer->state == PeerState::kDead) {
         ++peer->dropped_notices;
         ++stats_.notices_dropped;
@@ -503,7 +503,7 @@ void RemoteStoreRegistry::NotifyDeleted(const ObjectId& id) {
       if (connectivity) {
         // The notice was lost in flight; park it for the recovery flush
         // (dropped if the failure just declared the peer dead).
-        std::lock_guard<std::mutex> lock(mutex_);
+        MutexLock lock(mutex_);
         ParkNoticeLocked(*peer, notice);
       }
     } else {
@@ -522,7 +522,7 @@ std::vector<plasma::PeerStatsEntry> RemoteStoreRegistry::PeerHealth() {
     // Channel stats have their own lock and never block behind an
     // in-flight call.
     auto channel_stats = peer->channel->stats();
-    std::lock_guard<std::mutex> lock(mutex_);
+    MutexLock lock(mutex_);
     entry.node_id = peer->node_id;
     entry.state = static_cast<uint8_t>(peer->state);
     entry.failure_streak = peer->failure_streak;
@@ -548,7 +548,7 @@ void RemoteStoreRegistry::ReleaseAllPins() {
 
 void RemoteStoreRegistry::StartHealthMonitor() {
   if (options_.heartbeat_interval_ms == 0) return;
-  std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+  MutexLock lock(heartbeat_mutex_);
   if (heartbeat_running_) return;
   heartbeat_running_ = true;
   heartbeat_thread_ = std::thread([this] { HeartbeatLoop(); });
@@ -560,33 +560,38 @@ void RemoteStoreRegistry::StopHealthMonitor() {
   // loop re-acquires it between rounds.
   std::thread to_join;
   {
-    std::lock_guard<std::mutex> lock(heartbeat_mutex_);
+    MutexLock lock(heartbeat_mutex_);
     heartbeat_running_ = false;
     to_join = std::move(heartbeat_thread_);
   }
-  heartbeat_cv_.notify_all();
+  heartbeat_cv_.NotifyAll();
   if (to_join.joinable()) to_join.join();
 }
 
 void RemoteStoreRegistry::HeartbeatLoop() {
-  std::unique_lock<std::mutex> lock(heartbeat_mutex_);
+  heartbeat_mutex_.Lock();
   while (heartbeat_running_) {
-    heartbeat_cv_.wait_for(
-        lock, std::chrono::milliseconds(options_.heartbeat_interval_ms),
-        [this] { return !heartbeat_running_; });
-    if (!heartbeat_running_) return;
-    lock.unlock();
+    heartbeat_cv_.WaitFor(
+        heartbeat_mutex_,
+        std::chrono::milliseconds(options_.heartbeat_interval_ms),
+        [this] {
+          heartbeat_mutex_.AssertHeld();  // predicate runs under the wait
+          return !heartbeat_running_;
+        });
+    if (!heartbeat_running_) break;
+    heartbeat_mutex_.Unlock();
     PingAllPeers();
     FlushRecoveredPeers();
-    lock.lock();
+    heartbeat_mutex_.Lock();
   }
+  heartbeat_mutex_.Unlock();
 }
 
 void RemoteStoreRegistry::FlushRecoveredPeers() {
   for (const auto& peer : SnapshotPeers()) {
     std::deque<DeleteNotice> to_flush;
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       if (peer->state != PeerState::kHealthy ||
           peer->queued_notices.empty()) {
         continue;
@@ -605,7 +610,7 @@ void RemoteStoreRegistry::PingAllPeers() {
   // still-dead peer costs at most one cheap dial attempt per round).
   for (const auto& peer : SnapshotPeers()) {
     {
-      std::lock_guard<std::mutex> lock(mutex_);
+      MutexLock lock(mutex_);
       ++peer->heartbeats;
       ++stats_.heartbeats;
     }

@@ -40,17 +40,16 @@
 // registry mutex.
 #pragma once
 
-#include <condition_variable>
 #include <cstdint>
 #include <deque>
 #include <functional>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <string>
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "dist/lookup_cache.h"
 #include "dist/messages.h"
@@ -127,15 +126,15 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   // channel (and resets its health to healthy — used after a restart).
   Status AddPeer(const std::string& host, uint16_t port);
 
-  size_t peer_count() const;
-  std::vector<uint32_t> peer_nodes() const;
-  PeerState peer_state(uint32_t node_id) const;
+  size_t peer_count() const EXCLUDES(mutex_);
+  std::vector<uint32_t> peer_nodes() const EXCLUDES(mutex_);
+  PeerState peer_state(uint32_t node_id) const EXCLUDES(mutex_);
 
   // Starts/stops the Plasma.Ping heartbeat loop. Start is a no-op when
   // heartbeat_interval_ms is 0 or the loop already runs; Stop is
   // idempotent and also runs from the destructor.
-  void StartHealthMonitor();
-  void StopHealthMonitor();
+  void StartHealthMonitor() EXCLUDES(heartbeat_mutex_);
+  void StopHealthMonitor() EXCLUDES(heartbeat_mutex_);
 
   // Invoked (outside the registry mutex, from whichever thread observed
   // the failure) whenever a peer transitions to dead. The cluster layer
@@ -150,7 +149,7 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   // nullptr when the cache extension is disabled.
   LookupCache* lookup_cache() { return cache_.get(); }
   const UsageTracker& usage() const { return usage_; }
-  RegistryStats stats() const;
+  RegistryStats stats() const EXCLUDES(mutex_);
 
   // ---- DistHooks (called by the owning store) -------------------------
 
@@ -175,7 +174,11 @@ class RemoteStoreRegistry : public plasma::DistHooks {
     // reader points into.
     std::optional<tf::AttachedRegion> index_attachment;
     std::optional<plasma::SharedIndexReader> index_reader;
-    // Health machine (guarded by the registry mutex).
+    // Health machine. Guarded by the registry mutex; the guard cannot be
+    // spelled as GUARDED_BY here (the analysis has no alias tracking
+    // across shared_ptr<Peer> copies), so the contract is enforced at
+    // the method layer instead: every mutation happens inside a
+    // REQUIRES(mutex_) helper or under a MutexLock in this class.
     PeerState state = PeerState::kHealthy;
     uint32_t failure_streak = 0;
     uint64_t failed_rpcs = 0;
@@ -187,32 +190,36 @@ class RemoteStoreRegistry : public plasma::DistHooks {
     std::deque<DeleteNotice> queued_notices;
   };
 
-  std::vector<std::shared_ptr<Peer>> SnapshotPeers() const;
+  std::vector<std::shared_ptr<Peer>> SnapshotPeers() const
+      EXCLUDES(mutex_);
   // Peers data-path RPCs may talk to (dead peers are skipped).
-  std::vector<std::shared_ptr<Peer>> SnapshotLivePeers() const;
+  std::vector<std::shared_ptr<Peer>> SnapshotLivePeers() const
+      EXCLUDES(mutex_);
   // Peer lookup that treats dead peers as absent (one lock, one scan —
   // the pin/unpin hot path).
-  std::shared_ptr<Peer> FindLivePeer(uint32_t node_id) const;
+  std::shared_ptr<Peer> FindLivePeer(uint32_t node_id) const
+      EXCLUDES(mutex_);
 
   // Folds one call outcome into the peer's health machine and performs
   // the resulting transition work (death cleanup / recovery flush).
-  // Never called with the registry mutex held.
-  void RecordPeerResult(const std::shared_ptr<Peer>& peer, bool ok);
+  void RecordPeerResult(const std::shared_ptr<Peer>& peer, bool ok)
+      EXCLUDES(mutex_);
   // Parks a DeleteNotice for later flush: dead peers drop it, a full
-  // queue evicts the oldest. Requires the registry mutex held.
-  void ParkNoticeLocked(Peer& peer, const DeleteNotice& notice);
+  // queue evicts the oldest.
+  void ParkNoticeLocked(Peer& peer, const DeleteNotice& notice)
+      REQUIRES(mutex_);
   // Transition bookkeeping; both return work to run outside the mutex.
   void HandlePeerDeath(uint32_t node_id);
   void FlushQueuedNotices(const std::shared_ptr<Peer>& peer,
                           std::deque<DeleteNotice> notices);
 
-  void HeartbeatLoop();
+  void HeartbeatLoop() EXCLUDES(heartbeat_mutex_);
   // One heartbeat round: ping every peer (including dead ones — that is
   // the recovery path).
-  void PingAllPeers();
+  void PingAllPeers() EXCLUDES(mutex_);
   // Sends the queued notices of every healthy peer (heartbeat thread;
   // also the inline recovery path when no heartbeat runs).
-  void FlushRecoveredPeers();
+  void FlushRecoveredPeers() EXCLUDES(mutex_);
 
   const uint32_t self_node_;
   const RegistryOptions options_;
@@ -220,15 +227,17 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   UsageTracker usage_;
   std::function<void(uint32_t)> on_peer_dead_;
 
-  mutable std::mutex mutex_;  // guards peers_ and stats_
-  std::vector<std::shared_ptr<Peer>> peers_;
-  RegistryStats stats_;
+  mutable Mutex mutex_;
+  std::vector<std::shared_ptr<Peer>> peers_ GUARDED_BY(mutex_);
+  RegistryStats stats_ GUARDED_BY(mutex_);
 
-  // Heartbeat thread state.
-  std::thread heartbeat_thread_;
-  std::mutex heartbeat_mutex_;
-  std::condition_variable heartbeat_cv_;
-  bool heartbeat_running_ = false;
+  // Heartbeat thread state. heartbeat_mutex_ is a leaf lock: never
+  // taken with mutex_ held (RecordPeerResult checks it only after
+  // releasing the registry mutex).
+  Mutex heartbeat_mutex_ ACQUIRED_AFTER(mutex_);
+  std::thread heartbeat_thread_ GUARDED_BY(heartbeat_mutex_);
+  CondVar heartbeat_cv_;
+  bool heartbeat_running_ GUARDED_BY(heartbeat_mutex_) = false;
 };
 
 }  // namespace mdos::dist

@@ -4,7 +4,7 @@ namespace mdos::dist {
 
 void UsageTracker::RecordPin(const ObjectId& id,
                              const plasma::RemoteObjectLocation& loc) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto& pin = outstanding_[id];
   pin.id = id;
   pin.location = loc;
@@ -13,7 +13,7 @@ void UsageTracker::RecordPin(const ObjectId& id,
 }
 
 bool UsageTracker::RecordUnpin(const ObjectId& id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   auto it = outstanding_.find(id);
   if (it == outstanding_.end()) return false;
   ++unpins_recorded_;
@@ -24,7 +24,7 @@ bool UsageTracker::RecordUnpin(const ObjectId& id) {
 }
 
 uint64_t UsageTracker::DropPinsForNode(uint32_t node) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t dropped = 0;
   for (auto it = outstanding_.begin(); it != outstanding_.end();) {
     if (it->second.location.home_node == node) {
@@ -39,7 +39,7 @@ uint64_t UsageTracker::DropPinsForNode(uint32_t node) {
 }
 
 uint64_t UsageTracker::total_pins() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint64_t total = 0;
   for (const auto& [id, pin] : outstanding_) {
     (void)id;
@@ -49,17 +49,17 @@ uint64_t UsageTracker::total_pins() const {
 }
 
 uint64_t UsageTracker::pins_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return pins_recorded_;
 }
 
 uint64_t UsageTracker::unpins_recorded() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return unpins_recorded_;
 }
 
 std::vector<OutstandingPin> UsageTracker::Snapshot() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   std::vector<OutstandingPin> snapshot;
   snapshot.reserve(outstanding_.size());
   for (const auto& [id, pin] : outstanding_) {

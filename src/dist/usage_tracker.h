@@ -9,10 +9,10 @@
 #pragma once
 
 #include <cstdint>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/object_id.h"
 #include "plasma/store.h"
 
@@ -46,10 +46,11 @@ class UsageTracker {
   std::vector<OutstandingPin> Snapshot() const;
 
  private:
-  mutable std::mutex mutex_;
-  std::unordered_map<ObjectId, OutstandingPin> outstanding_;
-  uint64_t pins_recorded_ = 0;
-  uint64_t unpins_recorded_ = 0;
+  mutable Mutex mutex_;
+  std::unordered_map<ObjectId, OutstandingPin> outstanding_
+      GUARDED_BY(mutex_);
+  uint64_t pins_recorded_ GUARDED_BY(mutex_) = 0;
+  uint64_t unpins_recorded_ GUARDED_BY(mutex_) = 0;
 };
 
 }  // namespace mdos::dist

@@ -78,7 +78,10 @@ Status DecodeFrameView(const uint8_t* data, size_t size, FrameView* view,
   FrameHeader hdr;
   std::memcpy(&hdr, data, sizeof(hdr));
   MDOS_RETURN_IF_ERROR(ValidateHeader(hdr));
-  if (size < sizeof(hdr) + hdr.length) return Status::OK();
+  // Overflow-safe partial-frame check: size >= sizeof(hdr) here, so the
+  // subtraction cannot wrap — unlike `sizeof(hdr) + hdr.length`, which a
+  // hostile 32-bit length could overflow on narrower size_t platforms.
+  if (size - sizeof(hdr) < hdr.length) return Status::OK();
   view->type = hdr.type;
   view->payload = data + sizeof(hdr);
   view->size = hdr.length;

@@ -55,7 +55,7 @@ Result<std::unique_ptr<AsyncClient>> AsyncClient::Connect(
   }
 
   {
-    std::lock_guard<std::mutex> lock(client->pending_mutex_);
+    MutexLock lock(client->pending_mutex_);
     client->running_ = true;
   }
   client->reader_ = std::thread([raw = client.get()] { raw->ReaderLoop(); });
@@ -66,15 +66,15 @@ AsyncClient::~AsyncClient() { (void)Disconnect(); }
 
 Status AsyncClient::Disconnect() {
   // Serializes concurrent disconnect/destructor paths (double-join UB).
-  std::lock_guard<std::mutex> disconnect_lock(disconnect_mutex_);
+  MutexLock disconnect_lock(disconnect_mutex_);
   bool was_running;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     was_running = running_;
     running_ = false;
   }
   if (was_running) {
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    MutexLock lock(send_mutex_);
     if (fd_.valid()) {
       ListRequest dummy;  // DisconnectRequest carries no payload
       (void)SendMessage(fd_.get(), MessageType::kDisconnectRequest,
@@ -90,21 +90,21 @@ Status AsyncClient::Disconnect() {
   {
     // Senders read fd_ only under send_mutex_, so closing it here cannot
     // race a write onto a recycled descriptor.
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    MutexLock lock(send_mutex_);
     fd_.Reset();
   }
   return Status::OK();
 }
 
 size_t AsyncClient::inflight() const {
-  std::lock_guard<std::mutex> lock(pending_mutex_);
+  MutexLock lock(pending_mutex_);
   return pending_.size();
 }
 
 void AsyncClient::FailAllPending(const Status& status) {
   std::unordered_map<uint64_t, ReplyHandler> orphans;
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     orphans.swap(pending_);
     running_ = false;
   }
@@ -136,7 +136,7 @@ void AsyncClient::ReaderLoop() {
     }
     ReplyHandler handler;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      MutexLock lock(pending_mutex_);
       auto it = pending_.find(*tag);
       if (it != pending_.end()) {
         handler = std::move(it->second);
@@ -161,7 +161,7 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
 
   const uint64_t request_id = next_request_id_.fetch_add(1);
   {
-    std::lock_guard<std::mutex> lock(pending_mutex_);
+    MutexLock lock(pending_mutex_);
     if (!running_) {
       promise.Set(T(Status::NotConnected("client disconnected")));
       return future;
@@ -193,7 +193,7 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
 
   Status sent;
   {
-    std::lock_guard<std::mutex> lock(send_mutex_);
+    MutexLock lock(send_mutex_);
     send_writer_.Reset();
     EncodeMessage(send_writer_, request_id, request);
     sent = net::SendFrame(fd_.get(), static_cast<uint32_t>(request_type),
@@ -202,7 +202,7 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
   if (!sent.ok()) {
     ReplyHandler handler;
     {
-      std::lock_guard<std::mutex> lock(pending_mutex_);
+      MutexLock lock(pending_mutex_);
       auto it = pending_.find(request_id);
       if (it != pending_.end()) {
         handler = std::move(it->second);
@@ -224,7 +224,7 @@ Result<std::shared_ptr<tf::AttachedRegion>> AsyncClient::ResolveRegion(
   }
   auto key = std::make_pair(node, region);
   {
-    std::lock_guard<std::mutex> lock(region_mutex_);
+    MutexLock lock(region_mutex_);
     auto it = attachments_.find(key);
     if (it != attachments_.end()) return it->second;
   }
@@ -234,7 +234,7 @@ Result<std::shared_ptr<tf::AttachedRegion>> AsyncClient::ResolveRegion(
   MDOS_ASSIGN_OR_RETURN(tf::AttachedRegion attached,
                         options_.fabric->Attach(node_id_, region));
   auto shared = std::make_shared<tf::AttachedRegion>(std::move(attached));
-  std::lock_guard<std::mutex> lock(region_mutex_);
+  MutexLock lock(region_mutex_);
   attachments_[key] = shared;
   return shared;
 }

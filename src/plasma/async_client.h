@@ -34,7 +34,6 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
@@ -44,6 +43,7 @@
 #include <vector>
 
 #include "common/future.h"
+#include "common/mutex.h"
 #include "common/object_id.h"
 #include "common/status.h"
 #include "net/fd.h"
@@ -93,11 +93,12 @@ class AsyncClient {
 
   // Fails all in-flight requests with NotConnected and closes the
   // connection. Also performed by the destructor. Idempotent.
-  Status Disconnect();
+  Status Disconnect()
+      EXCLUDES(disconnect_mutex_, pending_mutex_, send_mutex_);
 
   bool connected() const { return fd_.valid(); }
   // Requests sent whose replies have not yet been dispatched.
-  size_t inflight() const;
+  size_t inflight() const EXCLUDES(pending_mutex_);
 
   uint32_t node_id() const { return node_id_; }
   const std::string& store_name() const { return store_name_; }
@@ -126,12 +127,12 @@ class AsyncClient {
       -> Future<std::invoke_result_t<Fn, ReplyT&&>>;
 
   void ReaderLoop();
-  void FailAllPending(const Status& status);
+  void FailAllPending(const Status& status) EXCLUDES(pending_mutex_);
 
   // Resolves the AttachedRegion for (node, region). Thread-safe: the
   // attachment cache is shared by callers and the reply-dispatch thread.
   Result<std::shared_ptr<tf::AttachedRegion>> ResolveRegion(
-      uint32_t node, uint32_t region);
+      uint32_t node, uint32_t region) EXCLUDES(region_mutex_);
   ObjectBuffer MakeBuffer(const GetReplyEntry& entry, bool writable);
 
   net::UniqueFd fd_;
@@ -147,26 +148,28 @@ class AsyncClient {
   // Fabric-mode attachment of the local pool region.
   std::shared_ptr<tf::AttachedRegion> local_region_;
   // Cache of remote region attachments: (node, region) -> accessor.
-  std::mutex region_mutex_;
+  Mutex region_mutex_;
   std::map<std::pair<uint32_t, uint32_t>,
            std::shared_ptr<tf::AttachedRegion>>
-      attachments_;
+      attachments_ GUARDED_BY(region_mutex_);
 
   // Send queue: writes are serialized; the kernel socket buffer carries
   // the queued frames to the store back-to-back. fd_ is closed only with
   // this mutex held, so senders never write a recycled descriptor.
-  std::mutex send_mutex_;
-  // Request-encode scratch (guarded by send_mutex_): capacity reused, so
-  // steady-state sends allocate nothing.
-  wire::Writer send_writer_;
-  // Serializes Disconnect against itself (explicit call vs destructor).
-  std::mutex disconnect_mutex_;
+  Mutex send_mutex_;
+  // Request-encode scratch: capacity reused, so steady-state sends
+  // allocate nothing.
+  wire::Writer send_writer_ GUARDED_BY(send_mutex_);
+  // Serializes Disconnect against itself (explicit call vs destructor);
+  // outermost of the client's locks.
+  Mutex disconnect_mutex_ ACQUIRED_BEFORE(pending_mutex_, send_mutex_);
   std::atomic<uint64_t> next_request_id_{1};
 
   // In-flight table, shared with the reply-dispatch thread.
-  mutable std::mutex pending_mutex_;
-  bool running_ = false;  // guarded by pending_mutex_
-  std::unordered_map<uint64_t, ReplyHandler> pending_;
+  mutable Mutex pending_mutex_;
+  bool running_ GUARDED_BY(pending_mutex_) = false;
+  std::unordered_map<uint64_t, ReplyHandler> pending_
+      GUARDED_BY(pending_mutex_);
 
   std::thread reader_;
 };

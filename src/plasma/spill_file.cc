@@ -133,13 +133,20 @@ Result<SpillFile> SpillFile::Recover(std::string path) {
       ++file.stats_.corrupt_records;
       break;
     }
-    const uint64_t payload_size = header.data_size + header.metadata_size;
-    if (payload_size > header.slot_capacity ||
-        offset + kHeaderSize + header.slot_capacity > file_len) {
-      // Truncated tail: the slot extends past EOF (torn final append).
+    // Overflow-safe framing checks. A matching header CRC only proves
+    // the header was written whole, not that its fields are sane — a
+    // hostile file can carry any values with a valid CRC — so the size
+    // arithmetic must never wrap: check each field against a bound that
+    // is itself known in-range instead of summing first.
+    const uint64_t bytes_after_header = file_len - offset - kHeaderSize;
+    if (header.slot_capacity > bytes_after_header ||
+        header.data_size > header.slot_capacity ||
+        header.metadata_size > header.slot_capacity - header.data_size) {
+      // Truncated tail (torn final append) or nonsense section sizes.
       ++file.stats_.corrupt_records;
       break;
     }
+    const uint64_t payload_size = header.data_size + header.metadata_size;
     const uint64_t next = offset + kHeaderSize + header.slot_capacity;
     if (header.magic == kFreeMagic) {
       file.free_slots_.emplace(offset, header.slot_capacity);

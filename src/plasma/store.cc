@@ -41,106 +41,10 @@ std::unique_ptr<alloc::Allocator> MakeAllocator(AllocatorKind kind,
 
 }  // namespace
 
-// One connected client (one Unix socket), homed on exactly one shard.
-// All fields are touched only by the home shard's thread; the struct is
-// held by shared_ptr so a batch in flight survives a mid-batch drop.
-struct Store::ClientConn {
-  net::UniqueFd fd;
-  std::string name;
-  bool handshaken = false;
-  bool subscriber = false;  // notification-only connection
-  // Bytes received but not yet framed. A pipelining client may queue many
-  // frames here between event-loop passes; capacity is reused across
-  // batches (the per-connection receive scratch).
-  std::vector<uint8_t> inbuf;
-  // Non-blocking egress: replies queue here (zero-copy) and leave in
-  // coalesced gather writes at the end of each event-loop pass.
-  net::TxQueue tx;
-  // Write interest currently armed on the home shard's poller.
-  bool write_armed = false;
-  // Queued egress awaiting the end-of-pass flush (in Shard::dirty).
-  bool dirty = false;
-  // Tx counters already folded into the shard stats (delta tracking).
-  net::TxQueueStats reported_tx;
-  // Pins of local objects held through this connection: id -> count.
-  // (The pinned ids may be owned by any shard.)
-  std::unordered_map<ObjectId, uint32_t> local_pins;
-  // Remote objects handed out through this connection: id -> (loc, count).
-  std::unordered_map<ObjectId, std::pair<RemoteObjectLocation, uint32_t>>
-      remote_refs;
-};
-
-// A Get waiting for objects to be sealed (or for its deadline). Parked
-// in the issuing connection's home shard.
-struct Store::PendingGet {
-  int fd = -1;
-  uint64_t request_id = kNoRequestId;  // echoed into the reply
-  std::vector<ObjectId> order;  // reply preserves request order
-  std::unordered_map<ObjectId, GetReplyEntry> ready;
-  std::unordered_set<ObjectId> waiting;
-  // Ids the local pass could not satisfy; consumed by ResolveGets.
-  std::vector<ObjectId> missing;
-  uint64_t timeout_ms = 0;
-  int64_t deadline_ns = 0;
-};
-
-// One event-loop shard: owner of a hash slice of the object space and of
-// the client connections homed on it. See the threading contract in
-// store.h.
-struct Store::Shard {
-  uint32_t index = 0;
-
-  // ---- owner state: any thread, guarded by `mutex` --------------------
-  std::mutex mutex;
-  ObjectTable table;
-  EvictionPolicy eviction;
-  alloc::Allocator* arena = nullptr;  // borrowed from pool_alloc_
-  std::unordered_map<ObjectId, std::unordered_map<uint32_t, uint32_t>>
-      remote_pins;  // id -> (peer node -> pin count)
-  uint64_t eviction_count = 0;
-  // Disk spill tier (engaged when StoreOptions::spill_dir is set): the
-  // shard's segment file plus cumulative spill/restore counters.
-  std::optional<SpillFile> spill;
-  uint64_t spill_count = 0;
-  uint64_t restore_count = 0;
-
-  // ---- event-loop state: shard thread only ----------------------------
-  net::Poller poller;
-  std::unordered_map<int, std::shared_ptr<ClientConn>> clients;
-  std::list<PendingGet> pending_gets;
-  // Connections with egress queued since the last flush pass.
-  std::vector<int> dirty;
-  std::thread thread;
-
-  // Egress observability (TxQueueStats deltas folded in by
-  // AccumulateTxStats; read by stats()/shard_stats() from any thread).
-  std::atomic<uint64_t> tx_frames{0};
-  std::atomic<uint64_t> tx_frames_coalesced{0};
-  std::atomic<uint64_t> tx_writev_calls{0};
-  std::atomic<uint64_t> tx_bytes{0};
-  std::atomic<uint64_t> tx_blocked_events{0};
-
-  // Cross-thread observability (ShardStats) and fan-out gating.
-  // parked_gets is pre-announced with seq_cst BEFORE a Get's final local
-  // re-check (ResolveGets), which is what lets FanOutSealed skip shards
-  // reading 0 without losing wakeups. subscriber_count gates
-  // notification fan-out.
-  std::atomic<uint64_t> client_count{0};
-  std::atomic<uint64_t> parked_gets{0};
-  std::atomic<uint64_t> subscriber_count{0};
-
-  // ---- mailbox: tasks that must run on this shard's thread ------------
-  std::mutex mailbox_mutex;
-  std::vector<std::function<void()>> mailbox;
-
-  void Post(std::function<void()> task) {
-    {
-      std::lock_guard<std::mutex> lock(mailbox_mutex);
-      mailbox.push_back(std::move(task));
-    }
-    poller.Wakeup();
-  }
-};
+// ClientConn / PendingGet / Shard are defined in store.h so their lock
+// annotations (GUARDED_BY on owner state, the shard-before-index
+// ACQUIRED_BEFORE order) are visible to the thread-safety analysis at
+// every use site.
 
 // ---- non-blocking egress ---------------------------------------------------
 
@@ -284,9 +188,13 @@ void Store::InitShards() {
   shards_.clear();
   shards_.reserve(pool_alloc_->shard_count());
   for (uint32_t i = 0; i < pool_alloc_->shard_count(); ++i) {
-    auto shard = std::make_unique<Shard>();
+    auto shard = std::make_unique<Shard>(index_mutex_);
     shard->index = i;
-    shard->arena = &pool_alloc_->arena(i);
+    {
+      // No threads exist yet; the lock only satisfies the analysis.
+      MutexLock lock(shard->mutex);
+      shard->arena = &pool_alloc_->arena(i);
+    }
     shards_.push_back(std::move(shard));
   }
 }
@@ -354,6 +262,9 @@ Status Store::Start() {
           SpillFile::Open(options_.spill_dir + "/" + options_.name +
                           ".shard" + std::to_string(shard->index) +
                           ".spill"));
+      // Shard threads are not running yet; the lock satisfies the
+      // analysis (and any concurrent peer-surface caller post-restart).
+      MutexLock lock(shard->mutex);
       shard->spill.emplace(std::move(spill));
     }
   }
@@ -398,14 +309,14 @@ void Store::Stop() {
     shard->parked_gets.store(0);
     shard->client_count.store(0);
     shard->subscriber_count.store(0);
-    std::lock_guard<std::mutex> lock(shard->mailbox_mutex);
+    MutexLock lock(shard->mailbox_mutex);
     shard->mailbox.clear();
   }
   // The spill tier does not persist across runs: close and delete each
   // shard's segment. Shard mutexes guard against a peer-surface call
   // still in flight on the RPC thread.
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     if (shard->spill.has_value()) {
       std::string spill_path = shard->spill->path();
       shard->spill.reset();
@@ -511,7 +422,7 @@ void Store::ShardLoop(Shard& shard) {
 void Store::DrainMailbox(Shard& shard) {
   std::vector<std::function<void()>> tasks;
   {
-    std::lock_guard<std::mutex> lock(shard.mailbox_mutex);
+    MutexLock lock(shard.mailbox_mutex);
     tasks.swap(shard.mailbox);
   }
   for (auto& task : tasks) task();
@@ -686,7 +597,7 @@ void Store::DropClient(Shard& shard, int fd) {
   }
   for (size_t s = 0; s < shards_.size(); ++s) {
     Shard& owner = *shards_[s];
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     for (const auto& [id, count] : pins_by_shard[s]) {
       for (uint32_t i = 0; i < count; ++i) {
         (void)owner.table.ReleaseRef(id);
@@ -779,6 +690,7 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
     auto victims = owner.eviction.ChooseVictims(
         size,
         [this, &owner](const ObjectId& id) {
+          owner.mutex.AssertHeld();  // called synchronously under the lock
           return IsEvictable(owner, id);
         });
     if (victims.empty()) {
@@ -805,7 +717,7 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
             if (shared_index_ != nullptr) {
               // Peers must stop reading the stale pool offset; their
               // look-ups fall back to RPC, which restores on demand.
-              std::lock_guard<std::mutex> index_lock(index_mutex_);
+              MutexLock index_lock(index_mutex_);
               (void)shared_index_->Remove(victim);
             }
             ++owner.spill_count;
@@ -826,7 +738,7 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
       owner.eviction.Remove(victim);
       owner.remote_pins.erase(victim);
       if (shared_index_ != nullptr) {
-        std::lock_guard<std::mutex> index_lock(index_mutex_);
+        MutexLock index_lock(index_mutex_);
         (void)shared_index_->Remove(victim);
       }
       ++owner.eviction_count;
@@ -864,7 +776,7 @@ Result<ObjectEntry> Store::RestoreSpilled(Shard& owner,
   owner.eviction.Add(id, entry.total_size());
   ++owner.restore_count;
   if (shared_index_ != nullptr) {
-    std::lock_guard<std::mutex> index_lock(index_mutex_);
+    MutexLock index_lock(index_mutex_);
     (void)shared_index_->Insert(
         id, IndexedObject{allocation.offset, entry.data_size,
                           entry.metadata_size});
@@ -877,6 +789,7 @@ void Store::MaybeCompactSpill(Shard& owner) {
   if (!owner.spill.has_value() || !owner.spill->ShouldCompact()) return;
   Status compacted =
       owner.spill->Compact([&owner](const ObjectId& id, uint64_t offset) {
+        owner.mutex.AssertHeld();  // called synchronously under the lock
         (void)owner.table.UpdateSpillOffset(id, offset);
       });
   if (!compacted.ok()) {
@@ -916,7 +829,7 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
   // Local existence check.
   bool exists_locally;
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     exists_locally = owner.table.Contains(request->id);
   }
   // Identifier-uniqueness probe across the distributed system (§IV-A2).
@@ -936,7 +849,7 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
   }
 
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     // Re-check: another client may have created the id while the probe
     // was in flight.
     if (owner.table.Contains(request->id)) {
@@ -984,7 +897,7 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
   Notification notice;
   notice.id = request->id;
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     reply.status = owner.table.Seal(request->id);
     if (reply.status.ok()) {
       auto entry = owner.table.Lookup(request->id);
@@ -996,7 +909,7 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
           // Publish into disaggregated memory so peers can find the
           // object without an RPC. Index-full is non-fatal: peers fall
           // back to the RPC lookup path.
-          std::lock_guard<std::mutex> index_lock(index_mutex_);
+          MutexLock index_lock(index_mutex_);
           (void)shared_index_->Insert(
               request->id, IndexedObject{entry->offset, entry->data_size,
                                          entry->metadata_size});
@@ -1098,7 +1011,7 @@ void Store::HandleAbort(Shard& home, ClientConn& conn,
   Shard& owner = OwnerShard(request->id);
   AbortReply reply;
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     auto entry = owner.table.Lookup(request->id);
     if (!entry.ok()) {
       reply.status = entry.status();
@@ -1124,7 +1037,7 @@ std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
   Shard& owner = OwnerShard(id);
   std::optional<GetReplyEntry> out;
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     auto entry = owner.table.Lookup(id);
     if (entry.ok() && entry->state == ObjectState::kSpilled) {
       // Transparent promotion from the disk tier: the client sees a
@@ -1447,7 +1360,7 @@ void Store::HandleRelease(Shard& home, ClientConn& conn,
   if (local_it != conn.local_pins.end()) {
     Shard& owner = OwnerShard(request->id);
     {
-      std::lock_guard<std::mutex> lock(owner.mutex);
+      MutexLock lock(owner.mutex);
       auto refs = owner.table.ReleaseRef(request->id);
       reply.status = refs.status();
     }
@@ -1485,7 +1398,7 @@ void Store::HandleContains(Shard& home, ClientConn& conn,
   Shard& owner = OwnerShard(request->id);
   ContainsReply reply;
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     reply.contains = owner.table.ContainsSealed(request->id);
   }
   QueueReply(home, conn, MessageType::kContainsReply, request_id, reply);
@@ -1504,7 +1417,7 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
   DeleteReply reply;
   bool deleted = false;
   {
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     auto pins = owner.remote_pins.find(request->id);
     if (pins != owner.remote_pins.end() && !pins->second.empty()) {
       reply.status = Status::Invalid("delete: object " +
@@ -1525,7 +1438,7 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
         owner.eviction.Remove(request->id);
         owner.remote_pins.erase(request->id);
         if (shared_index_ != nullptr) {
-          std::lock_guard<std::mutex> index_lock(index_mutex_);
+          MutexLock index_lock(index_mutex_);
           (void)shared_index_->Remove(request->id);
         }
         deleted = true;
@@ -1550,7 +1463,7 @@ void Store::HandleList(Shard& home, ClientConn& conn,
   // safety), merged into one reply.
   ListReply reply;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     auto objects = shard->table.List();
     reply.objects.insert(reply.objects.end(), objects.begin(),
                          objects.end());
@@ -1594,7 +1507,7 @@ std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
   for (size_t s = 0; s < shards_.size(); ++s) {
     if (by_shard[s].empty()) continue;
     Shard& owner = *shards_[s];
-    std::lock_guard<std::mutex> lock(owner.mutex);
+    MutexLock lock(owner.mutex);
     // Objects already reported from this shard are ref-pinned until the
     // batch leaves the shard: a later id's restore re-runs eviction, and
     // without the pin it could re-spill an earlier hit and invalidate
@@ -1628,13 +1541,13 @@ std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
 
 bool Store::ContainsId(const ObjectId& id) {
   Shard& owner = OwnerShard(id);
-  std::lock_guard<std::mutex> lock(owner.mutex);
+  MutexLock lock(owner.mutex);
   return owner.table.Contains(id);
 }
 
 Status Store::PinForPeer(const ObjectId& id, uint32_t peer_node) {
   Shard& owner = OwnerShard(id);
-  std::lock_guard<std::mutex> lock(owner.mutex);
+  MutexLock lock(owner.mutex);
   auto entry = owner.table.Lookup(id);
   if (entry.ok() && entry->state == ObjectState::kSpilled) {
     // A pin promises the peer stable pool residency; promote first.
@@ -1649,7 +1562,7 @@ Status Store::PinForPeer(const ObjectId& id, uint32_t peer_node) {
 
 Status Store::UnpinForPeer(const ObjectId& id, uint32_t peer_node) {
   Shard& owner = OwnerShard(id);
-  std::lock_guard<std::mutex> lock(owner.mutex);
+  MutexLock lock(owner.mutex);
   auto it = owner.remote_pins.find(id);
   if (it == owner.remote_pins.end()) {
     return Status::KeyError("unpin: object " + id.Hex() + " not pinned");
@@ -1670,7 +1583,7 @@ Status Store::UnpinForPeer(const ObjectId& id, uint32_t peer_node) {
 
 uint32_t Store::RemotePins(const ObjectId& id) {
   Shard& owner = OwnerShard(id);
-  std::lock_guard<std::mutex> lock(owner.mutex);
+  MutexLock lock(owner.mutex);
   auto it = owner.remote_pins.find(id);
   if (it == owner.remote_pins.end()) return 0;
   uint32_t total = 0;
@@ -1684,7 +1597,7 @@ uint32_t Store::RemotePins(const ObjectId& id) {
 uint64_t Store::ReleasePinsForPeer(uint32_t peer_node) {
   uint64_t released = 0;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     for (auto it = shard->remote_pins.begin();
          it != shard->remote_pins.end();) {
       auto peer_it = it->second.find(peer_node);
@@ -1710,7 +1623,7 @@ StoreStats Store::stats() {
   StoreStats s;
   s.capacity = options_.capacity;
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     s.bytes_in_use += shard->table.bytes_in_use();
     s.objects_total += shard->table.size();
     s.objects_sealed += shard->table.sealed_count();
@@ -1759,7 +1672,7 @@ std::vector<ShardStatsEntry> Store::shard_stats() {
     ShardStatsEntry entry;
     entry.shard = shard->index;
     {
-      std::lock_guard<std::mutex> lock(shard->mutex);
+      MutexLock lock(shard->mutex);
       entry.objects_total = shard->table.size();
       entry.objects_sealed = shard->table.sealed_count();
       entry.bytes_in_use = shard->table.bytes_in_use();
@@ -1789,7 +1702,7 @@ alloc::AllocatorStats Store::allocator_stats() {
   std::vector<alloc::AllocatorStats> parts;
   parts.reserve(shards_.size());
   for (auto& shard : shards_) {
-    std::lock_guard<std::mutex> lock(shard->mutex);
+    MutexLock lock(shard->mutex);
     parts.push_back(shard->arena->stats());
   }
   return alloc::ShardedAllocator::Merge(parts);

@@ -58,17 +58,19 @@
 #include <atomic>
 #include <cstdint>
 #include <functional>
+#include <list>
 #include <memory>
-#include <mutex>
 #include <optional>
 #include <span>
 #include <string>
 #include <thread>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "alloc/allocator.h"
 #include "alloc/sharded_allocator.h"
+#include "common/mutex.h"
 #include "common/object_id.h"
 #include "common/status.h"
 #include "net/fd.h"
@@ -257,9 +259,121 @@ class Store {
   alloc::AllocatorStats allocator_stats();
 
  private:
-  struct Shard;
-  struct ClientConn;
-  struct PendingGet;
+  // One connected client (one Unix socket), homed on exactly one shard.
+  // All fields are touched only by the home shard's thread; the struct
+  // is held by shared_ptr so a batch in flight survives a mid-batch
+  // drop.
+  struct ClientConn {
+    net::UniqueFd fd;
+    std::string name;
+    bool handshaken = false;
+    bool subscriber = false;  // notification-only connection
+    // Bytes received but not yet framed. A pipelining client may queue
+    // many frames here between event-loop passes; capacity is reused
+    // across batches (the per-connection receive scratch).
+    std::vector<uint8_t> inbuf;
+    // Non-blocking egress: replies queue here (zero-copy) and leave in
+    // coalesced gather writes at the end of each event-loop pass.
+    net::TxQueue tx;
+    // Write interest currently armed on the home shard's poller.
+    bool write_armed = false;
+    // Queued egress awaiting the end-of-pass flush (in Shard::dirty).
+    bool dirty = false;
+    // Tx counters already folded into the shard stats (delta tracking).
+    net::TxQueueStats reported_tx;
+    // Pins of local objects held through this connection: id -> count.
+    // (The pinned ids may be owned by any shard.)
+    std::unordered_map<ObjectId, uint32_t> local_pins;
+    // Remote objects handed out through this connection:
+    // id -> (loc, count).
+    std::unordered_map<ObjectId,
+                       std::pair<RemoteObjectLocation, uint32_t>>
+        remote_refs;
+  };
+
+  // A Get waiting for objects to be sealed (or for its deadline).
+  // Parked in the issuing connection's home shard.
+  struct PendingGet {
+    int fd = -1;
+    uint64_t request_id = kNoRequestId;  // echoed into the reply
+    std::vector<ObjectId> order;  // reply preserves request order
+    std::unordered_map<ObjectId, GetReplyEntry> ready;
+    std::unordered_set<ObjectId> waiting;
+    // Ids the local pass could not satisfy; consumed by ResolveGets.
+    std::vector<ObjectId> missing;
+    uint64_t timeout_ms = 0;
+    int64_t deadline_ns = 0;
+  };
+
+  // One event-loop shard: owner of a hash slice of the object space and
+  // of the client connections homed on it. See the threading contract
+  // above.
+  struct Shard {
+    // `store_index_mutex` is the store's index_mutex_; the reference
+    // exists so the shard-mutex-before-index-mutex nesting order is
+    // declared in the annotation below rather than in a comment.
+    explicit Shard(Mutex& store_index_mutex)
+        : index_mutex(store_index_mutex) {}
+
+    uint32_t index = 0;
+
+    // ---- owner state: any thread, guarded by `mutex` ------------------
+    Mutex mutex ACQUIRED_BEFORE(index_mutex);
+    ObjectTable table GUARDED_BY(mutex);
+    EvictionPolicy eviction GUARDED_BY(mutex);
+    // Borrowed from pool_alloc_.
+    alloc::Allocator* arena GUARDED_BY(mutex) = nullptr;
+    // id -> (peer node -> pin count).
+    std::unordered_map<ObjectId, std::unordered_map<uint32_t, uint32_t>>
+        remote_pins GUARDED_BY(mutex);
+    uint64_t eviction_count GUARDED_BY(mutex) = 0;
+    // Disk spill tier (engaged when StoreOptions::spill_dir is set): the
+    // shard's segment file plus cumulative spill/restore counters.
+    std::optional<SpillFile> spill GUARDED_BY(mutex);
+    uint64_t spill_count GUARDED_BY(mutex) = 0;
+    uint64_t restore_count GUARDED_BY(mutex) = 0;
+
+    // The store's index mutex (see Store::index_mutex_), always
+    // acquired after this shard's `mutex` — never before.
+    Mutex& index_mutex;
+
+    // ---- event-loop state: shard thread only --------------------------
+    net::Poller poller;
+    std::unordered_map<int, std::shared_ptr<ClientConn>> clients;
+    std::list<PendingGet> pending_gets;
+    // Connections with egress queued since the last flush pass.
+    std::vector<int> dirty;
+    std::thread thread;
+
+    // Egress observability (TxQueueStats deltas folded in by
+    // AccumulateTxStats; read by stats()/shard_stats() from any thread).
+    std::atomic<uint64_t> tx_frames{0};
+    std::atomic<uint64_t> tx_frames_coalesced{0};
+    std::atomic<uint64_t> tx_writev_calls{0};
+    std::atomic<uint64_t> tx_bytes{0};
+    std::atomic<uint64_t> tx_blocked_events{0};
+
+    // Cross-thread observability (ShardStats) and fan-out gating.
+    // parked_gets is pre-announced with seq_cst BEFORE a Get's final
+    // local re-check (ResolveGets), which is what lets FanOutSealed skip
+    // shards reading 0 without losing wakeups. subscriber_count gates
+    // notification fan-out.
+    std::atomic<uint64_t> client_count{0};
+    std::atomic<uint64_t> parked_gets{0};
+    std::atomic<uint64_t> subscriber_count{0};
+
+    // ---- mailbox: tasks that must run on this shard's thread ----------
+    Mutex mailbox_mutex;
+    std::vector<std::function<void()>> mailbox GUARDED_BY(mailbox_mutex);
+
+    void Post(std::function<void()> task) EXCLUDES(mailbox_mutex) {
+      {
+        MutexLock lock(mailbox_mutex);
+        mailbox.push_back(std::move(task));
+      }
+      poller.Wakeup();
+    }
+  };
 
   Store(StoreOptions options, uint32_t node_id, uint32_t pool_region);
 
@@ -384,21 +498,22 @@ class Store {
   // Allocates space from the owner shard's arena, evicting its LRU
   // unpinned objects if needed — to the shard's spill file when the
   // spill tier is enabled, destructively otherwise (or when the spill
-  // write fails). Requires owner.mutex held.
+  // write fails).
   Result<alloc::Allocation> AllocateWithEviction(Shard& owner,
-                                                 uint64_t size);
-  // Requires owner.mutex held.
-  bool IsEvictable(const Shard& owner, const ObjectId& id) const;
+                                                 uint64_t size)
+      REQUIRES(owner.mutex);
+  bool IsEvictable(const Shard& owner, const ObjectId& id) const
+      REQUIRES(owner.mutex);
 
   // Promotes a spilled object back into the pool (allocating with
   // eviction, verifying the record CRC) and returns the now-sealed
   // entry. An unreadable record drops the object and returns the read
-  // error. Requires owner.mutex held.
-  Result<ObjectEntry> RestoreSpilled(Shard& owner, const ObjectId& id);
+  // error.
+  Result<ObjectEntry> RestoreSpilled(Shard& owner, const ObjectId& id)
+      REQUIRES(owner.mutex);
   // Compacts the shard's spill file when its freed capacity crosses the
-  // threshold, rewriting spilled entries' file offsets. Requires
-  // owner.mutex held.
-  void MaybeCompactSpill(Shard& owner);
+  // threshold, rewriting spilled entries' file offsets.
+  void MaybeCompactSpill(Shard& owner) REQUIRES(owner.mutex);
 
   // Resolves one id against its owner shard for a local Get: a hit pins
   // and returns an entry; unknown ids return nullopt (caller consults
@@ -434,10 +549,13 @@ class Store {
 
   DistHooks* dist_hooks_ = nullptr;
   std::function<bool(const ObjectId&)> external_pin_check_;
-  // Shared-index writer; serialized across shards by index_mutex_
-  // (lock order: shard mutex first, index mutex second).
-  std::mutex index_mutex_;
-  SharedIndexWriter* shared_index_ = nullptr;
+  // Shared-index writer; serialized across shards by index_mutex_. The
+  // lock order (shard mutex first, index mutex second) is declared on
+  // Shard::mutex via ACQUIRED_BEFORE. The pointer itself is written
+  // once before Start (SetSharedIndex) and read without the lock; every
+  // dereference happens under index_mutex_ (PT_GUARDED_BY).
+  Mutex index_mutex_;
+  SharedIndexWriter* shared_index_ PT_GUARDED_BY(index_mutex_) = nullptr;
   uint32_t index_region_ = UINT32_MAX;
 
   // Store-wide remote-lookup counters (updated from any shard thread).

@@ -15,6 +15,7 @@ Result<std::shared_ptr<RpcChannel>> RpcChannel::Connect(
     const std::string& host, uint16_t port, ChannelOptions options) {
   MDOS_ASSIGN_OR_RETURN(net::UniqueFd fd, net::TcpConnect(host, port));
   auto channel = std::make_shared<RpcChannel>();
+  MutexLock lock(channel->mutex_);
   channel->fd_ = std::move(fd);
   channel->options_ = options;
   channel->host_ = host;
@@ -55,7 +56,7 @@ Status RpcChannel::RedialLocked() {
   const int64_t now = MonotonicNanos();
   if (now < next_redial_ns_) {
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      MutexLock stats_lock(stats_mutex_);
       ++stats_.fast_failures;
     }
     return Status::NotConnected(
@@ -73,13 +74,13 @@ Status RpcChannel::RedialLocked() {
       armed_timeout_ms_ = 0;  // fresh socket: no SO_RCVTIMEO armed
       dial_failure_streak_ = 0;
       next_redial_ns_ = 0;
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      MutexLock stats_lock(stats_mutex_);
       ++stats_.reconnects;
       return Status::OK();
     }
     last = fd.status();
     {
-      std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+      MutexLock stats_lock(stats_mutex_);
       ++stats_.redial_failures;
     }
     ++dial_failure_streak_;
@@ -93,10 +94,10 @@ Status RpcChannel::RedialLocked() {
 Result<std::vector<uint8_t>> RpcChannel::Call(
     const std::string& method, const std::vector<uint8_t>& payload,
     uint64_t timeout_ms) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
 
   auto fail = [&](Status st) -> Result<std::vector<uint8_t>> {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    MutexLock stats_lock(stats_mutex_);
     ++stats_.failures;
     return st;
   };
@@ -176,7 +177,7 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
   }
 
   {
-    std::lock_guard<std::mutex> stats_lock(stats_mutex_);
+    MutexLock stats_lock(stats_mutex_);
     ++stats_.calls;
     stats_.total_call_ns += MonotonicNanos() - start_ns;
   }
@@ -188,7 +189,7 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
 }
 
 ChannelStats RpcChannel::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_;
 }
 

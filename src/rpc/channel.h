@@ -23,10 +23,10 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/fd.h"
 #include "net/frame.h"
@@ -71,12 +71,15 @@ class RpcChannel {
       const std::string& host, uint16_t port,
       int64_t simulated_rtt_ns = 0);
 
-  bool connected() const { return fd_.valid(); }
+  bool connected() const EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    return fd_.valid();
+  }
   // Permanently retires the channel: no redial, every later Call returns
   // kNotConnected. (Failure-triggered disconnects keep the endpoint and
   // heal on the next call instead.)
-  void Disconnect() {
-    std::lock_guard<std::mutex> lock(mutex_);
+  void Disconnect() EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
     fd_.Reset();
     closed_ = true;
   }
@@ -86,7 +89,8 @@ class RpcChannel {
   // redials under the backoff policy above.
   Result<std::vector<uint8_t>> Call(const std::string& method,
                                     const std::vector<uint8_t>& payload,
-                                    uint64_t timeout_ms = 0);
+                                    uint64_t timeout_ms = 0)
+      EXCLUDES(mutex_, stats_mutex_);
 
   // Typed convenience: encodes `request`, decodes the response into
   // `ResponseT`. RequestT must provide EncodeTo, ResponseT DecodeFrom.
@@ -103,41 +107,44 @@ class RpcChannel {
     return ResponseT::DecodeFrom(r);
   }
 
-  ChannelStats stats() const;
+  ChannelStats stats() const EXCLUDES(stats_mutex_);
   int64_t simulated_rtt_ns() const { return options_.simulated_rtt_ns; }
 
  private:
   // Re-establishes the connection when the endpoint is known and the
-  // backoff window has elapsed. Requires mutex_ held.
-  Status RedialLocked();
+  // backoff window has elapsed.
+  Status RedialLocked() REQUIRES(mutex_);
   // Jittered exponential backoff for the current failure streak (ns).
-  int64_t NextBackoffNs();
+  int64_t NextBackoffNs() REQUIRES(mutex_);
 
-  net::UniqueFd fd_;
+  mutable Mutex mutex_;
+  net::UniqueFd fd_ GUARDED_BY(mutex_);
   ChannelOptions options_;
   std::string host_;
   uint16_t port_ = 0;
-  bool closed_ = false;  // explicit Disconnect(): never redial
-  // Reconnect state (guarded by mutex_).
-  uint32_t dial_failure_streak_ = 0;
-  int64_t next_redial_ns_ = 0;  // monotonic deadline gating the next dial
-  uint64_t backoff_seed_ = 0x9E3779B97F4A7C15ULL;
+  // Explicit Disconnect(): never redial.
+  bool closed_ GUARDED_BY(mutex_) = false;
+  // Reconnect state.
+  uint32_t dial_failure_streak_ GUARDED_BY(mutex_) = 0;
+  // Monotonic deadline gating the next dial.
+  int64_t next_redial_ns_ GUARDED_BY(mutex_) = 0;
+  uint64_t backoff_seed_ GUARDED_BY(mutex_) = 0x9E3779B97F4A7C15ULL;
   // Receive timeout currently armed on the socket (SO_RCVTIMEO); tracked
   // so untimed calls after a timed one clear it and repeated timed calls
   // skip the setsockopt.
-  uint64_t armed_timeout_ms_ = 0;
+  uint64_t armed_timeout_ms_ GUARDED_BY(mutex_) = 0;
   std::atomic<uint64_t> next_call_id_{1};
-  mutable std::mutex mutex_;
   // stats_ has its own mutex so stats() never blocks behind an in-flight
-  // call (mutex_ is held for the full RPC round trip). Lock order:
-  // mutex_ then stats_mutex_; stats_mutex_ is never held across I/O.
-  mutable std::mutex stats_mutex_;
-  ChannelStats stats_;
+  // call (mutex_ is held for the full RPC round trip). ACQUIRED_AFTER
+  // pins the lock order: mutex_ first, stats_mutex_ second, and
+  // stats_mutex_ is never held across I/O.
+  mutable Mutex stats_mutex_ ACQUIRED_AFTER(mutex_);
+  ChannelStats stats_ GUARDED_BY(stats_mutex_);
   // Per-channel scratch (guarded by mutex_ like the fd): the request
   // encoder and response frame reuse their capacity across calls, so a
   // steady-state channel issues zero allocations for the envelope.
-  wire::Writer scratch_writer_;
-  net::Frame scratch_frame_;
+  wire::Writer scratch_writer_ GUARDED_BY(mutex_);
+  net::Frame scratch_frame_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mdos::rpc

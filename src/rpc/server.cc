@@ -47,7 +47,7 @@ void RpcServer::Stop() {
 }
 
 ServerStats RpcServer::stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
+  MutexLock lock(stats_mutex_);
   return stats_;
 }
 
@@ -178,7 +178,7 @@ Status RpcServer::ServeRequest(Conn& conn, const uint8_t* payload,
   // Account the call before the response leaves: once the client has the
   // reply, the server's counters must already reflect it.
   {
-    std::lock_guard<std::mutex> lock(stats_mutex_);
+    MutexLock lock(stats_mutex_);
     ++stats_.calls;
     if (response.code != StatusCode::kOk) ++stats_.errors;
     stats_.bytes_in += size;

@@ -22,12 +22,12 @@
 #include <functional>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
 #include <unordered_map>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "net/fd.h"
 #include "net/poller.h"
@@ -65,7 +65,7 @@ class RpcServer {
 
   uint16_t port() const { return port_; }
   bool running() const { return running_.load(); }
-  ServerStats stats() const;
+  ServerStats stats() const EXCLUDES(stats_mutex_);
 
   // Optional per-call artificial service delay, modelling the remote
   // store's handler-side work in latency studies. 0 = disabled.
@@ -100,8 +100,8 @@ class RpcServer {
   std::atomic<int64_t> service_delay_ns_{0};
   net::Poller poller_;
   std::unordered_map<int, std::unique_ptr<Conn>> connections_;
-  mutable std::mutex stats_mutex_;
-  ServerStats stats_;
+  mutable Mutex stats_mutex_;
+  ServerStats stats_ GUARDED_BY(stats_mutex_);
 };
 
 }  // namespace mdos::rpc

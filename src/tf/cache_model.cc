@@ -45,7 +45,7 @@ void CacheModel::EvictIfNeeded() {
 }
 
 void CacheModel::Read(uint64_t offset, void* dst, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   uint8_t* out = static_cast<uint8_t*>(dst);
   uint64_t pos = offset;
   uint64_t end = offset + size;
@@ -69,7 +69,7 @@ void CacheModel::Read(uint64_t offset, void* dst, uint64_t size) {
 }
 
 void CacheModel::Write(uint64_t offset, const void* src, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   const uint8_t* in = static_cast<const uint8_t*>(src);
   std::memcpy(memory_ + offset, in, size);
   // Refresh any cached lines covering the written range; untouched lines
@@ -94,7 +94,7 @@ void CacheModel::NoteRemoteWrite(uint64_t offset, uint64_t size) {
 }
 
 void CacheModel::FlushRange(uint64_t offset, uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (size == 0) return;
   uint64_t first_line = offset / config_.line_size;
   uint64_t last_line = (offset + size - 1) / config_.line_size;
@@ -108,19 +108,19 @@ void CacheModel::FlushRange(uint64_t offset, uint64_t size) {
 }
 
 void CacheModel::InvalidateAll() {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   stats_.flushes += lines_.size();
   lines_.clear();
   lru_.clear();
 }
 
 CacheStats CacheModel::stats() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return stats_;
 }
 
 uint64_t CacheModel::cached_lines() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return lines_.size();
 }
 

@@ -23,9 +23,10 @@
 
 #include <cstdint>
 #include <list>
-#include <mutex>
 #include <unordered_map>
 #include <vector>
+
+#include "common/mutex.h"
 
 namespace mdos::tf {
 
@@ -73,19 +74,19 @@ class CacheModel {
     std::list<uint64_t>::iterator lru_it;
   };
 
-  // Requires lock held. Returns the line, caching it on miss.
-  Line& TouchLine(uint64_t line_index);
-  void EvictIfNeeded();
+  // Returns the line, caching it on miss.
+  Line& TouchLine(uint64_t line_index) REQUIRES(mutex_);
+  void EvictIfNeeded() REQUIRES(mutex_);
 
   uint8_t* const memory_;
   const uint64_t memory_size_;
   const CacheConfig config_;
   const uint64_t max_lines_;
 
-  mutable std::mutex mutex_;
-  std::unordered_map<uint64_t, Line> lines_;
-  std::list<uint64_t> lru_;  // front = most recent
-  CacheStats stats_;
+  mutable Mutex mutex_;
+  std::unordered_map<uint64_t, Line> lines_ GUARDED_BY(mutex_);
+  std::list<uint64_t> lru_ GUARDED_BY(mutex_);  // front = most recent
+  CacheStats stats_ GUARDED_BY(mutex_);
 };
 
 }  // namespace mdos::tf

@@ -10,7 +10,7 @@ Fabric::Fabric(FabricConfig config)
 Result<NodeId> Fabric::AddNode(const std::string& name, uint64_t slab_size,
                                uint64_t disagg_offset,
                                uint64_t disagg_size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (disagg_size == UINT64_MAX) {
     disagg_size = slab_size - disagg_offset;
   }
@@ -23,7 +23,7 @@ Result<NodeId> Fabric::AddNode(const std::string& name, uint64_t slab_size,
 }
 
 Result<NodeMemory*> Fabric::node(NodeId id) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id >= nodes_.size()) {
     return Status::KeyError("unknown node " + std::to_string(id));
   }
@@ -31,13 +31,13 @@ Result<NodeMemory*> Fabric::node(NodeId id) {
 }
 
 size_t Fabric::node_count() const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   return nodes_.size();
 }
 
 Result<RegionId> Fabric::ExportRegion(NodeId owner, uint64_t offset,
                                       uint64_t size) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (owner >= nodes_.size()) {
     return Status::KeyError("unknown node " + std::to_string(owner));
   }
@@ -52,7 +52,7 @@ Result<RegionId> Fabric::ExportRegion(NodeId owner, uint64_t offset,
 }
 
 Result<RegionInfo> Fabric::region_info(RegionId id) const {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (id >= regions_.size()) {
     return Status::KeyError("unknown region " + std::to_string(id));
   }
@@ -60,7 +60,7 @@ Result<RegionInfo> Fabric::region_info(RegionId id) const {
 }
 
 Result<AttachedRegion> Fabric::Attach(NodeId accessor, RegionId region) {
-  std::lock_guard<std::mutex> lock(mutex_);
+  MutexLock lock(mutex_);
   if (accessor >= nodes_.size()) {
     return Status::KeyError("unknown node " + std::to_string(accessor));
   }

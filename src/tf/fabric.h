@@ -11,10 +11,10 @@
 
 #include <cstdint>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "tf/attached_region.h"
 #include "tf/latency_model.h"
@@ -77,9 +77,9 @@ class Fabric {
 
  private:
   FabricConfig config_;
-  mutable std::mutex mutex_;
-  std::vector<std::unique_ptr<NodeMemory>> nodes_;
-  std::vector<RegionInfo> regions_;
+  mutable Mutex mutex_;
+  std::vector<std::unique_ptr<NodeMemory>> nodes_ GUARDED_BY(mutex_);
+  std::vector<RegionInfo> regions_ GUARDED_BY(mutex_);
   // Stable addresses: AttachedRegion keeps raw pointers into these.
   std::unique_ptr<RegionCounters> local_counters_;
   std::unique_ptr<RegionCounters> remote_counters_;

@@ -77,9 +77,13 @@ class Writer {
   }
 
  private:
+  // resize + memcpy rather than insert(end, b, b+n): same codegen, but
+  // the insert form trips GCC 12's -Wstringop-overflow false positive
+  // when inlined into callers (breaking -Werror builds).
   void PutFixed(const void* p, size_t n) {
-    const uint8_t* b = static_cast<const uint8_t*>(p);
-    buf_.insert(buf_.end(), b, b + n);
+    const size_t old_size = buf_.size();
+    buf_.resize(old_size + n);
+    std::memcpy(buf_.data() + old_size, p, n);
   }
 
   std::vector<uint8_t> buf_;
@@ -118,7 +122,14 @@ class Reader {
       return Status::ProtocolError("repeated field count too large");
     }
     std::vector<T> items;
-    items.reserve(count);
+    // Reserve at most what the remaining bytes could possibly decode
+    // (every element consumes >= 1 byte). A hostile count passing the
+    // sanity bound above may still name up to 2^24 elements; reserving
+    // that up front would hand a 16-byte message a multi-hundred-MB
+    // allocation. Genuine messages lose nothing: count <= remaining()
+    // for any well-formed encoding, so this reserves exactly `count`.
+    items.reserve(static_cast<size_t>(
+        count < remaining() ? count : remaining()));
     for (uint64_t i = 0; i < count; ++i) {
       auto item = decode_one(*this);
       if (!item.ok()) return item.status();

@@ -2,7 +2,11 @@
 // layer's RPC messages.
 #include <gtest/gtest.h>
 
+#include <cstring>
+
+#include "common/crc32.h"
 #include "dist/messages.h"
+#include "net/frame.h"
 #include "plasma/protocol.h"
 
 namespace mdos::plasma {
@@ -188,6 +192,96 @@ TEST(ProtocolTest, TruncatedMessageRejected) {
   req.EncodeTo(w);
   wire::Reader r(w.data(), w.size() - 4);
   EXPECT_FALSE(CreateRequest::DecodeFrom(r).ok());
+}
+
+// ---- malformed frame / wire regressions ------------------------------------
+//
+// The frame decoder is the first code that touches bytes off a socket;
+// these pin down its behaviour on each hostile-input class (mirrored in
+// the fuzz corpus under fuzz/corpus/fuzz_frame).
+
+// Encodes one valid frame: header (magic, type, length, crc) || payload.
+std::vector<uint8_t> EncodeFrameBytes(uint32_t type,
+                                      const std::vector<uint8_t>& payload) {
+  net::FrameHeader hdr;
+  hdr.type = type;
+  hdr.length = static_cast<uint32_t>(payload.size());
+  hdr.crc = Crc32(payload.data(), payload.size());
+  std::vector<uint8_t> out(sizeof(hdr) + payload.size());
+  std::memcpy(out.data(), &hdr, sizeof(hdr));
+  std::memcpy(out.data() + sizeof(hdr), payload.data(), payload.size());
+  return out;
+}
+
+TEST(FrameDecodeTest, TruncatedHeaderDefersWithoutConsuming) {
+  auto bytes = EncodeFrameBytes(7, {1, 2, 3});
+  for (size_t cut = 0; cut < sizeof(net::FrameHeader); ++cut) {
+    net::FrameView view;
+    size_t consumed = 99;
+    ASSERT_TRUE(
+        net::DecodeFrameView(bytes.data(), cut, &view, &consumed).ok());
+    EXPECT_EQ(consumed, 0u) << "partial header at " << cut;
+  }
+}
+
+TEST(FrameDecodeTest, LengthPastBufferDefersWithoutConsuming) {
+  // Valid header naming more payload than the buffer holds: the decoder
+  // must wait for more bytes, not read past the end.
+  auto bytes = EncodeFrameBytes(7, std::vector<uint8_t>(100, 0xAB));
+  net::FrameView view;
+  size_t consumed = 99;
+  ASSERT_TRUE(
+      net::DecodeFrameView(bytes.data(), bytes.size() - 1, &view, &consumed)
+          .ok());
+  EXPECT_EQ(consumed, 0u);
+}
+
+TEST(FrameDecodeTest, HostileLengthRejected) {
+  // Length fields past the 64 MiB cap — including UINT32_MAX, which
+  // would overflow `sizeof(hdr) + length` on a 32-bit size_t — must be
+  // rejected outright, never treated as a partial frame.
+  for (uint32_t length : {net::kMaxFramePayload + 1, UINT32_MAX}) {
+    net::FrameHeader hdr;
+    hdr.type = 7;
+    hdr.length = length;
+    std::vector<uint8_t> bytes(sizeof(hdr), 0);
+    std::memcpy(bytes.data(), &hdr, sizeof(hdr));
+    net::FrameView view;
+    size_t consumed = 99;
+    EXPECT_FALSE(
+        net::DecodeFrameView(bytes.data(), bytes.size(), &view, &consumed)
+            .ok())
+        << "length " << length;
+  }
+}
+
+TEST(FrameDecodeTest, ValidHeaderCorruptPayloadRejected) {
+  auto bytes = EncodeFrameBytes(7, {1, 2, 3, 4});
+  bytes.back() ^= 0xFF;  // header stays intact; payload CRC must catch it
+  net::FrameView view;
+  size_t consumed = 99;
+  EXPECT_FALSE(
+      net::DecodeFrameView(bytes.data(), bytes.size(), &view, &consumed)
+          .ok());
+}
+
+TEST(WireHardeningTest, RepeatedCountBeyondBufferFailsWithoutOverReserve) {
+  // A 6-byte message naming 2^24 elements: decode must fail on the first
+  // missing element. The reserve clamp keeps the attempted allocation
+  // bounded by the buffer size (the unclamped reserve was a
+  // memory-amplification primitive — ~128 MiB for these 6 bytes).
+  wire::Writer w;
+  w.PutVarint(1u << 24);
+  wire::Reader r(w.data(), w.size());
+  auto decoded = r.GetRepeated<uint64_t>(
+      [](wire::Reader& rr) { return rr.GetVarint(); });
+  EXPECT_FALSE(decoded.ok());
+}
+
+TEST(WireHardeningTest, PeekRequestIdOnShortPayloadFails) {
+  const uint8_t bytes[] = {1, 2, 3};
+  EXPECT_FALSE(PeekRequestId(bytes, sizeof(bytes)).ok());
+  EXPECT_FALSE(PeekRequestId(bytes, 0).ok());
 }
 
 }  // namespace

@@ -6,9 +6,11 @@
 #include <unistd.h>
 
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
+#include "common/crc32.h"
 #include "common/rng.h"
 #include "plasma/spill_file.h"
 
@@ -305,6 +307,78 @@ TEST_F(SpillFileTest, ShouldCompactTriggersOnMostlyHoles) {
     ASSERT_TRUE(file->Free(offsets[static_cast<size_t>(i)]).ok());
   }
   EXPECT_TRUE(file->ShouldCompact());
+}
+
+// ---- hostile-input regressions ---------------------------------------------
+//
+// A matching header CRC only proves the header was written whole; every
+// field is still attacker-controlled (anyone can compute the CRC of the
+// values they chose). These tests hand Recover headers whose size fields
+// pass naive arithmetic only via uint64 wraparound — regression coverage
+// for the overflow-safe framing checks (also in the fuzz corpus as
+// fuzz_spill_recover/wrapping_*).
+
+// Writes a raw 56-byte record header with a VALID header CRC. Layout:
+//   [ magic u32 | header_crc u32 | slot_capacity u64 | data_size u64 |
+//     metadata_size u64 | payload_crc u32 | object id (20 bytes) ]
+void WriteRawHeader(const std::string& path, uint64_t slot_capacity,
+                    uint64_t data_size, uint64_t metadata_size,
+                    uint32_t payload_crc, size_t trailing_bytes) {
+  constexpr uint32_t kLiveMagic = 0x4C50534D;
+  std::vector<uint8_t> image(56 + trailing_bytes, 0);
+  std::memcpy(image.data() + 0, &kLiveMagic, 4);
+  std::memcpy(image.data() + 8, &slot_capacity, 8);
+  std::memcpy(image.data() + 16, &data_size, 8);
+  std::memcpy(image.data() + 24, &metadata_size, 8);
+  std::memcpy(image.data() + 32, &payload_crc, 4);
+  const uint32_t header_crc = Crc32(image.data() + 8, 56 - 8);
+  std::memcpy(image.data() + 4, &header_crc, 4);
+  std::FILE* f = std::fopen(path.c_str(), "wb");
+  ASSERT_NE(f, nullptr);
+  ASSERT_EQ(std::fwrite(image.data(), 1, image.size(), f), image.size());
+  std::fclose(f);
+}
+
+TEST_F(SpillFileTest, RecoverRejectsWrappingSectionSizeSum) {
+  // data_size + metadata_size wraps to 8, which fits the slot capacity
+  // and carries a payload CRC valid for those 8 zero bytes — the
+  // unhardened sum-first check admitted this record with its poisoned
+  // sizes intact.
+  const std::vector<uint8_t> zeros(8, 0);
+  WriteRawHeader(path_, /*slot_capacity=*/16,
+                 /*data_size=*/UINT64_MAX - 7, /*metadata_size=*/15,
+                 Crc32(zeros.data(), zeros.size()), /*trailing_bytes=*/16);
+
+  auto recovered = SpillFile::Recover(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->live().empty());
+  EXPECT_EQ(recovered->stats().corrupt_records, 1u);
+}
+
+TEST_F(SpillFileTest, RecoverRejectsWrappingSlotCapacity) {
+  // offset + kHeaderSize + slot_capacity wraps past zero, so the naive
+  // extends-past-EOF comparison passed and the walk's next offset went
+  // backwards.
+  WriteRawHeader(path_, /*slot_capacity=*/UINT64_MAX - 32,
+                 /*data_size=*/0, /*metadata_size=*/0,
+                 /*payload_crc=*/0, /*trailing_bytes=*/0);
+
+  auto recovered = SpillFile::Recover(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->live().empty());
+  EXPECT_EQ(recovered->stats().corrupt_records, 1u);
+}
+
+TEST_F(SpillFileTest, RecoverRejectsSectionSizesExceedingCapacity) {
+  // Plain (non-wrapping) lie: sections sum past the slot's capacity.
+  WriteRawHeader(path_, /*slot_capacity=*/8, /*data_size=*/8,
+                 /*metadata_size=*/8, /*payload_crc=*/0,
+                 /*trailing_bytes=*/8);
+
+  auto recovered = SpillFile::Recover(path_);
+  ASSERT_TRUE(recovered.ok()) << recovered.status();
+  EXPECT_TRUE(recovered->live().empty());
+  EXPECT_EQ(recovered->stats().corrupt_records, 1u);
 }
 
 }  // namespace

@@ -82,6 +82,21 @@ def check_bench_coverage(corpus):
     return errors
 
 
+def check_fuzz_coverage(corpus):
+    errors = []
+    fuzz_dir = os.path.join(REPO, "fuzz")
+    if not os.path.isdir(fuzz_dir):
+        return errors
+    for name in sorted(os.listdir(fuzz_dir)):
+        if not (name.startswith("fuzz_") and name.endswith(".cc")):
+            continue
+        harness = name[:-len(".cc")]
+        if harness not in corpus:
+            errors.append(f"docs/: fuzz harness `{harness}` is "
+                          f"undocumented (fuzz/{name})")
+    return errors
+
+
 def check_subsystem_coverage(corpus):
     errors = []
     src_dir = os.path.join(REPO, "src")
@@ -97,13 +112,14 @@ def check_subsystem_coverage(corpus):
 def main():
     corpus = docs_corpus()
     errors = (check_links() + check_bench_coverage(corpus) +
-              check_subsystem_coverage(corpus))
+              check_subsystem_coverage(corpus) + check_fuzz_coverage(corpus))
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve, benches and subsystems covered")
+    print("docs OK: links resolve; benches, subsystems, and fuzz "
+          "harnesses covered")
     return 0
 
 

@@ -33,6 +33,31 @@ BENCH_ENV = {
 }
 
 
+def reject_instrumented_build(build_dir: Path):
+    """Refuses to record benchmarks from a sanitizer/fuzzer build.
+
+    Sanitizer instrumentation slows everything 2-20x; numbers from such
+    a tree would poison the BENCH_*.json trajectory the repo tracks
+    across PRs. The CI sanitizer and fuzz jobs use dedicated build dirs
+    (build-asan, build-tsan, build-fuzz) and never invoke this script,
+    and this check keeps an accidental local `--build-dir build-asan`
+    from slipping through either.
+    """
+    cache = build_dir / "CMakeCache.txt"
+    if not cache.exists():
+        return
+    for line in cache.read_text().splitlines():
+        if line.startswith("SANITIZE:") and line.split("=", 1)[1].strip():
+            sys.exit(f"refusing to benchmark {build_dir}: configured with "
+                     f"{line.strip()} (sanitized numbers would pollute the "
+                     f"bench record; use a clean build dir)")
+        if line.startswith("MDOS_FUZZ:") and \
+                line.split("=", 1)[1].strip().upper() in ("ON", "TRUE", "1"):
+            sys.exit(f"refusing to benchmark {build_dir}: configured with "
+                     f"{line.strip()} (fuzzer instrumentation skews timings; "
+                     f"use a clean build dir)")
+
+
 def parse_result_lines(stdout: str):
     """Extracts RESULT lines into dicts, coercing numeric values."""
     results = []
@@ -71,6 +96,7 @@ def main():
     build_dir = repo / args.build_dir
     benches = [b for b in args.benches.split(",") if b]
 
+    reject_instrumented_build(build_dir)
     if not args.skip_build:
         subprocess.run(
             ["cmake", "-B", str(build_dir), "-S", str(repo),
