@@ -7,6 +7,7 @@
 #include "common/clock.h"
 #include "common/log.h"
 #include "common/rng.h"
+#include "plasma/async_client.h"
 
 namespace mdos::bench {
 
@@ -65,7 +66,8 @@ Summary Summarize(std::vector<double> samples) {
 
 std::unique_ptr<BenchCluster> BenchCluster::Create(
     size_t nodes, uint64_t pool_bytes, bool enable_lookup_cache,
-    bool pin_remote_objects) {
+    bool pin_remote_objects, bool enable_shared_index,
+    bool mapped_remote_reads, bool check_global_uniqueness) {
   SetLogLevel(LogLevel::kError);
   double scale = CalibrationScale();
   tf::FabricConfig fabric;
@@ -78,6 +80,9 @@ std::unique_ptr<BenchCluster> BenchCluster::Create(
     cluster::NodeOptions options;
     options.pool_size = pool_bytes;
     options.pin_remote_objects = pin_remote_objects;
+    options.enable_shared_index = enable_shared_index;
+    options.mapped_remote_reads = mapped_remote_reads;
+    options.check_global_uniqueness = check_global_uniqueness;
     options.registry.enable_lookup_cache = enable_lookup_cache;
     options.registry.simulated_rtt_ns = SimulatedRttNs();
     auto node = bench->cluster_->AddNode(options);
@@ -165,9 +170,11 @@ double CommitObjects(plasma::PlasmaClient& client,
 double RetrieveBuffers(plasma::PlasmaClient& client,
                        const std::vector<ObjectId>& ids,
                        std::vector<plasma::ObjectBuffer>* out,
-                       uint64_t timeout_ms) {
+                       uint64_t timeout_ms, bool pinned) {
   Stopwatch sw;
-  auto buffers = client.Get(ids, timeout_ms);
+  auto buffers = pinned
+                     ? client.async().GetAsync(ids, timeout_ms, true).Take()
+                     : client.Get(ids, timeout_ms);
   double elapsed = sw.ElapsedSeconds();
   if (!buffers.ok()) {
     std::fprintf(stderr, "get failed: %s\n",

@@ -8,6 +8,11 @@
 // @10); remote latency is ms-scale and dominated by the RPC round trip
 // (5.049 ms @1000, ~2.6 ms @100), so it flattens rather than scaling
 // cleanly with object count.
+//
+// A second section measures the mapped data plane (shared index +
+// generation-validated descriptors): the same remote Get with zero RPCs
+// against the RPC+pin rung on the same cluster. Emits RESULT lines for
+// tools/run_benches.py.
 #include <cstdio>
 
 #include "bench_common.h"
@@ -32,10 +37,7 @@ PaperRef PaperFig6(int bench_index) {
   return {0, 0};
 }
 
-int Run() {
-  PrintHarnessHeader(
-      "Fig. 6 — object buffer retrieval latency (local vs remote)");
-
+int RunPaperShape() {
   auto bench = BenchCluster::Create();
   if (bench == nullptr) return 1;
 
@@ -72,6 +74,15 @@ int Run() {
         spec.index, spec.num_objects, local.p50, local.min, local.p95,
         remote.p50, remote.min, remote.p95, paper.local_ms,
         paper.remote_ms);
+    std::printf(
+        "RESULT bench=fig6 spec=%d objects=%d size_kb=%llu "
+        "local_p50_ms=%.3f local_min_ms=%.3f local_p95_ms=%.3f "
+        "remote_p50_ms=%.3f remote_min_ms=%.3f remote_p95_ms=%.3f "
+        "paper_local_ms=%.3f paper_remote_ms=%.3f\n",
+        spec.index, spec.num_objects,
+        static_cast<unsigned long long>(spec.size_kb), local.p50, local.min,
+        local.p95, remote.p50, remote.min, remote.p95, paper.local_ms,
+        paper.remote_ms);
     std::fflush(stdout);
   }
 
@@ -80,6 +91,83 @@ int Run() {
       "remote;\nremote is ms-scale, RPC-dominated, and flattens for small "
       "object counts.\n");
   return 0;
+}
+
+// Mapped data plane section: shared index + mapped_remote_reads on, so a
+// plain remote Get resolves by fabric reads alone (index probe + sampled
+// generation stamp — zero RPCs), while `pinned` Gets take the classic
+// rung (index probe + one pin RPC per object, each paying the simulated
+// LAN RTT). Local retrieval on the same cluster anchors the comparison.
+int RunMappedPlane() {
+  std::printf(
+      "\n--- mapped data plane: remote Get, zero-RPC vs RPC+pin rung ---\n");
+  auto bench = BenchCluster::Create(
+      /*nodes=*/2, /*pool_bytes=*/1500ull * 1000 * 1000,
+      /*enable_lookup_cache=*/false, /*pin_remote_objects=*/true,
+      /*enable_shared_index=*/true, /*mapped_remote_reads=*/true,
+      /*check_global_uniqueness=*/false);
+  if (bench == nullptr) return 1;
+
+  std::printf("%-6s %-8s | %-10s %-10s %-10s | %-9s %-9s\n", "bench",
+              "objects", "local p50", "rpc p50", "mapped p50", "map/loc",
+              "rpc/map");
+
+  // The pinned rung pays one RTT per object, so cap the costly specs the
+  // same way bench_scaleout does.
+  const int reps = std::max(3, Repetitions() / 2);
+  for (const BenchSpec& spec : Table1Specs()) {
+    std::vector<double> local_ms, rpc_ms, mapped_ms;
+    for (int rep = 0; rep < reps; ++rep) {
+      auto ids = SpecIds(spec, rep);
+      (void)CommitObjects(bench->producer(), ids, spec.object_bytes());
+
+      std::vector<plasma::ObjectBuffer> buffers;
+      rpc_ms.push_back(RetrieveBuffers(bench->remote_consumer(), ids,
+                                       &buffers, /*timeout_ms=*/30000,
+                                       /*pinned=*/true) *
+                       1e3);
+      ReleaseAll(bench->remote_consumer(), ids);
+      mapped_ms.push_back(
+          RetrieveBuffers(bench->remote_consumer(), ids, &buffers) * 1e3);
+      local_ms.push_back(
+          RetrieveBuffers(bench->local_consumer(), ids, &buffers) * 1e3);
+
+      ReleaseAll(bench->local_consumer(), ids);
+      ReleaseAll(bench->remote_consumer(), ids);
+      DeleteAll(bench->producer(), ids);
+    }
+    Summary local = Summarize(local_ms);
+    Summary rpc = Summarize(rpc_ms);
+    Summary mapped = Summarize(mapped_ms);
+    double map_vs_local = local.p50 > 0 ? mapped.p50 / local.p50 : 0;
+    double rpc_vs_map = mapped.p50 > 0 ? rpc.p50 / mapped.p50 : 0;
+    std::printf("%-6d %-8d | %-10.3f %-10.3f %-10.3f | %-9.2f %-9.1f\n",
+                spec.index, spec.num_objects, local.p50, rpc.p50,
+                mapped.p50, map_vs_local, rpc_vs_map);
+    std::printf(
+        "RESULT bench=fig6_mapped spec=%d objects=%d size_kb=%llu "
+        "local_p50_ms=%.3f rpc_p50_ms=%.3f mapped_p50_ms=%.3f "
+        "mapped_vs_local=%.2f rpc_vs_mapped=%.1f\n",
+        spec.index, spec.num_objects,
+        static_cast<unsigned long long>(spec.size_kb), local.p50, rpc.p50,
+        mapped.p50, map_vs_local, rpc_vs_map);
+    std::fflush(stdout);
+  }
+
+  std::printf(
+      "\nshape targets: mapped remote Get tracks local retrieval (within "
+      "~2x);\nthe RPC+pin rung scales with object count x RTT and sits far "
+      "above both.\n");
+  return 0;
+}
+
+int Run() {
+  PrintHarnessHeader(
+      "Fig. 6 — object buffer retrieval latency (local vs remote)");
+  // Sections run sequentially and each tears its cluster down before the
+  // next starts, keeping peak pool memory to one cluster's worth.
+  if (int rc = RunPaperShape(); rc != 0) return rc;
+  return RunMappedPlane();
 }
 
 }  // namespace

@@ -14,9 +14,12 @@ Result<std::unique_ptr<Node>> Node::Create(tf::Fabric* fabric,
   // both inside the exported (disaggregated) window.
   uint64_t index_bytes =
       options.enable_shared_index ? options.shared_index_bytes : 0;
+  uint64_t gen_bytes =
+      options.mapped_remote_reads ? options.generation_table_bytes : 0;
   MDOS_ASSIGN_OR_RETURN(
       node->node_id_,
-      fabric->AddNode(options.name, options.pool_size + index_bytes));
+      fabric->AddNode(options.name,
+                      options.pool_size + index_bytes + gen_bytes));
   MDOS_ASSIGN_OR_RETURN(
       node->pool_region_,
       fabric->ExportRegion(node->node_id_, 0, options.pool_size));
@@ -26,6 +29,15 @@ Result<std::unique_ptr<Node>> Node::Create(tf::Fabric* fabric,
         node->index_region_,
         fabric->ExportRegion(node->node_id_, options.pool_size,
                              index_bytes));
+  }
+  if (options.mapped_remote_reads) {
+    // The generation table lives in the slab behind the index window and
+    // is exported so peers and clients can validate descriptors with
+    // plain fabric loads.
+    MDOS_ASSIGN_OR_RETURN(
+        node->gen_region_,
+        fabric->ExportRegion(node->node_id_,
+                             options.pool_size + index_bytes, gen_bytes));
   }
 
   MDOS_RETURN_IF_ERROR(node->BuildStack());
@@ -46,17 +58,37 @@ Status Node::BuildStack() {
     index_writer_ = std::make_unique<plasma::SharedIndexWriter>(writer);
   }
 
+  // Generation table next: (re)formatted in place with a strictly
+  // increasing epoch, so descriptors stamped by a previous incarnation
+  // fail the epoch check instead of matching near-zero fresh counters.
+  if (options_.mapped_remote_reads) {
+    MDOS_ASSIGN_OR_RETURN(tf::NodeMemory * memory, fabric_->node(node_id_));
+    uint64_t index_bytes =
+        options_.enable_shared_index ? options_.shared_index_bytes : 0;
+    MDOS_ASSIGN_OR_RETURN(
+        auto table,
+        plasma::GenerationTable::Create(
+            memory->data() + options_.pool_size + index_bytes,
+            options_.generation_table_bytes, ++gen_epoch_));
+    gen_table_ = std::make_unique<plasma::GenerationTable>(table);
+  }
+
   plasma::StoreOptions store_options;
   store_options.name = options_.name;
   store_options.allocator = options_.allocator;
+  store_options.spill_dir = options_.spill_dir;
   store_options.check_global_uniqueness = options_.check_global_uniqueness;
   store_options.pin_remote_objects = options_.pin_remote_objects;
+  store_options.mapped_remote_reads = options_.mapped_remote_reads;
   MDOS_ASSIGN_OR_RETURN(
       store_, plasma::Store::CreateOnFabric(store_options, fabric_,
                                             node_id_, pool_region_));
 
   if (index_writer_ != nullptr) {
     store_->SetSharedIndex(index_writer_.get(), index_region_);
+  }
+  if (gen_table_ != nullptr) {
+    store_->SetGenerationTable(gen_table_.get(), gen_region_);
   }
 
   dist::RegistryOptions registry_options = options_.registry;

@@ -39,6 +39,9 @@ struct NodeOptions {
   // Memory pool exported to the fabric and managed by the store.
   uint64_t pool_size = 256ull << 20;
   plasma::AllocatorKind allocator = plasma::AllocatorKind::kFirstFit;
+  // Disk spill tier for this node's store (empty disables it); see
+  // StoreOptions::spill_dir.
+  std::string spill_dir;
   bool check_global_uniqueness = true;
   bool pin_remote_objects = true;
   // Shared-index extension (paper §V-B): publish sealed objects into a
@@ -46,6 +49,12 @@ struct NodeOptions {
   // calling Plasma.Lookup.
   bool enable_shared_index = false;
   uint64_t shared_index_bytes = 1 << 20;  // ~16k slots
+  // Mapped data plane (zero-RPC remote reads): export a generation table
+  // next to the pool, serve remote Gets as generation-stamped
+  // descriptors, and let clients copy through their own fabric mapping
+  // with a seqlock-style re-check (plasma/generation_table.h).
+  bool mapped_remote_reads = false;
+  uint64_t generation_table_bytes = 1 << 16;  // ~8k slots
   dist::RegistryOptions registry;
 };
 
@@ -102,7 +111,13 @@ class Node {
   tf::NodeId node_id_ = 0;
   tf::RegionId pool_region_ = 0;
   tf::RegionId index_region_ = UINT32_MAX;
+  tf::RegionId gen_region_ = UINT32_MAX;
   std::unique_ptr<plasma::SharedIndexWriter> index_writer_;
+  std::unique_ptr<plasma::GenerationTable> gen_table_;
+  // Epoch fed into the generation table; incremented by every BuildStack
+  // so a restarted incarnation's counters can never validate descriptors
+  // stamped by the previous one.
+  uint64_t gen_epoch_ = 0;
   std::unique_ptr<plasma::Store> store_;
   std::unique_ptr<dist::RemoteStoreRegistry> registry_;
   std::unique_ptr<dist::StoreService> service_;

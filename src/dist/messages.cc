@@ -13,6 +13,10 @@ void EncodeLocation(wire::Writer& w,
   w.PutU64(loc.offset);
   w.PutU64(loc.data_size);
   w.PutU64(loc.metadata_size);
+  w.PutU64(loc.generation);
+  w.PutU64(loc.gen_slot);
+  w.PutU32(loc.gen_region);
+  w.PutU64(loc.gen_epoch);
 }
 
 Result<plasma::RemoteObjectLocation> DecodeLocation(wire::Reader& r) {
@@ -22,6 +26,10 @@ Result<plasma::RemoteObjectLocation> DecodeLocation(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(loc.offset, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(loc.data_size, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(loc.metadata_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(loc.generation, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(loc.gen_slot, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(loc.gen_region, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(loc.gen_epoch, r.GetU64());
   return loc;
 }
 
@@ -40,6 +48,7 @@ void HelloReply::EncodeTo(wire::Writer& w) const {
   w.PutU32(node_id);
   w.PutU32(pool_region);
   w.PutU32(index_region);
+  w.PutU32(gen_region);
   w.PutString(store_name);
 }
 Result<HelloReply> HelloReply::DecodeFrom(wire::Reader& r) {
@@ -47,6 +56,7 @@ Result<HelloReply> HelloReply::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.node_id, r.GetU32());
   MDOS_ASSIGN_OR_RETURN(m.pool_region, r.GetU32());
   MDOS_ASSIGN_OR_RETURN(m.index_region, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.gen_region, r.GetU32());
   MDOS_ASSIGN_OR_RETURN(m.store_name, r.GetString());
   return m;
 }

@@ -45,6 +45,10 @@ struct HelloReply {
   // Shared-index extension: fabric region of the replier's index table;
   // UINT32_MAX when the extension is disabled.
   uint32_t index_region = UINT32_MAX;
+  // Mapped data plane: fabric region of the replier's generation table
+  // (plasma/generation_table.h); UINT32_MAX when mapped remote reads are
+  // disabled. Peers attach it to validate descriptors against eviction.
+  uint32_t gen_region = UINT32_MAX;
   std::string store_name;
   void EncodeTo(wire::Writer& w) const;
   static Result<HelloReply> DecodeFrom(wire::Reader& r);

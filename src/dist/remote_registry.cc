@@ -96,6 +96,27 @@ Status RemoteStoreRegistry::AddPeer(const std::string& host,
     }
   }
 
+  // Mapped data plane: attach the peer's generation table so descriptors
+  // can be stamped (index-path lookups) and re-validated (cache hits).
+  if (reply.gen_region != UINT32_MAX && options_.fabric != nullptr) {
+    auto attached = options_.fabric->Attach(self_node_, reply.gen_region);
+    if (attached.ok()) {
+      peer->gen_attachment.emplace(std::move(attached).value());
+      auto reader = plasma::GenerationReader::Open(
+          peer->gen_attachment->unsafe_data(),
+          peer->gen_attachment->size(), options_.fabric->config().remote);
+      if (reader.ok()) {
+        peer->gen_region = reply.gen_region;
+        peer->gen_reader.emplace(std::move(reader).value());
+      } else {
+        MDOS_LOG_WARN << "peer " << reply.node_id
+                      << " exported an unreadable generation table: "
+                      << reader.status();
+        peer->gen_attachment.reset();
+      }
+    }
+  }
+
   bool replaced = false;
   {
     MutexLock lock(mutex_);
@@ -243,6 +264,21 @@ void RemoteStoreRegistry::RecordPeerResult(
 void RemoteStoreRegistry::HandlePeerDeath(uint32_t node_id) {
   // Our cached locations into the corpse's pool dangle.
   if (cache_ != nullptr) cache_->InvalidateNode(node_id);
+  // Drop the fabric mappings of the corpse's index and generation
+  // tables: a restarted peer re-exports fresh regions through a new
+  // Hello handshake, and reading the previous incarnation through a
+  // stale attachment could validate descriptors against dead memory.
+  {
+    MutexLock lock(mutex_);
+    for (auto& peer : peers_) {
+      if (peer->node_id != node_id) continue;
+      peer->index_reader.reset();
+      peer->index_attachment.reset();
+      peer->gen_reader.reset();
+      peer->gen_attachment.reset();
+      peer->gen_region = UINT32_MAX;
+    }
+  }
   // Pins we hold on the dead peer have no remote state left to release.
   uint64_t dropped = usage_.DropPinsForNode(node_id);
   if (dropped > 0) {
@@ -307,30 +343,82 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
   std::vector<size_t> unresolved;
   unresolved.reserve(ids.size());
 
-  // 1. Lookup cache (§V-B extension).
-  for (size_t i = 0; i < ids.size(); ++i) {
-    if (cache_ != nullptr) {
-      auto hit = cache_->Get(ids[i]);
-      if (hit.has_value()) {
-        out[i] = *hit;
-        continue;
-      }
-    }
-    unresolved.push_back(i);
-  }
-
   // Dead peers are skipped outright: no RPC, no timeout stall. The
   // heartbeat loop is responsible for noticing a resurrection.
   auto peers = SnapshotLivePeers();
 
+  // 1. Lookup cache (§V-B extension). Generation-stamped entries are
+  // re-validated against the home peer's mapped generation table: a
+  // bumped slot (evict / spill / delete since we cached the descriptor)
+  // or a changed epoch (the peer restarted) invalidates the entry and
+  // sends the id down the index/RPC path for a fresh descriptor.
+  uint64_t gen_invalidations = 0;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (cache_ != nullptr) {
+      auto hit = cache_->Get(ids[i]);
+      if (hit.has_value()) {
+        bool valid = true;
+        if (hit->gen_region != UINT32_MAX) {
+          for (const auto& peer : peers) {
+            if (peer->node_id != hit->home_node) continue;
+            if (peer->gen_reader.has_value() &&
+                (peer->gen_reader->Epoch() != hit->gen_epoch ||
+                 peer->gen_reader->Read(hit->gen_slot) !=
+                     hit->generation)) {
+              valid = false;
+            }
+            break;
+          }
+        }
+        if (valid) {
+          out[i] = *hit;
+          continue;
+        }
+        cache_->Invalidate(ids[i]);
+        ++gen_invalidations;
+      }
+    }
+    unresolved.push_back(i);
+  }
+  if (gen_invalidations > 0) {
+    MutexLock lock(mutex_);
+    stats_.generation_retries += gen_invalidations;
+  }
+
   // 2. Shared index in disaggregated memory (§V-B extension): probe every
-  // peer's table before falling back to RPC.
+  // peer's table before falling back to RPC. The probes for distinct ids
+  // are independent loads, so the whole sweep is charged to the latency
+  // model as one pipelined wave (tf::AccessBatch) rather than a serial
+  // base latency per probe — this is what keeps a batched mapped Get
+  // near local Get latency.
   for (const auto& peer : peers) {
     if (!peer->index_reader.has_value() || unresolved.empty()) continue;
     std::vector<size_t> still_unresolved;
     uint64_t batch_index_hits = 0;
+    tf::AccessBatch wave(options_.fabric != nullptr
+                             ? options_.fabric->config().remote
+                             : tf::LatencyParams{});
+    const bool have_gen = peer->gen_reader.has_value();
+    // One epoch sample covers the sweep: it precedes every probe, and a
+    // restart between sample and probe bumps the epoch the client
+    // re-checks after its copy.
+    const uint64_t epoch =
+        have_gen ? peer->gen_reader->Epoch(&wave) : 0;
     for (size_t i : unresolved) {
-      auto indexed = peer->index_reader->Lookup(ids[i]);
+      // Generation sample BEFORE the index probe. Writers withdraw the
+      // index entry first and bump second, so an index hit proves the
+      // bump of any overlapping destructive transition lands after this
+      // sample — the reader's post-copy re-check then catches it.
+      // Sampling after the probe would let a transition slip between
+      // probe and sample and stamp a fresh generation onto a dead
+      // offset.
+      uint64_t gen = 0;
+      uint64_t slot = 0;
+      if (have_gen) {
+        slot = peer->gen_reader->SlotFor(ids[i]);
+        gen = peer->gen_reader->Read(slot, &wave);
+      }
+      auto indexed = peer->index_reader->Lookup(ids[i], &wave);
       if (!indexed.has_value()) {
         still_unresolved.push_back(i);
         continue;
@@ -341,6 +429,12 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
       loc.offset = indexed->offset;
       loc.data_size = indexed->data_size;
       loc.metadata_size = indexed->metadata_size;
+      if (have_gen) {
+        loc.generation = gen;
+        loc.gen_slot = slot;
+        loc.gen_region = peer->gen_region;
+        loc.gen_epoch = epoch;
+      }
       out[i] = loc;
       if (cache_ != nullptr) cache_->Put(ids[i], loc);
       ++batch_index_hits;
@@ -536,6 +630,11 @@ std::vector<plasma::PeerStatsEntry> RemoteStoreRegistry::PeerHealth() {
     out.push_back(entry);
   }
   return out;
+}
+
+uint64_t RemoteStoreRegistry::GenerationRetries() {
+  MutexLock lock(mutex_);
+  return stats_.generation_retries;
 }
 
 void RemoteStoreRegistry::ReleaseAllPins() {

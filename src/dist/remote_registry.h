@@ -54,6 +54,7 @@
 #include "dist/lookup_cache.h"
 #include "dist/messages.h"
 #include "dist/usage_tracker.h"
+#include "plasma/generation_table.h"
 #include "plasma/shared_index.h"
 #include "plasma/store.h"
 #include "rpc/channel.h"
@@ -113,6 +114,9 @@ struct RegistryStats {
   uint64_t notices_flushed = 0;  // queued DeleteNotices delivered
   uint64_t notices_dropped = 0;  // queued DeleteNotices discarded
   uint64_t stale_pins_detected = 0;  // failed pins at cached locations
+  // Mapped data plane: cached descriptors invalidated because their
+  // generation (or epoch) no longer matched the peer's generation table.
+  uint64_t generation_retries = 0;
 };
 
 class RemoteStoreRegistry : public plasma::DistHooks {
@@ -162,6 +166,7 @@ class RemoteStoreRegistry : public plasma::DistHooks {
                    const plasma::RemoteObjectLocation& loc) override;
   void NotifyDeleted(const ObjectId& id) override;
   std::vector<plasma::PeerStatsEntry> PeerHealth() override;
+  uint64_t GenerationRetries() override;
 
  private:
   struct Peer {
@@ -174,6 +179,14 @@ class RemoteStoreRegistry : public plasma::DistHooks {
     // reader points into.
     std::optional<tf::AttachedRegion> index_attachment;
     std::optional<plasma::SharedIndexReader> index_reader;
+    // Mapped data plane (set when the peer exports a generation table):
+    // index-path lookups stamp descriptors with the peer's current
+    // generation, and cached descriptors are re-validated against it.
+    // Reset together with the index mapping when the peer dies, so a
+    // restarted incarnation is never read through a stale attachment.
+    uint32_t gen_region = UINT32_MAX;
+    std::optional<tf::AttachedRegion> gen_attachment;
+    std::optional<plasma::GenerationReader> gen_reader;
     // Health machine. Guarded by the registry mutex; the guard cannot be
     // spelled as GUARDED_BY here (the analysis has no alias tracking
     // across shared_ptr<Peer> copies), so the contract is enforced at

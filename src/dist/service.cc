@@ -38,6 +38,7 @@ void StoreService::RegisterWith(rpc::RpcServer& server) {
         reply.node_id = store->node_id();
         reply.pool_region = store->pool_region();
         reply.index_region = store->index_region();
+        reply.gen_region = store->gen_region();
         reply.store_name = store->name();
         return EncodeReply(reply);
       });

@@ -54,6 +54,14 @@ Result<std::unique_ptr<AsyncClient>> AsyncClient::Connect(
     client->pool_map_.emplace(std::move(map));
   }
 
+  // Mapped buffers handed out by this client reach back through the
+  // refetch context for their generation-mismatch fallback.
+  client->refetch_ = std::make_shared<ObjectBuffer::RefetchContext>();
+  {
+    MutexLock lock(client->refetch_->mutex);
+    client->refetch_->client = client.get();
+  }
+
   {
     MutexLock lock(client->pending_mutex_);
     client->running_ = true;
@@ -67,6 +75,14 @@ AsyncClient::~AsyncClient() { (void)Disconnect(); }
 Status AsyncClient::Disconnect() {
   // Serializes concurrent disconnect/destructor paths (double-join UB).
   MutexLock disconnect_lock(disconnect_mutex_);
+  // Detach outstanding mapped buffers first: their fallback path holds
+  // the context mutex across its round-trip, so this blocks until any
+  // in-flight refetch finishes (the reader is still running here) and
+  // no new one can grab the client afterwards.
+  if (refetch_ != nullptr) {
+    MutexLock lock(refetch_->mutex);
+    refetch_->client = nullptr;
+  }
   bool was_running;
   {
     MutexLock lock(pending_mutex_);
@@ -239,6 +255,29 @@ Result<std::shared_ptr<tf::AttachedRegion>> AsyncClient::ResolveRegion(
   return shared;
 }
 
+Result<std::shared_ptr<const MappedGenTable>> AsyncClient::ResolveGenTable(
+    uint32_t node, uint32_t region) {
+  auto key = std::make_pair(node, region);
+  {
+    MutexLock lock(region_mutex_);
+    auto it = gen_tables_.find(key);
+    if (it != gen_tables_.end()) return it->second;
+  }
+  // ResolveRegion owns the attach-outside-the-lock discipline; the same
+  // benign last-writer-wins race applies to the reader cache slot.
+  MDOS_ASSIGN_OR_RETURN(std::shared_ptr<tf::AttachedRegion> attachment,
+                        ResolveRegion(node, region));
+  MDOS_ASSIGN_OR_RETURN(
+      GenerationReader reader,
+      GenerationReader::Open(attachment->unsafe_data(), attachment->size(),
+                             options_.fabric->config().remote));
+  auto table = std::make_shared<const MappedGenTable>(
+      MappedGenTable{std::move(attachment), std::move(reader)});
+  MutexLock lock(region_mutex_);
+  gen_tables_[key] = table;
+  return table;
+}
+
 ObjectBuffer AsyncClient::MakeBuffer(const GetReplyEntry& entry,
                                      bool writable) {
   ObjectBuffer buffer;
@@ -254,6 +293,19 @@ ObjectBuffer AsyncClient::MakeBuffer(const GetReplyEntry& entry,
     buffer.region_ = std::move(region).value();
     buffer.base_ = entry.offset;
     buffer.remote_ = true;
+    if (entry.mapped && entry.gen_region != UINT32_MAX) {
+      // Mapped descriptor: nothing pins these bytes at their home store,
+      // so wire up generation validation. An unreachable table leaves
+      // the descriptor unverifiable — treat the entry as not found
+      // rather than serve bytes that could be torn.
+      auto gen = ResolveGenTable(entry.home_node, entry.gen_region);
+      if (!gen.ok()) return buffer;  // invalid
+      buffer.gen_ = std::move(gen).value();
+      buffer.generation_ = entry.generation;
+      buffer.gen_slot_ = entry.gen_slot;
+      buffer.gen_epoch_ = entry.gen_epoch;
+      buffer.refetch_ = refetch_;
+    }
     buffer.valid_ = true;
     return buffer;
   }
@@ -315,10 +367,11 @@ Future<Status> AsyncClient::AbortAsync(const ObjectId& id) {
 }
 
 Future<Result<std::vector<ObjectBuffer>>> AsyncClient::GetAsync(
-    const std::vector<ObjectId>& ids, uint64_t timeout_ms) {
+    const std::vector<ObjectId>& ids, uint64_t timeout_ms, bool pinned) {
   GetRequest request;
   request.ids = ids;
   request.timeout_ms = timeout_ms;
+  request.pinned = pinned;
   return Dispatch<GetReply>(
       MessageType::kGetRequest, MessageType::kGetReply, request,
       [this](GetReply&& reply) -> Result<std::vector<ObjectBuffer>> {
@@ -333,10 +386,20 @@ Future<Result<std::vector<ObjectBuffer>>> AsyncClient::GetAsync(
 }
 
 Future<Result<ObjectBuffer>> AsyncClient::GetAsync(const ObjectId& id,
-                                                   uint64_t timeout_ms) {
+                                                   uint64_t timeout_ms,
+                                                   bool pinned) {
+  return GetOneInternal(id, timeout_ms, pinned, /*fallback=*/false);
+}
+
+Future<Result<ObjectBuffer>> AsyncClient::GetOneInternal(const ObjectId& id,
+                                                         uint64_t timeout_ms,
+                                                         bool pinned,
+                                                         bool fallback) {
   GetRequest request;
   request.ids = {id};
   request.timeout_ms = timeout_ms;
+  request.pinned = pinned;
+  request.fallback = fallback;
   return Dispatch<GetReply>(
       MessageType::kGetRequest, MessageType::kGetReply, request,
       [this, id](GetReply&& reply) -> Result<ObjectBuffer> {
@@ -351,6 +414,36 @@ Future<Result<ObjectBuffer>> AsyncClient::GetAsync(const ObjectId& id,
         }
         return buffer;
       });
+}
+
+Status AsyncClient::RefetchMapped(const ObjectBuffer& stale) {
+  // The descriptor went stale mid-read: its object was evicted, spilled,
+  // deleted, or re-created at the home store. Fetch a pinned replacement
+  // (`fallback` tags the request so the store counts mapped_fallbacks).
+  MDOS_ASSIGN_OR_RETURN(ObjectBuffer fresh,
+                        GetOneInternal(stale.id_, /*timeout_ms=*/0,
+                                       /*pinned=*/true, /*fallback=*/true)
+                            .Take());
+  // One Release retires the dead mapped reference — the store consumes
+  // mapped refs before pinned ones — leaving exactly the new pin for the
+  // caller's eventual Release. This holds on the error path below too.
+  (void)ReleaseAsync(stale.id_).Take();
+  if (fresh.data_size_ != stale.data_size_ ||
+      fresh.metadata_size_ != stale.metadata_size_) {
+    // The id was re-created with a different shape; offsets the caller
+    // derived from the stale buffer are meaningless against it.
+    return Status::Invalid("object " + stale.id_.Hex() +
+                           " was replaced while a mapped read was in "
+                           "flight");
+  }
+  // Rebind the caller's buffer onto the pinned bytes and drop the
+  // validation state: reads retried by the caller now hit stable memory.
+  stale.region_ = fresh.region_;
+  stale.raw_ = fresh.raw_;
+  stale.base_ = fresh.base_;
+  stale.remote_ = fresh.remote_;
+  stale.gen_.reset();
+  return Status::OK();
 }
 
 Future<Status> AsyncClient::ReleaseAsync(const ObjectId& id) {

@@ -75,11 +75,15 @@ class AsyncClient {
   // Retrieves buffers; the store holds the reply until the objects are
   // sealed (anywhere) or `timeout_ms` expires, so the future resolves at
   // availability. Entries that never appeared are invalid buffers.
+  // `pinned` forces the RPC+pin path for remote objects even when the
+  // store serves mapped (generation-validated) descriptors.
   Future<Result<std::vector<ObjectBuffer>>> GetAsync(
-      const std::vector<ObjectId>& ids, uint64_t timeout_ms = 0);
+      const std::vector<ObjectId>& ids, uint64_t timeout_ms = 0,
+      bool pinned = false);
   // Single-id form; an absent object resolves to KeyError.
   Future<Result<ObjectBuffer>> GetAsync(const ObjectId& id,
-                                        uint64_t timeout_ms = 0);
+                                        uint64_t timeout_ms = 0,
+                                        bool pinned = false);
 
   Future<Status> ReleaseAsync(const ObjectId& id);
   Future<Result<bool>> ContainsAsync(const ObjectId& id);
@@ -106,6 +110,7 @@ class AsyncClient {
 
  private:
   friend class PlasmaClient;
+  friend class ObjectBuffer;
 
   // Consumes a reply frame's (type, tagged payload) — or the connection
   // error that ended it — and fulfills the operation's promise. The
@@ -133,7 +138,22 @@ class AsyncClient {
   // attachment cache is shared by callers and the reply-dispatch thread.
   Result<std::shared_ptr<tf::AttachedRegion>> ResolveRegion(
       uint32_t node, uint32_t region) EXCLUDES(region_mutex_);
+  // Resolves the generation-table reader for (node, gen region) — the
+  // validation side of the mapped data plane. Cached like attachments.
+  Result<std::shared_ptr<const MappedGenTable>> ResolveGenTable(
+      uint32_t node, uint32_t region) EXCLUDES(region_mutex_);
   ObjectBuffer MakeBuffer(const GetReplyEntry& entry, bool writable);
+
+  // Single-id Get with explicit mapped-plane flags (`fallback` tags the
+  // request as a generation-mismatch refetch for the store's counters).
+  Future<Result<ObjectBuffer>> GetOneInternal(const ObjectId& id,
+                                              uint64_t timeout_ms,
+                                              bool pinned, bool fallback);
+  // Called by a mapped ObjectBuffer whose generation check failed:
+  // fetches a pinned replacement, retires the stale mapped reference,
+  // and rebinds the buffer's backing in place. Blocking (round-trips on
+  // this connection); must not run on the reply-dispatch thread.
+  Status RefetchMapped(const ObjectBuffer& stale);
 
   net::UniqueFd fd_;
   ClientOptions options_;
@@ -152,6 +172,13 @@ class AsyncClient {
   std::map<std::pair<uint32_t, uint32_t>,
            std::shared_ptr<tf::AttachedRegion>>
       attachments_ GUARDED_BY(region_mutex_);
+  // Cache of peer generation-table readers: (node, gen region) -> table.
+  std::map<std::pair<uint32_t, uint32_t>,
+           std::shared_ptr<const MappedGenTable>>
+      gen_tables_ GUARDED_BY(region_mutex_);
+  // Handed to every mapped buffer; Disconnect nulls the back-pointer so
+  // outstanding buffers fail cleanly instead of dangling into us.
+  std::shared_ptr<ObjectBuffer::RefetchContext> refetch_;
 
   // Send queue: writes are serialized; the kernel socket buffer carries
   // the queued frames to the store back-to-back. fd_ is closed only with

@@ -27,11 +27,19 @@ Status ObjectBuffer::CheckAccess(uint64_t section_size, uint64_t offset,
 
 Status ObjectBuffer::RawRead(uint64_t offset, void* dst,
                              uint64_t size) const {
-  if (region_ != nullptr) {
-    return region_->Read(base_ + offset, dst, size);
+  // Mapped buffers loop at most twice: a generation mismatch after the
+  // first copy swaps in a pinned backing (FallbackToPinned clears gen_),
+  // and the second copy reads stable bytes. The caller never sees torn
+  // data — a failed fallback surfaces as an error, not as the copy.
+  for (;;) {
+    if (region_ != nullptr) {
+      MDOS_RETURN_IF_ERROR(region_->Read(base_ + offset, dst, size));
+    } else {
+      std::memcpy(dst, raw_ + base_ + offset, size);
+    }
+    if (gen_ == nullptr || GenerationIntact()) return Status::OK();
+    MDOS_RETURN_IF_ERROR(FallbackToPinned());
   }
-  std::memcpy(dst, raw_ + base_ + offset, size);
-  return Status::OK();
 }
 
 Status ObjectBuffer::RawWrite(uint64_t offset, const void* src,
@@ -60,10 +68,46 @@ Status ObjectBuffer::WriteData(uint64_t offset, const void* src,
 
 Result<uint32_t> ObjectBuffer::ChecksumData(uint64_t chunk) const {
   if (!valid_) return Status::Invalid("buffer is not valid");
-  if (region_ != nullptr) {
-    return region_->ChecksumRead(base_, data_size_, chunk);
+  // Same retry shape as RawRead. The whole streaming checksum restarts
+  // after a fallback: chunks copied before and after a transition must
+  // never be mixed into one CRC.
+  for (;;) {
+    Result<uint32_t> crc =
+        region_ != nullptr
+            ? region_->ChecksumRead(base_, data_size_, chunk)
+            : Result<uint32_t>(Crc32(raw_ + base_, data_size_));
+    if (!crc.ok()) return crc;
+    if (gen_ == nullptr || GenerationIntact()) return crc;
+    MDOS_RETURN_IF_ERROR(FallbackToPinned());
   }
-  return Crc32(raw_ + base_, data_size_);
+}
+
+bool ObjectBuffer::GenerationIntact() const {
+  // Seqlock read side: the fence keeps the payload copy above from being
+  // reordered past the generation re-read; the descriptor's generation
+  // was sampled by the home store BEFORE the offset was issued, so an
+  // unchanged slot (in the same table incarnation) proves no destructive
+  // transition overlapped the copy.
+  std::atomic_thread_fence(std::memory_order_acquire);
+  return gen_->reader.Epoch() == gen_epoch_ &&
+         gen_->reader.Read(gen_slot_) == generation_;
+}
+
+Status ObjectBuffer::FallbackToPinned() const {
+  if (refetch_ == nullptr) {
+    return Status::Unavailable(
+        "mapped object changed mid-read and the buffer has no client to "
+        "fall back through");
+  }
+  // Held across the refetch so Disconnect cannot tear down the client
+  // under us. No deadlock: the reply-dispatch thread that resolves the
+  // refetch's futures never takes this mutex, and Disconnect only blocks
+  // here until the refetch round-trips.
+  MutexLock lock(refetch_->mutex);
+  if (refetch_->client == nullptr) {
+    return Status::NotConnected("client disconnected");
+  }
+  return refetch_->client->RefetchMapped(*this);
 }
 
 Status ObjectBuffer::ReadMetadata(uint64_t offset, void* dst,
@@ -207,6 +251,12 @@ Result<ObjectBuffer> PlasmaClient::Get(const ObjectId& id,
                                        uint64_t timeout_ms) {
   AssertSingleThread();
   return core_->GetAsync(id, timeout_ms).Take();
+}
+
+Result<ObjectBuffer> PlasmaClient::GetPinned(const ObjectId& id,
+                                             uint64_t timeout_ms) {
+  AssertSingleThread();
+  return core_->GetAsync(id, timeout_ms, /*pinned=*/true).Take();
 }
 
 Status PlasmaClient::Release(const ObjectId& id) {

@@ -34,16 +34,27 @@
 #include <thread>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/object_id.h"
 #include "common/status.h"
 #include "net/fd.h"
 #include "net/memfd.h"
+#include "plasma/generation_table.h"
 #include "plasma/protocol.h"
 #include "tf/fabric.h"
 
 namespace mdos::plasma {
 
 class AsyncClient;
+
+// Client-side handle to a home store's mapped generation table: the
+// fabric attachment keeps the mapping alive, the reader validates
+// descriptors against it. One per (node, gen region), shared by every
+// mapped buffer the client resolves from that store.
+struct MappedGenTable {
+  std::shared_ptr<tf::AttachedRegion> attachment;
+  GenerationReader reader;
+};
 
 struct ClientOptions {
   std::string client_name = "client";
@@ -64,6 +75,10 @@ class ObjectBuffer {
   uint64_t metadata_size() const { return metadata_size_; }
   bool writable() const { return writable_; }
   bool is_remote() const { return remote_; }
+  // True while the buffer is a mapped (unpinned) remote descriptor.
+  // Every read validates the object's generation after copying; a
+  // transparent fallback to a pinned Get clears this flag.
+  bool is_mapped() const { return gen_ != nullptr; }
   bool valid() const { return valid_; }
 
   // Data-section access.
@@ -84,23 +99,53 @@ class ObjectBuffer {
  private:
   friend class AsyncClient;
 
+  // Shared by the owning AsyncClient and every mapped buffer it hands
+  // out: the transparent mapped→pinned fallback reaches back into the
+  // client from a const read path, and must go inert (not dangle) when
+  // the client disconnects.
+  struct RefetchContext {
+    Mutex mutex;
+    AsyncClient* client GUARDED_BY(mutex) = nullptr;
+  };
+
   Status CheckAccess(uint64_t section_size, uint64_t offset,
                      uint64_t size) const;
   Status RawRead(uint64_t offset, void* dst, uint64_t size) const;
   Status RawWrite(uint64_t offset, const void* src, uint64_t size);
+  // Seqlock read side: true when the generation (and table epoch) still
+  // match the descriptor after a completed copy, i.e. no destructive
+  // transition overlapped it. Only called when gen_ is set.
+  bool GenerationIntact() const;
+  // Generation mismatch: retire the mapped descriptor and swap in a
+  // pinned buffer from the owning client (clears gen_), so the caller's
+  // read can be retried against stable bytes.
+  Status FallbackToPinned() const;
 
   ObjectId id_;
   bool valid_ = false;
   bool writable_ = false;
-  bool remote_ = false;
   uint64_t data_size_ = 0;
   uint64_t metadata_size_ = 0;
-  uint64_t base_ = 0;  // offset of the data section within the region/map
+
+  // The backing (and the mapped-validation state below) is mutable:
+  // reads are const, but a generation-mismatch fallback transparently
+  // rebinds the buffer from the mapped region to a pinned one.
+  mutable bool remote_ = false;
+  mutable uint64_t base_ = 0;  // offset of the data section in region/map
 
   // Fabric path (modelled access):
-  std::shared_ptr<tf::AttachedRegion> region_;
+  mutable std::shared_ptr<tf::AttachedRegion> region_;
   // Raw path (no fabric):
-  uint8_t* raw_ = nullptr;
+  mutable uint8_t* raw_ = nullptr;
+
+  // Mapped data plane (remote descriptor buffers only): the generation
+  // the home store stamped the descriptor with, re-checked against the
+  // peer's table after every copy. Null gen_ means a plain buffer.
+  mutable std::shared_ptr<const MappedGenTable> gen_;
+  mutable uint64_t generation_ = 0;
+  mutable uint64_t gen_slot_ = 0;
+  mutable uint64_t gen_epoch_ = 0;
+  std::shared_ptr<RefetchContext> refetch_;
 };
 
 // A notification-only connection to a store (upstream Plasma's
@@ -155,6 +200,12 @@ class PlasmaClient {
   Result<std::vector<ObjectBuffer>> Get(const std::vector<ObjectId>& ids,
                                         uint64_t timeout_ms = 0);
   Result<ObjectBuffer> Get(const ObjectId& id, uint64_t timeout_ms = 0);
+
+  // Like Get, but forces the RPC+pin remote path even when the store
+  // serves mapped descriptors: the returned buffer is pinned at its home
+  // store and needs no generation validation. This is the rung mapped
+  // reads fall back to, and the baseline benchmarks compare against.
+  Result<ObjectBuffer> GetPinned(const ObjectId& id, uint64_t timeout_ms = 0);
 
   // Unpins one Get reference on the object.
   Status Release(const ObjectId& id);

@@ -1,0 +1,144 @@
+#include "plasma/generation_table.h"
+
+#include <atomic>
+#include <cstring>
+
+#include "common/clock.h"
+#include "plasma/shared_index.h"
+
+namespace mdos::plasma {
+namespace {
+
+std::atomic_ref<uint64_t> SlotRef(uint8_t* slots, uint64_t slot) {
+  return std::atomic_ref<uint64_t>(*reinterpret_cast<uint64_t*>(
+      slots + slot * GenerationTableLayout::kSlotBytes));
+}
+
+std::atomic_ref<const uint64_t> SlotRef(const uint8_t* slots,
+                                        uint64_t slot) {
+  return std::atomic_ref<const uint64_t>(
+      *reinterpret_cast<const uint64_t*>(
+          slots + slot * GenerationTableLayout::kSlotBytes));
+}
+
+}  // namespace
+
+uint64_t GenerationTableLayout::CapacityFor(uint64_t bytes) {
+  if (bytes <= kHeaderBytes + kSlotBytes) return 0;
+  uint64_t slots = (bytes - kHeaderBytes) / kSlotBytes;
+  uint64_t capacity = 1;
+  while (capacity * 2 <= slots) capacity *= 2;
+  return capacity;
+}
+
+// ---- writer ---------------------------------------------------------------
+
+Result<GenerationTable> GenerationTable::Create(uint8_t* memory,
+                                                uint64_t bytes,
+                                                uint64_t epoch) {
+  if (memory == nullptr ||
+      (reinterpret_cast<uintptr_t>(memory) % 8) != 0) {
+    return Status::Invalid("generation table memory must be 8-byte aligned");
+  }
+  uint64_t capacity = GenerationTableLayout::CapacityFor(bytes);
+  if (capacity == 0) {
+    return Status::Invalid("generation table window too small");
+  }
+  std::memset(memory, 0, GenerationTableLayout::BytesFor(capacity));
+  auto* header = reinterpret_cast<uint64_t*>(memory);
+  // Publish capacity and epoch before the magic: a reader that sees the
+  // magic sees a fully formatted table.
+  std::atomic_ref<uint64_t>(header[1]).store(capacity,
+                                             std::memory_order_release);
+  std::atomic_ref<uint64_t>(header[2]).store(epoch,
+                                             std::memory_order_release);
+  std::atomic_ref<uint64_t>(header[0]).store(GenerationTableLayout::kMagic,
+                                             std::memory_order_release);
+  return GenerationTable(memory + GenerationTableLayout::kHeaderBytes,
+                         capacity, epoch);
+}
+
+GenerationTable::GenerationTable(uint8_t* slots, uint64_t capacity,
+                                 uint64_t epoch)
+    : slots_(slots), capacity_(capacity), epoch_(epoch) {}
+
+uint64_t GenerationTable::SlotFor(const ObjectId& id) const {
+  return SharedIndexHash(id) & (capacity_ - 1);
+}
+
+uint64_t GenerationTable::Bump(const ObjectId& id) {
+  return SlotRef(slots_, SlotFor(id))
+             .fetch_add(1, std::memory_order_seq_cst) +
+         1;
+}
+
+uint64_t GenerationTable::Read(const ObjectId& id) const {
+  return SlotRef(const_cast<const uint8_t*>(slots_), SlotFor(id))
+      .load(std::memory_order_acquire);
+}
+
+// ---- reader ---------------------------------------------------------------
+
+Result<GenerationReader> GenerationReader::Open(const uint8_t* memory,
+                                                uint64_t bytes,
+                                                tf::LatencyParams latency) {
+  if (memory == nullptr ||
+      (reinterpret_cast<uintptr_t>(memory) % 8) != 0) {
+    return Status::Invalid("generation table memory must be 8-byte aligned");
+  }
+  const auto* header = reinterpret_cast<const uint64_t*>(memory);
+  uint64_t magic = std::atomic_ref<const uint64_t>(header[0])
+                       .load(std::memory_order_acquire);
+  if (magic != GenerationTableLayout::kMagic) {
+    return Status::Invalid("generation table not formatted");
+  }
+  uint64_t capacity = std::atomic_ref<const uint64_t>(header[1])
+                          .load(std::memory_order_acquire);
+  if (capacity == 0 || (capacity & (capacity - 1)) != 0 ||
+      GenerationTableLayout::BytesFor(capacity) > bytes) {
+    return Status::ProtocolError("generation table header corrupt");
+  }
+  return GenerationReader(memory, capacity, latency);
+}
+
+GenerationReader::GenerationReader(const uint8_t* header,
+                                   uint64_t capacity,
+                                   tf::LatencyParams latency)
+    : header_(header),
+      slots_(header + GenerationTableLayout::kHeaderBytes),
+      capacity_(capacity),
+      latency_(latency) {}
+
+uint64_t GenerationReader::SlotFor(const ObjectId& id) const {
+  return SharedIndexHash(id) & (capacity_ - 1);
+}
+
+uint64_t GenerationReader::Read(uint64_t slot,
+                                tf::AccessBatch* batch) const {
+  const int64_t t0 = MonotonicNanos();
+  uint64_t generation =
+      SlotRef(slots_, slot & (capacity_ - 1))
+          .load(std::memory_order_acquire);
+  if (batch != nullptr) {
+    batch->Add(GenerationTableLayout::kSlotBytes);
+  } else {
+    tf::EnforceModel(latency_, GenerationTableLayout::kSlotBytes, t0);
+  }
+  return generation;
+}
+
+uint64_t GenerationReader::Epoch(tf::AccessBatch* batch) const {
+  const int64_t t0 = MonotonicNanos();
+  uint64_t epoch =
+      std::atomic_ref<const uint64_t>(
+          reinterpret_cast<const uint64_t*>(header_)[2])
+          .load(std::memory_order_acquire);
+  if (batch != nullptr) {
+    batch->Add(GenerationTableLayout::kSlotBytes);
+  } else {
+    tf::EnforceModel(latency_, GenerationTableLayout::kSlotBytes, t0);
+  }
+  return epoch;
+}
+
+}  // namespace mdos::plasma

@@ -112,6 +112,8 @@ void GetRequest::EncodeTo(wire::Writer& w) const {
     w2.PutObjectId(id);
   });
   w.PutVarint(timeout_ms);
+  w.PutBool(pinned);
+  w.PutBool(fallback);
 }
 Result<GetRequest> GetRequest::DecodeFrom(wire::Reader& r) {
   GetRequest m;
@@ -119,6 +121,8 @@ Result<GetRequest> GetRequest::DecodeFrom(wire::Reader& r) {
       m.ids, (r.GetRepeated<ObjectId>(
                  [](wire::Reader& r2) { return r2.GetObjectId(); })));
   MDOS_ASSIGN_OR_RETURN(m.timeout_ms, r.GetVarint());
+  MDOS_ASSIGN_OR_RETURN(m.pinned, r.GetBool());
+  MDOS_ASSIGN_OR_RETURN(m.fallback, r.GetBool());
   return m;
 }
 
@@ -131,6 +135,11 @@ void GetReplyEntry::EncodeTo(wire::Writer& w) const {
   w.PutU64(metadata_size);
   w.PutU32(home_node);
   w.PutU32(home_region);
+  w.PutBool(mapped);
+  w.PutU64(generation);
+  w.PutU64(gen_slot);
+  w.PutU32(gen_region);
+  w.PutU64(gen_epoch);
 }
 Result<GetReplyEntry> GetReplyEntry::DecodeFrom(wire::Reader& r) {
   GetReplyEntry m;
@@ -144,6 +153,11 @@ Result<GetReplyEntry> GetReplyEntry::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.home_node, r.GetU32());
   MDOS_ASSIGN_OR_RETURN(m.home_region, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.mapped, r.GetBool());
+  MDOS_ASSIGN_OR_RETURN(m.generation, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.gen_slot, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.gen_region, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.gen_epoch, r.GetU64());
   return m;
 }
 
@@ -284,6 +298,10 @@ void StoreStats::EncodeTo(wire::Writer& w) const {
   w.PutU64(peer_reconnects);
   w.PutU64(peer_heartbeats);
   w.PutU64(peer_queued_notices);
+  w.PutU64(mapped_reads);
+  w.PutU64(mapped_bytes);
+  w.PutU64(generation_retries);
+  w.PutU64(mapped_fallbacks);
 }
 Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   StoreStats m;
@@ -312,6 +330,10 @@ Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.peer_reconnects, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.peer_heartbeats, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.peer_queued_notices, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.mapped_reads, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.mapped_bytes, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.generation_retries, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.mapped_fallbacks, r.GetU64());
   return m;
 }
 
@@ -339,6 +361,9 @@ void ShardStatsEntry::EncodeTo(wire::Writer& w) const {
   w.PutU64(writev_calls);
   w.PutU64(bytes_tx);
   w.PutU64(egress_blocked_events);
+  w.PutU64(mapped_reads);
+  w.PutU64(mapped_bytes);
+  w.PutU64(mapped_fallbacks);
 }
 Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   ShardStatsEntry m;
@@ -358,6 +383,9 @@ Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.writev_calls, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.bytes_tx, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.egress_blocked_events, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.mapped_reads, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.mapped_bytes, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.mapped_fallbacks, r.GetU64());
   return m;
 }
 

@@ -132,6 +132,15 @@ struct AbortReply {
 struct GetRequest {
   std::vector<ObjectId> ids;
   uint64_t timeout_ms = 0;  // 0: reply immediately with what exists
+  // Force the RPC+pin path for remote objects even when the store runs
+  // in mapped-remote-reads mode: the reply entries are pinned at their
+  // home store and carry no generation validation burden. This is the
+  // bottom of the mapped read path's fallback ladder (and the baseline
+  // mode benchmarks compare against).
+  bool pinned = false;
+  // Set by the client's transparent generation-mismatch refetch so the
+  // store can count mapped_fallbacks (plain pinned Gets don't).
+  bool fallback = false;
   void EncodeTo(wire::Writer& w) const;
   static Result<GetRequest> DecodeFrom(wire::Reader& r);
 };
@@ -145,6 +154,17 @@ struct GetReplyEntry {
   uint64_t metadata_size = 0;
   uint32_t home_node = 0;        // remote only
   uint32_t home_region = 0;      // remote only: fabric RegionId
+  // Mapped data plane (zero-RPC remote reads): a mapped entry is NOT
+  // pinned at its home store — the client copies the payload from the
+  // mapped region and validates `generation` against slot `gen_slot` of
+  // the home node's generation table (region `gen_region`, incarnation
+  // `gen_epoch`) after every read; a mismatch falls back to a pinned
+  // re-Get. All four fields are meaningful only when `mapped` is true.
+  bool mapped = false;
+  uint64_t generation = 0;
+  uint64_t gen_slot = 0;
+  uint32_t gen_region = UINT32_MAX;
+  uint64_t gen_epoch = 0;
   void EncodeTo(wire::Writer& w) const;
   static Result<GetReplyEntry> DecodeFrom(wire::Reader& r);
 };
@@ -251,6 +271,12 @@ struct StoreStats {
   uint64_t peer_reconnects = 0;    // channel redials that succeeded
   uint64_t peer_heartbeats = 0;    // Plasma.Ping calls sent
   uint64_t peer_queued_notices = 0;  // delete notices parked for recovery
+  // Mapped data plane (zero-RPC remote reads; all zero when
+  // StoreOptions::mapped_remote_reads is off).
+  uint64_t mapped_reads = 0;       // remote Gets served as descriptors
+  uint64_t mapped_bytes = 0;       // payload bytes those Gets exposed
+  uint64_t generation_retries = 0;  // cached lookups voided by a gen bump
+  uint64_t mapped_fallbacks = 0;   // client refetches after a mismatch
   void EncodeTo(wire::Writer& w) const;
   static Result<StoreStats> DecodeFrom(wire::Reader& r);
 };
@@ -284,6 +310,10 @@ struct ShardStatsEntry {
   uint64_t writev_calls = 0;
   uint64_t bytes_tx = 0;
   uint64_t egress_blocked_events = 0;
+  // Mapped data plane counters for Gets homed on this shard.
+  uint64_t mapped_reads = 0;
+  uint64_t mapped_bytes = 0;
+  uint64_t mapped_fallbacks = 0;
   void EncodeTo(wire::Writer& w) const;
   static Result<ShardStatsEntry> DecodeFrom(wire::Reader& r);
 };

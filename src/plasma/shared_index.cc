@@ -223,7 +223,7 @@ SharedIndexReader::SharedIndexReader(const uint8_t* slots,
     : slots_(slots), capacity_(capacity), latency_(latency) {}
 
 std::optional<IndexedObject> SharedIndexReader::Lookup(
-    const ObjectId& id) const {
+    const ObjectId& id, tf::AccessBatch* batch) const {
   uint64_t mask = capacity_ - 1;
   uint64_t start = SharedIndexHash(id) & mask;
   for (uint64_t i = 0; i < capacity_; ++i) {
@@ -258,7 +258,11 @@ std::optional<IndexedObject> SharedIndexReader::Lookup(
     return std::nullopt;  // persistent contention: treat as miss
 
   consistent:
-    tf::EnforceModel(latency_, SharedIndexLayout::kSlotBytes, t0);
+    if (batch != nullptr) {
+      batch->Add(SharedIndexLayout::kSlotBytes);
+    } else {
+      tf::EnforceModel(latency_, SharedIndexLayout::kSlotBytes, t0);
+    }
     if (state == kStateEmpty) return std::nullopt;
     if (state == kStateFull && UnpackId(id_words) == id) {
       IndexedObject object;

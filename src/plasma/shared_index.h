@@ -124,8 +124,12 @@ class SharedIndexReader {
   }
 
   // Looks up `id`; nullopt when absent. Thread-safe: concurrent store
-  // shards may probe the same peer index (probes_ is atomic).
-  std::optional<IndexedObject> Lookup(const ObjectId& id) const;
+  // shards may probe the same peer index (probes_ is atomic). With
+  // `batch` set, probe charges are recorded there instead of stalling
+  // inline — for batched lookups of many independent ids.
+  std::optional<IndexedObject> Lookup(const ObjectId& id,
+                                      tf::AccessBatch* batch =
+                                          nullptr) const;
 
   uint64_t capacity() const { return capacity_; }
   uint64_t probes() const {

@@ -613,8 +613,9 @@ void Store::DropClient(Shard& shard, int fd) {
   }
   std::vector<std::pair<ObjectId, RemoteObjectLocation>> remote_unpins;
   for (const auto& [id, ref] : conn->remote_refs) {
-    for (uint32_t i = 0; i < ref.second; ++i) {
-      remote_unpins.emplace_back(id, ref.first);
+    // Mapped refs owe the home store nothing; only pinned refs unpin.
+    for (uint32_t i = 0; i < ref.pinned; ++i) {
+      remote_unpins.emplace_back(id, ref.loc);
     }
   }
   // RPC outside any shard mutex (see HandleCreate for the rationale).
@@ -672,6 +673,10 @@ void Store::HandleConnect(Shard& home, ClientConn& conn,
   }
 }
 
+void Store::BumpGeneration(const ObjectId& id) {
+  if (gen_table_ != nullptr) (void)gen_table_->Bump(id);
+}
+
 Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
                                                       uint64_t size) {
   const uint64_t arena_capacity = pool_alloc_->arena_capacity(owner.index);
@@ -712,14 +717,19 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
               entry->metadata_size);
           if (spilled_at.ok() &&
               owner.table.MarkSpilled(victim, *spilled_at).ok()) {
-            (void)owner.arena->Free(entry->offset);
-            owner.eviction.Remove(victim);
             if (shared_index_ != nullptr) {
               // Peers must stop reading the stale pool offset; their
               // look-ups fall back to RPC, which restores on demand.
               MutexLock index_lock(index_mutex_);
               (void)shared_index_->Remove(victim);
             }
+            // Index withdrawal, then bump, then free: a mapped reader
+            // mid-copy over the fabric re-checks the generation after
+            // copying, so the bump must land before the bytes can be
+            // reused by a later allocation.
+            BumpGeneration(victim);
+            (void)owner.arena->Free(entry->offset);
+            owner.eviction.Remove(victim);
             ++owner.spill_count;
             continue;
           }
@@ -734,13 +744,15 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
       }
       auto removed = owner.table.Remove(victim);
       if (!removed.ok()) continue;  // raced with a new pin; skip
-      (void)owner.arena->Free(removed->offset);
-      owner.eviction.Remove(victim);
-      owner.remote_pins.erase(victim);
       if (shared_index_ != nullptr) {
         MutexLock index_lock(index_mutex_);
         (void)shared_index_->Remove(victim);
       }
+      // Same ordering as the spill path: bump before the bytes free.
+      BumpGeneration(victim);
+      (void)owner.arena->Free(removed->offset);
+      owner.eviction.Remove(victim);
+      owner.remote_pins.erase(victim);
       ++owner.eviction_count;
     }
   }
@@ -775,6 +787,9 @@ Result<ObjectEntry> Store::RestoreSpilled(Shard& owner,
   (void)owner.spill->Free(entry.spill_offset);
   owner.eviction.Add(id, entry.total_size());
   ++owner.restore_count;
+  // The restore rebinds the id to a fresh pool offset: descriptors
+  // stamped before the spill must not validate against the new bytes.
+  BumpGeneration(id);
   if (shared_index_ != nullptr) {
     MutexLock index_lock(index_mutex_);
     (void)shared_index_->Insert(
@@ -905,6 +920,9 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
         owner.eviction.Add(request->id, entry->total_size());
         notice.data_size = entry->data_size;
         notice.metadata_size = entry->metadata_size;
+        // Seal binds the id to its bytes: bump so descriptors from any
+        // earlier incarnation of the id (delete + re-create) go stale.
+        BumpGeneration(request->id);
         if (shared_index_ != nullptr) {
           // Publish into disaggregated memory so peers can find the
           // object without an RPC. Index-full is non-fatal: peers fall
@@ -1078,6 +1096,13 @@ void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
   pending.request_id = request_id;
   pending.order = request->ids;
   pending.timeout_ms = request->timeout_ms;
+  pending.pinned = request->pinned;
+  pending.fallback = request->fallback;
+  if (request->fallback) {
+    // The client's mapped copy failed generation validation and it is
+    // refetching through the pinned ladder rung.
+    home.mapped_fallbacks.fetch_add(1, std::memory_order_relaxed);
+  }
 
   std::unordered_set<ObjectId> missing_seen;
   for (const ObjectId& id : request->ids) {
@@ -1095,19 +1120,33 @@ void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
   batch_gets->push_back(std::move(pending));
 }
 
-bool Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
-                              const ObjectId& id,
+bool Store::AdoptRemoteObject(Shard& home, ClientConn& conn,
+                              PendingGet& pending, const ObjectId& id,
                               const RemoteObjectLocation& loc,
                               bool count_hit) {
-  if (options_.pin_remote_objects && dist_hooks_ != nullptr) {
+  // Mapped data plane: a generation-stamped location is handed out as an
+  // unpinned descriptor — zero RPCs to the home store. The client copies
+  // through its cached region attachment and re-checks the generation;
+  // a get that forced the pinned rung (fallback, bench baseline) takes
+  // the classic path below.
+  const bool mapped = options_.mapped_remote_reads && !pending.pinned &&
+                      loc.gen_region != UINT32_MAX;
+  if (mapped) {
+    auto& ref = conn.remote_refs[id];
+    ref.loc = loc;
+    ++ref.mapped;
+    home.mapped_reads.fetch_add(1, std::memory_order_relaxed);
+    home.mapped_bytes.fetch_add(loc.data_size + loc.metadata_size,
+                                std::memory_order_relaxed);
+  } else if (options_.pin_remote_objects && dist_hooks_ != nullptr) {
     // Pin before handing the location out: a failed pin means the
     // location is stale (lost DeleteNotice, restarted peer) and must not
     // reach the client — it would read dangling pool offsets.
     Status pinned = dist_hooks_->PinRemote(id, loc);
     if (!pinned.ok()) return false;
     auto& ref = conn.remote_refs[id];
-    ref.first = loc;
-    ++ref.second;
+    ref.loc = loc;
+    ++ref.pinned;
   }
   GetReplyEntry entry;
   entry.id = id;
@@ -1118,6 +1157,11 @@ bool Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
   entry.metadata_size = loc.metadata_size;
   entry.home_node = loc.home_node;
   entry.home_region = loc.home_region;
+  entry.mapped = mapped;
+  entry.generation = loc.generation;
+  entry.gen_slot = loc.gen_slot;
+  entry.gen_region = loc.gen_region;
+  entry.gen_epoch = loc.gen_epoch;
   pending.ready.emplace(id, entry);
   if (count_hit) {
     // Hits are only counted where the look-up itself was counted, so
@@ -1127,12 +1171,14 @@ bool Store::AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
   return true;
 }
 
-bool Store::AdoptRemoteObjectWithRetry(ClientConn& conn,
+bool Store::AdoptRemoteObjectWithRetry(Shard& home, ClientConn& conn,
                                        PendingGet& pending,
                                        const ObjectId& id,
                                        const RemoteObjectLocation& loc,
                                        bool count_hit) {
-  if (AdoptRemoteObject(conn, pending, id, loc, count_hit)) return true;
+  if (AdoptRemoteObject(home, conn, pending, id, loc, count_hit)) {
+    return true;
+  }
   // Stale location: the dist layer invalidated its cache entry when the
   // pin failed, so this lookup bypasses the cache and asks the peers
   // again. One retry only — a second stale answer means the object is
@@ -1140,7 +1186,7 @@ bool Store::AdoptRemoteObjectWithRetry(ClientConn& conn,
   auto retried = BatchedRemoteLookup({id}, /*count_lookups=*/false);
   auto it = retried.find(id);
   if (it == retried.end()) return false;
-  return AdoptRemoteObject(conn, pending, id, it->second,
+  return AdoptRemoteObject(home, conn, pending, id, it->second,
                            /*count_hit=*/false);
 }
 
@@ -1202,7 +1248,7 @@ void Store::ResolveGets(Shard& home, ClientConn& conn,
     for (const ObjectId& id : pending.missing) {
       auto it = resolved.find(id);
       if (it != resolved.end() &&
-          AdoptRemoteObjectWithRetry(conn, pending, id, it->second,
+          AdoptRemoteObjectWithRetry(home, conn, pending, id, it->second,
                                      /*count_hit=*/true)) {
         continue;
       }
@@ -1327,8 +1373,8 @@ int Store::FlushExpiredPendingGets(Shard& shard) {
         }
         auto hit = resolved.find(*id_it);
         if (hit == resolved.end() || conn_it == shard.clients.end() ||
-            !AdoptRemoteObjectWithRetry(*conn_it->second, pending, *id_it,
-                                        hit->second,
+            !AdoptRemoteObjectWithRetry(shard, *conn_it->second, pending,
+                                        *id_it, hit->second,
                                         /*count_hit=*/false)) {
           ++id_it;
           continue;
@@ -1370,8 +1416,18 @@ void Store::HandleRelease(Shard& home, ClientConn& conn,
   } else {
     auto remote_it = conn.remote_refs.find(request->id);
     if (remote_it != conn.remote_refs.end()) {
-      remote_unpin = remote_it->second.first;
-      if (--remote_it->second.second == 0) {
+      auto& ref = remote_it->second;
+      if (ref.mapped > 0) {
+        // Mapped descriptors hold no pin at the home store; nothing to
+        // send. Consumed before pinned refs so a client's transparent
+        // fallback (old mapped ref + fresh pinned ref on the same id)
+        // retires the descriptor and keeps the pin it still needs.
+        --ref.mapped;
+      } else if (ref.pinned > 0) {
+        --ref.pinned;
+        remote_unpin = ref.loc;
+      }
+      if (ref.mapped == 0 && ref.pinned == 0) {
         conn.remote_refs.erase(remote_it);
       }
     } else {
@@ -1427,6 +1483,13 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
       auto removed = owner.table.Remove(request->id);
       reply.status = removed.status();
       if (removed.ok()) {
+        if (shared_index_ != nullptr) {
+          MutexLock index_lock(index_mutex_);
+          (void)shared_index_->Remove(request->id);
+        }
+        // Index withdrawal, then bump, then free (mapped-read seqlock
+        // write order — see AllocateWithEviction).
+        BumpGeneration(request->id);
         if (removed->state == ObjectState::kSpilled) {
           if (owner.spill.has_value()) {
             (void)owner.spill->Free(removed->spill_offset);
@@ -1437,10 +1500,6 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
         }
         owner.eviction.Remove(request->id);
         owner.remote_pins.erase(request->id);
-        if (shared_index_ != nullptr) {
-          MutexLock index_lock(index_mutex_);
-          (void)shared_index_->Remove(request->id);
-        }
         deleted = true;
       }
     }
@@ -1528,6 +1587,16 @@ std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
       loc.offset = entry->offset;
       loc.data_size = entry->data_size;
       loc.metadata_size = entry->metadata_size;
+      if (options_.mapped_remote_reads && gen_table_ != nullptr) {
+        // Stamp the descriptor with the current generation. Sampled
+        // under the owner mutex, so it is consistent with the offset
+        // above: any destructive transition after this point bumps the
+        // slot, and the reader's post-copy re-check catches it.
+        loc.generation = gen_table_->Read(ids[i]);
+        loc.gen_slot = gen_table_->SlotFor(ids[i]);
+        loc.gen_region = gen_region_;
+        loc.gen_epoch = gen_table_->epoch();
+      }
       out[i] = loc;
       (void)owner.table.AddRef(ids[i]);
       reported.push_back(ids[i]);
@@ -1640,12 +1709,19 @@ StoreStats Store::stats() {
     s.bytes_tx += shard->tx_bytes.load(std::memory_order_relaxed);
     s.egress_blocked_events +=
         shard->tx_blocked_events.load(std::memory_order_relaxed);
+    s.mapped_reads += shard->mapped_reads.load(std::memory_order_relaxed);
+    s.mapped_bytes += shard->mapped_bytes.load(std::memory_order_relaxed);
+    s.mapped_fallbacks +=
+        shard->mapped_fallbacks.load(std::memory_order_relaxed);
   }
   s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
   s.remote_lookup_hits =
       remote_lookup_hits_.load(std::memory_order_relaxed);
   // Peer-health totals from the dist layer (empty without peers).
   if (dist_hooks_ != nullptr) {
+    // Generation-mismatch invalidations of cached descriptors live in
+    // the dist layer (it validates against peers' generation tables).
+    s.generation_retries = dist_hooks_->GenerationRetries();
     for (const PeerStatsEntry& peer : dist_hooks_->PeerHealth()) {
       ++s.peers_total;
       if (peer.state == 0) ++s.peers_healthy;
@@ -1693,6 +1769,12 @@ std::vector<ShardStatsEntry> Store::shard_stats() {
     entry.bytes_tx = shard->tx_bytes.load(std::memory_order_relaxed);
     entry.egress_blocked_events =
         shard->tx_blocked_events.load(std::memory_order_relaxed);
+    entry.mapped_reads =
+        shard->mapped_reads.load(std::memory_order_relaxed);
+    entry.mapped_bytes =
+        shard->mapped_bytes.load(std::memory_order_relaxed);
+    entry.mapped_fallbacks =
+        shard->mapped_fallbacks.load(std::memory_order_relaxed);
     out.push_back(entry);
   }
   return out;

@@ -79,6 +79,7 @@
 #include "net/poller.h"
 #include "net/tx_queue.h"
 #include "plasma/eviction.h"
+#include "plasma/generation_table.h"
 #include "plasma/object_table.h"
 #include "plasma/protocol.h"
 #include "plasma/shared_index.h"
@@ -127,6 +128,15 @@ struct StoreOptions {
   // Distributed object-usage sharing (paper future work, implemented):
   // pin remote objects at their home store while local clients use them.
   bool pin_remote_objects = true;
+  // Mapped data plane (zero-RPC remote reads): serve remote sealed Gets
+  // as (node, region, offset, size, generation) descriptors instead of
+  // pinning at the home store. Clients copy the payload straight from
+  // the mapped region and re-check the generation; a mismatch (evicted /
+  // spilled / deleted mid-read) falls back to a pinned re-Get. Requires
+  // a generation table (SetGenerationTable) to take effect. Off by
+  // default: descriptor Gets hold no pin at the home store, which
+  // changes the eviction-protection contract the default mode provides.
+  bool mapped_remote_reads = false;
 };
 
 // Location of a remote object as exchanged between stores.
@@ -136,6 +146,14 @@ struct RemoteObjectLocation {
   uint64_t offset = 0;       // region-relative offset of the data section
   uint64_t data_size = 0;
   uint64_t metadata_size = 0;
+  // Mapped data plane: the generation stamped on this descriptor and the
+  // slot/region/epoch to validate it against (generation_table.h).
+  // gen_region == UINT32_MAX means the home store published no
+  // generation table and the location supports only the RPC+pin path.
+  uint64_t generation = 0;
+  uint64_t gen_slot = 0;
+  uint32_t gen_region = UINT32_MAX;
+  uint64_t gen_epoch = 0;
 };
 
 // Interface to the distributed layer; implemented by
@@ -171,6 +189,12 @@ class DistHooks {
   // Peer failure handling: per-peer health rows for observability
   // (kPeerStatsRequest). Default: no peers.
   virtual std::vector<PeerStatsEntry> PeerHealth() { return {}; }
+
+  // Mapped data plane: cumulative cached-lookup invalidations caused by
+  // a generation mismatch (the dist layer re-validated a cached
+  // descriptor against the peer's generation table and lost). Folded
+  // into StoreStats::generation_retries.
+  virtual uint64_t GenerationRetries() { return 0; }
 };
 
 class Store {
@@ -214,6 +238,20 @@ class Store {
     index_region_ = index_region;
   }
   uint32_t index_region() const { return index_region_; }
+
+  // Mapped data plane: when set, every transition that (re)binds or
+  // invalidates an object's bytes — seal, destructive evict, spill,
+  // spill-restore re-insert, delete — bumps the id's slot in `table`,
+  // and peer-facing lookups stamp descriptors with the current
+  // generation. `gen_region` is the fabric region peers attach (travels
+  // in the Hello handshake). The table is lock-free (per-slot atomics),
+  // so unlike the shared index it needs no store-level serialization;
+  // bumps are ordered against index updates by the owning shard's mutex.
+  void SetGenerationTable(GenerationTable* table, uint32_t gen_region) {
+    gen_table_ = table;
+    gen_region_ = gen_region;
+  }
+  uint32_t gen_region() const { return gen_region_; }
 
   const std::string& socket_path() const { return socket_path_; }
   const std::string& name() const { return options_.name; }
@@ -284,11 +322,18 @@ class Store {
     // Pins of local objects held through this connection: id -> count.
     // (The pinned ids may be owned by any shard.)
     std::unordered_map<ObjectId, uint32_t> local_pins;
-    // Remote objects handed out through this connection:
-    // id -> (loc, count).
-    std::unordered_map<ObjectId,
-                       std::pair<RemoteObjectLocation, uint32_t>>
-        remote_refs;
+    // One remote object handed out through this connection. Pinned refs
+    // were adopted through the RPC+pin path and owe the home store one
+    // UnpinRemote each; mapped refs are unpinned descriptors (the mapped
+    // data plane) and owe nothing. Release consumes mapped refs first so
+    // a client's transparent fallback (mapped ref still open, pinned ref
+    // just adopted) retires the descriptor and keeps the pin.
+    struct RemoteRef {
+      RemoteObjectLocation loc;
+      uint32_t pinned = 0;
+      uint32_t mapped = 0;
+    };
+    std::unordered_map<ObjectId, RemoteRef> remote_refs;
   };
 
   // A Get waiting for objects to be sealed (or for its deadline).
@@ -303,6 +348,13 @@ class Store {
     std::vector<ObjectId> missing;
     uint64_t timeout_ms = 0;
     int64_t deadline_ns = 0;
+    // Client requested the RPC+pin path even when the mapped data plane
+    // is on (GetRequest::pinned) — the bottom rung of the fallback
+    // ladder, and the baseline mode for benchmarks.
+    bool pinned = false;
+    // This Get is a client's transparent refetch after a generation
+    // mismatch (GetRequest::fallback); counted as a mapped fallback.
+    bool fallback = false;
   };
 
   // One event-loop shard: owner of a hash slice of the object space and
@@ -352,6 +404,12 @@ class Store {
     std::atomic<uint64_t> tx_writev_calls{0};
     std::atomic<uint64_t> tx_bytes{0};
     std::atomic<uint64_t> tx_blocked_events{0};
+
+    // Mapped data plane observability (counted on the Get-serving shard;
+    // read by stats()/shard_stats() from any thread).
+    std::atomic<uint64_t> mapped_reads{0};
+    std::atomic<uint64_t> mapped_bytes{0};
+    std::atomic<uint64_t> mapped_fallbacks{0};
 
     // Cross-thread observability (ShardStats) and fan-out gating.
     // parked_gets is pre-announced with seq_cst BEFORE a Get's final
@@ -479,19 +537,23 @@ class Store {
   std::unordered_map<ObjectId, RemoteObjectLocation> BatchedRemoteLookup(
       const std::vector<ObjectId>& ids, bool count_lookups);
   // Applies one resolved remote location to a pending get (reply entry,
-  // remote pin, per-connection ref bookkeeping). `count_hit` must match
-  // whether the look-up that produced `loc` was counted in stats.
+  // remote pin or mapped descriptor, per-connection ref bookkeeping).
+  // `home` is the Get-serving shard (mapped-read counters accumulate
+  // there). `count_hit` must match whether the look-up that produced
+  // `loc` was counted in stats. With the mapped data plane on and a
+  // generation-stamped location (and the get not forced pinned), the
+  // object is handed out as an unpinned descriptor — no PinRemote RPC.
   // Returns false when the remote pin failed — the location was stale
   // (the dist layer has already invalidated its cache entry) and the
   // caller should re-run the lookup path for this id.
-  bool AdoptRemoteObject(ClientConn& conn, PendingGet& pending,
-                         const ObjectId& id,
+  bool AdoptRemoteObject(Shard& home, ClientConn& conn,
+                         PendingGet& pending, const ObjectId& id,
                          const RemoteObjectLocation& loc, bool count_hit);
   // AdoptRemoteObject with one retry through a fresh remote lookup when
   // the cached location turned out stale. Returns false when the id
   // could not be adopted at all (treat as missing).
-  bool AdoptRemoteObjectWithRetry(ClientConn& conn, PendingGet& pending,
-                                  const ObjectId& id,
+  bool AdoptRemoteObjectWithRetry(Shard& home, ClientConn& conn,
+                                  PendingGet& pending, const ObjectId& id,
                                   const RemoteObjectLocation& loc,
                                   bool count_hit);
 
@@ -499,6 +561,13 @@ class Store {
   // unpinned objects if needed — to the shard's spill file when the
   // spill tier is enabled, destructively otherwise (or when the spill
   // write fails).
+  // Mapped data plane write side: bumps `id`'s generation slot if a
+  // table is wired (no-op otherwise). Call under the id's owner shard
+  // mutex, and BEFORE the object's pool bytes are freed or rebound — a
+  // fabric reader that copied bytes the transition invalidated must
+  // observe the bump when it re-checks the generation after the copy.
+  void BumpGeneration(const ObjectId& id);
+
   Result<alloc::Allocation> AllocateWithEviction(Shard& owner,
                                                  uint64_t size)
       REQUIRES(owner.mutex);
@@ -557,6 +626,14 @@ class Store {
   Mutex index_mutex_;
   SharedIndexWriter* shared_index_ PT_GUARDED_BY(index_mutex_) = nullptr;
   uint32_t index_region_ = UINT32_MAX;
+
+  // Generation table (mapped data plane). Written once before Start
+  // (SetGenerationTable); the table itself is lock-free — Bump() is a
+  // per-slot atomic fetch_add — so no mutex guards the dereference.
+  // Ordering against index withdrawal/publication comes from the owning
+  // shard's mutex at every bump site.
+  GenerationTable* gen_table_ = nullptr;
+  uint32_t gen_region_ = UINT32_MAX;
 
   // Store-wide remote-lookup counters (updated from any shard thread).
   std::atomic<uint64_t> remote_lookups_{0};

@@ -43,4 +43,18 @@ void EnforceModel(const LatencyParams& params, uint64_t bytes,
   SpinUntilNanos(start_ns + params.AccessNanos(bytes));
 }
 
+AccessBatch::AccessBatch(const LatencyParams& params)
+    : params_(params), start_ns_(MonotonicNanos()) {}
+
+void AccessBatch::Settle() {
+  if (settled_ || accesses_ == 0) {
+    settled_ = true;
+    return;
+  }
+  settled_ = true;
+  // One base latency for the whole wave (the loads overlap), plus the
+  // bandwidth term of the aggregate volume.
+  SpinUntilNanos(start_ns_ + params_.AccessNanos(bytes_));
+}
+
 }  // namespace mdos::tf

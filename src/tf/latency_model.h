@@ -52,4 +52,45 @@ LatencyParams ScaledRemoteParams(double scale);
 void EnforceModel(const LatencyParams& params, uint64_t bytes,
                   int64_t start_ns);
 
+// Batched (pipelined) accesses. EnforceModel charges a full base
+// latency per access — right for a dependent chain (each load needs the
+// previous result), but wildly pessimistic for a batch of INDEPENDENT
+// loads: OpenCAPI loads are plain CPU loads, and hardware keeps many in
+// flight at once (memory-level parallelism), so N independent probes
+// cost one base latency (the pipeline depth) plus the bandwidth term of
+// the total volume, not N serial round trips. Callers resolving many
+// unrelated slots (a batched descriptor lookup probing the shared index
+// and generation table for hundreds of ids) record each access here and
+// Settle() once for the wave:
+//
+//   AccessBatch batch(remote_params);
+//   for (id : ids) reader.Probe(id, &batch);   // Add()s, no stall
+//   batch.Settle();                            // one pipelined charge
+class AccessBatch {
+ public:
+  explicit AccessBatch(const LatencyParams& params);
+
+  // Records one access of `bytes` bytes; no time is enforced yet.
+  void Add(uint64_t bytes) {
+    ++accesses_;
+    bytes_ += bytes;
+  }
+
+  // Enforces base + total_bytes/bandwidth since construction (no-op if
+  // nothing was recorded). Idempotent; called by the destructor if the
+  // caller did not settle explicitly.
+  void Settle();
+
+  ~AccessBatch() { Settle(); }
+  AccessBatch(const AccessBatch&) = delete;
+  AccessBatch& operator=(const AccessBatch&) = delete;
+
+ private:
+  LatencyParams params_;
+  int64_t start_ns_;
+  uint64_t accesses_ = 0;
+  uint64_t bytes_ = 0;
+  bool settled_ = false;
+};
+
 }  // namespace mdos::tf

@@ -1,8 +1,16 @@
 // Unit tests for the LRU eviction policy, plus the end-to-end
 // evict-while-mapped contract: an object a client still holds mapped
-// (Get without Release) must never lose its memory to eviction.
+// (Get without Release) must never lose its memory to eviction — and,
+// for the mapped data plane, that a REMOTE descriptor read racing a
+// destructive eviction detects the generation mismatch instead of
+// returning recycled bytes.
 #include <gtest/gtest.h>
 
+#include <string>
+
+#include "cluster/cluster.h"
+#include "common/crc32.h"
+#include "common/rng.h"
 #include "plasma/client.h"
 #include "plasma/eviction.h"
 #include "plasma/store.h"
@@ -163,6 +171,63 @@ TEST(EvictionTest, EvictWhileMappedIsRefused) {
 
   (*client).reset();
   (*store)->Stop();
+}
+
+// Mapped data plane vs destructive eviction: a mapped remote descriptor
+// holds NO pin at the home store (that is the point of the zero-RPC
+// plane), so the home store is free to evict the object and recycle its
+// bytes while the remote reader still holds the descriptor. The read
+// must detect this through the generation re-check and error out via
+// the pinned fallback — it must NEVER return the recycled bytes.
+TEST(EvictionTest, MappedRemoteReadRacingDestructiveEvictionErrors) {
+  tf::FabricConfig config;
+  config.local = tf::LatencyParams{0, 0.0};
+  config.remote = tf::LatencyParams{0, 0.0};
+  cluster::NodeOptions options;
+  options.pool_size = 2 << 20;  // two 1 MiB slots per home store
+  options.mapped_remote_reads = true;
+  auto cluster = cluster::Cluster::CreateTwoNode(options, config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  auto producer = (*cluster)->node(0)->CreateClient("producer");
+  auto consumer = (*cluster)->node(1)->CreateClient("consumer");
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+
+  const ObjectId victim = ObjectId::FromName("mapped-evict-victim");
+  std::string payload(1 << 20, '\0');
+  SplitMix64(7).Fill(payload.data(), payload.size());
+  ASSERT_TRUE((*producer)->CreateAndSeal(victim, payload).ok());
+
+  // The consumer's Get resolves to an unpinned, generation-stamped
+  // descriptor.
+  auto buffer = (*consumer)->Get(victim, /*timeout_ms=*/0);
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  ASSERT_TRUE(buffer->is_mapped());
+
+  // Two filler creates at the home store: the pool holds two slots, so
+  // the second evicts the (unpinned) victim destructively — no spill
+  // tier — and immediately recycles its bytes for the filler payload.
+  std::string filler(1 << 20, 'F');
+  ASSERT_TRUE(
+      (*producer)->CreateAndSeal(ObjectId::FromName("f1"), filler).ok());
+  ASSERT_TRUE(
+      (*producer)->CreateAndSeal(ObjectId::FromName("f2"), filler).ok());
+  auto contains = (*producer)->Contains(victim);
+  ASSERT_TRUE(contains.ok());
+  ASSERT_FALSE(*contains) << "victim must have been evicted";
+
+  // The copy sees the filler's bytes, the generation re-check flags the
+  // overlap, and the pinned fallback finds the object gone: the read
+  // errors — deterministically — instead of handing back torn data.
+  auto crc = buffer->ChecksumData();
+  EXPECT_FALSE(crc.ok())
+      << "read of a destroyed mapped object returned data";
+
+  // The store accounted the attempted fallback.
+  auto stats = (*consumer)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->mapped_fallbacks, 1u);
+  ASSERT_TRUE((*consumer)->Release(victim).ok());
 }
 
 }  // namespace

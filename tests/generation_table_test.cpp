@@ -1,0 +1,106 @@
+// Unit tests for the generation table (plasma/generation_table.h): the
+// validation protocol of the mapped data plane. Writer and reader run
+// over the same in-process buffer here, standing in for the home store's
+// exported region and a peer's fabric attachment.
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <vector>
+
+#include "plasma/generation_table.h"
+
+namespace mdos::plasma {
+namespace {
+
+constexpr tf::LatencyParams kNoLatency{0, 0.0};
+
+ObjectId Id(int i) { return ObjectId::FromName("gen" + std::to_string(i)); }
+
+TEST(GenerationTableTest, CapacityIsLargestPowerOfTwoThatFits) {
+  EXPECT_EQ(GenerationTableLayout::CapacityFor(
+                GenerationTableLayout::BytesFor(64)),
+            64u);
+  // One byte short of 64 slots leaves room for only 32.
+  EXPECT_EQ(GenerationTableLayout::CapacityFor(
+                GenerationTableLayout::BytesFor(64) - 1),
+            32u);
+  EXPECT_EQ(GenerationTableLayout::CapacityFor(0), 0u);
+}
+
+TEST(GenerationTableTest, BumpIsMonotonicPerSlot) {
+  std::vector<uint8_t> memory(1 << 12);
+  auto table = GenerationTable::Create(memory.data(), memory.size(),
+                                       /*epoch=*/1);
+  ASSERT_TRUE(table.ok()) << table.status();
+
+  EXPECT_EQ(table->Read(Id(1)), 0u);
+  EXPECT_EQ(table->Bump(Id(1)), 1u);
+  EXPECT_EQ(table->Bump(Id(1)), 2u);
+  EXPECT_EQ(table->Read(Id(1)), 2u);
+  // Ids landing in other slots are unaffected.
+  uint64_t slot1 = table->SlotFor(Id(1));
+  for (int i = 2; i < 32; ++i) {
+    if (table->SlotFor(Id(i)) == slot1) continue;
+    EXPECT_EQ(table->Read(Id(i)), 0u) << "slot bled into id " << i;
+  }
+}
+
+TEST(GenerationTableTest, ReaderSeesWriterBumpsAndSlotAgreement) {
+  std::vector<uint8_t> memory(1 << 12);
+  auto table = GenerationTable::Create(memory.data(), memory.size(),
+                                       /*epoch=*/7);
+  ASSERT_TRUE(table.ok());
+  auto reader =
+      GenerationReader::Open(memory.data(), memory.size(), kNoLatency);
+  ASSERT_TRUE(reader.ok()) << reader.status();
+
+  EXPECT_EQ(reader->capacity(), table->capacity());
+  EXPECT_EQ(reader->Epoch(), 7u);
+  for (int i = 0; i < 16; ++i) {
+    // Writer and reader must hash every id to the same slot, or the
+    // protocol validates the wrong counter.
+    EXPECT_EQ(reader->SlotFor(Id(i)), table->SlotFor(Id(i)));
+  }
+  (void)table->Bump(Id(3));
+  EXPECT_EQ(reader->Read(reader->SlotFor(Id(3))), 1u);
+}
+
+TEST(GenerationTableTest, RecreateInPlaceBumpsEpochAndResetsSlots) {
+  std::vector<uint8_t> memory(1 << 12);
+  auto first = GenerationTable::Create(memory.data(), memory.size(),
+                                       /*epoch=*/1);
+  ASSERT_TRUE(first.ok());
+  (void)first->Bump(Id(5));
+  auto reader =
+      GenerationReader::Open(memory.data(), memory.size(), kNoLatency);
+  ASSERT_TRUE(reader.ok());
+  uint64_t slot = reader->SlotFor(Id(5));
+  EXPECT_EQ(reader->Epoch(), 1u);
+  EXPECT_EQ(reader->Read(slot), 1u);
+
+  // Restart: same memory, higher epoch. An already-open reader observes
+  // the new epoch on its next probe (it re-reads the mapped header), so
+  // descriptors stamped under epoch 1 can no longer validate.
+  auto second = GenerationTable::Create(memory.data(), memory.size(),
+                                        /*epoch=*/2);
+  ASSERT_TRUE(second.ok());
+  EXPECT_EQ(reader->Epoch(), 2u);
+  EXPECT_EQ(reader->Read(slot), 0u) << "slots must reset on re-create";
+}
+
+TEST(GenerationTableTest, RejectsTruncatedOrForeignMemory) {
+  std::vector<uint8_t> tiny(GenerationTableLayout::kHeaderBytes - 1);
+  EXPECT_FALSE(
+      GenerationTable::Create(tiny.data(), tiny.size(), 1).ok());
+  EXPECT_FALSE(
+      GenerationReader::Open(tiny.data(), tiny.size(), kNoLatency).ok());
+
+  std::vector<uint8_t> garbage(1 << 12, 0xAB);
+  EXPECT_FALSE(
+      GenerationReader::Open(garbage.data(), garbage.size(), kNoLatency)
+          .ok())
+      << "reader must reject memory without the table magic";
+}
+
+}  // namespace
+}  // namespace mdos::plasma

@@ -9,6 +9,7 @@
 #include <thread>
 #include <vector>
 
+#include "cluster/cluster.h"
 #include "common/crc32.h"
 #include "common/rng.h"
 #include "plasma/async_client.h"
@@ -397,6 +398,63 @@ TEST_F(SpillTierTest, StopRemovesSpillFiles) {
         << path << " must be gone after Stop";
   }
   store_.reset();
+}
+
+// Mapped data plane vs the spill tier: spilling an object frees its pool
+// bytes (and bumps its generation) while a remote reader may still hold
+// a mapped descriptor to the old offset. The racing read must detect the
+// mismatch and fall back to a pinned Get — which transparently restores
+// the object from disk — so the caller sees the ORIGINAL payload,
+// CRC-exact, never a torn copy of whatever recycled the arena bytes.
+TEST(SpillMappedRaceTest, MappedReadRacingSpillFallsBackToRestoredBytes) {
+  tf::FabricConfig config;
+  config.local = tf::LatencyParams{0, 0.0};
+  config.remote = tf::LatencyParams{0, 0.0};
+  cluster::NodeOptions options;
+  options.pool_size = 2 << 20;  // two 1 MiB slots per home store
+  options.mapped_remote_reads = true;
+  options.spill_dir =
+      "/tmp/mdos-mapped-spill-race-" + std::to_string(::getpid());
+  auto cluster = cluster::Cluster::CreateTwoNode(options, config);
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  auto producer = (*cluster)->node(0)->CreateClient("producer");
+  auto consumer = (*cluster)->node(1)->CreateClient("consumer");
+  ASSERT_TRUE(producer.ok() && consumer.ok());
+
+  const ObjectId victim = ObjectId::FromName("mapped-spill-victim");
+  const std::string payload = RandomPayload(99, 1 << 20);
+  ASSERT_TRUE((*producer)->CreateAndSeal(victim, payload).ok());
+
+  auto buffer = (*consumer)->Get(victim, /*timeout_ms=*/0);
+  ASSERT_TRUE(buffer.ok()) << buffer.status();
+  ASSERT_TRUE(buffer->is_mapped());
+
+  // Fill the home pool: the second filler demotes the (unpinned) victim
+  // to the spill file and recycles its arena bytes.
+  for (int i = 0; i < 2; ++i) {
+    ASSERT_TRUE((*producer)
+                    ->CreateAndSeal(ObjectId::FromName("spill-filler-" +
+                                                       std::to_string(i)),
+                                    RandomPayload(100 + i, 1 << 20))
+                    .ok());
+  }
+  auto home = (*cluster)->node(0)->store().stats();
+  ASSERT_GT(home.spills, 0u) << "victim must have been spilled";
+
+  // The read detects the stale generation and falls back: the home store
+  // restores the victim from disk for the pinned lookup, and the caller
+  // gets the exact original bytes.
+  auto crc = buffer->ChecksumData();
+  ASSERT_TRUE(crc.ok()) << crc.status();
+  EXPECT_EQ(*crc, Crc32(payload)) << "fallback returned torn data";
+  EXPECT_FALSE(buffer->is_mapped()) << "buffer must be pinned after fallback";
+
+  auto stats = (*consumer)->Stats();
+  ASSERT_TRUE(stats.ok());
+  EXPECT_GE(stats->mapped_fallbacks, 1u);
+  EXPECT_GE((*cluster)->node(0)->store().stats().spill_restores, 1u);
+  ASSERT_TRUE((*consumer)->Release(victim).ok());
 }
 
 }  // namespace

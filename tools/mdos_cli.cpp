@@ -143,6 +143,16 @@ int CmdStats(plasma::PlasmaClient& client) {
               static_cast<unsigned long long>(stats->peer_heartbeats));
   std::printf("peer_queued_notices: %llu\n",
               static_cast<unsigned long long>(stats->peer_queued_notices));
+  // Mapped data plane (zero-RPC remote reads); all zero when
+  // mapped_remote_reads is off.
+  std::printf("mapped_reads:        %llu\n",
+              static_cast<unsigned long long>(stats->mapped_reads));
+  std::printf("mapped_bytes:        %llu\n",
+              static_cast<unsigned long long>(stats->mapped_bytes));
+  std::printf("generation_retries:  %llu\n",
+              static_cast<unsigned long long>(stats->generation_retries));
+  std::printf("mapped_fallbacks:    %llu\n",
+              static_cast<unsigned long long>(stats->mapped_fallbacks));
 
   // Per-peer health table (kPeerStats); skipped when the store has no
   // peers. Non-fatal like the shard table below.
@@ -180,14 +190,16 @@ int CmdStats(plasma::PlasmaClient& client) {
     return 0;
   }
   std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s %-9s %-12s %-9s "
-              "%-10s %-10s %-9s %-12s %-8s\n",
+              "%-10s %-10s %-9s %-12s %-8s %-10s %-12s %-9s\n",
               "shard", "clients", "objects", "sealed", "bytes", "arena",
               "evicted", "inflight", "spilled", "spill_bytes", "restores",
-              "frames_tx", "coalesced", "writev", "bytes_tx", "blocked");
+              "frames_tx", "coalesced", "writev", "bytes_tx", "blocked",
+              "mapped", "map_bytes", "fallbacks");
   for (const auto& s : *shards) {
     std::printf(
         "%-6u %-8llu %-9llu %-9llu %-12llu %-12llu %-10llu %-9llu %-9llu "
-        "%-12llu %-9llu %-10llu %-10llu %-9llu %-12llu %-8llu\n",
+        "%-12llu %-9llu %-10llu %-10llu %-9llu %-12llu %-8llu %-10llu "
+        "%-12llu %-9llu\n",
         s.shard, static_cast<unsigned long long>(s.clients),
         static_cast<unsigned long long>(s.objects_total),
         static_cast<unsigned long long>(s.objects_sealed),
@@ -202,7 +214,10 @@ int CmdStats(plasma::PlasmaClient& client) {
         static_cast<unsigned long long>(s.frames_coalesced),
         static_cast<unsigned long long>(s.writev_calls),
         static_cast<unsigned long long>(s.bytes_tx),
-        static_cast<unsigned long long>(s.egress_blocked_events));
+        static_cast<unsigned long long>(s.egress_blocked_events),
+        static_cast<unsigned long long>(s.mapped_reads),
+        static_cast<unsigned long long>(s.mapped_bytes),
+        static_cast<unsigned long long>(s.mapped_fallbacks));
   }
   std::printf("(%zu shards)\n", shards->size());
   return 0;

@@ -25,11 +25,20 @@ import sys
 import time
 from pathlib import Path
 
-DEFAULT_BENCHES = ["bench_egress", "bench_crc32"]
+DEFAULT_BENCHES = [
+    "bench_egress",
+    "bench_crc32",
+    "bench_fig6_retrieval_latency",
+    "bench_scaleout_vs_disagg",
+]
 # Quick-mode knobs: enough work for stable numbers, short enough for CI.
 BENCH_ENV = {
     "bench_egress": {"MDOS_EGRESS_MB": "128"},
     "bench_crc32": {"MDOS_CRC_MB": "256"},
+    # The cluster benches pay a simulated 2 ms LAN RTT per RPC (the
+    # pinned baseline pays it per object), so trim repetitions.
+    "bench_fig6_retrieval_latency": {"MDOS_REPS": "6"},
+    "bench_scaleout_vs_disagg": {"MDOS_REPS": "6"},
 }
 
 
