@@ -80,6 +80,7 @@ Status Node::BuildStack() {
   store_options.check_global_uniqueness = options_.check_global_uniqueness;
   store_options.pin_remote_objects = options_.pin_remote_objects;
   store_options.mapped_remote_reads = options_.mapped_remote_reads;
+  store_options.replication_factor = options_.replication_factor;
   MDOS_ASSIGN_OR_RETURN(
       store_, plasma::Store::CreateOnFabric(store_options, fabric_,
                                             node_id_, pool_region_));
@@ -96,10 +97,13 @@ Status Node::BuildStack() {
   registry_ = std::make_unique<dist::RemoteStoreRegistry>(
       node_id_, registry_options);
   store_->SetDistHooks(registry_.get());
-  // A peer declared dead must stop blocking eviction with its pins.
+  // A peer declared dead must stop blocking eviction with its pins, and
+  // its death triggers a re-heal round: every object whose copy count
+  // dropped below k is re-replicated from a surviving holder.
   plasma::Store* store = store_.get();
   registry_->SetPeerDeathHandler([store](uint32_t dead_node) {
     (void)store->ReleasePinsForPeer(dead_node);
+    store->RequestReheal(dead_node);
   });
 
   service_ = std::make_unique<dist::StoreService>(

@@ -55,6 +55,10 @@ struct NodeOptions {
   // with a seqlock-style re-check (plasma/generation_table.h).
   bool mapped_remote_reads = false;
   uint64_t generation_table_bytes = 1 << 16;  // ~8k slots
+  // k-way replication (StoreOptions::replication_factor): every sealed
+  // object on this node is fanned out until k nodes hold a copy, and the
+  // peer-death path re-heals the count back to k. 1 disables it.
+  uint32_t replication_factor = 1;
   dist::RegistryOptions registry;
 };
 

@@ -175,4 +175,67 @@ Result<PingReply> PingReply::DecodeFrom(wire::Reader& r) {
   return m;
 }
 
+// ---- replicate (k-way replication fan-out) ---------------------------------
+
+void ReplicateRequest::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+  w.PutU32(from_node);
+  w.PutU32(origin_node);
+  w.PutU32(desired_copies);
+  w.PutRepeated(copy_nodes, [](wire::Writer& w2, uint32_t node) {
+    w2.PutU32(node);
+  });
+  w.PutU64(data_size);
+  w.PutU64(metadata_size);
+  w.PutBytes(payload);
+}
+Result<ReplicateRequest> ReplicateRequest::DecodeFrom(wire::Reader& r) {
+  ReplicateRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  MDOS_ASSIGN_OR_RETURN(m.from_node, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.origin_node, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.desired_copies, r.GetU32());
+  MDOS_ASSIGN_OR_RETURN(m.copy_nodes, (r.GetRepeated<uint32_t>(
+      [](wire::Reader& r2) { return r2.GetU32(); })));
+  MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(auto payload, r.GetBytes());
+  if (payload.size() != m.data_size + m.metadata_size) {
+    return Status::ProtocolError("replicate: payload size mismatch");
+  }
+  m.payload.assign(payload.begin(), payload.end());
+  return m;
+}
+
+void ReplicateReply::EncodeTo(wire::Writer& w) const {
+  plasma::EncodeStatus(w, status);
+}
+Result<ReplicateReply> ReplicateReply::DecodeFrom(wire::Reader& r) {
+  ReplicateReply m;
+  MDOS_RETURN_IF_ERROR(plasma::DecodeStatus(r, &m.status));
+  return m;
+}
+
+// ---- replica drop (origin delete propagation) ------------------------------
+
+void ReplicaDropRequest::EncodeTo(wire::Writer& w) const {
+  w.PutObjectId(id);
+  w.PutU32(from_node);
+}
+Result<ReplicaDropRequest> ReplicaDropRequest::DecodeFrom(wire::Reader& r) {
+  ReplicaDropRequest m;
+  MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
+  MDOS_ASSIGN_OR_RETURN(m.from_node, r.GetU32());
+  return m;
+}
+
+void ReplicaDropReply::EncodeTo(wire::Writer& w) const {
+  plasma::EncodeStatus(w, status);
+}
+Result<ReplicaDropReply> ReplicaDropReply::DecodeFrom(wire::Reader& r) {
+  ReplicaDropReply m;
+  MDOS_RETURN_IF_ERROR(plasma::DecodeStatus(r, &m.status));
+  return m;
+}
+
 }  // namespace mdos::dist

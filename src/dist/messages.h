@@ -9,6 +9,8 @@
 //   Plasma.Pin/Unpin    — distributed usage tracking (remote pins)
 //   Plasma.DeleteNotice — lookup-cache invalidation broadcast
 //   Plasma.Ping         — liveness heartbeat driving peer health states
+//   Plasma.Replicate    — push one sealed object's bytes to a replica
+//   Plasma.ReplicaDrop  — origin deleted: drop the local replica copy
 #pragma once
 
 #include <cstdint>
@@ -30,6 +32,8 @@ inline constexpr const char* kMethodPin = "Plasma.Pin";
 inline constexpr const char* kMethodUnpin = "Plasma.Unpin";
 inline constexpr const char* kMethodDeleteNotice = "Plasma.DeleteNotice";
 inline constexpr const char* kMethodPing = "Plasma.Ping";
+inline constexpr const char* kMethodReplicate = "Plasma.Replicate";
+inline constexpr const char* kMethodReplicaDrop = "Plasma.ReplicaDrop";
 
 // ---- hello -----------------------------------------------------------------
 
@@ -135,6 +139,46 @@ struct PingReply {
   uint32_t node_id = 0;  // the replier, so a restarted peer is recognised
   void EncodeTo(wire::Writer& w) const;
   static Result<PingReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- replicate (k-way replication fan-out) ---------------------------------
+
+struct ReplicateRequest {
+  ObjectId id;
+  uint32_t from_node = 0;       // the pushing node (usually the origin)
+  uint32_t origin_node = 0;     // the node whose Seal published the object
+  uint32_t desired_copies = 0;  // k the object is being held to
+  // The full intended copy set (origin + every replica target), so every
+  // holder can run the re-heal election without another round trip.
+  std::vector<uint32_t> copy_nodes;
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  // Data section followed by the metadata section (data_size +
+  // metadata_size bytes).
+  std::string payload;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ReplicateRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ReplicateReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ReplicateReply> DecodeFrom(wire::Reader& r);
+};
+
+// ---- replica drop (origin delete propagation) ------------------------------
+
+struct ReplicaDropRequest {
+  ObjectId id;
+  uint32_t from_node = 0;  // must match the replica's recorded origin
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ReplicaDropRequest> DecodeFrom(wire::Reader& r);
+};
+
+struct ReplicaDropReply {
+  Status status;
+  void EncodeTo(wire::Writer& w) const;
+  static Result<ReplicaDropReply> DecodeFrom(wire::Reader& r);
 };
 
 }  // namespace mdos::dist

@@ -180,6 +180,45 @@ RemoteStoreRegistry::SnapshotLivePeers() const {
   return live;
 }
 
+std::vector<std::shared_ptr<RemoteStoreRegistry::Peer>>
+RemoteStoreRegistry::SnapshotRankedPeers() const {
+  MutexLock lock(mutex_);
+  std::vector<std::shared_ptr<Peer>> live;
+  live.reserve(peers_.size());
+  for (const auto& peer : peers_) {
+    if (peer->state != PeerState::kDead) live.push_back(peer);
+  }
+  // Health first (healthy beats suspect), then observed latency (EWMA;
+  // no sample ranks behind any sample), node id as the deterministic
+  // tiebreak. Sorted under the registry mutex — the health and latency
+  // fields follow the Peer guard contract.
+  std::sort(live.begin(), live.end(),
+            [](const std::shared_ptr<Peer>& a,
+               const std::shared_ptr<Peer>& b) {
+              if (a->state != b->state) {
+                return static_cast<uint8_t>(a->state) <
+                       static_cast<uint8_t>(b->state);
+              }
+              int64_t la = a->ewma_latency_ns > 0 ? a->ewma_latency_ns
+                                                  : INT64_MAX;
+              int64_t lb = b->ewma_latency_ns > 0 ? b->ewma_latency_ns
+                                                  : INT64_MAX;
+              if (la != lb) return la < lb;
+              return a->node_id < b->node_id;
+            });
+  return live;
+}
+
+void RemoteStoreRegistry::RecordPeerLatency(
+    const std::shared_ptr<Peer>& peer, int64_t sample_ns) {
+  if (sample_ns <= 0) return;
+  MutexLock lock(mutex_);
+  peer->ewma_latency_ns =
+      peer->ewma_latency_ns > 0
+          ? (3 * peer->ewma_latency_ns + sample_ns) / 4
+          : sample_ns;
+}
+
 std::shared_ptr<RemoteStoreRegistry::Peer>
 RemoteStoreRegistry::FindLivePeer(uint32_t node_id) const {
   MutexLock lock(mutex_);
@@ -344,8 +383,13 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
   unresolved.reserve(ids.size());
 
   // Dead peers are skipped outright: no RPC, no timeout stall. The
-  // heartbeat loop is responsible for noticing a resurrection.
-  auto peers = SnapshotLivePeers();
+  // heartbeat loop is responsible for noticing a resurrection. Peers are
+  // visited in replica-selection order (healthy before suspect, lowest
+  // observed latency first), so when an object has k live replicas the
+  // first index/RPC hit IS the preferred copy — and a killed replica's
+  // peer simply is not in the snapshot, which is the transparent
+  // dead-replica failover.
+  auto peers = SnapshotRankedPeers();
 
   // 1. Lookup cache (§V-B extension). Generation-stamped entries are
   // re-validated against the home peer's mapped generation table: a
@@ -458,6 +502,7 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
       MutexLock lock(mutex_);
       ++stats_.lookup_rpcs;
     }
+    const int64_t rpc_start = MonotonicNanos();
     auto reply = peer->channel->CallTyped<LookupReply>(
         kMethodLookup, request, options_.rpc_timeout_ms);
     if (!reply.ok()) {
@@ -465,6 +510,7 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
       continue;
     }
     RecordPeerResult(peer, true);
+    RecordPeerLatency(peer, MonotonicNanos() - rpc_start);
     std::vector<size_t> still_unresolved;
     for (size_t k = 0; k < unresolved.size(); ++k) {
       size_t i = unresolved[k];
@@ -518,11 +564,13 @@ Status RemoteStoreRegistry::PinRemote(
     MutexLock lock(mutex_);
     ++stats_.pin_rpcs;
   }
+  const int64_t rpc_start = MonotonicNanos();
   auto reply = peer->channel->CallTyped<PinReply>(
       kMethodPin, request, options_.rpc_timeout_ms);
   Status status =
       reply.ok() ? reply->status : reply.status();
   RecordPeerResult(peer, !IsConnectivityError(status));
+  if (reply.ok()) RecordPeerLatency(peer, MonotonicNanos() - rpc_start);
   if (!status.ok()) {
     // Either the peer is unreachable or it no longer has the object
     // (e.g. a lost DeleteNotice left us a stale cache entry). Both ways
@@ -635,6 +683,84 @@ std::vector<plasma::PeerStatsEntry> RemoteStoreRegistry::PeerHealth() {
 uint64_t RemoteStoreRegistry::GenerationRetries() {
   MutexLock lock(mutex_);
   return stats_.generation_retries;
+}
+
+std::vector<uint32_t> RemoteStoreRegistry::ReplicateObject(
+    const ObjectId& id, const uint8_t* bytes, uint64_t data_size,
+    uint64_t metadata_size, uint32_t copies_wanted,
+    const std::vector<uint32_t>& exclude, uint32_t origin,
+    uint32_t desired) {
+  std::vector<uint32_t> accepted;
+  if (copies_wanted == 0) return accepted;
+  auto candidates = SnapshotRankedPeers();
+  candidates.erase(
+      std::remove_if(candidates.begin(), candidates.end(),
+                     [&](const std::shared_ptr<Peer>& peer) {
+                       return std::find(exclude.begin(), exclude.end(),
+                                        peer->node_id) != exclude.end();
+                     }),
+      candidates.end());
+
+  ReplicateRequest request;
+  request.id = id;
+  request.from_node = self_node_;
+  request.origin_node = origin;
+  request.desired_copies = desired;
+  request.data_size = data_size;
+  request.metadata_size = metadata_size;
+  request.payload.assign(reinterpret_cast<const char*>(bytes),
+                         data_size + metadata_size);
+  for (const auto& peer : candidates) {
+    if (accepted.size() >= copies_wanted) break;
+    // Each push carries the full copy set as believed at send time:
+    // current holders, acceptors so far, and this target. A later
+    // target's record is therefore a superset of an earlier one's —
+    // worst case two survivors both elect themselves healer after a
+    // death and push duplicate copies, which AcceptReplica absorbs
+    // idempotently.
+    request.copy_nodes = exclude;
+    for (uint32_t node : accepted) request.copy_nodes.push_back(node);
+    request.copy_nodes.push_back(peer->node_id);
+    {
+      MutexLock lock(mutex_);
+      ++stats_.replicate_rpcs;
+    }
+    const int64_t rpc_start = MonotonicNanos();
+    auto reply = peer->channel->CallTyped<ReplicateReply>(
+        kMethodReplicate, request, options_.rpc_timeout_ms);
+    Status status = reply.ok() ? reply->status : reply.status();
+    RecordPeerResult(peer, !IsConnectivityError(status));
+    if (status.ok()) {
+      RecordPeerLatency(peer, MonotonicNanos() - rpc_start);
+      accepted.push_back(peer->node_id);
+    }
+    // Application-level rejections (the id is mid-create there, the peer
+    // is out of memory) just move on to the next ranked candidate.
+  }
+  return accepted;
+}
+
+void RemoteStoreRegistry::DropReplicas(
+    const ObjectId& id, const std::vector<uint32_t>& holders) {
+  ReplicaDropRequest request;
+  request.id = id;
+  request.from_node = self_node_;
+  for (uint32_t node : holders) {
+    auto peer = FindLivePeer(node);
+    if (peer == nullptr) continue;  // dead: its copy died with it
+    {
+      MutexLock lock(mutex_);
+      ++stats_.replicate_rpcs;
+    }
+    auto reply = peer->channel->CallTyped<ReplicaDropReply>(
+        kMethodReplicaDrop, request, options_.rpc_timeout_ms);
+    Status status = reply.ok() ? reply->status : reply.status();
+    // Fire-and-forget: a holder that rejects (already dropped, or the id
+    // was re-created there) needs nothing further; a holder we cannot
+    // reach feeds the health machine and its copy is reclaimed by the
+    // death path.
+    RecordPeerResult(peer, !IsConnectivityError(status));
+  }
 }
 
 void RemoteStoreRegistry::ReleaseAllPins() {

@@ -117,6 +117,8 @@ struct RegistryStats {
   // Mapped data plane: cached descriptors invalidated because their
   // generation (or epoch) no longer matched the peer's generation table.
   uint64_t generation_retries = 0;
+  // k-way replication: Plasma.Replicate + Plasma.ReplicaDrop calls issued.
+  uint64_t replicate_rpcs = 0;
 };
 
 class RemoteStoreRegistry : public plasma::DistHooks {
@@ -167,6 +169,16 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   void NotifyDeleted(const ObjectId& id) override;
   std::vector<plasma::PeerStatsEntry> PeerHealth() override;
   uint64_t GenerationRetries() override;
+  // Replication fan-out: pushes the bytes to up to `copies_wanted` live
+  // peers not in `exclude`, preferring healthy peers with the lowest
+  // observed RPC latency (EWMA). Returns the acceptors' node ids.
+  std::vector<uint32_t> ReplicateObject(
+      const ObjectId& id, const uint8_t* bytes, uint64_t data_size,
+      uint64_t metadata_size, uint32_t copies_wanted,
+      const std::vector<uint32_t>& exclude, uint32_t origin,
+      uint32_t desired) override;
+  void DropReplicas(const ObjectId& id,
+                    const std::vector<uint32_t>& holders) override;
 
  private:
   struct Peer {
@@ -198,6 +210,11 @@ class RemoteStoreRegistry : public plasma::DistHooks {
     uint64_t heartbeats = 0;
     uint64_t dropped_notices = 0;
     int64_t last_ok_ns = 0;  // monotonic time of the last successful call
+    // EWMA of observed RPC round-trip latency (same guard contract as
+    // the health fields). 0 = no sample yet. Replica placement and
+    // replica-read selection prefer the lowest value among healthy
+    // peers.
+    int64_t ewma_latency_ns = 0;
     // DeleteNotices parked while the peer is suspect, flushed on
     // recovery (bounded by max_queued_notices).
     std::deque<DeleteNotice> queued_notices;
@@ -216,6 +233,14 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   // Folds one call outcome into the peer's health machine and performs
   // the resulting transition work (death cleanup / recovery flush).
   void RecordPeerResult(const std::shared_ptr<Peer>& peer, bool ok)
+      EXCLUDES(mutex_);
+  // Folds one successful call's round trip into the peer's latency EWMA.
+  void RecordPeerLatency(const std::shared_ptr<Peer>& peer,
+                         int64_t sample_ns) EXCLUDES(mutex_);
+  // Live peers ranked for replica placement / replica-read selection:
+  // healthy before suspect, then by latency EWMA (no sample ranks
+  // last), node id as the tiebreak.
+  std::vector<std::shared_ptr<Peer>> SnapshotRankedPeers() const
       EXCLUDES(mutex_);
   // Parks a DeleteNotice for later flush: dead peers drop it, a full
   // queue evicts the oldest.

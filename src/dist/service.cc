@@ -121,6 +121,36 @@ void StoreService::RegisterWith(rpc::RpcServer& server) {
         if (cache != nullptr) cache->Invalidate(notice.id);
         return EncodeReply(DeleteNoticeAck{});
       });
+
+  server.RegisterHandler(
+      kMethodReplicate,
+      [store](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(ReplicateRequest request,
+                              DecodeRequest<ReplicateRequest>(payload));
+        ReplicateReply reply;
+        reply.status = store->AcceptReplica(
+            request.id, request.from_node, request.origin_node,
+            request.desired_copies, request.copy_nodes,
+            reinterpret_cast<const uint8_t*>(request.payload.data()),
+            request.data_size, request.metadata_size);
+        return EncodeReply(reply);
+      });
+
+  server.RegisterHandler(
+      kMethodReplicaDrop,
+      [store, cache](const std::vector<uint8_t>& payload)
+          -> Result<std::vector<uint8_t>> {
+        MDOS_ASSIGN_OR_RETURN(ReplicaDropRequest request,
+                              DecodeRequest<ReplicaDropRequest>(payload));
+        ReplicaDropReply reply;
+        reply.status =
+            store->DropReplicaLocal(request.id, request.from_node);
+        // The id no longer resolves here; a stale cached location would
+        // just cost the next Get a failed pin.
+        if (cache != nullptr) cache->Invalidate(request.id);
+        return EncodeReply(reply);
+      });
 }
 
 }  // namespace mdos::dist

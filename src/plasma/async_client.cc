@@ -326,11 +326,13 @@ ObjectBuffer AsyncClient::MakeBuffer(const GetReplyEntry& entry,
 // ---- operations ------------------------------------------------------------
 
 Future<Result<ObjectBuffer>> AsyncClient::CreateAsync(
-    const ObjectId& id, uint64_t data_size, uint64_t metadata_size) {
+    const ObjectId& id, uint64_t data_size, uint64_t metadata_size,
+    bool replicate) {
   CreateRequest request;
   request.id = id;
   request.data_size = data_size;
   request.metadata_size = metadata_size;
+  request.replicate = replicate;
   return Dispatch<CreateReply>(
       MessageType::kCreateRequest, MessageType::kCreateReply, request,
       [this, id](CreateReply&& reply) -> Result<ObjectBuffer> {

@@ -63,10 +63,13 @@ class AsyncClient {
   AsyncClient(const AsyncClient&) = delete;
   AsyncClient& operator=(const AsyncClient&) = delete;
 
-  // Reserves an object and resolves to a writable buffer.
+  // Reserves an object and resolves to a writable buffer. `replicate`
+  // asks the store to hold this object at ≥2 copies after Seal even when
+  // its replication_factor is 1 (per-object opt-in).
   Future<Result<ObjectBuffer>> CreateAsync(const ObjectId& id,
                                            uint64_t data_size,
-                                           uint64_t metadata_size = 0);
+                                           uint64_t metadata_size = 0,
+                                           bool replicate = false);
 
   // Seals / aborts an object this client created.
   Future<Status> SealAsync(const ObjectId& id);

@@ -211,16 +211,20 @@ void PlasmaClient::AssertSingleThread() const {
 
 Result<ObjectBuffer> PlasmaClient::Create(const ObjectId& id,
                                           uint64_t data_size,
-                                          uint64_t metadata_size) {
+                                          uint64_t metadata_size,
+                                          bool replicate) {
   AssertSingleThread();
-  return core_->CreateAsync(id, data_size, metadata_size).Take();
+  return core_->CreateAsync(id, data_size, metadata_size, replicate)
+      .Take();
 }
 
 Status PlasmaClient::CreateAndSeal(const ObjectId& id,
                                    std::string_view data,
-                                   std::string_view metadata) {
-  MDOS_ASSIGN_OR_RETURN(ObjectBuffer buffer,
-                        Create(id, data.size(), metadata.size()));
+                                   std::string_view metadata,
+                                   bool replicate) {
+  MDOS_ASSIGN_OR_RETURN(
+      ObjectBuffer buffer,
+      Create(id, data.size(), metadata.size(), replicate));
   if (!data.empty()) {
     MDOS_RETURN_IF_ERROR(buffer.WriteData(0, data.data(), data.size()));
   }

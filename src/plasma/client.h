@@ -181,12 +181,16 @@ class PlasmaClient {
 
   // Reserves an object of the given sizes and returns a writable buffer.
   // Fails with AlreadyExists if the id is taken anywhere in the system.
+  // `replicate` asks the store to hold this object at ≥2 copies after
+  // Seal even when its replication_factor is 1 (per-object opt-in).
   Result<ObjectBuffer> Create(const ObjectId& id, uint64_t data_size,
-                              uint64_t metadata_size = 0);
+                              uint64_t metadata_size = 0,
+                              bool replicate = false);
 
   // Convenience: Create + WriteData + Seal in one call.
   Status CreateAndSeal(const ObjectId& id, std::string_view data,
-                       std::string_view metadata = {});
+                       std::string_view metadata = {},
+                       bool replicate = false);
 
   // Makes the object immutable and visible to all clients system-wide.
   Status Seal(const ObjectId& id);

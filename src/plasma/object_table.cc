@@ -45,6 +45,7 @@ Status ObjectTable::Seal(const ObjectId& id) {
   it->second.state = ObjectState::kSealed;
   it->second.sealed_ns = MonotonicNanos();
   ++sealed_count_;
+  AddReplicationAggregates(it->second);
   return Status::OK();
 }
 
@@ -141,6 +142,9 @@ Result<ObjectEntry> ObjectTable::Remove(const ObjectId& id, bool force) {
     }
   }
   ObjectEntry out = entry;
+  if (entry.state != ObjectState::kCreated) {
+    SubReplicationAggregates(entry);
+  }
   if (entry.state == ObjectState::kSealed) {
     --sealed_count_;
   }
@@ -170,6 +174,59 @@ std::vector<ObjectInfo> ObjectTable::List() const {
     out.push_back(info);
   }
   return out;
+}
+
+Status ObjectTable::SetReplication(const ObjectId& id, uint32_t desired,
+                                   uint32_t origin,
+                                   std::vector<uint32_t> copy_nodes) {
+  auto it = entries_.find(id);
+  if (it == entries_.end()) {
+    return Status::KeyError("replication: object " + id.Hex() +
+                            " not found");
+  }
+  ObjectEntry& entry = it->second;
+  const bool counted = entry.state != ObjectState::kCreated;
+  if (counted) SubReplicationAggregates(entry);
+  entry.desired_copies = desired;
+  entry.origin_node = origin;
+  entry.copy_nodes = std::move(copy_nodes);
+  if (counted) AddReplicationAggregates(entry);
+  return Status::OK();
+}
+
+std::vector<ObjectId> ObjectTable::CollectReplicatedWith(
+    uint32_t node) const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state == ObjectState::kCreated) continue;
+    for (uint32_t holder : entry.copy_nodes) {
+      if (holder == node) {
+        out.push_back(id);
+        break;
+      }
+    }
+  }
+  return out;
+}
+
+void ObjectTable::AddReplicationAggregates(const ObjectEntry& entry) {
+  if (entry.origin_node == self_node_ && entry.copy_nodes.size() > 1) {
+    replicas_total_ += entry.copy_nodes.size() - 1;
+  }
+  if (entry.desired_copies > 1 &&
+      entry.copy_nodes.size() < entry.desired_copies) {
+    ++under_replicated_;
+  }
+}
+
+void ObjectTable::SubReplicationAggregates(const ObjectEntry& entry) {
+  if (entry.origin_node == self_node_ && entry.copy_nodes.size() > 1) {
+    replicas_total_ -= entry.copy_nodes.size() - 1;
+  }
+  if (entry.desired_copies > 1 &&
+      entry.copy_nodes.size() < entry.desired_copies) {
+    --under_replicated_;
+  }
 }
 
 std::vector<ObjectId> ObjectTable::UnsealedCreatedBy(int fd) const {

@@ -56,6 +56,15 @@ struct ObjectEntry {
   int64_t created_ns = 0;
   int64_t sealed_ns = 0;
 
+  // k-way replication (PR 8). desired_copies is how many live copies the
+  // object should have cluster-wide; copy_nodes is the node set believed
+  // to hold one (self included). origin_node is the node whose Seal
+  // published the object — replicas (origin != self) never fan out on
+  // their own and are dropped when the origin deletes.
+  uint32_t desired_copies = 1;
+  uint32_t origin_node = 0;
+  std::vector<uint32_t> copy_nodes;
+
   uint64_t total_size() const { return data_size + metadata_size; }
 };
 
@@ -100,6 +109,26 @@ class ObjectTable {
   // Unsealed objects created by `fd` (client-crash cleanup).
   std::vector<ObjectId> UnsealedCreatedBy(int fd) const;
 
+  // ---- k-way replication bookkeeping ------------------------------------
+  // The node id the owning shard runs on; feeds the replication
+  // aggregates (a copy on another node counts toward replicas_total only
+  // on the object's origin node).
+  void set_self_node(uint32_t node) { self_node_ = node; }
+
+  // Rewrites an entry's replication record (desired copy count, origin,
+  // and the believed copy set) and keeps the aggregates consistent.
+  Status SetReplication(const ObjectId& id, uint32_t desired,
+                        uint32_t origin, std::vector<uint32_t> copy_nodes);
+
+  // Sealed/spilled objects whose copy set includes `node` (re-heal scan
+  // after that node dies).
+  std::vector<ObjectId> CollectReplicatedWith(uint32_t node) const;
+
+  // Remote copies of locally-originated sealed/spilled objects.
+  uint64_t replicas_total() const { return replicas_total_; }
+  // Sealed/spilled objects below their desired copy count.
+  uint64_t under_replicated() const { return under_replicated_; }
+
   size_t size() const { return entries_.size(); }
   // Sealed objects resident in the pool (spilled objects not included).
   size_t sealed_count() const { return sealed_count_; }
@@ -109,11 +138,20 @@ class ObjectTable {
   uint64_t spilled_bytes() const { return spilled_bytes_; }
 
  private:
+  // An entry contributes to the replication aggregates only while sealed
+  // or spilled; these are paired around every counted-state or
+  // replication-field change.
+  void AddReplicationAggregates(const ObjectEntry& entry);
+  void SubReplicationAggregates(const ObjectEntry& entry);
+
   std::unordered_map<ObjectId, ObjectEntry> entries_;
   size_t sealed_count_ = 0;
   uint64_t bytes_in_use_ = 0;
   size_t spilled_count_ = 0;
   uint64_t spilled_bytes_ = 0;
+  uint32_t self_node_ = 0;
+  uint64_t replicas_total_ = 0;
+  uint64_t under_replicated_ = 0;
 };
 
 }  // namespace mdos::plasma

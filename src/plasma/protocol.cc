@@ -53,12 +53,14 @@ void CreateRequest::EncodeTo(wire::Writer& w) const {
   w.PutObjectId(id);
   w.PutU64(data_size);
   w.PutU64(metadata_size);
+  w.PutBool(replicate);
 }
 Result<CreateRequest> CreateRequest::DecodeFrom(wire::Reader& r) {
   CreateRequest m;
   MDOS_ASSIGN_OR_RETURN(m.id, r.GetObjectId());
   MDOS_ASSIGN_OR_RETURN(m.data_size, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.metadata_size, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.replicate, r.GetBool());
   return m;
 }
 
@@ -302,6 +304,10 @@ void StoreStats::EncodeTo(wire::Writer& w) const {
   w.PutU64(mapped_bytes);
   w.PutU64(generation_retries);
   w.PutU64(mapped_fallbacks);
+  w.PutU64(replicas_total);
+  w.PutU64(under_replicated);
+  w.PutU64(reheal_copies);
+  w.PutU64(reheal_bytes);
 }
 Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   StoreStats m;
@@ -334,6 +340,10 @@ Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.mapped_bytes, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.generation_retries, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.mapped_fallbacks, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.replicas_total, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.under_replicated, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.reheal_copies, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.reheal_bytes, r.GetU64());
   return m;
 }
 
@@ -364,6 +374,8 @@ void ShardStatsEntry::EncodeTo(wire::Writer& w) const {
   w.PutU64(mapped_reads);
   w.PutU64(mapped_bytes);
   w.PutU64(mapped_fallbacks);
+  w.PutU64(replicas_total);
+  w.PutU64(under_replicated);
 }
 Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   ShardStatsEntry m;
@@ -386,6 +398,8 @@ Result<ShardStatsEntry> ShardStatsEntry::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.mapped_reads, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.mapped_bytes, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.mapped_fallbacks, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.replicas_total, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.under_replicated, r.GetU64());
   return m;
 }
 

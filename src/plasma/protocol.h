@@ -90,6 +90,10 @@ struct CreateRequest {
   ObjectId id;
   uint64_t data_size = 0;
   uint64_t metadata_size = 0;
+  // Per-object replication request: on Seal the store fans the bytes out
+  // to peer replicas even when StoreOptions::replication_factor is 1
+  // (the effective copy count is max(replication_factor, 2) then).
+  bool replicate = false;
   void EncodeTo(wire::Writer& w) const;
   static Result<CreateRequest> DecodeFrom(wire::Reader& r);
 };
@@ -277,6 +281,12 @@ struct StoreStats {
   uint64_t mapped_bytes = 0;       // payload bytes those Gets exposed
   uint64_t generation_retries = 0;  // cached lookups voided by a gen bump
   uint64_t mapped_fallbacks = 0;   // client refetches after a mismatch
+  // k-way replication (zero when replication_factor is 1 and no client
+  // passed the per-object replicate flag).
+  uint64_t replicas_total = 0;     // remote copies of locally-owned objects
+  uint64_t under_replicated = 0;   // objects below their desired copy count
+  uint64_t reheal_copies = 0;      // copies re-created after peer deaths
+  uint64_t reheal_bytes = 0;       // payload bytes those copies moved
   void EncodeTo(wire::Writer& w) const;
   static Result<StoreStats> DecodeFrom(wire::Reader& r);
 };
@@ -314,6 +324,9 @@ struct ShardStatsEntry {
   uint64_t mapped_reads = 0;
   uint64_t mapped_bytes = 0;
   uint64_t mapped_fallbacks = 0;
+  // Replication state of this shard's object table.
+  uint64_t replicas_total = 0;
+  uint64_t under_replicated = 0;
   void EncodeTo(wire::Writer& w) const;
   static Result<ShardStatsEntry> DecodeFrom(wire::Reader& r);
 };

@@ -194,6 +194,7 @@ void Store::InitShards() {
       // No threads exist yet; the lock only satisfies the analysis.
       MutexLock lock(shard->mutex);
       shard->arena = &pool_alloc_->arena(i);
+      shard->table.set_self_node(node_id_);
     }
     shards_.push_back(std::move(shard));
   }
@@ -282,6 +283,11 @@ Status Store::Start() {
     s->thread = std::thread([this, s] { ShardLoop(*s); });
   }
   accept_thread_ = std::thread([this] { AcceptLoop(); });
+  {
+    MutexLock lock(reheal_mutex_);
+    reheal_running_ = true;
+  }
+  reheal_thread_ = std::thread([this] { RehealLoop(); });
   MDOS_LOG_INFO << "store '" << options_.name << "' listening on "
                 << socket_path_ << " (" << shards_.size() << " shard"
                 << (shards_.size() == 1 ? "" : "s") << ")";
@@ -289,6 +295,15 @@ Status Store::Start() {
 }
 
 void Store::Stop() {
+  // The re-heal driver issues peer RPCs; stop it first so no replicate
+  // call races the teardown of the shards it reads from.
+  {
+    MutexLock lock(reheal_mutex_);
+    reheal_running_ = false;
+    reheal_queue_.clear();
+  }
+  reheal_cv_.NotifyAll();
+  if (reheal_thread_.joinable()) reheal_thread_.join();
   if (!running_.exchange(false)) {
     if (accept_thread_.joinable()) accept_thread_.join();
     for (auto& shard : shards_) {
@@ -703,6 +718,7 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
           "shard arena full and no evictable objects for " +
           std::to_string(size) + " bytes");
     }
+    bool freed_any = false;
     for (const ObjectId& victim : victims) {
       // Spill tier first: demote the victim to the shard's segment file
       // and keep its table entry (as kSpilled). A failed spill write
@@ -731,6 +747,7 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
             (void)owner.arena->Free(entry->offset);
             owner.eviction.Remove(victim);
             ++owner.spill_count;
+            freed_any = true;
             continue;
           }
           if (spilled_at.ok()) {
@@ -741,6 +758,14 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
                           << "; evicting destructively";
           }
         }
+      }
+      {
+        // Replicated objects may be demoted to disk (above) but never
+        // destroyed: a peer's re-heal may depend on this being the last
+        // surviving copy. With no working spill tier the victim is
+        // simply not reclaimable.
+        auto entry = owner.table.Lookup(victim);
+        if (entry.ok() && entry->desired_copies > 1) continue;
       }
       auto removed = owner.table.Remove(victim);
       if (!removed.ok()) continue;  // raced with a new pin; skip
@@ -754,6 +779,13 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
       owner.eviction.Remove(victim);
       owner.remote_pins.erase(victim);
       ++owner.eviction_count;
+      freed_any = true;
+    }
+    if (!freed_any) {
+      return Status::OutOfMemory(
+          "shard arena full: remaining victims are replicated objects "
+          "that cannot be destroyed (need " + std::to_string(size) +
+          " bytes)");
     }
   }
 }
@@ -885,6 +917,13 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
           entry.data_size = request->data_size;
           entry.metadata_size = request->metadata_size;
           entry.creator_fd = fd;
+          // Replication intent is recorded at create time and acted on
+          // at seal (the bytes exist only then). The per-object flag
+          // bumps a non-replicating store to k=2 for this object.
+          entry.desired_copies = std::max<uint32_t>(
+              options_.replication_factor, request->replicate ? 2 : 1);
+          entry.origin_node = node_id_;
+          entry.copy_nodes = {node_id_};
           Status added = owner.table.AddCreated(entry);
           if (added.ok()) {
             reply.offset = allocation->offset;
@@ -944,6 +983,10 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
     // first would let the two push races invert the lifecycle order.
     FanOutNotification(&home, notice);
     FanOutSealed(&home, request->id);
+    // Replication fan-out last: the local seal is complete and the reply
+    // queued, so replica RPC latency never sits in front of the client's
+    // ack, and no shard mutex is held across the peer calls.
+    ReplicateSealed(owner, request->id);
   }
 }
 
@@ -1472,6 +1515,9 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
   Shard& owner = OwnerShard(request->id);
   DeleteReply reply;
   bool deleted = false;
+  // Replica holders to notify once the local delete commits (origin
+  // deletes propagate; a replica's local delete never touches peers).
+  std::vector<uint32_t> replica_holders;
   {
     MutexLock lock(owner.mutex);
     auto pins = owner.remote_pins.find(request->id);
@@ -1501,11 +1547,19 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
         owner.eviction.Remove(request->id);
         owner.remote_pins.erase(request->id);
         deleted = true;
+        if (removed->origin_node == node_id_) {
+          for (uint32_t holder : removed->copy_nodes) {
+            if (holder != node_id_) replica_holders.push_back(holder);
+          }
+        }
       }
     }
   }
   if (deleted) {
     if (dist_hooks_ != nullptr) {
+      if (!replica_holders.empty()) {
+        dist_hooks_->DropReplicas(request->id, replica_holders);
+      }
       dist_hooks_->NotifyDeleted(request->id);
     }
     Notification notice;
@@ -1688,6 +1742,286 @@ uint64_t Store::ReleasePinsForPeer(uint32_t peer_node) {
   return released;
 }
 
+// ---- k-way replication ------------------------------------------------------
+
+namespace {
+
+// Inserts `node` into `nodes` if absent (copy sets are small — a handful
+// of node ids — so linear scan beats a set).
+void MergeCopyNode(std::vector<uint32_t>& nodes, uint32_t node) {
+  if (std::find(nodes.begin(), nodes.end(), node) == nodes.end()) {
+    nodes.push_back(node);
+  }
+}
+
+}  // namespace
+
+void Store::ReplicateSealed(Shard& owner, const ObjectId& id) {
+  if (dist_hooks_ == nullptr) return;
+  std::vector<uint8_t> bytes;
+  uint64_t data_size = 0;
+  uint64_t metadata_size = 0;
+  uint32_t desired = 0;
+  uint32_t origin = 0;
+  std::vector<uint32_t> holders;
+  {
+    MutexLock lock(owner.mutex);
+    auto entry = owner.table.Lookup(id);
+    if (!entry.ok()) return;
+    if (entry->desired_copies <= 1) return;
+    if (entry->copy_nodes.size() >= entry->desired_copies) return;
+    if (entry->state == ObjectState::kSpilled) {
+      auto restored = RestoreSpilled(owner, id);
+      if (!restored.ok()) return;
+      entry = restored;
+    }
+    if (entry->state != ObjectState::kSealed) return;
+    // Snapshot the bytes under the mutex: the pool offset can be rebound
+    // (evict, spill, delete + re-create) the moment the lock drops, and
+    // the replicate RPCs below must not run under it.
+    bytes.assign(pool_base_ + entry->offset,
+                 pool_base_ + entry->offset + entry->total_size());
+    data_size = entry->data_size;
+    metadata_size = entry->metadata_size;
+    desired = entry->desired_copies;
+    origin = entry->origin_node;
+    holders = entry->copy_nodes;
+  }
+  uint32_t wanted = desired - static_cast<uint32_t>(holders.size());
+  std::vector<uint32_t> accepted = dist_hooks_->ReplicateObject(
+      id, bytes.data(), data_size, metadata_size, wanted, holders, origin,
+      desired);
+  if (accepted.empty()) return;
+  MutexLock lock(owner.mutex);
+  auto entry = owner.table.Lookup(id);
+  // Deleted or re-created (different origin) while the RPCs were in
+  // flight: leave the new record alone. The stray remote copies are
+  // reclaimed by the origin-delete fan-out or a later re-heal round.
+  if (!entry.ok() || entry->origin_node != origin) return;
+  std::vector<uint32_t> merged = entry->copy_nodes;
+  for (uint32_t node : accepted) MergeCopyNode(merged, node);
+  (void)owner.table.SetReplication(id, entry->desired_copies,
+                                   entry->origin_node, std::move(merged));
+}
+
+Status Store::AcceptReplica(const ObjectId& id, uint32_t from_node,
+                            uint32_t origin_node, uint32_t desired_copies,
+                            const std::vector<uint32_t>& copy_nodes,
+                            const uint8_t* data, uint64_t data_size,
+                            uint64_t metadata_size) {
+  (void)from_node;
+  const uint64_t total = data_size + metadata_size;
+  if (total == 0) return Status::Invalid("replica must not be empty");
+  Shard& owner = OwnerShard(id);
+  Notification notice;
+  notice.id = id;
+  notice.data_size = data_size;
+  notice.metadata_size = metadata_size;
+  {
+    MutexLock lock(owner.mutex);
+    auto existing = owner.table.Lookup(id);
+    if (existing.ok()) {
+      if (existing->state == ObjectState::kCreated) {
+        // A local client is mid-create on the same id; the pusher treats
+        // this as a miss and picks another target.
+        return Status::AlreadyExists("replica target id " + id.Hex() +
+                                     " is being created locally");
+      }
+      // Idempotent re-push (retry, or a re-heal round racing the
+      // original fan-out): merge the copy sets, keep the bytes we have.
+      std::vector<uint32_t> merged = existing->copy_nodes;
+      for (uint32_t node : copy_nodes) MergeCopyNode(merged, node);
+      MergeCopyNode(merged, node_id_);
+      return owner.table.SetReplication(id, desired_copies, origin_node,
+                                        std::move(merged));
+    }
+    MDOS_ASSIGN_OR_RETURN(alloc::Allocation allocation,
+                          AllocateWithEviction(owner, total));
+    std::memcpy(pool_base_ + allocation.offset, data, total);
+    ObjectEntry entry;
+    entry.id = id;
+    entry.offset = allocation.offset;
+    entry.data_size = data_size;
+    entry.metadata_size = metadata_size;
+    entry.desired_copies = desired_copies;
+    entry.origin_node = origin_node;
+    entry.copy_nodes = copy_nodes;
+    MergeCopyNode(entry.copy_nodes, node_id_);
+    Status added = owner.table.AddCreated(entry);
+    if (!added.ok()) {
+      (void)owner.arena->Free(allocation.offset);
+      return added;
+    }
+    Status sealed = owner.table.Seal(id);
+    if (!sealed.ok()) {
+      (void)owner.table.Remove(id, /*force=*/true);
+      (void)owner.arena->Free(allocation.offset);
+      return sealed;
+    }
+    owner.eviction.Add(id, total);
+    // Same write-side order as a local Seal: bind the id to its bytes,
+    // then publish into the shared index for zero-RPC peer lookups.
+    BumpGeneration(id);
+    if (shared_index_ != nullptr) {
+      MutexLock index_lock(index_mutex_);
+      (void)shared_index_->Insert(
+          id, IndexedObject{allocation.offset, data_size, metadata_size});
+    }
+  }
+  // A replica arrival is a seal as far as local waiters are concerned:
+  // wake subscribers and parked Gets. Null origin — the RPC thread is
+  // not a shard, so every shard gets a posted task.
+  FanOutNotification(nullptr, notice);
+  FanOutSealed(nullptr, id);
+  return Status::OK();
+}
+
+Status Store::DropReplicaLocal(const ObjectId& id, uint32_t from_node) {
+  Shard& owner = OwnerShard(id);
+  Notification notice;
+  notice.id = id;
+  notice.deleted = true;
+  {
+    MutexLock lock(owner.mutex);
+    auto entry = owner.table.Lookup(id);
+    // Already gone — the drop is idempotent.
+    if (!entry.ok()) return Status::OK();
+    if (entry->origin_node != from_node || entry->origin_node == node_id_) {
+      return Status::Invalid("replica drop: object " + id.Hex() +
+                             " is not a replica of node " +
+                             std::to_string(from_node));
+    }
+    auto removed = owner.table.Remove(id);
+    if (!removed.ok()) return removed.status();
+    if (shared_index_ != nullptr) {
+      MutexLock index_lock(index_mutex_);
+      (void)shared_index_->Remove(id);
+    }
+    // Index withdrawal, then bump, then free (mapped-read seqlock write
+    // order — see AllocateWithEviction).
+    BumpGeneration(id);
+    if (removed->state == ObjectState::kSpilled) {
+      if (owner.spill.has_value()) {
+        (void)owner.spill->Free(removed->spill_offset);
+        MaybeCompactSpill(owner);
+      }
+    } else {
+      (void)owner.arena->Free(removed->offset);
+    }
+    owner.eviction.Remove(id);
+    owner.remote_pins.erase(id);
+  }
+  FanOutNotification(nullptr, notice);
+  return Status::OK();
+}
+
+void Store::RequestReheal(uint32_t dead_node) {
+  {
+    MutexLock lock(reheal_mutex_);
+    if (!reheal_running_) return;
+    reheal_queue_.push_back(dead_node);
+    ++reheal_inflight_;
+  }
+  reheal_cv_.NotifyOne();
+}
+
+uint64_t Store::PendingReheals() {
+  MutexLock lock(reheal_mutex_);
+  return reheal_inflight_;
+}
+
+void Store::RehealLoop() {
+  for (;;) {
+    uint32_t dead = 0;
+    {
+      MutexLock lock(reheal_mutex_);
+      reheal_cv_.WaitFor(reheal_mutex_, std::chrono::milliseconds(200),
+                         [this]() {
+                           reheal_mutex_.AssertHeld();
+                           return !reheal_running_ ||
+                                  !reheal_queue_.empty();
+                         });
+      if (!reheal_running_) return;
+      if (reheal_queue_.empty()) continue;
+      dead = reheal_queue_.front();
+      reheal_queue_.erase(reheal_queue_.begin());
+    }
+    RehealForDeadNode(dead);
+    {
+      MutexLock lock(reheal_mutex_);
+      --reheal_inflight_;
+    }
+  }
+}
+
+void Store::RehealForDeadNode(uint32_t dead) {
+  uint64_t healed_copies = 0;
+  uint64_t healed_bytes = 0;
+  for (auto& shard : shards_) {
+    Shard& owner = *shard;
+    // Objects this store must push a fresh copy of: below their desired
+    // count after the strip, and this node won the healer election.
+    std::vector<ObjectId> to_heal;
+    {
+      MutexLock lock(owner.mutex);
+      for (const ObjectId& id : owner.table.CollectReplicatedWith(dead)) {
+        auto entry = owner.table.Lookup(id);
+        if (!entry.ok()) continue;
+        std::vector<uint32_t> live;
+        live.reserve(entry->copy_nodes.size());
+        for (uint32_t node : entry->copy_nodes) {
+          if (node != dead) live.push_back(node);
+        }
+        if (live.empty() || live.size() == entry->copy_nodes.size()) {
+          continue;
+        }
+        // Every surviving holder runs the same computation on the same
+        // copy set, so they all agree on the new origin and on which one
+        // of them heals: the lowest live node id. Deterministic — no
+        // coordination round needed.
+        uint32_t healer = *std::min_element(live.begin(), live.end());
+        uint32_t origin =
+            entry->origin_node == dead ? healer : entry->origin_node;
+        (void)owner.table.SetReplication(id, entry->desired_copies,
+                                         origin, live);
+        if (live.size() < entry->desired_copies && healer == node_id_) {
+          to_heal.push_back(id);
+        }
+      }
+    }
+    for (const ObjectId& id : to_heal) {
+      size_t before = 0;
+      uint64_t size = 0;
+      {
+        MutexLock lock(owner.mutex);
+        auto entry = owner.table.Lookup(id);
+        if (!entry.ok()) continue;
+        before = entry->copy_nodes.size();
+        size = entry->total_size();
+      }
+      // Restores from the spill tier if needed, pushes to registry-
+      // chosen peers outside any lock, merges acceptors into the record.
+      ReplicateSealed(owner, id);
+      {
+        MutexLock lock(owner.mutex);
+        auto entry = owner.table.Lookup(id);
+        if (entry.ok() && entry->copy_nodes.size() > before) {
+          uint64_t added = entry->copy_nodes.size() - before;
+          healed_copies += added;
+          healed_bytes += added * size;
+        }
+      }
+    }
+  }
+  if (healed_copies > 0) {
+    reheal_copies_.fetch_add(healed_copies, std::memory_order_relaxed);
+    reheal_bytes_.fetch_add(healed_bytes, std::memory_order_relaxed);
+    MDOS_LOG_INFO << "store " << options_.name << ": re-heal after node "
+                  << dead << " death pushed " << healed_copies
+                  << " copies (" << healed_bytes << " bytes)";
+  }
+}
+
 StoreStats Store::stats() {
   StoreStats s;
   s.capacity = options_.capacity;
@@ -1713,7 +2047,11 @@ StoreStats Store::stats() {
     s.mapped_bytes += shard->mapped_bytes.load(std::memory_order_relaxed);
     s.mapped_fallbacks +=
         shard->mapped_fallbacks.load(std::memory_order_relaxed);
+    s.replicas_total += shard->table.replicas_total();
+    s.under_replicated += shard->table.under_replicated();
   }
+  s.reheal_copies = reheal_copies_.load(std::memory_order_relaxed);
+  s.reheal_bytes = reheal_bytes_.load(std::memory_order_relaxed);
   s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
   s.remote_lookup_hits =
       remote_lookup_hits_.load(std::memory_order_relaxed);
@@ -1756,6 +2094,8 @@ std::vector<ShardStatsEntry> Store::shard_stats() {
       entry.spilled_objects = shard->table.spilled_count();
       entry.spilled_bytes = shard->table.spilled_bytes();
       entry.spill_restores = shard->restore_count;
+      entry.replicas_total = shard->table.replicas_total();
+      entry.under_replicated = shard->table.under_replicated();
     }
     entry.arena_capacity = pool_alloc_->arena_capacity(shard->index);
     entry.clients = shard->client_count.load(std::memory_order_relaxed);

@@ -137,6 +137,15 @@ struct StoreOptions {
   // default: descriptor Gets hold no pin at the home store, which
   // changes the eviction-protection contract the default mode provides.
   bool mapped_remote_reads = false;
+  // k-way replication: every sealed object is fanned out to
+  // (replication_factor - 1) replica peers over the dist layer, and the
+  // re-heal driver restores the copy count when a peer holding one dies.
+  // 1 (the default) disables store-wide replication; clients can still
+  // request it per object (CreateRequest::replicate, which makes the
+  // effective count max(replication_factor, 2)). Replicated objects may
+  // be spilled but are never destructively evicted — a copy another node
+  // relies on must not silently vanish.
+  uint32_t replication_factor = 1;
 };
 
 // Location of a remote object as exchanged between stores.
@@ -195,6 +204,28 @@ class DistHooks {
   // descriptor against the peer's generation table and lost). Folded
   // into StoreStats::generation_retries.
   virtual uint64_t GenerationRetries() { return 0; }
+
+  // k-way replication: push `id`'s bytes (data section then metadata,
+  // data_size + metadata_size bytes at `bytes`) to up to `copies_wanted`
+  // live peers not in `exclude` (nodes already holding a copy). Returns
+  // the node ids that accepted. `origin`/`desired` travel with the copy
+  // so every holder records the same replication state. Blocking (RPC
+  // per target) — never call under a shard mutex. Default: no peers.
+  virtual std::vector<uint32_t> ReplicateObject(
+      const ObjectId& id, const uint8_t* bytes, uint64_t data_size,
+      uint64_t metadata_size, uint32_t copies_wanted,
+      const std::vector<uint32_t>& exclude, uint32_t origin,
+      uint32_t desired) {
+    (void)id; (void)bytes; (void)data_size; (void)metadata_size;
+    (void)copies_wanted; (void)exclude; (void)origin; (void)desired;
+    return {};
+  }
+
+  // The origin deleted `id`: tell every holder to drop its replica.
+  virtual void DropReplicas(const ObjectId& id,
+                            const std::vector<uint32_t>& holders) {
+    (void)id; (void)holders;
+  }
 };
 
 class Store {
@@ -284,6 +315,33 @@ class Store {
   // declared dead — its pins must no longer block eviction). Returns the
   // number of pins released.
   uint64_t ReleasePinsForPeer(uint32_t peer_node);
+
+  // ---- k-way replication (peer surface + re-heal driver) --------------
+
+  // Installs a replica copy pushed by `from_node` (Plasma.Replicate).
+  // Allocates (with eviction), copies the payload, seals, and records
+  // the replication state. Idempotent: a copy that already exists merges
+  // `copy_nodes` into its record and reports success.
+  Status AcceptReplica(const ObjectId& id, uint32_t from_node,
+                       uint32_t origin_node, uint32_t desired_copies,
+                       const std::vector<uint32_t>& copy_nodes,
+                       const uint8_t* data, uint64_t data_size,
+                       uint64_t metadata_size);
+
+  // Drops the local replica of `id` because its origin `from_node`
+  // deleted it (Plasma.ReplicaDrop). Refuses when the local entry is not
+  // a replica of `from_node` (the id was re-created locally).
+  Status DropReplicaLocal(const ObjectId& id, uint32_t from_node);
+
+  // Peer `dead_node` was declared dead: enqueue a re-heal round. The
+  // driver thread strips the corpse from every copy set, elects one
+  // surviving holder per under-replicated object (the lowest live node
+  // id — deterministic, no coordination), and re-replicates from it
+  // (restoring from the spill tier first when needed). Safe from any
+  // thread; no-op before Start/after Stop.
+  void RequestReheal(uint32_t dead_node);
+  // Re-heal rounds still queued or running (0 = converged; test hook).
+  uint64_t PendingReheals();
 
   // Aggregate statistics across shards (includes peer-health totals when
   // dist hooks are wired).
@@ -528,6 +586,14 @@ class Store {
   // thread only).
   void DeliverNotification(Shard& shard, const Notification& notice);
 
+  // Replication fan-out after a local Seal: when the entry wants more
+  // than one copy and dist hooks are wired, snapshots the bytes under
+  // the owner mutex, pushes them to registry-chosen peers OUTSIDE any
+  // lock, and merges the accepting peers into the entry's copy set.
+  // Called from the seal path (after the client reply is queued) and
+  // from the re-heal driver.
+  void ReplicateSealed(Shard& owner, const ObjectId& id);
+
   // Completes a batch of local-pass Gets: one DistHooks::LookupRemote for
   // the union of unknown ids, then replies or parks each get on its
   // deadline (in the home shard's pending list).
@@ -638,6 +704,28 @@ class Store {
   // Store-wide remote-lookup counters (updated from any shard thread).
   std::atomic<uint64_t> remote_lookups_{0};
   std::atomic<uint64_t> remote_lookup_hits_{0};
+
+  // ---- re-heal driver (k-way replication) ------------------------------
+  // One worker thread drains dead-node ids queued by RequestReheal; the
+  // replicate RPCs it issues must never run on the RPC server thread
+  // that delivered the death (deadlock: that thread serves our peers).
+  void RehealLoop();
+  // One round: scan every shard for objects that held a copy on `dead`,
+  // strip the corpse, and re-replicate what fell below its desired
+  // count (this node acting only where it is the elected healer).
+  void RehealForDeadNode(uint32_t dead);
+
+  std::thread reheal_thread_;
+  Mutex reheal_mutex_;
+  CondVar reheal_cv_;
+  std::vector<uint32_t> reheal_queue_ GUARDED_BY(reheal_mutex_);
+  // Queued + in-flight rounds (PendingReheals test hook).
+  uint64_t reheal_inflight_ GUARDED_BY(reheal_mutex_) = 0;
+  bool reheal_running_ GUARDED_BY(reheal_mutex_) = false;
+
+  // Re-heal progress counters (StoreStats::reheal_*).
+  std::atomic<uint64_t> reheal_copies_{0};
+  std::atomic<uint64_t> reheal_bytes_{0};
 
   // Accept thread state.
   net::UniqueFd listen_fd_;

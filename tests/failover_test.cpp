@@ -10,6 +10,7 @@
 
 #include "cluster/cluster.h"
 #include "common/clock.h"
+#include "common/crc32.h"
 #include "dist/messages.h"
 #include "dist/remote_registry.h"
 #include "dist/service.h"
@@ -17,22 +18,16 @@
 #include "plasma/store.h"
 #include "rpc/channel.h"
 #include "rpc/server.h"
+#include "test_cluster_util.h"
 #include "tf/fabric.h"
 
 namespace mdos {
 namespace {
 
-// Polls `pred` (expensive: RPCs, locks) until it holds or `timeout_ms`
-// elapses. Returns whether the predicate held.
-template <typename Pred>
-bool WaitUntil(Pred pred, int timeout_ms = 5000) {
-  Stopwatch sw;
-  while (sw.ElapsedMillis() < timeout_ms) {
-    if (pred()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
-  }
-  return pred();
-}
+using testutil::FastFabric;
+using testutil::RandomPayload;
+using testutil::StartEphemeral;
+using testutil::WaitUntil;
 
 // ---- RpcChannel reconnect --------------------------------------------------
 
@@ -40,8 +35,9 @@ class ReconnectRpcTest : public ::testing::Test {
  protected:
   void SetUp() override {
     RegisterHandlers(server_);
-    ASSERT_TRUE(server_.Start(0).ok());
-    port_ = server_.port();
+    auto port = StartEphemeral(server_);
+    ASSERT_TRUE(port.ok()) << port.status();
+    port_ = *port;
   }
   void TearDown() override { server_.Stop(); }
 
@@ -131,13 +127,6 @@ TEST_F(ReconnectRpcTest, TimedCallDoesNotPoisonLaterUntimedCalls) {
 
 // ---- registry health machine ----------------------------------------------
 
-tf::FabricConfig FastFabric() {
-  tf::FabricConfig config;
-  config.local = tf::LatencyParams{0, 0.0};
-  config.remote = tf::LatencyParams{0, 0.0};
-  return config;
-}
-
 // Two fabric-backed stores wired manually so tests control meshing,
 // registry options, and server lifecycle (restarts on a fixed port).
 class FailoverDistTest : public ::testing::Test {
@@ -168,8 +157,9 @@ class FailoverDistTest : public ::testing::Test {
           stores_[i].get(), registries_[i]->lookup_cache());
       services_[i]->RegisterWith(servers_[i]);
       ASSERT_TRUE(stores_[i]->Start().ok());
-      ASSERT_TRUE(servers_[i].Start(0).ok());
-      ports_[i] = servers_[i].port();
+      auto port = StartEphemeral(servers_[i]);
+      ASSERT_TRUE(port.ok()) << port.status();
+      ports_[i] = *port;
     }
   }
 
@@ -443,17 +433,7 @@ TEST_F(FailoverDistTest, PeerHealthFlowsIntoStoreAndClientStats) {
 // ---- cluster kill / restart -------------------------------------------------
 
 cluster::NodeOptions FailoverNode() {
-  cluster::NodeOptions options;
-  options.pool_size = 8 << 20;
-  options.registry.enable_lookup_cache = true;
-  options.registry.rpc_timeout_ms = 2000;
-  options.registry.heartbeat_interval_ms = 20;
-  options.registry.ping_timeout_ms = 200;
-  options.registry.suspect_after_failures = 1;
-  options.registry.dead_after_failures = 3;
-  options.registry.redial_backoff_min_ms = 1;
-  options.registry.redial_backoff_max_ms = 50;
-  return options;
+  return testutil::FailoverNodeOptions();
 }
 
 TEST(ClusterFailoverTest, KillReleasesPinsFailsFastAndRestartRemeshes) {
@@ -581,6 +561,87 @@ TEST(ClusterFailoverTest, KillNodeUnderActiveTrafficKeepsSurvivorsSane) {
   // And the survivor's store still answers.
   auto check = (*producer)->Get(ObjectId::FromName("t0"), 500);
   EXPECT_TRUE(check.ok());
+}
+
+TEST(ClusterFailoverTest, KillWithReplicationLosesNoSealedObjects) {
+  // The PR 5 contract was "degrade gracefully": survivors stay sane but
+  // the dead node's objects are gone. With replication_factor=2 the
+  // contract hardens to "heal": a mid-workload kill loses ZERO sealed
+  // objects and the copy count returns to k.
+  cluster::NodeOptions options = testutil::FailoverNodeOptions();
+  options.replication_factor = 2;
+  auto cluster = testutil::MakeCluster(3, options, FastFabric());
+  ASSERT_TRUE(cluster.ok()) << cluster.status();
+
+  constexpr int kObjects = 12;
+  constexpr size_t kSize = 32 << 10;
+  auto producer = (*cluster)->node(0)->CreateClient("producer");
+  ASSERT_TRUE(producer.ok());
+  for (int i = 0; i < kObjects; ++i) {
+    ASSERT_TRUE((*producer)
+                    ->CreateAndSeal(
+                        ObjectId::FromName("r" + std::to_string(i)),
+                        RandomPayload(i, kSize))
+                    .ok());
+  }
+  ASSERT_TRUE(WaitUntil([&] {
+    return (*cluster)->node(0)->store().stats().under_replicated == 0;
+  }));
+
+  // Reader keeps hammering the full set from node 2 while a replica
+  // holder dies mid-workload.
+  std::atomic<bool> stop{false};
+  std::atomic<int> successes{0};
+  std::thread reader([&] {
+    auto client = (*cluster)->node(2)->CreateClient("reader");
+    if (!client.ok()) return;
+    int i = 0;
+    while (!stop.load()) {
+      ObjectId id = ObjectId::FromName("r" + std::to_string(i % kObjects));
+      auto buffer = (*client)->Get(id, 200);
+      if (buffer.ok()) {
+        ++successes;
+        (void)(*client)->Release(id);
+      }
+      ++i;
+    }
+  });
+
+  std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  uint32_t victim_id = (*cluster)->node(1)->id();
+  ASSERT_TRUE((*cluster)->KillNode(1).ok());
+  std::this_thread::sleep_for(std::chrono::milliseconds(300));
+  stop.store(true);
+  reader.join();
+  EXPECT_GT(successes.load(), 0);
+  ASSERT_TRUE(WaitUntil([&] {
+    return (*cluster)->node(0)->registry().peer_state(victim_id) ==
+           dist::PeerState::kDead;
+  }));
+
+  // Zero lost sealed objects: whichever nodes held copies, every one of
+  // the 12 is still readable (with intact bytes) after the kill...
+  auto checker = (*cluster)->node(0)->CreateClient("checker");
+  ASSERT_TRUE(checker.ok());
+  for (int i = 0; i < kObjects; ++i) {
+    ObjectId id = ObjectId::FromName("r" + std::to_string(i));
+    ASSERT_TRUE(WaitUntil([&] {
+      auto buffer = (*checker)->Get(id, 500);
+      if (!buffer.ok()) return false;
+      auto crc = buffer->ChecksumData();
+      (void)(*checker)->Release(id);
+      return crc.ok() && *crc == Crc32(RandomPayload(i, kSize));
+    }, /*timeout_ms=*/10000))
+        << "sealed object " << i << " lost after kill";
+  }
+
+  // ...and the re-heal driver restores full redundancy.
+  ASSERT_TRUE(WaitUntil([&] {
+    return (*cluster)->node(0)->store().stats().reheal_copies >= 1;
+  }, /*timeout_ms=*/10000));
+  ASSERT_TRUE(WaitUntil([&] {
+    return testutil::ReplicationConverged(**cluster);
+  }, /*timeout_ms=*/10000));
 }
 
 }  // namespace

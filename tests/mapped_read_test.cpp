@@ -13,30 +13,20 @@
 
 #include "cluster/cluster.h"
 #include "common/crc32.h"
-#include "common/rng.h"
 #include "plasma/client.h"
+#include "test_cluster_util.h"
 
 namespace mdos::cluster {
 namespace {
 
-tf::FabricConfig FastFabric() {
-  tf::FabricConfig config;
-  config.local = tf::LatencyParams{0, 0.0};
-  config.remote = tf::LatencyParams{0, 0.0};
-  return config;
-}
+using testutil::FastFabric;
+using testutil::RandomPayload;
 
 NodeOptions MappedNode() {
   NodeOptions options;
   options.pool_size = 8 << 20;
   options.mapped_remote_reads = true;
   return options;
-}
-
-std::string RandomPayload(uint64_t seed, size_t size) {
-  std::string data(size, '\0');
-  SplitMix64(seed).Fill(data.data(), data.size());
-  return data;
 }
 
 TEST(MappedReadTest, RemoteGetServesValidatedDescriptor) {

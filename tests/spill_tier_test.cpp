@@ -11,21 +11,17 @@
 
 #include "cluster/cluster.h"
 #include "common/crc32.h"
-#include "common/rng.h"
 #include "plasma/async_client.h"
 #include "plasma/client.h"
 #include "plasma/store.h"
+#include "test_cluster_util.h"
 
 namespace mdos::plasma {
 namespace {
 
-ObjectId Id(int i) { return ObjectId::FromName("tier" + std::to_string(i)); }
+using testutil::RandomPayload;
 
-std::string RandomPayload(uint64_t seed, size_t size) {
-  std::string data(size, '\0');
-  SplitMix64(seed).Fill(data.data(), data.size());
-  return data;
-}
+ObjectId Id(int i) { return ObjectId::FromName("tier" + std::to_string(i)); }
 
 class SpillTierTest : public ::testing::Test {
  protected:
@@ -35,7 +31,7 @@ class SpillTierTest : public ::testing::Test {
     options.capacity = capacity;
     options.shards = shards;
     if (spill) {
-      spill_dir_ = "/tmp/mdos-spill-tier-" + std::to_string(::getpid());
+      spill_dir_ = testutil::ScratchDir("spill-tier");
       options.spill_dir = spill_dir_;
     }
     auto store = Store::Create(options);

@@ -153,6 +153,16 @@ int CmdStats(plasma::PlasmaClient& client) {
               static_cast<unsigned long long>(stats->generation_retries));
   std::printf("mapped_fallbacks:    %llu\n",
               static_cast<unsigned long long>(stats->mapped_fallbacks));
+  // k-way replication and re-heal progress; all zero when
+  // replication_factor is 1 and no object opted in.
+  std::printf("replicas_total:      %llu\n",
+              static_cast<unsigned long long>(stats->replicas_total));
+  std::printf("under_replicated:    %llu\n",
+              static_cast<unsigned long long>(stats->under_replicated));
+  std::printf("reheal_copies:       %llu\n",
+              static_cast<unsigned long long>(stats->reheal_copies));
+  std::printf("reheal_bytes:        %llu\n",
+              static_cast<unsigned long long>(stats->reheal_bytes));
 
   // Per-peer health table (kPeerStats); skipped when the store has no
   // peers. Non-fatal like the shard table below.
@@ -190,16 +200,16 @@ int CmdStats(plasma::PlasmaClient& client) {
     return 0;
   }
   std::printf("\n%-6s %-8s %-9s %-9s %-12s %-12s %-10s %-9s %-9s %-12s %-9s "
-              "%-10s %-10s %-9s %-12s %-8s %-10s %-12s %-9s\n",
+              "%-10s %-10s %-9s %-12s %-8s %-10s %-12s %-9s %-9s %-9s\n",
               "shard", "clients", "objects", "sealed", "bytes", "arena",
               "evicted", "inflight", "spilled", "spill_bytes", "restores",
               "frames_tx", "coalesced", "writev", "bytes_tx", "blocked",
-              "mapped", "map_bytes", "fallbacks");
+              "mapped", "map_bytes", "fallbacks", "replicas", "under_k");
   for (const auto& s : *shards) {
     std::printf(
         "%-6u %-8llu %-9llu %-9llu %-12llu %-12llu %-10llu %-9llu %-9llu "
         "%-12llu %-9llu %-10llu %-10llu %-9llu %-12llu %-8llu %-10llu "
-        "%-12llu %-9llu\n",
+        "%-12llu %-9llu %-9llu %-9llu\n",
         s.shard, static_cast<unsigned long long>(s.clients),
         static_cast<unsigned long long>(s.objects_total),
         static_cast<unsigned long long>(s.objects_sealed),
@@ -217,7 +227,9 @@ int CmdStats(plasma::PlasmaClient& client) {
         static_cast<unsigned long long>(s.egress_blocked_events),
         static_cast<unsigned long long>(s.mapped_reads),
         static_cast<unsigned long long>(s.mapped_bytes),
-        static_cast<unsigned long long>(s.mapped_fallbacks));
+        static_cast<unsigned long long>(s.mapped_fallbacks),
+        static_cast<unsigned long long>(s.replicas_total),
+        static_cast<unsigned long long>(s.under_replicated));
   }
   std::printf("(%zu shards)\n", shards->size());
   return 0;

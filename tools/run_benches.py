@@ -30,6 +30,7 @@ DEFAULT_BENCHES = [
     "bench_crc32",
     "bench_fig6_retrieval_latency",
     "bench_scaleout_vs_disagg",
+    "bench_replication",
 ]
 # Quick-mode knobs: enough work for stable numbers, short enough for CI.
 BENCH_ENV = {
@@ -39,6 +40,7 @@ BENCH_ENV = {
     # pinned baseline pays it per object), so trim repetitions.
     "bench_fig6_retrieval_latency": {"MDOS_REPS": "6"},
     "bench_scaleout_vs_disagg": {"MDOS_REPS": "6"},
+    "bench_replication": {"MDOS_REPS": "6"},
 }
 
 
