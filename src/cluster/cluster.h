@@ -25,14 +25,20 @@
 
 #include "cluster/node.h"
 #include "common/status.h"
+#include "net/fault_injector.h"
 #include "tf/fabric.h"
 
 namespace mdos::cluster {
 
 class Cluster {
  public:
-  explicit Cluster(tf::FabricConfig fabric_config = {})
-      : fabric_(fabric_config) {}
+  // `fault_seed` seeds the cluster-wide network fault injector; the same
+  // seed replays an identical chaos schedule (jitter draws, drop rolls).
+  explicit Cluster(tf::FabricConfig fabric_config = {},
+                   uint64_t fault_seed = 0x6d646f73u /* "mdos" */)
+      : fabric_(fabric_config), fault_injector_(fault_seed) {
+    fabric_.SetFaultInjector(&fault_injector_);
+  }
   ~Cluster() { Stop(); }
   Cluster(const Cluster&) = delete;
   Cluster& operator=(const Cluster&) = delete;
@@ -57,6 +63,25 @@ class Cluster {
   // next successful heartbeat.
   Status RestartNode(size_t index);
 
+  // Network fault injection (all seeded + deterministic; indices are
+  // AddNode order). Faults apply to both the RPC control plane and the
+  // mapped fabric data plane.
+  //
+  // Drops everything in both directions between a and b.
+  Status PartitionLink(size_t a, size_t b);
+  // Drops only from -> to (asymmetric / gray partition).
+  Status PartitionOneWay(size_t from, size_t to);
+  // Adds fixed latency (+ uniform jitter) to both directions.
+  Status SlowLink(size_t a, size_t b, uint64_t latency_ms,
+                  uint64_t jitter_ms = 0);
+  // Installs an arbitrary fault on the directed link from -> to.
+  Status SetLinkFault(size_t from, size_t to, net::LinkFault fault);
+  // Clears both directions between a and b.
+  Status HealLink(size_t a, size_t b);
+  // Clears every installed fault.
+  void HealAllLinks() { fault_injector_.ClearAll(); }
+  net::FaultInjector& fault_injector() { return fault_injector_; }
+
   Node* node(size_t index) { return nodes_.at(index).get(); }
   size_t size() const { return nodes_.size(); }
   tf::Fabric& fabric() { return fabric_; }
@@ -68,6 +93,9 @@ class Cluster {
 
  private:
   tf::Fabric fabric_;
+  // Shared by the fabric data plane and every node's peer channels; the
+  // injector outlives the nodes (declared before nodes_).
+  net::FaultInjector fault_injector_;
   std::vector<std::unique_ptr<Node>> nodes_;
   bool started_ = false;
 };

@@ -22,6 +22,7 @@ std::string_view StatusCodeName(StatusCode code) {
     case StatusCode::kUnavailable: return "Unavailable";
     case StatusCode::kCancelled: return "Cancelled";
     case StatusCode::kUnknown: return "Unknown";
+    case StatusCode::kDeadlineExceeded: return "DeadlineExceeded";
   }
   return "Unknown";
 }
@@ -67,6 +68,9 @@ Status Status::Cancelled(std::string msg) {
 }
 Status Status::Unknown(std::string msg) {
   return Status(StatusCode::kUnknown, std::move(msg));
+}
+Status Status::DeadlineExceeded(std::string msg) {
+  return Status(StatusCode::kDeadlineExceeded, std::move(msg));
 }
 
 Status Status::FromErrno(std::string_view context) {

@@ -32,6 +32,10 @@ enum class StatusCode : uint8_t {
   kUnavailable,      // remote store unreachable
   kCancelled,        // operation aborted by shutdown
   kUnknown,
+  // Appended after kUnknown so existing wire values stay stable: the RPC
+  // response code is the raw enum value and older decoders bound-check
+  // against the last enumerator.
+  kDeadlineExceeded,  // end-to-end deadline budget exhausted
 };
 
 // Human-readable name of a status code ("OK", "KeyError", ...).
@@ -59,6 +63,7 @@ class [[nodiscard]] Status {
   static Status Unavailable(std::string msg);
   static Status Cancelled(std::string msg);
   static Status Unknown(std::string msg);
+  static Status DeadlineExceeded(std::string msg);
 
   // Builds an IoError from the current `errno`, prefixed with `context`.
   static Status FromErrno(std::string_view context);

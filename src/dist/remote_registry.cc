@@ -20,6 +20,10 @@ bool IsConnectivityError(const Status& st) {
     case StatusCode::kNotConnected:
     case StatusCode::kProtocolError:
     case StatusCode::kUnavailable:
+    // A deadline-bounded call that exhausted its budget never got an
+    // answer — indistinguishable from a slow/partitioned peer, and a
+    // server-side shed is itself evidence of gray failure there.
+    case StatusCode::kDeadlineExceeded:
       return true;
     default:
       return false;
@@ -45,7 +49,19 @@ RemoteStoreRegistry::RemoteStoreRegistry(uint32_t self_node,
   }
 }
 
-RemoteStoreRegistry::~RemoteStoreRegistry() { StopHealthMonitor(); }
+RemoteStoreRegistry::~RemoteStoreRegistry() {
+  StopHealthMonitor();
+  // Hedged-lookup attempt threads are detached but counted; every one
+  // must land before the registry's state goes away. Each attempt is
+  // bounded by rpc_timeout_ms (or its op deadline), so this terminates.
+  MutexLock lock(async_mutex_);
+  while (async_inflight_ > 0) {
+    async_cv_.WaitFor(async_mutex_, std::chrono::milliseconds(50), [this] {
+      async_mutex_.AssertHeld();
+      return async_inflight_ == 0;
+    });
+  }
+}
 
 Status RemoteStoreRegistry::AddPeer(const std::string& host,
                                     uint16_t port) {
@@ -65,6 +81,16 @@ Status RemoteStoreRegistry::AddPeer(const std::string& host,
   if (reply.node_id == self_node_) {
     return Status::Invalid("refusing to peer with self (node " +
                            std::to_string(self_node_) + ")");
+  }
+
+  // Slide the (cluster-owned) fault injector under this channel now
+  // that the peer's node id is known: from here on, every call on the
+  // self -> peer link is subject to the injected faults, the Hello
+  // handshake above deliberately was not (the mesh is wired before the
+  // chaos schedule starts flipping links).
+  if (options_.fault_injector != nullptr) {
+    channel->SetFaultInjector(options_.fault_injector, self_node_,
+                              reply.node_id);
   }
 
   auto peer = std::make_shared<Peer>();
@@ -376,8 +402,69 @@ void RemoteStoreRegistry::FlushQueuedNotices(
   }
 }
 
+int64_t RemoteStoreRegistry::HedgeDelayNs(
+    const std::shared_ptr<Peer>& peer) const {
+  int64_t ewma_ns;
+  {
+    MutexLock lock(mutex_);
+    ewma_ns = peer->ewma_latency_ns;
+  }
+  const int64_t min_ns =
+      static_cast<int64_t>(options_.hedge_delay_min_ms) * 1'000'000;
+  const int64_t max_ns = std::max<int64_t>(
+      static_cast<int64_t>(options_.hedge_delay_max_ms) * 1'000'000,
+      min_ns);
+  if (ewma_ns <= 0) return max_ns;
+  const double scaled =
+      static_cast<double>(ewma_ns) * options_.hedge_delay_multiplier;
+  const auto delay = static_cast<int64_t>(scaled);
+  return std::min(std::max(delay, min_ns), max_ns);
+}
+
+void RemoteStoreRegistry::LaunchLookupAttempt(
+    std::shared_ptr<Peer> peer,
+    std::shared_ptr<const LookupRequest> request, Deadline deadline,
+    std::shared_ptr<LookupWave> wave, bool is_hedge) {
+  {
+    MutexLock lock(wave->m);
+    ++wave->launched;
+  }
+  {
+    MutexLock lock(mutex_);
+    ++stats_.lookup_rpcs;
+  }
+  {
+    MutexLock lock(async_mutex_);
+    ++async_inflight_;
+  }
+  // Detached but inflight-counted (see the destructor): the attempt must
+  // not block the waiter past its hedge delay, and an abandoned
+  // attempt's only remaining job is feeding the health machine.
+  std::thread([this, peer = std::move(peer), request = std::move(request),
+               deadline, wave = std::move(wave), is_hedge] {
+    const int64_t start = MonotonicNanos();
+    auto reply =
+        PeerCall<LookupReply>(peer, kMethodLookup, *request, deadline);
+    const bool ok = reply.ok();
+    RecordPeerResult(peer, ok || !IsConnectivityError(reply.status()));
+    if (ok) RecordPeerLatency(peer, MonotonicNanos() - start);
+    if (is_hedge) hedge_inflight_.fetch_sub(1);
+    {
+      MutexLock lock(wave->m);
+      wave->outcomes.emplace_back(peer, std::move(reply), is_hedge);
+    }
+    wave->cv.NotifyAll();
+    {
+      MutexLock lock(async_mutex_);
+      --async_inflight_;
+    }
+    async_cv_.NotifyAll();
+  }).detach();
+}
+
 std::vector<std::optional<plasma::RemoteObjectLocation>>
-RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
+RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids,
+                                  Deadline deadline) {
   std::vector<std::optional<plasma::RemoteObjectLocation>> out(ids.size());
   std::vector<size_t> unresolved;
   unresolved.reserve(ids.size());
@@ -491,31 +578,127 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
     unresolved.swap(still_unresolved);
   }
 
-  // 3. Batched Plasma.Lookup RPC per peer until everything unresolved has
-  // been asked everywhere (the paper's sync unary gRPC path).
-  for (const auto& peer : peers) {
-    if (unresolved.empty()) break;
-    LookupRequest request;
-    request.ids.reserve(unresolved.size());
-    for (size_t i : unresolved) request.ids.push_back(ids[i]);
-    {
+  // 3. Batched Plasma.Lookup RPC per ranked peer until everything
+  // unresolved has been asked everywhere (the paper's sync unary gRPC
+  // path), with hedged reads layered on: each wave fires the batch at
+  // the best not-yet-asked peer, and when that primary stays quiet past
+  // its EWMA-derived hedge delay the same batch goes to the next-ranked
+  // peer too (global hedge budget permitting) — first success wins, and
+  // a peer consumed as a hedge is not asked again. A wave whose every
+  // attempt failed falls through to the next peer, so under a partition
+  // the answer comes from whichever copies are reachable; when none are,
+  // the loop terminates (every attempt is deadline/timeout-bounded) with
+  // the unresolved entries nullopt instead of blocking the shard thread.
+  size_t next_peer = 0;
+  while (!unresolved.empty() && next_peer < peers.size()) {
+    if (deadline.expired()) break;
+    auto request = std::make_shared<LookupRequest>();
+    request->ids.reserve(unresolved.size());
+    for (size_t i : unresolved) request->ids.push_back(ids[i]);
+
+    auto wave = std::make_shared<LookupWave>();
+    const int64_t hedge_at_ns =
+        MonotonicNanos() + HedgeDelayNs(peers[next_peer]);
+    LaunchLookupAttempt(peers[next_peer], request, deadline, wave,
+                        /*is_hedge=*/false);
+    ++next_peer;
+
+    bool hedge_fired = false;
+    std::optional<LookupReply> winning;
+    bool win_was_hedge = false;
+    while (!deadline.expired()) {
+      bool want_hedge = false;
+      {
+        MutexLock lock(wave->m);
+        // First success WITH a hit wins immediately. An ok-but-all-miss
+        // reply is not a win while attempts are still in flight: the
+        // slow attempt may be the one peer that actually holds the
+        // object (hedging a single-copy object pairs its holder with a
+        // fast not-found peer), so concluding on the miss would make
+        // the object unreachable for exactly as long as its holder is
+        // gray. Misses only win once every launched attempt reported.
+        for (auto& outcome : wave->outcomes) {
+          if (!outcome.reply.ok()) continue;
+          const auto& entries = outcome.reply.value().entries;
+          const bool any_found =
+              std::any_of(entries.begin(), entries.end(),
+                          [](const auto& e) { return e.found; });
+          if (any_found) {
+            win_was_hedge = outcome.is_hedge;
+            winning.emplace(std::move(outcome.reply).value());
+            break;
+          }
+        }
+        if (!winning.has_value() &&
+            wave->outcomes.size() >= wave->launched) {
+          // Every attempt reported; settle for an all-miss success (the
+          // ids move on to the next peer) or give up the wave entirely
+          // (all attempts failed).
+          for (auto& outcome : wave->outcomes) {
+            if (outcome.reply.ok()) {
+              win_was_hedge = outcome.is_hedge;
+              winning.emplace(std::move(outcome.reply).value());
+              break;
+            }
+          }
+          break;
+        }
+        if (winning.has_value()) break;
+        const int64_t now = MonotonicNanos();
+        const bool may_hedge = options_.enable_hedged_reads &&
+                               !hedge_fired && next_peer < peers.size();
+        if (may_hedge && now >= hedge_at_ns) {
+          want_hedge = true;
+        } else {
+          // Wait for an outcome — until the hedge trigger if one is
+          // still pending, never past the op budget, and in bounded
+          // slices when the budget is unbounded (the attempts
+          // themselves are rpc_timeout-bounded, so this always wakes).
+          int64_t wait_ns =
+              deadline.infinite()
+                  ? std::max<int64_t>(
+                        static_cast<int64_t>(options_.rpc_timeout_ms), 1) *
+                        1'000'000
+                  : deadline.remaining_ns();
+          if (may_hedge) wait_ns = std::min(wait_ns, hedge_at_ns - now);
+          const size_t completed = wave->outcomes.size();
+          wave->cv.WaitFor(wave->m, std::chrono::nanoseconds(wait_ns),
+                           [&]() {
+                             wave->m.AssertHeld();
+                             return wave->outcomes.size() > completed;
+                           });
+          continue;
+        }
+      }
+      if (want_hedge) {
+        hedge_fired = true;
+        if (hedge_inflight_.fetch_add(1) + 1 >
+            options_.hedge_max_inflight) {
+          hedge_inflight_.fetch_sub(1);
+          MutexLock lock(mutex_);
+          ++stats_.hedge_budget_denied;
+          continue;  // keep waiting the primary out
+        }
+        {
+          MutexLock lock(mutex_);
+          ++stats_.hedged_reads;
+        }
+        LaunchLookupAttempt(peers[next_peer], request, deadline, wave,
+                            /*is_hedge=*/true);
+        ++next_peer;
+      }
+    }
+
+    if (!winning.has_value()) continue;  // wave failed; try the next peer
+    if (win_was_hedge) {
       MutexLock lock(mutex_);
-      ++stats_.lookup_rpcs;
+      ++stats_.hedge_wins;
     }
-    const int64_t rpc_start = MonotonicNanos();
-    auto reply = peer->channel->CallTyped<LookupReply>(
-        kMethodLookup, request, options_.rpc_timeout_ms);
-    if (!reply.ok()) {
-      RecordPeerResult(peer, !IsConnectivityError(reply.status()));
-      continue;
-    }
-    RecordPeerResult(peer, true);
-    RecordPeerLatency(peer, MonotonicNanos() - rpc_start);
     std::vector<size_t> still_unresolved;
     for (size_t k = 0; k < unresolved.size(); ++k) {
       size_t i = unresolved[k];
-      if (k < reply->entries.size() && reply->entries[k].found) {
-        out[i] = reply->entries[k].location;
+      if (k < winning->entries.size() && winning->entries[k].found) {
+        out[i] = winning->entries[k].location;
         if (cache_ != nullptr) cache_->Put(ids[i], *out[i]);
       } else {
         still_unresolved.push_back(i);
@@ -523,19 +706,33 @@ RemoteStoreRegistry::LookupRemote(const std::vector<ObjectId>& ids) {
     }
     unresolved.swap(still_unresolved);
   }
+  if (!unresolved.empty() && deadline.expired()) {
+    // Gave up with ids unresolved because the budget ran out — whether
+    // it died before the first wave or inside the last one.
+    MutexLock lock(mutex_);
+    ++stats_.deadline_exhausted;
+  }
   return out;
 }
 
-bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id) {
+bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id,
+                                          Deadline deadline) {
   ProbeRequest request;
   request.id = id;
   for (const auto& peer : SnapshotLivePeers()) {
+    if (deadline.expired()) {
+      // Out of budget with peers unasked: report unknown — Create-side
+      // uniqueness probing degrades to best-effort rather than stalling
+      // the client past its deadline.
+      MutexLock lock(mutex_);
+      ++stats_.deadline_exhausted;
+      break;
+    }
     {
       MutexLock lock(mutex_);
       ++stats_.probe_rpcs;
     }
-    auto reply = peer->channel->CallTyped<ProbeReply>(
-        kMethodProbe, request, options_.rpc_timeout_ms);
+    auto reply = PeerCall<ProbeReply>(peer, kMethodProbe, request, deadline);
     if (!reply.ok()) {
       RecordPeerResult(peer, !IsConnectivityError(reply.status()));
       continue;
@@ -547,7 +744,18 @@ bool RemoteStoreRegistry::IdKnownRemotely(const ObjectId& id) {
 }
 
 Status RemoteStoreRegistry::PinRemote(
-    const ObjectId& id, const plasma::RemoteObjectLocation& loc) {
+    const ObjectId& id, const plasma::RemoteObjectLocation& loc,
+    Deadline deadline) {
+  if (deadline.expired()) {
+    // The location may be perfectly valid — do not invalidate, just
+    // refuse to start an RPC there is no budget left for.
+    {
+      MutexLock lock(mutex_);
+      ++stats_.deadline_exhausted;
+    }
+    return Status::DeadlineExceeded(
+        "pin: deadline exhausted before the RPC");
+  }
   auto peer = FindLivePeer(loc.home_node);
   if (peer == nullptr) {
     // Unknown or dead home: the location is unusable; make sure it never
@@ -565,8 +773,7 @@ Status RemoteStoreRegistry::PinRemote(
     ++stats_.pin_rpcs;
   }
   const int64_t rpc_start = MonotonicNanos();
-  auto reply = peer->channel->CallTyped<PinReply>(
-      kMethodPin, request, options_.rpc_timeout_ms);
+  auto reply = PeerCall<PinReply>(peer, kMethodPin, request, deadline);
   Status status =
       reply.ok() ? reply->status : reply.status();
   RecordPeerResult(peer, !IsConnectivityError(status));
@@ -578,6 +785,11 @@ Status RemoteStoreRegistry::PinRemote(
     // caller re-run the full lookup path.
     if (cache_ != nullptr) cache_->Invalidate(id);
     MutexLock lock(mutex_);
+    if (status.Is(StatusCode::kDeadlineExceeded)) {
+      // The RPC itself burned the remaining budget (the expired-upfront
+      // case is counted above).
+      ++stats_.deadline_exhausted;
+    }
     ++stats_.stale_pins_detected;
     return status;
   }
@@ -675,6 +887,8 @@ std::vector<plasma::PeerStatsEntry> RemoteStoreRegistry::PeerHealth() {
     entry.dropped_notices = peer->dropped_notices;
     entry.ms_since_ok =
         peer->last_ok_ns > 0 ? (now - peer->last_ok_ns) / 1000000 : -1;
+    entry.ewma_latency_us =
+        peer->ewma_latency_ns > 0 ? peer->ewma_latency_ns / 1000 : -1;
     out.push_back(entry);
   }
   return out;
@@ -683,6 +897,17 @@ std::vector<plasma::PeerStatsEntry> RemoteStoreRegistry::PeerHealth() {
 uint64_t RemoteStoreRegistry::GenerationRetries() {
   MutexLock lock(mutex_);
   return stats_.generation_retries;
+}
+
+plasma::DistHooks::RobustnessCounters
+RemoteStoreRegistry::GetRobustnessCounters() {
+  MutexLock lock(mutex_);
+  plasma::DistHooks::RobustnessCounters counters;
+  counters.deadline_exhausted = stats_.deadline_exhausted;
+  counters.hedged_reads = stats_.hedged_reads;
+  counters.hedge_wins = stats_.hedge_wins;
+  counters.hedge_budget_denied = stats_.hedge_budget_denied;
+  return counters;
 }
 
 std::vector<uint32_t> RemoteStoreRegistry::ReplicateObject(

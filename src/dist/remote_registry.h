@@ -40,6 +40,7 @@
 // registry mutex.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <deque>
 #include <functional>
@@ -49,11 +50,13 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/status.h"
 #include "dist/lookup_cache.h"
 #include "dist/messages.h"
 #include "dist/usage_tracker.h"
+#include "net/fault_injector.h"
 #include "plasma/generation_table.h"
 #include "plasma/shared_index.h"
 #include "plasma/store.h"
@@ -99,6 +102,26 @@ struct RegistryOptions {
   // Channel redial/backoff policy (see rpc/channel.h).
   uint32_t redial_backoff_min_ms = 10;
   uint32_t redial_backoff_max_ms = 1000;
+
+  // ---- gray-failure handling ----------------------------------------------
+  // Hedged replica reads: when the ranked-first peer's lookup RPC stays
+  // quiet past an EWMA-derived delay, the same request is fired at the
+  // next-ranked peer and the first success wins. Tames tail latency
+  // under a slow-but-alive (gray) replica without waiting for the
+  // health machine to demote it.
+  bool enable_hedged_reads = true;
+  // Hedge delay = clamp(multiplier * peer latency EWMA, min, max). A
+  // peer with no latency sample yet hedges only at the max delay.
+  double hedge_delay_multiplier = 3.0;
+  uint64_t hedge_delay_min_ms = 1;
+  uint64_t hedge_delay_max_ms = 100;
+  // Global cap on concurrently outstanding hedge attempts (the hedge
+  // budget): past it a slow primary is waited out instead of hedged.
+  uint32_t hedge_max_inflight = 16;
+  // Optional seeded network fault injection, installed on every peer
+  // channel (owned by the cluster/test harness, must outlive the
+  // registry).
+  net::FaultInjector* fault_injector = nullptr;
 };
 
 struct RegistryStats {
@@ -119,6 +142,11 @@ struct RegistryStats {
   uint64_t generation_retries = 0;
   // k-way replication: Plasma.Replicate + Plasma.ReplicaDrop calls issued.
   uint64_t replicate_rpcs = 0;
+  // End-to-end deadlines & hedged reads (gray-failure handling).
+  uint64_t deadline_exhausted = 0;   // ops whose budget ran out here
+  uint64_t hedged_reads = 0;         // backup replica reads fired
+  uint64_t hedge_wins = 0;           // hedges that answered first
+  uint64_t hedge_budget_denied = 0;  // hedges refused by the global cap
 };
 
 class RemoteStoreRegistry : public plasma::DistHooks {
@@ -160,15 +188,31 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   // ---- DistHooks (called by the owning store) -------------------------
 
   std::vector<std::optional<plasma::RemoteObjectLocation>> LookupRemote(
-      const std::vector<ObjectId>& ids) override;
-  bool IdKnownRemotely(const ObjectId& id) override;
+      const std::vector<ObjectId>& ids, Deadline deadline) override;
+  bool IdKnownRemotely(const ObjectId& id, Deadline deadline) override;
   Status PinRemote(const ObjectId& id,
-                   const plasma::RemoteObjectLocation& loc) override;
+                   const plasma::RemoteObjectLocation& loc,
+                   Deadline deadline) override;
   void UnpinRemote(const ObjectId& id,
                    const plasma::RemoteObjectLocation& loc) override;
   void NotifyDeleted(const ObjectId& id) override;
   std::vector<plasma::PeerStatsEntry> PeerHealth() override;
   uint64_t GenerationRetries() override;
+  plasma::DistHooks::RobustnessCounters GetRobustnessCounters() override;
+
+  // Deadline-less conveniences (control paths and tests): unbounded
+  // budget, same behavior as before deadlines existed.
+  std::vector<std::optional<plasma::RemoteObjectLocation>> LookupRemote(
+      const std::vector<ObjectId>& ids) {
+    return LookupRemote(ids, Deadline::Infinite());
+  }
+  bool IdKnownRemotely(const ObjectId& id) {
+    return IdKnownRemotely(id, Deadline::Infinite());
+  }
+  Status PinRemote(const ObjectId& id,
+                   const plasma::RemoteObjectLocation& loc) {
+    return PinRemote(id, loc, Deadline::Infinite());
+  }
   // Replication fan-out: pushes the bytes to up to `copies_wanted` live
   // peers not in `exclude`, preferring healthy peers with the lowest
   // observed RPC latency (EWMA). Returns the acceptors' node ids.
@@ -242,6 +286,57 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   // last), node id as the tiebreak.
   std::vector<std::shared_ptr<Peer>> SnapshotRankedPeers() const
       EXCLUDES(mutex_);
+
+  // One data-path RPC, bounded by both the registry's per-RPC timeout
+  // and the operation's remaining end-to-end budget. An infinite op
+  // deadline keeps the legacy single-attempt semantics (fail fast feeds
+  // the health machine); a finite one uses the channel's deadline path,
+  // which retries transient transport faults within the clamped budget
+  // and stamps the remaining milliseconds on every attempt.
+  template <typename ReplyT, typename RequestT>
+  Result<ReplyT> PeerCall(const std::shared_ptr<Peer>& peer,
+                          const std::string& method,
+                          const RequestT& request, Deadline deadline) {
+    if (deadline.infinite()) {
+      return peer->channel->template CallTyped<ReplyT>(
+          method, request, options_.rpc_timeout_ms);
+    }
+    Deadline bound = Deadline::Min(
+        deadline,
+        Deadline::AfterMs(static_cast<int64_t>(options_.rpc_timeout_ms)));
+    return peer->channel->template CallTypedDeadline<ReplyT>(method,
+                                                             request, bound);
+  }
+
+  // EWMA-derived hedge trigger delay for `peer` (ns), clamped to the
+  // configured [min, max] window; a peer with no sample hedges only at
+  // the max delay (cold channels are slow for benign reasons).
+  int64_t HedgeDelayNs(const std::shared_ptr<Peer>& peer) const
+      EXCLUDES(mutex_);
+
+  // One hedged lookup wave: the batched request in flight at one or
+  // more ranked peers, first success wins. Waves are independent —
+  // attempts from an abandoned wave finish into their own state and
+  // die with it.
+  struct LookupWave {
+    Mutex m;
+    CondVar cv;
+    struct Outcome {
+      std::shared_ptr<Peer> peer;
+      Result<LookupReply> reply;
+      bool is_hedge = false;
+      Outcome(std::shared_ptr<Peer> p, Result<LookupReply> r, bool h)
+          : peer(std::move(p)), reply(std::move(r)), is_hedge(h) {}
+    };
+    std::vector<Outcome> outcomes GUARDED_BY(m);
+    uint32_t launched GUARDED_BY(m) = 0;
+  };
+  // Fires the wave's request at `peer` on a detached (but inflight-
+  // tracked) thread; the outcome lands in `wave` and wakes its waiter.
+  void LaunchLookupAttempt(std::shared_ptr<Peer> peer,
+                           std::shared_ptr<const LookupRequest> request,
+                           Deadline deadline,
+                           std::shared_ptr<LookupWave> wave, bool is_hedge);
   // Parks a DeleteNotice for later flush: dead peers drop it, a full
   // queue evicts the oldest.
   void ParkNoticeLocked(Peer& peer, const DeleteNotice& notice)
@@ -276,6 +371,16 @@ class RemoteStoreRegistry : public plasma::DistHooks {
   std::thread heartbeat_thread_ GUARDED_BY(heartbeat_mutex_);
   CondVar heartbeat_cv_;
   bool heartbeat_running_ GUARDED_BY(heartbeat_mutex_) = false;
+
+  // Hedge budget: attempts currently in flight beyond each wave's
+  // primary. Bounded by options_.hedge_max_inflight.
+  std::atomic<uint32_t> hedge_inflight_{0};
+  // Every detached attempt thread is counted here; the destructor waits
+  // for zero so no attempt outlives the registry. Leaf lock like
+  // heartbeat_mutex_.
+  mutable Mutex async_mutex_ ACQUIRED_AFTER(mutex_);
+  CondVar async_cv_;
+  uint64_t async_inflight_ GUARDED_BY(async_mutex_) = 0;
 };
 
 }  // namespace mdos::dist

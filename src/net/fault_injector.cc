@@ -1,0 +1,66 @@
+#include "net/fault_injector.h"
+
+namespace mdos::net {
+
+void FaultInjector::SetFault(uint32_t src, uint32_t dst, LinkFault fault) {
+  MutexLock lock(mutex_);
+  auto key = std::make_pair(src, dst);
+  links_.erase(key);
+  if (fault.active()) {
+    links_.emplace(key, LinkState(fault, LinkSeed(src, dst)));
+  }
+}
+
+void FaultInjector::ClearFault(uint32_t src, uint32_t dst) {
+  MutexLock lock(mutex_);
+  links_.erase(std::make_pair(src, dst));
+}
+
+void FaultInjector::ClearAll() {
+  MutexLock lock(mutex_);
+  links_.clear();
+}
+
+FaultInjector::Decision FaultInjector::Consult(uint32_t src, uint32_t dst,
+                                               uint64_t bytes) {
+  MutexLock lock(mutex_);
+  ++stats_.consults;
+  auto it = links_.find(std::make_pair(src, dst));
+  if (it == links_.end()) return {};
+  LinkState& link = it->second;
+
+  Decision decision;
+  decision.delay_ns = link.fault.latency_ns;
+  if (link.fault.jitter_ns > 0) {
+    decision.delay_ns += static_cast<int64_t>(
+        link.rng.NextBelow(static_cast<uint64_t>(link.fault.jitter_ns)));
+  }
+  if (link.fault.bandwidth_bytes_per_sec > 0) {
+    // Serialization delay for this message at the capped rate.
+    decision.delay_ns +=
+        static_cast<int64_t>(bytes * 1'000'000'000ULL /
+                             static_cast<uint64_t>(
+                                 link.fault.bandwidth_bytes_per_sec));
+  }
+  if (link.fault.partitioned ||
+      (link.fault.drop_rate > 0.0 &&
+       link.rng.NextDouble() < link.fault.drop_rate)) {
+    decision.drop = true;
+  }
+
+  if (decision.drop) ++stats_.drops;
+  stats_.delay_ns += decision.delay_ns;
+  return decision;
+}
+
+bool FaultInjector::HasFault(uint32_t src, uint32_t dst) const {
+  MutexLock lock(mutex_);
+  return links_.count(std::make_pair(src, dst)) != 0;
+}
+
+FaultInjectorStats FaultInjector::stats() const {
+  MutexLock lock(mutex_);
+  return stats_;
+}
+
+}  // namespace mdos::net

@@ -1,0 +1,96 @@
+// Seeded network fault injection.
+//
+// A FaultInjector sits underneath the transports — rpc::Channel consults
+// it before sending and after receiving a frame, and tf::Fabric consults
+// it on remote mapped reads — and deterministically injects latency,
+// jitter, drops, bandwidth caps, and one-way partitions per directed
+// link. All randomness (jitter, drop draws) comes from per-link
+// SplitMix64 streams derived from one seed, so a chaos schedule replays
+// identically from the same seed.
+//
+// Faults are directional: PartitionLink(a, b) in the Cluster API maps to
+// two one-way entries here, and asymmetric (gray) failures set only one
+// direction. Thread-safe; Consult() is called from shard event loops and
+// RPC threads concurrently.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <utility>
+
+#include "common/mutex.h"
+#include "common/rng.h"
+#include "common/thread_annotations.h"
+
+namespace mdos::net {
+
+// Fault parameters for one directed link.
+struct LinkFault {
+  bool partitioned = false;        // drop everything (one-way)
+  int64_t latency_ns = 0;          // fixed added latency per message
+  int64_t jitter_ns = 0;           // uniform [0, jitter_ns) added on top
+  double drop_rate = 0.0;          // per-message drop probability [0,1]
+  int64_t bandwidth_bytes_per_sec = 0;  // 0 = uncapped
+
+  bool active() const {
+    return partitioned || latency_ns > 0 || jitter_ns > 0 ||
+           drop_rate > 0.0 || bandwidth_bytes_per_sec > 0;
+  }
+};
+
+struct FaultInjectorStats {
+  uint64_t consults = 0;
+  uint64_t drops = 0;        // messages dropped (partition or drop_rate)
+  int64_t delay_ns = 0;      // total injected delay
+};
+
+class FaultInjector {
+ public:
+  explicit FaultInjector(uint64_t seed) : seed_(seed) {}
+
+  FaultInjector(const FaultInjector&) = delete;
+  FaultInjector& operator=(const FaultInjector&) = delete;
+
+  // Installs (replacing) the fault for the directed link src -> dst.
+  void SetFault(uint32_t src, uint32_t dst, LinkFault fault);
+
+  // Removes the fault for src -> dst (both directions need two calls).
+  void ClearFault(uint32_t src, uint32_t dst);
+
+  void ClearAll();
+
+  // What a message of `bytes` from src to dst experiences. `delay_ns`
+  // is how long the transport must stall before delivering (or before
+  // reporting the drop — a partitioned link looks slow-then-dead, not
+  // instantly dead, when latency is also configured).
+  struct Decision {
+    bool drop = false;
+    int64_t delay_ns = 0;
+  };
+  Decision Consult(uint32_t src, uint32_t dst, uint64_t bytes);
+
+  bool HasFault(uint32_t src, uint32_t dst) const;
+
+  FaultInjectorStats stats() const;
+
+ private:
+  struct LinkState {
+    LinkFault fault;
+    SplitMix64 rng;
+    LinkState(LinkFault f, uint64_t seed) : fault(f), rng(seed) {}
+  };
+
+  // Deterministic per-link stream: differing links draw from different
+  // sequences even when installed in different orders.
+  uint64_t LinkSeed(uint32_t src, uint32_t dst) const {
+    return seed_ ^ (0x9e3779b97f4a7c15ULL * ((uint64_t{src} << 32) | dst));
+  }
+
+  const uint64_t seed_;
+  mutable Mutex mutex_;
+  std::map<std::pair<uint32_t, uint32_t>, LinkState> links_
+      GUARDED_BY(mutex_);
+  FaultInjectorStats stats_ GUARDED_BY(mutex_);
+};
+
+}  // namespace mdos::net

@@ -169,11 +169,20 @@ void AsyncClient::ReaderLoop() {
 
 template <typename ReplyT, typename RequestT, typename Fn>
 auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
-                           const RequestT& request, Fn transform)
+                           const RequestT& request, Deadline deadline,
+                           Fn transform)
     -> Future<std::invoke_result_t<Fn, ReplyT&&>> {
   using T = std::invoke_result_t<Fn, ReplyT&&>;
   Promise<T> promise;
   Future<T> future = promise.GetFuture();
+
+  // Fail-fast contract: an operation whose budget is already gone never
+  // touches the socket (and therefore never dials, queues, or sheds).
+  if (deadline.expired()) {
+    promise.Set(T(Status::DeadlineExceeded(
+        "operation deadline expired before dispatch")));
+    return future;
+  }
 
   const uint64_t request_id = next_request_id_.fetch_add(1);
   {
@@ -211,7 +220,13 @@ auto AsyncClient::Dispatch(MessageType request_type, MessageType reply_type,
   {
     MutexLock lock(send_mutex_);
     send_writer_.Reset();
-    EncodeMessage(send_writer_, request_id, request);
+    // Remaining budget sampled at send time: queueing above this point
+    // (the send mutex) is already charged against the operation.
+    const uint64_t budget_ms =
+        deadline.infinite()
+            ? 0
+            : static_cast<uint64_t>(deadline.remaining_ms_ceil());
+    EncodeMessage(send_writer_, request_id, budget_ms, request);
     sent = net::SendFrame(fd_.get(), static_cast<uint32_t>(request_type),
                           send_writer_.data(), send_writer_.size());
   }
@@ -327,7 +342,7 @@ ObjectBuffer AsyncClient::MakeBuffer(const GetReplyEntry& entry,
 
 Future<Result<ObjectBuffer>> AsyncClient::CreateAsync(
     const ObjectId& id, uint64_t data_size, uint64_t metadata_size,
-    bool replicate) {
+    bool replicate, Deadline deadline) {
   CreateRequest request;
   request.id = id;
   request.data_size = data_size;
@@ -335,6 +350,7 @@ Future<Result<ObjectBuffer>> AsyncClient::CreateAsync(
   request.replicate = replicate;
   return Dispatch<CreateReply>(
       MessageType::kCreateRequest, MessageType::kCreateReply, request,
+      deadline,
       [this, id](CreateReply&& reply) -> Result<ObjectBuffer> {
         if (!reply.status.ok()) return reply.status;
         GetReplyEntry entry;
@@ -352,30 +368,34 @@ Future<Result<ObjectBuffer>> AsyncClient::CreateAsync(
       });
 }
 
-Future<Status> AsyncClient::SealAsync(const ObjectId& id) {
+Future<Status> AsyncClient::SealAsync(const ObjectId& id,
+                                      Deadline deadline) {
   SealRequest request;
   request.id = id;
   return Dispatch<SealReply>(
-      MessageType::kSealRequest, MessageType::kSealReply, request,
+      MessageType::kSealRequest, MessageType::kSealReply, request, deadline,
       [](SealReply&& reply) { return reply.status; });
 }
 
-Future<Status> AsyncClient::AbortAsync(const ObjectId& id) {
+Future<Status> AsyncClient::AbortAsync(const ObjectId& id,
+                                       Deadline deadline) {
   AbortRequest request;
   request.id = id;
   return Dispatch<AbortReply>(
       MessageType::kAbortRequest, MessageType::kAbortReply, request,
+      deadline,
       [](AbortReply&& reply) { return reply.status; });
 }
 
 Future<Result<std::vector<ObjectBuffer>>> AsyncClient::GetAsync(
-    const std::vector<ObjectId>& ids, uint64_t timeout_ms, bool pinned) {
+    const std::vector<ObjectId>& ids, uint64_t timeout_ms, bool pinned,
+    Deadline deadline) {
   GetRequest request;
   request.ids = ids;
   request.timeout_ms = timeout_ms;
   request.pinned = pinned;
   return Dispatch<GetReply>(
-      MessageType::kGetRequest, MessageType::kGetReply, request,
+      MessageType::kGetRequest, MessageType::kGetReply, request, deadline,
       [this](GetReply&& reply) -> Result<std::vector<ObjectBuffer>> {
         if (!reply.status.ok()) return reply.status;
         std::vector<ObjectBuffer> buffers;
@@ -389,21 +409,24 @@ Future<Result<std::vector<ObjectBuffer>>> AsyncClient::GetAsync(
 
 Future<Result<ObjectBuffer>> AsyncClient::GetAsync(const ObjectId& id,
                                                    uint64_t timeout_ms,
-                                                   bool pinned) {
-  return GetOneInternal(id, timeout_ms, pinned, /*fallback=*/false);
+                                                   bool pinned,
+                                                   Deadline deadline) {
+  return GetOneInternal(id, timeout_ms, pinned, /*fallback=*/false,
+                        deadline);
 }
 
 Future<Result<ObjectBuffer>> AsyncClient::GetOneInternal(const ObjectId& id,
                                                          uint64_t timeout_ms,
                                                          bool pinned,
-                                                         bool fallback) {
+                                                         bool fallback,
+                                                         Deadline deadline) {
   GetRequest request;
   request.ids = {id};
   request.timeout_ms = timeout_ms;
   request.pinned = pinned;
   request.fallback = fallback;
   return Dispatch<GetReply>(
-      MessageType::kGetRequest, MessageType::kGetReply, request,
+      MessageType::kGetRequest, MessageType::kGetReply, request, deadline,
       [this, id](GetReply&& reply) -> Result<ObjectBuffer> {
         if (!reply.status.ok()) return reply.status;
         if (reply.entries.empty()) {
@@ -424,7 +447,8 @@ Status AsyncClient::RefetchMapped(const ObjectBuffer& stale) {
   // (`fallback` tags the request so the store counts mapped_fallbacks).
   MDOS_ASSIGN_OR_RETURN(ObjectBuffer fresh,
                         GetOneInternal(stale.id_, /*timeout_ms=*/0,
-                                       /*pinned=*/true, /*fallback=*/true)
+                                       /*pinned=*/true, /*fallback=*/true,
+                                       Deadline::Infinite())
                             .Take());
   // One Release retires the dead mapped reference — the store consumes
   // mapped refs before pinned ones — leaving exactly the new pin for the
@@ -448,27 +472,33 @@ Status AsyncClient::RefetchMapped(const ObjectBuffer& stale) {
   return Status::OK();
 }
 
-Future<Status> AsyncClient::ReleaseAsync(const ObjectId& id) {
+Future<Status> AsyncClient::ReleaseAsync(const ObjectId& id,
+                                         Deadline deadline) {
   ReleaseRequest request;
   request.id = id;
   return Dispatch<ReleaseReply>(
       MessageType::kReleaseRequest, MessageType::kReleaseReply, request,
+      deadline,
       [](ReleaseReply&& reply) { return reply.status; });
 }
 
-Future<Result<bool>> AsyncClient::ContainsAsync(const ObjectId& id) {
+Future<Result<bool>> AsyncClient::ContainsAsync(const ObjectId& id,
+                                                Deadline deadline) {
   ContainsRequest request;
   request.id = id;
   return Dispatch<ContainsReply>(
       MessageType::kContainsRequest, MessageType::kContainsReply, request,
+      deadline,
       [](ContainsReply&& reply) -> Result<bool> { return reply.contains; });
 }
 
-Future<Status> AsyncClient::DeleteAsync(const ObjectId& id) {
+Future<Status> AsyncClient::DeleteAsync(const ObjectId& id,
+                                        Deadline deadline) {
   DeleteRequest request;
   request.id = id;
   return Dispatch<DeleteReply>(
       MessageType::kDeleteRequest, MessageType::kDeleteReply, request,
+      deadline,
       [](DeleteReply&& reply) { return reply.status; });
 }
 
@@ -476,6 +506,7 @@ Future<Result<std::vector<ObjectInfo>>> AsyncClient::ListAsync() {
   ListRequest request;
   return Dispatch<ListReply>(
       MessageType::kListRequest, MessageType::kListReply, request,
+      Deadline::Infinite(),
       [](ListReply&& reply) -> Result<std::vector<ObjectInfo>> {
         return std::move(reply.objects);
       });
@@ -485,6 +516,7 @@ Future<Result<StoreStats>> AsyncClient::StatsAsync() {
   StatsRequest request;
   return Dispatch<StatsReply>(
       MessageType::kStatsRequest, MessageType::kStatsReply, request,
+      Deadline::Infinite(),
       [](StatsReply&& reply) -> Result<StoreStats> { return reply.stats; });
 }
 
@@ -492,7 +524,7 @@ Future<Result<std::vector<ShardStatsEntry>>> AsyncClient::ShardStatsAsync() {
   ShardStatsRequest request;
   return Dispatch<ShardStatsReply>(
       MessageType::kShardStatsRequest, MessageType::kShardStatsReply,
-      request,
+      request, Deadline::Infinite(),
       [](ShardStatsReply&& reply) -> Result<std::vector<ShardStatsEntry>> {
         return std::move(reply.shards);
       });
@@ -502,7 +534,7 @@ Future<Result<std::vector<PeerStatsEntry>>> AsyncClient::PeerStatsAsync() {
   PeerStatsRequest request;
   return Dispatch<PeerStatsReply>(
       MessageType::kPeerStatsRequest, MessageType::kPeerStatsReply,
-      request,
+      request, Deadline::Infinite(),
       [](PeerStatsReply&& reply) -> Result<std::vector<PeerStatsEntry>> {
         return std::move(reply.peers);
       });

@@ -42,6 +42,7 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/future.h"
 #include "common/mutex.h"
 #include "common/object_id.h"
@@ -63,34 +64,47 @@ class AsyncClient {
   AsyncClient(const AsyncClient&) = delete;
   AsyncClient& operator=(const AsyncClient&) = delete;
 
+  // Every operation below accepts an optional end-to-end `deadline`
+  // (absolute, monotonic clock — common/deadline.h). The remaining
+  // budget travels in the wire header; the store clamps every peer RPC
+  // issued on the operation's behalf to it, sheds work whose budget
+  // already passed, and an operation dispatched after its deadline fails
+  // fast with DeadlineExceeded without touching the socket. The default
+  // (infinite) keeps the historical wait-forever behavior.
+
   // Reserves an object and resolves to a writable buffer. `replicate`
   // asks the store to hold this object at ≥2 copies after Seal even when
   // its replication_factor is 1 (per-object opt-in).
   Future<Result<ObjectBuffer>> CreateAsync(const ObjectId& id,
                                            uint64_t data_size,
                                            uint64_t metadata_size = 0,
-                                           bool replicate = false);
+                                           bool replicate = false,
+                                           Deadline deadline = {});
 
   // Seals / aborts an object this client created.
-  Future<Status> SealAsync(const ObjectId& id);
-  Future<Status> AbortAsync(const ObjectId& id);
+  Future<Status> SealAsync(const ObjectId& id, Deadline deadline = {});
+  Future<Status> AbortAsync(const ObjectId& id, Deadline deadline = {});
 
   // Retrieves buffers; the store holds the reply until the objects are
   // sealed (anywhere) or `timeout_ms` expires, so the future resolves at
   // availability. Entries that never appeared are invalid buffers.
   // `pinned` forces the RPC+pin path for remote objects even when the
-  // store serves mapped (generation-validated) descriptors.
+  // store serves mapped (generation-validated) descriptors. A finite
+  // `deadline` additionally clamps the store-side park: the reply comes
+  // back (reporting what was found) no later than the deadline.
   Future<Result<std::vector<ObjectBuffer>>> GetAsync(
       const std::vector<ObjectId>& ids, uint64_t timeout_ms = 0,
-      bool pinned = false);
+      bool pinned = false, Deadline deadline = {});
   // Single-id form; an absent object resolves to KeyError.
   Future<Result<ObjectBuffer>> GetAsync(const ObjectId& id,
                                         uint64_t timeout_ms = 0,
-                                        bool pinned = false);
+                                        bool pinned = false,
+                                        Deadline deadline = {});
 
-  Future<Status> ReleaseAsync(const ObjectId& id);
-  Future<Result<bool>> ContainsAsync(const ObjectId& id);
-  Future<Status> DeleteAsync(const ObjectId& id);
+  Future<Status> ReleaseAsync(const ObjectId& id, Deadline deadline = {});
+  Future<Result<bool>> ContainsAsync(const ObjectId& id,
+                                     Deadline deadline = {});
+  Future<Status> DeleteAsync(const ObjectId& id, Deadline deadline = {});
   Future<Result<std::vector<ObjectInfo>>> ListAsync();
   Future<Result<StoreStats>> StatsAsync();
   // Per-shard statistics of the sharded store core (GetStoreStats).
@@ -126,12 +140,15 @@ class AsyncClient {
   AsyncClient() = default;
 
   // Registers a reply handler under a fresh request id, sends the tagged
-  // request, and returns the future. `transform` maps the decoded ReplyT
-  // to the future's value type (Status or Result<...>), both of which are
-  // constructible from an error Status.
+  // request (stamping the deadline's remaining budget into the wire
+  // header), and returns the future. An already-expired deadline fails
+  // the future with DeadlineExceeded without touching the socket.
+  // `transform` maps the decoded ReplyT to the future's value type
+  // (Status or Result<...>), both of which are constructible from an
+  // error Status.
   template <typename ReplyT, typename RequestT, typename Fn>
   auto Dispatch(MessageType request_type, MessageType reply_type,
-                const RequestT& request, Fn transform)
+                const RequestT& request, Deadline deadline, Fn transform)
       -> Future<std::invoke_result_t<Fn, ReplyT&&>>;
 
   void ReaderLoop();
@@ -151,7 +168,8 @@ class AsyncClient {
   // request as a generation-mismatch refetch for the store's counters).
   Future<Result<ObjectBuffer>> GetOneInternal(const ObjectId& id,
                                               uint64_t timeout_ms,
-                                              bool pinned, bool fallback);
+                                              bool pinned, bool fallback,
+                                              Deadline deadline);
   // Called by a mapped ObjectBuffer whose generation check failed:
   // fetches a pinned replacement, retires the stale mapped reference,
   // and rebinds the buffer's backing in place. Blocking (round-trips on

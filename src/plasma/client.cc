@@ -186,6 +186,31 @@ Result<Notification> NotificationListener::Next(uint64_t timeout_ms) {
 
 // ---- PlasmaClient (blocking shim over AsyncClient) -------------------------
 
+namespace {
+
+// Blocking wait bounded by the operation deadline. The store enforces
+// the budget end to end, so the reply normally arrives in time; the
+// local slack covers the UDS hop and scheduling noise, and is the
+// last-ditch guarantee that a blocking caller gets a typed
+// DeadlineExceeded rather than a hang even if the store itself is
+// wedged. The orphaned future is resolved (and discarded) by the
+// reply-dispatch thread whenever the straggling reply shows up.
+constexpr int64_t kDeadlineSlackMs = 50;
+
+template <typename T>
+T TakeWithDeadline(Future<T> future, Deadline deadline) {
+  if (deadline.infinite()) return future.Take();
+  const uint64_t wait_ms =
+      static_cast<uint64_t>(deadline.remaining_ms_ceil() + kDeadlineSlackMs);
+  if (!future.WaitFor(wait_ms)) {
+    return T(Status::DeadlineExceeded(
+        "operation did not complete within its deadline"));
+  }
+  return future.Take();
+}
+
+}  // namespace
+
 Result<std::unique_ptr<PlasmaClient>> PlasmaClient::Connect(
     const std::string& socket_path, ClientOptions options) {
   auto client = std::unique_ptr<PlasmaClient>(new PlasmaClient());
@@ -212,19 +237,21 @@ void PlasmaClient::AssertSingleThread() const {
 Result<ObjectBuffer> PlasmaClient::Create(const ObjectId& id,
                                           uint64_t data_size,
                                           uint64_t metadata_size,
-                                          bool replicate) {
+                                          bool replicate,
+                                          Deadline deadline) {
   AssertSingleThread();
-  return core_->CreateAsync(id, data_size, metadata_size, replicate)
-      .Take();
+  return TakeWithDeadline(
+      core_->CreateAsync(id, data_size, metadata_size, replicate, deadline),
+      deadline);
 }
 
 Status PlasmaClient::CreateAndSeal(const ObjectId& id,
                                    std::string_view data,
                                    std::string_view metadata,
-                                   bool replicate) {
+                                   bool replicate, Deadline deadline) {
   MDOS_ASSIGN_OR_RETURN(
       ObjectBuffer buffer,
-      Create(id, data.size(), metadata.size(), replicate));
+      Create(id, data.size(), metadata.size(), replicate, deadline));
   if (!data.empty()) {
     MDOS_RETURN_IF_ERROR(buffer.WriteData(0, data.data(), data.size()));
   }
@@ -232,50 +259,58 @@ Status PlasmaClient::CreateAndSeal(const ObjectId& id,
     MDOS_RETURN_IF_ERROR(
         buffer.WriteMetadata(0, metadata.data(), metadata.size()));
   }
-  return Seal(id);
+  return Seal(id, deadline);
 }
 
-Status PlasmaClient::Seal(const ObjectId& id) {
+Status PlasmaClient::Seal(const ObjectId& id, Deadline deadline) {
   AssertSingleThread();
-  return core_->SealAsync(id).Take();
+  return TakeWithDeadline(core_->SealAsync(id, deadline), deadline);
 }
 
-Status PlasmaClient::Abort(const ObjectId& id) {
+Status PlasmaClient::Abort(const ObjectId& id, Deadline deadline) {
   AssertSingleThread();
-  return core_->AbortAsync(id).Take();
+  return TakeWithDeadline(core_->AbortAsync(id, deadline), deadline);
 }
 
 Result<std::vector<ObjectBuffer>> PlasmaClient::Get(
-    const std::vector<ObjectId>& ids, uint64_t timeout_ms) {
+    const std::vector<ObjectId>& ids, uint64_t timeout_ms,
+    Deadline deadline) {
   AssertSingleThread();
-  return core_->GetAsync(ids, timeout_ms).Take();
+  return TakeWithDeadline(
+      core_->GetAsync(ids, timeout_ms, /*pinned=*/false, deadline),
+      deadline);
 }
 
 Result<ObjectBuffer> PlasmaClient::Get(const ObjectId& id,
-                                       uint64_t timeout_ms) {
+                                       uint64_t timeout_ms,
+                                       Deadline deadline) {
   AssertSingleThread();
-  return core_->GetAsync(id, timeout_ms).Take();
+  return TakeWithDeadline(
+      core_->GetAsync(id, timeout_ms, /*pinned=*/false, deadline),
+      deadline);
 }
 
 Result<ObjectBuffer> PlasmaClient::GetPinned(const ObjectId& id,
-                                             uint64_t timeout_ms) {
+                                             uint64_t timeout_ms,
+                                             Deadline deadline) {
   AssertSingleThread();
-  return core_->GetAsync(id, timeout_ms, /*pinned=*/true).Take();
+  return TakeWithDeadline(
+      core_->GetAsync(id, timeout_ms, /*pinned=*/true, deadline), deadline);
 }
 
-Status PlasmaClient::Release(const ObjectId& id) {
+Status PlasmaClient::Release(const ObjectId& id, Deadline deadline) {
   AssertSingleThread();
-  return core_->ReleaseAsync(id).Take();
+  return TakeWithDeadline(core_->ReleaseAsync(id, deadline), deadline);
 }
 
-Result<bool> PlasmaClient::Contains(const ObjectId& id) {
+Result<bool> PlasmaClient::Contains(const ObjectId& id, Deadline deadline) {
   AssertSingleThread();
-  return core_->ContainsAsync(id).Take();
+  return TakeWithDeadline(core_->ContainsAsync(id, deadline), deadline);
 }
 
-Status PlasmaClient::Delete(const ObjectId& id) {
+Status PlasmaClient::Delete(const ObjectId& id, Deadline deadline) {
   AssertSingleThread();
-  return core_->DeleteAsync(id).Take();
+  return TakeWithDeadline(core_->DeleteAsync(id, deadline), deadline);
 }
 
 Result<std::vector<ObjectInfo>> PlasmaClient::List() {

@@ -34,6 +34,7 @@
 #include <thread>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/object_id.h"
 #include "common/status.h"
@@ -179,46 +180,57 @@ class PlasmaClient {
   PlasmaClient(const PlasmaClient&) = delete;
   PlasmaClient& operator=(const PlasmaClient&) = delete;
 
+  // Every operation below accepts an optional end-to-end `deadline`
+  // (absolute — common/deadline.h). The remaining budget travels to the
+  // store in the wire header and bounds every downstream peer RPC; an
+  // exhausted budget surfaces as a typed DeadlineExceeded instead of a
+  // hang. The default (infinite) keeps historical behavior.
+
   // Reserves an object of the given sizes and returns a writable buffer.
   // Fails with AlreadyExists if the id is taken anywhere in the system.
   // `replicate` asks the store to hold this object at ≥2 copies after
   // Seal even when its replication_factor is 1 (per-object opt-in).
   Result<ObjectBuffer> Create(const ObjectId& id, uint64_t data_size,
                               uint64_t metadata_size = 0,
-                              bool replicate = false);
+                              bool replicate = false,
+                              Deadline deadline = {});
 
   // Convenience: Create + WriteData + Seal in one call.
   Status CreateAndSeal(const ObjectId& id, std::string_view data,
                        std::string_view metadata = {},
-                       bool replicate = false);
+                       bool replicate = false, Deadline deadline = {});
 
   // Makes the object immutable and visible to all clients system-wide.
-  Status Seal(const ObjectId& id);
+  Status Seal(const ObjectId& id, Deadline deadline = {});
 
   // Discards an unsealed object.
-  Status Abort(const ObjectId& id);
+  Status Abort(const ObjectId& id, Deadline deadline = {});
 
   // Retrieves buffers for `ids`, blocking up to `timeout_ms` for objects
   // that are not yet sealed anywhere. Entries for objects that never
-  // appeared are invalid (`!buffer.valid()`).
+  // appeared are invalid (`!buffer.valid()`). A finite `deadline` also
+  // clamps the store-side wait to the remaining budget.
   Result<std::vector<ObjectBuffer>> Get(const std::vector<ObjectId>& ids,
-                                        uint64_t timeout_ms = 0);
-  Result<ObjectBuffer> Get(const ObjectId& id, uint64_t timeout_ms = 0);
+                                        uint64_t timeout_ms = 0,
+                                        Deadline deadline = {});
+  Result<ObjectBuffer> Get(const ObjectId& id, uint64_t timeout_ms = 0,
+                           Deadline deadline = {});
 
   // Like Get, but forces the RPC+pin remote path even when the store
   // serves mapped descriptors: the returned buffer is pinned at its home
   // store and needs no generation validation. This is the rung mapped
   // reads fall back to, and the baseline benchmarks compare against.
-  Result<ObjectBuffer> GetPinned(const ObjectId& id, uint64_t timeout_ms = 0);
+  Result<ObjectBuffer> GetPinned(const ObjectId& id, uint64_t timeout_ms = 0,
+                                 Deadline deadline = {});
 
   // Unpins one Get reference on the object.
-  Status Release(const ObjectId& id);
+  Status Release(const ObjectId& id, Deadline deadline = {});
 
   // True when the object is sealed in the local store.
-  Result<bool> Contains(const ObjectId& id);
+  Result<bool> Contains(const ObjectId& id, Deadline deadline = {});
 
   // Removes a sealed, unreferenced local object.
-  Status Delete(const ObjectId& id);
+  Status Delete(const ObjectId& id, Deadline deadline = {});
 
   Result<std::vector<ObjectInfo>> List();
   Result<StoreStats> Stats();

@@ -209,6 +209,18 @@ std::vector<ObjectId> ObjectTable::CollectReplicatedWith(
   return out;
 }
 
+std::vector<ObjectId> ObjectTable::CollectUnderReplicated() const {
+  std::vector<ObjectId> out;
+  for (const auto& [id, entry] : entries_) {
+    if (entry.state == ObjectState::kCreated) continue;
+    if (entry.desired_copies > 1 &&
+        entry.copy_nodes.size() < entry.desired_copies) {
+      out.push_back(id);
+    }
+  }
+  return out;
+}
+
 void ObjectTable::AddReplicationAggregates(const ObjectEntry& entry) {
   if (entry.origin_node == self_node_ && entry.copy_nodes.size() > 1) {
     replicas_total_ += entry.copy_nodes.size() - 1;

@@ -124,6 +124,11 @@ class ObjectTable {
   // after that node dies).
   std::vector<ObjectId> CollectReplicatedWith(uint32_t node) const;
 
+  // Sealed/spilled objects below their desired copy count (the re-heal
+  // worker's periodic sweep — catches copies whose initial push failed
+  // over a faulted network).
+  std::vector<ObjectId> CollectUnderReplicated() const;
+
   // Remote copies of locally-originated sealed/spilled objects.
   uint64_t replicas_total() const { return replicas_total_; }
   // Sealed/spilled objects below their desired copy count.

@@ -11,7 +11,7 @@ void EncodeStatus(wire::Writer& w, const Status& s) {
 
 Status DecodeStatus(wire::Reader& r, Status* out) {
   MDOS_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
-  if (code > static_cast<uint8_t>(StatusCode::kUnknown)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::ProtocolError("bad status code");
   }
   MDOS_ASSIGN_OR_RETURN(std::string message, r.GetString());
@@ -308,6 +308,13 @@ void StoreStats::EncodeTo(wire::Writer& w) const {
   w.PutU64(under_replicated);
   w.PutU64(reheal_copies);
   w.PutU64(reheal_bytes);
+  w.PutU64(reheal_deduped);
+  w.PutU64(reheal_dropped);
+  w.PutU64(reheal_queue_depth);
+  w.PutU64(deadline_exceeded);
+  w.PutU64(hedged_reads);
+  w.PutU64(hedge_wins);
+  w.PutU64(hedge_budget_denied);
 }
 Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   StoreStats m;
@@ -344,6 +351,13 @@ Result<StoreStats> StoreStats::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.under_replicated, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.reheal_copies, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(m.reheal_bytes, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.reheal_deduped, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.reheal_dropped, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.reheal_queue_depth, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.deadline_exceeded, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.hedged_reads, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.hedge_wins, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(m.hedge_budget_denied, r.GetU64());
   return m;
 }
 
@@ -434,6 +448,7 @@ void PeerStatsEntry::EncodeTo(wire::Writer& w) const {
   w.PutU64(queued_notices);
   w.PutU64(dropped_notices);
   w.PutU64(static_cast<uint64_t>(ms_since_ok));
+  w.PutU64(static_cast<uint64_t>(ewma_latency_us));
 }
 Result<PeerStatsEntry> PeerStatsEntry::DecodeFrom(wire::Reader& r) {
   PeerStatsEntry m;
@@ -447,6 +462,8 @@ Result<PeerStatsEntry> PeerStatsEntry::DecodeFrom(wire::Reader& r) {
   MDOS_ASSIGN_OR_RETURN(m.dropped_notices, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(uint64_t since, r.GetU64());
   m.ms_since_ok = static_cast<int64_t>(since);
+  MDOS_ASSIGN_OR_RETURN(uint64_t ewma, r.GetU64());
+  m.ewma_latency_us = static_cast<int64_t>(ewma);
   return m;
 }
 

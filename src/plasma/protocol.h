@@ -287,6 +287,18 @@ struct StoreStats {
   uint64_t under_replicated = 0;   // objects below their desired copy count
   uint64_t reheal_copies = 0;      // copies re-created after peer deaths
   uint64_t reheal_bytes = 0;       // payload bytes those copies moved
+  // Re-heal queue hygiene: requests coalesced because the node was
+  // already queued, requests refused at the queue bound, and the
+  // current queue depth.
+  uint64_t reheal_deduped = 0;
+  uint64_t reheal_dropped = 0;
+  uint64_t reheal_queue_depth = 0;
+  // End-to-end deadlines and hedged reads (gray-failure handling; see
+  // docs/operations.md runbook).
+  uint64_t deadline_exceeded = 0;   // ops that exhausted their budget
+  uint64_t hedged_reads = 0;        // backup replica reads fired
+  uint64_t hedge_wins = 0;          // hedges that answered first
+  uint64_t hedge_budget_denied = 0;  // hedges refused by the global cap
   void EncodeTo(wire::Writer& w) const;
   static Result<StoreStats> DecodeFrom(wire::Reader& r);
 };
@@ -356,6 +368,7 @@ struct PeerStatsEntry {
   uint64_t queued_notices = 0;   // delete notices parked for recovery
   uint64_t dropped_notices = 0;  // notices discarded (dead peer / cap)
   int64_t ms_since_ok = -1;      // ms since the last successful call
+  int64_t ewma_latency_us = -1;  // smoothed call latency; -1 = no sample
   void EncodeTo(wire::Writer& w) const;
   static Result<PeerStatsEntry> DecodeFrom(wire::Reader& r);
 };
@@ -432,6 +445,15 @@ template <typename Message>
 void EncodeMessage(wire::Writer& w, uint64_t request_id,
                    const Message& msg) {
   wire::MessageHeader{request_id}.EncodeTo(w);
+  msg.EncodeTo(w);
+}
+
+// Deadline-stamping variant: `deadline_ms` is the sender's remaining
+// end-to-end budget (0 = none) — see wire::MessageHeader.
+template <typename Message>
+void EncodeMessage(wire::Writer& w, uint64_t request_id,
+                   uint64_t deadline_ms, const Message& msg) {
+  wire::MessageHeader{request_id, deadline_ms}.EncodeTo(w);
   msg.EncodeTo(w);
 }
 

@@ -524,18 +524,28 @@ void Store::DispatchFrame(Shard& shard, ClientConn& conn,
   int fd = conn.fd.get();
   const auto type = static_cast<MessageType>(frame.type);
   const std::span<const uint8_t> body(frame.payload, frame.size);
-  auto tag = PeekRequestId(frame.payload, frame.size);
-  if (!tag.ok()) {
+  wire::Reader header_reader(frame.payload, frame.size);
+  auto header = wire::MessageHeader::DecodeFrom(header_reader);
+  if (!header.ok()) {
     DropClient(shard, fd);
     return;
   }
-  const uint64_t request_id = *tag;
+  const uint64_t request_id = header->request_id;
+  // Remaining end-to-end budget stamped by the client when the frame was
+  // sent. Restarted here rather than decremented by queueing time: the
+  // UDS hop is local, and the client's own clock re-check on the reply
+  // keeps the end-to-end bound honest. Downstream peer hops DO decrement
+  // (the dist layer clamps every RPC to this deadline).
+  const Deadline op_deadline = Deadline::FromBudgetMs(
+      header->deadline_ms > static_cast<uint64_t>(Deadline::kInfiniteMs)
+          ? Deadline::kInfiniteMs
+          : static_cast<int64_t>(header->deadline_ms));
   switch (type) {
     case MessageType::kConnectRequest:
       HandleConnect(shard, conn, request_id, body);
       break;
     case MessageType::kCreateRequest:
-      HandleCreate(shard, conn, request_id, body);
+      HandleCreate(shard, conn, request_id, body, op_deadline);
       break;
     case MessageType::kSealRequest:
       HandleSeal(shard, conn, request_id, body);
@@ -544,7 +554,7 @@ void Store::DispatchFrame(Shard& shard, ClientConn& conn,
       HandleAbort(shard, conn, request_id, body);
       break;
     case MessageType::kGetRequest:
-      HandleGet(shard, conn, request_id, body, batch_gets);
+      HandleGet(shard, conn, request_id, body, op_deadline, batch_gets);
       break;
     case MessageType::kReleaseRequest:
       HandleRelease(shard, conn, request_id, body);
@@ -859,7 +869,8 @@ bool Store::IsEvictable(const Shard& owner, const ObjectId& id) const {
 
 void Store::HandleCreate(Shard& home, ClientConn& conn,
                          uint64_t request_id,
-                         std::span<const uint8_t> body) {
+                         std::span<const uint8_t> body,
+                         Deadline op_deadline) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<CreateRequest>(body.data(), body.size());
   if (!request.ok()) {
@@ -885,7 +896,8 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
   bool exists_remotely = false;
   if (!exists_locally && options_.check_global_uniqueness &&
       dist_hooks_ != nullptr) {
-    exists_remotely = dist_hooks_->IdKnownRemotely(request->id);
+    exists_remotely = dist_hooks_->IdKnownRemotely(request->id,
+                                                   op_deadline);
   }
   if (exists_locally || exists_remotely) {
     reply.status = Status::AlreadyExists(
@@ -1125,7 +1137,7 @@ std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
 }
 
 void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
-                      std::span<const uint8_t> body,
+                      std::span<const uint8_t> body, Deadline op_deadline,
                       std::vector<PendingGet>* batch_gets) {
   int fd = conn.fd.get();
   auto request = DecodeMessage<GetRequest>(body.data(), body.size());
@@ -1137,6 +1149,7 @@ void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
   PendingGet pending;
   pending.fd = fd;
   pending.request_id = request_id;
+  pending.op_deadline = op_deadline;
   pending.order = request->ids;
   pending.timeout_ms = request->timeout_ms;
   pending.pinned = request->pinned;
@@ -1166,7 +1179,7 @@ void Store::HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
 bool Store::AdoptRemoteObject(Shard& home, ClientConn& conn,
                               PendingGet& pending, const ObjectId& id,
                               const RemoteObjectLocation& loc,
-                              bool count_hit) {
+                              bool count_hit, Deadline deadline) {
   // Mapped data plane: a generation-stamped location is handed out as an
   // unpinned descriptor — zero RPCs to the home store. The client copies
   // through its cached region attachment and re-checks the generation;
@@ -1185,7 +1198,7 @@ bool Store::AdoptRemoteObject(Shard& home, ClientConn& conn,
     // Pin before handing the location out: a failed pin means the
     // location is stale (lost DeleteNotice, restarted peer) and must not
     // reach the client — it would read dangling pool offsets.
-    Status pinned = dist_hooks_->PinRemote(id, loc);
+    Status pinned = dist_hooks_->PinRemote(id, loc, deadline);
     if (!pinned.ok()) return false;
     auto& ref = conn.remote_refs[id];
     ref.loc = loc;
@@ -1218,24 +1231,26 @@ bool Store::AdoptRemoteObjectWithRetry(Shard& home, ClientConn& conn,
                                        PendingGet& pending,
                                        const ObjectId& id,
                                        const RemoteObjectLocation& loc,
-                                       bool count_hit) {
-  if (AdoptRemoteObject(home, conn, pending, id, loc, count_hit)) {
+                                       bool count_hit, Deadline deadline) {
+  if (AdoptRemoteObject(home, conn, pending, id, loc, count_hit,
+                        deadline)) {
     return true;
   }
   // Stale location: the dist layer invalidated its cache entry when the
   // pin failed, so this lookup bypasses the cache and asks the peers
   // again. One retry only — a second stale answer means the object is
   // really gone.
-  auto retried = BatchedRemoteLookup({id}, /*count_lookups=*/false);
+  auto retried =
+      BatchedRemoteLookup({id}, /*count_lookups=*/false, deadline);
   auto it = retried.find(id);
   if (it == retried.end()) return false;
   return AdoptRemoteObject(home, conn, pending, id, it->second,
-                           /*count_hit=*/false);
+                           /*count_hit=*/false, deadline);
 }
 
 std::unordered_map<ObjectId, RemoteObjectLocation>
 Store::BatchedRemoteLookup(const std::vector<ObjectId>& ids,
-                           bool count_lookups) {
+                           bool count_lookups, Deadline deadline) {
   std::unordered_map<ObjectId, RemoteObjectLocation> resolved;
   if (dist_hooks_ == nullptr || ids.empty()) return resolved;
   std::vector<ObjectId> unknown;
@@ -1245,7 +1260,7 @@ Store::BatchedRemoteLookup(const std::vector<ObjectId>& ids,
   }
   // RPC outside any shard mutex; the paper's local store performs the
   // look-up synchronously on the client's behalf.
-  auto locations = dist_hooks_->LookupRemote(unknown);
+  auto locations = dist_hooks_->LookupRemote(unknown, deadline);
   if (count_lookups) {
     remote_lookups_.fetch_add(unknown.size(), std::memory_order_relaxed);
   }
@@ -1263,13 +1278,22 @@ void Store::ResolveGets(Shard& home, ClientConn& conn,
 
   // One remote look-up for every id unknown anywhere in the batch: a
   // pipelining client that issued N Gets for remote objects pays one RPC
-  // round instead of N.
+  // round instead of N. The shared lookup runs under the LOOSEST
+  // deadline in the batch (any get still inside its budget keeps the
+  // RPC alive); each get's own pin below uses its own deadline.
   std::vector<ObjectId> unknown;
+  Deadline batch_deadline = gets.front().op_deadline;
   for (const PendingGet& pending : gets) {
     unknown.insert(unknown.end(), pending.missing.begin(),
                    pending.missing.end());
+    if (pending.op_deadline.infinite() ||
+        (!batch_deadline.infinite() &&
+         pending.op_deadline.when_ns() > batch_deadline.when_ns())) {
+      batch_deadline = pending.op_deadline;
+    }
   }
-  auto resolved = BatchedRemoteLookup(unknown, /*count_lookups=*/true);
+  auto resolved =
+      BatchedRemoteLookup(unknown, /*count_lookups=*/true, batch_deadline);
 
   const int fd = conn.fd.get();
   for (PendingGet& pending : gets) {
@@ -1292,7 +1316,8 @@ void Store::ResolveGets(Shard& home, ClientConn& conn,
       auto it = resolved.find(id);
       if (it != resolved.end() &&
           AdoptRemoteObjectWithRetry(home, conn, pending, id, it->second,
-                                     /*count_hit=*/true)) {
+                                     /*count_hit=*/true,
+                                     pending.op_deadline)) {
         continue;
       }
       // Re-run the local pass: a later frame of the same batch (or a
@@ -1314,10 +1339,17 @@ void Store::ResolveGets(Shard& home, ClientConn& conn,
       ReplyPendingGet(home, pending);
       continue;
     }
-    // The pre-announcement above already counted this park.
+    // The pre-announcement above already counted this park. A finite
+    // end-to-end deadline clamps the park: the reply (reporting whatever
+    // was found) leaves no later than the operation's budget, so a
+    // deadline-carrying client never waits out a longer get timeout.
     pending.deadline_ns =
         MonotonicNanos() +
         static_cast<int64_t>(pending.timeout_ms) * 1000000;
+    if (!pending.op_deadline.infinite()) {
+      pending.deadline_ns =
+          std::min(pending.deadline_ns, pending.op_deadline.when_ns());
+    }
     home.pending_gets.push_back(std::move(pending));
   }
 }
@@ -1393,11 +1425,18 @@ int Store::FlushExpiredPendingGets(Shard& shard) {
     // may have been sealed on a peer while we waited), batched across all
     // expired gets, then reply.
     std::vector<ObjectId> stragglers;
+    Deadline straggler_deadline = expired.front().op_deadline;
     for (const PendingGet& pending : expired) {
       stragglers.insert(stragglers.end(), pending.waiting.begin(),
                         pending.waiting.end());
+      if (pending.op_deadline.infinite() ||
+          (!straggler_deadline.infinite() &&
+           pending.op_deadline.when_ns() > straggler_deadline.when_ns())) {
+        straggler_deadline = pending.op_deadline;
+      }
     }
-    auto resolved = BatchedRemoteLookup(stragglers, /*count_lookups=*/false);
+    auto resolved = BatchedRemoteLookup(stragglers, /*count_lookups=*/false,
+                                        straggler_deadline);
     for (PendingGet& pending : expired) {
       auto conn_it = shard.clients.find(pending.fd);
       for (auto id_it = pending.waiting.begin();
@@ -1418,7 +1457,8 @@ int Store::FlushExpiredPendingGets(Shard& shard) {
         if (hit == resolved.end() || conn_it == shard.clients.end() ||
             !AdoptRemoteObjectWithRetry(shard, *conn_it->second, pending,
                                         *id_it, hit->second,
-                                        /*count_hit=*/false)) {
+                                        /*count_hit=*/false,
+                                        pending.op_deadline)) {
           ++id_it;
           continue;
         }
@@ -1919,6 +1959,24 @@ void Store::RequestReheal(uint32_t dead_node) {
   {
     MutexLock lock(reheal_mutex_);
     if (!reheal_running_) return;
+    // Dedup: a node death reported by several peers (or by both the
+    // health monitor and a failed RPC) needs exactly one re-heal round.
+    // A round already RUNNING for the node is not deduped against — it
+    // may have sampled the copy sets before the report arrived.
+    for (uint32_t queued : reheal_queue_) {
+      if (queued == dead_node) {
+        reheal_deduped_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+    }
+    // Bound: a pathological flood of death reports (chaos harness,
+    // flapping partition detector) must not grow the queue without
+    // limit. Dropped entries are visible in StoreStats::reheal_dropped;
+    // a later health-monitor round re-reports nodes that stay dead.
+    if (reheal_queue_.size() >= kMaxRehealQueue) {
+      reheal_dropped_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
     reheal_queue_.push_back(dead_node);
     ++reheal_inflight_;
   }
@@ -1931,8 +1989,14 @@ uint64_t Store::PendingReheals() {
 }
 
 void Store::RehealLoop() {
+  // Sweep cadence: only when degraded objects exist, backing off
+  // (doubling, capped) while sweeps make no progress so a genuinely
+  // unreachable target is not hammered every wake-up.
+  int64_t sweep_backoff_ms = 200;
+  int64_t next_sweep_ns = 0;
   for (;;) {
     uint32_t dead = 0;
+    bool have_dead = false;
     {
       MutexLock lock(reheal_mutex_);
       reheal_cv_.WaitFor(reheal_mutex_, std::chrono::milliseconds(200),
@@ -1942,16 +2006,93 @@ void Store::RehealLoop() {
                                   !reheal_queue_.empty();
                          });
       if (!reheal_running_) return;
-      if (reheal_queue_.empty()) continue;
-      dead = reheal_queue_.front();
-      reheal_queue_.erase(reheal_queue_.begin());
+      if (!reheal_queue_.empty()) {
+        dead = reheal_queue_.front();
+        reheal_queue_.erase(reheal_queue_.begin());
+        have_dead = true;
+      }
     }
-    RehealForDeadNode(dead);
+    if (have_dead) {
+      RehealForDeadNode(dead);
+      {
+        MutexLock lock(reheal_mutex_);
+        --reheal_inflight_;
+      }
+      continue;
+    }
+    // Idle: retry any copies whose earlier push failed.
+    bool degraded = false;
+    for (auto& shard : shards_) {
+      MutexLock lock(shard->mutex);
+      if (shard->table.under_replicated() > 0) {
+        degraded = true;
+        break;
+      }
+    }
+    if (!degraded) {
+      sweep_backoff_ms = 200;
+      continue;
+    }
+    const int64_t now_ns = MonotonicNanos();
+    if (now_ns < next_sweep_ns) continue;
+    if (RehealSweep() > 0) {
+      sweep_backoff_ms = 200;
+    } else {
+      sweep_backoff_ms = std::min<int64_t>(sweep_backoff_ms * 2, 5000);
+    }
+    next_sweep_ns = MonotonicNanos() + sweep_backoff_ms * 1000000;
+  }
+}
+
+uint64_t Store::RehealSweep() {
+  uint64_t healed_copies = 0;
+  uint64_t healed_bytes = 0;
+  for (auto& shard : shards_) {
+    Shard& owner = *shard;
+    std::vector<ObjectId> to_heal;
     {
-      MutexLock lock(reheal_mutex_);
-      --reheal_inflight_;
+      MutexLock lock(owner.mutex);
+      for (const ObjectId& id : owner.table.CollectUnderReplicated()) {
+        auto entry = owner.table.Lookup(id);
+        if (!entry.ok() || entry->copy_nodes.empty()) continue;
+        // Same deterministic healer election as the death path: the
+        // lowest believed holder pushes, so concurrent sweeps on
+        // different holders don't double-replicate.
+        uint32_t healer = *std::min_element(entry->copy_nodes.begin(),
+                                            entry->copy_nodes.end());
+        if (healer == node_id_) to_heal.push_back(id);
+      }
+    }
+    for (const ObjectId& id : to_heal) {
+      size_t before = 0;
+      uint64_t size = 0;
+      {
+        MutexLock lock(owner.mutex);
+        auto entry = owner.table.Lookup(id);
+        if (!entry.ok()) continue;
+        before = entry->copy_nodes.size();
+        size = entry->total_size();
+      }
+      ReplicateSealed(owner, id);
+      {
+        MutexLock lock(owner.mutex);
+        auto entry = owner.table.Lookup(id);
+        if (entry.ok() && entry->copy_nodes.size() > before) {
+          uint64_t added = entry->copy_nodes.size() - before;
+          healed_copies += added;
+          healed_bytes += added * size;
+        }
+      }
     }
   }
+  if (healed_copies > 0) {
+    reheal_copies_.fetch_add(healed_copies, std::memory_order_relaxed);
+    reheal_bytes_.fetch_add(healed_bytes, std::memory_order_relaxed);
+    MDOS_LOG_INFO << "store " << options_.name << ": re-heal sweep pushed "
+                  << healed_copies << " copies (" << healed_bytes
+                  << " bytes)";
+  }
+  return healed_copies;
 }
 
 void Store::RehealForDeadNode(uint32_t dead) {
@@ -2052,6 +2193,12 @@ StoreStats Store::stats() {
   }
   s.reheal_copies = reheal_copies_.load(std::memory_order_relaxed);
   s.reheal_bytes = reheal_bytes_.load(std::memory_order_relaxed);
+  s.reheal_deduped = reheal_deduped_.load(std::memory_order_relaxed);
+  s.reheal_dropped = reheal_dropped_.load(std::memory_order_relaxed);
+  {
+    MutexLock lock(reheal_mutex_);
+    s.reheal_queue_depth = reheal_queue_.size();
+  }
   s.remote_lookups = remote_lookups_.load(std::memory_order_relaxed);
   s.remote_lookup_hits =
       remote_lookup_hits_.load(std::memory_order_relaxed);
@@ -2060,6 +2207,14 @@ StoreStats Store::stats() {
     // Generation-mismatch invalidations of cached descriptors live in
     // the dist layer (it validates against peers' generation tables).
     s.generation_retries = dist_hooks_->GenerationRetries();
+    // Deadline/hedging outcomes likewise accumulate in the dist layer
+    // (it owns the per-peer RPC machinery).
+    DistHooks::RobustnessCounters robust =
+        dist_hooks_->GetRobustnessCounters();
+    s.deadline_exceeded = robust.deadline_exhausted;
+    s.hedged_reads = robust.hedged_reads;
+    s.hedge_wins = robust.hedge_wins;
+    s.hedge_budget_denied = robust.hedge_budget_denied;
     for (const PeerStatsEntry& peer : dist_hooks_->PeerHealth()) {
       ++s.peers_total;
       if (peer.state == 0) ++s.peers_healthy;

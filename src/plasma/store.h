@@ -70,6 +70,7 @@
 
 #include "alloc/allocator.h"
 #include "alloc/sharded_allocator.h"
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/object_id.h"
 #include "common/status.h"
@@ -176,19 +177,25 @@ class DistHooks {
   virtual ~DistHooks() = default;
 
   // Looks up each id in the peer stores; entry i is nullopt when id i is
-  // unknown everywhere.
+  // unknown everywhere. `deadline` is the remaining end-to-end budget of
+  // the client operation that triggered the lookup: implementations
+  // must not outlive it (clamp every per-peer RPC to the remaining
+  // budget, skip the RPC entirely once it has expired).
   virtual std::vector<std::optional<RemoteObjectLocation>> LookupRemote(
-      const std::vector<ObjectId>& ids) = 0;
+      const std::vector<ObjectId>& ids, Deadline deadline) = 0;
 
   // True when any peer store already knows `id` (uniqueness probe).
-  virtual bool IdKnownRemotely(const ObjectId& id) = 0;
+  virtual bool IdKnownRemotely(const ObjectId& id, Deadline deadline) = 0;
 
   // Usage-tracking extension: pin/unpin `id` at its home store. A failed
   // pin means the location is no longer valid (the peer lost or dropped
   // the object, or is unreachable); implementations invalidate any cached
-  // location so the caller can re-run the lookup path.
+  // location so the caller can re-run the lookup path. Pin carries the
+  // operation deadline (it sits on the client's Get path); Unpin is
+  // cleanup and uses the implementation's own RPC bound.
   virtual Status PinRemote(const ObjectId& id,
-                           const RemoteObjectLocation& loc) = 0;
+                           const RemoteObjectLocation& loc,
+                           Deadline deadline) = 0;
   virtual void UnpinRemote(const ObjectId& id,
                            const RemoteObjectLocation& loc) = 0;
 
@@ -204,6 +211,17 @@ class DistHooks {
   // descriptor against the peer's generation table and lost). Folded
   // into StoreStats::generation_retries.
   virtual uint64_t GenerationRetries() { return 0; }
+
+  // Gray-failure counters folded into StoreStats: operations that
+  // exhausted their deadline budget in the dist layer, and the hedged
+  // replica-read machinery's outcomes. Default: none.
+  struct RobustnessCounters {
+    uint64_t deadline_exhausted = 0;
+    uint64_t hedged_reads = 0;
+    uint64_t hedge_wins = 0;
+    uint64_t hedge_budget_denied = 0;
+  };
+  virtual RobustnessCounters GetRobustnessCounters() { return {}; }
 
   // k-way replication: push `id`'s bytes (data section then metadata,
   // data_size + metadata_size bytes at `bytes`) to up to `copies_wanted`
@@ -406,6 +424,11 @@ class Store {
     std::vector<ObjectId> missing;
     uint64_t timeout_ms = 0;
     int64_t deadline_ns = 0;
+    // The client's end-to-end budget for this Get (wire header). Bounds
+    // every downstream RPC (lookup, pin) issued on its behalf; distinct
+    // from timeout_ms, which is the park-for-seal wait the client asked
+    // for. Infinite when the client carried no deadline.
+    Deadline op_deadline;
     // Client requested the RPC+pin path even when the mapped data plane
     // is on (GetRequest::pinned) — the bottom rung of the fallback
     // ladder, and the baseline mode for benchmarks.
@@ -550,8 +573,10 @@ class Store {
   // and match out of order.
   void HandleConnect(Shard& home, ClientConn& conn, uint64_t request_id,
                      std::span<const uint8_t> body);
+  // Carries the client's end-to-end deadline: the uniqueness probe is a
+  // peer RPC and must not outlive the budget.
   void HandleCreate(Shard& home, ClientConn& conn, uint64_t request_id,
-                    std::span<const uint8_t> body);
+                    std::span<const uint8_t> body, Deadline op_deadline);
   void HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
                   std::span<const uint8_t> body);
   void HandleAbort(Shard& home, ClientConn& conn, uint64_t request_id,
@@ -559,7 +584,7 @@ class Store {
   // Local-table pass only; the remote/missing halves are resolved for the
   // whole batch in ResolveGets.
   void HandleGet(Shard& home, ClientConn& conn, uint64_t request_id,
-                 std::span<const uint8_t> body,
+                 std::span<const uint8_t> body, Deadline op_deadline,
                  std::vector<PendingGet>* batch_gets);
   void HandleRelease(Shard& home, ClientConn& conn, uint64_t request_id,
                      std::span<const uint8_t> body);
@@ -599,9 +624,11 @@ class Store {
   // deadline (in the home shard's pending list).
   void ResolveGets(Shard& home, ClientConn& conn,
                    std::vector<PendingGet>& gets);
-  // One deduplicated LookupRemote for `ids`; empty map without hooks.
+  // One deduplicated LookupRemote for `ids`, bounded by `deadline`;
+  // empty map without hooks.
   std::unordered_map<ObjectId, RemoteObjectLocation> BatchedRemoteLookup(
-      const std::vector<ObjectId>& ids, bool count_lookups);
+      const std::vector<ObjectId>& ids, bool count_lookups,
+      Deadline deadline);
   // Applies one resolved remote location to a pending get (reply entry,
   // remote pin or mapped descriptor, per-connection ref bookkeeping).
   // `home` is the Get-serving shard (mapped-read counters accumulate
@@ -614,14 +641,15 @@ class Store {
   // caller should re-run the lookup path for this id.
   bool AdoptRemoteObject(Shard& home, ClientConn& conn,
                          PendingGet& pending, const ObjectId& id,
-                         const RemoteObjectLocation& loc, bool count_hit);
+                         const RemoteObjectLocation& loc, bool count_hit,
+                         Deadline deadline);
   // AdoptRemoteObject with one retry through a fresh remote lookup when
   // the cached location turned out stale. Returns false when the id
   // could not be adopted at all (treat as missing).
   bool AdoptRemoteObjectWithRetry(Shard& home, ClientConn& conn,
                                   PendingGet& pending, const ObjectId& id,
                                   const RemoteObjectLocation& loc,
-                                  bool count_hit);
+                                  bool count_hit, Deadline deadline);
 
   // Allocates space from the owner shard's arena, evicting its LRU
   // unpinned objects if needed — to the shard's spill file when the
@@ -714,6 +742,19 @@ class Store {
   // strip the corpse, and re-replicate what fell below its desired
   // count (this node acting only where it is the elected healer).
   void RehealForDeadNode(uint32_t dead);
+  // Idle-time pass of the re-heal worker: re-pushes any object still
+  // below its desired copy count. A re-heal round whose pushes failed
+  // (target partitioned, peer flapping) leaves objects degraded with
+  // no dead node left in their copy sets to re-trigger on — this
+  // sweep is how they converge once the network heals. Returns the
+  // number of copies pushed (0 = no progress, caller backs off).
+  uint64_t RehealSweep();
+
+  // Queue bound: a flood of death reports (flapping detector, chaos)
+  // queues at most this many distinct nodes; the rest are dropped and
+  // re-reported by a later health round. Far above any realistic
+  // cluster size, so genuine deaths are never dropped.
+  static constexpr size_t kMaxRehealQueue = 128;
 
   std::thread reheal_thread_;
   Mutex reheal_mutex_;
@@ -726,6 +767,8 @@ class Store {
   // Re-heal progress counters (StoreStats::reheal_*).
   std::atomic<uint64_t> reheal_copies_{0};
   std::atomic<uint64_t> reheal_bytes_{0};
+  std::atomic<uint64_t> reheal_deduped_{0};
+  std::atomic<uint64_t> reheal_dropped_{0};
 
   // Accept thread state.
   net::UniqueFd listen_fd_;

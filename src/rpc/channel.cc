@@ -3,6 +3,8 @@
 #include <sys/socket.h>
 
 #include <algorithm>
+#include <chrono>
+#include <thread>
 
 #include "common/clock.h"
 #include "common/rng.h"
@@ -91,36 +93,64 @@ Status RpcChannel::RedialLocked() {
       " failed: " + last.ToString());
 }
 
-Result<std::vector<uint8_t>> RpcChannel::Call(
+Result<std::vector<uint8_t>> RpcChannel::AttemptLocked(
     const std::string& method, const std::vector<uint8_t>& payload,
-    uint64_t timeout_ms) {
-  MutexLock lock(mutex_);
-
+    uint64_t timeout_ms, uint64_t stamp_deadline_ms) {
   auto fail = [&](Status st) -> Result<std::vector<uint8_t>> {
     MutexLock stats_lock(stats_mutex_);
     ++stats_.failures;
     return st;
   };
 
-  if (!fd_.valid()) {
-    // Transparent reconnect: a previous failure (or peer restart) left
-    // the channel disconnected; heal it here instead of failing forever.
-    Status redialed = RedialLocked();
-    if (!redialed.ok()) return fail(std::move(redialed));
-  }
-
   const int64_t start_ns = MonotonicNanos();
 
   RpcRequest request;
   request.call_id = next_call_id_.fetch_add(1);
   request.method = method;
-  request.deadline_ms = timeout_ms;
+  request.deadline_ms = stamp_deadline_ms;
   request.payload = payload;
 
   // Scratch reuse: capacity persists across calls (mutex_ held).
   wire::Writer& writer = scratch_writer_;
   writer.Reset();
   request.EncodeTo(writer);
+
+  // Fault injection sits under the transport: the request traverses the
+  // self -> peer direction. A dropped message looks exactly like the
+  // network ate it — the injected delay still elapses (slow-then-dead,
+  // not instantly dead), then the call reports a timeout. The socket
+  // stays intact: nothing was actually sent.
+  if (fault_injector_ != nullptr) {
+    auto decision =
+        fault_injector_->Consult(self_node_, peer_node_, writer.size());
+    if (decision.drop || decision.delay_ns > 0) {
+      MutexLock stats_lock(stats_mutex_);
+      ++stats_.injected_faults;
+    }
+    if (decision.delay_ns > 0) {
+      int64_t delay = decision.delay_ns;
+      bool exceeds_timeout = false;
+      if (timeout_ms > 0) {
+        const int64_t cap = static_cast<int64_t>(timeout_ms) * 1'000'000;
+        if (delay >= cap) {
+          // The message would land after the caller stopped waiting:
+          // sleep out the window, then report the timeout — the request
+          // must NOT be sent late as if it had been in time.
+          delay = cap;
+          exceeds_timeout = true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      if (exceeds_timeout && !decision.drop) {
+        return fail(Status::Timeout("rpc call '" + method +
+                                    "' timed out (injected latency)"));
+      }
+    }
+    if (decision.drop) {
+      return fail(Status::Timeout("rpc call '" + method +
+                                  "' timed out (request dropped)"));
+    }
+  }
 
   // Model half the LAN round trip before send, half after receive.
   if (options_.simulated_rtt_ns > 0) {
@@ -161,6 +191,40 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
     fd_.Reset();
     return fail(Status::ProtocolError("unexpected frame type"));
   }
+
+  // The response traverses peer -> self: a one-way fault in that
+  // direction can delay or eat it even though the request got through.
+  // The reply was already consumed off the socket, so the connection
+  // stays clean either way.
+  if (fault_injector_ != nullptr) {
+    auto decision = fault_injector_->Consult(peer_node_, self_node_,
+                                             frame.payload.size());
+    if (decision.drop || decision.delay_ns > 0) {
+      MutexLock stats_lock(stats_mutex_);
+      ++stats_.injected_faults;
+    }
+    if (decision.delay_ns > 0) {
+      int64_t delay = decision.delay_ns;
+      bool exceeds_timeout = false;
+      if (timeout_ms > 0) {
+        const int64_t cap = static_cast<int64_t>(timeout_ms) * 1'000'000;
+        if (delay >= cap) {
+          delay = cap;
+          exceeds_timeout = true;
+        }
+      }
+      std::this_thread::sleep_for(std::chrono::nanoseconds(delay));
+      if (exceeds_timeout && !decision.drop) {
+        return fail(Status::Timeout("rpc call '" + method +
+                                    "' timed out (injected latency)"));
+      }
+    }
+    if (decision.drop) {
+      return fail(Status::Timeout("rpc call '" + method +
+                                  "' timed out (response dropped)"));
+    }
+  }
+
   wire::Reader reader(frame.payload.data(), frame.payload.size());
   auto response = RpcResponse::DecodeFrom(reader);
   if (!response.ok()) {
@@ -186,6 +250,104 @@ Result<std::vector<uint8_t>> RpcChannel::Call(
     return Status(response->code, response->error);
   }
   return std::move(response->payload);
+}
+
+Result<std::vector<uint8_t>> RpcChannel::Call(
+    const std::string& method, const std::vector<uint8_t>& payload,
+    uint64_t timeout_ms) {
+  MutexLock lock(mutex_);
+
+  if (!fd_.valid()) {
+    // Transparent reconnect: a previous failure (or peer restart) left
+    // the channel disconnected; heal it here instead of failing forever.
+    Status redialed = RedialLocked();
+    if (!redialed.ok()) {
+      MutexLock stats_lock(stats_mutex_);
+      ++stats_.failures;
+      return redialed;
+    }
+  }
+  return AttemptLocked(method, payload, timeout_ms, timeout_ms);
+}
+
+Result<std::vector<uint8_t>> RpcChannel::CallWithDeadline(
+    const std::string& method, const std::vector<uint8_t>& payload,
+    Deadline deadline) {
+  // Zero/past deadlines fail fast: no dial, no send, no lock ordering
+  // hazard — just the typed error.
+  if (deadline.expired()) {
+    MutexLock stats_lock(stats_mutex_);
+    ++stats_.failures;
+    ++stats_.deadline_exceeded;
+    return Status::DeadlineExceeded("rpc call '" + method +
+                                    "': deadline already expired");
+  }
+
+  MutexLock lock(mutex_);
+
+  if (deadline.infinite()) {
+    // No budget to manage: single attempt, legacy semantics.
+    if (!fd_.valid()) {
+      Status redialed = RedialLocked();
+      if (!redialed.ok()) {
+        MutexLock stats_lock(stats_mutex_);
+        ++stats_.failures;
+        return redialed;
+      }
+    }
+    return AttemptLocked(method, payload, 0, 0);
+  }
+
+  Status last = Status::OK();
+  while (!deadline.expired()) {
+    if (!fd_.valid()) {
+      if (closed_ || host_.empty()) {
+        MutexLock stats_lock(stats_mutex_);
+        ++stats_.failures;
+        return Status::NotConnected("channel closed");
+      }
+      const int64_t now = MonotonicNanos();
+      if (now < next_redial_ns_) {
+        // Inside the backoff window: instead of the legacy fast-fail,
+        // a deadline call *waits out* the window — but never past its
+        // own budget.
+        int64_t wait =
+            std::min(next_redial_ns_ - now, deadline.remaining_ns());
+        std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
+        continue;
+      }
+      Status redialed = RedialLocked();
+      if (!redialed.ok()) {
+        // RedialLocked set the next backoff window; loop to wait it
+        // out (bounded by the deadline) and retry.
+        last = std::move(redialed);
+        continue;
+      }
+    }
+
+    const uint64_t remaining_ms =
+        static_cast<uint64_t>(deadline.remaining_ms_ceil());
+    auto result = AttemptLocked(method, payload, remaining_ms, remaining_ms);
+    if (result.ok()) return result;
+    Status st = result.status();
+    // Only transport-level failures are retried; application errors
+    // (including a server-side shed) are answers, not network noise.
+    const bool retriable = st.Is(StatusCode::kIoError) ||
+                           st.Is(StatusCode::kTimeout) ||
+                           st.Is(StatusCode::kNotConnected);
+    if (!retriable) return result;
+    last = std::move(st);
+  }
+
+  {
+    MutexLock stats_lock(stats_mutex_);
+    ++stats_.failures;
+    ++stats_.deadline_exceeded;
+  }
+  std::string detail = last.ok() ? "no attempt completed" : last.ToString();
+  return Status::DeadlineExceeded("rpc call '" + method +
+                                  "' deadline exceeded (last: " + detail +
+                                  ")");
 }
 
 ChannelStats RpcChannel::stats() const {

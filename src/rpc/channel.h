@@ -26,8 +26,10 @@
 #include <string>
 #include <vector>
 
+#include "common/deadline.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "net/fault_injector.h"
 #include "net/fd.h"
 #include "net/frame.h"
 #include "rpc/message.h"
@@ -53,6 +55,8 @@ struct ChannelStats {
   uint64_t reconnects = 0;       // successful redials after a failure
   uint64_t redial_failures = 0;  // dial attempts that failed
   uint64_t fast_failures = 0;    // calls refused inside the backoff window
+  uint64_t deadline_exceeded = 0;  // calls that exhausted their budget
+  uint64_t injected_faults = 0;    // messages dropped/delayed by injection
   int64_t total_call_ns = 0;     // wall time across all calls
 };
 
@@ -107,10 +111,60 @@ class RpcChannel {
     return ResponseT::DecodeFrom(r);
   }
 
+  // Deadline-bounded unary call. Differences from Call():
+  //  - an already-expired deadline fails fast with kDeadlineExceeded
+  //    before any dial or send;
+  //  - connectivity failures (dial refused, send/recv error, timeout)
+  //    are retried with the redial backoff schedule, but every wait is
+  //    clamped to the remaining budget — the call never outlives its
+  //    deadline;
+  //  - the *remaining* budget (ms, recomputed per attempt) is stamped
+  //    into the request envelope so the server can shed expired work;
+  //  - budget exhaustion returns kDeadlineExceeded carrying the last
+  //    transport error.
+  // An infinite deadline degenerates to Call(timeout=0): one attempt,
+  // no retry loop (callers wanting bounded behavior pass a real
+  // deadline).
+  Result<std::vector<uint8_t>> CallWithDeadline(
+      const std::string& method, const std::vector<uint8_t>& payload,
+      Deadline deadline) EXCLUDES(mutex_, stats_mutex_);
+
+  template <typename ResponseT, typename RequestT>
+  Result<ResponseT> CallTypedDeadline(const std::string& method,
+                                      const RequestT& request,
+                                      Deadline deadline) {
+    wire::Writer w;
+    request.EncodeTo(w);
+    std::vector<uint8_t> bytes(w.data(), w.data() + w.size());
+    MDOS_ASSIGN_OR_RETURN(std::vector<uint8_t> reply,
+                          CallWithDeadline(method, bytes, deadline));
+    wire::Reader r(reply.data(), reply.size());
+    return ResponseT::DecodeFrom(r);
+  }
+
+  // Installs the (cluster-owned) fault injector for this channel's
+  // directed link. Requests consult self -> peer, responses peer ->
+  // self, so one-way partitions behave asymmetrically. Passing nullptr
+  // uninstalls.
+  void SetFaultInjector(net::FaultInjector* injector, uint32_t self_node,
+                        uint32_t peer_node) EXCLUDES(mutex_) {
+    MutexLock lock(mutex_);
+    fault_injector_ = injector;
+    self_node_ = self_node;
+    peer_node_ = peer_node;
+  }
+
   ChannelStats stats() const EXCLUDES(stats_mutex_);
   int64_t simulated_rtt_ns() const { return options_.simulated_rtt_ns; }
 
  private:
+  // One request/response exchange on the live socket. `timeout_ms`
+  // bounds the response wait (0 = none); `stamp_deadline_ms` is what
+  // goes into the envelope's deadline field.
+  Result<std::vector<uint8_t>> AttemptLocked(
+      const std::string& method, const std::vector<uint8_t>& payload,
+      uint64_t timeout_ms, uint64_t stamp_deadline_ms)
+      REQUIRES(mutex_) EXCLUDES(stats_mutex_);
   // Re-establishes the connection when the endpoint is known and the
   // backoff window has elapsed.
   Status RedialLocked() REQUIRES(mutex_);
@@ -140,6 +194,11 @@ class RpcChannel {
   // stats_mutex_ is never held across I/O.
   mutable Mutex stats_mutex_ ACQUIRED_AFTER(mutex_);
   ChannelStats stats_ GUARDED_BY(stats_mutex_);
+  // Optional fault injection under the transport (owned by the
+  // cluster/test harness, outlives the channel).
+  net::FaultInjector* fault_injector_ GUARDED_BY(mutex_) = nullptr;
+  uint32_t self_node_ GUARDED_BY(mutex_) = 0;
+  uint32_t peer_node_ GUARDED_BY(mutex_) = 0;
   // Per-channel scratch (guarded by mutex_ like the fd): the request
   // encoder and response frame reuse their capacity across calls, so a
   // steady-state channel issues zero allocations for the envelope.

@@ -20,6 +20,15 @@ Result<RpcRequest> RpcRequest::DecodeFrom(wire::Reader& r) {
   return req;
 }
 
+Result<RpcRequestView> RpcRequestView::DecodeFrom(wire::Reader& r) {
+  RpcRequestView view;
+  MDOS_ASSIGN_OR_RETURN(view.call_id, r.GetU64());
+  MDOS_ASSIGN_OR_RETURN(view.method, r.GetBytes());
+  MDOS_ASSIGN_OR_RETURN(view.deadline_ms, r.GetVarint());
+  MDOS_ASSIGN_OR_RETURN(view.payload, r.GetBytes());
+  return view;
+}
+
 void RpcResponse::EncodeTo(wire::Writer& w) const {
   w.PutU64(call_id);
   w.PutU8(static_cast<uint8_t>(code));
@@ -32,7 +41,7 @@ Result<RpcResponse> RpcResponse::DecodeFrom(wire::Reader& r) {
   RpcResponse resp;
   MDOS_ASSIGN_OR_RETURN(resp.call_id, r.GetU64());
   MDOS_ASSIGN_OR_RETURN(uint8_t code, r.GetU8());
-  if (code > static_cast<uint8_t>(StatusCode::kUnknown)) {
+  if (code > static_cast<uint8_t>(StatusCode::kDeadlineExceeded)) {
     return Status::ProtocolError("rpc: bad status code");
   }
   resp.code = static_cast<StatusCode>(code);

@@ -34,6 +34,21 @@ struct RpcRequest {
   static Result<RpcRequest> DecodeFrom(wire::Reader& r);
 };
 
+// Envelope-only view of a request: call_id, method, and deadline are
+// decoded but the payload is left in place as a view into the frame
+// buffer. The server uses this to shed expired work *before* paying for
+// the payload copy, and only materializes the bytes for requests it
+// will actually serve. The view borrows the frame buffer — it must not
+// outlive it.
+struct RpcRequestView {
+  uint64_t call_id = 0;
+  std::string_view method;
+  uint64_t deadline_ms = 0;
+  std::string_view payload;
+
+  static Result<RpcRequestView> DecodeFrom(wire::Reader& r);
+};
+
 struct RpcResponse {
   uint64_t call_id = 0;
   StatusCode code = StatusCode::kOk;

@@ -115,7 +115,10 @@ void RpcServer::HandleReadable(Conn& conn) {
   }
 
   // Serve every complete request frame in the batch; responses coalesce
-  // into the egress queue and leave in one gather write below.
+  // into the egress queue and leave in one gather write below. The
+  // arrival timestamp is shared by the whole batch: a request at the
+  // tail whose deadline budget is burned by the heads is shed.
+  const int64_t arrival_ns = MonotonicNanos();
   size_t offset = 0;
   Status parse = Status::OK();
   while (offset < conn.inbuf.size()) {
@@ -130,7 +133,7 @@ void RpcServer::HandleReadable(Conn& conn) {
       break;
     }
     offset += consumed;
-    parse = ServeRequest(conn, view.payload, view.size);
+    parse = ServeRequest(conn, view.payload, view.size, arrival_ns);
     if (!parse.ok()) break;
   }
   conn.inbuf.erase(conn.inbuf.begin(),
@@ -146,22 +149,56 @@ void RpcServer::HandleReadable(Conn& conn) {
 }
 
 Status RpcServer::ServeRequest(Conn& conn, const uint8_t* payload,
-                               size_t size) {
+                               size_t size, int64_t arrival_ns) {
+  // Envelope first: shedding must not pay for the payload copy.
   wire::Reader reader(payload, size);
-  auto request = RpcRequest::DecodeFrom(reader);
-  if (!request.ok()) return request.status();
+  auto view = RpcRequestView::DecodeFrom(reader);
+  if (!view.ok()) return view.status();
+
+  if (request_observer_) request_observer_(view->method, view->deadline_ms);
+
+  RpcResponse response;
+  response.call_id = view->call_id;
+
+  // Shed work whose end-to-end budget already lapsed while earlier
+  // requests in this batch held the service thread. deadline_ms is the
+  // budget remaining when the client sent the request; the server can
+  // only observe time elapsed since the frame arrived here (no cross-
+  // host clock sync), which is exactly the queueing delay it inflicted.
+  const uint64_t budget_ms = view->deadline_ms;
+  const bool has_deadline =
+      budget_ms > 0 && budget_ms < static_cast<uint64_t>(INT32_MAX);
+  if (has_deadline &&
+      MonotonicNanos() - arrival_ns >=
+          static_cast<int64_t>(budget_ms) * 1'000'000) {
+    response.code = StatusCode::kDeadlineExceeded;
+    response.error = "server shed '" + std::string(view->method) +
+                     "': deadline passed before dispatch";
+    wire::Writer writer;
+    writer.Adopt(conn.tx.AcquireBuffer());
+    response.EncodeTo(writer);
+    {
+      MutexLock lock(stats_mutex_);
+      ++stats_.calls;
+      ++stats_.errors;
+      ++stats_.shed;
+      stats_.bytes_in += size;
+      stats_.bytes_out += writer.size();
+    }
+    return conn.tx.Append(kResponseFrame, writer.TakeBuffer());
+  }
 
   int64_t delay = service_delay_ns_.load(std::memory_order_relaxed);
   if (delay > 0) SpinForNanos(delay);
 
-  RpcResponse response;
-  response.call_id = request->call_id;
-  auto it = handlers_.find(request->method);
+  auto it = handlers_.find(view->method);
   if (it == handlers_.end()) {
     response.code = StatusCode::kInvalid;
-    response.error = "unknown method: " + request->method;
+    response.error = "unknown method: " + std::string(view->method);
   } else {
-    auto result = it->second(request->payload);
+    // Materialize the payload only for requests actually served.
+    std::vector<uint8_t> body(view->payload.begin(), view->payload.end());
+    auto result = it->second(body);
     if (result.ok()) {
       response.payload = std::move(result).value();
     } else {

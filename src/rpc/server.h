@@ -23,6 +23,7 @@
 #include <map>
 #include <memory>
 #include <string>
+#include <string_view>
 #include <thread>
 #include <unordered_map>
 #include <vector>
@@ -43,6 +44,7 @@ using Handler =
 struct ServerStats {
   uint64_t calls = 0;
   uint64_t errors = 0;
+  uint64_t shed = 0;  // requests refused because their deadline passed
   uint64_t bytes_in = 0;
   uint64_t bytes_out = 0;
 };
@@ -71,6 +73,16 @@ class RpcServer {
   // store's handler-side work in latency studies. 0 = disabled.
   void set_service_delay_ns(int64_t ns) { service_delay_ns_.store(ns); }
 
+  // Test hook: observes every request envelope (method, stamped
+  // deadline budget in ms) before dispatch — the deadline tests use it
+  // to assert budget decrement across hops. Must be set before Start;
+  // runs on the service thread.
+  using RequestObserver =
+      std::function<void(std::string_view method, uint64_t deadline_ms)>;
+  void SetRequestObserver(RequestObserver observer) {
+    request_observer_ = std::move(observer);
+  }
+
  private:
   // One peer connection: receive scratch + egress queue (service thread
   // only).
@@ -86,13 +98,21 @@ class RpcServer {
   // Runs one decoded request frame and queues its response. A failure
   // means the connection is corrupt and must be dropped (by the caller —
   // never drops it itself, the batch loop still holds the Conn).
-  Status ServeRequest(Conn& conn, const uint8_t* payload, size_t size);
+  // `arrival_ns` is when the batch containing this frame was read off
+  // the socket: requests whose stamped deadline budget elapsed while
+  // earlier requests in the batch were being served are shed before
+  // their payload is materialized.
+  Status ServeRequest(Conn& conn, const uint8_t* payload, size_t size,
+                      int64_t arrival_ns);
   // Flushes the connection's egress queue, arming/disarming write
   // interest; drops the connection on error.
   void FlushConn(Conn& conn);
   void CloseConnection(int fd);
 
-  std::map<std::string, Handler> handlers_;
+  // Transparent comparator: dispatch looks up by the string_view from
+  // the envelope without materializing a key.
+  std::map<std::string, Handler, std::less<>> handlers_;
+  RequestObserver request_observer_;
   net::UniqueFd listen_fd_;
   uint16_t port_ = 0;
   std::thread thread_;

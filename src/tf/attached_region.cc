@@ -1,6 +1,8 @@
 #include "tf/attached_region.h"
 
+#include <chrono>
 #include <cstring>
+#include <thread>
 #include <vector>
 
 #include "common/clock.h"
@@ -12,7 +14,9 @@ AttachedRegion::AttachedRegion(NodeMemory* home, uint64_t base_offset,
                                uint64_t size, bool remote,
                                bool model_home_cache,
                                LatencyParams latency,
-                               RegionCounters* fabric_counters)
+                               RegionCounters* fabric_counters,
+                               net::FaultInjector* injector,
+                               uint32_t accessor_node)
     : home_(home),
       base_(home->data() + base_offset),
       base_offset_(base_offset),
@@ -20,7 +24,9 @@ AttachedRegion::AttachedRegion(NodeMemory* home, uint64_t base_offset,
       remote_(remote),
       model_home_cache_(model_home_cache),
       latency_(latency),
-      fabric_counters_(fabric_counters) {}
+      fabric_counters_(fabric_counters),
+      injector_(injector),
+      accessor_node_(accessor_node) {}
 
 AttachedRegion::AttachedRegion(const AttachedRegion& other)
     : home_(other.home_),
@@ -31,6 +37,8 @@ AttachedRegion::AttachedRegion(const AttachedRegion& other)
       model_home_cache_(other.model_home_cache_),
       latency_(other.latency_),
       fabric_counters_(other.fabric_counters_),
+      injector_(other.injector_),
+      accessor_node_(other.accessor_node_),
       stream_cursor_(other.stream_cursor_.load(std::memory_order_relaxed)) {
 }
 
@@ -44,6 +52,8 @@ AttachedRegion& AttachedRegion::operator=(const AttachedRegion& other) {
     model_home_cache_ = other.model_home_cache_;
     latency_ = other.latency_;
     fabric_counters_ = other.fabric_counters_;
+    injector_ = other.injector_;
+    accessor_node_ = other.accessor_node_;
     stream_cursor_.store(
         other.stream_cursor_.load(std::memory_order_relaxed),
         std::memory_order_relaxed);
@@ -59,9 +69,26 @@ Status AttachedRegion::CheckBounds(uint64_t offset, uint64_t size) const {
   return Status::OK();
 }
 
+Status AttachedRegion::ConsultInjector(uint64_t size) const {
+  if (injector_ == nullptr || !remote_) return Status::OK();
+  net::FaultInjector::Decision d =
+      injector_->Consult(accessor_node_, home_->id(), size);
+  if (d.delay_ns > 0) {
+    std::this_thread::sleep_for(std::chrono::nanoseconds(d.delay_ns));
+  }
+  if (d.drop) {
+    return Status::Unavailable("fabric link " +
+                               std::to_string(accessor_node_) + " -> " +
+                               std::to_string(home_->id()) +
+                               " is partitioned");
+  }
+  return Status::OK();
+}
+
 Status AttachedRegion::Read(uint64_t offset, void* dst,
                             uint64_t size) const {
   MDOS_RETURN_IF_ERROR(CheckBounds(offset, size));
+  MDOS_RETURN_IF_ERROR(ConsultInjector(size));
   const int64_t start = MonotonicNanos();
   // Sequential-stream detection: continuing (within the prefetch window)
   // where the last read ended skips the base access latency.
@@ -93,6 +120,7 @@ Status AttachedRegion::Read(uint64_t offset, void* dst,
 Status AttachedRegion::Write(uint64_t offset, const void* src,
                              uint64_t size) const {
   MDOS_RETURN_IF_ERROR(CheckBounds(offset, size));
+  MDOS_RETURN_IF_ERROR(ConsultInjector(size));
   const int64_t start = MonotonicNanos();
   if (remote_) {
     // Data is flushed to home DRAM but the home node's cached lines are

@@ -17,6 +17,7 @@
 #include <cstdint>
 
 #include "common/status.h"
+#include "net/fault_injector.h"
 #include "tf/latency_model.h"
 #include "tf/node_memory.h"
 
@@ -69,9 +70,17 @@ class AttachedRegion {
   friend class Fabric;
   AttachedRegion(NodeMemory* home, uint64_t base_offset, uint64_t size,
                  bool remote, bool model_home_cache, LatencyParams latency,
-                 RegionCounters* fabric_counters);
+                 RegionCounters* fabric_counters,
+                 net::FaultInjector* injector = nullptr,
+                 uint32_t accessor_node = 0);
 
   Status CheckBounds(uint64_t offset, uint64_t size) const;
+  // Chaos hook: remote accesses consult the cluster's fault injector
+  // (accessor -> home direction). A partitioned or dropped access fails
+  // with Unavailable — the mapped data plane's equivalent of a lost
+  // fabric link — and injected latency stalls the access like real
+  // congestion would.
+  Status ConsultInjector(uint64_t size) const;
 
   NodeMemory* home_ = nullptr;
   uint8_t* base_ = nullptr;      // home slab + region base offset
@@ -81,6 +90,10 @@ class AttachedRegion {
   bool model_home_cache_ = false;
   LatencyParams latency_;
   RegionCounters* fabric_counters_ = nullptr;  // owned by the Fabric
+  // Borrowed from the cluster (outlives every attachment); null when no
+  // fault injection is wired. Only consulted on remote accesses.
+  net::FaultInjector* injector_ = nullptr;
+  uint32_t accessor_node_ = 0;
 
   // Streaming detection (hardware prefetch model): a read that continues
   // within kPrefetchWindow bytes of where the previous read on this

@@ -72,7 +72,13 @@ Result<AttachedRegion> Fabric::Attach(NodeId accessor, RegionId region) {
   return AttachedRegion(
       nodes_[info.owner].get(), info.offset, info.size, remote,
       config_.model_home_cache, remote ? config_.remote : config_.local,
-      remote ? remote_counters_.get() : local_counters_.get());
+      remote ? remote_counters_.get() : local_counters_.get(), injector_,
+      accessor);
+}
+
+void Fabric::SetFaultInjector(net::FaultInjector* injector) {
+  MutexLock lock(mutex_);
+  injector_ = injector;
 }
 
 FabricStats Fabric::stats() const {

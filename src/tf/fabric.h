@@ -72,12 +72,19 @@ class Fabric {
   // accessor == owner.
   Result<AttachedRegion> Attach(NodeId accessor, RegionId region);
 
+  // Chaos hook: remote attachments handed out AFTER this call consult
+  // `injector` (accessor -> owner direction) on every access. Install
+  // before any store/client attaches — the injector stays quiet until a
+  // fault is set, so wiring it unconditionally costs nothing.
+  void SetFaultInjector(net::FaultInjector* injector);
+
   const FabricConfig& config() const { return config_; }
   FabricStats stats() const;
 
  private:
   FabricConfig config_;
   mutable Mutex mutex_;
+  net::FaultInjector* injector_ GUARDED_BY(mutex_) = nullptr;
   std::vector<std::unique_ptr<NodeMemory>> nodes_ GUARDED_BY(mutex_);
   std::vector<RegionInfo> regions_ GUARDED_BY(mutex_);
   // Stable addresses: AttachedRegion keeps raw pointers into these.

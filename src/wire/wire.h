@@ -172,15 +172,21 @@ class Reader {
 // order — the foundation of the pipelined client API. `request_id` 0 is
 // reserved for untagged traffic (server pushes such as notifications).
 struct MessageHeader {
-  static constexpr size_t kWireSize = 8;
-
   uint64_t request_id = 0;
+  // Remaining end-to-end budget (ms) when the message was sent; 0 = no
+  // deadline. Servers compare it against locally observed queueing time
+  // and shed expired work (see docs/protocol.md).
+  uint64_t deadline_ms = 0;
 
-  void EncodeTo(Writer& w) const { w.PutU64(request_id); }
+  void EncodeTo(Writer& w) const {
+    w.PutU64(request_id);
+    w.PutVarint(deadline_ms);
+  }
   static Result<MessageHeader> DecodeFrom(Reader& r) {
-    auto id = r.GetU64();
-    if (!id.ok()) return id.status();
-    return MessageHeader{id.value()};
+    MessageHeader h;
+    MDOS_ASSIGN_OR_RETURN(h.request_id, r.GetU64());
+    MDOS_ASSIGN_OR_RETURN(h.deadline_ms, r.GetVarint());
+    return h;
   }
 };
 

@@ -10,7 +10,9 @@
 #include <vector>
 
 #include "cluster/cluster.h"
+#include "common/clock.h"
 #include "common/crc32.h"
+#include "common/deadline.h"
 #include "common/rng.h"
 #include "dist/remote_registry.h"
 #include "net/frame.h"
@@ -192,12 +194,16 @@ TEST(DistFailureTest, AddPeerToClosedPortFails) {
 // ---- deterministic chaos schedule ------------------------------------------
 //
 // A seeded interleaving driver over a 3-node replication_factor=2
-// cluster: every step (create / get / delete / kill / restart) is drawn
-// from a SplitMix64 stream, so a failing run is reproduced exactly by
-// re-running its seed. The seed is printed on entry in a rerun-ready
-// form; the invariant is the PR's acceptance bar — a schedule full of
-// kills loses ZERO sealed (undeleted) objects, and after the dust
-// settles every object is back at full copy count.
+// cluster: every step (create / get / delete / kill / restart /
+// partition / slow-link / heal) is drawn from a SplitMix64 stream, so a
+// failing run is reproduced exactly by re-running its seed. The network
+// faults route through the cluster's seeded FaultInjector (same
+// determinism). The seed is printed on entry in a rerun-ready form; the
+// invariants are the PR's acceptance bars — a schedule full of kills
+// and partitions loses ZERO sealed (undeleted) objects, every
+// deadline-carrying operation returns (success or typed error) within
+// its budget instead of hanging, and after the dust settles every
+// object is back at full copy count.
 
 class ChaosScheduleDriver {
  public:
@@ -235,7 +241,7 @@ class ChaosScheduleDriver {
 
     for (int step = 0; step < steps; ++step) {
       SCOPED_TRACE("chaos step=" + std::to_string(step));
-      switch (rng_.NextBelow(10)) {
+      switch (rng_.NextBelow(13)) {
         case 0:
         case 1:
         case 2:
@@ -253,8 +259,17 @@ class ChaosScheduleDriver {
         case 8:
           StepKill();
           break;
-        default:
+        case 9:
           StepRestart();
+          break;
+        case 10:
+          StepNetworkFault();
+          break;
+        case 11:
+          StepSlowLink();
+          break;
+        default:
+          StepHealLinks();
           break;
       }
       if (::testing::Test::HasFatalFailure()) return;
@@ -300,19 +315,37 @@ class ChaosScheduleDriver {
     return live[rng_.NextBelow(live.size())];
   }
 
+  // Wall-clock bound for a deadline-carrying call: the budget, plus the
+  // client shim's slack, plus generous scheduling headroom (sanitizer
+  // builds run several times slower). A call exceeding this has hung —
+  // exactly what the deadline layer exists to prevent.
+  static constexpr int64_t kOpBudgetMs = 2000;
+  static constexpr int64_t kHangMs = 20000;
+
   void StepCreate() {
     TrackedObject object;
     object.creator = RandomAliveNode();
     object.creator_epoch = epoch_[object.creator];
-    object.payload_seed = seed_ * 1000003 + objects_.size();
+    // Name from a counter that advances on FAILED creates too: a
+    // deadline-exceeded create may still have committed in the store
+    // (the budget ran out after the seal applied), so reusing the name
+    // would draw AlreadyExists forever.
+    const uint64_t sequence = create_attempts_++;
+    object.payload_seed = seed_ * 1000003 + sequence;
     object.size = (32 << 10) + rng_.NextBelow(64 << 10);
     object.id = ObjectId::FromName("chaos-" + std::to_string(seed_) +
-                                   "-" + std::to_string(objects_.size()));
+                                   "-" + std::to_string(sequence));
+    Stopwatch sw;
     Status put = clients_[object.creator]->CreateAndSeal(
         object.id,
-        testutil::RandomPayload(object.payload_seed, object.size));
-    // Creates during a peer's death window may transiently fail; only a
-    // successful seal enters the zero-loss contract.
+        testutil::RandomPayload(object.payload_seed, object.size),
+        /*metadata=*/{}, /*replicate=*/false,
+        Deadline::AfterMs(kOpBudgetMs));
+    EXPECT_LT(sw.ElapsedMillis(), kHangMs)
+        << "create hung past its deadline";
+    // Creates during a peer's death window or partition may transiently
+    // fail (typed error); only a successful seal enters the zero-loss
+    // contract.
     if (put.ok()) objects_.push_back(object);
   }
 
@@ -320,8 +353,12 @@ class ChaosScheduleDriver {
     TrackedObject* object = RandomLiveObject();
     if (object == nullptr) return;
     size_t reader = RandomAliveNode();
-    auto buffer = clients_[reader]->Get(object->id, /*timeout_ms=*/300);
-    // Transient failure mid-kill is legal; serving WRONG bytes never is.
+    Stopwatch sw;
+    auto buffer = clients_[reader]->Get(object->id, /*timeout_ms=*/300,
+                                        Deadline::AfterMs(kOpBudgetMs));
+    EXPECT_LT(sw.ElapsedMillis(), kHangMs) << "get hung past its deadline";
+    // Transient failure mid-kill or mid-partition is legal (typed
+    // error); serving WRONG bytes never is.
     if (!buffer.ok()) return;
     auto crc = buffer->ChecksumData();
     if (crc.ok()) {
@@ -348,10 +385,46 @@ class ChaosScheduleDriver {
     }
   }
 
+  // Installs a random partition between two distinct nodes: full
+  // two-way, or asymmetric (one direction only — the gray failure the
+  // hedging layer exists for).
+  void StepNetworkFault() {
+    size_t a = rng_.NextBelow(kNodes);
+    size_t b = (a + 1 + rng_.NextBelow(kNodes - 1)) % kNodes;
+    if (rng_.NextBelow(2) == 0) {
+      ASSERT_TRUE(cluster_->PartitionLink(a, b).ok());
+    } else {
+      ASSERT_TRUE(cluster_->PartitionOneWay(a, b).ok());
+    }
+    faults_installed_ = true;
+  }
+
+  // Degrades a link without cutting it: latency + jitter, the
+  // slow-but-alive profile that must not stall deadline-carrying ops.
+  void StepSlowLink() {
+    size_t a = rng_.NextBelow(kNodes);
+    size_t b = (a + 1 + rng_.NextBelow(kNodes - 1)) % kNodes;
+    ASSERT_TRUE(cluster_
+                    ->SlowLink(a, b, /*latency_ms=*/5 + rng_.NextBelow(20),
+                               /*jitter_ms=*/rng_.NextBelow(10))
+                    .ok());
+    faults_installed_ = true;
+  }
+
+  void StepHealLinks() {
+    cluster_->HealAllLinks();
+    faults_installed_ = false;
+  }
+
   void StepKill() {
     for (size_t i = 0; i < kNodes; ++i) {
       if (!alive_[i]) return;  // at most one corpse at a time
     }
+    // Kills happen on a healthy network: a partitioned mesh can't
+    // converge, and the zero-loss contract requires convergence (every
+    // object at k=2) before a death. Partition-during-death coverage
+    // comes from schedules where the fault lands after the kill step.
+    if (faults_installed_) StepHealLinks();
     // Kill only from a converged state: with every sealed object at
     // k=2, one death can never make a copy count hit zero.
     if (!testutil::WaitUntil(
@@ -380,6 +453,10 @@ class ChaosScheduleDriver {
   }
 
   void StepRestart() {
+    // Re-admission needs working heartbeats in both directions; a
+    // partitioned mesh would turn the wait below into a guaranteed
+    // timeout.
+    if (faults_installed_) StepHealLinks();
     for (size_t i = 0; i < kNodes; ++i) {
       if (alive_[i]) continue;
       ASSERT_TRUE(cluster_->RestartNode(i).ok());
@@ -401,8 +478,9 @@ class ChaosScheduleDriver {
     }
   }
 
-  // Bring every node back and drain all re-heal work.
+  // Heal the network, bring every node back, and drain all re-heal work.
   void Quiesce() {
+    StepHealLinks();
     StepRestart();
     ASSERT_TRUE(testutil::WaitUntil(
         [&] { return testutil::ReplicationConverged(*cluster_); },
@@ -437,6 +515,8 @@ class ChaosScheduleDriver {
   SplitMix64 rng_;
   cluster::Cluster* cluster_ = nullptr;
   std::unique_ptr<plasma::PlasmaClient> clients_[kNodes];
+  bool faults_installed_ = false;
+  uint64_t create_attempts_ = 0;
   bool alive_[kNodes] = {};
   uint64_t epoch_[kNodes] = {};
   std::vector<TrackedObject> objects_;

@@ -10,7 +10,9 @@
 
 #include <unistd.h>
 
+#include <algorithm>
 #include <chrono>
+#include <cstdlib>
 #include <memory>
 #include <string>
 #include <thread>
@@ -26,14 +28,34 @@
 
 namespace mdos::testutil {
 
+// Default WaitUntil timeout. Overridable via MDOS_TEST_TIMEOUT_MS so a
+// sanitizer job (where everything runs several times slower) can raise
+// every polling deadline in one place instead of patching call sites.
+inline int DefaultWaitTimeoutMs() {
+  static const int timeout_ms = [] {
+    if (const char* env = std::getenv("MDOS_TEST_TIMEOUT_MS")) {
+      const int parsed = std::atoi(env);
+      if (parsed > 0) return parsed;
+    }
+    return 5000;
+  }();
+  return timeout_ms;
+}
+
 // Polls `pred` (expensive: RPCs, locks) until it holds or `timeout_ms`
-// elapses. Returns whether the predicate held.
+// elapses (-1 = DefaultWaitTimeoutMs). Backs off exponentially from
+// 100 µs to 10 ms so a fast-converging predicate is noticed almost
+// immediately while a slow one doesn't get hammered with RPCs. Returns
+// whether the predicate held.
 template <typename Pred>
-bool WaitUntil(Pred pred, int timeout_ms = 5000) {
+bool WaitUntil(Pred pred, int timeout_ms = -1) {
+  if (timeout_ms < 0) timeout_ms = DefaultWaitTimeoutMs();
   Stopwatch sw;
+  int64_t sleep_us = 100;
   while (sw.ElapsedMillis() < timeout_ms) {
     if (pred()) return true;
-    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    std::this_thread::sleep_for(std::chrono::microseconds(sleep_us));
+    sleep_us = std::min<int64_t>(sleep_us * 2, 10000);
   }
   return pred();
 }

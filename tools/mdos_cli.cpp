@@ -6,6 +6,7 @@
 //   mdos_cli -s /tmp/mdos.sock delete <name>
 //   mdos_cli -s /tmp/mdos.sock list
 //   mdos_cli -s /tmp/mdos.sock stats
+//   mdos_cli -s /tmp/mdos.sock health
 //   mdos_cli -s /tmp/mdos.sock watch [count]
 //
 // Object names are hashed to deterministic 20-byte ids with
@@ -235,6 +236,67 @@ int CmdStats(plasma::PlasmaClient& client) {
   return 0;
 }
 
+// Gray-failure triage view (see docs/operations.md): the deadline and
+// hedging counters say whether the store is shedding expired work and
+// routing around a slow replica, the per-peer table pairs each peer's
+// health state with its smoothed call latency (the signal the hedging
+// delay and replica ranking derive from), and the re-heal counters show
+// whether the replication repair queue is keeping up or saturating.
+int CmdHealth(plasma::PlasmaClient& client) {
+  auto stats = client.Stats();
+  if (!stats.ok()) return Fail(stats.status());
+  std::printf("peers:               %llu (%llu healthy, %llu suspect, "
+              "%llu dead)\n",
+              static_cast<unsigned long long>(stats->peers_total),
+              static_cast<unsigned long long>(stats->peers_healthy),
+              static_cast<unsigned long long>(stats->peers_suspect),
+              static_cast<unsigned long long>(stats->peers_dead));
+  std::printf("deadline_exceeded:   %llu\n",
+              static_cast<unsigned long long>(stats->deadline_exceeded));
+  std::printf("hedged_reads:        %llu\n",
+              static_cast<unsigned long long>(stats->hedged_reads));
+  std::printf("hedge_wins:          %llu\n",
+              static_cast<unsigned long long>(stats->hedge_wins));
+  std::printf("hedge_budget_denied: %llu\n",
+              static_cast<unsigned long long>(stats->hedge_budget_denied));
+  std::printf("under_replicated:    %llu\n",
+              static_cast<unsigned long long>(stats->under_replicated));
+  std::printf("reheal_queue_depth:  %llu\n",
+              static_cast<unsigned long long>(stats->reheal_queue_depth));
+  std::printf("reheal_deduped:      %llu\n",
+              static_cast<unsigned long long>(stats->reheal_deduped));
+  std::printf("reheal_dropped:      %llu\n",
+              static_cast<unsigned long long>(stats->reheal_dropped));
+
+  auto peers = client.PeerStats();
+  if (!peers.ok()) return Fail(peers.status());
+  if (peers->empty()) {
+    std::printf("(no peers)\n");
+    return 0;
+  }
+  std::printf("\n%-8s %-9s %-12s %-8s %-9s %-11s %-12s\n", "peer", "state",
+              "ewma_lat_us", "streak", "failed", "reconnects",
+              "ms_since_ok");
+  static const char* kStateNames[] = {"healthy", "suspect", "dead"};
+  for (const auto& p : *peers) {
+    const char* state = p.state < 3 ? kStateNames[p.state] : "?";
+    char latency[24];
+    if (p.ewma_latency_us < 0) {
+      std::snprintf(latency, sizeof(latency), "-");
+    } else {
+      std::snprintf(latency, sizeof(latency), "%lld",
+                    static_cast<long long>(p.ewma_latency_us));
+    }
+    std::printf("%-8u %-9s %-12s %-8llu %-9llu %-11llu %-12lld\n",
+                p.node_id, state, latency,
+                static_cast<unsigned long long>(p.failure_streak),
+                static_cast<unsigned long long>(p.failed_rpcs),
+                static_cast<unsigned long long>(p.reconnects),
+                static_cast<long long>(p.ms_since_ok));
+  }
+  return 0;
+}
+
 int CmdWatch(const std::string& socket_path, int argc, char** argv) {
   int count = argc >= 1 ? std::atoi(argv[0]) : 10;
   auto listener =
@@ -265,7 +327,8 @@ int main(int argc, char** argv) {
   if (socket_path.empty() || arg >= argc) {
     std::fprintf(stderr,
                  "usage: %s -s <socket> "
-                 "put|get|contains|delete|list|stats|watch [args...]\n",
+                 "put|get|contains|delete|list|stats|health|watch "
+                 "[args...]\n",
                  argv[0]);
     return 2;
   }
@@ -287,6 +350,7 @@ int main(int argc, char** argv) {
   }
   if (command == "list") return CmdList(**client);
   if (command == "stats") return CmdStats(**client);
+  if (command == "health") return CmdHealth(**client);
   std::fprintf(stderr, "unknown command: %s\n", command.c_str());
   return 2;
 }

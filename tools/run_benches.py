@@ -31,6 +31,7 @@ DEFAULT_BENCHES = [
     "bench_fig6_retrieval_latency",
     "bench_scaleout_vs_disagg",
     "bench_replication",
+    "bench_hedged_read",
 ]
 # Quick-mode knobs: enough work for stable numbers, short enough for CI.
 BENCH_ENV = {
@@ -41,6 +42,9 @@ BENCH_ENV = {
     "bench_fig6_retrieval_latency": {"MDOS_REPS": "6"},
     "bench_scaleout_vs_disagg": {"MDOS_REPS": "6"},
     "bench_replication": {"MDOS_REPS": "6"},
+    # Each episode boots a fresh 3-node cluster (cold health ranking);
+    # 2*reps episodes per phase keeps the p99 meaningful but quick.
+    "bench_hedged_read": {"MDOS_REPS": "8"},
 }
 
 
