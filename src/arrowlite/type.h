@@ -46,7 +46,9 @@ class Schema {
   // Index of the field named `name`, or -1.
   int FieldIndex(std::string_view name) const;
 
-  bool Equals(const Schema& other) const { return fields_ == other.fields_; }
+  [[nodiscard]] bool Equals(const Schema& other) const {
+    return fields_ == other.fields_;
+  }
   std::string ToString() const;
 
   void EncodeTo(wire::Writer& w) const;

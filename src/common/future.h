@@ -50,7 +50,7 @@ class Future {
 
   bool valid() const { return state_ != nullptr; }
 
-  bool Ready() const {
+  [[nodiscard]] bool Ready() const {
     std::lock_guard<std::mutex> lock(state_->mutex);
     return state_->value.has_value();
   }

@@ -16,7 +16,7 @@ LogLevel GetLogLevel();
 
 namespace internal {
 
-bool LogEnabled(LogLevel level);
+[[nodiscard]] bool LogEnabled(LogLevel level);
 void LogEmit(LogLevel level, const std::string& message);
 
 // Collects one log statement's stream and emits it on destruction.

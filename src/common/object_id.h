@@ -43,7 +43,7 @@ class ObjectId {
   }
   std::string Hex() const;
 
-  bool IsNil() const;
+  [[nodiscard]] bool IsNil() const;
 
   bool operator==(const ObjectId& o) const { return bytes_ == o.bytes_; }
   bool operator!=(const ObjectId& o) const { return bytes_ != o.bytes_; }

@@ -72,7 +72,7 @@ class [[nodiscard]] Status {
   StatusCode code() const { return code_; }
   const std::string& message() const { return message_; }
 
-  bool Is(StatusCode code) const { return code_ == code; }
+  [[nodiscard]] bool Is(StatusCode code) const { return code_ == code; }
 
   // "<CodeName>: <message>" or "OK".
   std::string ToString() const;
@@ -123,6 +123,15 @@ class [[nodiscard]] Result {
   std::variant<T, Status> value_;
 };
 
+namespace internal {
+
+// Uniform access to the Status of either a Status or a Result<T>, so
+// MDOS_WARN_IF_ERROR accepts both.
+inline const Status& GenericStatus(const Status& s) { return s; }
+template <typename T>
+inline Status GenericStatus(const Result<T>& r) { return r.status(); }
+
+}  // namespace internal
 }  // namespace mdos
 
 // Propagate a non-OK Status from an expression.
@@ -145,3 +154,17 @@ class [[nodiscard]] Result {
 
 #define MDOS_CONCAT_(a, b) MDOS_CONCAT_IMPL_(a, b)
 #define MDOS_CONCAT_IMPL_(a, b) a##b
+
+// Best-effort call whose failure must not abort the surrounding path
+// (teardown, eviction, cleanup) but must not vanish either: logs a
+// warning with `context` on a non-OK Status/Result. Prefer this over a
+// bare `(void)` cast — the tools/mdos_check status-discipline checker
+// flags the latter. Requires common/log.h at the point of use.
+#define MDOS_WARN_IF_ERROR(expr, context)                                \
+  do {                                                                   \
+    auto&& _mdos_wie = (expr);                                           \
+    if (!_mdos_wie.ok()) {                                               \
+      MDOS_LOG_WARN << (context) << ": "                                 \
+                    << ::mdos::internal::GenericStatus(_mdos_wie);       \
+    }                                                                    \
+  } while (0)

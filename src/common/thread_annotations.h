@@ -81,3 +81,20 @@
 // comment explaining why the contract cannot be expressed.
 #define NO_THREAD_SAFETY_ANALYSIS \
   MDOS_THREAD_ANNOTATION__(no_thread_safety_analysis)
+
+// Marks a function as running on an event-loop thread: a shard loop,
+// a Poller readable/writable callback, a TxQueue flush path. Blocking
+// inside one stalls every client homed on that loop, so
+// tools/mdos_check/check_blocking.py walks the call graph from every
+// function carrying this annotation and rejects reachable blocking
+// calls (sleeps, raw poll/select, blocking connect, RpcChannel::Call*,
+// CondVar waits, the *All/Frame stream helpers). Not a Clang capability
+// attribute: under Clang it expands to a plain `annotate` so the
+// contract also lands in the IR; elsewhere it is a no-op marker the
+// checker reads lexically.
+#if defined(__clang__)
+#define MDOS_EVENT_LOOP_CONTEXT \
+  __attribute__((annotate("mdos_event_loop_context")))
+#else
+#define MDOS_EVENT_LOOP_CONTEXT  // lexical marker for mdos-check
+#endif

@@ -189,7 +189,8 @@ class RemoteStoreRegistry : public plasma::DistHooks {
 
   std::vector<std::optional<plasma::RemoteObjectLocation>> LookupRemote(
       const std::vector<ObjectId>& ids, Deadline deadline) override;
-  bool IdKnownRemotely(const ObjectId& id, Deadline deadline) override;
+  [[nodiscard]] bool IdKnownRemotely(const ObjectId& id,
+                                     Deadline deadline) override;
   Status PinRemote(const ObjectId& id,
                    const plasma::RemoteObjectLocation& loc,
                    Deadline deadline) override;
@@ -206,7 +207,7 @@ class RemoteStoreRegistry : public plasma::DistHooks {
       const std::vector<ObjectId>& ids) {
     return LookupRemote(ids, Deadline::Infinite());
   }
-  bool IdKnownRemotely(const ObjectId& id) {
+  [[nodiscard]] bool IdKnownRemotely(const ObjectId& id) {
     return IdKnownRemotely(id, Deadline::Infinite());
   }
   Status PinRemote(const ObjectId& id,

@@ -30,7 +30,7 @@ class UsageTracker {
                  const plasma::RemoteObjectLocation& loc);
 
   // False when no pin is outstanding for `id` (unbalanced unpin).
-  bool RecordUnpin(const ObjectId& id);
+  [[nodiscard]] bool RecordUnpin(const ObjectId& id);
 
   // Forgets every pin homed on `node` (peer declared dead: there is no
   // remote state left to release). Returns the number of pins dropped.

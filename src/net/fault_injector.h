@@ -69,7 +69,7 @@ class FaultInjector {
   };
   Decision Consult(uint32_t src, uint32_t dst, uint64_t bytes);
 
-  bool HasFault(uint32_t src, uint32_t dst) const;
+  [[nodiscard]] bool HasFault(uint32_t src, uint32_t dst) const;
 
   FaultInjectorStats stats() const;
 

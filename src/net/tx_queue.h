@@ -24,6 +24,7 @@
 #include <vector>
 
 #include "common/status.h"
+#include "common/thread_annotations.h"
 #include "net/frame.h"
 
 namespace mdos::net {
@@ -57,8 +58,9 @@ class TxQueue {
   // Gather-writes queued frames until the queue drains or the socket
   // stops accepting bytes. `fd` must be O_NONBLOCK (EAGAIN is the
   // backpressure signal). Errors (EPIPE, ECONNRESET, ...) surface as a
-  // failed Status — the owner drops the connection.
-  Result<FlushState> Flush(int fd);
+  // failed Status — the owner drops the connection. Runs on the owning
+  // event loop, hence must itself never block.
+  MDOS_EVENT_LOOP_CONTEXT Result<FlushState> Flush(int fd);
 
   bool empty() const { return slots_.empty(); }
   size_t pending_bytes() const { return pending_bytes_; }

@@ -70,6 +70,7 @@ Result<std::unique_ptr<AsyncClient>> AsyncClient::Connect(
   return client;
 }
 
+// mdos-check: allow-discard(a destructor has no error channel; Disconnect on an already-closed client reports NotConnected, which is exactly this path)
 AsyncClient::~AsyncClient() { (void)Disconnect(); }
 
 Status AsyncClient::Disconnect() {
@@ -93,6 +94,7 @@ Status AsyncClient::Disconnect() {
     MutexLock lock(send_mutex_);
     if (fd_.valid()) {
       ListRequest dummy;  // DisconnectRequest carries no payload
+      // mdos-check: allow-discard(courtesy notice so the store drops us promptly; if the store is already gone the shutdown below cleans up the same way)
       (void)SendMessage(fd_.get(), MessageType::kDisconnectRequest,
                         kNoRequestId, dummy);
       // Wakes the reply-dispatch thread out of its blocking read; it
@@ -453,7 +455,8 @@ Status AsyncClient::RefetchMapped(const ObjectBuffer& stale) {
   // One Release retires the dead mapped reference — the store consumes
   // mapped refs before pinned ones — leaving exactly the new pin for the
   // caller's eventual Release. This holds on the error path below too.
-  (void)ReleaseAsync(stale.id_).Take();
+  MDOS_WARN_IF_ERROR(ReleaseAsync(stale.id_).Take(),
+                     "retiring stale mapped reference during refetch");
   if (fresh.data_size_ != stale.data_size_ ||
       fresh.metadata_size_ != stale.metadata_size_) {
     // The id was re-created with a different shape; offsets the caller

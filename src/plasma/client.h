@@ -116,7 +116,7 @@ class ObjectBuffer {
   // Seqlock read side: true when the generation (and table epoch) still
   // match the descriptor after a completed copy, i.e. no destructive
   // transition overlapped it. Only called when gen_ is set.
-  bool GenerationIntact() const;
+  [[nodiscard]] bool GenerationIntact() const;
   // Generation mismatch: retire the mapped descriptor and swap in a
   // pinned buffer from the owning client (clears gen_), so the caller's
   // read can be retried against stable bytes.

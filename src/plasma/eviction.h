@@ -54,7 +54,7 @@ class EvictionPolicy {
   // Removes an object from consideration (deleted or evicted).
   void Remove(const ObjectId& id);
 
-  bool Contains(const ObjectId& id) const;
+  [[nodiscard]] bool Contains(const ObjectId& id) const;
   size_t size() const { return index_.size(); }
 
   // Returns candidate victims in LRU-first order whose cumulative size

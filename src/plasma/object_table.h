@@ -73,11 +73,11 @@ class ObjectTable {
   // Registers a freshly created (unsealed) object.
   Status AddCreated(const ObjectEntry& entry);
 
-  bool Contains(const ObjectId& id) const;
+  [[nodiscard]] bool Contains(const ObjectId& id) const;
   // True for kSealed and kSpilled: both are immutable and retrievable
   // here; residency (pool vs spill file) is a tier detail callers that
   // only ask about availability should not see.
-  bool ContainsSealed(const ObjectId& id) const;
+  [[nodiscard]] bool ContainsSealed(const ObjectId& id) const;
 
   // Copy-out lookup; KeyError when absent.
   Result<ObjectEntry> Lookup(const ObjectId& id) const;

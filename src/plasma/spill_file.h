@@ -93,7 +93,7 @@ class SpillFile {
 
   // True when freed capacity justifies rewriting the file (the owner
   // should call Compact under its shard mutex).
-  bool ShouldCompact() const;
+  [[nodiscard]] bool ShouldCompact() const;
 
   // Rewrites live records packed into `path() + ".compact"`, renames it
   // over the segment, and reports each surviving record's new offset.

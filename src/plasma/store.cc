@@ -390,7 +390,8 @@ void Store::AcceptPending() {
     // backpressure signal, so a client that stops draining its socket
     // queues bytes (up to max_egress_queue_bytes) instead of parking the
     // shard in write(2).
-    (void)net::SetNonBlocking(fd);
+    MDOS_WARN_IF_ERROR(net::SetNonBlocking(fd),
+                       "marking accepted client socket non-blocking");
     auto conn = std::make_shared<ClientConn>();
     conn->fd = std::move(conn_fd);
 
@@ -595,6 +596,7 @@ void Store::DropClient(Shard& shard, int fd) {
   // Best-effort final flush: replies queued earlier in this batch still
   // reach a client being dropped for a later protocol violation (and
   // their counters are folded into the shard stats before teardown).
+  // mdos-check: allow-discard(final courtesy flush to a client already being dropped; its socket may be gone, and either way the fd closes next)
   if (!conn->tx.empty()) (void)conn->tx.Flush(fd);
   AccumulateTxStats(shard, *conn);
   shard.clients.erase(it);
@@ -625,6 +627,7 @@ void Store::DropClient(Shard& shard, int fd) {
     MutexLock lock(owner.mutex);
     for (const auto& [id, count] : pins_by_shard[s]) {
       for (uint32_t i = 0; i < count; ++i) {
+        // mdos-check: allow-discard(the object may have been deleted while this client still held a pin; KeyError here is the normal race)
         (void)owner.table.ReleaseRef(id);
       }
     }
@@ -632,7 +635,8 @@ void Store::DropClient(Shard& shard, int fd) {
     for (const ObjectId& id : owner.table.UnsealedCreatedBy(fd)) {
       auto removed = owner.table.Remove(id, /*force=*/true);
       if (removed.ok()) {
-        (void)owner.arena->Free(removed->offset);
+        MDOS_WARN_IF_ERROR(owner.arena->Free(removed->offset),
+                           "freeing aborted object of disconnecting client");
       }
     }
   }
@@ -646,6 +650,7 @@ void Store::DropClient(Shard& shard, int fd) {
   // RPC outside any shard mutex (see HandleCreate for the rationale).
   if (dist_hooks_ != nullptr && options_.pin_remote_objects) {
     for (const auto& [id, loc] : remote_unpins) {
+      // mdos-check: allow-blocking(DistHooks peer RPC, deadline-bounded; making the unpin path async is tracked in ROADMAP)
       dist_hooks_->UnpinRemote(id, loc);
     }
   }
@@ -673,6 +678,7 @@ void Store::HandleConnect(Shard& home, ClientConn& conn,
   // stream order, so the handshake (once per connection, a ~100-byte
   // frame into an empty socket buffer) flushes the queue synchronously.
   QueueReply(home, conn, MessageType::kConnectReply, request_id, reply);
+  // mdos-check: allow-blocking(handshake-only ordered flush: the SCM_RIGHTS fd pass must trail the reply bytes in stream order; once per connection, 5 s cap)
   if (!FlushConnBlocking(home, conn, /*timeout_ms=*/5000).ok()) {
     DropClient(home, fd);
     return;
@@ -747,6 +753,7 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
               // Peers must stop reading the stale pool offset; their
               // look-ups fall back to RPC, which restores on demand.
               MutexLock index_lock(index_mutex_);
+              // mdos-check: allow-discard(objects the index never admitted produce KeyError here; the withdrawal only has to hold for indexed ones)
               (void)shared_index_->Remove(victim);
             }
             // Index withdrawal, then bump, then free: a mapped reader
@@ -754,14 +761,16 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
             // copying, so the bump must land before the bytes can be
             // reused by a later allocation.
             BumpGeneration(victim);
-            (void)owner.arena->Free(entry->offset);
+            MDOS_WARN_IF_ERROR(owner.arena->Free(entry->offset),
+                               "freeing pool bytes of spilled victim");
             owner.eviction.Remove(victim);
             ++owner.spill_count;
             freed_any = true;
             continue;
           }
           if (spilled_at.ok()) {
-            (void)owner.spill->Free(*spilled_at);
+            MDOS_WARN_IF_ERROR(owner.spill->Free(*spilled_at),
+                               "releasing spill slot of aborted demotion");
           } else {
             MDOS_LOG_WARN << "spill of " << victim.Hex()
                           << " failed: " << spilled_at.status()
@@ -781,11 +790,13 @@ Result<alloc::Allocation> Store::AllocateWithEviction(Shard& owner,
       if (!removed.ok()) continue;  // raced with a new pin; skip
       if (shared_index_ != nullptr) {
         MutexLock index_lock(index_mutex_);
+        // mdos-check: allow-discard(objects the index never admitted produce KeyError here; the withdrawal only has to hold for indexed ones)
         (void)shared_index_->Remove(victim);
       }
       // Same ordering as the spill path: bump before the bytes free.
       BumpGeneration(victim);
-      (void)owner.arena->Free(removed->offset);
+      MDOS_WARN_IF_ERROR(owner.arena->Free(removed->offset),
+                         "freeing pool bytes of evicted victim");
       owner.eviction.Remove(victim);
       owner.remote_pins.erase(victim);
       ++owner.eviction_count;
@@ -818,15 +829,20 @@ Result<ObjectEntry> Store::RestoreSpilled(Shard& owner,
     // The record is unreadable (CRC mismatch / I/O error): the object is
     // gone. Drop the entry so callers see a clean miss instead of
     // retrying a poisoned restore forever.
-    (void)owner.arena->Free(allocation.offset);
-    (void)owner.spill->Free(entry.spill_offset);
+    MDOS_WARN_IF_ERROR(owner.arena->Free(allocation.offset),
+                       "freeing pool bytes of failed restore");
+    MDOS_WARN_IF_ERROR(owner.spill->Free(entry.spill_offset),
+                       "freeing spill slot of failed restore");
+    // mdos-check: allow-discard(removing the poisoned record; the entry was just looked up, and the error line below reports the restore failure)
     (void)owner.table.Remove(id, /*force=*/true);
     MDOS_LOG_ERROR << "restore of spilled object " << id.Hex()
                    << " failed: " << read;
     return read;
   }
+  // mdos-check: allow-discard(the entry was looked up moments ago under this same lock; a concurrent force-remove is the only failure and leaves nothing to fix)
   (void)owner.table.MarkRestored(id, allocation.offset);
-  (void)owner.spill->Free(entry.spill_offset);
+  MDOS_WARN_IF_ERROR(owner.spill->Free(entry.spill_offset),
+                     "freeing spill slot after restore");
   owner.eviction.Add(id, entry.total_size());
   ++owner.restore_count;
   // The restore rebinds the id to a fresh pool offset: descriptors
@@ -834,6 +850,7 @@ Result<ObjectEntry> Store::RestoreSpilled(Shard& owner,
   BumpGeneration(id);
   if (shared_index_ != nullptr) {
     MutexLock index_lock(index_mutex_);
+    // mdos-check: allow-discard(a full index is an expected steady state: readers fall back to the RPC path and the miss is visible in SharedIndexStats)
     (void)shared_index_->Insert(
         id, IndexedObject{allocation.offset, entry.data_size,
                           entry.metadata_size});
@@ -847,6 +864,7 @@ void Store::MaybeCompactSpill(Shard& owner) {
   Status compacted =
       owner.spill->Compact([&owner](const ObjectId& id, uint64_t offset) {
         owner.mutex.AssertHeld();  // called synchronously under the lock
+        // mdos-check: allow-discard(an id deleted mid-compaction has no record to retarget; its old slot is reclaimed by the compaction itself)
         (void)owner.table.UpdateSpillOffset(id, offset);
       });
   if (!compacted.ok()) {
@@ -896,6 +914,7 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
   bool exists_remotely = false;
   if (!exists_locally && options_.check_global_uniqueness &&
       dist_hooks_ != nullptr) {
+    // mdos-check: allow-blocking(DistHooks uniqueness probe, bounded by the client's end-to-end deadline; async probe is tracked in ROADMAP)
     exists_remotely = dist_hooks_->IdKnownRemotely(request->id,
                                                    op_deadline);
   }
@@ -940,7 +959,8 @@ void Store::HandleCreate(Shard& home, ClientConn& conn,
           if (added.ok()) {
             reply.offset = allocation->offset;
           } else {
-            (void)owner.arena->Free(allocation->offset);
+            MDOS_WARN_IF_ERROR(owner.arena->Free(allocation->offset),
+                               "rolling back allocation of rejected create");
             reply.status = added;
           }
         }
@@ -979,6 +999,7 @@ void Store::HandleSeal(Shard& home, ClientConn& conn, uint64_t request_id,
           // object without an RPC. Index-full is non-fatal: peers fall
           // back to the RPC lookup path.
           MutexLock index_lock(index_mutex_);
+          // mdos-check: allow-discard(a full index is an expected steady state: readers fall back to the RPC path and the miss is visible in SharedIndexStats)
           (void)shared_index_->Insert(
               request->id, IndexedObject{entry->offset, entry->data_size,
                                          entry->metadata_size});
@@ -1097,7 +1118,8 @@ void Store::HandleAbort(Shard& home, ClientConn& conn,
     } else {
       auto removed = owner.table.Remove(request->id, /*force=*/true);
       if (removed.ok()) {
-        (void)owner.arena->Free(removed->offset);
+        MDOS_WARN_IF_ERROR(owner.arena->Free(removed->offset),
+                           "freeing aborted object");
       }
       reply.status = removed.status();
     }
@@ -1127,6 +1149,7 @@ std::optional<GetReplyEntry> Store::TryLocalGet(ClientConn& conn,
     found.offset = entry->offset;
     found.data_size = entry->data_size;
     found.metadata_size = entry->metadata_size;
+    // mdos-check: allow-discard(the entry was verified sealed two lines up under this same lock; AddRef on it cannot fail a way that needs handling)
     (void)owner.table.AddRef(id);
     owner.eviction.Touch(id);
     out = found;
@@ -1198,6 +1221,7 @@ bool Store::AdoptRemoteObject(Shard& home, ClientConn& conn,
     // Pin before handing the location out: a failed pin means the
     // location is stale (lost DeleteNotice, restarted peer) and must not
     // reach the client — it would read dangling pool offsets.
+    // mdos-check: allow-blocking(DistHooks pin RPC, deadline-bounded; correctness requires the pin to land before the location reaches the client)
     Status pinned = dist_hooks_->PinRemote(id, loc, deadline);
     if (!pinned.ok()) return false;
     auto& ref = conn.remote_refs[id];
@@ -1260,6 +1284,7 @@ Store::BatchedRemoteLookup(const std::vector<ObjectId>& ids,
   }
   // RPC outside any shard mutex; the paper's local store performs the
   // look-up synchronously on the client's behalf.
+  // mdos-check: allow-blocking(DistHooks batched lookup RPC, deadline-bounded and hedged; the paper's design point — async resolve is tracked in ROADMAP)
   auto locations = dist_hooks_->LookupRemote(unknown, deadline);
   if (count_lookups) {
     remote_lookups_.fetch_add(unknown.size(), std::memory_order_relaxed);
@@ -1520,6 +1545,7 @@ void Store::HandleRelease(Shard& home, ClientConn& conn,
   }
   if (remote_unpin.has_value() && dist_hooks_ != nullptr &&
       options_.pin_remote_objects) {
+    // mdos-check: allow-blocking(DistHooks peer RPC, deadline-bounded; making the unpin path async is tracked in ROADMAP)
     dist_hooks_->UnpinRemote(request->id, *remote_unpin);
   }
   QueueReply(home, conn, MessageType::kReleaseReply, request_id, reply);
@@ -1571,6 +1597,7 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
       if (removed.ok()) {
         if (shared_index_ != nullptr) {
           MutexLock index_lock(index_mutex_);
+          // mdos-check: allow-discard(objects the index never admitted produce KeyError here; the withdrawal only has to hold for indexed ones)
           (void)shared_index_->Remove(request->id);
         }
         // Index withdrawal, then bump, then free (mapped-read seqlock
@@ -1578,11 +1605,13 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
         BumpGeneration(request->id);
         if (removed->state == ObjectState::kSpilled) {
           if (owner.spill.has_value()) {
-            (void)owner.spill->Free(removed->spill_offset);
+            MDOS_WARN_IF_ERROR(owner.spill->Free(removed->spill_offset),
+                               "freeing spill slot of deleted object");
             MaybeCompactSpill(owner);
           }
         } else {
-          (void)owner.arena->Free(removed->offset);
+          MDOS_WARN_IF_ERROR(owner.arena->Free(removed->offset),
+                             "freeing pool bytes of deleted object");
         }
         owner.eviction.Remove(request->id);
         owner.remote_pins.erase(request->id);
@@ -1598,8 +1627,10 @@ void Store::HandleDelete(Shard& home, ClientConn& conn,
   if (deleted) {
     if (dist_hooks_ != nullptr) {
       if (!replica_holders.empty()) {
+        // mdos-check: allow-blocking(DistHooks replica-drop RPC fan-out, deadline-bounded; best-effort cleanup)
         dist_hooks_->DropReplicas(request->id, replica_holders);
       }
+      // mdos-check: allow-blocking(DistHooks delete notice, deadline-bounded; peers self-heal via stale-pin detection if it is lost)
       dist_hooks_->NotifyDeleted(request->id);
     }
     Notification notice;
@@ -1692,10 +1723,12 @@ std::vector<std::optional<RemoteObjectLocation>> Store::LookupManyForPeer(
         loc.gen_epoch = gen_table_->epoch();
       }
       out[i] = loc;
+      // mdos-check: allow-discard(momentary ref under the owner lock so the entry survives while the descriptor fields are copied; paired release below)
       (void)owner.table.AddRef(ids[i]);
       reported.push_back(ids[i]);
     }
     for (const ObjectId& id : reported) {
+      // mdos-check: allow-discard(releasing the momentary ref taken above; the entries were present under this same lock)
       (void)owner.table.ReleaseRef(id);
     }
   }
@@ -1828,6 +1861,7 @@ void Store::ReplicateSealed(Shard& owner, const ObjectId& id) {
     holders = entry->copy_nodes;
   }
   uint32_t wanted = desired - static_cast<uint32_t>(holders.size());
+  // mdos-check: allow-blocking(DistHooks replication fan-out RPC, deadline-bounded; runs on seal, outside any shard mutex)
   std::vector<uint32_t> accepted = dist_hooks_->ReplicateObject(
       id, bytes.data(), data_size, metadata_size, wanted, holders, origin,
       desired);
@@ -1840,6 +1874,7 @@ void Store::ReplicateSealed(Shard& owner, const ObjectId& id) {
   if (!entry.ok() || entry->origin_node != origin) return;
   std::vector<uint32_t> merged = entry->copy_nodes;
   for (uint32_t node : accepted) MergeCopyNode(merged, node);
+  // mdos-check: allow-discard(the entry was verified live two lines up under this lock; a concurrent force-remove just makes the copy-set update moot)
   (void)owner.table.SetReplication(id, entry->desired_copies,
                                    entry->origin_node, std::move(merged));
 }
@@ -1889,13 +1924,16 @@ Status Store::AcceptReplica(const ObjectId& id, uint32_t from_node,
     MergeCopyNode(entry.copy_nodes, node_id_);
     Status added = owner.table.AddCreated(entry);
     if (!added.ok()) {
-      (void)owner.arena->Free(allocation.offset);
+      MDOS_WARN_IF_ERROR(owner.arena->Free(allocation.offset),
+                         "rolling back allocation of rejected replica");
       return added;
     }
     Status sealed = owner.table.Seal(id);
     if (!sealed.ok()) {
+      // mdos-check: allow-discard(rollback of the record added four lines up; the seal failure itself is what propagates)
       (void)owner.table.Remove(id, /*force=*/true);
-      (void)owner.arena->Free(allocation.offset);
+      MDOS_WARN_IF_ERROR(owner.arena->Free(allocation.offset),
+                         "rolling back allocation of unsealable replica");
       return sealed;
     }
     owner.eviction.Add(id, total);
@@ -1904,6 +1942,7 @@ Status Store::AcceptReplica(const ObjectId& id, uint32_t from_node,
     BumpGeneration(id);
     if (shared_index_ != nullptr) {
       MutexLock index_lock(index_mutex_);
+      // mdos-check: allow-discard(a full index is an expected steady state: readers fall back to the RPC path and the miss is visible in SharedIndexStats)
       (void)shared_index_->Insert(
           id, IndexedObject{allocation.offset, data_size, metadata_size});
     }
@@ -1935,6 +1974,7 @@ Status Store::DropReplicaLocal(const ObjectId& id, uint32_t from_node) {
     if (!removed.ok()) return removed.status();
     if (shared_index_ != nullptr) {
       MutexLock index_lock(index_mutex_);
+      // mdos-check: allow-discard(objects the index never admitted produce KeyError here; the withdrawal only has to hold for indexed ones)
       (void)shared_index_->Remove(id);
     }
     // Index withdrawal, then bump, then free (mapped-read seqlock write
@@ -1942,11 +1982,13 @@ Status Store::DropReplicaLocal(const ObjectId& id, uint32_t from_node) {
     BumpGeneration(id);
     if (removed->state == ObjectState::kSpilled) {
       if (owner.spill.has_value()) {
-        (void)owner.spill->Free(removed->spill_offset);
+        MDOS_WARN_IF_ERROR(owner.spill->Free(removed->spill_offset),
+                           "freeing spill slot of dropped replica");
         MaybeCompactSpill(owner);
       }
     } else {
-      (void)owner.arena->Free(removed->offset);
+      MDOS_WARN_IF_ERROR(owner.arena->Free(removed->offset),
+                         "freeing pool bytes of dropped replica");
     }
     owner.eviction.Remove(id);
     owner.remote_pins.erase(id);
@@ -2123,6 +2165,7 @@ void Store::RehealForDeadNode(uint32_t dead) {
         uint32_t healer = *std::min_element(live.begin(), live.end());
         uint32_t origin =
             entry->origin_node == dead ? healer : entry->origin_node;
+        // mdos-check: allow-discard(the entry was verified live at the top of this loop body under this lock; a concurrent delete makes the update moot)
         (void)owner.table.SetReplication(id, entry->desired_copies,
                                          origin, live);
         if (live.size() < entry->desired_copies && healer == node_id_) {

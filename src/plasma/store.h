@@ -185,7 +185,8 @@ class DistHooks {
       const std::vector<ObjectId>& ids, Deadline deadline) = 0;
 
   // True when any peer store already knows `id` (uniqueness probe).
-  virtual bool IdKnownRemotely(const ObjectId& id, Deadline deadline) = 0;
+  [[nodiscard]] virtual bool IdKnownRemotely(const ObjectId& id,
+                                             Deadline deadline) = 0;
 
   // Usage-tracking extension: pin/unpin `id` at its home store. A failed
   // pin means the location is no longer valid (the peer lost or dropped
@@ -322,7 +323,7 @@ class Store {
 
   // True when the id exists in any state (uniqueness probe must also see
   // unsealed creations).
-  bool ContainsId(const ObjectId& id);
+  [[nodiscard]] bool ContainsId(const ObjectId& id);
 
   // Remote pin bookkeeping (usage-tracking extension).
   Status PinForPeer(const ObjectId& id, uint32_t peer_node);
@@ -528,8 +529,11 @@ class Store {
   void AcceptPending();
 
   // ---- shard event loops -----------------------------------------------
-  void ShardLoop(Shard& shard);
-  void DrainMailbox(Shard& shard);
+  // MDOS_EVENT_LOOP_CONTEXT functions run on a shard's event-loop
+  // thread; mdos-check forbids blocking calls downstream of them (the
+  // DistHooks peer-RPC seams carry explicit allow-blocking waivers).
+  MDOS_EVENT_LOOP_CONTEXT void ShardLoop(Shard& shard);
+  MDOS_EVENT_LOOP_CONTEXT void DrainMailbox(Shard& shard);
   // Drains the connection's socket into its receive scratch (sized once
   // via FIONREAD — no chunk-copy, no per-frame allocation), decodes every
   // complete frame as a zero-copy view, and processes them as one batch.
@@ -537,12 +541,12 @@ class Store {
   // single pass — with one combined remote lookup for every unknown id
   // across the batch (see ResolveGets) and every reply coalesced into the
   // connection's write queue.
-  void OnClientReadable(Shard& shard, int fd);
+  MDOS_EVENT_LOOP_CONTEXT void OnClientReadable(Shard& shard, int fd);
   // Write-readiness edge for a connection with queued egress residue.
-  void OnClientWritable(Shard& shard, int fd);
-  void DispatchFrame(Shard& shard, ClientConn& conn,
-                     const net::FrameView& frame,
-                     std::vector<PendingGet>* batch_gets);
+  MDOS_EVENT_LOOP_CONTEXT void OnClientWritable(Shard& shard, int fd);
+  MDOS_EVENT_LOOP_CONTEXT void DispatchFrame(
+      Shard& shard, ClientConn& conn, const net::FrameView& frame,
+      std::vector<PendingGet>* batch_gets);
   void DropClient(Shard& shard, int fd);
 
   // ---- non-blocking egress ---------------------------------------------
@@ -555,11 +559,11 @@ class Store {
   void MarkDirty(Shard& shard, ClientConn& conn);
   // Flushes every connection marked dirty since the last pass (one
   // writev per connection in the common case).
-  void FlushDirtyConns(Shard& shard);
+  MDOS_EVENT_LOOP_CONTEXT void FlushDirtyConns(Shard& shard);
   // Flushes one connection's queue: EAGAIN arms write interest (and
   // enforces max_egress_queue_bytes), drain disarms it, an error drops
   // the client. Shard thread only.
-  void FlushConn(Shard& shard, ClientConn& conn);
+  MDOS_EVENT_LOOP_CONTEXT void FlushConn(Shard& shard, ClientConn& conn);
   // Blocking flush for the connect handshake (the SCM_RIGHTS fd pass
   // must follow the reply bytes in stream order).
   Status FlushConnBlocking(Shard& shard, ClientConn& conn, int timeout_ms);
@@ -639,14 +643,14 @@ class Store {
   // Returns false when the remote pin failed — the location was stale
   // (the dist layer has already invalidated its cache entry) and the
   // caller should re-run the lookup path for this id.
-  bool AdoptRemoteObject(Shard& home, ClientConn& conn,
+  [[nodiscard]] bool AdoptRemoteObject(Shard& home, ClientConn& conn,
                          PendingGet& pending, const ObjectId& id,
                          const RemoteObjectLocation& loc, bool count_hit,
                          Deadline deadline);
   // AdoptRemoteObject with one retry through a fresh remote lookup when
   // the cached location turned out stale. Returns false when the id
   // could not be adopted at all (treat as missing).
-  bool AdoptRemoteObjectWithRetry(Shard& home, ClientConn& conn,
+  [[nodiscard]] bool AdoptRemoteObjectWithRetry(Shard& home, ClientConn& conn,
                                   PendingGet& pending, const ObjectId& id,
                                   const RemoteObjectLocation& loc,
                                   bool count_hit, Deadline deadline);
@@ -665,7 +669,7 @@ class Store {
   Result<alloc::Allocation> AllocateWithEviction(Shard& owner,
                                                  uint64_t size)
       REQUIRES(owner.mutex);
-  bool IsEvictable(const Shard& owner, const ObjectId& id) const
+  [[nodiscard]] bool IsEvictable(const Shard& owner, const ObjectId& id) const
       REQUIRES(owner.mutex);
 
   // Promotes a spilled object back into the pool (allocating with

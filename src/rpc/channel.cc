@@ -313,6 +313,7 @@ Result<std::vector<uint8_t>> RpcChannel::CallWithDeadline(
         // own budget.
         int64_t wait =
             std::min(next_redial_ns_ - now, deadline.remaining_ns());
+        // mdos-check: allow-blocking(mutex_ serializes this channel's calls for the whole RPC by contract; the backoff wait just queues concurrent callers, bounded by their deadlines)
         std::this_thread::sleep_for(std::chrono::nanoseconds(wait));
         continue;
       }

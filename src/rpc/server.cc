@@ -61,7 +61,8 @@ void RpcServer::ServeLoop() {
               (void)net::SetNoDelay(conn_fd->get());
               // Non-blocking: EAGAIN (not a parked send) is the signal
               // that a peer has stopped draining its socket.
-              (void)net::SetNonBlocking(conn_fd->get());
+              MDOS_WARN_IF_ERROR(net::SetNonBlocking(conn_fd->get()),
+                                 "marking accepted peer socket non-blocking");
               int cfd = conn_fd->get();
               auto conn = std::make_unique<Conn>();
               conn->fd = std::move(conn_fd).value();
@@ -141,6 +142,7 @@ void RpcServer::HandleReadable(Conn& conn) {
 
   if (!parse.ok() || closed) {
     // Best effort: pipelined responses already queued still leave.
+    // mdos-check: allow-discard(final courtesy flush to a connection already condemned; CloseConnection follows on either outcome)
     if (!conn.tx.empty()) (void)conn.tx.Flush(fd);
     CloseConnection(fd);
     return;
@@ -189,6 +191,7 @@ Status RpcServer::ServeRequest(Conn& conn, const uint8_t* payload,
   }
 
   int64_t delay = service_delay_ns_.load(std::memory_order_relaxed);
+  // mdos-check: allow-blocking(test-only service-time injection knob; zero in production, bounded by the configured delay in tests)
   if (delay > 0) SpinForNanos(delay);
 
   auto it = handlers_.find(view->method);

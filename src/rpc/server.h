@@ -93,8 +93,11 @@ class RpcServer {
     bool write_armed = false;
   };
 
-  void ServeLoop();
-  void HandleReadable(Conn& conn);
+  // The serve thread is an event loop: mdos-check forbids blocking
+  // calls downstream of these (the handlers it dispatches into run on
+  // this thread too).
+  MDOS_EVENT_LOOP_CONTEXT void ServeLoop();
+  MDOS_EVENT_LOOP_CONTEXT void HandleReadable(Conn& conn);
   // Runs one decoded request frame and queues its response. A failure
   // means the connection is corrupt and must be dropped (by the caller —
   // never drops it itself, the batch loop still holds the Conn).
@@ -102,11 +105,13 @@ class RpcServer {
   // the socket: requests whose stamped deadline budget elapsed while
   // earlier requests in the batch were being served are shed before
   // their payload is materialized.
-  Status ServeRequest(Conn& conn, const uint8_t* payload, size_t size,
-                      int64_t arrival_ns);
+  MDOS_EVENT_LOOP_CONTEXT Status ServeRequest(Conn& conn,
+                                              const uint8_t* payload,
+                                              size_t size,
+                                              int64_t arrival_ns);
   // Flushes the connection's egress queue, arming/disarming write
   // interest; drops the connection on error.
-  void FlushConn(Conn& conn);
+  MDOS_EVENT_LOOP_CONTEXT void FlushConn(Conn& conn);
   void CloseConnection(int fd);
 
   // Transparent comparator: dispatch looks up by the string_view from

@@ -40,6 +40,7 @@ LatencyParams ScaledRemoteParams(double scale) {
 
 void EnforceModel(const LatencyParams& params, uint64_t bytes,
                   int64_t start_ns) {
+  // mdos-check: allow-blocking(this spin IS the fabric latency model: a real disaggregated-memory read stalls the accessing thread for exactly this long, event loops included)
   SpinUntilNanos(start_ns + params.AccessNanos(bytes));
 }
 

@@ -38,7 +38,7 @@ class NodeMemory {
   uint64_t disagg_size() const { return disagg_size_; }
 
   // True when [offset, offset+size) lies inside the exported window.
-  bool InDisaggWindow(uint64_t offset, uint64_t size) const;
+  [[nodiscard]] bool InDisaggWindow(uint64_t offset, uint64_t size) const;
 
   // The home node's modelled CPU cache (see CacheModel).
   CacheModel& home_cache() { return *home_cache_; }

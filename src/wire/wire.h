@@ -139,7 +139,7 @@ class Reader {
   }
 
   size_t remaining() const { return size_ - pos_; }
-  bool AtEnd() const { return pos_ == size_; }
+  [[nodiscard]] bool AtEnd() const { return pos_ == size_; }
   size_t position() const { return pos_; }
 
  private:

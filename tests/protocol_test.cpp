@@ -213,6 +213,23 @@ std::vector<uint8_t> EncodeFrameBytes(uint32_t type,
   return out;
 }
 
+TEST(FrameDecodeTest, DisconnectRequestIsBareFrame) {
+  // kDisconnectRequest carries no payload struct: the frame header alone
+  // is the whole message, and the store drops the client without
+  // decoding anything further. Pin the wire shape so a payload is never
+  // accidentally added on one side only.
+  auto bytes = EncodeFrameBytes(
+      static_cast<uint32_t>(MessageType::kDisconnectRequest), {});
+  net::FrameView view;
+  size_t consumed = 0;
+  ASSERT_TRUE(
+      net::DecodeFrameView(bytes.data(), bytes.size(), &view, &consumed).ok());
+  EXPECT_EQ(consumed, bytes.size());
+  EXPECT_EQ(static_cast<MessageType>(view.type),
+            MessageType::kDisconnectRequest);
+  EXPECT_EQ(view.size, 0u);
+}
+
 TEST(FrameDecodeTest, TruncatedHeaderDefersWithoutConsuming) {
   auto bytes = EncodeFrameBytes(7, {1, 2, 3});
   for (size_t cut = 0; cut < sizeof(net::FrameHeader); ++cut) {

@@ -97,6 +97,27 @@ def check_fuzz_coverage(corpus):
     return errors
 
 
+def check_mdos_check_coverage(corpus):
+    """Every mdos-check checker module must be documented in docs/.
+
+    The checkers gate every PR; an undocumented checker is one nobody
+    knows how to satisfy or extend.
+    """
+    errors = []
+    check_dir = os.path.join(REPO, "tools", "mdos_check")
+    if not os.path.isdir(check_dir):
+        return errors
+    for name in sorted(os.listdir(check_dir)):
+        if not (name.startswith("check_") and name.endswith(".py")):
+            continue
+        if name not in corpus:
+            errors.append(f"docs/: mdos-check checker `{name}` is "
+                          f"undocumented (tools/mdos_check/{name})")
+    if "mdos-check" not in corpus:
+        errors.append("docs/: the mdos-check suite has no docs section")
+    return errors
+
+
 def check_subsystem_coverage(corpus):
     errors = []
     src_dir = os.path.join(REPO, "src")
@@ -112,14 +133,15 @@ def check_subsystem_coverage(corpus):
 def main():
     corpus = docs_corpus()
     errors = (check_links() + check_bench_coverage(corpus) +
-              check_subsystem_coverage(corpus) + check_fuzz_coverage(corpus))
+              check_subsystem_coverage(corpus) + check_fuzz_coverage(corpus) +
+              check_mdos_check_coverage(corpus))
     for error in errors:
         print(f"error: {error}", file=sys.stderr)
     if errors:
         print(f"{len(errors)} documentation problem(s)", file=sys.stderr)
         return 1
-    print("docs OK: links resolve; benches, subsystems, and fuzz "
-          "harnesses covered")
+    print("docs OK: links resolve; benches, subsystems, fuzz harnesses, "
+          "and mdos-check checkers covered")
     return 0
 
 

@@ -1,0 +1,141 @@
+"""Layering DAG checker.
+
+Derives the `#include "..."` graph of the source tree and enforces the
+layer order declared in tools/mdos_check/layers.toml: a file in layer L
+may include only files in layers with a strictly lower level, or its own
+layer. Cycles between subsystem directories are reported even if the
+config were to permit the edge (the declared order must itself stay a
+DAG against reality).
+
+The include graph comes from the sources themselves rather than from
+-I resolution: this project's convention is that every intra-project
+include is written source-root-relative ("plasma/store.h"), so the first
+path segment names the subsystem. System includes (<...>) are ignored.
+"""
+
+from __future__ import annotations
+
+import os
+import re
+import tomllib
+
+from findings import Finding
+
+CHECK = "layering"
+
+# [ \t]* (not \s*): a \s* after ^ would swallow the newline of a
+# preceding blank line in MULTILINE mode and shift the reported line.
+INCLUDE_RE = re.compile(r'^[ \t]*#[ \t]*include[ \t]+"([^"]+)"',
+                        re.MULTILINE)
+
+
+def load_layers(path):
+    with open(path, "rb") as f:
+        data = tomllib.load(f)
+    levels = {}
+    for entry in data.get("layer", []):
+        for name in entry["dirs"]:
+            levels[name] = int(entry["level"])
+    return levels
+
+
+def run(source_set, layers_path) -> list[Finding]:
+    levels = load_layers(layers_path)
+    findings = []
+    edges = {}  # (from_dir, to_dir) -> first (path, line, include)
+
+    for path, sf in sorted(source_set.sources.items()):
+        rel = source_set.relpath(path)
+        from_dir = rel.split(os.sep)[0]
+        if from_dir not in levels:
+            findings.append(Finding(
+                path, 1, CHECK,
+                f"subsystem '{from_dir}' is not declared in layers.toml "
+                f"— add it to a layer before using it"))
+            continue
+        # Comment-stripped view with string literals intact: blanked-out
+        # includes don't count, but the include paths survive (sf.code
+        # would blank them — see SourceFile.code_keep_strings).
+        code = sf.code_keep_strings
+        for m in INCLUDE_RE.finditer(code):
+            target = m.group(1)
+            line = code[:m.start()].count("\n") + 1
+            to_dir = target.split("/")[0]
+            if "/" not in target:
+                # same-directory include without a subsystem prefix
+                continue
+            if to_dir not in levels:
+                findings.append(Finding(
+                    path, line, CHECK,
+                    f"include \"{target}\": subsystem '{to_dir}' is not "
+                    f"declared in layers.toml"))
+                continue
+            edges.setdefault((from_dir, to_dir), (path, line, target))
+
+    # Level discipline: every edge must go down (or stay inside one
+    # subsystem directory).
+    for (a, b), (path, line, target) in sorted(edges.items()):
+        if a == b:
+            continue
+        if levels[b] >= levels[a]:
+            kind = ("cycle-inducing (same level)"
+                    if levels[b] == levels[a] else "upward")
+            if source_set.suppressed(path, line, CHECK):
+                continue
+            findings.append(Finding(
+                path, line, CHECK,
+                f"{kind} include: {a} (level {levels[a]}) -> "
+                f"\"{target}\" in {b} (level {levels[b]}); the declared "
+                f"order is {_order_str(levels)}"))
+
+    # Cycle detection over subsystem edges (belt and braces: a config
+    # that legalized a cycle would still fail here).
+    graph = {}
+    for (a, b) in edges:
+        if a != b:
+            graph.setdefault(a, set()).add(b)
+    cycle = _find_cycle(graph)
+    if cycle:
+        a = cycle[0]
+        path, line, target = edges[(a, cycle[1])]
+        findings.append(Finding(
+            path, line, CHECK,
+            f"subsystem include cycle: {' -> '.join(cycle)}"))
+
+    return findings
+
+
+def _order_str(levels):
+    by_level = {}
+    for name, lvl in levels.items():
+        by_level.setdefault(lvl, []).append(name)
+    return " < ".join("/".join(sorted(names))
+                      for _, names in sorted(by_level.items()))
+
+
+def _find_cycle(graph):
+    WHITE, GRAY, BLACK = 0, 1, 2
+    color = {n: WHITE for n in graph}
+    stack = []
+
+    def visit(n):
+        color[n] = GRAY
+        stack.append(n)
+        for m in sorted(graph.get(n, ())):
+            if color.get(m, WHITE) == GRAY:
+                i = stack.index(m)
+                return stack[i:] + [m]
+            if color.get(m, WHITE) == WHITE:
+                found = visit(m)
+                if found:
+                    return found
+        stack.pop()
+        color[n] = BLACK
+        return None
+
+    for n in sorted(graph):
+        if color[n] == WHITE:
+            found = visit(n)
+            if found:
+                return found
+    return None

@@ -1,0 +1,137 @@
+"""Status discipline checker.
+
+`Status` and `Result<T>` are both class-level [[nodiscard]], so the
+compiler already rejects a silently ignored return. What it cannot see
+is the two idioms that defeat the attribute:
+
+  1. `(void)DoFallibleThing();` — the cast is an explicit waiver, but it
+     carries no reason and no log. Teardown paths accumulated dozens of
+     these; when one started hiding a real unmap failure there was
+     nothing to grep for.
+  2. A fallible call in statement position whose result is consumed by
+     nothing (possible through templates, macros, or C-linkage shims
+     that launder the attribute away).
+
+This checker flags both. Inside a function that itself returns
+Status/Result the message further says "swallowed instead of
+propagated" — in fallible code the right form is almost always
+MDOS_RETURN_IF_ERROR / MDOS_ASSIGN_OR_RETURN.
+
+Escapes, in order of preference:
+  - `MDOS_WARN_IF_ERROR(expr, "context")` (common/status.h) — logs on
+    failure; the checker treats it as consumption.
+  - `// mdos-check: allow-discard(<reason>)` on (or directly above) the
+    line, for calls where even logging is wrong (e.g. double-close on a
+    teardown path that already reported).
+  - ALLOWLIST below for whole-file/function patterns (generated or
+    intentionally fire-and-forget code), each entry with a reason.
+"""
+
+from __future__ import annotations
+
+import fnmatch
+
+from findings import Finding
+
+CHECK = "status-discipline"
+
+# (file-glob relative to src root, callee name or "*") -> reason.
+ALLOWLIST = (
+    # SetNoDelay is advisory: a failed TCP_NODELAY changes latency, not
+    # correctness, and both client and store log the connect path
+    # elsewhere.
+    ("*", "SetNoDelay", "advisory socket tuning; failure is harmless"),
+)
+
+# Call names that look fallible by declaration matching but whose
+# common overloads/receivers are infallible containers (std::map::erase
+# etc. share names with fallible mdos APIs). A call is only flagged if
+# its *qualifier or receiver* matches nothing in this set and the name
+# resolves to a fallible declaration.
+STD_CONTAINER_RECEIVER_HINTS = (
+    "objects", "entries", "pending", "conns", "clients", "subs",
+    "map", "set", "vec", "queue", "cache",
+)
+
+
+def _allowlisted(rel, call_name):
+    for file_glob, callee, _reason in ALLOWLIST:
+        if callee in ("*", call_name) and fnmatch.fnmatch(rel, file_glob):
+            return True
+    return False
+
+
+def run(source_set) -> list[Finding]:
+    findings = []
+
+    # Pass 1: every function name with at least one fallible declaration
+    # or definition anywhere in the set. Name-level resolution
+    # over-approximates; the hints below and suppressions handle the
+    # residue.
+    fallible = {}
+    # Names that also have a NON-fallible declaration somewhere: a bare
+    # statement-position call to such a name may be a void overload
+    # (EvictionPolicy::Remove vs ObjectTable::Remove), so only
+    # unambiguous names are flagged in statement position. A (void)-cast
+    # is different: nobody casts a void call to void, so any fallible
+    # match suffices there.
+    ambiguous = set()
+    # (enclosing class qualname, member name) -> any declaration fallible.
+    # Lets an unqualified self-call resolve to the member of the SAME
+    # class first (Future::Take calling its own infallible Wait() must
+    # not inherit Poller::Wait's fallibility).
+    members = {}
+    for fn in source_set.all_functions():
+        if fn.returns_fallible:
+            fallible.setdefault(fn.name, set()).add(fn.qualname)
+        else:
+            ambiguous.add(fn.name)
+        if "::" in fn.qualname:
+            key = (fn.qualname.rsplit("::", 1)[0], fn.name)
+            members[key] = members.get(key, False) or fn.returns_fallible
+
+    for fn in source_set.all_functions():
+        if not fn.is_definition:
+            continue
+        rel = source_set.relpath(fn.path)
+        sf = source_set.sources[fn.path]
+        for call in fn.calls:
+            if call.name not in fallible:
+                continue
+            discarded = call.void_cast or (
+                call.stmt_position and call.name not in ambiguous)
+            if not discarded:
+                continue
+            # Unqualified self-call: the member of the enclosing class
+            # wins name resolution; skip when that member is infallible.
+            if not call.receiver and not call.qualifier and \
+                    "::" in fn.qualname:
+                cls = fn.qualname.rsplit("::", 1)[0]
+                if (cls, call.name) in members and \
+                        not members[(cls, call.name)]:
+                    continue
+            # Method calls on obvious container members are std::
+            # erase/insert/count lookalikes, not mdos fallible APIs.
+            if call.receiver and call.receiver.rstrip("_") in \
+                    STD_CONTAINER_RECEIVER_HINTS:
+                continue
+            if _allowlisted(rel, call.name):
+                continue
+            if sf.is_suppressed(call.line, "discard"):
+                continue
+            how = "(void)-cast" if call.void_cast else \
+                "discarded in statement position"
+            if fn.returns_fallible:
+                msg = (f"Status from `{call.spelled()}` {how} inside "
+                       f"fallible {fn.qualname} — error swallowed "
+                       f"instead of propagated (use "
+                       f"MDOS_RETURN_IF_ERROR, or MDOS_WARN_IF_ERROR "
+                       f"for best-effort cleanup)")
+            else:
+                msg = (f"Status from `{call.spelled()}` {how} in "
+                       f"{fn.qualname} — log it via MDOS_WARN_IF_ERROR "
+                       f"or document the waiver with "
+                       f"`// mdos-check: allow-discard(reason)`")
+            findings.append(Finding(fn.path, call.line, CHECK, msg))
+
+    return findings

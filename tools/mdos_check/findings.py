@@ -1,0 +1,81 @@
+"""Finding type + source-set loading shared by the mdos-check checkers."""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+
+import mdos_cxx
+
+
+@dataclasses.dataclass
+class Finding:
+    path: str
+    line: int
+    check: str
+    message: str
+
+    def render(self, root: str) -> str:
+        rel = os.path.relpath(self.path, root)
+        return f"{rel}:{self.line}: [{self.check}] {self.message}"
+
+
+class SourceSet:
+    """The files a checker run operates on, parsed once and shared.
+
+    Built either from a compile_commands.json (the TU list of the real
+    build — what the CI job and the ctest gates use) or from an explicit
+    file list (fixture/self-test mode). Headers under the source root
+    ride along in both modes: they are not TUs but carry declarations,
+    annotations, and the MessageType enum.
+    """
+
+    def __init__(self, files, src_root):
+        self.src_root = os.path.abspath(src_root)
+        self.files = sorted(set(os.path.abspath(f) for f in files))
+        self.sources = {}
+        for path in self.files:
+            self.sources[path] = mdos_cxx.load(path)
+
+    @classmethod
+    def from_compile_commands(cls, cc_path, src_root):
+        with open(cc_path, encoding="utf-8") as f:
+            db = json.load(f)
+        files = set()
+        src_root = os.path.abspath(src_root)
+        for entry in db:
+            path = os.path.abspath(
+                os.path.join(entry.get("directory", "."), entry["file"]))
+            if path.startswith(src_root + os.sep) and os.path.exists(path):
+                files.add(path)
+        files.update(cls._headers_under(src_root))
+        return cls(files, src_root)
+
+    @classmethod
+    def from_tree(cls, src_root):
+        src_root = os.path.abspath(src_root)
+        files = set(cls._headers_under(src_root))
+        for root, _, names in os.walk(src_root):
+            for name in names:
+                if name.endswith((".cc", ".cpp", ".cxx")):
+                    files.add(os.path.join(root, name))
+        return cls(files, src_root)
+
+    @staticmethod
+    def _headers_under(src_root):
+        for root, _, names in os.walk(src_root):
+            for name in names:
+                if name.endswith((".h", ".hpp")):
+                    yield os.path.join(root, name)
+
+    def relpath(self, path):
+        return os.path.relpath(path, self.src_root)
+
+    def all_functions(self):
+        for sf in self.sources.values():
+            yield from sf.functions
+
+    def suppressed(self, path, line, check):
+        sf = self.sources.get(os.path.abspath(path))
+        return sf is not None and sf.is_suppressed(line, check)

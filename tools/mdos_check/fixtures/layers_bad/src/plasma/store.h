@@ -1,0 +1,10 @@
+// Target of the seeded upward include; itself legal (plasma -> wire is
+// downward). Completes the wire <-> plasma cycle so the cycle detector
+// has something to report alongside the upward-edge finding.
+#pragma once
+
+#include "wire/writer.h"
+
+namespace fixture {
+struct Store {};
+}  // namespace fixture

@@ -1,0 +1,10 @@
+// Seeded layering violation: wire (level 1) reaching UP into plasma
+// (level 5). The include below is the finding; selftest.py asserts its
+// exact line.
+#pragma once
+
+#include "plasma/store.h"  // line 6: upward include
+
+namespace fixture {
+struct Writer {};
+}  // namespace fixture

@@ -1,0 +1,7 @@
+// Clean layering fixture: common is the bottom layer and includes
+// nothing project-local.
+#pragma once
+
+namespace fixture_clean {
+struct Status {};
+}  // namespace fixture_clean

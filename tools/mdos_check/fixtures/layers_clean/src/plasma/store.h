@@ -1,0 +1,10 @@
+// Clean layering fixture: plasma -> wire is a legal downward edge, and
+// a commented-out upward include must NOT count.
+#pragma once
+
+#include "wire/writer.h"
+// #include "dist/remote_registry.h"  (dead include: must not be flagged)
+
+namespace fixture_clean {
+struct Store {};
+}  // namespace fixture_clean

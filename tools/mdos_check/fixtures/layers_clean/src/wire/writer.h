@@ -1,0 +1,8 @@
+// Clean layering fixture: wire depends only on common (downward).
+#pragma once
+
+#include "common/status.h"
+
+namespace fixture_clean {
+struct Writer {};
+}  // namespace fixture_clean

@@ -1,0 +1,20 @@
+// Client-side dispatch TU for the bad protocol fixture: every
+// enumerator IS named here, so the seeded dispatch finding for the
+// reply message comes from the server side alone (exactly one finding).
+#include "plasma/protocol.h"
+
+namespace fixture {
+
+int ClientDispatch(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest:
+      return 1;
+    case MessageType::kPingReply:
+      return 2;
+    case MessageType::kDropRequest:
+      return 3;
+  }
+  return -1;
+}
+
+}  // namespace fixture

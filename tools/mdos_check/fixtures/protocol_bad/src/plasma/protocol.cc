@@ -1,0 +1,31 @@
+// Codec TU for the bad protocol fixture. PingReply::DecodeFrom is
+// deliberately absent (seeded finding); everything else is defined.
+#include "plasma/protocol.h"
+
+#include <cstring>
+
+namespace fixture {
+
+void PingRequest::EncodeTo(char* out) const {
+  std::memcpy(out, &nonce, sizeof(nonce));
+}
+
+bool PingRequest::DecodeFrom(const char* in, PingRequest* out) {
+  std::memcpy(&out->nonce, in, sizeof(out->nonce));
+  return true;
+}
+
+void PingReply::EncodeTo(char* out) const {
+  std::memcpy(out, &nonce, sizeof(nonce));
+}
+
+void DropRequest::EncodeTo(char* out) const {
+  std::memcpy(out, &object_id, sizeof(object_id));
+}
+
+bool DropRequest::DecodeFrom(const char* in, DropRequest* out) {
+  std::memcpy(&out->object_id, in, sizeof(out->object_id));
+  return true;
+}
+
+}  // namespace fixture

@@ -1,0 +1,37 @@
+// Protocol fixture (bad): three-message mini protocol with seeded gaps.
+//   kPingRequest -- fully covered (codec + dispatch + test): no finding.
+//   kPingReply   -- PingReply struct has no DecodeFrom, and no dispatch
+//                   arm mentions MessageType::kPingReply: two findings.
+//   kDropRequest -- codec and dispatch exist but nothing under the test
+//                   roots mentions it: one coverage finding.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture {
+
+enum class MessageType : uint32_t {
+  kPingRequest = 1,
+  kPingReply = 2,
+  kDropRequest = 3,
+};
+
+struct PingRequest {
+  uint64_t nonce;
+  void EncodeTo(char* out) const;
+  static bool DecodeFrom(const char* in, PingRequest* out);
+};
+
+struct PingReply {
+  uint64_t nonce;
+  void EncodeTo(char* out) const;
+  // DecodeFrom deliberately missing: seeded codec finding.
+};
+
+struct DropRequest {
+  uint64_t object_id;
+  void EncodeTo(char* out) const;
+  static bool DecodeFrom(const char* in, DropRequest* out);
+};
+
+}  // namespace fixture

@@ -1,0 +1,18 @@
+// Dispatch TU for the bad protocol fixture. kPingReply is deliberately
+// never named here (seeded finding: no dispatch arm).
+#include "plasma/protocol.h"
+
+namespace fixture {
+
+int Dispatch(MessageType type) {
+  switch (type) {
+    case MessageType::kPingRequest:
+      return 1;
+    case MessageType::kDropRequest:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace fixture

@@ -1,0 +1,21 @@
+// Test corpus for the bad protocol fixture. Covers PingRequest and
+// PingReply; the drop message is deliberately untested (seeded
+// coverage finding). Nothing here may name that struct, even in a
+// comment, because test coverage is a raw substring probe.
+#include "plasma/protocol.h"
+
+namespace fixture {
+
+bool RoundTripPing() {
+  PingRequest req{42};
+  char buf[8];
+  req.EncodeTo(buf);
+  PingRequest back{};
+  if (!PingRequest::DecodeFrom(buf, &back)) return false;
+  PingReply reply{back.nonce};
+  char buf2[8];
+  reply.EncodeTo(buf2);
+  return true;
+}
+
+}  // namespace fixture

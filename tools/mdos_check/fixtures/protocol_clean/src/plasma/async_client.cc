@@ -1,0 +1,17 @@
+// Client-side dispatch TU for the clean protocol fixture: both
+// enumerators named.
+#include "plasma/protocol.h"
+
+namespace fixture_clean {
+
+int ClientDispatch(MessageType type) {
+  switch (type) {
+    case MessageType::kEchoRequest:
+      return 1;
+    case MessageType::kEchoReply:
+      return 2;
+  }
+  return -1;
+}
+
+}  // namespace fixture_clean

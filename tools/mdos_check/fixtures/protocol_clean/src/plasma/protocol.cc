@@ -1,0 +1,27 @@
+// Codec TU for the clean protocol fixture: both structs define both
+// codec arms.
+#include "plasma/protocol.h"
+
+#include <cstring>
+
+namespace fixture_clean {
+
+void EchoRequest::EncodeTo(char* out) const {
+  std::memcpy(out, &nonce, sizeof(nonce));
+}
+
+bool EchoRequest::DecodeFrom(const char* in, EchoRequest* out) {
+  std::memcpy(&out->nonce, in, sizeof(out->nonce));
+  return true;
+}
+
+void EchoReply::EncodeTo(char* out) const {
+  std::memcpy(out, &nonce, sizeof(nonce));
+}
+
+bool EchoReply::DecodeFrom(const char* in, EchoReply* out) {
+  std::memcpy(&out->nonce, in, sizeof(out->nonce));
+  return true;
+}
+
+}  // namespace fixture_clean

@@ -1,0 +1,27 @@
+// Protocol fixture (clean): two-message protocol where every
+// enumerator has a codec arm, a dispatch arm, and test coverage.
+// The checker must produce zero findings over this tree.
+#pragma once
+
+#include <cstdint>
+
+namespace fixture_clean {
+
+enum class MessageType : uint32_t {
+  kEchoRequest = 1,
+  kEchoReply = 2,
+};
+
+struct EchoRequest {
+  uint64_t nonce;
+  void EncodeTo(char* out) const;
+  static bool DecodeFrom(const char* in, EchoRequest* out);
+};
+
+struct EchoReply {
+  uint64_t nonce;
+  void EncodeTo(char* out) const;
+  static bool DecodeFrom(const char* in, EchoReply* out);
+};
+
+}  // namespace fixture_clean

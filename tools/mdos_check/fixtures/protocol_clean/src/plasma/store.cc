@@ -1,0 +1,17 @@
+// Dispatch TU for the clean protocol fixture: every enumerator named.
+#include "plasma/protocol.h"
+
+namespace fixture_clean {
+
+int Dispatch(MessageType type) {
+  switch (type) {
+    case MessageType::kEchoRequest:
+      return 1;
+    case MessageType::kEchoReply:
+      return 2;
+    default:
+      return -1;
+  }
+}
+
+}  // namespace fixture_clean

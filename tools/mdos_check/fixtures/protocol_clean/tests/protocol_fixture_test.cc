@@ -1,0 +1,19 @@
+// Test corpus for the clean protocol fixture: both structs exercised.
+#include "plasma/protocol.h"
+
+namespace fixture_clean {
+
+bool RoundTripEcho() {
+  EchoRequest req{7};
+  char buf[8];
+  req.EncodeTo(buf);
+  EchoRequest back{};
+  if (!EchoRequest::DecodeFrom(buf, &back)) return false;
+  EchoReply reply{back.nonce};
+  char buf2[8];
+  reply.EncodeTo(buf2);
+  EchoReply rback{};
+  return EchoReply::DecodeFrom(buf2, &rback);
+}
+
+}  // namespace fixture_clean

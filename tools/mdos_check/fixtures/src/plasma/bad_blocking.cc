@@ -1,0 +1,61 @@
+// Seeded violations for the blocking-call checker. Line numbers are
+// asserted by selftest.py — append only.
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+namespace fixture {
+
+struct Reply {
+  bool ok;
+};
+
+class Channel {
+ public:
+  Reply Call(int method);  // denylisted name (rpc family)
+};
+
+class CondVar {
+ public:
+  void Wait();  // denylisted name (wait family)
+};
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class EventLoop {
+ public:
+  MDOS_EVENT_LOOP_CONTEXT void Tick();
+  void Helper();
+  void OffLoop();
+
+ private:
+  Channel channel_;
+  CondVar cv_;
+  Mutex mutex_;
+};
+
+// Root: direct denylisted call (sleep family).
+void EventLoop::Tick() {
+  std::this_thread::sleep_for(std::chrono::milliseconds(1));  // line 43
+  Helper();
+}
+
+// Reached FROM the root through one hop: rpc + wait violations.
+void EventLoop::Helper() {
+  channel_.Call(7);  // line 49
+  cv_.Wait();        // line 50
+}
+
+// NOT annotated and NOT reachable from a root, but holds a lexical
+// MutexLock across a denylisted RPC call: the lock-held sub-check fires
+// in any function.
+void EventLoop::OffLoop() {
+  MutexLock lock(mutex_);
+  channel_.Call(9);  // line 58
+}
+
+}  // namespace fixture

@@ -1,0 +1,31 @@
+// Seeded violations for the status-discipline checker. Line numbers are
+// asserted by selftest.py — append only.
+namespace fixture {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status DoFallible();
+Status AlsoFallible();
+
+class Teardown {
+ public:
+  Status Close();
+  void Drop();
+};
+
+// (void)-cast of a fallible call in an infallible function.
+void Teardown::Drop() {
+  (void)DoFallible();  // line 21
+}
+
+// Discard in statement position inside a FALLIBLE function: the
+// "swallowed instead of propagated" variant.
+Status Teardown::Close() {
+  AlsoFallible();  // line 27
+  return DoFallible();
+}
+
+}  // namespace fixture

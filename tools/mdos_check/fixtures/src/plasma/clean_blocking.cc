@@ -1,0 +1,56 @@
+// Legal counterparts of bad_blocking.cc: the same call shapes made
+// acceptable — Poller receivers, a documented suppression, a lock that
+// is released before the blocking call. The self-test asserts ZERO
+// findings here.
+#include <thread>
+
+#include "common/thread_annotations.h"
+
+namespace fixture_clean {
+
+struct Reply {
+  bool ok;
+};
+
+class Channel {
+ public:
+  Reply Call(int method);
+};
+
+class Poller {
+ public:
+  int Wait(int timeout_ms);  // the sanctioned blocking point
+};
+
+class Mutex {};
+class MutexLock {
+ public:
+  explicit MutexLock(Mutex& m);
+};
+
+class EventLoop {
+ public:
+  MDOS_EVENT_LOOP_CONTEXT void Tick();
+  void OffLoop();
+
+ private:
+  Channel channel_;
+  Poller poller_;
+  Mutex mutex_;
+};
+
+void EventLoop::Tick() {
+  // Poller::Wait IS the event loop: exempt by receiver.
+  poller_.Wait(10);
+  // mdos-check: allow-blocking(fixture: documented deadline-bounded seam)
+  channel_.Call(7);
+}
+
+void EventLoop::OffLoop() {
+  {
+    MutexLock lock(mutex_);
+  }  // lock scope closed: the call below is NOT under it
+  channel_.Call(9);
+}
+
+}  // namespace fixture_clean

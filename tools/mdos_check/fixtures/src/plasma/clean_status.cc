@@ -1,0 +1,44 @@
+// Legal counterparts of bad_status.cc: consumed results, a suppressed
+// waiver, and an ambiguous name (void overload exists) in statement
+// position. The self-test asserts ZERO findings here.
+namespace fixture_clean {
+
+class Status {
+ public:
+  bool ok() const;
+};
+
+Status DoFallible();
+
+class Other {
+ public:
+  void Reset();  // an infallible Reset exists...
+};
+
+class Table {
+ public:
+  Status Reset();  // ...so statement-position Reset() is ambiguous
+};
+
+class Teardown {
+ public:
+  Status Close();
+  void Drop();
+
+ private:
+  Table table_;
+};
+
+void Teardown::Drop() {
+  // Consumed: tested, not discarded.
+  if (!DoFallible().ok()) return;
+  // mdos-check: allow-discard(fixture: documented waiver)
+  (void)DoFallible();
+  // Ambiguous name in statement position: not flagged (could be the
+  // void overload).
+  table_.Reset();
+}
+
+Status Teardown::Close() { return DoFallible(); }
+
+}  // namespace fixture_clean

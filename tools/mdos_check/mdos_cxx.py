@@ -1,0 +1,682 @@
+"""Lexer-grade C++ source model for the mdos-check analyzers.
+
+mdos-check deliberately does not depend on libclang: the container and CI
+images this repo builds in carry a full C++ toolchain but no libclang C
+API or `clang.cindex` Python bindings, and the project policy is to add
+no new dependencies. Instead this module gives the four checkers a
+shared, deterministic view of the sources that is precise enough for
+project-semantic rules:
+
+  * comment/string-aware blanking (so tokens never come from literals),
+  * suppression-comment collection (`// mdos-check: allow-<check>(why)`),
+  * a tokenizer with line numbers,
+  * a scope-tracking function extractor (namespaces, classes, function
+    definitions vs declarations, qualified names, statement prefixes for
+    return types and annotation macros),
+  * call-site extraction with receiver/qualifier context and lexical
+    MutexLock scopes (for the held-across-blocking-call rule),
+  * enum parsing (for the protocol exhaustiveness checker).
+
+The model is intentionally an over-approximation in places (declarations
+of the form `Type name(arg);` look like calls; method calls resolve by
+name, not by type) — each checker narrows it with explicit config so the
+real tree stays clean without silencing the violations the checkers
+exist to catch. Everything here is plain standard-library Python.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import re
+from typing import Optional
+
+# ---------------------------------------------------------------------------
+# Suppression comments
+# ---------------------------------------------------------------------------
+
+# `// mdos-check: allow-<check>(<reason>)` silences one finding of
+# <check> on the same line, or on the following line when the comment
+# stands alone. The reason is mandatory: a suppression without a
+# rationale is itself a finding (the driver enforces this).
+SUPPRESSION_RE = re.compile(
+    r"mdos-check:\s*allow-([a-z-]+)\(([^)]*)\)")
+
+KEYWORDS = {
+    "if", "else", "for", "while", "do", "switch", "case", "default",
+    "return", "break", "continue", "goto", "sizeof", "alignof",
+    "alignas", "decltype", "typeid", "static_assert", "new", "delete",
+    "throw", "try", "catch", "const", "constexpr", "consteval",
+    "constinit", "static", "inline", "virtual", "override", "final",
+    "explicit", "friend", "public", "private", "protected", "using",
+    "typedef", "template", "typename", "class", "struct", "union",
+    "enum", "namespace", "operator", "noexcept", "volatile", "mutable",
+    "extern", "register", "thread_local", "co_await", "co_return",
+    "co_yield", "requires", "concept", "auto", "void", "bool", "char",
+    "short", "int", "long", "float", "double", "signed", "unsigned",
+    "true", "false", "nullptr", "this",
+}
+
+_TOKEN_RE = re.compile(
+    r"[A-Za-z_][A-Za-z0-9_]*"          # identifier
+    r"|\d[\dxXbB'.a-fA-F]*"            # number (loose)
+    r"|::|->\*?|\.\*|\[\[|\]\]|<<=|>>=|<=>|\+\+|--|<<|>>|<=|>=|==|!="
+    r"|&&|\|\||\+=|-=|\*=|/=|%=|&=|\|=|\^=|\.\.\."
+    r"|[{}()\[\];,.:=<>!&|*+\-/%^?~#]"
+    r"|\n")
+
+
+@dataclasses.dataclass
+class Token:
+    text: str
+    line: int
+
+    @property
+    def is_id(self) -> bool:
+        c = self.text[0]
+        return (c.isalpha() or c == "_") and self.text not in KEYWORDS
+
+    @property
+    def is_word(self) -> bool:
+        c = self.text[0]
+        return c.isalpha() or c == "_"
+
+
+@dataclasses.dataclass
+class CallSite:
+    name: str                 # last identifier before '('
+    qualifier: str            # 'A::B' for A::B::name(...), else ''
+    receiver: str             # 'x' for x.name(...) / x->name(...), else ''
+    line: int                 # line of the name token
+    chain_start: int          # token index where the receiver chain begins
+    stmt_position: bool       # the chain starts a statement
+    void_cast: bool           # chain is preceded by a (void) cast
+    under_locks: tuple        # names of MutexLock locals lexically alive
+
+    def spelled(self) -> str:
+        if self.receiver:
+            return f"{self.receiver}.{self.name}"
+        if self.qualifier:
+            return f"{self.qualifier}::{self.name}"
+        return self.name
+
+
+@dataclasses.dataclass
+class FunctionDef:
+    name: str                 # last segment ('ShardLoop')
+    qualname: str             # scope-qualified ('mdos::plasma::Store::ShardLoop')
+    path: str
+    line: int
+    end_line: int
+    annotations: frozenset    # marker macros seen in the statement prefix
+    returns_fallible: bool    # return type mentions Status / Result
+    is_definition: bool       # has a body (False: declaration only)
+    calls: list = dataclasses.field(default_factory=list)
+
+
+class SourceFile:
+    def __init__(self, path: str, text: str):
+        self.path = path
+        self.raw = text
+        self.code, self.suppressions = _blank(text)
+        self.tokens = _tokenize(self.code)
+        self.functions: list[FunctionDef] = []
+        self._code_keep_strings = None
+        _parse(self)
+
+    @property
+    def code_keep_strings(self) -> str:
+        """Comments blanked, string/char literals PRESERVED.
+
+        `self.code` blanks literals too (right for the token stream, where
+        string contents must never look like identifiers), but that erases
+        `#include "plasma/store.h"` paths — the layering checker needs
+        this view instead.
+        """
+        if self._code_keep_strings is None:
+            self._code_keep_strings = _strip_comments(self.raw)
+        return self._code_keep_strings
+
+    def is_suppressed(self, line: int, check: str) -> bool:
+        """A marker on `line` or on the line above covers `line`."""
+        for probe in (line, line - 1):
+            if check in {c for c, _ in self.suppressions.get(probe, ())}:
+                return True
+        return False
+
+
+def load(path: str) -> SourceFile:
+    with open(path, encoding="utf-8", errors="replace") as f:
+        return SourceFile(path, f.read())
+
+
+# ---------------------------------------------------------------------------
+# Blanking + tokenizing
+# ---------------------------------------------------------------------------
+
+def _blank(text: str):
+    """Blanks comments and string/char literals, preserving layout.
+
+    Returns (code, suppressions) where suppressions maps line number to a
+    tuple of (check, reason) markers found in comments on that line.
+    """
+    out = []
+    suppressions: dict[int, list] = {}
+    i, n, line = 0, len(text), 1
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            for m in SUPPRESSION_RE.finditer(text[i:j]):
+                suppressions.setdefault(line, []).append(
+                    (m.group(1), m.group(2).strip()))
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i:j + 2]
+            for m in SUPPRESSION_RE.finditer(chunk):
+                sub_line = line + chunk[:m.start()].count("\n")
+                suppressions.setdefault(sub_line, []).append(
+                    (m.group(1), m.group(2).strip()))
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            line += chunk.count("\n")
+            i = j + 2
+        elif c == '"':
+            if out and text[i - 1] == "R":  # raw string R"delim( ... )delim"
+                close = text.find("(", i)
+                delim = text[i + 1:close] if close != -1 else ""
+                end = text.find(f"){delim}\"", close)
+                end = n if end == -1 else end + len(delim) + 2
+                chunk = text[i:end]
+                out.append('"' + "".join(
+                    "\n" if ch == "\n" else " " for ch in chunk[1:-1]) + '"')
+                line += chunk.count("\n")
+                i = end
+            else:
+                j = i + 1
+                while j < n and text[j] != '"':
+                    j += 2 if text[j] == "\\" else 1
+                out.append('"' + " " * (j - i - 1) + '"')
+                i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            out.append("'" + " " * (j - i - 1) + "'")
+            i = j + 1
+        else:
+            if c == "\n":
+                line += 1
+            out.append(c)
+            i += 1
+    return "".join(out), {k: tuple(v) for k, v in suppressions.items()}
+
+
+def _strip_comments(text: str) -> str:
+    """Comments to spaces (newlines kept), everything else verbatim.
+
+    Walks string/char literals so a `//` inside a literal is not taken
+    for a comment, but keeps their contents — unlike _blank.
+    """
+    out = []
+    i, n = 0, len(text)
+    while i < n:
+        c = text[i]
+        if c == "/" and i + 1 < n and text[i + 1] == "/":
+            j = text.find("\n", i)
+            j = n if j == -1 else j
+            out.append(" " * (j - i))
+            i = j
+        elif c == "/" and i + 1 < n and text[i + 1] == "*":
+            j = text.find("*/", i + 2)
+            j = n - 2 if j == -1 else j
+            chunk = text[i:j + 2]
+            out.append("".join("\n" if ch == "\n" else " " for ch in chunk))
+            i = j + 2
+        elif c == '"':
+            j = i + 1
+            while j < n and text[j] != '"':
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        elif c == "'":
+            j = i + 1
+            while j < n and text[j] != "'":
+                j += 2 if text[j] == "\\" else 1
+            out.append(text[i:j + 1])
+            i = j + 1
+        else:
+            out.append(c)
+            i += 1
+    return "".join(out)
+
+
+def _tokenize(code: str) -> list[Token]:
+    tokens = []
+    line = 1
+    for m in _TOKEN_RE.finditer(code):
+        t = m.group(0)
+        if t == "\n":
+            line += 1
+            continue
+        tokens.append(Token(t, line))
+    return tokens
+
+
+# ---------------------------------------------------------------------------
+# Scope-tracking parse
+# ---------------------------------------------------------------------------
+
+# Macro markers whose presence in a declaration prefix the checkers care
+# about. Collected verbatim into FunctionDef.annotations.
+ANNOTATION_MACROS = {"MDOS_EVENT_LOOP_CONTEXT", "NO_THREAD_SAFETY_ANALYSIS"}
+
+# Tokens that may sit between `)` and the body `{` of a definition.
+_POST_PAREN_WORDS = {
+    "const", "noexcept", "override", "final", "mutable", "try",
+    "REQUIRES", "REQUIRES_SHARED", "EXCLUDES", "ACQUIRE", "ACQUIRE_SHARED",
+    "RELEASE", "RELEASE_SHARED", "TRY_ACQUIRE", "ASSERT_CAPABILITY",
+    "RETURN_CAPABILITY", "NO_THREAD_SAFETY_ANALYSIS",
+    "MDOS_EVENT_LOOP_CONTEXT",
+}
+
+_STMT_BOUNDARY = {";", "{", "}", ":", "else", "do"}
+
+
+def _match_paren(tokens, i):
+    """tokens[i] == '('; returns index just past the matching ')'."""
+    depth = 0
+    while i < len(tokens):
+        t = tokens[i].text
+        if t == "(":
+            depth += 1
+        elif t == ")":
+            depth -= 1
+            if depth == 0:
+                return i + 1
+        i += 1
+    return len(tokens)
+
+
+def _qualified_prefix(tokens, i):
+    """Walks back over `id :: id :: ... ::` ending at index i (the name
+    token). Returns (start_index, qualifier_text)."""
+    parts = []
+    j = i
+    while j >= 2 and tokens[j - 1].text == "::" and tokens[j - 2].is_word:
+        parts.append(tokens[j - 2].text)
+        j -= 2
+        # skip template args heuristically: Foo<T>::bar — walk over <...>
+        if j >= 1 and tokens[j].text == ">":
+            depth = 0
+            k = j
+            while k >= 0:
+                if tokens[k].text == ">":
+                    depth += 1
+                elif tokens[k].text == "<":
+                    depth -= 1
+                    if depth == 0:
+                        break
+                k -= 1
+            if k >= 1 and tokens[k - 1].is_word:
+                j = k - 1
+    return j, "::".join(reversed(parts))
+
+
+def _class_name_of(tokens, i):
+    """tokens[i] is 'class'/'struct'/'union'; returns (name, body_index)
+    where body_index is the index of '{', or (None, advance_index) for
+    declarations/variables."""
+    j = i + 1
+    name = None
+    while j < len(tokens):
+        t = tokens[j]
+        if t.text == "[[":
+            while j < len(tokens) and tokens[j].text != "]]":
+                j += 1
+            j += 1
+            continue
+        if t.text == "(":  # attribute macro like CAPABILITY("mutex")
+            j = _match_paren(tokens, j)
+            continue
+        if t.is_word and t.text not in ("final", "alignas"):
+            name = t.text
+            j += 1
+            continue
+        if t.text == ":":  # base clause: skip to '{'
+            while j < len(tokens) and tokens[j].text != "{":
+                if tokens[j].text == "(":
+                    j = _match_paren(tokens, j)
+                else:
+                    j += 1
+            continue
+        if t.text == "{":
+            return name, j
+        if t.text in (";", "=", "<", "*", "&", ")", ","):
+            return None, j  # fwd decl, template param, or variable decl
+        j += 1
+    return None, j
+
+
+def _parse(sf: SourceFile):
+    tokens = sf.tokens
+    n = len(tokens)
+    # Scope stack: list of (kind, name_or_fn) where kind in
+    # {namespace, class, function, block, enum}.
+    scopes: list = []
+    # Pending classification for the next '{'.
+    pending: Optional[tuple] = None
+    stmt_start = 0  # token index where the current statement prefix began
+    ternary_depth = 0  # open '?' operators whose ':' is still pending
+    lock_stack: list = []  # (lock_name, scope_depth_at_declaration)
+
+    def in_function():
+        for kind, payload in reversed(scopes):
+            if kind == "function":
+                return payload
+            if kind in ("class", "namespace"):
+                return None
+        return None
+
+    def scope_qual():
+        parts = []
+        for kind, payload in scopes:
+            if kind in ("namespace", "class") and payload:
+                parts.append(payload)
+        return parts
+
+    i = 0
+    while i < n:
+        tok = tokens[i]
+        t = tok.text
+
+        if t == "namespace":
+            j = i + 1
+            name_parts = []
+            while j < n and (tokens[j].is_word or tokens[j].text == "::"):
+                if tokens[j].is_word:
+                    name_parts.append(tokens[j].text)
+                j += 1
+            if j < n and tokens[j].text == "{":
+                pending = ("namespace", "::".join(name_parts))
+            elif j < n and tokens[j].text == "=":
+                while j < n and tokens[j].text != ";":
+                    j += 1
+            i = j
+            stmt_start = i
+            continue
+
+        if t in ("class", "struct", "union") and in_function() is None:
+            # `enum class` is handled by the 'enum' branch below.
+            name, j = _class_name_of(tokens, i)
+            if name is not None and j < n and tokens[j].text == "{":
+                pending = ("class", name)
+                i = j
+                continue
+            i = j
+            continue
+
+        if t == "enum" and in_function() is None:
+            j = i + 1
+            while j < n and tokens[j].text not in ("{", ";"):
+                j += 1
+            if j < n and tokens[j].text == "{":
+                pending = ("enum", None)
+                i = j
+                continue
+            i = j
+            continue
+
+        if t == "{":
+            scopes.append(pending if pending else ("block", None))
+            pending = None
+            stmt_start = i + 1
+            i += 1
+            continue
+
+        if t == "}":
+            if scopes:
+                kind, payload = scopes.pop()
+                if kind == "function" and payload is not None:
+                    payload.end_line = tok.line
+            while lock_stack and lock_stack[-1][1] > len(scopes):
+                lock_stack.pop()
+            stmt_start = i + 1
+            i += 1
+            continue
+
+        if t == "?":
+            # Ternary: its ':' is an operator, not a statement boundary.
+            ternary_depth += 1
+            i += 1
+            continue
+
+        if t == ":" and ternary_depth > 0:
+            ternary_depth -= 1
+            i += 1
+            continue
+
+        if t == ";":
+            ternary_depth = 0
+            stmt_start = i + 1
+            i += 1
+            continue
+
+        if t == ":" or t in ("public", "private", "protected"):
+            stmt_start = i + 1
+            i += 1
+            continue
+
+        fn = in_function()
+
+        # MutexLock lexical scope: `MutexLock name(...)` / `MutexLock name{...}`.
+        if fn is not None and t == "MutexLock" and i + 1 < n and \
+                tokens[i + 1].is_word:
+            lock_stack.append((tokens[i + 1].text, len(scopes)))
+            i += 2
+            continue
+
+        if tok.is_word and i + 1 < n and tokens[i + 1].text == "(":
+            if fn is not None:
+                if tok.is_id:
+                    _record_call(sf, fn, tokens, i, stmt_start, lock_stack)
+                i = _skip_into_args(tokens, i + 1)
+                continue
+            # Possible function definition/declaration at namespace/class
+            # scope.
+            consumed, new_pending = _try_function(
+                sf, tokens, i, stmt_start, scope_qual())
+            if consumed is not None:
+                if new_pending is not None:
+                    pending = new_pending
+                i = consumed
+                if new_pending is None:
+                    stmt_start = i
+                continue
+
+        i += 1
+
+    # close any dangling function line info
+    for kind, payload in scopes:
+        if kind == "function" and payload is not None and \
+                payload.end_line == 0:
+            payload.end_line = tokens[-1].line if tokens else payload.line
+
+
+def _skip_into_args(tokens, open_paren_index):
+    """Advance just past the '(' so nested calls inside the argument list
+    are still scanned."""
+    return open_paren_index + 1
+
+
+def _record_call(sf, fn, tokens, i, stmt_start, lock_stack):
+    name_tok = tokens[i]
+    qualifier = ""
+    receiver = ""
+    start, qualifier = _qualified_prefix(tokens, i)
+    # receiver: walk back over '.' / '->' chains from the qualified
+    # start. `receiver` stays the IMMEDIATE one (`poller` in
+    # `shard.poller.Wait`); chain_start keeps walking to the front of
+    # the whole chain for stmt-position/void-cast classification.
+    j = start
+    chain_start = start
+    while j >= 2 and tokens[j - 1].text in (".", "->") and \
+            (tokens[j - 2].is_word or tokens[j - 2].text in (")", "]")):
+        if tokens[j - 2].is_word:
+            if not receiver:
+                receiver = tokens[j - 2].text
+            j2, _ = _qualified_prefix(tokens, j - 2)
+            chain_start = j2
+            j = j2
+        else:
+            if not receiver:
+                receiver = "<expr>"
+            chain_start = j - 2
+            break
+    prev = tokens[chain_start - 1].text if chain_start > 0 else ";"
+    void_cast = (chain_start >= 3 and
+                 tokens[chain_start - 1].text == ")" and
+                 tokens[chain_start - 2].text == "void" and
+                 tokens[chain_start - 3].text == "(")
+    stmt_position = (chain_start == stmt_start or
+                     prev in (";", "{", "}", "else", "do"))
+    fn.calls.append(CallSite(
+        name=name_tok.text, qualifier=qualifier, receiver=receiver,
+        line=name_tok.line, chain_start=chain_start,
+        stmt_position=stmt_position, void_cast=void_cast,
+        under_locks=tuple(name for name, _ in lock_stack)))
+
+
+def _try_function(sf, tokens, i, stmt_start, scope_parts):
+    """tokens[i] is an identifier followed by '(' at namespace/class
+    scope. Returns (next_index, pending_scope) when a function
+    definition or declaration was recognized, else (None, None)."""
+    n = len(tokens)
+    name_tok = tokens[i]
+    start, qualifier = _qualified_prefix(tokens, i)
+    # Destructor: ~Name
+    name = name_tok.text
+    if start > 0 and tokens[start - 1].text == "~":
+        name = "~" + name
+        start -= 1
+
+    after = _match_paren(tokens, i + 1)
+    j = after
+    while j < n:
+        t = tokens[j]
+        if t.text in _POST_PAREN_WORDS:
+            j += 1
+            if j < n and tokens[j].text == "(":
+                j = _match_paren(tokens, j)
+            continue
+        if t.text == "[[":
+            while j < n and tokens[j].text != "]]":
+                j += 1
+            j += 1
+            continue
+        if t.text == "->":  # trailing return type
+            j += 1
+            while j < n and tokens[j].text not in ("{", ";"):
+                if tokens[j].text == "(":
+                    j = _match_paren(tokens, j)
+                else:
+                    j += 1
+            continue
+        if t.text == ":":  # ctor-initializer list
+            j += 1
+            while j < n:
+                if tokens[j].text == "(":
+                    j = _match_paren(tokens, j)
+                elif tokens[j].text == "{":
+                    # brace-init `field_{...}` is preceded by a word/'>';
+                    # the body '{' is preceded by ')' or '}' or an id-less
+                    # separator.
+                    if tokens[j - 1].is_word or tokens[j - 1].text == ">":
+                        depth = 0
+                        while j < n:
+                            if tokens[j].text == "{":
+                                depth += 1
+                            elif tokens[j].text == "}":
+                                depth -= 1
+                                if depth == 0:
+                                    break
+                            j += 1
+                        j += 1
+                    else:
+                        break
+                elif tokens[j].text == ";":
+                    break
+                else:
+                    j += 1
+            continue
+        break
+    is_def = j < n and tokens[j].text == "{"
+    is_decl = j < n and tokens[j].text in (";", ",", "=")
+    if not is_def and not is_decl:
+        return None, None
+
+    prefix = tokens[stmt_start:start]
+    prefix_words = {p.text for p in prefix}
+    if "return" in prefix_words or "=" in {p.text for p in prefix}:
+        return None, None
+    annotations = frozenset(prefix_words & ANNOTATION_MACROS |
+                            ({"MDOS_EVENT_LOOP_CONTEXT"}
+                             if any(tokens[k].text == "MDOS_EVENT_LOOP_CONTEXT"
+                                    for k in range(after, j))
+                             else set()))
+    returns_fallible = bool(prefix_words & {"Status", "Result"})
+    qual = "::".join(scope_parts + ([qualifier] if qualifier else []) +
+                     [name])
+    fd = FunctionDef(
+        name=name, qualname=qual, path=sf.path, line=name_tok.line,
+        end_line=0 if is_def else name_tok.line,
+        annotations=annotations, returns_fallible=returns_fallible,
+        is_definition=is_def)
+    sf.functions.append(fd)
+    if is_def:
+        return j, ("function", fd)
+    # declaration: skip past the terminator
+    while j < n and tokens[j].text != ";":
+        j += 1
+    return j + 1, None
+
+
+# ---------------------------------------------------------------------------
+# Enum parsing
+# ---------------------------------------------------------------------------
+
+def parse_enum(sf: SourceFile, enum_name: str):
+    """Returns [(enumerator, line)] for `enum [class] <enum_name>`."""
+    tokens = sf.tokens
+    n = len(tokens)
+    for i in range(n - 2):
+        if tokens[i].text != "enum":
+            continue
+        j = i + 1
+        if j < n and tokens[j].text in ("class", "struct"):
+            j += 1
+        if j >= n or tokens[j].text != enum_name:
+            continue
+        while j < n and tokens[j].text != "{":
+            j += 1
+        out = []
+        j += 1
+        expect_name = True
+        depth = 1
+        while j < n and depth > 0:
+            t = tokens[j]
+            if t.text == "{":
+                depth += 1
+            elif t.text == "}":
+                depth -= 1
+            elif depth == 1:
+                if expect_name and t.is_word:
+                    out.append((t.text, t.line))
+                    expect_name = False
+                elif t.text == ",":
+                    expect_name = True
+            j += 1
+        return out
+    return []

@@ -71,6 +71,18 @@ def reject_instrumented_build(build_dir: Path):
             sys.exit(f"refusing to benchmark {build_dir}: configured with "
                      f"{line.strip()} (fuzzer instrumentation skews timings; "
                      f"use a clean build dir)")
+        # Build type matters as much as instrumentation: a Debug (or
+        # unset-type) tree runs the allocator and codec hot paths at -O0,
+        # silently skewing the whole trajectory low.
+        if line.startswith("CMAKE_BUILD_TYPE:"):
+            build_type = line.split("=", 1)[1].strip()
+            if build_type not in ("Release", "RelWithDebInfo"):
+                sys.exit(
+                    f"refusing to benchmark {build_dir}: "
+                    f"CMAKE_BUILD_TYPE={build_type or '<empty>'} (benchmarks "
+                    f"must come from a Release or RelWithDebInfo tree; "
+                    f"reconfigure with -DCMAKE_BUILD_TYPE=RelWithDebInfo or "
+                    f"point --build-dir at one)")
 
 
 def parse_result_lines(stdout: str):
